@@ -1,0 +1,111 @@
+// Ablation A1 — the cost of the administrator-moderation mitigation.
+//
+// §2.1 (third approach): administrators could verify "the validity and
+// quality of the comments prior to allowing other users to view them", but
+// "once the number of users has reached a certain level, this would require
+// a lot of manual work ... as well as seriously decrease the frequency of
+// vote updates."
+//
+// We feed a moderated server a constant comment stream and sweep the
+// administrators' daily review capacity, measuring queue backlog and
+// comment-visibility latency over a 30-day deployment.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "server/reputation_server.h"
+#include "storage/database.h"
+#include "util/random.h"
+#include "util/sha1.h"
+
+namespace pisrep {
+namespace {
+
+using util::kDay;
+
+int main_impl() {
+  bench::Banner("A1 — moderation queue backlog vs admin capacity",
+                "section 2.1, third mitigation (ablation)");
+
+  const int kCommentsPerDay = 120;
+  const int kDays = 30;
+
+  std::printf("comment arrivals: %d/day for %d days (one per vote)\n\n",
+              kCommentsPerDay, kDays);
+  std::printf("%-18s | %-12s | %-16s | %-20s\n", "admin reviews/day",
+              "backlog d30", "approved total", "mean visibility lag");
+  bench::Rule();
+
+  for (int reviews_per_day : {0, 50, 120, 300}) {
+    auto db = storage::Database::Open("").value();
+    net::EventLoop loop;
+    server::ReputationServer::Config config;
+    config.moderation_enabled = true;
+    config.flood.registration_puzzle_bits = 0;
+    config.flood.max_registrations_per_source_per_day = 0;
+    config.flood.max_votes_per_user_per_day = 0;
+    server::ReputationServer server(db.get(), &loop, config);
+
+    util::Rng rng(7);
+    int user_counter = 0;
+    double total_lag_days = 0.0;
+    std::uint64_t approved = 0;
+
+    // One fused daily step: new comments arrive, then admins review.
+    for (int day = 0; day < kDays; ++day) {
+      util::TimePoint now = day * kDay;
+      for (int c = 0; c < kCommentsPerDay; ++c) {
+        std::string name = "user" + std::to_string(user_counter++);
+        std::string email = name + "@x.com";
+        server.Register("s", name, "password", email, "", "", now);
+        auto mail = server.FetchMail(email);
+        server.Activate(name, mail->token);
+        std::string session = *server.Login(name, "password", now);
+        core::SoftwareMeta meta;
+        meta.id = util::Sha1::Hash("program-" +
+                                   std::to_string(rng.NextBelow(400)));
+        meta.file_name = "app.exe";
+        meta.file_size = 1000;
+        meta.company = "Vendor";
+        meta.version = "1.0";
+        server.SubmitRating(session, meta,
+                            static_cast<int>(rng.NextInt(1, 10)),
+                            "a comment needing review", core::kNoBehaviors,
+                            now);
+      }
+      for (int r = 0; r < reviews_per_day; ++r) {
+        auto pending = server.moderation().Peek();
+        if (!pending.ok()) break;
+        total_lag_days +=
+            static_cast<double>(now - pending->submitted_at) / kDay;
+        if (!server.moderation().ApproveNext().ok()) break;
+        ++approved;
+      }
+    }
+
+    double mean_lag =
+        approved > 0 ? total_lag_days / static_cast<double>(approved) : -1.0;
+    char lag_buf[32];
+    if (mean_lag < 0) {
+      std::snprintf(lag_buf, sizeof(lag_buf), "never visible");
+    } else {
+      std::snprintf(lag_buf, sizeof(lag_buf), "%.2f days", mean_lag);
+    }
+    std::printf("%-18d | %12zu | %16llu | %-20s\n", reviews_per_day,
+                server.moderation().PendingCount(),
+                static_cast<unsigned long long>(approved), lag_buf);
+  }
+  bench::Rule();
+  std::printf("\nshape check: capacity below the arrival rate grows an "
+              "unbounded backlog — the paper's 'a lot of manual work' made "
+              "quantitative. Scores are unaffected (votes count "
+              "immediately; only comment visibility lags).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pisrep
+
+int main() { return pisrep::main_impl(); }

@@ -1,0 +1,80 @@
+// Ablation A2 — the 24-hour aggregation period (§3.2).
+//
+// "Software ratings are calculated at fixed points in time (currently once
+// in every 24-hour period)." Shorter periods give users fresher scores at a
+// higher recompute cost; longer periods starve the budding phase. We run
+// identical 21-day communities at different periods and report cost
+// (aggregation runs, votes re-folded) and staleness (how long a new vote
+// waits before affecting the displayed score).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+
+namespace pisrep {
+namespace {
+
+using util::Duration;
+using util::kDay;
+using util::kHour;
+
+int main_impl() {
+  bench::Banner("A2 — aggregation period: freshness vs recompute cost",
+                "section 3.2 (24-hour scoring job) — design ablation");
+
+  std::printf("community: 30 hosts, 21 days, 120-program corpus, identical "
+              "seeds; staleness ~ period/2 for a Poisson vote stream\n\n");
+  std::printf("%-12s | %-10s | %-12s | %-14s | %-12s | %-10s\n", "period",
+              "agg runs", "votes", "mean wait*", "score MAE",
+              "PIS block");
+  bench::Rule();
+
+  struct Row {
+    const char* label;
+    Duration period;
+  };
+  const Row rows[] = {
+      {"1 hour", kHour},
+      {"24 hours", kDay},     // the paper's choice
+      {"1 week", 7 * kDay},
+  };
+
+  for (const Row& row : rows) {
+    sim::ScenarioConfig config;
+    config.ecosystem.num_software = 120;
+    config.ecosystem.num_vendors = 20;
+    config.ecosystem.seed = 2121;
+    config.num_users = 30;
+    config.duration = 21 * kDay;
+    config.server.aggregation_period = row.period;
+    config.server.flood.registration_puzzle_bits = 0;
+    config.server.flood.max_registrations_per_source_per_day = 0;
+    config.seed = 2121;
+
+    sim::ScenarioRunner runner(config);
+    sim::ScenarioResult result = runner.Run();
+    const sim::GroupOutcome& rep =
+        result.group(sim::ProtectionKind::kReputation);
+    double mean_wait_hours =
+        static_cast<double>(row.period) / (2.0 * kHour);
+    std::printf("%-12s | %10llu | %12zu | %11.1f h | %12.2f | %9.1f%%\n",
+                row.label,
+                static_cast<unsigned long long>(
+                    runner.server().aggregation().runs()),
+                result.total_votes, mean_wait_hours, result.score_mae,
+                100.0 * rep.PisBlockRate());
+  }
+  bench::Rule();
+  std::printf("\n*expected delay between a vote landing and the displayed "
+              "score reflecting it.\n"
+              "shape check: hourly aggregation costs ~24x the daily runs "
+              "for marginal accuracy gain; weekly aggregation leaves votes "
+              "invisible for days — the paper's 24 h sits at the knee.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pisrep
+
+int main() { return pisrep::main_impl(); }

@@ -1,0 +1,162 @@
+// Experiment F1 — trust-weighted aggregation corrects novice mis-ratings.
+//
+// §2.1: novices "may give the installer of a program bundled with many
+// different PIS a high rating ... as soon as more experienced users give
+// contradicting votes, their opinions will carry a higher weight, tipping
+// the balance in a — hopefully — more correct direction."
+//
+// Setup: a bundled-PIS installer (true quality 2.0) receives five novice
+// 9s. Experts (trust factor 100, earned over 20+ weeks of helpful
+// comments) then vote 2, one at a time. We print the displayed score after
+// each expert vote, with and without trust weighting.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/rating_aggregator.h"
+#include "server/reputation_server.h"
+#include "sim/scenario.h"
+#include "storage/database.h"
+#include "util/sha1.h"
+
+namespace pisrep {
+namespace {
+
+using util::kWeek;
+
+int main_impl() {
+  bench::Banner("F1 — trust weighting vs novice mis-ratings",
+                "section 2.1 (first mitigation) + section 3.2");
+
+  auto db = storage::Database::Open("").value();
+  net::EventLoop loop;
+  server::ReputationServer::Config config;
+  config.flood.registration_puzzle_bits = 0;
+  config.flood.max_registrations_per_source_per_day = 0;
+  config.flood.max_votes_per_user_per_day = 0;
+  server::ReputationServer server(db.get(), &loop, config);
+
+  util::TimePoint now = 25 * kWeek;  // experts have had time to earn trust
+
+  auto make_user = [&](const std::string& name, bool expert) {
+    std::string email = name + "@bench.example";
+    server.Register("src", name, "password", email, "", "", 0);
+    auto mail = server.FetchMail(email);
+    server.Activate(name, mail->token);
+    std::string session = *server.Login(name, "password", now);
+    if (expert) {
+      core::UserId id = server.accounts().GetAccountByUsername(name)->id;
+      for (int i = 0; i < 250; ++i) {
+        server.accounts().ApplyRemark(id, true, now);
+      }
+    }
+    return session;
+  };
+
+  core::SoftwareMeta bundle;
+  bundle.id = util::Sha1::Hash("freeware-bundle-installer");
+  bundle.file_name = "free_goodies_setup.exe";
+  bundle.file_size = 1 << 20;
+  bundle.company = "AdCorp-00";
+  bundle.version = "1.0";
+  const double kTrueQuality = 2.0;
+
+  // Five enthusiastic novices first.
+  for (int i = 0; i < 5; ++i) {
+    std::string session = make_user("novice" + std::to_string(i), false);
+    server.SubmitRating(session, bundle, 9, "great free program!",
+                        core::kNoBehaviors, now);
+  }
+
+  std::printf("true quality of the bundled-PIS installer: %.1f/10\n",
+              kTrueQuality);
+  std::printf("novices vote 9 (5 of them, trust 1 each); experts vote 2 "
+              "(trust 100 each)\n\n");
+  std::printf("%-14s | %-20s | %-20s\n", "expert votes",
+              "trust-weighted score", "unweighted score");
+  bench::Rule();
+
+  auto print_row = [&](int expert_votes) {
+    server.aggregation().RunOnce(now);
+    auto weighted = server.registry().GetScore(bundle.id);
+    // Recompute unweighted from the raw vote store for the ablation column.
+    std::vector<core::WeightedVote> votes;
+    for (const server::StoredRating& stored :
+         server.votes().VotesForSoftware(bundle.id)) {
+      votes.push_back(
+          core::WeightedVote{static_cast<double>(stored.record.score), 1.0});
+    }
+    core::SoftwareScore unweighted =
+        core::RatingAggregator::AggregateUnweighted(bundle.id, votes, now);
+    std::printf("%-14d | %20.2f | %20.2f\n", expert_votes, weighted->score,
+                unweighted.score);
+  };
+
+  print_row(0);
+  for (int i = 0; i < 3; ++i) {
+    std::string session = make_user("expert" + std::to_string(i), true);
+    server.SubmitRating(session, bundle, 2,
+                        "helpful: bundles three adware programs",
+                        static_cast<core::BehaviorSet>(
+                            core::Behavior::kBundlesSoftware),
+                        now);
+    print_row(i + 1);
+  }
+
+  bench::Rule();
+  auto final_score = server.registry().GetScore(bundle.id);
+  bool corrected = final_score->score < 5.0;
+  std::printf("\nafter 3 expert votes the weighted score is %.2f — the "
+              "balance %s\n",
+              final_score->score,
+              corrected ? "tipped to the correct (warning) side"
+                        : "did NOT tip (unexpected)");
+
+  // Part 2 — community scale: the same mechanism under a full simulated
+  // deployment with a malicious minority trying to invert the scores. The
+  // community is 20 weeks old, so honest regulars have earned real trust
+  // while attackers' fresh/censured accounts sit at the floor.
+  std::printf("\ncommunity-scale ablation (40 users, 15%% malicious, "
+              "20-week-old community, 30 days):\n");
+  std::printf("%-24s | %-12s | %-12s\n", "aggregation", "score MAE",
+              "PIS block");
+  bench::Rule();
+  double weighted_mae = 0.0, unweighted_mae = 0.0;
+  for (bool weighting : {true, false}) {
+    sim::ScenarioConfig config;
+    config.ecosystem.num_software = 120;
+    config.ecosystem.num_vendors = 20;
+    config.ecosystem.seed = 606;
+    config.num_users = 40;
+    config.frac_malicious = 0.15;
+    config.frac_expert = 0.2;
+    config.duration = 30 * util::kDay;
+    config.community_age = 20 * util::kWeek;
+    config.server.trust_weighting = weighting;
+    config.server.flood.registration_puzzle_bits = 0;
+    config.server.flood.max_registrations_per_source_per_day = 0;
+    config.seed = 606;
+    sim::ScenarioRunner runner(config);
+    sim::ScenarioResult result = runner.Run();
+    const sim::GroupOutcome& rep =
+        result.group(sim::ProtectionKind::kReputation);
+    std::printf("%-24s | %12.2f | %11.1f%%\n",
+                weighting ? "trust-weighted (paper)" : "unweighted ablation",
+                result.score_mae, 100.0 * rep.PisBlockRate());
+    (weighting ? weighted_mae : unweighted_mae) = result.score_mae;
+  }
+  bench::Rule();
+  bool scale_holds = weighted_mae <= unweighted_mae;
+  std::printf("\nshape check: weighting also wins at community scale "
+              "(%.2f vs %.2f MAE): %s\n",
+              weighted_mae, unweighted_mae, scale_holds ? "YES" : "NO");
+  return (corrected && scale_holds) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pisrep
+
+int main() { return pisrep::main_impl(); }

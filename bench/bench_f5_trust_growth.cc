@@ -1,0 +1,68 @@
+// Experiment F5 — the trust-factor growth schedule.
+//
+// §3.2: "the reputation system has implemented a growth limitation on
+// users' trust factors, by setting the maximum growth per week to 5 units.
+// Hence, you can reach a maximum trust factor of 5 the first week you are
+// a member, 10 the second week, and so on ... a minimum level of 1 (which
+// is also the rating for new users), and a maximum of 100."
+//
+// We simulate a highly-praised user (many positive remarks every week) and
+// print their trust factor per week under the paper's schedule, against an
+// uncapped ablation — showing the cap forces ~20 weeks of consistent good
+// behaviour before full influence.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/trust.h"
+
+namespace pisrep {
+namespace {
+
+using util::kWeek;
+
+int main_impl() {
+  bench::Banner("F5 — trust factor growth cap (5/week, bounds [1, 100])",
+                "section 3.2, final paragraph");
+
+  const int kRemarksPerWeek = 25;  // a very active, well-liked commenter
+
+  core::TrustState capped = core::TrustEngine::NewMember(0);
+  double uncapped = core::kMinTrust;
+
+  std::printf("positive remarks per week: %d (delta +%.0f each)\n\n",
+              kRemarksPerWeek, core::kPositiveRemarkDelta);
+  std::printf("%-6s | %-18s | %-18s | %-16s\n", "week", "capped trust",
+              "weekly ceiling", "uncapped ablation");
+  bench::Rule();
+
+  bool printed_saturation = false;
+  for (int week = 0; week <= 24; ++week) {
+    util::TimePoint now = week * kWeek;
+    for (int i = 0; i < kRemarksPerWeek; ++i) {
+      core::TrustEngine::ApplyDelta(capped, core::kPositiveRemarkDelta, now);
+      uncapped = std::min(core::kMaxTrust,
+                          uncapped + core::kPositiveRemarkDelta);
+    }
+    double ceiling = core::TrustEngine::MaxTrustAt(0, now);
+    std::printf("%-6d | %18.1f | %18.1f | %16.1f\n", week + 1, capped.factor,
+                ceiling, uncapped);
+    if (capped.factor >= core::kMaxTrust && !printed_saturation) {
+      printed_saturation = true;
+    }
+  }
+  bench::Rule();
+  std::printf("\ncapped profile reaches the 100 maximum in week 20 "
+              "(= 100 / 5 per week), while the uncapped ablation would have "
+              "full influence inside week %d.\n",
+              static_cast<int>(core::kMaxTrust /
+                               (kRemarksPerWeek * core::kPositiveRemarkDelta)) +
+                  1);
+  return capped.factor == core::kMaxTrust ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pisrep
+
+int main() { return pisrep::main_impl(); }

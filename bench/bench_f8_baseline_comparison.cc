@@ -1,0 +1,116 @@
+// Experiment F8 — the reputation system vs conventional countermeasures.
+//
+// §4.3: anti-virus / anti-spyware tools have "specialized, up to date and
+// reliable information databases", but (a) they must investigate every
+// sample before protecting against it, (b) verdicts are binary, and (c)
+// the legal grey zone bars them from listing EULA-disclosed spyware at
+// all. The reputation system penetrates exactly that grey zone.
+//
+// One mixed population — one third unprotected, one third behind a
+// signature scanner, one third running the reputation client — faces the
+// same ecosystem for 45 days.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/scenario.h"
+
+namespace pisrep {
+namespace {
+
+using util::kDay;
+
+void PrintGroup(const sim::GroupOutcome& outcome) {
+  std::uint64_t spyware_allowed = outcome.pis_allowed -
+                                  outcome.malware_allowed;
+  std::uint64_t spyware_blocked = outcome.pis_blocked -
+                                  outcome.malware_blocked;
+  double spyware_rate =
+      (spyware_allowed + spyware_blocked) == 0
+          ? 0.0
+          : 100.0 * spyware_blocked / (spyware_allowed + spyware_blocked);
+  double malware_rate =
+      (outcome.malware_allowed + outcome.malware_blocked) == 0
+          ? 0.0
+          : 100.0 * outcome.malware_blocked /
+                (outcome.malware_allowed + outcome.malware_blocked);
+  std::printf("%-14s | %5d | %9.1f%% | %10.1f%% | %10.1f%% | %11.2f%% | %8.0f%%\n",
+              outcome.label.c_str(), outcome.hosts,
+              100.0 * outcome.PisBlockRate(), spyware_rate, malware_rate,
+              100.0 * outcome.FalseBlockRate(),
+              100.0 * outcome.InfectionRate());
+}
+
+int main_impl() {
+  bench::Banner("F8 — reputation system vs anti-virus/anti-spyware baseline",
+                "section 4.3 (comparison with existing countermeasures)");
+
+  sim::ScenarioConfig config;
+  config.ecosystem.num_software = 180;
+  config.ecosystem.num_vendors = 30;
+  config.ecosystem.seed = 777;
+  config.num_users = 60;
+  config.frac_unprotected = 1.0 / 3.0;
+  config.frac_av = 1.0 / 3.0;
+  config.duration = 45 * kDay;
+  config.executions_per_day = 6.0;
+  config.policy = core::Policy::PaperDefault();
+  config.trust_legit_vendors = true;
+  config.server.flood.registration_puzzle_bits = 0;
+  config.server.flood.max_registrations_per_source_per_day = 0;
+  config.baseline.legal_constraint = true;
+  config.baseline.analysis_lag = 7 * kDay;
+  config.seed = 31337;
+
+  sim::ScenarioRunner runner(config);
+  sim::ScenarioResult result = runner.Run();
+
+  std::printf("180 programs, 60 hosts (20/20/20 split), 45 days; baseline "
+              "scanner: 7-day analyst lag, legal constraint ON\n\n");
+  std::printf("%-14s | %-5s | %-10s | %-11s | %-11s | %-12s | %-9s\n",
+              "protection", "hosts", "PIS block", "spyware blk",
+              "malware blk", "false block", "infected");
+  bench::Rule();
+  const sim::GroupOutcome& bare =
+      result.group(sim::ProtectionKind::kNone);
+  const sim::GroupOutcome& av =
+      result.group(sim::ProtectionKind::kSignatureAv);
+  const sim::GroupOutcome& rep =
+      result.group(sim::ProtectionKind::kReputation);
+  PrintGroup(bare);
+  PrintGroup(av);
+  PrintGroup(rep);
+  bench::Rule();
+
+  std::uint64_t av_spyware_blocked = av.pis_blocked - av.malware_blocked;
+  std::uint64_t av_spyware_total =
+      av.pis_allowed + av.pis_blocked - av.malware_allowed -
+      av.malware_blocked;
+  std::uint64_t rep_spyware_blocked = rep.pis_blocked - rep.malware_blocked;
+  std::uint64_t rep_spyware_total =
+      rep.pis_allowed + rep.pis_blocked - rep.malware_allowed -
+      rep.malware_blocked;
+  double av_spy = av_spyware_total ? double(av_spyware_blocked) /
+                                         av_spyware_total
+                                   : 0;
+  double rep_spy = rep_spyware_total ? double(rep_spyware_blocked) /
+                                           rep_spyware_total
+                                     : 0;
+
+  std::printf("\nlegally excluded grey-zone samples at the AV lab: %zu\n",
+              runner.baseline().legally_excluded());
+  std::printf("grey-zone (spyware) block rate: AV %.1f%% vs reputation "
+              "%.1f%%\n",
+              100 * av_spy, 100 * rep_spy);
+  std::printf("shape check: the reputation system dominates on the grey "
+              "zone (the cells the baseline is legally barred from), while "
+              "the scanner is competitive on outright malware after its "
+              "lag: %s\n",
+              rep_spy > av_spy ? "YES" : "NO");
+  return rep_spy > av_spy ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pisrep
+
+int main() { return pisrep::main_impl(); }

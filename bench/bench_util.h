@@ -1,0 +1,29 @@
+#ifndef PISREP_BENCH_BENCH_UTIL_H_
+#define PISREP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace pisrep::bench {
+
+/// Prints a section banner for a reproduced table/figure.
+inline void Banner(const std::string& experiment,
+                   const std::string& paper_ref) {
+  std::printf("\n");
+  std::printf("============================================================"
+              "====================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper reference: %s\n", paper_ref.c_str());
+  std::printf("============================================================"
+              "====================\n");
+}
+
+/// Prints a horizontal rule matching the typical table width.
+inline void Rule() {
+  std::printf("---------------------------------------------------------"
+              "-----------------------\n");
+}
+
+}  // namespace pisrep::bench
+
+#endif  // PISREP_BENCH_BENCH_UTIL_H_

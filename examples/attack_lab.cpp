@@ -1,0 +1,162 @@
+// Attack lab: the §2.1 abuse scenarios run against a live server, with the
+// defenses visibly doing their job.
+//
+//   1. vote flooding + the one-vote rule,
+//   2. Sybil registration vs source limits and client puzzles,
+//   3. collusive trust inflation vs the weekly growth cap.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/reputation_server.h"
+#include "sim/attacks.h"
+#include "storage/database.h"
+#include "util/sha1.h"
+
+using namespace pisrep;
+
+namespace {
+
+core::SoftwareMeta Target() {
+  core::SoftwareMeta meta;
+  meta.id = util::Sha1::Hash("attack-lab-target");
+  meta.file_name = "search_enhancer.exe";
+  meta.file_size = 250000;
+  meta.company = "ShadyWare Inc";
+  meta.version = "1.3";
+  return meta;
+}
+
+std::unique_ptr<server::ReputationServer> MakeServer(
+    storage::Database* db, net::EventLoop* loop, int puzzle_bits,
+    int regs_per_source) {
+  server::ReputationServer::Config config;
+  config.flood.registration_puzzle_bits = puzzle_bits;
+  config.flood.max_registrations_per_source_per_day = regs_per_source;
+  config.flood.max_votes_per_user_per_day = 20;
+  return std::make_unique<server::ReputationServer>(db, loop, config);
+}
+
+void SeedHonestCommunity(server::ReputationServer& server) {
+  util::TimePoint now = 8 * util::kWeek;
+  for (int i = 0; i < 25; ++i) {
+    std::string name = "citizen" + std::to_string(i);
+    std::string email = name + "@example.com";
+    server::Puzzle puzzle = server.RequestPuzzle();
+    server.Register("home-" + name, name, "password", email, puzzle.nonce,
+                    server::FloodGuard::SolvePuzzle(puzzle), 0);
+    auto mail = server.FetchMail(email);
+    server.Activate(name, mail->token);
+    std::string session = *server.Login(name, "password", now);
+    core::UserId id = server.accounts().GetAccountByUsername(name)->id;
+    for (int r = 0; r < 40; ++r) server.accounts().ApplyRemark(id, true, now);
+    server.SubmitRating(session, Target(), 2,
+                        "helpful: resets the search engine constantly",
+                        static_cast<core::BehaviorSet>(
+                            core::Behavior::kChangesSettings),
+                        now);
+  }
+  server.aggregation().RunOnce(now);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("pisrep attack lab (paper section 2.1)\n");
+  std::printf("target: %s by %s — honestly rated ~2/10 by 25 users\n",
+              Target().file_name.c_str(), Target().company.c_str());
+
+  // --- 1. Vote flooding against a defended server. ------------------------
+  {
+    std::printf("\n[1] vote flooding (defenses: 12-bit puzzles, 3 "
+                "registrations/source/day)\n");
+    auto db = storage::Database::Open("").value();
+    net::EventLoop loop;
+    auto server = MakeServer(db.get(), &loop, 12, 3);
+    SeedHonestCommunity(*server);
+    double before =
+        server->registry().GetScore(Target().id)->score;
+
+    std::vector<std::string> sessions;
+    util::TimePoint now = 8 * util::kWeek;
+    sim::AttackStats sybil = sim::Attacks::CreateSybilAccounts(
+        *server, 100, /*num_sources=*/2, now, &sessions);
+    sim::AttackStats flood =
+        sim::Attacks::FloodVotes(*server, sessions, Target(), 10, now);
+    sim::AttackStats revote =
+        sim::Attacks::FloodVotes(*server, sessions, Target(), 10, now);
+    server->aggregation().RunOnce(now + util::kDay);
+    double after = server->registry().GetScore(Target().id)->score;
+
+    std::printf("    accounts: %d attempted, %d created, %d rejected\n",
+                sybil.accounts_attempted, sybil.accounts_created,
+                sybil.accounts_rejected);
+    std::printf("    puzzle work burned: %llu hashes\n",
+                static_cast<unsigned long long>(sybil.puzzle_hashes));
+    std::printf("    votes: %d accepted; re-vote wave: %d accepted, %d "
+                "rejected (one-vote rule)\n",
+                flood.votes_accepted, revote.votes_accepted,
+                revote.votes_rejected);
+    std::printf("    score: %.2f -> %.2f (trust weighting keeps fresh "
+                "accounts at weight 1)\n",
+                before, after);
+  }
+
+  // --- 2. The same attack, undefended. --------------------------------------
+  {
+    std::printf("\n[2] the same flood with defenses disabled\n");
+    auto db = storage::Database::Open("").value();
+    net::EventLoop loop;
+    auto server = MakeServer(db.get(), &loop, 0, 0);
+    SeedHonestCommunity(*server);
+    double before = server->registry().GetScore(Target().id)->score;
+
+    std::vector<std::string> sessions;
+    util::TimePoint now = 8 * util::kWeek;
+    sim::AttackStats sybil = sim::Attacks::CreateSybilAccounts(
+        *server, 500, 2, now, &sessions);
+    sim::Attacks::FloodVotes(*server, sessions, Target(), 10, now);
+    server->aggregation().RunOnce(now + util::kDay);
+    double after = server->registry().GetScore(Target().id)->score;
+    std::printf("    accounts created: %d (free)\n", sybil.accounts_created);
+    std::printf("    score: %.2f -> %.2f — this is why the paper insists on "
+                "registration friction\n",
+                before, after);
+  }
+
+  // --- 3. Collusive trust inflation vs the growth cap. ------------------------
+  {
+    std::printf("\n[3] collusion ring inflating trust factors\n");
+    auto db = storage::Database::Open("").value();
+    net::EventLoop loop;
+    auto server = MakeServer(db.get(), &loop, 0, 0);
+
+    util::TimePoint now = 0;  // ring joins today
+    std::vector<std::string> sessions;
+    std::vector<core::UserId> members;
+    sim::Attacks::CreateSybilAccounts(*server, 8, 8, now, &sessions);
+    for (int i = 0; i < 8; ++i) {
+      members.push_back(
+          server->accounts().GetAccountByUsername(
+                  "sybil_0000" + std::to_string(i))
+              ->id);
+    }
+    sim::Attacks::FloodVotes(*server, sessions, Target(), 10, now);
+    sim::AttackStats ring = sim::Attacks::CollusiveTrustInflation(
+        *server, sessions, members, Target().id, now);
+    std::printf("    %d mutual positive remarks accepted, %d rejected "
+                "(one remark per comment)\n",
+                ring.remarks_accepted, ring.remarks_rejected);
+    double max_trust = 0;
+    for (core::UserId id : members) {
+      max_trust = std::max(max_trust, server->accounts().TrustFactor(id));
+    }
+    std::printf("    highest trust in the ring after the blitz: %.1f "
+                "(week-1 ceiling is %.0f; reaching 100 takes 20 weeks of "
+                "sustained praise)\n",
+                max_trust, core::kMaxTrustGrowthPerWeek);
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Policy manager: the §4.2 improvement in action.
+//
+// A corporate administrator builds an execution policy on top of the
+// reputation data: software signed by trusted vendors runs, software rated
+// above 7.5/10 with no advertising behaviours runs, everything else is
+// denied — no user prompts at all (CorporateLockdown denies; PaperDefault
+// asks). We push a small catalogue of files through both policies and
+// print the decision matrix.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/policy.h"
+
+using namespace pisrep;
+
+namespace {
+
+struct CatalogEntry {
+  const char* description;
+  core::PolicyInput input;
+};
+
+void Evaluate(const core::Policy& policy,
+              const std::vector<CatalogEntry>& catalog) {
+  std::printf("\npolicy: %s (default action: %s)\n", policy.name().c_str(),
+              core::PolicyActionName(policy.default_action()));
+  std::printf("  %-52s | %-6s | rule\n", "software", "action");
+  std::printf("  ----------------------------------------------------+--------"
+              "+---------------------\n");
+  for (const CatalogEntry& entry : catalog) {
+    std::string rule;
+    core::PolicyAction action = policy.Evaluate(entry.input, &rule);
+    std::printf("  %-52s | %-6s | %s\n", entry.description,
+                core::PolicyActionName(action), rule.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("pisrep policy manager example (paper section 4.2)\n");
+
+  // Build the catalogue of pending executions as the policy engine sees
+  // them: signature status + reputation data + reported behaviours.
+  std::vector<CatalogEntry> catalog;
+
+  {
+    core::PolicyInput input;
+    input.has_valid_signature = true;
+    input.vendor_trusted = true;
+    input.has_company_name = true;
+    catalog.push_back({"office suite, valid signature from trusted vendor",
+                       input});
+  }
+  {
+    core::PolicyInput input;
+    input.has_company_name = true;
+    input.rating = 8.7;
+    input.vote_count = 120;
+    catalog.push_back({"popular open-source tool, rated 8.7 by 120 users",
+                       input});
+  }
+  {
+    core::PolicyInput input;
+    input.has_company_name = true;
+    input.rating = 8.9;
+    input.vote_count = 45;
+    input.reported_behaviors =
+        static_cast<core::BehaviorSet>(core::Behavior::kShowsAds);
+    catalog.push_back({"well-liked freeware that shows ads (rated 8.9)",
+                       input});
+  }
+  {
+    core::PolicyInput input;
+    input.has_company_name = true;
+    input.rating = 2.1;
+    input.vote_count = 60;
+    input.reported_behaviors =
+        static_cast<core::BehaviorSet>(core::Behavior::kTracksUsage) |
+        static_cast<core::BehaviorSet>(core::Behavior::kNoUninstall);
+    catalog.push_back({"browser toolbar rated 2.1, tracks usage", input});
+  }
+  {
+    core::PolicyInput input;
+    input.has_company_name = false;  // §3.3: a PIS signal in itself
+    catalog.push_back({"unknown binary with no company name, unrated",
+                       input});
+  }
+  {
+    core::PolicyInput input;
+    input.vendor_blocked = true;
+    input.has_valid_signature = true;
+    input.has_company_name = true;
+    input.rating = 9.5;
+    input.vote_count = 300;
+    catalog.push_back({"highly-rated software from a blocked vendor",
+                       input});
+  }
+  {
+    core::PolicyInput input;
+    input.on_whitelist = true;
+    catalog.push_back({"anything already on the local whitelist", input});
+  }
+
+  Evaluate(core::Policy::PaperDefault(), catalog);
+  Evaluate(core::Policy::CorporateLockdown(), catalog);
+
+  // A custom policy: §4.2 lets organisations compose their own rules — for
+  // example "allow trusted signatures; deny anything that registers itself
+  // at startup; ask otherwise".
+  core::Policy custom("no-startup-programs");
+  {
+    core::PolicyRule trusted;
+    trusted.name = "trusted-signature";
+    trusted.action = core::PolicyAction::kAllow;
+    trusted.require_valid_signature = true;
+    trusted.require_vendor_trusted = true;
+    custom.AddRule(trusted);
+    core::PolicyRule no_startup;
+    no_startup.name = "deny-startup-registration";
+    no_startup.action = core::PolicyAction::kDeny;
+    no_startup.required_behaviors =
+        static_cast<core::BehaviorSet>(core::Behavior::kStartupRegistration);
+    custom.AddRule(no_startup);
+    custom.set_default_action(core::PolicyAction::kAsk);
+  }
+  {
+    core::PolicyInput input;
+    input.has_company_name = true;
+    input.rating = 7.0;
+    input.vote_count = 30;
+    input.reported_behaviors = static_cast<core::BehaviorSet>(
+        core::Behavior::kStartupRegistration);
+    catalog.push_back({"decent tool that insists on starting at boot",
+                       input});
+  }
+  Evaluate(custom, catalog);
+  return 0;
+}

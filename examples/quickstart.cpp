@@ -1,0 +1,125 @@
+// Quickstart: the smallest complete pisrep deployment.
+//
+// One reputation server, two clients on a simulated network, and one
+// executable file. Alice rates the program; Bob's execution hook then
+// shows him her rating before the program is allowed to run — the paper's
+// core loop (§1, §3).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "client/client_app.h"
+#include "client/file_image.h"
+#include "client/prompt_render.h"
+#include "net/event_loop.h"
+#include "net/network.h"
+#include "server/reputation_server.h"
+#include "storage/database.h"
+
+using namespace pisrep;  // example code; library code never does this
+
+int main() {
+  // --- 1. Infrastructure: event loop, network, database, server. --------
+  net::EventLoop loop;
+  net::SimNetwork network(&loop, net::NetworkConfig{});
+  auto db = storage::Database::Open("").value();  // in-memory; pass a path
+                                                  // for WAL durability
+  server::ReputationServer::Config server_config;
+  server_config.flood.registration_puzzle_bits = 8;  // small but real
+  server::ReputationServer server(db.get(), &loop, server_config);
+  server.AttachRpc(&network, "reputation-server");
+
+  // --- 2. Two clients. ---------------------------------------------------
+  auto make_client = [&](const std::string& name) {
+    client::ClientApp::Config config;
+    config.address = name;
+    config.server_address = "reputation-server";
+    config.username = name;
+    config.password = "secret-" + name;
+    config.email = name + "@example.com";
+    return std::make_unique<client::ClientApp>(&network, &loop, config);
+  };
+  auto alice = make_client("alice");
+  auto bob = make_client("bob");
+  alice->Start();
+  bob->Start();
+
+  // Register -> activation e-mail -> activate -> login, over the XML RPC.
+  auto onboard = [&](client::ClientApp& app) {
+    app.Register([&](util::Status status) {
+      if (!status.ok()) {
+        std::printf("registration failed: %s\n", status.ToString().c_str());
+        return;
+      }
+      auto mail = server.FetchMail(app.config().email);
+      app.Activate(mail->token, [&](util::Status) {
+        app.Login([&app](util::Status login) {
+          std::printf("[%s] logged in: %s\n", app.config().username.c_str(),
+                      login.ToString().c_str());
+        });
+      });
+    });
+  };
+  onboard(*alice);
+  onboard(*bob);
+  loop.RunUntil(loop.Now() + util::kMinute);
+
+  // --- 3. The program in question. ----------------------------------------
+  client::FileImage freeware("super_screensaver.exe",
+                             "\x4d\x5a binary bytes of the screensaver",
+                             "AdCorp Ltd", "2.0");
+  std::printf("\nprogram: %s  (SHA-1 %s)\n", freeware.file_name().c_str(),
+              freeware.Digest().ToHex().substr(0, 16).c_str());
+
+  // --- 4. Alice rates it (she has used it for weeks). ----------------------
+  client::RatingSubmission rating;
+  rating.score = 3;
+  rating.comment = "pretty, but it pops up ads and has no uninstaller";
+  rating.behaviors =
+      static_cast<core::BehaviorSet>(core::Behavior::kPopupAds) |
+      static_cast<core::BehaviorSet>(core::Behavior::kNoUninstall);
+  alice->SubmitRating(freeware.Meta(), rating, [](util::Status status) {
+    std::printf("[alice] rating submitted: %s\n",
+                status.ToString().c_str());
+  });
+  loop.RunUntil(loop.Now() + util::kMinute);
+
+  // The server recomputes scores once per 24h (§3.2); jump to the next run.
+  loop.RunUntil(util::kDay + util::kMinute);
+
+  // --- 5. Bob tries to run it; the hook pauses and asks him. ----------------
+  bob->SetPromptHandler([](const client::PromptInfo& info,
+                           std::function<void(client::UserDecision)> done) {
+    // The §3.1 dialog, rendered exactly as the GUI client would show it.
+    std::printf("\n%s", client::PromptRenderer().Render(info).c_str());
+    bool allow = info.score.has_value() && info.score->score >= 5.0;
+    std::printf("[bob] -> %s (remembered on %s)\n", allow ? "ALLOW" : "DENY",
+                allow ? "whitelist" : "blacklist");
+    done(client::UserDecision{allow, /*remember=*/true});
+  });
+
+  bob->interceptor().OnExecutionRequest(
+      freeware, [](client::ExecDecision decision) {
+        std::printf("[hook] final decision: %s\n",
+                    decision == client::ExecDecision::kAllow ? "allow"
+                                                             : "deny");
+      });
+  loop.RunUntil(loop.Now() + util::kMinute);
+
+  // --- 6. Second launch: the blacklist answers instantly, no prompt. --------
+  bob->interceptor().OnExecutionRequest(
+      freeware, [](client::ExecDecision decision) {
+        std::printf("[hook] second launch, from the blacklist: %s\n",
+                    decision == client::ExecDecision::kAllow ? "allow"
+                                                             : "deny");
+      });
+  loop.RunUntil(loop.Now() + util::kMinute);
+
+  std::printf("\nserver stats: %llu queries, %llu votes accepted\n",
+              static_cast<unsigned long long>(server.stats().queries),
+              static_cast<unsigned long long>(
+                  server.stats().votes_accepted));
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "client/file_image.h"
+
+#include <utility>
+
+namespace pisrep::client {
+
+FileImage::FileImage(std::string file_name, std::string content,
+                     std::string company, std::string version)
+    : file_name_(std::move(file_name)),
+      content_(std::move(content)),
+      company_(std::move(company)),
+      version_(std::move(version)) {}
+
+void FileImage::Sign(std::string_view vendor, const crypto::PrivateKey& key) {
+  signature_ = SignatureBlock{std::string(vendor),
+                              crypto::Sign(key, content_)};
+}
+
+const core::SoftwareId& FileImage::Digest() const {
+  if (!digest_cache_.has_value()) {
+    digest_cache_ = util::Sha1::Hash(content_);
+  }
+  return *digest_cache_;
+}
+
+core::SoftwareMeta FileImage::Meta() const {
+  core::SoftwareMeta meta;
+  meta.id = Digest();
+  meta.file_name = file_name_;
+  meta.file_size = file_size();
+  meta.company = company_;
+  meta.version = version_;
+  return meta;
+}
+
+FileImage FileImage::Repack(std::string_view salt) const {
+  FileImage copy(file_name_, content_ + std::string(salt), company_,
+                 version_);
+  return copy;
+}
+
+}  // namespace pisrep::client

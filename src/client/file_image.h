@@ -1,0 +1,73 @@
+#ifndef PISREP_CLIENT_FILE_IMAGE_H_
+#define PISREP_CLIENT_FILE_IMAGE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/types.h"
+#include "crypto/signing.h"
+
+namespace pisrep::client {
+
+/// An embedded digital signature: the signing vendor's name plus a
+/// signature over the file content (stand-in for Authenticode, §4.2).
+struct SignatureBlock {
+  std::string vendor;
+  crypto::Signature signature = 0;
+
+  friend bool operator==(const SignatureBlock&,
+                         const SignatureBlock&) = default;
+};
+
+/// A simulated executable file: content bytes plus the metadata a real PE
+/// file would embed (company name and version — which, per §3.3, dishonest
+/// vendors may simply omit).
+class FileImage {
+ public:
+  FileImage() = default;
+  FileImage(std::string file_name, std::string content, std::string company,
+            std::string version);
+
+  const std::string& file_name() const { return file_name_; }
+  const std::string& content() const { return content_; }
+  const std::string& company() const { return company_; }
+  const std::string& version() const { return version_; }
+  std::int64_t file_size() const {
+    return static_cast<std::int64_t>(content_.size());
+  }
+
+  const std::optional<SignatureBlock>& signature() const {
+    return signature_;
+  }
+
+  /// Attaches a signature over the current content.
+  void Sign(std::string_view vendor, const crypto::PrivateKey& key);
+
+  /// The SHA-1 content digest — the software's identity in the reputation
+  /// system (§3.3). Computed lazily and cached; mutating content through
+  /// Repack invalidates it.
+  const core::SoftwareId& Digest() const;
+
+  /// The §3.3 metadata record for this file.
+  core::SoftwareMeta Meta() const;
+
+  /// Produces a content-perturbed variant of this image (appends `salt` to
+  /// the content). This is the §3.3 polymorphic-vendor evasion: "make each
+  /// instance of their software applications differ slightly ... so that
+  /// each one has its own distinct hash value." Signatures do not carry
+  /// over (the content changed).
+  FileImage Repack(std::string_view salt) const;
+
+ private:
+  std::string file_name_;
+  std::string content_;
+  std::string company_;
+  std::string version_;
+  std::optional<SignatureBlock> signature_;
+  mutable std::optional<core::SoftwareId> digest_cache_;
+};
+
+}  // namespace pisrep::client
+
+#endif  // PISREP_CLIENT_FILE_IMAGE_H_

@@ -1,0 +1,25 @@
+#include "client/interceptor.h"
+
+#include <utility>
+
+namespace pisrep::client {
+
+void ExecutionInterceptor::OnExecutionRequest(const FileImage& image,
+                                              DecisionCallback done) {
+  ++intercepted_;
+  auto counted_done = [this, done = std::move(done)](ExecDecision decision) {
+    if (decision == ExecDecision::kAllow) {
+      ++allowed_;
+    } else {
+      ++denied_;
+    }
+    done(decision);
+  };
+  if (!handler_) {
+    counted_done(ExecDecision::kAllow);
+    return;
+  }
+  handler_(image, std::move(counted_done));
+}
+
+}  // namespace pisrep::client

@@ -1,0 +1,51 @@
+#ifndef PISREP_CLIENT_INTERCEPTOR_H_
+#define PISREP_CLIENT_INTERCEPTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "client/file_image.h"
+
+namespace pisrep::client {
+
+/// Verdict for a pending execution.
+enum class ExecDecision : std::uint8_t { kAllow = 0, kDeny = 1 };
+
+/// Completion callback for an intercepted execution; invoked exactly once.
+using DecisionCallback = std::function<void(ExecDecision)>;
+
+/// The execution-hook abstraction. In the paper's proof-of-concept this is
+/// a Windows kernel driver replacing NtCreateSection (§3.1); here it is the
+/// seam between the simulated OS (which reports pending executions) and the
+/// reputation client (which decides). The simulated OS blocks the program
+/// until the callback fires — exactly like the real hook parks the
+/// execution call.
+class ExecutionInterceptor {
+ public:
+  /// The decision pipeline installed by the client application.
+  using DecisionHandler =
+      std::function<void(const FileImage&, DecisionCallback)>;
+
+  ExecutionInterceptor() = default;
+
+  /// Installs the handler. Without one, everything is allowed (hook absent
+  /// = unfiltered machine).
+  void SetHandler(DecisionHandler handler) { handler_ = std::move(handler); }
+
+  /// Entry point called by the simulated OS for every execution attempt.
+  void OnExecutionRequest(const FileImage& image, DecisionCallback done);
+
+  std::uint64_t intercepted() const { return intercepted_; }
+  std::uint64_t allowed() const { return allowed_; }
+  std::uint64_t denied() const { return denied_; }
+
+ private:
+  DecisionHandler handler_;
+  std::uint64_t intercepted_ = 0;
+  std::uint64_t allowed_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+}  // namespace pisrep::client
+
+#endif  // PISREP_CLIENT_INTERCEPTOR_H_

@@ -1,0 +1,52 @@
+#ifndef PISREP_CLIENT_SAFETY_LISTS_H_
+#define PISREP_CLIENT_SAFETY_LISTS_H_
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "core/types.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pisrep::client {
+
+/// The client's white and black lists (§3.1): "different lists to keep
+/// track of which software have been marked as safe (the white list) and
+/// which have been marked as unsafe (the black list)", keyed by the
+/// executable's content digest. They short-circuit the decision pipeline so
+/// the user is not asked about the same binary twice.
+///
+/// When constructed with a database, the lists are persisted in a
+/// `safety_lists` table and survive client restarts.
+class SafetyLists {
+ public:
+  /// In-memory lists.
+  SafetyLists() : db_(nullptr), table_(nullptr) {}
+
+  /// Persistent lists backed by the client-local database.
+  explicit SafetyLists(storage::Database* db);
+
+  util::Status AddToWhitelist(const core::SoftwareId& id);
+  util::Status AddToBlacklist(const core::SoftwareId& id);
+
+  /// Removing clears the id from both lists.
+  util::Status Remove(const core::SoftwareId& id);
+
+  bool IsWhitelisted(const core::SoftwareId& id) const;
+  bool IsBlacklisted(const core::SoftwareId& id) const;
+
+  std::size_t whitelist_size() const { return whitelist_.size(); }
+  std::size_t blacklist_size() const { return blacklist_.size(); }
+
+ private:
+  util::Status Persist(const core::SoftwareId& id, int list);
+
+  storage::Database* db_;
+  storage::Table* table_;
+  std::unordered_set<core::SoftwareId, core::SoftwareIdHash> whitelist_;
+  std::unordered_set<core::SoftwareId, core::SoftwareIdHash> blacklist_;
+};
+
+}  // namespace pisrep::client
+
+#endif  // PISREP_CLIENT_SAFETY_LISTS_H_

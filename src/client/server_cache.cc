@@ -1,0 +1,29 @@
+#include "client/server_cache.h"
+
+#include <utility>
+
+namespace pisrep::client {
+
+std::optional<server::SoftwareInfo> ServerCache::Get(
+    const core::SoftwareId& id, util::TimePoint now) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || now - it->second.stored_at > ttl_) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second.info;
+}
+
+void ServerCache::Put(const core::SoftwareId& id, server::SoftwareInfo info,
+                      util::TimePoint now) {
+  entries_[id] = Entry{std::move(info), now};
+}
+
+void ServerCache::Invalidate(const core::SoftwareId& id) {
+  entries_.erase(id);
+}
+
+void ServerCache::Clear() { entries_.clear(); }
+
+}  // namespace pisrep::client

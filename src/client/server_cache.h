@@ -1,0 +1,52 @@
+#ifndef PISREP_CLIENT_SERVER_CACHE_H_
+#define PISREP_CLIENT_SERVER_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/types.h"
+#include "server/reputation_server.h"
+#include "util/clock.h"
+
+namespace pisrep::client {
+
+/// Client-side TTL cache of server query results, so that repeatedly
+/// executing the same program does not hit the server every time. Scores
+/// only change at the daily aggregation anyway, so a generous TTL loses
+/// little freshness.
+class ServerCache {
+ public:
+  explicit ServerCache(util::Duration ttl = util::kHour) : ttl_(ttl) {}
+
+  /// A fresh cached entry, or nullopt.
+  std::optional<server::SoftwareInfo> Get(const core::SoftwareId& id,
+                                          util::TimePoint now) const;
+
+  void Put(const core::SoftwareId& id, server::SoftwareInfo info,
+           util::TimePoint now);
+
+  /// Drops one entry (after the local user rates, to refetch fresh data).
+  void Invalidate(const core::SoftwareId& id);
+
+  void Clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    server::SoftwareInfo info;
+    util::TimePoint stored_at = 0;
+  };
+
+  util::Duration ttl_;
+  std::unordered_map<core::SoftwareId, Entry, core::SoftwareIdHash> entries_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+};
+
+}  // namespace pisrep::client
+
+#endif  // PISREP_CLIENT_SERVER_CACHE_H_

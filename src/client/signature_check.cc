@@ -1,0 +1,30 @@
+#include "client/signature_check.h"
+
+namespace pisrep::client {
+
+SignatureCheckResult SignatureChecker::Check(const FileImage& image) const {
+  SignatureCheckResult result;
+  if (!image.signature().has_value()) return result;
+  result.has_signature = true;
+
+  const SignatureBlock& block = *image.signature();
+  result.valid = store_->VerifySignature(block.vendor, image.content(),
+                                         block.signature);
+  if (!result.valid) return result;
+
+  // Trust decisions only apply to signatures that actually verify; an
+  // invalid signature naming a trusted vendor is worthless.
+  switch (store_->GetTrust(block.vendor)) {
+    case crypto::TrustStore::VendorTrust::kTrusted:
+      result.vendor_trusted = true;
+      break;
+    case crypto::TrustStore::VendorTrust::kBlocked:
+      result.vendor_blocked = true;
+      break;
+    case crypto::TrustStore::VendorTrust::kUnknown:
+      break;
+  }
+  return result;
+}
+
+}  // namespace pisrep::client

@@ -1,0 +1,34 @@
+#ifndef PISREP_CLIENT_SIGNATURE_CHECK_H_
+#define PISREP_CLIENT_SIGNATURE_CHECK_H_
+
+#include "client/file_image.h"
+#include "crypto/trust_store.h"
+
+namespace pisrep::client {
+
+/// Result of examining a pending executable's digital signature (§4.2:
+/// "examine the file about to execute, to determine if it has been
+/// digitally signed by a trusted vendor").
+struct SignatureCheckResult {
+  bool has_signature = false;   ///< a signature block is present
+  bool valid = false;           ///< it verifies against a known certificate
+  bool vendor_trusted = false;  ///< the signing vendor is explicitly trusted
+  bool vendor_blocked = false;  ///< the signing vendor is explicitly blocked
+};
+
+/// Verifies file signatures against the client's local trust store.
+class SignatureChecker {
+ public:
+  /// The trust store must outlive the checker.
+  explicit SignatureChecker(const crypto::TrustStore* store)
+      : store_(store) {}
+
+  SignatureCheckResult Check(const FileImage& image) const;
+
+ private:
+  const crypto::TrustStore* store_;
+};
+
+}  // namespace pisrep::client
+
+#endif  // PISREP_CLIENT_SIGNATURE_CHECK_H_

@@ -1,0 +1,105 @@
+#include "core/behavior.h"
+
+#include "util/string_util.h"
+
+namespace pisrep::core {
+
+const std::vector<Behavior>& AllBehaviors() {
+  static const std::vector<Behavior>& all = *new std::vector<Behavior>{
+      Behavior::kShowsAds,
+      Behavior::kPopupAds,
+      Behavior::kTracksUsage,
+      Behavior::kSendsPersonalData,
+      Behavior::kStartupRegistration,
+      Behavior::kNoUninstall,
+      Behavior::kBundlesSoftware,
+      Behavior::kChangesSettings,
+      Behavior::kDialsPremium,
+      Behavior::kKeylogging,
+      Behavior::kDegradesPerformance,
+  };
+  return all;
+}
+
+const char* BehaviorName(Behavior b) {
+  switch (b) {
+    case Behavior::kShowsAds:
+      return "shows_ads";
+    case Behavior::kPopupAds:
+      return "popup_ads";
+    case Behavior::kTracksUsage:
+      return "tracks_usage";
+    case Behavior::kSendsPersonalData:
+      return "sends_personal_data";
+    case Behavior::kStartupRegistration:
+      return "startup_registration";
+    case Behavior::kNoUninstall:
+      return "no_uninstall";
+    case Behavior::kBundlesSoftware:
+      return "bundles_software";
+    case Behavior::kChangesSettings:
+      return "changes_settings";
+    case Behavior::kDialsPremium:
+      return "dials_premium";
+    case Behavior::kKeylogging:
+      return "keylogging";
+    case Behavior::kDegradesPerformance:
+      return "degrades_performance";
+  }
+  return "?";
+}
+
+util::Result<Behavior> BehaviorFromName(std::string_view name) {
+  for (Behavior b : AllBehaviors()) {
+    if (name == BehaviorName(b)) return b;
+  }
+  return util::Status::InvalidArgument("unknown behavior: " +
+                                       std::string(name));
+}
+
+std::string BehaviorSetToString(BehaviorSet set) {
+  std::vector<std::string> names;
+  for (Behavior b : AllBehaviors()) {
+    if (HasBehavior(set, b)) names.emplace_back(BehaviorName(b));
+  }
+  return util::Join(names, ",");
+}
+
+util::Result<BehaviorSet> BehaviorSetFromString(std::string_view s) {
+  BehaviorSet set = kNoBehaviors;
+  if (util::Trim(s).empty()) return set;
+  for (const std::string& token : util::Split(s, ',')) {
+    PISREP_ASSIGN_OR_RETURN(Behavior b, BehaviorFromName(util::Trim(token)));
+    set = WithBehavior(set, b);
+  }
+  return set;
+}
+
+ConsequenceLevel AssessConsequence(BehaviorSet behaviors) {
+  constexpr BehaviorSet kSevereMask =
+      static_cast<BehaviorSet>(Behavior::kSendsPersonalData) |
+      static_cast<BehaviorSet>(Behavior::kDialsPremium) |
+      static_cast<BehaviorSet>(Behavior::kKeylogging);
+  constexpr BehaviorSet kModerateMask =
+      static_cast<BehaviorSet>(Behavior::kPopupAds) |
+      static_cast<BehaviorSet>(Behavior::kTracksUsage) |
+      static_cast<BehaviorSet>(Behavior::kNoUninstall) |
+      static_cast<BehaviorSet>(Behavior::kChangesSettings) |
+      static_cast<BehaviorSet>(Behavior::kBundlesSoftware) |
+      static_cast<BehaviorSet>(Behavior::kDegradesPerformance);
+  if ((behaviors & kSevereMask) != 0) return ConsequenceLevel::kSevere;
+  if ((behaviors & kModerateMask) != 0) return ConsequenceLevel::kModerate;
+  return ConsequenceLevel::kTolerable;
+}
+
+ConsentLevel AssessConsent(const DisclosureProfile& disclosure) {
+  if (!disclosure.disclosed) return ConsentLevel::kLow;
+  // §1: EULAs "sometimes spanning well over 5000 words" that users cannot
+  // realistically digest give only medium consent.
+  if (disclosure.plain_language && disclosure.eula_word_count <= 2000) {
+    return ConsentLevel::kHigh;
+  }
+  return ConsentLevel::kMedium;
+}
+
+}  // namespace pisrep::core

@@ -1,0 +1,77 @@
+#ifndef PISREP_CORE_BEHAVIOR_H_
+#define PISREP_CORE_BEHAVIOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/classification.h"
+#include "util/status.h"
+
+namespace pisrep::core {
+
+/// Observable software behaviours that community comments report (§4.3: the
+/// reputation system "is able to cover more details... such as if the
+/// software displays ads, alter system settings, and so on"). Stored as a
+/// bitmask.
+enum class Behavior : std::uint32_t {
+  kShowsAds = 1u << 0,            ///< displays advertisements
+  kPopupAds = 1u << 1,            ///< shows pop-up/pop-under ads
+  kTracksUsage = 1u << 2,         ///< records usage patterns / visited sites
+  kSendsPersonalData = 1u << 3,   ///< transmits personal data off-host
+  kStartupRegistration = 1u << 4, ///< registers itself as a start-up program
+  kNoUninstall = 1u << 5,         ///< missing or broken uninstall routine
+  kBundlesSoftware = 1u << 6,     ///< installs bundled third-party programs
+  kChangesSettings = 1u << 7,     ///< alters browser / system settings
+  kDialsPremium = 1u << 8,        ///< premium-rate dialing / toll fraud
+  kKeylogging = 1u << 9,          ///< records keystrokes
+  kDegradesPerformance = 1u << 10,///< noticeable resource drain
+};
+
+/// A set of behaviours, as a bitmask of Behavior values.
+using BehaviorSet = std::uint32_t;
+
+inline constexpr BehaviorSet kNoBehaviors = 0;
+
+/// All defined behaviours, for iteration.
+const std::vector<Behavior>& AllBehaviors();
+
+/// Bit test / set helpers.
+constexpr bool HasBehavior(BehaviorSet set, Behavior b) {
+  return (set & static_cast<BehaviorSet>(b)) != 0;
+}
+constexpr BehaviorSet WithBehavior(BehaviorSet set, Behavior b) {
+  return set | static_cast<BehaviorSet>(b);
+}
+
+/// Canonical snake_case token ("shows_ads") used on the wire and in reports.
+const char* BehaviorName(Behavior b);
+/// Parses a BehaviorName token.
+util::Result<Behavior> BehaviorFromName(std::string_view name);
+
+/// Renders a set as comma-separated tokens ("shows_ads,no_uninstall").
+std::string BehaviorSetToString(BehaviorSet set);
+/// Parses BehaviorSetToString output; empty string → empty set.
+util::Result<BehaviorSet> BehaviorSetFromString(std::string_view s);
+
+/// Derives the Table-1 consequence column from ground-truth behaviours:
+/// data exfiltration / keylogging / toll fraud are severe; ad injection,
+/// broken uninstall, tracking and settings changes are moderate; the rest
+/// (or nothing) is tolerable.
+ConsequenceLevel AssessConsequence(BehaviorSet behaviors);
+
+/// How a software's EULA discloses its behaviours; determines the consent
+/// row (§1: users "agree" to 5000-word legal EULAs they never read).
+struct DisclosureProfile {
+  bool disclosed = false;        ///< behaviours mentioned at all
+  bool plain_language = false;   ///< presented clearly, not legalese
+  int eula_word_count = 0;       ///< length of the agreement
+};
+
+/// Derives the Table-1 consent row: undisclosed behaviours → low consent;
+/// disclosed but buried in long legalese → medium; clearly disclosed → high.
+ConsentLevel AssessConsent(const DisclosureProfile& disclosure);
+
+}  // namespace pisrep::core
+
+#endif  // PISREP_CORE_BEHAVIOR_H_

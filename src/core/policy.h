@@ -1,0 +1,118 @@
+#ifndef PISREP_CORE_POLICY_H_
+#define PISREP_CORE_POLICY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/behavior.h"
+#include "util/status.h"
+
+namespace pisrep::core {
+
+/// What the execution filter should do with a pending program.
+enum class PolicyAction : std::uint8_t { kAllow = 0, kDeny = 1, kAsk = 2 };
+
+const char* PolicyActionName(PolicyAction action);
+
+/// Everything the policy engine may condition on for a pending execution
+/// (§4.2: signature status, software and vendor rating, reported
+/// behaviours, list membership).
+struct PolicyInput {
+  bool on_whitelist = false;
+  bool on_blacklist = false;
+
+  bool has_valid_signature = false;  ///< verified against the trust store
+  bool vendor_trusted = false;       ///< signer explicitly trusted
+  bool vendor_blocked = false;       ///< signer explicitly blocked
+  bool has_company_name = false;     ///< §3.3: absence is a PIS signal
+
+  std::optional<double> rating;         ///< community score, absent if unrated
+  int vote_count = 0;
+  std::optional<double> vendor_rating;  ///< derived vendor score
+  /// Score from a subscribed expert feed (§4.2 subscriptions), if the feed
+  /// has assessed this binary.
+  std::optional<double> feed_rating;
+
+  /// Behaviours reported by the community *and* any subscribed feed.
+  BehaviorSet reported_behaviors = kNoBehaviors;
+};
+
+/// One rule: if all present conditions match the input, the rule fires with
+/// its action. Absent (nullopt / zero) conditions are ignored.
+struct PolicyRule {
+  std::string name;                 ///< for reports and traces
+  PolicyAction action = PolicyAction::kAsk;
+
+  /// Condition flags; each tri-state optional must equal the input if set.
+  std::optional<bool> require_whitelist;
+  std::optional<bool> require_blacklist;
+  std::optional<bool> require_valid_signature;
+  std::optional<bool> require_vendor_trusted;
+  std::optional<bool> require_vendor_blocked;
+  std::optional<bool> require_company_name;
+
+  /// Rating window [min_rating, max_rating]; either side optional. A rule
+  /// with a rating bound does not fire on unrated software.
+  std::optional<double> min_rating;
+  std::optional<double> max_rating;
+  int min_votes = 0;
+
+  /// Feed-score window; a rule with a feed bound does not fire when the
+  /// subscribed feed has no entry for the software.
+  std::optional<double> min_feed_rating;
+  std::optional<double> max_feed_rating;
+
+  /// The rule fires only when the input reports none of these behaviours.
+  BehaviorSet forbidden_behaviors = kNoBehaviors;
+  /// The rule fires only when the input reports all of these behaviours.
+  BehaviorSet required_behaviors = kNoBehaviors;
+
+  /// True when every condition matches `input`.
+  bool Matches(const PolicyInput& input) const;
+};
+
+/// An ordered rule list with a default action; the first matching rule wins.
+/// This is the §4.2 "software policy manager": corporations or users encode
+/// what may run — e.g. "anything signed by a trusted vendor; otherwise only
+/// software rated above 7.5 that shows no advertisements."
+class Policy {
+ public:
+  Policy() = default;
+  explicit Policy(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Policy& AddRule(PolicyRule rule);
+  void set_default_action(PolicyAction action) { default_action_ = action; }
+  PolicyAction default_action() const { return default_action_; }
+  const std::vector<PolicyRule>& rules() const { return rules_; }
+
+  /// Evaluates the rules in order; returns the first match's action and
+  /// reports which rule fired through `fired_rule` when non-null.
+  PolicyAction Evaluate(const PolicyInput& input,
+                        std::string* fired_rule = nullptr) const;
+
+  /// The baseline behaviour of the proof-of-concept client (§3.1): honor the
+  /// white/black lists, ask the user about everything else.
+  static Policy ListsOnly();
+
+  /// The paper's §4.2 example policy: whitelisted software runs; blacklisted
+  /// or blocked-vendor software never runs; software signed by a trusted
+  /// vendor runs; other software runs only with rating > 7.5/10 and no
+  /// advertisement behaviours; everything else asks the user.
+  static Policy PaperDefault();
+
+  /// A strict corporate policy: only whitelisted or trusted-signed software
+  /// runs, everything else is denied without asking.
+  static Policy CorporateLockdown();
+
+ private:
+  std::string name_;
+  std::vector<PolicyRule> rules_;
+  PolicyAction default_action_ = PolicyAction::kAsk;
+};
+
+}  // namespace pisrep::core
+
+#endif  // PISREP_CORE_POLICY_H_

@@ -1,0 +1,43 @@
+#include "core/prompt_policy.h"
+
+namespace pisrep::core {
+
+bool PromptScheduler::RecordExecution(const SoftwareId& software,
+                                      util::TimePoint now) {
+  std::int64_t count = ++exec_counts_[software];
+  if (rated_.contains(software)) return false;
+  // §3.1: "when the user has executed a specific software 50 times she will
+  // be asked to rate it the next time it is started" — i.e. strictly more
+  // than the threshold.
+  if (count <= config_.executions_before_prompt) return false;
+
+  std::int64_t week = util::WeekIndex(now);
+  if (week != prompts_week_) {
+    prompts_week_ = week;
+    prompts_this_week_ = 0;
+  }
+  if (prompts_this_week_ >= config_.max_prompts_per_week) return false;
+
+  ++prompts_this_week_;
+  return true;
+}
+
+void PromptScheduler::MarkRated(const SoftwareId& software) {
+  rated_.insert(software);
+}
+
+bool PromptScheduler::IsRated(const SoftwareId& software) const {
+  return rated_.contains(software);
+}
+
+std::int64_t PromptScheduler::ExecutionCount(
+    const SoftwareId& software) const {
+  auto it = exec_counts_.find(software);
+  return it == exec_counts_.end() ? 0 : it->second;
+}
+
+int PromptScheduler::PromptsIssuedThisWeek(util::TimePoint now) const {
+  return util::WeekIndex(now) == prompts_week_ ? prompts_this_week_ : 0;
+}
+
+}  // namespace pisrep::core

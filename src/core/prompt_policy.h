@@ -1,0 +1,56 @@
+#ifndef PISREP_CORE_PROMPT_POLICY_H_
+#define PISREP_CORE_PROMPT_POLICY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/types.h"
+#include "util/clock.h"
+
+namespace pisrep::core {
+
+/// §3.1 prompting thresholds: "The user is only asked to rate software which
+/// he has executed more than a predefined number of times, currently 50
+/// times... there is also a threshold on the number of software the user is
+/// asked to rate each week, currently two ratings per week."
+inline constexpr int kExecutionsBeforeRatingPrompt = 50;
+inline constexpr int kMaxRatingPromptsPerWeek = 2;
+
+/// Tracks per-software execution counts and decides when the client should
+/// interrupt the user with a rating request.
+class PromptScheduler {
+ public:
+  struct Config {
+    int executions_before_prompt = kExecutionsBeforeRatingPrompt;
+    int max_prompts_per_week = kMaxRatingPromptsPerWeek;
+  };
+
+  PromptScheduler() : config_(Config{}) {}
+  explicit PromptScheduler(Config config) : config_(config) {}
+
+  /// Records one execution of `software` at `now`. Returns true when the
+  /// client should ask the user to rate it at this start: the execution
+  /// count has passed the threshold, the software is not yet rated, and the
+  /// weekly prompt budget is not exhausted. A true return consumes one unit
+  /// of this week's budget (the caller is expected to show the prompt).
+  bool RecordExecution(const SoftwareId& software, util::TimePoint now);
+
+  /// Marks the software as rated; it will never prompt again.
+  void MarkRated(const SoftwareId& software);
+
+  bool IsRated(const SoftwareId& software) const;
+  std::int64_t ExecutionCount(const SoftwareId& software) const;
+  int PromptsIssuedThisWeek(util::TimePoint now) const;
+
+ private:
+  Config config_;
+  std::unordered_map<SoftwareId, std::int64_t, SoftwareIdHash> exec_counts_;
+  std::unordered_set<SoftwareId, SoftwareIdHash> rated_;
+  std::int64_t prompts_week_ = -1;  ///< week index of the counter below
+  int prompts_this_week_ = 0;
+};
+
+}  // namespace pisrep::core
+
+#endif  // PISREP_CORE_PROMPT_POLICY_H_

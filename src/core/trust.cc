@@ -1,0 +1,28 @@
+#include "core/trust.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pisrep::core {
+
+double TrustEngine::MaxTrustAt(util::TimePoint joined_at,
+                               util::TimePoint now) {
+  if (now < joined_at) return kMinTrust;
+  std::int64_t weeks = (now - joined_at) / util::kWeek + 1;
+  double ceiling = kMaxTrustGrowthPerWeek * static_cast<double>(weeks);
+  return std::min(kMaxTrust, std::max(kMinTrust, ceiling));
+}
+
+TrustState TrustEngine::NewMember(util::TimePoint now) {
+  return TrustState{kMinTrust, now};
+}
+
+double TrustEngine::ApplyDelta(TrustState& state, double delta,
+                               util::TimePoint now) {
+  double ceiling = MaxTrustAt(state.joined_at, now);
+  state.factor = std::clamp(state.factor + delta, kMinTrust, ceiling);
+  return state.factor;
+}
+
+}  // namespace pisrep::core

@@ -1,0 +1,63 @@
+#ifndef PISREP_CORE_TRUST_H_
+#define PISREP_CORE_TRUST_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace pisrep::core {
+
+/// Trust-factor bounds and growth schedule (§3.2): new users start at 1,
+/// trust is capped at 100, and may grow by at most 5 units per week of
+/// membership — "preventing any user from gaining a high trust factor and a
+/// high influence without proving themselves worthy of it over a relatively
+/// long period of time."
+inline constexpr double kMinTrust = 1.0;
+inline constexpr double kMaxTrust = 100.0;
+inline constexpr double kMaxTrustGrowthPerWeek = 5.0;
+
+/// Default trust deltas for meta-moderation remarks (§2.1/§3.2): another
+/// user marking a comment helpful raises the author's reliability profile;
+/// marking it nonsense lowers it. Negative remarks weigh double so that a
+/// reputation is easier to lose than to earn.
+inline constexpr double kPositiveRemarkDelta = 1.0;
+inline constexpr double kNegativeRemarkDelta = -2.0;
+
+/// A user's evolving reliability profile.
+struct TrustState {
+  double factor = kMinTrust;
+  util::TimePoint joined_at = 0;
+
+  friend bool operator==(const TrustState&, const TrustState&) = default;
+};
+
+/// Pure functions implementing the paper's trust-factor rules. The server's
+/// account manager owns the states; this engine owns the arithmetic.
+class TrustEngine {
+ public:
+  TrustEngine() = default;
+
+  /// The highest trust a member who joined at `joined_at` may hold at `now`:
+  /// min(100, 5 * weeks_of_membership), where the first week counts as one.
+  static double MaxTrustAt(util::TimePoint joined_at, util::TimePoint now);
+
+  /// Creates the state for a user joining at `now` (trust factor 1).
+  static TrustState NewMember(util::TimePoint now);
+
+  /// Applies a remark-driven adjustment, clamping to [1, 100] and to the
+  /// membership-age ceiling. Returns the new factor.
+  static double ApplyDelta(TrustState& state, double delta,
+                           util::TimePoint now);
+
+  /// Convenience wrappers for the two remark kinds.
+  static double ApplyPositiveRemark(TrustState& state, util::TimePoint now) {
+    return ApplyDelta(state, kPositiveRemarkDelta, now);
+  }
+  static double ApplyNegativeRemark(TrustState& state, util::TimePoint now) {
+    return ApplyDelta(state, kNegativeRemarkDelta, now);
+  }
+};
+
+}  // namespace pisrep::core
+
+#endif  // PISREP_CORE_TRUST_H_

@@ -1,0 +1,8 @@
+#include "core/types.h"
+
+namespace pisrep::core {
+
+// Header-only value types; this translation unit exists so the target always
+// has at least one object file and to anchor future out-of-line helpers.
+
+}  // namespace pisrep::core

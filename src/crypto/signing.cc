@@ -1,0 +1,160 @@
+#include "crypto/signing.h"
+
+#include <cstdlib>
+
+#include "util/sha256.h"
+#include "util/string_util.h"
+
+namespace pisrep::crypto {
+
+namespace internal_signing {
+
+namespace {
+
+std::uint64_t MulMod(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % m);
+}
+
+}  // namespace
+
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m) {
+  std::uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+bool IsPrime(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                          19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // These witnesses make Miller–Rabin deterministic for all 64-bit inputs.
+  for (std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                          19ull, 23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = PowMod(a % n, d, n);
+    if (x == 0 || x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = MulMod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+}  // namespace internal_signing
+
+namespace {
+
+using internal_signing::IsPrime;
+using internal_signing::PowMod;
+
+constexpr std::uint64_t kPublicExponent = 65537;
+
+/// Random prime p in [2^30, 2^31) with gcd(p-1, e) == 1.
+std::uint64_t RandomPrime(util::Rng& rng) {
+  for (;;) {
+    std::uint64_t candidate =
+        (1ull << 30) + rng.NextBelow(1ull << 30);
+    candidate |= 1;  // odd
+    if (!IsPrime(candidate)) continue;
+    if ((candidate - 1) % kPublicExponent == 0) continue;
+    return candidate;
+  }
+}
+
+std::uint64_t ExtendedGcdInverse(std::uint64_t a, std::uint64_t m) {
+  // Inverse of a modulo m via extended Euclid (a, m coprime).
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(m);
+  std::int64_t new_r = static_cast<std::int64_t>(a % m);
+  while (new_r != 0) {
+    std::int64_t q = r / new_r;
+    std::int64_t tmp_t = t - q * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    std::int64_t tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  if (t < 0) t += static_cast<std::int64_t>(m);
+  return static_cast<std::uint64_t>(t);
+}
+
+/// Maps a message to an integer below n via SHA-256.
+std::uint64_t DigestBelow(std::string_view message, std::uint64_t n) {
+  util::Sha256Digest d = util::Sha256::Hash(message);
+  std::uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | d.bytes[i];
+  return h % n;
+}
+
+}  // namespace
+
+std::string PublicKey::ToString() const {
+  return util::StrFormat("%016llx:%016llx",
+                         static_cast<unsigned long long>(n),
+                         static_cast<unsigned long long>(e));
+}
+
+util::Result<PublicKey> PublicKey::FromString(std::string_view s) {
+  auto parts = util::Split(s, ':');
+  if (parts.size() != 2 || parts[0].size() != 16 || parts[1].size() != 16) {
+    return util::Status::InvalidArgument("malformed public key: " +
+                                         std::string(s));
+  }
+  PublicKey key;
+  char* end = nullptr;
+  key.n = std::strtoull(parts[0].c_str(), &end, 16);
+  if (end != parts[0].c_str() + 16) {
+    return util::Status::InvalidArgument("malformed public key modulus");
+  }
+  key.e = std::strtoull(parts[1].c_str(), &end, 16);
+  if (end != parts[1].c_str() + 16) {
+    return util::Status::InvalidArgument("malformed public key exponent");
+  }
+  return key;
+}
+
+KeyPair GenerateKeyPair(util::Rng& rng) {
+  std::uint64_t p = RandomPrime(rng);
+  std::uint64_t q = RandomPrime(rng);
+  while (q == p) q = RandomPrime(rng);
+  std::uint64_t n = p * q;
+  std::uint64_t phi = (p - 1) * (q - 1);
+  std::uint64_t d = ExtendedGcdInverse(kPublicExponent % phi, phi);
+
+  KeyPair pair;
+  pair.public_key = PublicKey{n, kPublicExponent};
+  pair.private_key = PrivateKey{n, d};
+  return pair;
+}
+
+Signature Sign(const PrivateKey& key, std::string_view message) {
+  return PowMod(DigestBelow(message, key.n), key.d, key.n);
+}
+
+bool Verify(const PublicKey& key, std::string_view message,
+            Signature signature) {
+  if (key.n == 0) return false;
+  return PowMod(signature, key.e, key.n) == DigestBelow(message, key.n);
+}
+
+}  // namespace pisrep::crypto

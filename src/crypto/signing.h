@@ -1,0 +1,68 @@
+#ifndef PISREP_CRYPTO_SIGNING_H_
+#define PISREP_CRYPTO_SIGNING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pisrep::crypto {
+
+/// Public half of a signing key: RSA-style modulus and exponent.
+///
+/// §4.2 of the paper proposes white-listing software "digitally signed by a
+/// trusted vendor e.g., Microsoft or Adobe". Real Authenticode is out of
+/// scope, so pisrep implements a miniature textbook-RSA signature scheme
+/// (64-bit modulus, Miller–Rabin generated primes). It is cryptographically
+/// weak on purpose — the point is that verification requires only public
+/// information, which is the property the paper's design depends on.
+struct PublicKey {
+  std::uint64_t n = 0;  ///< modulus, product of two ~31-bit primes
+  std::uint64_t e = 0;  ///< public exponent (65537)
+
+  /// Canonical "n:e" hex rendering, usable as a map key.
+  std::string ToString() const;
+  /// Parses the ToString form.
+  static util::Result<PublicKey> FromString(std::string_view s);
+
+  friend bool operator==(const PublicKey&, const PublicKey&) = default;
+};
+
+/// Private half of a signing key. Never leaves the signer.
+struct PrivateKey {
+  std::uint64_t n = 0;
+  std::uint64_t d = 0;  ///< private exponent
+};
+
+struct KeyPair {
+  PublicKey public_key;
+  PrivateKey private_key;
+};
+
+/// A signature over a message digest.
+using Signature = std::uint64_t;
+
+/// Generates a fresh key pair from the deterministic generator, so that
+/// simulated vendors have reproducible identities.
+KeyPair GenerateKeyPair(util::Rng& rng);
+
+/// Signs `message` with the private key (hash-then-sign over SHA-256).
+Signature Sign(const PrivateKey& key, std::string_view message);
+
+/// Verifies that `signature` was produced over `message` by the holder of
+/// the private key matching `key`.
+bool Verify(const PublicKey& key, std::string_view message,
+            Signature signature);
+
+namespace internal_signing {
+/// Modular exponentiation base^exp mod m (128-bit intermediate).
+std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+/// Miller–Rabin primality test, deterministic for 64-bit inputs.
+bool IsPrime(std::uint64_t n);
+}  // namespace internal_signing
+
+}  // namespace pisrep::crypto
+
+#endif  // PISREP_CRYPTO_SIGNING_H_

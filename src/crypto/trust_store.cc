@@ -1,0 +1,65 @@
+#include "crypto/trust_store.h"
+
+#include <algorithm>
+
+namespace pisrep::crypto {
+
+void TrustStore::AddCertificate(const Certificate& cert) {
+  certificates_[cert.vendor] = cert;
+}
+
+void TrustStore::TrustVendor(std::string_view vendor) {
+  trust_[std::string(vendor)] = VendorTrust::kTrusted;
+}
+
+void TrustStore::BlockVendor(std::string_view vendor) {
+  trust_[std::string(vendor)] = VendorTrust::kBlocked;
+}
+
+void TrustStore::ResetVendor(std::string_view vendor) {
+  trust_.erase(std::string(vendor));
+}
+
+TrustStore::VendorTrust TrustStore::GetTrust(std::string_view vendor) const {
+  auto it = trust_.find(std::string(vendor));
+  return it == trust_.end() ? VendorTrust::kUnknown : it->second;
+}
+
+util::Result<Certificate> TrustStore::FindCertificate(
+    std::string_view vendor) const {
+  auto it = certificates_.find(std::string(vendor));
+  if (it == certificates_.end()) {
+    return util::Status::NotFound("no certificate for vendor: " +
+                                  std::string(vendor));
+  }
+  return it->second;
+}
+
+util::Status TrustStore::RevokeCertificate(std::string_view vendor) {
+  auto it = certificates_.find(std::string(vendor));
+  if (it == certificates_.end()) {
+    return util::Status::NotFound("no certificate for vendor: " +
+                                  std::string(vendor));
+  }
+  it->second.revoked = true;
+  return util::Status::Ok();
+}
+
+bool TrustStore::VerifySignature(std::string_view vendor,
+                                 std::string_view message,
+                                 Signature signature) const {
+  auto it = certificates_.find(std::string(vendor));
+  if (it == certificates_.end() || it->second.revoked) return false;
+  return Verify(it->second.public_key, message, signature);
+}
+
+std::vector<std::string> TrustStore::TrustedVendors() const {
+  std::vector<std::string> out;
+  for (const auto& [vendor, decision] : trust_) {
+    if (decision == VendorTrust::kTrusted) out.push_back(vendor);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pisrep::crypto

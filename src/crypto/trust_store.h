@@ -1,0 +1,72 @@
+#ifndef PISREP_CRYPTO_TRUST_STORE_H_
+#define PISREP_CRYPTO_TRUST_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/signing.h"
+#include "util/status.h"
+
+namespace pisrep::crypto {
+
+/// A vendor's code-signing certificate: the binding between a vendor name
+/// and a public key, as would be issued by a certificate authority.
+struct Certificate {
+  std::string vendor;     ///< company name embedded in the certificate
+  PublicKey public_key;   ///< the vendor's signing key
+  std::int64_t issued_at = 0;  ///< simulation time of issuance
+  bool revoked = false;   ///< revocation flag
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// The client's local set of vendor certificates, with a per-vendor trust
+/// decision (§4.2: "allows the user to white list and blacklist different
+/// companies through their digital signatures").
+class TrustStore {
+ public:
+  enum class VendorTrust { kUnknown, kTrusted, kBlocked };
+
+  TrustStore() = default;
+
+  /// Installs or replaces a certificate for `cert.vendor`.
+  void AddCertificate(const Certificate& cert);
+
+  /// Marks the vendor as explicitly trusted (signed software auto-allowed).
+  void TrustVendor(std::string_view vendor);
+  /// Marks the vendor as explicitly blocked (signed software auto-denied).
+  void BlockVendor(std::string_view vendor);
+  /// Clears any explicit trust decision.
+  void ResetVendor(std::string_view vendor);
+
+  /// The trust decision recorded for the vendor.
+  VendorTrust GetTrust(std::string_view vendor) const;
+
+  /// Returns the installed certificate for the vendor.
+  util::Result<Certificate> FindCertificate(std::string_view vendor) const;
+
+  /// Marks the vendor's certificate as revoked; signatures from it stop
+  /// verifying through VerifySignature.
+  util::Status RevokeCertificate(std::string_view vendor);
+
+  /// Verifies `signature` over `message` against the vendor's installed,
+  /// unrevoked certificate. Returns false for unknown vendors.
+  bool VerifySignature(std::string_view vendor, std::string_view message,
+                       Signature signature) const;
+
+  /// All vendors with an explicit kTrusted decision, sorted.
+  std::vector<std::string> TrustedVendors() const;
+
+  std::size_t certificate_count() const { return certificates_.size(); }
+
+ private:
+  std::unordered_map<std::string, Certificate> certificates_;
+  std::unordered_map<std::string, VendorTrust> trust_;
+};
+
+}  // namespace pisrep::crypto
+
+#endif  // PISREP_CRYPTO_TRUST_STORE_H_

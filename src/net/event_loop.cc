@@ -1,0 +1,59 @@
+#include "net/event_loop.h"
+
+#include <memory>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pisrep::net {
+
+void EventLoop::ScheduleAt(util::TimePoint t, Callback cb) {
+  if (t < clock_.Now()) t = clock_.Now();
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void EventLoop::ScheduleAfter(util::Duration delay, Callback cb) {
+  PISREP_CHECK(delay >= 0) << "negative delay";
+  ScheduleAt(clock_.Now() + delay, std::move(cb));
+}
+
+void EventLoop::SchedulePeriodic(util::TimePoint first,
+                                 util::Duration interval, Callback cb) {
+  PISREP_CHECK(interval > 0) << "periodic interval must be positive";
+  // The wrapper reschedules itself after running the user callback.
+  auto wrapper = std::make_shared<std::function<void(util::TimePoint)>>();
+  Callback user_cb = std::move(cb);
+  *wrapper = [this, interval, user_cb, wrapper](util::TimePoint at) {
+    user_cb();
+    util::TimePoint next = at + interval;
+    ScheduleAt(next, [wrapper, next] { (*wrapper)(next); });
+  };
+  ScheduleAt(first, [wrapper, first] { (*wrapper)(first); });
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  Event event = queue_.top();
+  queue_.pop();
+  clock_.AdvanceTo(event.time);
+  event.callback();
+  return true;
+}
+
+std::size_t EventLoop::RunUntil(util::TimePoint deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    RunOne();
+    ++executed;
+  }
+  if (clock_.Now() < deadline) clock_.AdvanceTo(deadline);
+  return executed;
+}
+
+std::size_t EventLoop::RunAll(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && RunOne()) ++executed;
+  return executed;
+}
+
+}  // namespace pisrep::net

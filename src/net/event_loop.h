@@ -1,0 +1,75 @@
+#ifndef PISREP_NET_EVENT_LOOP_H_
+#define PISREP_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace pisrep::net {
+
+/// Discrete-event scheduler driving all simulated activity.
+///
+/// Events execute in (time, insertion-order) order; running an event
+/// advances the owned clock to its timestamp. Everything in pisrep that
+/// "happens later" — message delivery, the 24-hour aggregation job, a user
+/// launching a program tomorrow — is an event on this loop.
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  util::SimClock& clock() { return clock_; }
+  util::TimePoint Now() const { return clock_.Now(); }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now when in the past).
+  void ScheduleAt(util::TimePoint t, Callback cb);
+
+  /// Schedules `cb` after `delay` from now.
+  void ScheduleAfter(util::Duration delay, Callback cb);
+
+  /// Schedules `cb` at `first` and then every `interval` forever. Periodic
+  /// work keeps the loop non-empty; bound simulations with RunUntil.
+  void SchedulePeriodic(util::TimePoint first, util::Duration interval,
+                        Callback cb);
+
+  /// Runs the earliest pending event. Returns false when the queue is empty.
+  bool RunOne();
+
+  /// Runs every event with timestamp <= `deadline`, then advances the clock
+  /// to `deadline`. Returns the number of events executed.
+  std::size_t RunUntil(util::TimePoint deadline);
+
+  /// Runs until the queue is empty or `max_events` executed.
+  std::size_t RunAll(std::size_t max_events = 100'000'000);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::TimePoint time;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::SimClock clock_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace pisrep::net
+
+#endif  // PISREP_NET_EVENT_LOOP_H_

@@ -1,0 +1,53 @@
+#include "net/network.h"
+
+#include <utility>
+
+namespace pisrep::net {
+
+SimNetwork::SimNetwork(EventLoop* loop, NetworkConfig config)
+    : loop_(loop), config_(config), rng_(config.seed) {}
+
+util::Status SimNetwork::Bind(std::string_view address, Handler handler) {
+  auto [it, inserted] =
+      endpoints_.emplace(std::string(address), std::move(handler));
+  if (!inserted) {
+    return util::Status::AlreadyExists("address already bound: " +
+                                       std::string(address));
+  }
+  return util::Status::Ok();
+}
+
+void SimNetwork::Unbind(std::string_view address) {
+  endpoints_.erase(std::string(address));
+}
+
+bool SimNetwork::IsBound(std::string_view address) const {
+  return endpoints_.contains(std::string(address));
+}
+
+void SimNetwork::Send(std::string_view from, std::string_view to,
+                      std::string payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+  if (rng_.NextBool(config_.loss_probability)) {
+    ++messages_dropped_;
+    return;
+  }
+  util::Duration latency = config_.base_latency;
+  if (config_.jitter > 0) {
+    latency += static_cast<util::Duration>(
+        rng_.NextBelow(static_cast<std::uint64_t>(config_.jitter) + 1));
+  }
+  Message message{std::string(from), std::string(to), std::move(payload)};
+  loop_->ScheduleAfter(latency, [this, message = std::move(message)] {
+    auto it = endpoints_.find(message.to);
+    if (it == endpoints_.end()) {
+      ++messages_dropped_;
+      return;
+    }
+    ++messages_delivered_;
+    it->second(message);
+  });
+}
+
+}  // namespace pisrep::net

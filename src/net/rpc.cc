@@ -1,0 +1,172 @@
+#include "net/rpc.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace pisrep::net {
+
+namespace {
+using util::Result;
+using util::Status;
+using util::StatusCode;
+using xml::XmlNode;
+}  // namespace
+
+util::StatusCode StatusCodeFromName(std::string_view name) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    StatusCode code = static_cast<StatusCode>(i);
+    if (name == util::StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+RpcServer::RpcServer(SimNetwork* network, std::string address)
+    : network_(network), address_(std::move(address)) {}
+
+RpcServer::~RpcServer() { network_->Unbind(address_); }
+
+Status RpcServer::Start() {
+  return network_->Bind(address_,
+                        [this](const Message& m) { HandleMessage(m); });
+}
+
+void RpcServer::RegisterMethod(std::string name, Method method) {
+  methods_[std::move(name)] = std::move(method);
+}
+
+std::uint64_t RpcServer::MethodCalls(std::string_view method) const {
+  auto it = method_calls_.find(std::string(method));
+  return it == method_calls_.end() ? 0 : it->second;
+}
+
+void RpcServer::HandleMessage(const Message& message) {
+  auto parsed = xml::ParseXml(message.payload);
+  if (!parsed.ok() || parsed->name() != "request") {
+    // Malformed datagram: nothing sensible to reply to.
+    ++requests_failed_;
+    return;
+  }
+  const XmlNode& request = *parsed;
+  std::string id = request.AttributeOr("id", "");
+  std::string method_name = request.AttributeOr("method", "");
+
+  XmlNode response("response");
+  response.SetAttribute("id", id);
+
+  auto it = methods_.find(method_name);
+  if (it == methods_.end()) {
+    ++requests_failed_;
+    response.SetAttribute("status", "error");
+    response.SetAttribute("code",
+                          util::StatusCodeName(StatusCode::kNotFound));
+    response.set_text("no such method: " + method_name);
+  } else {
+    Result<XmlNode> result = it->second(request);
+    if (result.ok()) {
+      ++requests_handled_;
+      ++method_calls_[method_name];
+      response.SetAttribute("status", "ok");
+      // The result element's children, text, and attributes become the
+      // response body. "id"/"status"/"code" are reserved for the envelope.
+      for (const auto& [key, value] : result->attributes()) {
+        if (key == "id" || key == "status" || key == "code") continue;
+        response.SetAttribute(key, value);
+      }
+      for (const XmlNode& child : result->children()) {
+        response.AddChild(child);
+      }
+      if (!result->text().empty()) response.set_text(result->text());
+    } else {
+      ++requests_failed_;
+      response.SetAttribute("status", "error");
+      response.SetAttribute(
+          "code", util::StatusCodeName(result.status().code()));
+      response.set_text(result.status().message());
+    }
+  }
+  network_->Send(address_, message.from, xml::WriteXml(response));
+}
+
+RpcClient::RpcClient(SimNetwork* network, EventLoop* loop,
+                     std::string address, std::string server_address)
+    : network_(network),
+      loop_(loop),
+      address_(std::move(address)),
+      server_address_(std::move(server_address)) {}
+
+RpcClient::~RpcClient() { network_->Unbind(address_); }
+
+Status RpcClient::Start() {
+  return network_->Bind(address_,
+                        [this](const Message& m) { HandleMessage(m); });
+}
+
+void RpcClient::Call(std::string_view method, XmlNode params,
+                     ResponseCallback callback, util::Duration timeout) {
+  params.set_name("request");
+  params.SetAttribute("method", std::string(method));
+
+  PendingCall call;
+  call.callback = std::move(callback);
+  call.method = std::string(method);
+  call.request = std::move(params);
+  call.retries_left = max_retries_;
+  call.timeout = timeout;
+  Dispatch(std::move(call));
+}
+
+void RpcClient::Dispatch(PendingCall call) {
+  std::uint64_t id = next_id_++;
+  XmlNode request = call.request;
+  request.SetAttribute("id", std::to_string(id));
+  util::Duration timeout = call.timeout;
+
+  pending_.emplace(id, std::move(call));
+  ++calls_sent_;
+  network_->Send(address_, server_address_, xml::WriteXml(request));
+
+  loop_->ScheduleAfter(timeout, [this, id,
+                                 alive = std::weak_ptr<int>(alive_)] {
+    if (alive.expired()) return;  // the client is gone; do not touch it
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;  // already answered
+    PendingCall timed_out = std::move(it->second);
+    pending_.erase(it);
+    ++timeouts_;
+    if (timed_out.retries_left > 0) {
+      --timed_out.retries_left;
+      timed_out.timeout *= 2;  // back off
+      ++retries_sent_;
+      Dispatch(std::move(timed_out));
+      return;
+    }
+    timed_out.callback(
+        Status::Unavailable("rpc timeout calling " + timed_out.method));
+  });
+}
+
+void RpcClient::HandleMessage(const Message& message) {
+  auto parsed = xml::ParseXml(message.payload);
+  if (!parsed.ok() || parsed->name() != "response") return;
+  const XmlNode& response = *parsed;
+
+  auto id_result = util::ParseInt64(response.AttributeOr("id", ""));
+  if (!id_result.ok()) return;
+  auto it = pending_.find(static_cast<std::uint64_t>(*id_result));
+  if (it == pending_.end()) return;  // late response after timeout
+  ResponseCallback cb = std::move(it->second.callback);
+  pending_.erase(it);
+
+  if (response.AttributeOr("status", "") == "ok") {
+    cb(response);
+  } else {
+    StatusCode code = StatusCodeFromName(response.AttributeOr("code", ""));
+    cb(Status(code, response.text()));
+  }
+}
+
+}  // namespace pisrep::net

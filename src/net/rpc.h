@@ -1,0 +1,135 @@
+#ifndef PISREP_NET_RPC_H_
+#define PISREP_NET_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "net/network.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace pisrep::net {
+
+/// XML-encoded request/response RPC over the simulated network.
+///
+/// §3.2: "XML is used as the communication protocol between the client and
+/// the server." Wire format:
+///
+///   <request id="7" method="SubmitRating"> ...params children... </request>
+///   <response id="7" status="ok"> ...result children... </response>
+///   <response id="7" status="error" code="not_found">message</response>
+class RpcServer {
+ public:
+  /// A method takes the request element and returns the result element (its
+  /// name is arbitrary; it becomes the children of the response) or an error
+  /// status, which is serialized onto the wire.
+  using Method =
+      std::function<util::Result<xml::XmlNode>(const xml::XmlNode& request)>;
+
+  /// The network must outlive the server.
+  RpcServer(SimNetwork* network, std::string address);
+  /// Unbinds the address; in-flight deliveries are dropped harmlessly.
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Binds the server address on the network.
+  util::Status Start();
+
+  /// Registers a handler; overwrites any existing handler of that name.
+  void RegisterMethod(std::string name, Method method);
+
+  const std::string& address() const { return address_; }
+  std::uint64_t requests_handled() const { return requests_handled_; }
+  std::uint64_t requests_failed() const { return requests_failed_; }
+
+  /// Successful invocations of one method (operations telemetry).
+  std::uint64_t MethodCalls(std::string_view method) const;
+
+ private:
+  void HandleMessage(const Message& message);
+
+  SimNetwork* network_;
+  std::string address_;
+  std::unordered_map<std::string, Method> methods_;
+  std::unordered_map<std::string, std::uint64_t> method_calls_;
+  std::uint64_t requests_handled_ = 0;
+  std::uint64_t requests_failed_ = 0;
+};
+
+/// Asynchronous RPC client endpoint.
+class RpcClient {
+ public:
+  using ResponseCallback = std::function<void(util::Result<xml::XmlNode>)>;
+
+  /// The network and loop must outlive the client.
+  RpcClient(SimNetwork* network, EventLoop* loop, std::string address,
+            std::string server_address);
+  /// Unbinds the address; pending callbacks are dropped (never invoked) and
+  /// already-scheduled timeout events become no-ops.
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Binds the client address on the network.
+  util::Status Start();
+
+  /// How many times a timed-out call is re-sent before failing (with the
+  /// timeout doubled per attempt). Retries give at-least-once semantics:
+  /// a request whose *response* was lost may execute twice on the server,
+  /// which the pisrep API tolerates (duplicate votes are rejected, queries
+  /// are read-only, counters are best-effort).
+  void set_max_retries(int retries) { max_retries_ = retries; }
+  int max_retries() const { return max_retries_; }
+
+  /// Issues a call; `callback` fires exactly once, with the response body or
+  /// an error (kUnavailable after all retries time out).
+  void Call(std::string_view method, xml::XmlNode params,
+            ResponseCallback callback,
+            util::Duration timeout = 5 * util::kSecond);
+
+  const std::string& address() const { return address_; }
+  std::uint64_t calls_sent() const { return calls_sent_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t retries_sent() const { return retries_sent_; }
+
+ private:
+  struct PendingCall {
+    ResponseCallback callback;
+    std::string method;
+    xml::XmlNode request;  ///< re-sent verbatim (with a fresh id) on retry
+    int retries_left = 0;
+    util::Duration timeout = 0;
+  };
+
+  void Dispatch(PendingCall call);
+  void HandleMessage(const Message& message);
+
+  SimNetwork* network_;
+  EventLoop* loop_;
+  std::string address_;
+  std::string server_address_;
+  /// Liveness token for event-loop callbacks: timeouts capture a weak_ptr
+  /// and bail out when the client has been destroyed.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+  std::uint64_t next_id_ = 1;
+  int max_retries_ = 0;
+  std::unordered_map<std::uint64_t, PendingCall> pending_;
+  std::uint64_t calls_sent_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_sent_ = 0;
+};
+
+/// Maps a status-code name back to the enum (inverse of StatusCodeName);
+/// unknown names map to kInternal.
+util::StatusCode StatusCodeFromName(std::string_view name);
+
+}  // namespace pisrep::net
+
+#endif  // PISREP_NET_RPC_H_

@@ -1,0 +1,112 @@
+#ifndef PISREP_SERVER_ACCOUNT_MANAGER_H_
+#define PISREP_SERVER_ACCOUNT_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/trust.h"
+#include "core/types.h"
+#include "storage/database.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pisrep::server {
+
+/// Everything the server knows about an account. Deliberately minimal
+/// (§2.2/§3.2): "The only data stored in the database about the user is a
+/// username, hashed password and a hashed e-mail address, as well as
+/// timestamps" — no IP addresses, no plaintext e-mail.
+struct Account {
+  core::UserId id = 0;
+  std::string username;
+  std::string password_hash;  ///< hex SHA-256(salt || password)
+  std::string password_salt;
+  std::string email_hash;     ///< hex HMAC-SHA256(pepper, lowercased e-mail)
+  util::TimePoint joined_at = 0;
+  util::TimePoint last_login = 0;
+  bool activated = false;
+  double trust_factor = core::kMinTrust;
+};
+
+/// Registration / authentication / trust bookkeeping.
+///
+/// Key privacy mechanism (§2.2): the e-mail address is stored only as an
+/// HMAC under a server-side secret ("concatenating the e-mail address with a
+/// secret string before calculating the hash, rendering brute force attack
+/// ... computationally impossible as long as the secret string is kept
+/// secret"). Uniqueness of the hash enforces one account per address.
+class AccountManager {
+ public:
+  struct Config {
+    /// Server-side secret mixed into every e-mail hash.
+    std::string email_pepper = "pisrep-pepper";
+    /// When false, accounts are active immediately (used by simulations
+    /// that do not model mailboxes).
+    bool require_activation = true;
+    /// Seed for token generation.
+    std::uint64_t seed = 0xacc0;
+  };
+
+  AccountManager(storage::Database* db, Config config);
+
+  /// Creates an inactive account and returns the activation token that the
+  /// (simulated) e-mail would carry. Fails when the username or the e-mail
+  /// address is already taken.
+  util::Result<std::string> Register(std::string_view username,
+                                     std::string_view password,
+                                     std::string_view email,
+                                     util::TimePoint now);
+
+  /// Completes registration using the token from the activation e-mail.
+  util::Status Activate(std::string_view username, std::string_view token);
+
+  /// Verifies credentials and returns a session token. Inactive accounts
+  /// cannot log in.
+  util::Result<std::string> Login(std::string_view username,
+                                  std::string_view password,
+                                  util::TimePoint now);
+
+  /// Resolves a session token to the logged-in account id.
+  util::Result<core::UserId> Authenticate(std::string_view session) const;
+
+  /// Invalidates a session token.
+  void Logout(std::string_view session);
+
+  util::Result<Account> GetAccount(core::UserId id) const;
+  util::Result<Account> GetAccountByUsername(std::string_view username) const;
+
+  /// Current trust factor (1 when the account is unknown, matching the
+  /// weight a brand-new user would carry).
+  double TrustFactor(core::UserId id) const;
+
+  /// Applies a meta-moderation remark to the user's trust factor, honoring
+  /// the §3.2 growth schedule. Returns the new factor.
+  util::Result<double> ApplyRemark(core::UserId id, bool positive,
+                                   util::TimePoint now);
+
+  std::size_t AccountCount() const;
+  std::vector<core::UserId> AllUserIds() const;
+
+  /// The peppered e-mail hash, exposed for tests and audits.
+  std::string HashEmail(std::string_view email) const;
+
+ private:
+  util::Result<Account> AccountFromRow(const storage::Row& row) const;
+  storage::Row RowFromAccount(const Account& account) const;
+
+  storage::Database* db_;
+  Config config_;
+  util::Rng rng_;
+  storage::Table* users_;
+  storage::Table* activations_;
+  std::unordered_map<std::string, core::UserId> sessions_;
+  core::UserId next_user_id_ = 1;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_ACCOUNT_MANAGER_H_

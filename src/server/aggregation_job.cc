@@ -1,0 +1,72 @@
+#include "server/aggregation_job.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pisrep::server {
+
+AggregationJob::AggregationJob(SoftwareRegistry* registry, VoteStore* votes,
+                               AccountManager* accounts)
+    : registry_(registry), votes_(votes), accounts_(accounts) {}
+
+std::size_t AggregationJob::RunOnce(util::TimePoint now) {
+  ++runs_;
+  std::size_t recomputed = 0;
+
+  for (const core::SoftwareId& software : votes_->RatedSoftware()) {
+    std::vector<core::WeightedVote> weighted;
+    for (const StoredRating& stored : votes_->VotesForSoftware(software)) {
+      // Pseudonymous votes carry their weight frozen at vote time; linkable
+      // votes use the voter's *current* trust factor (§3.2). The ablation
+      // switch flattens everything to 1.
+      double weight = 1.0;
+      if (trust_weighting_) {
+        weight = stored.trust_snapshot > 0.0
+                     ? stored.trust_snapshot
+                     : accounts_->TrustFactor(stored.record.user);
+      }
+      weighted.push_back(core::WeightedVote{
+          static_cast<double>(stored.record.score), weight});
+    }
+    // Blend the bootstrap prior (§2.1 second approach) as synthetic weight:
+    // imported scores behave like an existing body of votes, so a handful
+    // of novice ratings become "one out of many, rather than the one and
+    // only".
+    auto [boot_score, boot_weight] = registry_->GetBootstrapPrior(software);
+    if (boot_weight > 0.0) {
+      weighted.push_back(core::WeightedVote{boot_score, boot_weight});
+    }
+    core::SoftwareScore score =
+        core::RatingAggregator::Aggregate(software, weighted, now);
+    if (boot_weight > 0.0) {
+      // The prior is not a community vote; do not count it as one.
+      score.vote_count -= 1;
+    }
+    registry_->PutScore(score);
+    ++recomputed;
+  }
+
+  // Vendor scores: mean over the vendor's scored software (§3.2).
+  std::unordered_map<std::string, std::vector<core::SoftwareScore>>
+      by_vendor;
+  for (const core::SoftwareId& software : registry_->AllSoftware()) {
+    auto meta = registry_->GetSoftware(software);
+    if (!meta.ok() || meta->company.empty()) continue;
+    auto score = registry_->GetScore(software);
+    if (!score.ok()) continue;
+    by_vendor[meta->company].push_back(*score);
+  }
+  for (const auto& [vendor, scores] : by_vendor) {
+    registry_->PutVendorScore(
+        core::RatingAggregator::AggregateVendor(vendor, scores, now));
+  }
+  return recomputed;
+}
+
+void AggregationJob::Schedule(net::EventLoop* loop, util::Duration period) {
+  loop->SchedulePeriodic(loop->Now() + period, period,
+                         [this, loop] { RunOnce(loop->Now()); });
+}
+
+}  // namespace pisrep::server

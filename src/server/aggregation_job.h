@@ -1,0 +1,54 @@
+#ifndef PISREP_SERVER_AGGREGATION_JOB_H_
+#define PISREP_SERVER_AGGREGATION_JOB_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/rating_aggregator.h"
+#include "net/event_loop.h"
+#include "server/account_manager.h"
+#include "server/software_registry.h"
+#include "server/vote_store.h"
+
+namespace pisrep::server {
+
+/// The daily score recomputation (§3.2: "Software ratings are calculated at
+/// fixed points in time (currently once in every 24-hour period). During
+/// this work users' trust factors are taken into consideration").
+///
+/// Each run:
+///   1. for every rated software: gathers votes, weights each by the
+///      voter's *current* trust factor, blends in any bootstrap prior, and
+///      stores the SoftwareScore;
+///   2. for every vendor with scored software: stores the vendor mean.
+class AggregationJob {
+ public:
+  AggregationJob(SoftwareRegistry* registry, VoteStore* votes,
+                 AccountManager* accounts);
+
+  /// Ablation switch: when false, every vote weighs 1 regardless of the
+  /// voter's trust factor (the §2.1 "unweighted" baseline).
+  void set_trust_weighting(bool enabled) { trust_weighting_ = enabled; }
+  bool trust_weighting() const { return trust_weighting_; }
+
+  /// Recomputes all scores as of `now`. Returns the number of software
+  /// entries whose score was recomputed.
+  std::size_t RunOnce(util::TimePoint now);
+
+  /// Installs the job on the loop, first run after one period.
+  void Schedule(net::EventLoop* loop,
+                util::Duration period = core::kAggregationPeriod);
+
+  std::uint64_t runs() const { return runs_; }
+
+ private:
+  SoftwareRegistry* registry_;
+  VoteStore* votes_;
+  AccountManager* accounts_;
+  bool trust_weighting_ = true;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_AGGREGATION_JOB_H_

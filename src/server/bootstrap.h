@@ -1,0 +1,49 @@
+#ifndef PISREP_SERVER_BOOTSTRAP_H_
+#define PISREP_SERVER_BOOTSTRAP_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "server/software_registry.h"
+#include "util/status.h"
+
+namespace pisrep::server {
+
+/// One imported rating from an external software database.
+struct BootstrapRecord {
+  core::SoftwareMeta meta;
+  double score = 0.0;   ///< the external database's score in [1, 10]
+  int vote_count = 0;   ///< how many external votes back it
+};
+
+/// The §2.1 second mitigation: "bootstrapping of the program database at an
+/// early stage ... copying the information from an existing, more or less
+/// reliable, software rating database" so that "no common program has few
+/// or zero votes".
+///
+/// Imported scores become bootstrap priors in the registry; the aggregation
+/// job blends them with live community votes, weighting each external vote
+/// like a trust-1 community vote.
+class BootstrapImporter {
+ public:
+  explicit BootstrapImporter(SoftwareRegistry* registry)
+      : registry_(registry) {}
+
+  /// Imports a batch of records. Returns the number imported; fails fast on
+  /// the first malformed record.
+  util::Result<std::size_t> Import(const std::vector<BootstrapRecord>& records);
+
+  /// Parses and imports the CSV interchange format, one record per line:
+  ///   sha1_hex,file_name,file_size,company,version,score,vote_count
+  /// Blank lines and lines starting with '#' are skipped.
+  util::Result<std::size_t> ImportCsv(std::string_view csv);
+
+ private:
+  SoftwareRegistry* registry_;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_BOOTSTRAP_H_

@@ -1,0 +1,62 @@
+#ifndef PISREP_SERVER_FEEDS_H_
+#define PISREP_SERVER_FEEDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/behavior.h"
+#include "core/types.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pisrep::server {
+
+/// A published expert assessment of one software.
+struct FeedEntry {
+  std::string feed;           ///< owning feed name
+  core::SoftwareId software;
+  double score = 0.0;         ///< the group's rating, [1, 10]
+  core::BehaviorSet behaviors = core::kNoBehaviors;
+  std::string note;
+  util::TimePoint published_at = 0;
+};
+
+/// §4.2 improvement: "allowing for instance organisations or groups of
+/// technically skilled individuals to publish their software ratings and
+/// other feedback within the reputation system", which users can subscribe
+/// to instead of (or alongside) crowd scores.
+class FeedStore {
+ public:
+  explicit FeedStore(storage::Database* db);
+
+  /// Creates a feed owned by `publisher` (an account id).
+  util::Status CreateFeed(std::string_view name, core::UserId publisher,
+                          std::string_view description);
+
+  bool HasFeed(std::string_view name) const;
+
+  /// The feed's owner; only the owner may publish into it.
+  util::Result<core::UserId> FeedPublisher(std::string_view name) const;
+
+  /// Publishes or updates the feed's assessment of a software.
+  util::Status Publish(const FeedEntry& entry, core::UserId publisher);
+
+  /// The feed's assessment of one software, if any.
+  util::Result<FeedEntry> Lookup(std::string_view feed,
+                                 const core::SoftwareId& software) const;
+
+  /// Every entry in a feed.
+  std::vector<FeedEntry> Entries(std::string_view feed) const;
+
+  std::vector<std::string> FeedNames() const;
+
+ private:
+  storage::Database* db_;
+  storage::Table* feeds_;
+  storage::Table* entries_;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_FEEDS_H_

@@ -1,0 +1,117 @@
+#include "server/flood_guard.h"
+
+#include "util/sha256.h"
+#include "util/string_util.h"
+
+namespace pisrep::server {
+
+namespace {
+using util::Status;
+}  // namespace
+
+FloodGuard::FloodGuard(Config config)
+    : config_(config), rng_(config.seed) {}
+
+Puzzle FloodGuard::IssuePuzzle() {
+  Puzzle puzzle;
+  puzzle.nonce = rng_.NextToken(16);
+  puzzle.difficulty_bits = config_.registration_puzzle_bits;
+  outstanding_puzzles_[puzzle.nonce] = puzzle.difficulty_bits;
+  return puzzle;
+}
+
+Status FloodGuard::CheckPuzzle(std::string_view nonce,
+                               std::string_view solution) {
+  if (config_.registration_puzzle_bits == 0) return Status::Ok();
+  auto it = outstanding_puzzles_.find(std::string(nonce));
+  if (it == outstanding_puzzles_.end()) {
+    return Status::PermissionDenied("unknown or already-used puzzle nonce");
+  }
+  int difficulty = it->second;
+  if (!SolutionValid(nonce, solution, difficulty)) {
+    return Status::PermissionDenied("puzzle solution does not verify");
+  }
+  outstanding_puzzles_.erase(it);
+  return Status::Ok();
+}
+
+bool FloodGuard::SolutionValid(std::string_view nonce,
+                               std::string_view solution,
+                               int difficulty_bits) {
+  util::Sha256 hasher;
+  hasher.Update(nonce);
+  hasher.Update(solution);
+  util::Sha256Digest digest = hasher.Finish();
+  int remaining = difficulty_bits;
+  for (std::uint8_t byte : digest.bytes) {
+    if (remaining <= 0) return true;
+    if (remaining >= 8) {
+      if (byte != 0) return false;
+      remaining -= 8;
+    } else {
+      return (byte >> (8 - remaining)) == 0;
+    }
+  }
+  return remaining <= 0;
+}
+
+std::string FloodGuard::SolvePuzzle(const Puzzle& puzzle,
+                                    std::uint64_t* attempts) {
+  std::uint64_t counter = 0;
+  for (;;) {
+    std::string candidate = std::to_string(counter);
+    if (SolutionValid(puzzle.nonce, candidate, puzzle.difficulty_bits)) {
+      if (attempts != nullptr) *attempts = counter + 1;
+      return candidate;
+    }
+    ++counter;
+  }
+}
+
+Status FloodGuard::CheckRegistrationAllowed(std::string_view source,
+                                            util::TimePoint now) {
+  if (config_.max_registrations_per_source_per_day == 0) return Status::Ok();
+  auto it = registrations_.find(std::string(source));
+  if (it == registrations_.end()) return Status::Ok();
+  if (it->second.day != util::DayIndex(now)) return Status::Ok();
+  if (it->second.count < config_.max_registrations_per_source_per_day) {
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      "registration limit reached for this source today");
+}
+
+void FloodGuard::RecordRegistration(std::string_view source,
+                                    util::TimePoint now) {
+  DayCounter& counter = registrations_[std::string(source)];
+  std::int64_t day = util::DayIndex(now);
+  if (counter.day != day) {
+    counter.day = day;
+    counter.count = 0;
+  }
+  ++counter.count;
+}
+
+Status FloodGuard::CheckVoteAllowed(core::UserId user, util::TimePoint now) {
+  if (config_.max_votes_per_user_per_day == 0) return Status::Ok();
+  auto it = votes_.find(user);
+  if (it == votes_.end()) return Status::Ok();
+  if (it->second.day != util::DayIndex(now)) return Status::Ok();
+  if (it->second.count < config_.max_votes_per_user_per_day) {
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted(util::StrFormat(
+      "vote limit (%d/day) reached", config_.max_votes_per_user_per_day));
+}
+
+void FloodGuard::RecordVote(core::UserId user, util::TimePoint now) {
+  DayCounter& counter = votes_[user];
+  std::int64_t day = util::DayIndex(now);
+  if (counter.day != day) {
+    counter.day = day;
+    counter.count = 0;
+  }
+  ++counter.count;
+}
+
+}  // namespace pisrep::server

@@ -1,0 +1,90 @@
+#ifndef PISREP_SERVER_FLOOD_GUARD_H_
+#define PISREP_SERVER_FLOOD_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/types.h"
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pisrep::server {
+
+/// A DoS-resistant client puzzle (§2.1 "non-automatable process" and the
+/// future-work reference to Aura's client puzzles): the server issues a
+/// nonce and a difficulty, and the client must find a solution such that
+/// SHA-256(nonce || solution) starts with `difficulty_bits` zero bits.
+/// Raising the difficulty makes automated mass registration expensive while
+/// staying cheap for a single human sign-up.
+struct Puzzle {
+  std::string nonce;
+  int difficulty_bits = 0;
+};
+
+/// Rate limiting and abuse resistance for account creation and voting.
+class FloodGuard {
+ public:
+  struct Config {
+    /// Puzzle difficulty for registrations (0 disables puzzles).
+    int registration_puzzle_bits = 12;
+    /// Max votes a single account may submit per day (0 = unlimited).
+    int max_votes_per_user_per_day = 20;
+    /// Max registrations per client source address per day (0 = unlimited).
+    int max_registrations_per_source_per_day = 3;
+    std::uint64_t seed = 0xf100d;
+  };
+
+  explicit FloodGuard(Config config);
+
+  /// Issues a registration puzzle. The nonce is remembered until solved or
+  /// the guard is reset.
+  Puzzle IssuePuzzle();
+
+  /// Verifies a puzzle solution; a nonce can be redeemed only once.
+  util::Status CheckPuzzle(std::string_view nonce,
+                           std::string_view solution);
+
+  /// Brute-forces a solution (the honest client's work loop). Exposed so
+  /// simulations can account for attacker compute cost; returns the number
+  /// of hash attempts through `attempts` when non-null.
+  static std::string SolvePuzzle(const Puzzle& puzzle,
+                                 std::uint64_t* attempts = nullptr);
+
+  /// True when SHA-256(nonce || solution) has the required zero prefix.
+  static bool SolutionValid(std::string_view nonce,
+                            std::string_view solution, int difficulty_bits);
+
+  /// Per-source registration throttle. `source` is any stable client
+  /// identifier (the simulated host name — the real system deliberately
+  /// avoids storing IPs, §2.2, so this state is transient and never
+  /// persisted).
+  util::Status CheckRegistrationAllowed(std::string_view source,
+                                        util::TimePoint now);
+  void RecordRegistration(std::string_view source, util::TimePoint now);
+
+  /// Per-user vote throttle (§2.1 vote flooding: "allow normal users to be
+  /// able to vote smoothly and yet be able to address abusive users").
+  util::Status CheckVoteAllowed(core::UserId user, util::TimePoint now);
+  void RecordVote(core::UserId user, util::TimePoint now);
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct DayCounter {
+    std::int64_t day = -1;
+    int count = 0;
+  };
+
+  Config config_;
+  util::Rng rng_;
+  std::unordered_map<std::string, int> outstanding_puzzles_;
+  std::unordered_map<std::string, DayCounter> registrations_;
+  std::unordered_map<core::UserId, DayCounter> votes_;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_FLOOD_GUARD_H_

@@ -1,0 +1,475 @@
+#include "server/reputation_server.h"
+
+#include <utility>
+
+#include "util/hex.h"
+#include "util/hmac.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "xml/xml_node.h"
+
+namespace pisrep::server {
+
+namespace {
+
+using core::SoftwareId;
+using util::Result;
+using util::Status;
+using xml::XmlNode;
+
+Result<SoftwareId> SoftwareIdFromHex(std::string_view hex) {
+  SoftwareId id;
+  PISREP_ASSIGN_OR_RETURN(auto bytes, util::HexDecode(hex));
+  if (bytes.size() != id.bytes.size()) {
+    return Status::InvalidArgument("software id must be 40 hex characters");
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) id.bytes[i] = bytes[i];
+  return id;
+}
+
+/// Serializes software metadata as a <software .../> element.
+XmlNode MetaToXml(const core::SoftwareMeta& meta) {
+  XmlNode node("software");
+  node.SetAttribute("id", meta.id.ToHex());
+  node.SetAttribute("file_name", meta.file_name);
+  node.SetAttribute("file_size", std::to_string(meta.file_size));
+  node.SetAttribute("company", meta.company);
+  node.SetAttribute("version", meta.version);
+  return node;
+}
+
+Result<core::SoftwareMeta> MetaFromXml(const XmlNode& node) {
+  core::SoftwareMeta meta;
+  PISREP_ASSIGN_OR_RETURN(std::string id_hex, node.Attribute("id"));
+  PISREP_ASSIGN_OR_RETURN(meta.id, SoftwareIdFromHex(id_hex));
+  meta.file_name = node.AttributeOr("file_name", "");
+  auto size = util::ParseInt64(node.AttributeOr("file_size", "0"));
+  meta.file_size = size.ok() ? *size : 0;
+  meta.company = node.AttributeOr("company", "");
+  meta.version = node.AttributeOr("version", "");
+  return meta;
+}
+
+}  // namespace
+
+ReputationServer::ReputationServer(storage::Database* db,
+                                   net::EventLoop* loop, Config config)
+    : config_(std::move(config)),
+      loop_(loop),
+      accounts_(db, config_.accounts),
+      registry_(db),
+      votes_(db),
+      flood_(config_.flood),
+      moderation_(&votes_),
+      feeds_(db),
+      aggregation_(&registry_, &votes_, &accounts_),
+      bootstrap_(&registry_) {
+  aggregation_.set_trust_weighting(config_.trust_weighting);
+  if (loop_ != nullptr) {
+    aggregation_.Schedule(loop_, config_.aggregation_period);
+  }
+}
+
+util::TimePoint ReputationServer::Now() const {
+  return loop_ != nullptr ? loop_->Now() : 0;
+}
+
+Puzzle ReputationServer::RequestPuzzle() { return flood_.IssuePuzzle(); }
+
+Status ReputationServer::Register(std::string_view source,
+                                  std::string_view username,
+                                  std::string_view password,
+                                  std::string_view email,
+                                  std::string_view puzzle_nonce,
+                                  std::string_view puzzle_solution,
+                                  util::TimePoint now) {
+  Status allowed = flood_.CheckRegistrationAllowed(source, now);
+  if (!allowed.ok()) {
+    ++stats_.registrations_rejected;
+    return allowed;
+  }
+  Status puzzle_ok = flood_.CheckPuzzle(puzzle_nonce, puzzle_solution);
+  if (!puzzle_ok.ok()) {
+    ++stats_.registrations_rejected;
+    return puzzle_ok;
+  }
+  auto token = accounts_.Register(username, password, email, now);
+  if (!token.ok()) {
+    ++stats_.registrations_rejected;
+    return token.status();
+  }
+  flood_.RecordRegistration(source, now);
+  ++stats_.registrations;
+  if (config_.accounts.require_activation) {
+    // Deliver the activation token via the simulated e-mail system; it must
+    // never travel back over the registration channel (that would let bots
+    // skip the valid-mailbox requirement, §2.1).
+    mailbox_[util::ToLower(util::Trim(email))] =
+        ActivationMail{std::string(util::Trim(username)), *token};
+  }
+  return Status::Ok();
+}
+
+Result<ActivationMail> ReputationServer::FetchMail(std::string_view email) {
+  auto it = mailbox_.find(util::ToLower(util::Trim(email)));
+  if (it == mailbox_.end()) {
+    return Status::NotFound("no mail for this address");
+  }
+  ActivationMail mail = it->second;
+  mailbox_.erase(it);
+  return mail;
+}
+
+Status ReputationServer::Activate(std::string_view username,
+                                  std::string_view token) {
+  return accounts_.Activate(username, token);
+}
+
+Result<std::string> ReputationServer::Login(std::string_view username,
+                                            std::string_view password,
+                                            util::TimePoint now) {
+  auto session = accounts_.Login(username, password, now);
+  if (session.ok()) ++stats_.logins;
+  return session;
+}
+
+Result<SoftwareInfo> ReputationServer::QuerySoftware(
+    std::string_view session, const SoftwareId& id) {
+  PISREP_RETURN_IF_ERROR(accounts_.Authenticate(session).status());
+  ++stats_.queries;
+
+  SoftwareInfo info;
+  // Run statistics attach to the digest and exist even before the first
+  // rating registers the software.
+  info.run_count = registry_.RunCount(id);
+  auto meta = registry_.GetSoftware(id);
+  if (!meta.ok()) {
+    info.meta.id = id;
+    info.known = false;
+    return info;
+  }
+  info.meta = *meta;
+  info.known = true;
+  auto score = registry_.GetScore(id);
+  if (score.ok()) info.score = *score;
+  if (!info.meta.company.empty()) {
+    auto vendor = registry_.GetVendorScore(info.meta.company);
+    if (vendor.ok()) info.vendor_score = *vendor;
+  }
+  info.reported_behaviors =
+      registry_.ReportedBehaviors(id, config_.behavior_report_threshold);
+  info.comments = votes_.VisibleComments(id, config_.max_comments_per_query);
+  return info;
+}
+
+Status ReputationServer::ReportExecutions(std::string_view session,
+                                          const SoftwareId& software,
+                                          std::int64_t count) {
+  PISREP_RETURN_IF_ERROR(accounts_.Authenticate(session).status());
+  return registry_.AddRuns(software, count);
+}
+
+Status ReputationServer::SubmitRating(std::string_view session,
+                                      const core::SoftwareMeta& meta,
+                                      int score, std::string_view comment,
+                                      core::BehaviorSet behaviors,
+                                      util::TimePoint now) {
+  PISREP_ASSIGN_OR_RETURN(core::UserId user, accounts_.Authenticate(session));
+  Status flood_ok = flood_.CheckVoteAllowed(user, now);
+  if (!flood_ok.ok()) {
+    ++stats_.votes_rejected_flood;
+    return flood_ok;
+  }
+  PISREP_RETURN_IF_ERROR(registry_.RegisterSoftware(meta));
+
+  core::RatingRecord record;
+  record.user = user;
+  record.software = meta.id;
+  record.score = score;
+  record.comment = std::string(comment);
+  record.submitted_at = now;
+
+  double trust_snapshot = 0.0;
+  if (config_.pseudonymous_votes) {
+    // §5 (idemix suggestion): store the vote under a pseudonym derived from
+    // (user, software). The same user always maps to the same pseudonym for
+    // one software — preserving the one-vote rule — but pseudonyms for
+    // different software are unlinkable without the server secret, and the
+    // ratings table never holds the account id. The trust factor is frozen
+    // now, since it cannot be looked up later.
+    record.user = PseudonymFor(user, meta.id);
+    trust_snapshot = accounts_.TrustFactor(user);
+  }
+
+  bool approved = !config_.moderation_enabled || comment.empty();
+  Status submitted = votes_.SubmitRating(record, approved, trust_snapshot);
+  if (!submitted.ok()) {
+    if (submitted.code() == util::StatusCode::kAlreadyExists) {
+      ++stats_.votes_rejected_duplicate;
+    }
+    return submitted;
+  }
+  flood_.RecordVote(user, now);
+  ++stats_.votes_accepted;
+
+  if (!approved) {
+    moderation_.Enqueue(PendingComment{user, meta.id, record.comment, now});
+  }
+  if (behaviors != core::kNoBehaviors) {
+    PISREP_RETURN_IF_ERROR(registry_.ReportBehaviors(meta.id, behaviors));
+  }
+  return Status::Ok();
+}
+
+core::UserId ReputationServer::PseudonymFor(core::UserId user,
+                                            const SoftwareId& software) const {
+  util::Sha256Digest mac = util::HmacSha256(
+      config_.pseudonym_secret,
+      std::to_string(user) + ":" + software.ToHex());
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits = (bits << 8) | mac.bytes[i];
+  // Negative ids mark pseudonyms; they can never collide with account ids.
+  return -static_cast<core::UserId>(bits >> 1) - 1;
+}
+
+Status ReputationServer::SubmitRemark(std::string_view session,
+                                      core::UserId author,
+                                      const SoftwareId& software,
+                                      bool positive, util::TimePoint now) {
+  PISREP_ASSIGN_OR_RETURN(core::UserId rater, accounts_.Authenticate(session));
+  if (author < 0) {
+    // Pseudonymous comment: there is no account to credit or debit — the
+    // unlinkability/meta-moderation trade-off of pseudonymous voting.
+    return Status::FailedPrecondition(
+        "cannot remark on a pseudonymous comment");
+  }
+  Remark remark;
+  remark.rater = rater;
+  remark.author = author;
+  remark.software = software;
+  remark.positive = positive;
+  remark.submitted_at = now;
+  PISREP_RETURN_IF_ERROR(votes_.SubmitRemark(remark));
+  ++stats_.remarks_accepted;
+  // §3.2: remarks feed the comment author's trust factor.
+  return accounts_.ApplyRemark(author, positive, now).status();
+}
+
+Result<core::VendorScore> ReputationServer::QueryVendor(
+    std::string_view session, const core::VendorId& vendor) {
+  PISREP_RETURN_IF_ERROR(accounts_.Authenticate(session).status());
+  return registry_.GetVendorScore(vendor);
+}
+
+Status ReputationServer::CreateFeed(std::string_view session,
+                                    std::string_view name,
+                                    std::string_view description) {
+  PISREP_ASSIGN_OR_RETURN(core::UserId user, accounts_.Authenticate(session));
+  return feeds_.CreateFeed(name, user, description);
+}
+
+Status ReputationServer::PublishFeedEntry(std::string_view session,
+                                          const FeedEntry& entry) {
+  PISREP_ASSIGN_OR_RETURN(core::UserId user, accounts_.Authenticate(session));
+  return feeds_.Publish(entry, user);
+}
+
+Result<FeedEntry> ReputationServer::QueryFeed(std::string_view session,
+                                              std::string_view feed,
+                                              const SoftwareId& software) {
+  PISREP_RETURN_IF_ERROR(accounts_.Authenticate(session).status());
+  return feeds_.Lookup(feed, software);
+}
+
+// ---------------------------------------------------------------------
+// RPC adapter
+// ---------------------------------------------------------------------
+
+Status ReputationServer::AttachRpc(net::SimNetwork* network,
+                                   std::string address) {
+  rpc_ = std::make_unique<net::RpcServer>(network, std::move(address));
+  PISREP_RETURN_IF_ERROR(rpc_->Start());
+  RegisterRpcMethods();
+  return Status::Ok();
+}
+
+void ReputationServer::RegisterRpcMethods() {
+  rpc_->RegisterMethod("RequestPuzzle", [this](const XmlNode&)
+                           -> Result<XmlNode> {
+    Puzzle puzzle = RequestPuzzle();
+    XmlNode result("result");
+    XmlNode& node = result.AddChild("puzzle");
+    node.SetAttribute("nonce", puzzle.nonce);
+    node.SetAttribute("bits", std::to_string(puzzle.difficulty_bits));
+    return result;
+  });
+
+  rpc_->RegisterMethod(
+      "Register", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string source,
+                                request.ChildText("source"));
+        PISREP_ASSIGN_OR_RETURN(std::string username,
+                                request.ChildText("username"));
+        PISREP_ASSIGN_OR_RETURN(std::string password,
+                                request.ChildText("password"));
+        PISREP_ASSIGN_OR_RETURN(std::string email,
+                                request.ChildText("email"));
+        std::string nonce = request.ChildText("nonce").value_or("");
+        std::string solution = request.ChildText("solution").value_or("");
+        PISREP_RETURN_IF_ERROR(Register(source, username, password, email,
+                                        nonce, solution, Now()));
+        return XmlNode("result");
+      });
+
+  rpc_->RegisterMethod(
+      "Activate", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string username,
+                                request.ChildText("username"));
+        PISREP_ASSIGN_OR_RETURN(std::string token,
+                                request.ChildText("token"));
+        PISREP_RETURN_IF_ERROR(Activate(username, token));
+        return XmlNode("result");
+      });
+
+  rpc_->RegisterMethod(
+      "Login", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string username,
+                                request.ChildText("username"));
+        PISREP_ASSIGN_OR_RETURN(std::string password,
+                                request.ChildText("password"));
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                Login(username, password, Now()));
+        XmlNode result("result");
+        result.AddTextChild("session", session);
+        return result;
+      });
+
+  rpc_->RegisterMethod(
+      "QuerySoftware", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                request.ChildText("session"));
+        PISREP_ASSIGN_OR_RETURN(std::string id_hex, request.ChildText("id"));
+        PISREP_ASSIGN_OR_RETURN(SoftwareId id, SoftwareIdFromHex(id_hex));
+        PISREP_ASSIGN_OR_RETURN(SoftwareInfo info,
+                                QuerySoftware(session, id));
+        XmlNode result("result");
+        result.SetAttribute("known", info.known ? "1" : "0");
+        result.AddChild(MetaToXml(info.meta));
+        if (info.score.has_value()) {
+          XmlNode& node = result.AddChild("score");
+          node.SetAttribute("value",
+                            util::StrFormat("%.6f", info.score->score));
+          node.SetAttribute("votes", std::to_string(info.score->vote_count));
+          node.SetAttribute("weight",
+                            util::StrFormat("%.6f", info.score->weight_sum));
+          node.SetAttribute("computed_at",
+                            std::to_string(info.score->computed_at));
+        }
+        if (info.vendor_score.has_value()) {
+          XmlNode& node = result.AddChild("vendor");
+          node.SetAttribute("name", info.vendor_score->vendor);
+          node.SetAttribute(
+              "score", util::StrFormat("%.6f", info.vendor_score->score));
+          node.SetAttribute(
+              "count", std::to_string(info.vendor_score->software_count));
+        }
+        result.AddTextChild(
+            "behaviors", core::BehaviorSetToString(info.reported_behaviors));
+        result.AddIntChild("runs", info.run_count);
+        for (const core::RatingRecord& comment : info.comments) {
+          XmlNode& node = result.AddChild("comment");
+          node.SetAttribute("author", std::to_string(comment.user));
+          node.SetAttribute("score", std::to_string(comment.score));
+          node.SetAttribute("at", std::to_string(comment.submitted_at));
+          node.set_text(comment.comment);
+        }
+        return result;
+      });
+
+  rpc_->RegisterMethod(
+      "SubmitRating", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                request.ChildText("session"));
+        const XmlNode* software = request.FindChild("software");
+        if (software == nullptr) {
+          return Status::InvalidArgument("missing <software> element");
+        }
+        PISREP_ASSIGN_OR_RETURN(core::SoftwareMeta meta,
+                                MetaFromXml(*software));
+        PISREP_ASSIGN_OR_RETURN(std::int64_t score,
+                                request.ChildInt("score"));
+        std::string comment = request.ChildText("comment").value_or("");
+        PISREP_ASSIGN_OR_RETURN(
+            core::BehaviorSet behaviors,
+            core::BehaviorSetFromString(
+                request.ChildText("behaviors").value_or("")));
+        PISREP_RETURN_IF_ERROR(SubmitRating(session, meta,
+                                            static_cast<int>(score), comment,
+                                            behaviors, Now()));
+        return XmlNode("result");
+      });
+
+  rpc_->RegisterMethod(
+      "ReportExecutions", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                request.ChildText("session"));
+        PISREP_ASSIGN_OR_RETURN(std::string id_hex, request.ChildText("id"));
+        PISREP_ASSIGN_OR_RETURN(SoftwareId id, SoftwareIdFromHex(id_hex));
+        PISREP_ASSIGN_OR_RETURN(std::int64_t count,
+                                request.ChildInt("count"));
+        PISREP_RETURN_IF_ERROR(ReportExecutions(session, id, count));
+        return XmlNode("result");
+      });
+
+  rpc_->RegisterMethod(
+      "SubmitRemark", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                request.ChildText("session"));
+        PISREP_ASSIGN_OR_RETURN(std::int64_t author,
+                                request.ChildInt("author"));
+        PISREP_ASSIGN_OR_RETURN(std::string id_hex, request.ChildText("id"));
+        PISREP_ASSIGN_OR_RETURN(SoftwareId id, SoftwareIdFromHex(id_hex));
+        PISREP_ASSIGN_OR_RETURN(std::int64_t positive,
+                                request.ChildInt("positive"));
+        PISREP_RETURN_IF_ERROR(
+            SubmitRemark(session, author, id, positive != 0, Now()));
+        return XmlNode("result");
+      });
+
+  rpc_->RegisterMethod(
+      "QueryVendor", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                request.ChildText("session"));
+        PISREP_ASSIGN_OR_RETURN(std::string vendor,
+                                request.ChildText("vendor"));
+        PISREP_ASSIGN_OR_RETURN(core::VendorScore score,
+                                QueryVendor(session, vendor));
+        XmlNode result("result");
+        XmlNode& node = result.AddChild("vendor");
+        node.SetAttribute("name", score.vendor);
+        node.SetAttribute("score", util::StrFormat("%.6f", score.score));
+        node.SetAttribute("count", std::to_string(score.software_count));
+        return result;
+      });
+
+  rpc_->RegisterMethod(
+      "QueryFeed", [this](const XmlNode& request) -> Result<XmlNode> {
+        PISREP_ASSIGN_OR_RETURN(std::string session,
+                                request.ChildText("session"));
+        PISREP_ASSIGN_OR_RETURN(std::string feed, request.ChildText("feed"));
+        PISREP_ASSIGN_OR_RETURN(std::string id_hex, request.ChildText("id"));
+        PISREP_ASSIGN_OR_RETURN(SoftwareId id, SoftwareIdFromHex(id_hex));
+        PISREP_ASSIGN_OR_RETURN(FeedEntry entry,
+                                QueryFeed(session, feed, id));
+        XmlNode result("result");
+        XmlNode& node = result.AddChild("entry");
+        node.SetAttribute("feed", entry.feed);
+        node.SetAttribute("score", util::StrFormat("%.6f", entry.score));
+        node.SetAttribute("behaviors",
+                          core::BehaviorSetToString(entry.behaviors));
+        node.set_text(entry.note);
+        return result;
+      });
+}
+
+}  // namespace pisrep::server

@@ -1,0 +1,206 @@
+#ifndef PISREP_SERVER_REPUTATION_SERVER_H_
+#define PISREP_SERVER_REPUTATION_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/behavior.h"
+#include "core/types.h"
+#include "net/event_loop.h"
+#include "net/rpc.h"
+#include "server/account_manager.h"
+#include "server/aggregation_job.h"
+#include "server/bootstrap.h"
+#include "server/feeds.h"
+#include "server/flood_guard.h"
+#include "server/moderation.h"
+#include "server/software_registry.h"
+#include "server/vote_store.h"
+#include "storage/database.h"
+
+namespace pisrep::server {
+
+/// An activation e-mail in the simulated mailbox.
+struct ActivationMail {
+  std::string username;
+  std::string token;
+};
+
+/// Everything the client displays about a pending software (§3.1: the
+/// client "queries the server and fetches the information about the
+/// executing software to show the user").
+struct SoftwareInfo {
+  core::SoftwareMeta meta;
+  bool known = false;  ///< registered in the reputation system at all
+  std::optional<core::SoftwareScore> score;
+  std::optional<core::VendorScore> vendor_score;
+  core::BehaviorSet reported_behaviors = core::kNoBehaviors;
+  std::vector<core::RatingRecord> comments;
+  /// §3.1 run statistics: community-wide execution count reported by
+  /// clients (anonymous totals, never per-host).
+  std::int64_t run_count = 0;
+};
+
+/// Operation counters for reports and benches.
+struct ServerStats {
+  std::uint64_t registrations = 0;
+  std::uint64_t registrations_rejected = 0;
+  std::uint64_t logins = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t votes_accepted = 0;
+  std::uint64_t votes_rejected_duplicate = 0;
+  std::uint64_t votes_rejected_flood = 0;
+  std::uint64_t remarks_accepted = 0;
+};
+
+/// The reputation-system server (§3.2): accounts, votes, comment remarks,
+/// software/vendor registry, daily aggregation, flood protection,
+/// moderation, bootstrap import and expert feeds — exposed both as a native
+/// in-process API (used by fast simulations and tests) and as XML RPC over
+/// the simulated network (used by the client library, §3.2's protocol).
+class ReputationServer {
+ public:
+  struct Config {
+    AccountManager::Config accounts;
+    FloodGuard::Config flood;
+    /// When true, comments require administrator approval before other
+    /// users see them (§2.1, third mitigation).
+    bool moderation_enabled = false;
+    /// Max comments returned per software query.
+    std::size_t max_comments_per_query = 10;
+    /// Behaviours are surfaced once this many raters reported them.
+    int behavior_report_threshold = 2;
+    /// How often the aggregation job runs (§3.2: 24 h). Exposed for the
+    /// staleness-vs-cost ablation.
+    util::Duration aggregation_period = core::kAggregationPeriod;
+    /// Ablation switch: weigh votes by trust factor (§3.2) or not.
+    bool trust_weighting = true;
+    /// §5 future work: pseudonymous voting. When true, ratings are stored
+    /// under a per-(user, software) pseudonym derived with `pseudonym_secret`
+    /// instead of the account id — votes on different programs cannot be
+    /// linked to each other or to an account (cf. the paper's idemix
+    /// suggestion), while the one-vote-per-software property is preserved.
+    /// The voter's trust factor is snapshotted into the vote, and comments
+    /// lose meta-moderation (remarks need linkable authorship).
+    bool pseudonymous_votes = false;
+    std::string pseudonym_secret = "pisrep-pseudonym-secret";
+  };
+
+  /// The database must outlive the server. The loop is used for the daily
+  /// aggregation schedule and may be null for purely manual operation.
+  ReputationServer(storage::Database* db, net::EventLoop* loop,
+                   Config config);
+
+  // ------------------------------------------------------------------
+  // Native API
+  // ------------------------------------------------------------------
+
+  /// Issues a registration puzzle (client must solve it before Register).
+  Puzzle RequestPuzzle();
+
+  /// Registers an account. On success the activation token travels via the
+  /// simulated e-mail system (FetchMail), never via the RPC response.
+  util::Status Register(std::string_view source, std::string_view username,
+                        std::string_view password, std::string_view email,
+                        std::string_view puzzle_nonce,
+                        std::string_view puzzle_solution,
+                        util::TimePoint now);
+
+  /// Pops the pending activation mail for `email`, if any.
+  util::Result<ActivationMail> FetchMail(std::string_view email);
+
+  util::Status Activate(std::string_view username, std::string_view token);
+
+  util::Result<std::string> Login(std::string_view username,
+                                  std::string_view password,
+                                  util::TimePoint now);
+
+  /// Looks up everything known about a software id.
+  util::Result<SoftwareInfo> QuerySoftware(std::string_view session,
+                                           const core::SoftwareId& id);
+
+  /// Submits a rating (registering the software from `meta` if new).
+  util::Status SubmitRating(std::string_view session,
+                            const core::SoftwareMeta& meta, int score,
+                            std::string_view comment,
+                            core::BehaviorSet behaviors, util::TimePoint now);
+
+  /// §3.1 run statistics: records `count` anonymous executions of
+  /// `software`. The digest need not be registered yet; counters attach to
+  /// the id and surface once the software is known.
+  util::Status ReportExecutions(std::string_view session,
+                                const core::SoftwareId& software,
+                                std::int64_t count);
+
+  /// Submits a remark on the comment `author` left on `software`; adjusts
+  /// the author's trust factor per §3.2.
+  util::Status SubmitRemark(std::string_view session, core::UserId author,
+                            const core::SoftwareId& software, bool positive,
+                            util::TimePoint now);
+
+  util::Result<core::VendorScore> QueryVendor(std::string_view session,
+                                              const core::VendorId& vendor);
+
+  util::Status CreateFeed(std::string_view session, std::string_view name,
+                          std::string_view description);
+  util::Status PublishFeedEntry(std::string_view session,
+                                const FeedEntry& entry);
+  util::Result<FeedEntry> QueryFeed(std::string_view session,
+                                    std::string_view feed,
+                                    const core::SoftwareId& software);
+
+  // ------------------------------------------------------------------
+  // RPC adapter
+  // ------------------------------------------------------------------
+
+  /// Binds the XML RPC front-end at `address` on `network`.
+  util::Status AttachRpc(net::SimNetwork* network, std::string address);
+
+  // ------------------------------------------------------------------
+  // Component access (administration, benches, tests)
+  // ------------------------------------------------------------------
+
+  AccountManager& accounts() { return accounts_; }
+  VoteStore& votes() { return votes_; }
+  SoftwareRegistry& registry() { return registry_; }
+  FloodGuard& flood_guard() { return flood_; }
+  ModerationQueue& moderation() { return moderation_; }
+  FeedStore& feeds() { return feeds_; }
+  AggregationJob& aggregation() { return aggregation_; }
+  BootstrapImporter& bootstrap() { return bootstrap_; }
+  const ServerStats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+  util::TimePoint Now() const;
+
+  /// The unlinkable per-(user, software) pseudonym used when
+  /// `pseudonymous_votes` is on. Always negative. Exposed for tests.
+  core::UserId PseudonymFor(core::UserId user,
+                            const core::SoftwareId& software) const;
+
+ private:
+  void RegisterRpcMethods();
+
+  Config config_;
+  net::EventLoop* loop_;
+  AccountManager accounts_;
+  SoftwareRegistry registry_;
+  VoteStore votes_;
+  FloodGuard flood_;
+  ModerationQueue moderation_;
+  FeedStore feeds_;
+  AggregationJob aggregation_;
+  BootstrapImporter bootstrap_;
+  std::unordered_map<std::string, ActivationMail> mailbox_;
+  std::unique_ptr<net::RpcServer> rpc_;
+  ServerStats stats_;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_REPUTATION_SERVER_H_

@@ -1,0 +1,108 @@
+#ifndef PISREP_SERVER_SOFTWARE_REGISTRY_H_
+#define PISREP_SERVER_SOFTWARE_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/behavior.h"
+#include "core/types.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pisrep::server {
+
+/// Persistent registry of software executables, vendors, aggregated scores
+/// and community behaviour reports (§3.3).
+///
+/// Backed by four tables in the embedded database:
+///   software(id, file_name, file_size, company, version)
+///   software_scores(id, score, vote_count, weight_sum, computed_at,
+///                   bootstrap_score, bootstrap_weight)
+///   vendor_scores(vendor, score, software_count, computed_at)
+///   behavior_reports(key, software, behavior, report_count)
+class SoftwareRegistry {
+ public:
+  /// Creates the backing tables if absent. The database must outlive the
+  /// registry.
+  explicit SoftwareRegistry(storage::Database* db);
+
+  /// Registers an executable. Re-registering the same digest with identical
+  /// metadata is a no-op; conflicting metadata for an existing digest fails
+  /// (the digest covers the file content, so this indicates a client bug).
+  util::Status RegisterSoftware(const core::SoftwareMeta& meta);
+
+  bool HasSoftware(const core::SoftwareId& id) const;
+  util::Result<core::SoftwareMeta> GetSoftware(
+      const core::SoftwareId& id) const;
+
+  /// All registered software produced by `vendor` (company-name match).
+  std::vector<core::SoftwareMeta> SoftwareByVendor(
+      const core::VendorId& vendor) const;
+
+  /// All registered software ids.
+  std::vector<core::SoftwareId> AllSoftware() const;
+  std::size_t SoftwareCount() const;
+
+  /// Case-insensitive substring search over file names (the §3 web
+  /// interface's search box).
+  std::vector<core::SoftwareMeta> SearchByName(std::string_view query) const;
+
+  /// Every computed vendor score.
+  std::vector<core::VendorScore> AllVendorScores() const;
+
+  /// Aggregated score access (written by the aggregation job).
+  util::Status PutScore(const core::SoftwareScore& score);
+  util::Result<core::SoftwareScore> GetScore(const core::SoftwareId& id) const;
+
+  /// The `limit` best (or worst) scored software with at least one vote,
+  /// via the ordered score index — no full scan.
+  std::vector<core::SoftwareScore> TopScored(std::size_t limit,
+                                             bool best) const;
+
+  /// Bootstrap prior (§2.1): a pre-seeded score with synthetic weight that
+  /// the aggregation job blends with real votes.
+  util::Status PutBootstrapPrior(const core::SoftwareId& id, double score,
+                                 double weight);
+  /// Returns {score, weight}; weight 0 when no prior exists.
+  std::pair<double, double> GetBootstrapPrior(const core::SoftwareId& id) const;
+
+  util::Status PutVendorScore(const core::VendorScore& score);
+  util::Result<core::VendorScore> GetVendorScore(
+      const core::VendorId& vendor) const;
+
+  /// Community behaviour reporting: each submitted rating may flag observed
+  /// behaviours; reports are counted per (software, behavior). `count`
+  /// lets high-confidence sources (e.g. the §5 runtime analyzer's "hard
+  /// evidence") weigh as several independent reports.
+  util::Status ReportBehaviors(const core::SoftwareId& id,
+                               core::BehaviorSet behaviors, int count = 1);
+
+  /// Behaviours reported by at least `min_reports` raters.
+  core::BehaviorSet ReportedBehaviors(const core::SoftwareId& id,
+                                      int min_reports = 1) const;
+
+  /// §3.1 "run statistics": anonymous community execution counters. Clients
+  /// batch-report how often they launched a program; the totals are shown
+  /// alongside ratings ("how widely used is this?").
+  util::Status AddRuns(const core::SoftwareId& id, std::int64_t count);
+  std::int64_t RunCount(const core::SoftwareId& id) const;
+
+  /// Number of reports for one behaviour.
+  std::int64_t BehaviorReportCount(const core::SoftwareId& id,
+                                   core::Behavior behavior) const;
+
+ private:
+  storage::Database* db_;
+  storage::Table* software_;
+  storage::Table* scores_;
+  storage::Table* vendor_scores_;
+  storage::Table* behavior_reports_;
+  storage::Table* run_stats_;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_SOFTWARE_REGISTRY_H_

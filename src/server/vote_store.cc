@@ -1,0 +1,217 @@
+#include "server/vote_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/hex.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pisrep::server {
+
+namespace {
+
+using core::SoftwareId;
+using storage::Row;
+using storage::SchemaBuilder;
+using storage::Value;
+using util::Result;
+using util::Status;
+
+SoftwareId IdFromHex(const std::string& hex) {
+  SoftwareId id;
+  auto decoded = util::HexDecode(hex);
+  PISREP_CHECK(decoded.ok() && decoded->size() == id.bytes.size())
+      << "corrupt software id in vote store";
+  for (std::size_t i = 0; i < id.bytes.size(); ++i) {
+    id.bytes[i] = (*decoded)[i];
+  }
+  return id;
+}
+
+StoredRating RatingFromRow(const Row& row) {
+  StoredRating stored;
+  stored.record.user = row[1].AsInt();
+  stored.record.software = IdFromHex(row[2].AsStr());
+  stored.record.score = static_cast<int>(row[3].AsInt());
+  stored.record.comment = row[4].AsStr();
+  stored.record.submitted_at = row[5].AsInt();
+  stored.approved = row[6].AsBool();
+  stored.trust_snapshot = row[7].AsReal();
+  return stored;
+}
+
+}  // namespace
+
+VoteStore::VoteStore(storage::Database* db) : db_(db) {
+  if (!db_->HasTable("ratings")) {
+    Status status = db_->CreateTable(SchemaBuilder("ratings")
+                                         .Str("key")
+                                         .Int("user")
+                                         .Str("software")
+                                         .Int("score")
+                                         .Str("comment")
+                                         .Int("submitted_at")
+                                         .Boolean("approved")
+                                         .Real("trust_snapshot")
+                                         .PrimaryKey("key")
+                                         .Index("user")
+                                         .Index("software")
+                                         .Build());
+    PISREP_CHECK(status.ok()) << status.ToString();
+  }
+  if (!db_->HasTable("remarks")) {
+    Status status = db_->CreateTable(SchemaBuilder("remarks")
+                                         .Str("key")
+                                         .Int("rater")
+                                         .Str("comment_key")
+                                         .Boolean("positive")
+                                         .Int("submitted_at")
+                                         .PrimaryKey("key")
+                                         .Index("comment_key")
+                                         .Build());
+    PISREP_CHECK(status.ok()) << status.ToString();
+  }
+  ratings_ = db_->GetTable("ratings").value();
+  remarks_ = db_->GetTable("remarks").value();
+}
+
+std::string VoteStore::VoteKey(core::UserId user,
+                               const SoftwareId& software) {
+  return std::to_string(user) + ":" + software.ToHex();
+}
+
+std::string VoteStore::CommentKey(core::UserId author,
+                                  const SoftwareId& software) {
+  return std::to_string(author) + ":" + software.ToHex();
+}
+
+Status VoteStore::SubmitRating(const core::RatingRecord& record,
+                               bool approved, double trust_snapshot) {
+  if (!core::IsValidRating(record.score)) {
+    return Status::InvalidArgument(util::StrFormat(
+        "rating %d outside [%d, %d]", record.score, core::kMinRating,
+        core::kMaxRating));
+  }
+  if (trust_snapshot < 0.0) {
+    return Status::InvalidArgument("trust snapshot must be >= 0");
+  }
+  std::string key = VoteKey(record.user, record.software);
+  if (ratings_->Contains(Value::Str(key))) {
+    // §2.1: "each user only votes for a software program exactly once."
+    return Status::AlreadyExists("user already voted on this software");
+  }
+  return ratings_->Insert(Row{
+      Value::Str(key),
+      Value::Int(record.user),
+      Value::Str(record.software.ToHex()),
+      Value::Int(record.score),
+      Value::Str(record.comment),
+      Value::Int(record.submitted_at),
+      Value::Boolean(approved),
+      Value::Real(trust_snapshot),
+  });
+}
+
+bool VoteStore::HasVoted(core::UserId user,
+                         const SoftwareId& software) const {
+  return ratings_->Contains(Value::Str(VoteKey(user, software)));
+}
+
+std::vector<StoredRating> VoteStore::VotesForSoftware(
+    const SoftwareId& software) const {
+  std::vector<StoredRating> out;
+  auto rows = ratings_->FindByIndex("software", Value::Str(software.ToHex()));
+  if (!rows.ok()) return out;
+  out.reserve(rows->size());
+  for (const Row& row : *rows) out.push_back(RatingFromRow(row));
+  return out;
+}
+
+std::vector<StoredRating> VoteStore::VotesByUser(core::UserId user) const {
+  std::vector<StoredRating> out;
+  auto rows = ratings_->FindByIndex("user", Value::Int(user));
+  if (!rows.ok()) return out;
+  out.reserve(rows->size());
+  for (const Row& row : *rows) out.push_back(RatingFromRow(row));
+  return out;
+}
+
+std::vector<core::RatingRecord> VoteStore::VisibleComments(
+    const SoftwareId& software, std::size_t limit) const {
+  std::vector<StoredRating> votes = VotesForSoftware(software);
+  std::vector<core::RatingRecord> comments;
+  for (const StoredRating& vote : votes) {
+    if (vote.approved && !vote.record.comment.empty()) {
+      comments.push_back(vote.record);
+    }
+  }
+  std::sort(comments.begin(), comments.end(),
+            [](const core::RatingRecord& a, const core::RatingRecord& b) {
+              return a.submitted_at > b.submitted_at;
+            });
+  if (comments.size() > limit) comments.resize(limit);
+  return comments;
+}
+
+Status VoteStore::SetApproved(core::UserId author,
+                              const SoftwareId& software, bool approved) {
+  std::string key = VoteKey(author, software);
+  PISREP_ASSIGN_OR_RETURN(Row row, ratings_->Get(Value::Str(key)));
+  row[6] = Value::Boolean(approved);
+  return ratings_->Upsert(std::move(row));
+}
+
+Status VoteStore::SubmitRemark(const Remark& remark) {
+  if (remark.rater == remark.author) {
+    return Status::InvalidArgument("cannot remark on your own comment");
+  }
+  std::string comment_key = CommentKey(remark.author, remark.software);
+  if (!ratings_->Contains(
+          Value::Str(VoteKey(remark.author, remark.software)))) {
+    return Status::NotFound("no such comment to remark on");
+  }
+  std::string key = std::to_string(remark.rater) + ":" + comment_key;
+  if (remarks_->Contains(Value::Str(key))) {
+    return Status::AlreadyExists("already remarked on this comment");
+  }
+  return remarks_->Insert(Row{
+      Value::Str(key),
+      Value::Int(remark.rater),
+      Value::Str(comment_key),
+      Value::Boolean(remark.positive),
+      Value::Int(remark.submitted_at),
+  });
+}
+
+bool VoteStore::HasRemarked(core::UserId rater, core::UserId author,
+                            const SoftwareId& software) const {
+  std::string key =
+      std::to_string(rater) + ":" + CommentKey(author, software);
+  return remarks_->Contains(Value::Str(key));
+}
+
+std::int64_t VoteStore::RemarkBalance(core::UserId author,
+                                      const SoftwareId& software) const {
+  auto rows = remarks_->FindByIndex(
+      "comment_key", Value::Str(CommentKey(author, software)));
+  if (!rows.ok()) return 0;
+  std::int64_t balance = 0;
+  for (const Row& row : *rows) balance += row[3].AsBool() ? 1 : -1;
+  return balance;
+}
+
+std::vector<SoftwareId> VoteStore::RatedSoftware() const {
+  std::unordered_set<std::string> seen;
+  std::vector<SoftwareId> out;
+  ratings_->ForEach([&](const Row& row) {
+    const std::string& hex = row[2].AsStr();
+    if (seen.insert(hex).second) out.push_back(IdFromHex(hex));
+  });
+  return out;
+}
+
+std::size_t VoteStore::TotalVotes() const { return ratings_->size(); }
+std::size_t VoteStore::TotalRemarks() const { return remarks_->size(); }
+
+}  // namespace pisrep::server

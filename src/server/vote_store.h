@@ -1,0 +1,104 @@
+#ifndef PISREP_SERVER_VOTE_STORE_H_
+#define PISREP_SERVER_VOTE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pisrep::server {
+
+/// A rating together with its moderation state.
+struct StoredRating {
+  core::RatingRecord record;
+  bool approved = true;  ///< comment visible to other users
+  /// Voter's trust factor snapshotted at vote time. 0 means "not
+  /// snapshotted": the aggregator looks the live factor up by account id.
+  /// Pseudonymous votes (whose user field is an unlinkable pseudonym) carry
+  /// a positive snapshot instead.
+  double trust_snapshot = 0.0;
+};
+
+/// A meta-moderation remark: `rater` judged the comment that `author` left
+/// on `software` as helpful (positive) or not (§3.2: "positive for a good,
+/// clear and useful comment or negative for a coloured, non-sense or
+/// meaningless comment").
+struct Remark {
+  core::UserId rater = 0;
+  core::UserId author = 0;
+  core::SoftwareId software;
+  bool positive = true;
+  util::TimePoint submitted_at = 0;
+};
+
+/// Persistent store of votes, comments, and comment remarks.
+///
+/// Invariant (§2.1): "the server must ensure that each user only votes for
+/// a software program exactly once" — enforced by the primary key
+/// user:software. Similarly each user may remark on a given comment once.
+class VoteStore {
+ public:
+  explicit VoteStore(storage::Database* db);
+
+  /// Records a vote. `approved` is the initial moderation state (false when
+  /// an administrator must review the comment first, §2.1 third approach).
+  /// `trust_snapshot` > 0 freezes the voter's weight at vote time (used by
+  /// pseudonymous voting, where the account id is not recoverable later).
+  util::Status SubmitRating(const core::RatingRecord& record,
+                            bool approved = true,
+                            double trust_snapshot = 0.0);
+
+  bool HasVoted(core::UserId user, const core::SoftwareId& software) const;
+
+  /// All votes cast on `software` (regardless of comment approval — scores
+  /// count every vote; moderation only gates comment visibility).
+  std::vector<StoredRating> VotesForSoftware(
+      const core::SoftwareId& software) const;
+
+  /// All votes cast by `user`.
+  std::vector<StoredRating> VotesByUser(core::UserId user) const;
+
+  /// Approved comments for display, newest first, at most `limit`.
+  std::vector<core::RatingRecord> VisibleComments(
+      const core::SoftwareId& software, std::size_t limit) const;
+
+  /// Flips the moderation state of the comment `author` left on `software`.
+  util::Status SetApproved(core::UserId author,
+                           const core::SoftwareId& software, bool approved);
+
+  /// Records a remark; one per (rater, author, software). The caller is
+  /// responsible for routing the trust-factor consequence to the account
+  /// manager.
+  util::Status SubmitRemark(const Remark& remark);
+
+  bool HasRemarked(core::UserId rater, core::UserId author,
+                   const core::SoftwareId& software) const;
+
+  /// Net remark balance (positives − negatives) for a comment.
+  std::int64_t RemarkBalance(core::UserId author,
+                             const core::SoftwareId& software) const;
+
+  /// Distinct software ids that have at least one vote.
+  std::vector<core::SoftwareId> RatedSoftware() const;
+
+  std::size_t TotalVotes() const;
+  std::size_t TotalRemarks() const;
+
+ private:
+  static std::string VoteKey(core::UserId user,
+                             const core::SoftwareId& software);
+  static std::string CommentKey(core::UserId author,
+                                const core::SoftwareId& software);
+
+  storage::Database* db_;
+  storage::Table* ratings_;
+  storage::Table* remarks_;
+};
+
+}  // namespace pisrep::server
+
+#endif  // PISREP_SERVER_VOTE_STORE_H_

@@ -1,0 +1,102 @@
+#include "sim/attacks.h"
+
+#include "server/flood_guard.h"
+#include "util/string_util.h"
+
+namespace pisrep::sim {
+
+namespace {
+using util::StrFormat;
+}  // namespace
+
+AttackStats Attacks::CreateSybilAccounts(
+    server::ReputationServer& server, int count, int num_sources,
+    util::TimePoint now, std::vector<std::string>* sessions_out,
+    int start_index) {
+  AttackStats stats;
+  for (int n = 0; n < count; ++n) {
+    int i = start_index + n;
+    ++stats.accounts_attempted;
+    std::string source =
+        StrFormat("attacker-src-%d", num_sources > 0 ? i % num_sources : 0);
+    std::string username = StrFormat("sybil_%05d", i);
+    std::string email = StrFormat("sybil_%05d@attacker.example", i);
+
+    // The attacker must burn CPU on the puzzle like anyone else.
+    server::Puzzle puzzle = server.RequestPuzzle();
+    std::uint64_t attempts = 0;
+    std::string solution =
+        server::FloodGuard::SolvePuzzle(puzzle, &attempts);
+    stats.puzzle_hashes += attempts;
+
+    util::Status registered = server.Register(
+        source, username, "sybilpass", email, puzzle.nonce, solution, now);
+    if (!registered.ok()) {
+      ++stats.accounts_rejected;
+      continue;
+    }
+    // Activation mail: attacker-controlled domain, so always readable.
+    auto mail = server.FetchMail(email);
+    if (mail.ok()) {
+      if (!server.Activate(mail->username, mail->token).ok()) {
+        ++stats.accounts_rejected;
+        continue;
+      }
+    }
+    auto session = server.Login(username, "sybilpass", now);
+    if (!session.ok()) {
+      ++stats.accounts_rejected;
+      continue;
+    }
+    ++stats.accounts_created;
+    if (sessions_out != nullptr) sessions_out->push_back(*session);
+  }
+  return stats;
+}
+
+AttackStats Attacks::FloodVotes(server::ReputationServer& server,
+                                const std::vector<std::string>& sessions,
+                                const core::SoftwareMeta& target, int score,
+                                util::TimePoint now) {
+  AttackStats stats;
+  for (const std::string& session : sessions) {
+    util::Status status = server.SubmitRating(
+        session, target, score, "great program, highly recommended",
+        core::kNoBehaviors, now);
+    if (status.ok()) {
+      ++stats.votes_accepted;
+    } else {
+      ++stats.votes_rejected;
+    }
+  }
+  return stats;
+}
+
+AttackStats Attacks::CollusiveTrustInflation(
+    server::ReputationServer& server,
+    const std::vector<std::string>& sessions,
+    const std::vector<core::UserId>& members,
+    const core::SoftwareId& target, util::TimePoint now) {
+  AttackStats stats;
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      if (i == j) continue;
+      util::Status status =
+          server.SubmitRemark(sessions[i], members[j], target,
+                              /*positive=*/true, now);
+      if (status.ok()) {
+        ++stats.remarks_accepted;
+      } else {
+        ++stats.remarks_rejected;
+      }
+    }
+  }
+  return stats;
+}
+
+client::FileImage Attacks::PolymorphicVariant(const SoftwareSpec& base,
+                                              int instance) {
+  return base.image.Repack(StrFormat(":variant:%08d", instance));
+}
+
+}  // namespace pisrep::sim

@@ -1,0 +1,71 @@
+#ifndef PISREP_SIM_ATTACKS_H_
+#define PISREP_SIM_ATTACKS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/file_image.h"
+#include "server/reputation_server.h"
+#include "sim/software_ecosystem.h"
+#include "util/clock.h"
+
+namespace pisrep::sim {
+
+/// Outcome counters shared by the attack drivers.
+struct AttackStats {
+  int accounts_attempted = 0;
+  int accounts_created = 0;
+  int accounts_rejected = 0;
+  std::uint64_t puzzle_hashes = 0;  ///< attacker compute spent on puzzles
+  int votes_accepted = 0;
+  int votes_rejected = 0;
+  int remarks_accepted = 0;
+  int remarks_rejected = 0;
+};
+
+/// §2.1's abuse scenarios, exercised against the real server stack. All
+/// drivers go through the public native API — the attacker has no powers an
+/// actual network client would lack.
+class Attacks {
+ public:
+  /// Registers, activates and logs in `count` attacker accounts spread over
+  /// `num_sources` client addresses, solving the registration puzzles
+  /// honestly. Fills `sessions_out` with the sessions of the accounts that
+  /// made it through. This is the Sybil attack (§2.1/ref [10]): the cost of
+  /// each identity is exactly what the flood guard makes it.
+  /// `start_index` numbers the generated identities, so successive waves
+  /// (e.g. one per simulated day) do not collide on usernames.
+  static AttackStats CreateSybilAccounts(
+      server::ReputationServer& server, int count, int num_sources,
+      util::TimePoint now, std::vector<std::string>* sessions_out,
+      int start_index = 0);
+
+  /// Every session votes `score` on `target` (registering it if needed).
+  /// With score 9-10 this is ballot stuffing / positive discrimination;
+  /// with 1-2 it is a discredit attack against a competitor (§2.1:
+  /// "intentionally enter misleading information to discredit a software
+  /// vendor they dislike").
+  static AttackStats FloodVotes(server::ReputationServer& server,
+                                const std::vector<std::string>& sessions,
+                                const core::SoftwareMeta& target, int score,
+                                util::TimePoint now);
+
+  /// Colluding accounts leave positive remarks on each other's comments on
+  /// `target`, trying to inflate their trust factors. Stopped by the
+  /// one-remark-per-comment rule and the §3.2 weekly growth cap.
+  static AttackStats CollusiveTrustInflation(
+      server::ReputationServer& server,
+      const std::vector<std::string>& sessions,
+      const std::vector<core::UserId>& members,
+      const core::SoftwareId& target, util::TimePoint now);
+
+  /// The §3.3 evasion: produces the `instance`-th repacked variant of a
+  /// base program, with a fresh digest but identical behaviour.
+  static client::FileImage PolymorphicVariant(const SoftwareSpec& base,
+                                              int instance);
+};
+
+}  // namespace pisrep::sim
+
+#endif  // PISREP_SIM_ATTACKS_H_

@@ -1,0 +1,55 @@
+#include "sim/baseline_av.h"
+
+#include "core/classification.h"
+
+namespace pisrep::sim {
+
+SignatureBaseline::SignatureBaseline(BaselineConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void SignatureBaseline::ObserveSample(const SoftwareSpec& spec,
+                                      util::TimePoint first_seen) {
+  const core::SoftwareId& id = spec.image.Digest();
+  if (entries_.contains(id)) return;
+
+  Entry entry;
+  if (core::IsLegitimate(spec.truth)) {
+    entry.will_detect = false;
+  } else if (core::IsMalware(spec.truth)) {
+    entry.will_detect = rng_.NextBool(config_.malware_coverage);
+  } else {
+    // Grey zone. The legal filter (§1: classification "is legally
+    // problematic ... could lead to law suits") bars listing software whose
+    // EULA disclosed the behaviour — which is precisely the medium-consent
+    // row of Table 1.
+    bool would_list = rng_.NextBool(config_.spyware_coverage);
+    if (would_list && config_.legal_constraint && spec.disclosure.disclosed) {
+      ++legally_excluded_;
+      would_list = false;
+    }
+    entry.will_detect = would_list;
+  }
+  // Analyst lag with some spread around the configured mean.
+  util::Duration lag = config_.analysis_lag +
+                       static_cast<util::Duration>(rng_.NextExponential(
+                           static_cast<double>(config_.analysis_lag) / 2.0));
+  entry.detect_at = first_seen + lag;
+  entries_.emplace(id, entry);
+}
+
+bool SignatureBaseline::IsDetected(const core::SoftwareId& id,
+                                   util::TimePoint now) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  return it->second.will_detect && now >= it->second.detect_at;
+}
+
+std::size_t SignatureBaseline::ListedCount(util::TimePoint now) const {
+  std::size_t count = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.will_detect && now >= entry.detect_at) ++count;
+  }
+  return count;
+}
+
+}  // namespace pisrep::sim

@@ -1,0 +1,103 @@
+#include "sim/host.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pisrep::sim {
+
+const char* ProtectionKindName(ProtectionKind kind) {
+  switch (kind) {
+    case ProtectionKind::kNone:
+      return "unprotected";
+    case ProtectionKind::kSignatureAv:
+      return "signature-av";
+    case ProtectionKind::kReputation:
+      return "reputation";
+  }
+  return "?";
+}
+
+SimHost::SimHost(std::string name, ProtectionKind protection,
+                 SimUserModel user, std::vector<std::size_t> installed)
+    : name_(std::move(name)),
+      protection_(protection),
+      user_(std::move(user)),
+      installed_(std::move(installed)) {}
+
+void SimHost::AttachClient(std::unique_ptr<client::ClientApp> client) {
+  PISREP_CHECK(protection_ == ProtectionKind::kReputation)
+      << "client attached to non-reputation host";
+  client_ = std::move(client);
+}
+
+void SimHost::AttachBaseline(const SignatureBaseline* baseline) {
+  PISREP_CHECK(protection_ == ProtectionKind::kSignatureAv)
+      << "baseline attached to non-AV host";
+  baseline_ = baseline;
+}
+
+std::size_t SimHost::SampleInstalled(util::Rng& rng) const {
+  PISREP_CHECK(!installed_.empty()) << "host has no installed software";
+  return installed_[rng.NextIndex(installed_.size())];
+}
+
+void SimHost::ExecuteOne(const SoftwareEcosystem& eco,
+                         std::size_t spec_index, util::TimePoint now,
+                         GroupOutcome* outcome) {
+  const SoftwareSpec& spec = eco.spec(spec_index);
+  ++executions_;
+  ++outcome->executions;
+
+  switch (protection_) {
+    case ProtectionKind::kNone:
+      RecordDecision(spec, /*allowed=*/true, outcome);
+      return;
+    case ProtectionKind::kSignatureAv: {
+      bool detected =
+          baseline_ != nullptr && baseline_->IsDetected(spec.image.Digest(),
+                                                        now);
+      RecordDecision(spec, /*allowed=*/!detected, outcome);
+      return;
+    }
+    case ProtectionKind::kReputation: {
+      PISREP_CHECK(client_ != nullptr) << "reputation host without client";
+      // The hook parks the execution; accounting happens when the decision
+      // callback fires (possibly after server round-trips).
+      client_->interceptor().OnExecutionRequest(
+          spec.image, [this, &spec, outcome](client::ExecDecision decision) {
+            RecordDecision(spec,
+                           decision == client::ExecDecision::kAllow,
+                           outcome);
+          });
+      return;
+    }
+  }
+}
+
+void SimHost::RecordDecision(const SoftwareSpec& spec, bool allowed,
+                             GroupOutcome* outcome) {
+  bool is_pis = SoftwareEcosystem::IsPis(spec.truth);
+  bool is_malware = core::IsMalware(spec.truth);
+  if (is_pis) {
+    if (allowed) {
+      ++outcome->pis_allowed;
+      if (is_malware) ++outcome->malware_allowed;
+      if (!infected_) {
+        infected_ = true;
+        ++outcome->infected_hosts;
+      }
+    } else {
+      ++outcome->pis_blocked;
+      if (is_malware) ++outcome->malware_blocked;
+    }
+  } else {
+    if (allowed) {
+      ++outcome->legit_allowed;
+    } else {
+      ++outcome->legit_blocked;
+    }
+  }
+}
+
+}  // namespace pisrep::sim

@@ -1,0 +1,79 @@
+#ifndef PISREP_SIM_HOST_H_
+#define PISREP_SIM_HOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client_app.h"
+#include "sim/baseline_av.h"
+#include "sim/metrics.h"
+#include "sim/software_ecosystem.h"
+#include "sim/user_model.h"
+
+namespace pisrep::sim {
+
+/// What protects a simulated machine.
+enum class ProtectionKind : std::uint8_t {
+  kNone = 0,        ///< unprotected (the paper's 80%-infected population)
+  kSignatureAv = 1, ///< conventional signature scanner (§4.3 baseline)
+  kReputation = 2,  ///< the pisrep client behind the execution hook
+};
+
+const char* ProtectionKindName(ProtectionKind kind);
+
+/// One simulated machine + its user: the installed program mix, the
+/// protection mechanism, and per-host outcome accounting.
+class SimHost {
+ public:
+  SimHost(std::string name, ProtectionKind protection, SimUserModel user,
+          std::vector<std::size_t> installed);
+
+  SimHost(const SimHost&) = delete;
+  SimHost& operator=(const SimHost&) = delete;
+  SimHost(SimHost&&) = default;
+  SimHost& operator=(SimHost&&) = default;
+
+  const std::string& name() const { return name_; }
+  ProtectionKind protection() const { return protection_; }
+  SimUserModel& user() { return user_; }
+  const std::vector<std::size_t>& installed() const { return installed_; }
+
+  /// Wires up a reputation client (protection == kReputation).
+  void AttachClient(std::unique_ptr<client::ClientApp> client);
+  client::ClientApp* client() { return client_.get(); }
+
+  /// Wires up the shared signature scanner (protection == kSignatureAv).
+  void AttachBaseline(const SignatureBaseline* baseline);
+
+  /// Picks one of the installed programs uniformly at random.
+  std::size_t SampleInstalled(util::Rng& rng) const;
+
+  /// Runs one execution of ecosystem program `spec_index` at `now`,
+  /// recording the outcome into `outcome` (and this host's infection
+  /// state). For reputation hosts the decision may resolve asynchronously
+  /// on the event loop; accounting happens when it resolves.
+  void ExecuteOne(const SoftwareEcosystem& eco, std::size_t spec_index,
+                  util::TimePoint now, GroupOutcome* outcome);
+
+  bool infected() const { return infected_; }
+  std::uint64_t executions() const { return executions_; }
+
+ private:
+  void RecordDecision(const SoftwareSpec& spec, bool allowed,
+                      GroupOutcome* outcome);
+
+  std::string name_;
+  ProtectionKind protection_;
+  SimUserModel user_;
+  std::vector<std::size_t> installed_;
+  std::unique_ptr<client::ClientApp> client_;
+  const SignatureBaseline* baseline_ = nullptr;
+  bool infected_ = false;
+  std::uint64_t executions_ = 0;
+};
+
+}  // namespace pisrep::sim
+
+#endif  // PISREP_SIM_HOST_H_

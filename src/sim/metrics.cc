@@ -1,0 +1,51 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pisrep::sim {
+
+SummaryStats Summarize(std::vector<double> values) {
+  SummaryStats stats;
+  if (values.empty()) return stats;
+  std::sort(values.begin(), values.end());
+  stats.count = values.size();
+  stats.min = values.front();
+  stats.max = values.back();
+
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+
+  double sq = 0.0;
+  for (double v : values) sq += (v - stats.mean) * (v - stats.mean);
+  stats.stddev = values.size() > 1
+                     ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                     : 0.0;
+
+  auto percentile = [&](double p) {
+    double rank = p * static_cast<double>(values.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  return stats;
+}
+
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  PISREP_CHECK(a.size() == b.size()) << "MAE needs equal-length samples";
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(a[i] - b[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace pisrep::sim

@@ -1,0 +1,67 @@
+#ifndef PISREP_SIM_METRICS_H_
+#define PISREP_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pisrep::sim {
+
+/// Summary statistics over a sample.
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes summary statistics; an empty sample yields all zeros.
+SummaryStats Summarize(std::vector<double> values);
+
+/// Mean absolute error between paired samples; the samples must be equal
+/// length.
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Execution outcomes for one protection group in a scenario.
+struct GroupOutcome {
+  std::string label;
+  int hosts = 0;
+
+  std::uint64_t executions = 0;
+
+  /// PIS = spyware + malware categories (everything but legitimate, in the
+  /// Table-1 sense of "privacy-invasive").
+  std::uint64_t pis_allowed = 0;
+  std::uint64_t pis_blocked = 0;
+  std::uint64_t malware_allowed = 0;  ///< subset of pis_allowed
+  std::uint64_t malware_blocked = 0;
+
+  std::uint64_t legit_allowed = 0;
+  std::uint64_t legit_blocked = 0;  ///< false positives
+
+  std::uint64_t prompts = 0;        ///< user interruptions (allow/deny asks)
+  int infected_hosts = 0;           ///< hosts that ran >= 1 PIS binary
+
+  /// Fraction of hosts that ran at least one PIS binary.
+  double InfectionRate() const {
+    return hosts == 0 ? 0.0 : static_cast<double>(infected_hosts) / hosts;
+  }
+  /// Fraction of PIS execution attempts that were blocked.
+  double PisBlockRate() const {
+    std::uint64_t total = pis_allowed + pis_blocked;
+    return total == 0 ? 0.0 : static_cast<double>(pis_blocked) / total;
+  }
+  /// Fraction of legitimate execution attempts wrongly blocked.
+  double FalseBlockRate() const {
+    std::uint64_t total = legit_allowed + legit_blocked;
+    return total == 0 ? 0.0 : static_cast<double>(legit_blocked) / total;
+  }
+};
+
+}  // namespace pisrep::sim
+
+#endif  // PISREP_SIM_METRICS_H_

@@ -1,0 +1,85 @@
+#include "sim/runtime_analyzer.h"
+
+#include <algorithm>
+
+namespace pisrep::sim {
+
+namespace {
+using util::Result;
+using util::Status;
+}  // namespace
+
+RuntimeAnalyzer::RuntimeAnalyzer(Config config,
+                                 server::SoftwareRegistry* registry,
+                                 server::FeedStore* feeds)
+    : config_(std::move(config)),
+      registry_(registry),
+      feeds_(feeds),
+      rng_(config_.seed) {}
+
+Status RuntimeAnalyzer::SetUpFeed(core::UserId publisher) {
+  if (config_.feed_name.empty() || feeds_ == nullptr) return Status::Ok();
+  if (feeds_->HasFeed(config_.feed_name)) return Status::Ok();
+  return feeds_->CreateFeed(config_.feed_name, publisher,
+                            "automated runtime (sandbox) analysis results");
+}
+
+Result<RuntimeAnalyzer::AnalysisResult> RuntimeAnalyzer::Analyze(
+    const SoftwareSpec& spec, core::UserId publisher, util::TimePoint now) {
+  const core::SoftwareId& id = spec.image.Digest();
+  if (analyzed_.contains(id)) {
+    // Cached: the behaviours already stand in the registry as evidence.
+    AnalysisResult cached;
+    cached.detected = registry_->ReportedBehaviors(id, 1);
+    return cached;
+  }
+
+  AnalysisResult result;
+  for (core::Behavior b : core::AllBehaviors()) {
+    bool present = core::HasBehavior(spec.behaviors, b);
+    if (present && rng_.NextBool(config_.sensitivity)) {
+      result.detected = core::WithBehavior(result.detected, b);
+      ++result.true_positives;
+    } else if (present) {
+      ++result.missed;
+    } else if (rng_.NextBool(config_.false_positive_rate)) {
+      result.detected = core::WithBehavior(result.detected, b);
+      ++result.false_positives;
+    }
+  }
+
+  PISREP_RETURN_IF_ERROR(registry_->RegisterSoftware(spec.image.Meta()));
+  if (result.detected != core::kNoBehaviors) {
+    PISREP_RETURN_IF_ERROR(registry_->ReportBehaviors(
+        id, result.detected, config_.evidence_weight));
+  }
+
+  if (!config_.feed_name.empty() && feeds_ != nullptr) {
+    // Score heuristic: start from a clean 8 and dock per consequence class.
+    double score = 8.0;
+    switch (core::AssessConsequence(result.detected)) {
+      case core::ConsequenceLevel::kSevere:
+        score = 1.5;
+        break;
+      case core::ConsequenceLevel::kModerate:
+        score = 4.0;
+        break;
+      case core::ConsequenceLevel::kTolerable:
+        score = result.detected == core::kNoBehaviors ? 8.0 : 6.5;
+        break;
+    }
+    server::FeedEntry entry;
+    entry.feed = config_.feed_name;
+    entry.software = id;
+    entry.score = std::clamp(score, 1.0, 10.0);
+    entry.behaviors = result.detected;
+    entry.note = "automated sandbox analysis";
+    entry.published_at = now;
+    PISREP_RETURN_IF_ERROR(feeds_->Publish(entry, publisher));
+  }
+
+  analyzed_.insert(id);
+  return result;
+}
+
+}  // namespace pisrep::sim

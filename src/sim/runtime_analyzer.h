@@ -1,0 +1,74 @@
+#ifndef PISREP_SIM_RUNTIME_ANALYZER_H_
+#define PISREP_SIM_RUNTIME_ANALYZER_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/behavior.h"
+#include "server/feeds.h"
+#include "server/software_registry.h"
+#include "sim/software_ecosystem.h"
+#include "util/random.h"
+
+namespace pisrep::sim {
+
+/// §5 future work: "using runtime software analysis to automatically collect
+/// information about whether software has some unwanted behaviour, for
+/// instance if it shows advertisements or includes an incomplete
+/// uninstallation function. The results from such investigations could then
+/// be inserted into the reputation system as hard evidence."
+///
+/// The analyzer sandboxes a sample (simulated: per-behaviour detection with
+/// configurable sensitivity and a small false-positive rate), then publishes
+/// its findings twice:
+///   - as weighted behaviour reports in the registry (hard evidence counts
+///     as several independent user reports), and
+///   - as an entry in an expert feed, so subscribing clients can consume the
+///     lab's verdict directly (§4.2 subscriptions).
+class RuntimeAnalyzer {
+ public:
+  struct Config {
+    /// Probability a genuinely-present behaviour is detected in the sandbox.
+    double sensitivity = 0.9;
+    /// Probability an absent behaviour is falsely flagged.
+    double false_positive_rate = 0.01;
+    /// How many user reports one analysis counts as in the registry.
+    int evidence_weight = 5;
+    /// Feed the analyzer publishes into ("" disables feed publication).
+    std::string feed_name = "runtime-analysis";
+    std::uint64_t seed = 0x1ab;
+  };
+
+  struct AnalysisResult {
+    core::BehaviorSet detected = core::kNoBehaviors;
+    int true_positives = 0;
+    int false_positives = 0;
+    int missed = 0;
+  };
+
+  RuntimeAnalyzer(Config config, server::SoftwareRegistry* registry,
+                  server::FeedStore* feeds);
+
+  /// Ensures the analyzer's feed exists (owned by the pseudo-account id -1
+  /// conventionally reserved for infrastructure publishers).
+  util::Status SetUpFeed(core::UserId publisher);
+
+  /// Sandboxes `spec`. Idempotent per software id: re-analysis of a known
+  /// sample returns the cached result without inflating the registry counts.
+  util::Result<AnalysisResult> Analyze(const SoftwareSpec& spec,
+                                       core::UserId publisher,
+                                       util::TimePoint now);
+
+  std::size_t analyzed_count() const { return analyzed_.size(); }
+
+ private:
+  Config config_;
+  server::SoftwareRegistry* registry_;
+  server::FeedStore* feeds_;
+  util::Rng rng_;
+  std::unordered_set<core::SoftwareId, core::SoftwareIdHash> analyzed_;
+};
+
+}  // namespace pisrep::sim
+
+#endif  // PISREP_SIM_RUNTIME_ANALYZER_H_

@@ -1,0 +1,191 @@
+#include "storage/codec.h"
+
+#include <cstring>
+
+namespace pisrep::storage {
+
+namespace {
+using util::Result;
+using util::Status;
+}  // namespace
+
+void PutVarint(std::uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void PutSignedVarint(std::int64_t v, std::string* out) {
+  std::uint64_t zigzag =
+      (static_cast<std::uint64_t>(v) << 1) ^
+      static_cast<std::uint64_t>(v >> 63);
+  PutVarint(zigzag, out);
+}
+
+void PutLengthPrefixed(std::string_view s, std::string* out) {
+  PutVarint(s.size(), out);
+  out->append(s.data(), s.size());
+}
+
+Result<std::uint64_t> Decoder::GetVarint() {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (pos_ < data_.size()) {
+    std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+    if (shift >= 64) return Status::DataLoss("varint too long");
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+  }
+  return Status::DataLoss("truncated varint");
+}
+
+Result<std::int64_t> Decoder::GetSignedVarint() {
+  PISREP_ASSIGN_OR_RETURN(std::uint64_t zigzag, GetVarint());
+  return static_cast<std::int64_t>((zigzag >> 1) ^ (~(zigzag & 1) + 1));
+}
+
+Result<std::string> Decoder::GetLengthPrefixed() {
+  PISREP_ASSIGN_OR_RETURN(std::uint64_t len, GetVarint());
+  if (pos_ + len > data_.size()) {
+    return Status::DataLoss("truncated length-prefixed string");
+  }
+  std::string out(data_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+Result<std::uint8_t> Decoder::GetByte() {
+  if (pos_ >= data_.size()) return Status::DataLoss("truncated byte");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+void EncodeValue(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case ColumnType::kInt64:
+      PutSignedVarint(value.AsInt(), out);
+      return;
+    case ColumnType::kDouble: {
+      double d = value.AsReal();
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      char raw[8];
+      for (int i = 0; i < 8; ++i) {
+        raw[i] = static_cast<char>(bits >> (8 * i));
+      }
+      out->append(raw, 8);
+      return;
+    }
+    case ColumnType::kString:
+      PutLengthPrefixed(value.AsStr(), out);
+      return;
+    case ColumnType::kBool:
+      out->push_back(value.AsBool() ? 1 : 0);
+      return;
+  }
+}
+
+Result<Value> DecodeValue(ColumnType type, Decoder& dec) {
+  switch (type) {
+    case ColumnType::kInt64: {
+      PISREP_ASSIGN_OR_RETURN(std::int64_t v, dec.GetSignedVarint());
+      return Value::Int(v);
+    }
+    case ColumnType::kDouble: {
+      std::uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        PISREP_ASSIGN_OR_RETURN(std::uint8_t b, dec.GetByte());
+        bits |= static_cast<std::uint64_t>(b) << (8 * i);
+      }
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Real(d);
+    }
+    case ColumnType::kString: {
+      PISREP_ASSIGN_OR_RETURN(std::string s, dec.GetLengthPrefixed());
+      return Value::Str(std::move(s));
+    }
+    case ColumnType::kBool: {
+      PISREP_ASSIGN_OR_RETURN(std::uint8_t b, dec.GetByte());
+      if (b > 1) return Status::DataLoss("invalid bool byte");
+      return Value::Boolean(b == 1);
+    }
+  }
+  return Status::DataLoss("unknown column type");
+}
+
+void EncodeRow(const TableSchema& schema, const Row& row, std::string* out) {
+  for (std::size_t i = 0; i < schema.num_columns(); ++i) {
+    EncodeValue(row[i], out);
+  }
+}
+
+Result<Row> DecodeRow(const TableSchema& schema, Decoder& dec) {
+  Row row;
+  row.reserve(schema.num_columns());
+  for (const Column& col : schema.columns()) {
+    PISREP_ASSIGN_OR_RETURN(Value v, DecodeValue(col.type, dec));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+void EncodeSchema(const TableSchema& schema, std::string* out) {
+  PutLengthPrefixed(schema.table_name(), out);
+  PutVarint(schema.num_columns(), out);
+  for (const Column& col : schema.columns()) {
+    PutLengthPrefixed(col.name, out);
+    out->push_back(static_cast<char>(col.type));
+  }
+  PutVarint(schema.primary_key_index(), out);
+  PutVarint(schema.secondary_indexes().size(), out);
+  for (std::size_t idx : schema.secondary_indexes()) {
+    PutVarint(idx, out);
+  }
+  PutVarint(schema.ordered_indexes().size(), out);
+  for (std::size_t idx : schema.ordered_indexes()) {
+    PutVarint(idx, out);
+  }
+}
+
+Result<TableSchema> DecodeSchema(Decoder& dec) {
+  PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
+  PISREP_ASSIGN_OR_RETURN(std::uint64_t num_cols, dec.GetVarint());
+  if (num_cols == 0 || num_cols > 1024) {
+    return Status::DataLoss("implausible column count");
+  }
+  std::vector<Column> columns;
+  columns.reserve(num_cols);
+  for (std::uint64_t i = 0; i < num_cols; ++i) {
+    PISREP_ASSIGN_OR_RETURN(std::string col_name, dec.GetLengthPrefixed());
+    PISREP_ASSIGN_OR_RETURN(std::uint8_t type_byte, dec.GetByte());
+    if (type_byte > static_cast<std::uint8_t>(ColumnType::kBool)) {
+      return Status::DataLoss("invalid column type byte");
+    }
+    columns.push_back({std::move(col_name),
+                       static_cast<ColumnType>(type_byte)});
+  }
+  PISREP_ASSIGN_OR_RETURN(std::uint64_t pk, dec.GetVarint());
+  if (pk >= num_cols) return Status::DataLoss("primary key out of range");
+  std::string pk_name = columns[pk].name;
+  TableSchema schema(std::move(name), std::move(columns), pk_name);
+  PISREP_ASSIGN_OR_RETURN(std::uint64_t num_indexes, dec.GetVarint());
+  for (std::uint64_t i = 0; i < num_indexes; ++i) {
+    PISREP_ASSIGN_OR_RETURN(std::uint64_t idx, dec.GetVarint());
+    if (idx >= num_cols) return Status::DataLoss("index column out of range");
+    schema.AddIndex(schema.columns()[idx].name);
+  }
+  PISREP_ASSIGN_OR_RETURN(std::uint64_t num_ordered, dec.GetVarint());
+  for (std::uint64_t i = 0; i < num_ordered; ++i) {
+    PISREP_ASSIGN_OR_RETURN(std::uint64_t idx, dec.GetVarint());
+    if (idx >= num_cols) {
+      return Status::DataLoss("ordered index column out of range");
+    }
+    schema.AddOrderedIndex(schema.columns()[idx].name);
+  }
+  return schema;
+}
+
+}  // namespace pisrep::storage

@@ -1,0 +1,62 @@
+#ifndef PISREP_STORAGE_CODEC_H_
+#define PISREP_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "storage/schema.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace pisrep::storage {
+
+/// Binary row / schema codec used by the write-ahead log and checkpoints.
+///
+/// Encoding primitives: LEB128 varints, zigzag for signed integers, raw
+/// IEEE-754 bits for doubles, and length-prefixed byte strings. Everything
+/// decodes with strict bounds checking so a truncated or corrupt log is
+/// reported as kDataLoss rather than crashing recovery.
+
+/// Appends an unsigned LEB128 varint.
+void PutVarint(std::uint64_t v, std::string* out);
+/// Appends a zigzag-encoded signed varint.
+void PutSignedVarint(std::int64_t v, std::string* out);
+/// Appends a length-prefixed string.
+void PutLengthPrefixed(std::string_view s, std::string* out);
+
+/// Cursor over encoded bytes. Get* methods fail with kDataLoss on underrun.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data), pos_(0) {}
+
+  util::Result<std::uint64_t> GetVarint();
+  util::Result<std::int64_t> GetSignedVarint();
+  util::Result<std::string> GetLengthPrefixed();
+  util::Result<std::uint8_t> GetByte();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_;
+};
+
+/// Appends the encoding of `value`.
+void EncodeValue(const Value& value, std::string* out);
+/// Decodes one value of the given type.
+util::Result<Value> DecodeValue(ColumnType type, Decoder& dec);
+
+/// Appends the encoding of `row` (values in schema order, no count prefix —
+/// the schema supplies arity on decode).
+void EncodeRow(const TableSchema& schema, const Row& row, std::string* out);
+util::Result<Row> DecodeRow(const TableSchema& schema, Decoder& dec);
+
+/// Schema serialization for self-describing checkpoints and WALs.
+void EncodeSchema(const TableSchema& schema, std::string* out);
+util::Result<TableSchema> DecodeSchema(Decoder& dec);
+
+}  // namespace pisrep::storage
+
+#endif  // PISREP_STORAGE_CODEC_H_

@@ -1,0 +1,217 @@
+#include "storage/database.h"
+
+#include <algorithm>
+
+#include "storage/codec.h"
+#include "util/logging.h"
+
+namespace pisrep::storage {
+
+namespace {
+using util::Result;
+using util::Status;
+}  // namespace
+
+Database::Database(std::string wal_path) : wal_path_(std::move(wal_path)) {}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& wal_path) {
+  std::unique_ptr<Database> db(new Database(wal_path));
+  if (!wal_path.empty()) {
+    PISREP_RETURN_IF_ERROR(db->Replay());
+    PISREP_RETURN_IF_ERROR(db->wal_.Open(wal_path));
+  }
+  return db;
+}
+
+Status Database::Replay() {
+  WalReader reader;
+  PISREP_RETURN_IF_ERROR(reader.Open(wal_path_));
+  for (;;) {
+    auto frame = reader.Next();
+    if (!frame.ok()) {
+      if (frame.status().code() == util::StatusCode::kNotFound) break;
+      return frame.status();
+    }
+    Decoder dec(*frame);
+    PISREP_ASSIGN_OR_RETURN(std::uint8_t op_byte, dec.GetByte());
+    WalOp op = static_cast<WalOp>(op_byte);
+    switch (op) {
+      case WalOp::kCreateTable: {
+        PISREP_ASSIGN_OR_RETURN(TableSchema schema, DecodeSchema(dec));
+        std::string name = schema.table_name();
+        if (tables_.contains(name)) {
+          return Status::DataLoss("duplicate create-table in WAL: " + name);
+        }
+        auto table = std::make_unique<Table>(std::move(schema));
+        AttachListener(name, table.get());
+        tables_.emplace(name, std::move(table));
+        break;
+      }
+      case WalOp::kInsert:
+      case WalOp::kUpsert: {
+        PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
+        auto it = tables_.find(name);
+        if (it == tables_.end()) {
+          return Status::DataLoss("WAL references unknown table: " + name);
+        }
+        PISREP_ASSIGN_OR_RETURN(Row row, DecodeRow(it->second->schema(), dec));
+        if (op == WalOp::kInsert) {
+          PISREP_RETURN_IF_ERROR(it->second->InsertUnlogged(std::move(row)));
+        } else {
+          PISREP_RETURN_IF_ERROR(it->second->UpsertUnlogged(std::move(row)));
+        }
+        break;
+      }
+      case WalOp::kDelete: {
+        PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
+        auto it = tables_.find(name);
+        if (it == tables_.end()) {
+          return Status::DataLoss("WAL references unknown table: " + name);
+        }
+        const TableSchema& schema = it->second->schema();
+        ColumnType key_type =
+            schema.columns()[schema.primary_key_index()].type;
+        PISREP_ASSIGN_OR_RETURN(Value key, DecodeValue(key_type, dec));
+        PISREP_RETURN_IF_ERROR(it->second->DeleteUnlogged(key));
+        break;
+      }
+      default:
+        return Status::DataLoss("unknown WAL op");
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::CreateTable(const TableSchema& schema) {
+  const std::string& name = schema.table_name();
+  if (tables_.contains(name)) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  PISREP_RETURN_IF_ERROR(LogCreateTable(schema));
+  auto table = std::make_unique<Table>(schema);
+  AttachListener(name, table.get());
+  tables_.emplace(name, std::move(table));
+  return Status::Ok();
+}
+
+bool Database::HasTable(std::string_view name) const {
+  return tables_.contains(std::string(name));
+}
+
+Result<Table*> Database::GetTable(std::string_view name) {
+  auto it = tables_.find(std::string(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void Database::SetAutoCompact(double factor, std::size_t min_frames) {
+  auto_compact_factor_ = factor;
+  auto_compact_min_frames_ = min_frames;
+}
+
+void Database::MaybeAutoCompact() {
+  if (auto_compact_factor_ <= 0.0 || compacting_) return;
+  if (frames_since_compact_ < auto_compact_min_frames_) return;
+  if (static_cast<double>(frames_since_compact_) <
+      auto_compact_factor_ * static_cast<double>(TotalRows() + 1)) {
+    return;
+  }
+  Status status = Compact();
+  PISREP_CHECK(status.ok()) << "auto-compaction failed: "
+                            << status.ToString();
+}
+
+Status Database::Compact() {
+  if (wal_path_.empty()) return Status::Ok();
+  // Write a fresh log containing schema + current rows, then reopen it for
+  // appending. Recovery stays uniform: a snapshot is just a shorter log.
+  compacting_ = true;
+  frames_since_compact_ = 0;
+  ++compactions_;
+  PISREP_RETURN_IF_ERROR(wal_.OpenTruncated(wal_path_));
+  for (const std::string& name : TableNames()) {
+    Table* table = tables_.at(name).get();
+    std::string frame;
+    frame.push_back(static_cast<char>(WalOp::kCreateTable));
+    EncodeSchema(table->schema(), &frame);
+    PISREP_RETURN_IF_ERROR(wal_.Append(frame));
+    Status row_status = Status::Ok();
+    table->ForEach([&](const Row& row) {
+      if (!row_status.ok()) return;
+      std::string row_frame;
+      row_frame.push_back(static_cast<char>(WalOp::kInsert));
+      PutLengthPrefixed(name, &row_frame);
+      EncodeRow(table->schema(), row, &row_frame);
+      row_status = wal_.Append(row_frame);
+    });
+    if (!row_status.ok()) {
+      compacting_ = false;
+      return row_status;
+    }
+  }
+  compacting_ = false;
+  return Status::Ok();
+}
+
+std::size_t Database::TotalRows() const {
+  std::size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->size();
+  return total;
+}
+
+Status Database::LogCreateTable(const TableSchema& schema) {
+  if (!wal_.is_open()) return Status::Ok();
+  std::string frame;
+  frame.push_back(static_cast<char>(WalOp::kCreateTable));
+  EncodeSchema(schema, &frame);
+  PISREP_RETURN_IF_ERROR(wal_.Append(frame));
+  ++frames_since_compact_;
+  return Status::Ok();
+}
+
+void Database::LogMutation(const std::string& table_name, MutationOp op,
+                           const Row& row, const Value& key) {
+  if (!wal_.is_open()) return;
+  std::string frame;
+  Table* table = tables_.at(table_name).get();
+  switch (op) {
+    case MutationOp::kInsert:
+      frame.push_back(static_cast<char>(WalOp::kInsert));
+      PutLengthPrefixed(table_name, &frame);
+      EncodeRow(table->schema(), row, &frame);
+      break;
+    case MutationOp::kUpsert:
+      frame.push_back(static_cast<char>(WalOp::kUpsert));
+      PutLengthPrefixed(table_name, &frame);
+      EncodeRow(table->schema(), row, &frame);
+      break;
+    case MutationOp::kDelete:
+      frame.push_back(static_cast<char>(WalOp::kDelete));
+      PutLengthPrefixed(table_name, &frame);
+      EncodeValue(key, &frame);
+      break;
+  }
+  Status status = wal_.Append(frame);
+  PISREP_CHECK(status.ok()) << "WAL append failed: " << status.ToString();
+  ++frames_since_compact_;
+  MaybeAutoCompact();
+}
+
+void Database::AttachListener(const std::string& name, Table* table) {
+  table->SetMutationListener(
+      [this, name](MutationOp op, const Row& row, const Value& key) {
+        LogMutation(name, op, row, key);
+      });
+}
+
+}  // namespace pisrep::storage

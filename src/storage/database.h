@@ -1,0 +1,84 @@
+#ifndef PISREP_STORAGE_DATABASE_H_
+#define PISREP_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace pisrep::storage {
+
+/// A collection of named tables with optional write-ahead-log durability.
+///
+/// The reputation server (§3.2) keeps "registered user information, ratings
+/// and comments" in a database; this embedded engine is that substrate. With
+/// a WAL path, every mutation is journaled and Open() recovers the full
+/// state by replay; with an empty path the database is purely in-memory
+/// (used by most simulations for speed).
+class Database {
+ public:
+  /// Opens a database. `wal_path` empty → in-memory only. When the file
+  /// exists, its log is replayed before the call returns.
+  static util::Result<std::unique_ptr<Database>> Open(
+      const std::string& wal_path);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; fails with kAlreadyExists on a name collision.
+  util::Status CreateTable(const TableSchema& schema);
+
+  bool HasTable(std::string_view name) const;
+
+  /// Pointer remains valid for the database's lifetime.
+  util::Result<Table*> GetTable(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Rewrites the WAL as a compact snapshot (schema + inserts) of current
+  /// state. No-op for in-memory databases.
+  util::Status Compact();
+
+  /// Enables automatic compaction: whenever the number of frames appended
+  /// since the last snapshot exceeds max(min_frames, factor * live rows),
+  /// the log is rewritten. Pass factor 0 to disable. Typical: factor 10 —
+  /// the log never exceeds ~10x the live data in churn-heavy workloads
+  /// (e.g. daily score upserts).
+  void SetAutoCompact(double factor, std::size_t min_frames = 1024);
+
+  /// Frames appended since the last compaction (or open).
+  std::size_t FramesSinceCompaction() const { return frames_since_compact_; }
+  std::size_t compactions() const { return compactions_; }
+
+  /// Total rows across all tables (for stats and tests).
+  std::size_t TotalRows() const;
+
+ private:
+  explicit Database(std::string wal_path);
+
+  util::Status Replay();
+  util::Status LogCreateTable(const TableSchema& schema);
+  void LogMutation(const std::string& table_name, MutationOp op,
+                   const Row& row, const Value& key);
+  void AttachListener(const std::string& name, Table* table);
+
+  void MaybeAutoCompact();
+
+  std::string wal_path_;
+  WalWriter wal_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  double auto_compact_factor_ = 0.0;
+  std::size_t auto_compact_min_frames_ = 1024;
+  std::size_t frames_since_compact_ = 0;
+  std::size_t compactions_ = 0;
+  bool compacting_ = false;
+};
+
+}  // namespace pisrep::storage
+
+#endif  // PISREP_STORAGE_DATABASE_H_

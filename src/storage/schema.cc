@@ -1,0 +1,104 @@
+#include "storage/schema.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pisrep::storage {
+
+TableSchema::TableSchema(std::string table_name, std::vector<Column> columns,
+                         std::string primary_key)
+    : table_name_(std::move(table_name)), columns_(std::move(columns)) {
+  auto pk = ColumnIndex(primary_key);
+  PISREP_CHECK(pk.ok()) << "primary key column missing: " << primary_key;
+  primary_key_index_ = *pk;
+}
+
+TableSchema& TableSchema::AddIndex(std::string_view column_name) {
+  auto idx = ColumnIndex(column_name);
+  PISREP_CHECK(idx.ok()) << "index column missing: " << column_name;
+  for (std::size_t existing : secondary_indexes_) {
+    PISREP_CHECK(existing != *idx)
+        << "duplicate index on column: " << column_name;
+  }
+  secondary_indexes_.push_back(*idx);
+  return *this;
+}
+
+TableSchema& TableSchema::AddOrderedIndex(std::string_view column_name) {
+  auto idx = ColumnIndex(column_name);
+  PISREP_CHECK(idx.ok()) << "ordered index column missing: " << column_name;
+  for (std::size_t existing : ordered_indexes_) {
+    PISREP_CHECK(existing != *idx)
+        << "duplicate ordered index on column: " << column_name;
+  }
+  ordered_indexes_.push_back(*idx);
+  return *this;
+}
+
+util::Result<std::size_t> TableSchema::ColumnIndex(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return util::Status::NotFound("no such column: " + std::string(name));
+}
+
+util::Status TableSchema::CheckRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "row has %zu values, table %s has %zu columns", row.size(),
+        table_name_.c_str(), columns_.size()));
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns_[i].type) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "column %s expects %s, got %s", columns_[i].name.c_str(),
+          ColumnTypeName(columns_[i].type),
+          ColumnTypeName(row[i].type())));
+    }
+  }
+  return util::Status::Ok();
+}
+
+SchemaBuilder& SchemaBuilder::Int(std::string name) {
+  columns_.push_back({std::move(name), ColumnType::kInt64});
+  return *this;
+}
+SchemaBuilder& SchemaBuilder::Real(std::string name) {
+  columns_.push_back({std::move(name), ColumnType::kDouble});
+  return *this;
+}
+SchemaBuilder& SchemaBuilder::Str(std::string name) {
+  columns_.push_back({std::move(name), ColumnType::kString});
+  return *this;
+}
+SchemaBuilder& SchemaBuilder::Boolean(std::string name) {
+  columns_.push_back({std::move(name), ColumnType::kBool});
+  return *this;
+}
+SchemaBuilder& SchemaBuilder::PrimaryKey(std::string column_name) {
+  primary_key_ = std::move(column_name);
+  return *this;
+}
+SchemaBuilder& SchemaBuilder::Index(std::string column_name) {
+  indexes_.push_back(std::move(column_name));
+  return *this;
+}
+
+SchemaBuilder& SchemaBuilder::OrderedIndex(std::string column_name) {
+  ordered_indexes_.push_back(std::move(column_name));
+  return *this;
+}
+
+TableSchema SchemaBuilder::Build() const {
+  PISREP_CHECK(!primary_key_.empty())
+      << "schema " << table_name_ << " has no primary key";
+  TableSchema schema(table_name_, columns_, primary_key_);
+  for (const std::string& idx : indexes_) schema.AddIndex(idx);
+  for (const std::string& idx : ordered_indexes_) {
+    schema.AddOrderedIndex(idx);
+  }
+  return schema;
+}
+
+}  // namespace pisrep::storage

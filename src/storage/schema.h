@@ -1,0 +1,96 @@
+#ifndef PISREP_STORAGE_SCHEMA_H_
+#define PISREP_STORAGE_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace pisrep::storage {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+
+  friend bool operator==(const Column&, const Column&) = default;
+};
+
+/// Description of a table: name, columns, the primary-key column, and any
+/// secondary (non-unique, hash) indexes.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<Column> columns,
+              std::string primary_key);
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  std::size_t primary_key_index() const { return primary_key_index_; }
+  const std::vector<std::size_t>& secondary_indexes() const {
+    return secondary_indexes_;
+  }
+  const std::vector<std::size_t>& ordered_indexes() const {
+    return ordered_indexes_;
+  }
+
+  /// Declares a secondary hash index over the named column. Returns *this
+  /// for chaining during schema construction.
+  TableSchema& AddIndex(std::string_view column_name);
+
+  /// Declares an ordered (tree) index over the named column, enabling
+  /// range scans and top-N traversals.
+  TableSchema& AddOrderedIndex(std::string_view column_name);
+
+  /// Index of the named column; fails when absent.
+  util::Result<std::size_t> ColumnIndex(std::string_view name) const;
+
+  /// Validates that `row` has one value per column with matching types.
+  util::Status CheckRow(const Row& row) const;
+
+  std::size_t num_columns() const { return columns_.size(); }
+
+  friend bool operator==(const TableSchema&, const TableSchema&) = default;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  std::size_t primary_key_index_ = 0;
+  std::vector<std::size_t> secondary_indexes_;
+  std::vector<std::size_t> ordered_indexes_;
+};
+
+/// Fluent helper for building schemas:
+///   TableSchema s = SchemaBuilder("users")
+///       .Int("id").Str("name").PrimaryKey("id").Index("name").Build();
+class SchemaBuilder {
+ public:
+  explicit SchemaBuilder(std::string table_name)
+      : table_name_(std::move(table_name)) {}
+
+  SchemaBuilder& Int(std::string name);
+  SchemaBuilder& Real(std::string name);
+  SchemaBuilder& Str(std::string name);
+  SchemaBuilder& Boolean(std::string name);
+  SchemaBuilder& PrimaryKey(std::string column_name);
+  SchemaBuilder& Index(std::string column_name);
+  SchemaBuilder& OrderedIndex(std::string column_name);
+
+  /// Builds the schema. Aborts when the primary key names a missing column
+  /// (a programming error in schema definitions, not runtime input).
+  TableSchema Build() const;
+
+ private:
+  std::string table_name_;
+  std::vector<Column> columns_;
+  std::string primary_key_;
+  std::vector<std::string> indexes_;
+  std::vector<std::string> ordered_indexes_;
+};
+
+}  // namespace pisrep::storage
+
+#endif  // PISREP_STORAGE_SCHEMA_H_

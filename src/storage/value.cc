@@ -1,0 +1,92 @@
+#include "storage/value.h"
+
+#include <functional>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pisrep::storage {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kBool:
+      return "bool";
+  }
+  return "?";
+}
+
+ColumnType Value::type() const {
+  return static_cast<ColumnType>(data_.index());
+}
+
+std::int64_t Value::AsInt() const {
+  PISREP_CHECK(type() == ColumnType::kInt64) << "value is " << ToString();
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::AsReal() const {
+  PISREP_CHECK(type() == ColumnType::kDouble) << "value is " << ToString();
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsStr() const {
+  PISREP_CHECK(type() == ColumnType::kString) << "value is " << ToString();
+  return std::get<std::string>(data_);
+}
+
+bool Value::AsBool() const {
+  PISREP_CHECK(type() == ColumnType::kBool) << "value is " << ToString();
+  return std::get<bool>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt64:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case ColumnType::kDouble:
+      return util::StrFormat("%.10g", std::get<double>(data_));
+    case ColumnType::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+    case ColumnType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+  }
+  return "?";
+}
+
+bool ValueLess::operator()(const Value& a, const Value& b) const {
+  if (a.type() != b.type()) return a.type() < b.type();
+  switch (a.type()) {
+    case ColumnType::kInt64:
+      return a.AsInt() < b.AsInt();
+    case ColumnType::kDouble:
+      return a.AsReal() < b.AsReal();
+    case ColumnType::kString:
+      return a.AsStr() < b.AsStr();
+    case ColumnType::kBool:
+      return a.AsBool() < b.AsBool();
+  }
+  return false;
+}
+
+std::size_t ValueHash::operator()(const Value& v) const {
+  std::size_t seed = static_cast<std::size_t>(v.type()) * 0x9E3779B9u;
+  switch (v.type()) {
+    case ColumnType::kInt64:
+      return seed ^ std::hash<std::int64_t>{}(v.AsInt());
+    case ColumnType::kDouble:
+      return seed ^ std::hash<double>{}(v.AsReal());
+    case ColumnType::kString:
+      return seed ^ std::hash<std::string>{}(v.AsStr());
+    case ColumnType::kBool:
+      return seed ^ std::hash<bool>{}(v.AsBool());
+  }
+  return seed;
+}
+
+}  // namespace pisrep::storage

@@ -1,0 +1,74 @@
+#ifndef PISREP_STORAGE_VALUE_H_
+#define PISREP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pisrep::storage {
+
+/// Column types supported by the storage engine.
+enum class ColumnType : std::uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  kBool = 3,
+};
+
+const char* ColumnTypeName(ColumnType type);
+
+/// A typed cell value. Values are immutable once constructed; rows are
+/// replaced wholesale on update, which keeps index maintenance simple.
+class Value {
+ public:
+  /// Default-constructs an int64 zero (useful for resizing row vectors).
+  Value() : data_(std::int64_t{0}) {}
+
+  static Value Int(std::int64_t v) { return Value(v); }
+  static Value Real(double v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Boolean(bool v) { return Value(v); }
+
+  ColumnType type() const;
+
+  /// Typed accessors; calling the wrong one is a programming error and
+  /// aborts (storage schemas are checked on write, so reads are trusted).
+  std::int64_t AsInt() const;
+  double AsReal() const;
+  const std::string& AsStr() const;
+  bool AsBool() const;
+
+  /// Human-readable rendering for debugging and reports.
+  std::string ToString() const;
+
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  explicit Value(std::int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(bool v) : data_(v) {}
+
+  std::variant<std::int64_t, double, std::string, bool> data_;
+};
+
+/// Hash functor so values can key unordered index maps.
+struct ValueHash {
+  std::size_t operator()(const Value& v) const;
+};
+
+/// Strict weak ordering for ordered indexes: values order by type tag
+/// first, then by value within a type (numeric, lexicographic, false<true).
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const;
+};
+
+/// A row is a vector of values, one per schema column.
+using Row = std::vector<Value>;
+
+}  // namespace pisrep::storage
+
+#endif  // PISREP_STORAGE_VALUE_H_

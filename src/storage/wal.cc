@@ -1,0 +1,115 @@
+#include "storage/wal.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "storage/codec.h"
+
+namespace pisrep::storage {
+
+namespace {
+using util::Result;
+using util::Status;
+}  // namespace
+
+std::uint32_t WalChecksum(std::string_view payload) {
+  std::uint32_t h = 2166136261u;
+  for (char c : payload) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+Status WalWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot open WAL " + path + ": " +
+                               std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::OpenTruncated(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Unavailable("cannot truncate WAL " + path + ": " +
+                               std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("WAL is not open");
+  }
+  std::string frame;
+  PutVarint(payload.size(), &frame);
+  frame.append(payload.data(), payload.size());
+  std::uint32_t checksum = WalChecksum(payload);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>(checksum >> (8 * i)));
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status::DataLoss("short write to WAL");
+  }
+  std::fflush(file_);
+  return Status::Ok();
+}
+
+void WalWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status WalReader::Open(const std::string& path) {
+  data_.clear();
+  pos_ = 0;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    // A missing log is an empty log.
+    return Status::Ok();
+  }
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data_.append(buf, n);
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+Result<std::string> WalReader::Next() {
+  if (pos_ >= data_.size()) return Status::NotFound("end of log");
+
+  Decoder dec(std::string_view(data_).substr(pos_));
+  auto len_result = dec.GetVarint();
+  if (!len_result.ok()) return Status::NotFound("end of log (torn length)");
+  std::uint64_t len = *len_result;
+  std::size_t header = dec.position();
+  if (pos_ + header + len + 4 > data_.size()) {
+    // Torn final frame: ignore, treat as end of log.
+    pos_ = data_.size();
+    return Status::NotFound("end of log (torn frame)");
+  }
+  std::string payload = data_.substr(pos_ + header, len);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+                  data_[pos_ + header + len + i]))
+              << (8 * i);
+  }
+  if (stored != WalChecksum(payload)) {
+    return Status::DataLoss("WAL checksum mismatch");
+  }
+  pos_ += header + len + 4;
+  return payload;
+}
+
+}  // namespace pisrep::storage

@@ -1,0 +1,76 @@
+#ifndef PISREP_STORAGE_WAL_H_
+#define PISREP_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pisrep::storage {
+
+/// Record kinds in the write-ahead log.
+enum class WalOp : std::uint8_t {
+  kCreateTable = 0,
+  kInsert = 1,
+  kUpsert = 2,
+  kDelete = 3,
+};
+
+/// Framed, checksummed append-only log writer.
+///
+/// Frame layout: varint payload length, payload bytes, 4-byte little-endian
+/// FNV-1a checksum of the payload. A truncated final frame (crash mid-write)
+/// is detected and ignored on replay; a checksum mismatch anywhere else is
+/// reported as data loss.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending (creating it if needed).
+  util::Status Open(const std::string& path);
+
+  /// Truncates and reopens `path` (used by compaction).
+  util::Status OpenTruncated(const std::string& path);
+
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends one frame and flushes.
+  util::Status Append(std::string_view payload);
+
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Sequential reader over a WAL file.
+class WalReader {
+ public:
+  WalReader() = default;
+
+  /// Loads the whole file into memory. Missing files are not an error: an
+  /// empty log is returned (first open of a fresh database).
+  util::Status Open(const std::string& path);
+
+  /// Reads the next frame. Returns kNotFound at clean end-of-log, including
+  /// when the final frame is truncated (torn write). Checksum mismatches on
+  /// complete frames return kDataLoss.
+  util::Result<std::string> Next();
+
+ private:
+  std::string data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 32-bit checksum used by the WAL framing.
+std::uint32_t WalChecksum(std::string_view payload);
+
+}  // namespace pisrep::storage
+
+#endif  // PISREP_STORAGE_WAL_H_

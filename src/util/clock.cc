@@ -1,0 +1,32 @@
+#include "util/clock.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace pisrep::util {
+
+std::string FormatTime(TimePoint t) {
+  std::int64_t day = DayIndex(t);
+  std::int64_t rem = t - day * kDay;
+  int hh = static_cast<int>(rem / kHour);
+  int mm = static_cast<int>((rem % kHour) / kMinute);
+  int ss = static_cast<int>((rem % kMinute) / kSecond);
+  int ms = static_cast<int>(rem % kSecond);
+  char buf[64];
+  if (ms == 0) {
+    std::snprintf(buf, sizeof(buf), "d%lld+%02d:%02d:%02d",
+                  static_cast<long long>(day), hh, mm, ss);
+  } else {
+    std::snprintf(buf, sizeof(buf), "d%lld+%02d:%02d:%02d.%03d",
+                  static_cast<long long>(day), hh, mm, ss, ms);
+  }
+  return buf;
+}
+
+void SimClock::AdvanceTo(TimePoint t) {
+  PISREP_CHECK(t >= now_) << "clock moved backwards: " << now_ << " -> " << t;
+  now_ = t;
+}
+
+}  // namespace pisrep::util

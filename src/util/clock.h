@@ -1,0 +1,58 @@
+#ifndef PISREP_UTIL_CLOCK_H_
+#define PISREP_UTIL_CLOCK_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pisrep::util {
+
+/// Simulated time, in whole milliseconds since the simulation epoch.
+///
+/// All pisrep components — the weekly trust-factor caps, the 24-hour
+/// aggregation job, the two-ratings-per-week prompt limit, network latency —
+/// measure time through this type rather than the wall clock, so that
+/// simulations are deterministic and fast.
+using TimePoint = std::int64_t;
+using Duration = std::int64_t;
+
+constexpr Duration kMillisecond = 1;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+constexpr Duration kHour = 60 * kMinute;
+constexpr Duration kDay = 24 * kHour;
+constexpr Duration kWeek = 7 * kDay;
+
+/// Index of the calendar day containing `t` (day 0 starts at the epoch).
+constexpr std::int64_t DayIndex(TimePoint t) {
+  return t >= 0 ? t / kDay : (t - (kDay - 1)) / kDay;
+}
+
+/// Index of the calendar week containing `t` (week 0 starts at the epoch).
+constexpr std::int64_t WeekIndex(TimePoint t) {
+  return t >= 0 ? t / kWeek : (t - (kWeek - 1)) / kWeek;
+}
+
+/// Renders a time point as "d<day>+hh:mm:ss" for logs and reports.
+std::string FormatTime(TimePoint t);
+
+/// A settable virtual clock. The simulation event loop owns one and advances
+/// it; components hold a pointer and only ever read it.
+class SimClock {
+ public:
+  SimClock() : now_(0) {}
+  explicit SimClock(TimePoint start) : now_(start) {}
+
+  TimePoint Now() const { return now_; }
+
+  /// Moves the clock forward. Time never goes backwards; attempts to do so
+  /// are programming errors.
+  void AdvanceTo(TimePoint t);
+  void Advance(Duration d) { AdvanceTo(now_ + d); }
+
+ private:
+  TimePoint now_;
+};
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_CLOCK_H_

@@ -1,0 +1,24 @@
+#ifndef PISREP_UTIL_HEX_H_
+#define PISREP_UTIL_HEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pisrep::util {
+
+/// Encodes `len` bytes as lowercase hex.
+std::string HexEncode(const std::uint8_t* data, std::size_t len);
+std::string HexEncode(std::string_view data);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or non-hex
+/// characters.
+Result<std::vector<std::uint8_t>> HexDecode(std::string_view hex);
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_HEX_H_

@@ -1,0 +1,45 @@
+#include "util/hmac.h"
+
+#include <array>
+#include <cstdint>
+
+namespace pisrep::util {
+
+Sha256Digest HmacSha256(std::string_view key, std::string_view message) {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> key_block{};
+
+  if (key.size() > kBlockSize) {
+    Sha256Digest key_digest = Sha256::Hash(key);
+    for (std::size_t i = 0; i < key_digest.bytes.size(); ++i) {
+      key_block[i] = key_digest.bytes[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      key_block[i] = static_cast<std::uint8_t>(key[i]);
+    }
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad.data(), ipad.size());
+  inner.Update(message);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad.data(), opad.size());
+  outer.Update(inner_digest.bytes.data(), inner_digest.bytes.size());
+  return outer.Finish();
+}
+
+std::string HmacSha256Hex(std::string_view key, std::string_view message) {
+  return HmacSha256(key, message).ToHex();
+}
+
+}  // namespace pisrep::util

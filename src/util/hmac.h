@@ -1,0 +1,22 @@
+#ifndef PISREP_UTIL_HMAC_H_
+#define PISREP_UTIL_HMAC_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/sha256.h"
+
+namespace pisrep::util {
+
+/// HMAC-SHA256 (RFC 2104). The server uses this for the peppered e-mail hash
+/// described in §2.2: hashing the e-mail address concatenated with a secret
+/// string so that brute-force recovery is infeasible without the secret. The
+/// toy code-signing scheme in crypto/ also builds on it.
+Sha256Digest HmacSha256(std::string_view key, std::string_view message);
+
+/// Convenience: hex of HmacSha256.
+std::string HmacSha256Hex(std::string_view key, std::string_view message);
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_HMAC_H_

@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pisrep::util {
+
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kWarning)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogThreshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_threshold.load(std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+void DieCheckFailure(const char* file, int line, const char* expr,
+                     const std::string& extra) {
+  std::fprintf(stderr, "[FATAL %s:%d] CHECK failed: %s %s\n", file, line,
+               expr, extra.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+
+}  // namespace pisrep::util

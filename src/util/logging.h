@@ -1,0 +1,86 @@
+#ifndef PISREP_UTIL_LOGGING_H_
+#define PISREP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pisrep::util {
+
+/// Log severities, in increasing order of importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  /// Suppresses all logging when used as the threshold.
+  kOff = 4,
+};
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so that library code is quiet in tests and benchmarks.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+/// Returns true when a message at `level` would be emitted.
+bool LogEnabled(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void DieCheckFailure(const char* file, int line,
+                                  const char* expr, const std::string& extra);
+
+/// CHECK helper that collects an optional streamed message.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() {
+    DieCheckFailure(file_, line_, expr_, stream_.str());
+  }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Usage: PISREP_LOG(kInfo) << "message" << value;
+#define PISREP_LOG(severity)                                               \
+  if (!::pisrep::util::LogEnabled(::pisrep::util::LogLevel::severity)) {   \
+  } else                                                                   \
+    ::pisrep::util::internal_logging::LogMessage(                          \
+        ::pisrep::util::LogLevel::severity, __FILE__, __LINE__)            \
+        .stream()
+
+/// Fatal invariant check; active in all build modes. Usage:
+///   PISREP_CHECK(ptr != nullptr) << "context";
+#define PISREP_CHECK(cond)                                                \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::pisrep::util::internal_logging::CheckMessage(__FILE__, __LINE__,    \
+                                                   #cond)                 \
+        .stream()
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_LOGGING_H_

@@ -1,0 +1,67 @@
+#ifndef PISREP_UTIL_RANDOM_H_
+#define PISREP_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pisrep::util {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via SplitMix64).
+///
+/// Every stochastic component in pisrep — simulated users, software
+/// ecosystems, network jitter, attacks — draws from an explicitly seeded Rng
+/// so that simulations and tests are exactly reproducible.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  /// Standard normal variate (Box–Muller).
+  double NextGaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Exponentially distributed variate with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (> 0). Rank 0 is the
+  /// most popular. Used for software popularity in the ecosystem generator.
+  std::size_t NextZipf(std::size_t n, double s);
+
+  /// Random lowercase alphanumeric string of length `len`.
+  std::string NextToken(std::size_t len);
+
+  /// Picks a uniformly random index into a non-empty container size.
+  std::size_t NextIndex(std::size_t size) {
+    return static_cast<std::size_t>(NextBelow(size));
+  }
+
+  /// Forks an independent deterministic child stream; children with distinct
+  /// labels are decorrelated from the parent and from each other.
+  Rng Fork(std::uint64_t label);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_RANDOM_H_

@@ -1,0 +1,119 @@
+#include "util/sha1.h"
+
+#include <cstring>
+
+#include "util/hex.h"
+
+namespace pisrep::util {
+
+namespace {
+
+inline std::uint32_t RotL(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+}  // namespace
+
+std::string Sha1Digest::ToHex() const {
+  return HexEncode(bytes.data(), bytes.size());
+}
+
+Sha1::Sha1()
+    : state_{0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u},
+      total_bytes_(0),
+      buffered_(0) {}
+
+void Sha1::Update(std::string_view data) {
+  Update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+}
+
+void Sha1::Update(const std::uint8_t* data, std::size_t len) {
+  total_bytes_ += len;
+  while (len > 0) {
+    std::size_t take = 64 - buffered_;
+    if (take > len) take = len;
+    std::memcpy(buffer_.data() + buffered_, data, take);
+    buffered_ += take;
+    data += take;
+    len -= take;
+    if (buffered_ == 64) {
+      ProcessBlock(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+}
+
+Sha1Digest Sha1::Finish() {
+  // Append 0x80, pad with zeros to 56 mod 64, then the bit length big-endian.
+  std::uint64_t bit_len = total_bytes_ * 8;
+  std::uint8_t pad[72] = {0x80};
+  std::size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  Update(pad, pad_len);
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // Update() counts these bytes into total_bytes_, but the length has already
+  // been captured, so the extra accounting is harmless.
+  Update(len_bytes, 8);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[i * 4 + 0] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest.bytes[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest.bytes[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest.bytes[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1::Hash(std::string_view data) {
+  Sha1 h;
+  h.Update(data);
+  return h.Finish();
+}
+
+void Sha1::ProcessBlock(const std::uint8_t block[64]) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+}  // namespace pisrep::util

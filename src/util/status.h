@@ -1,0 +1,150 @@
+#ifndef PISREP_UTIL_STATUS_H_
+#define PISREP_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pisrep::util {
+
+/// Canonical error codes used across all pisrep libraries. Modeled after the
+/// status vocabulary common to database engines: a small closed set so that
+/// callers can dispatch on failure class without string matching.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kUnauthenticated,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kDataLoss,
+  kUnavailable,
+  kInternal,
+};
+
+/// Returns the canonical lower_snake name of a code ("not_found", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. pisrep does not throw exceptions
+/// across public API boundaries; every fallible call returns a Status (or a
+/// Result<T>, below) that the caller must inspect.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status PermissionDenied(std::string msg);
+  static Status Unauthenticated(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status ResourceExhausted(std::string msg);
+  static Status DataLoss(std::string msg);
+  static Status Unavailable(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+bool operator==(const Status& a, const Status& b);
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or a failure Status. Accessing the value of a
+/// failed Result is a programming error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>, mirroring absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfNotOk();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfNotOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` when this result failed.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfNotOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void Result<T>::AbortIfNotOk() const {
+  if (!ok()) internal_status::DieBadResultAccess(status_);
+}
+
+/// Evaluates `expr` (a Status expression); on failure returns it from the
+/// enclosing function.
+#define PISREP_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::pisrep::util::Status _pisrep_status = (expr);    \
+    if (!_pisrep_status.ok()) return _pisrep_status;   \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T> expression); on failure returns its status,
+/// otherwise moves the value into `lhs`.
+#define PISREP_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  PISREP_ASSIGN_OR_RETURN_IMPL_(                    \
+      PISREP_STATUS_CONCAT_(_pisrep_result, __LINE__), lhs, rexpr)
+
+#define PISREP_STATUS_CONCAT_INNER_(a, b) a##b
+#define PISREP_STATUS_CONCAT_(a, b) PISREP_STATUS_CONCAT_INNER_(a, b)
+#define PISREP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef PISREP_UTIL_STRING_UTIL_H_
+#define PISREP_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pisrep::util {
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view input);
+
+/// True when `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Parses a base-10 signed integer; the whole input must be consumed.
+Result<std::int64_t> ParseInt64(std::string_view s);
+
+/// Parses a floating-point number; the whole input must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins the elements with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_STRING_UTIL_H_

@@ -1,0 +1,93 @@
+#include "web/html.h"
+
+namespace pisrep::web {
+
+std::string EscapeHtml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&#39;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+HtmlBuilder& HtmlBuilder::Open(
+    std::string_view tag,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        attributes) {
+  out_ += "<";
+  out_ += tag;
+  for (const auto& [name, value] : attributes) {
+    out_ += " ";
+    out_ += name;
+    out_ += "=\"";
+    out_ += EscapeHtml(value);
+    out_ += "\"";
+  }
+  out_ += ">";
+  open_tags_.emplace_back(tag);
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::Close() {
+  if (!open_tags_.empty()) {
+    out_ += "</";
+    out_ += open_tags_.back();
+    out_ += ">";
+    open_tags_.pop_back();
+  }
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::Text(std::string_view text) {
+  out_ += EscapeHtml(text);
+  return *this;
+}
+
+HtmlBuilder& HtmlBuilder::Element(std::string_view tag,
+                                  std::string_view text) {
+  Open(tag);
+  Text(text);
+  return Close();
+}
+
+HtmlBuilder& HtmlBuilder::TableRow(const std::vector<std::string>& cells,
+                                   std::string_view cell_tag) {
+  Open("tr");
+  for (const std::string& cell : cells) {
+    Element(cell_tag, cell);
+  }
+  return Close();
+}
+
+HtmlBuilder& HtmlBuilder::Link(std::string_view href,
+                               std::string_view text) {
+  Open("a", {{"href", href}});
+  Text(text);
+  return Close();
+}
+
+std::string HtmlBuilder::Finish() {
+  while (!open_tags_.empty()) Close();
+  return std::move(out_);
+}
+
+}  // namespace pisrep::web

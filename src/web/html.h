@@ -1,0 +1,52 @@
+#ifndef PISREP_WEB_HTML_H_
+#define PISREP_WEB_HTML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pisrep::web {
+
+/// Escapes text for HTML element content and attribute values.
+std::string EscapeHtml(std::string_view text);
+
+/// Minimal streaming HTML builder used by the portal's page renderers.
+/// Produces well-formed, properly escaped markup; tags are closed in LIFO
+/// order and Finish() checks that nothing is left open.
+class HtmlBuilder {
+ public:
+  HtmlBuilder() = default;
+
+  /// Opens `<tag>`; the optional attribute list is (name, value) pairs.
+  HtmlBuilder& Open(std::string_view tag,
+                    std::initializer_list<
+                        std::pair<std::string_view, std::string_view>>
+                        attributes = {});
+
+  /// Closes the most recently opened tag.
+  HtmlBuilder& Close();
+
+  /// Appends escaped text content.
+  HtmlBuilder& Text(std::string_view text);
+
+  /// Convenience: `<tag>text</tag>`.
+  HtmlBuilder& Element(std::string_view tag, std::string_view text);
+
+  /// Convenience: a table row of escaped cells with the given cell tag.
+  HtmlBuilder& TableRow(const std::vector<std::string>& cells,
+                        std::string_view cell_tag = "td");
+
+  /// Convenience: `<a href="href">text</a>`.
+  HtmlBuilder& Link(std::string_view href, std::string_view text);
+
+  /// Closes any remaining open tags and returns the document.
+  std::string Finish();
+
+ private:
+  std::string out_;
+  std::vector<std::string> open_tags_;
+};
+
+}  // namespace pisrep::web
+
+#endif  // PISREP_WEB_HTML_H_

@@ -1,0 +1,268 @@
+#include "web/portal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "util/hex.h"
+#include "util/string_util.h"
+#include "web/html.h"
+
+namespace pisrep::web {
+
+namespace {
+
+using core::SoftwareId;
+using util::Result;
+using util::Status;
+using util::StrFormat;
+
+/// Shared page chrome.
+void PageHeader(std::string_view title, HtmlBuilder& html) {
+  html.Open("html").Open("head");
+  html.Element("title", std::string(title) + " - softwareputation");
+  html.Close();  // head
+  html.Open("body");
+  html.Element("h1", title);
+  html.Open("p");
+  html.Link("/", "home").Text(" | ");
+  html.Link("/top", "best rated").Text(" | ");
+  html.Link("/worst", "worst rated").Text(" | ");
+  html.Link("/stats", "statistics");
+  html.Close();  // p
+}
+
+std::string ScoreText(const core::SoftwareScore& score) {
+  return StrFormat("%.1f/10 (%d votes)", score.score, score.vote_count);
+}
+
+Result<SoftwareId> ParseIdHex(std::string_view hex) {
+  SoftwareId id;
+  PISREP_ASSIGN_OR_RETURN(auto bytes, util::HexDecode(hex));
+  if (bytes.size() != id.bytes.size()) {
+    return Status::InvalidArgument("software id must be 40 hex characters");
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) id.bytes[i] = bytes[i];
+  return id;
+}
+
+}  // namespace
+
+std::string WebPortal::UrlDecode(std::string_view encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    char c = encoded[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < encoded.size()) {
+      auto decoded = util::HexDecode(encoded.substr(i + 1, 2));
+      if (decoded.ok() && decoded->size() == 1) {
+        out.push_back(static_cast<char>((*decoded)[0]));
+        i += 2;
+      } else {
+        out.push_back(c);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> WebPortal::Handle(std::string_view path) const {
+  if (path == "/" || path.empty()) return HomePage();
+  if (path == "/top") return TopListPage(/*best=*/true);
+  if (path == "/worst") return TopListPage(/*best=*/false);
+  if (path == "/stats") return StatsPage();
+  if (util::StartsWith(path, "/software/")) {
+    PISREP_ASSIGN_OR_RETURN(SoftwareId id,
+                            ParseIdHex(path.substr(strlen("/software/"))));
+    return SoftwarePage(id);
+  }
+  if (util::StartsWith(path, "/vendor/")) {
+    return VendorPage(UrlDecode(path.substr(strlen("/vendor/"))));
+  }
+  if (util::StartsWith(path, "/search?q=")) {
+    return SearchPage(UrlDecode(path.substr(strlen("/search?q="))));
+  }
+  return Status::NotFound("no such page: " + std::string(path));
+}
+
+std::string WebPortal::HomePage() const {
+  HtmlBuilder html;
+  PageHeader("Software reputation portal", html);
+  html.Open("p")
+      .Text("Community ratings for the software on your computer. ")
+      .Text(StrFormat(
+          "%zu programs tracked, %zu votes from %zu members.",
+          server_->registry().SoftwareCount(),
+          server_->votes().TotalVotes(),
+          server_->accounts().AccountCount()))
+      .Close();
+  html.Open("form", {{"action", "/search"}, {"method", "get"}});
+  html.Open("input", {{"name", "q"}, {"placeholder", "file name..."}});
+  html.Close();
+  html.Close();  // form
+  return html.Finish();
+}
+
+Result<std::string> WebPortal::SoftwarePage(const SoftwareId& id) const {
+  PISREP_ASSIGN_OR_RETURN(core::SoftwareMeta meta,
+                          server_->registry().GetSoftware(id));
+  HtmlBuilder html;
+  PageHeader(meta.file_name, html);
+
+  html.Open("table");
+  html.TableRow({"SHA-1 id", id.ToHex()});
+  html.TableRow({"file size", StrFormat("%lld bytes",
+                                        static_cast<long long>(
+                                            meta.file_size))});
+  html.TableRow({"version", meta.version});
+  if (meta.company.empty()) {
+    // §3.3: an absent company name is itself a PIS signal — say so.
+    html.TableRow({"company", "(none — treat with suspicion)"});
+  } else {
+    html.TableRow({"company", meta.company});
+  }
+  auto score = server_->registry().GetScore(id);
+  html.TableRow({"community score",
+                 score.ok() ? ScoreText(*score) : "not yet rated"});
+  if (!meta.company.empty()) {
+    auto vendor = server_->registry().GetVendorScore(meta.company);
+    if (vendor.ok()) {
+      html.TableRow({"vendor score",
+                     StrFormat("%.1f/10 over %d programs", vendor->score,
+                               vendor->software_count)});
+    }
+  }
+  core::BehaviorSet behaviors = server_->registry().ReportedBehaviors(
+      id, server_->config().behavior_report_threshold);
+  html.TableRow({"reported behaviours",
+                 behaviors == core::kNoBehaviors
+                     ? "none"
+                     : core::BehaviorSetToString(behaviors)});
+  html.TableRow({"community run count",
+                 std::to_string(server_->registry().RunCount(id))});
+  html.Close();  // table
+
+  // §3: the web interface shows "all the comments that have been
+  // submitted" (approved ones), with their meta-moderation balance.
+  html.Element("h2", "comments");
+  std::vector<server::StoredRating> votes =
+      server_->votes().VotesForSoftware(id);
+  std::sort(votes.begin(), votes.end(),
+            [](const server::StoredRating& a, const server::StoredRating& b) {
+              return a.record.submitted_at > b.record.submitted_at;
+            });
+  html.Open("ul");
+  for (const server::StoredRating& vote : votes) {
+    if (!vote.approved || vote.record.comment.empty()) continue;
+    std::int64_t balance =
+        server_->votes().RemarkBalance(vote.record.user, id);
+    html.Open("li")
+        .Text(StrFormat("[%d/10, helpfulness %+lld] ", vote.record.score,
+                        static_cast<long long>(balance)))
+        .Text(vote.record.comment)
+        .Close();
+  }
+  html.Close();  // ul
+  return html.Finish();
+}
+
+Result<std::string> WebPortal::VendorPage(std::string_view vendor) const {
+  std::string name(vendor);
+  std::vector<core::SoftwareMeta> catalogue =
+      server_->registry().SoftwareByVendor(name);
+  if (catalogue.empty()) {
+    return Status::NotFound("no software registered for vendor: " + name);
+  }
+  HtmlBuilder html;
+  PageHeader("Vendor: " + name, html);
+  auto vendor_score = server_->registry().GetVendorScore(name);
+  if (vendor_score.ok()) {
+    html.Element("p", StrFormat("derived vendor score: %.1f/10 over %d "
+                                "rated programs",
+                                vendor_score->score,
+                                vendor_score->software_count));
+  }
+  html.Open("table");
+  html.TableRow({"file name", "version", "score"}, "th");
+  for (const core::SoftwareMeta& meta : catalogue) {
+    auto score = server_->registry().GetScore(meta.id);
+    html.Open("tr");
+    html.Open("td");
+    html.Link("/software/" + meta.id.ToHex(), meta.file_name);
+    html.Close();
+    html.Element("td", meta.version);
+    html.Element("td", score.ok() ? ScoreText(*score) : "unrated");
+    html.Close();  // tr
+  }
+  html.Close();  // table
+  return html.Finish();
+}
+
+std::string WebPortal::SearchPage(std::string_view query) const {
+  HtmlBuilder html;
+  PageHeader("Search: " + std::string(query), html);
+  std::vector<core::SoftwareMeta> hits =
+      server_->registry().SearchByName(query);
+  html.Element("p", StrFormat("%zu result(s)", hits.size()));
+  html.Open("ul");
+  std::size_t shown = 0;
+  for (const core::SoftwareMeta& meta : hits) {
+    if (shown++ >= list_limit_) break;
+    html.Open("li");
+    html.Link("/software/" + meta.id.ToHex(), meta.file_name);
+    html.Text(meta.company.empty() ? " (no company)"
+                                   : " by " + meta.company);
+    html.Close();
+  }
+  html.Close();  // ul
+  return html.Finish();
+}
+
+std::string WebPortal::TopListPage(bool best) const {
+  // Served straight off the ordered score index.
+  std::vector<core::SoftwareScore> scores =
+      server_->registry().TopScored(list_limit_, best);
+
+  HtmlBuilder html;
+  PageHeader(best ? "Best rated software" : "Worst rated software", html);
+  html.Open("ol");
+  for (const core::SoftwareScore& score : scores) {
+    auto meta = server_->registry().GetSoftware(score.software);
+    if (!meta.ok()) continue;
+    html.Open("li");
+    html.Link("/software/" + meta->id.ToHex(), meta->file_name);
+    html.Text(" — " + ScoreText(score));
+    html.Close();
+  }
+  html.Close();  // ol
+  return html.Finish();
+}
+
+std::string WebPortal::StatsPage() const {
+  HtmlBuilder html;
+  PageHeader("Deployment statistics", html);
+  const server::ServerStats& stats = server_->stats();
+  html.Open("table");
+  html.TableRow({"registered members",
+                 std::to_string(server_->accounts().AccountCount())});
+  html.TableRow({"tracked programs",
+                 std::to_string(server_->registry().SoftwareCount())});
+  html.TableRow({"votes", std::to_string(server_->votes().TotalVotes())});
+  html.TableRow({"comment remarks",
+                 std::to_string(server_->votes().TotalRemarks())});
+  html.TableRow({"queries served", std::to_string(stats.queries)});
+  html.TableRow({"duplicate votes rejected",
+                 std::to_string(stats.votes_rejected_duplicate)});
+  html.TableRow({"flood-limited votes",
+                 std::to_string(stats.votes_rejected_flood)});
+  html.TableRow({"registrations rejected",
+                 std::to_string(stats.registrations_rejected)});
+  html.Close();
+  return html.Finish();
+}
+
+}  // namespace pisrep::web

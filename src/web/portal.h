@@ -1,0 +1,62 @@
+#ifndef PISREP_WEB_PORTAL_H_
+#define PISREP_WEB_PORTAL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/types.h"
+#include "server/reputation_server.h"
+#include "util/status.h"
+
+namespace pisrep::web {
+
+/// The §3 web interface: "an extension to the GUI client, where users e.g.
+/// can read more information about some particular software program or
+/// vendor along with all the comments that have been submitted", with
+/// "more possibilities in searching the information stored in the
+/// database."
+///
+/// The portal renders server state into HTML pages and routes URL paths:
+///
+///   /                      front page (totals + navigation)
+///   /software/<sha1-hex>   one program: metadata, score, behaviours,
+///                          every approved comment with its remark balance
+///   /vendor/<name>         one vendor: derived score + software catalogue
+///   /search?q=<query>      case-insensitive file-name search
+///   /top                   best-rated programs
+///   /worst                 worst-rated programs (the PIS wall of shame)
+///   /stats                 deployment statistics
+///
+/// Read-only by design: votes and remarks are submitted through the client
+/// application; the web side only presents.
+class WebPortal {
+ public:
+  /// The server must outlive the portal.
+  explicit WebPortal(server::ReputationServer* server,
+                     std::size_t list_limit = 25)
+      : server_(server), list_limit_(list_limit) {}
+
+  /// Routes a request path to the matching page. Unknown paths and
+  /// malformed ids produce kNotFound / kInvalidArgument.
+  util::Result<std::string> Handle(std::string_view path) const;
+
+  // Individual page renderers (also used directly by tests).
+  std::string HomePage() const;
+  util::Result<std::string> SoftwarePage(const core::SoftwareId& id) const;
+  util::Result<std::string> VendorPage(std::string_view vendor) const;
+  std::string SearchPage(std::string_view query) const;
+  std::string TopListPage(bool best) const;
+  std::string StatsPage() const;
+
+  /// Decodes %XX escapes and '+' in a URL query component.
+  static std::string UrlDecode(std::string_view encoded);
+
+ private:
+  server::ReputationServer* server_;
+  std::size_t list_limit_;
+};
+
+}  // namespace pisrep::web
+
+#endif  // PISREP_WEB_PORTAL_H_

@@ -1,0 +1,97 @@
+#include "xml/xml_node.h"
+
+#include "util/string_util.h"
+
+namespace pisrep::xml {
+
+void XmlNode::SetAttribute(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::string(key), std::string(value));
+}
+
+util::Result<std::string> XmlNode::Attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return util::Status::NotFound("attribute not found: " + std::string(key));
+}
+
+std::string XmlNode::AttributeOr(std::string_view key,
+                                 std::string_view fallback) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return std::string(fallback);
+}
+
+bool XmlNode::HasAttribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+XmlNode& XmlNode::AddChild(std::string name) {
+  children_.emplace_back(std::move(name));
+  return children_.back();
+}
+
+XmlNode& XmlNode::AddChild(XmlNode child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+XmlNode& XmlNode::AddTextChild(std::string name, std::string_view text) {
+  XmlNode& child = AddChild(std::move(name));
+  child.set_text(std::string(text));
+  return child;
+}
+
+XmlNode& XmlNode::AddIntChild(std::string name, std::int64_t value) {
+  return AddTextChild(std::move(name), std::to_string(value));
+}
+
+XmlNode& XmlNode::AddDoubleChild(std::string name, double value) {
+  return AddTextChild(std::move(name), util::StrFormat("%.10g", value));
+}
+
+const XmlNode* XmlNode::FindChild(std::string_view name) const {
+  for (const XmlNode& child : children_) {
+    if (child.name() == name) return &child;
+  }
+  return nullptr;
+}
+
+std::vector<const XmlNode*> XmlNode::FindChildren(
+    std::string_view name) const {
+  std::vector<const XmlNode*> out;
+  for (const XmlNode& child : children_) {
+    if (child.name() == name) out.push_back(&child);
+  }
+  return out;
+}
+
+util::Result<std::string> XmlNode::ChildText(std::string_view name) const {
+  const XmlNode* child = FindChild(name);
+  if (child == nullptr) {
+    return util::Status::NotFound("child not found: " + std::string(name));
+  }
+  return child->text();
+}
+
+util::Result<std::int64_t> XmlNode::ChildInt(std::string_view name) const {
+  PISREP_ASSIGN_OR_RETURN(std::string text, ChildText(name));
+  return util::ParseInt64(text);
+}
+
+util::Result<double> XmlNode::ChildDouble(std::string_view name) const {
+  PISREP_ASSIGN_OR_RETURN(std::string text, ChildText(name));
+  return util::ParseDouble(text);
+}
+
+}  // namespace pisrep::xml

@@ -1,0 +1,80 @@
+#ifndef PISREP_XML_XML_NODE_H_
+#define PISREP_XML_XML_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pisrep::xml {
+
+/// An XML element: name, ordered attributes, child elements, and text
+/// content. The paper (§3.2) uses XML as the protocol between client and
+/// server; this tree is the in-memory form on both ends.
+///
+/// The model is deliberately simple: mixed content is collapsed, i.e. all
+/// character data directly inside an element is concatenated into `text()`.
+/// That is sufficient for a record-structured protocol.
+class XmlNode {
+ public:
+  XmlNode() = default;
+  explicit XmlNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void append_text(std::string_view text) { text_.append(text); }
+
+  /// Attributes, in document order.
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+  /// Sets (or overwrites) an attribute.
+  void SetAttribute(std::string_view key, std::string_view value);
+  /// Returns the attribute value, or failure when absent.
+  util::Result<std::string> Attribute(std::string_view key) const;
+  /// Returns the attribute value or `fallback`.
+  std::string AttributeOr(std::string_view key,
+                          std::string_view fallback) const;
+  bool HasAttribute(std::string_view key) const;
+
+  /// Child elements, in document order.
+  const std::vector<XmlNode>& children() const { return children_; }
+  std::vector<XmlNode>& children() { return children_; }
+
+  /// Appends a child element and returns a reference to it.
+  XmlNode& AddChild(std::string name);
+  XmlNode& AddChild(XmlNode child);
+
+  /// Appends `<name>text</name>` and returns the child.
+  XmlNode& AddTextChild(std::string name, std::string_view text);
+  XmlNode& AddIntChild(std::string name, std::int64_t value);
+  XmlNode& AddDoubleChild(std::string name, double value);
+
+  /// First child with the given name, or nullptr.
+  const XmlNode* FindChild(std::string_view name) const;
+  /// All children with the given name.
+  std::vector<const XmlNode*> FindChildren(std::string_view name) const;
+
+  /// Text of the first child with the given name; fails when absent.
+  util::Result<std::string> ChildText(std::string_view name) const;
+  /// Integer / double parses of ChildText.
+  util::Result<std::int64_t> ChildInt(std::string_view name) const;
+  util::Result<double> ChildDouble(std::string_view name) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<XmlNode> children_;
+};
+
+}  // namespace pisrep::xml
+
+#endif  // PISREP_XML_XML_NODE_H_

@@ -1,0 +1,260 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace pisrep::xml {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Nesting bound: the parser recurses per element, so unbounded depth from
+/// a hostile peer would overflow the stack. The pisrep protocol nests 3
+/// levels; 128 leaves ample headroom.
+constexpr int kMaxDepth = 128;
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input), pos_(0) {}
+
+  Result<XmlNode> ParseDocument() {
+    SkipProlog();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected root element");
+    }
+    XmlNode root;
+    PISREP_RETURN_IF_ERROR(ParseElement(&root, 0));
+    SkipWhitespaceAndComments();
+    if (!AtEnd()) return Error("trailing content after root element");
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(std::size_t offset) const {
+    return pos_ + offset < input_.size() ? input_[pos_ + offset] : '\0';
+  }
+  void Advance() { ++pos_; }
+  bool Match(std::string_view token) {
+    if (input_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        util::StrFormat("xml parse error at offset %zu: %s", pos_,
+                        what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  bool SkipComment() {
+    if (!Match("<!--")) return false;
+    while (!AtEnd() && !Match("-->")) Advance();
+    return true;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (!SkipComment()) return;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (Match("<?xml")) {
+      while (!AtEnd() && !Match("?>")) Advance();
+    }
+    SkipWhitespaceAndComments();
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected name");
+    std::size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Decodes one entity starting at '&'; appends the decoded text.
+  Status ParseEntity(std::string* out) {
+    std::size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 12) {
+      return Error("unterminated entity");
+    }
+    std::string_view entity = input_.substr(pos_ + 1, semi - pos_ - 1);
+    pos_ = semi + 1;
+    if (entity == "lt") {
+      *out += '<';
+    } else if (entity == "gt") {
+      *out += '>';
+    } else if (entity == "amp") {
+      *out += '&';
+    } else if (entity == "quot") {
+      *out += '"';
+    } else if (entity == "apos") {
+      *out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      long code;
+      if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+        code = std::strtol(std::string(entity.substr(2)).c_str(), nullptr, 16);
+      } else {
+        code = std::strtol(std::string(entity.substr(1)).c_str(), nullptr, 10);
+      }
+      if (code <= 0 || code > 0x10FFFF) {
+        return Error("invalid character reference");
+      }
+      // Encode as UTF-8.
+      unsigned long cp = static_cast<unsigned long>(code);
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return Error("unknown entity: &" + std::string(entity) + ";");
+    }
+    return Status::Ok();
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        PISREP_RETURN_IF_ERROR(ParseEntity(&value));
+      } else if (Peek() == '<') {
+        return Error("'<' in attribute value");
+      } else {
+        value.push_back(Peek());
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  Status ParseElement(XmlNode* node, int depth) {
+    if (depth > kMaxDepth) return Error("element nesting too deep");
+    if (!Match("<")) return Error("expected '<'");
+    PISREP_ASSIGN_OR_RETURN(std::string name, ParseName());
+    node->set_name(std::move(name));
+
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      PISREP_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (!Match("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      PISREP_ASSIGN_OR_RETURN(std::string value, ParseAttributeValue());
+      if (node->HasAttribute(key)) {
+        return Error("duplicate attribute: " + key);
+      }
+      node->SetAttribute(key, value);
+    }
+
+    if (Match("/>")) return Status::Ok();
+    if (!Match(">")) return Error("expected '>'");
+
+    // Content.
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element: " + node->name());
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          pos_ += 2;
+          PISREP_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+          SkipWhitespace();
+          if (!Match(">")) return Error("malformed end tag");
+          if (close_name != node->name()) {
+            return Error("mismatched end tag </" + close_name +
+                         ">, expected </" + node->name() + ">");
+          }
+          // Whitespace-only text around child elements is formatting, not
+          // content; dropping it lets pretty-printed documents round-trip.
+          if (!node->children().empty() &&
+              util::Trim(node->text()).empty()) {
+            node->set_text("");
+          }
+          return Status::Ok();
+        }
+        if (Match("<![CDATA[")) {
+          std::size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          node->append_text(input_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (SkipComment()) continue;
+        if (PeekAt(1) == '!' || PeekAt(1) == '?') {
+          return Error("unsupported markup in content");
+        }
+        XmlNode& child = node->AddChild("");
+        PISREP_RETURN_IF_ERROR(ParseElement(&child, depth + 1));
+        continue;
+      }
+      if (Peek() == '&') {
+        std::string decoded;
+        PISREP_RETURN_IF_ERROR(ParseEntity(&decoded));
+        node->append_text(decoded);
+        continue;
+      }
+      node->append_text(input_.substr(pos_, 1));
+      Advance();
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_;
+};
+
+}  // namespace
+
+util::Result<XmlNode> ParseXml(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace pisrep::xml

@@ -1,0 +1,23 @@
+#ifndef PISREP_XML_XML_PARSER_H_
+#define PISREP_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace pisrep::xml {
+
+/// Parses an XML document into an element tree.
+///
+/// Supported subset (sufficient for the pisrep protocol, and round-trips
+/// everything WriteXml produces): one root element, nested elements,
+/// double- or single-quoted attributes, character data, XML declarations,
+/// comments, CDATA sections, and the five predefined entities plus numeric
+/// character references. DTDs and processing instructions other than the XML
+/// declaration are rejected.
+util::Result<XmlNode> ParseXml(std::string_view input);
+
+}  // namespace pisrep::xml
+
+#endif  // PISREP_XML_XML_PARSER_H_

@@ -1,0 +1,59 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace pisrep::util {
+namespace {
+
+TEST(ClockTest, ConstantsAreConsistent) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+TEST(ClockTest, DayIndex) {
+  EXPECT_EQ(DayIndex(0), 0);
+  EXPECT_EQ(DayIndex(kDay - 1), 0);
+  EXPECT_EQ(DayIndex(kDay), 1);
+  EXPECT_EQ(DayIndex(10 * kDay + kHour), 10);
+}
+
+TEST(ClockTest, WeekIndex) {
+  EXPECT_EQ(WeekIndex(0), 0);
+  EXPECT_EQ(WeekIndex(kWeek - 1), 0);
+  EXPECT_EQ(WeekIndex(kWeek), 1);
+  EXPECT_EQ(WeekIndex(3 * kWeek + 2 * kDay), 3);
+}
+
+TEST(ClockTest, FormatTime) {
+  EXPECT_EQ(FormatTime(0), "d0+00:00:00");
+  EXPECT_EQ(FormatTime(kDay + kHour + kMinute + kSecond), "d1+01:01:01");
+  EXPECT_EQ(FormatTime(2 * kDay + 500), "d2+00:00:00.500");
+}
+
+TEST(SimClockTest, StartsAtConfiguredTime) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  SimClock late(100);
+  EXPECT_EQ(late.Now(), 100);
+}
+
+TEST(SimClockTest, AdvanceMovesForward) {
+  SimClock clock;
+  clock.Advance(10);
+  EXPECT_EQ(clock.Now(), 10);
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.Now(), 50);
+  clock.AdvanceTo(50);  // same time is allowed
+  EXPECT_EQ(clock.Now(), 50);
+}
+
+TEST(SimClockDeathTest, RefusesToGoBackwards) {
+  SimClock clock(100);
+  EXPECT_DEATH({ clock.AdvanceTo(99); }, "backwards");
+}
+
+}  // namespace
+}  // namespace pisrep::util

@@ -1,0 +1,118 @@
+#include "core/rating_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/sha1.h"
+
+namespace pisrep::core {
+namespace {
+
+SoftwareId TestId(const std::string& tag) { return util::Sha1::Hash(tag); }
+
+TEST(AggregatorTest, EmptyVotesYieldZeroScore) {
+  SoftwareScore score = RatingAggregator::Aggregate(TestId("a"), {}, 100);
+  EXPECT_EQ(score.vote_count, 0);
+  EXPECT_EQ(score.score, 0.0);
+  EXPECT_EQ(score.weight_sum, 0.0);
+  EXPECT_EQ(score.computed_at, 100);
+}
+
+TEST(AggregatorTest, UniformWeightsGiveArithmeticMean) {
+  std::vector<WeightedVote> votes = {{4, 1}, {6, 1}, {8, 1}};
+  SoftwareScore score = RatingAggregator::Aggregate(TestId("a"), votes, 0);
+  EXPECT_DOUBLE_EQ(score.score, 6.0);
+  EXPECT_EQ(score.vote_count, 3);
+  EXPECT_DOUBLE_EQ(score.weight_sum, 3.0);
+}
+
+TEST(AggregatorTest, TrustWeightsShiftTheMean) {
+  // One expert (trust 50) saying 2 vs five novices (trust 1) saying 9.
+  std::vector<WeightedVote> votes = {{2, 50}, {9, 1}, {9, 1}, {9, 1},
+                                     {9, 1}, {9, 1}};
+  SoftwareScore weighted = RatingAggregator::Aggregate(TestId("a"), votes, 0);
+  SoftwareScore unweighted =
+      RatingAggregator::AggregateUnweighted(TestId("a"), votes, 0);
+  // (2*50 + 9*5) / 55 ≈ 2.64: the expert dominates.
+  EXPECT_NEAR(weighted.score, 145.0 / 55.0, 1e-9);
+  // Unweighted, the novices win: (2 + 45) / 6 ≈ 7.83.
+  EXPECT_NEAR(unweighted.score, 47.0 / 6.0, 1e-9);
+  EXPECT_LT(weighted.score, 4.0);
+  EXPECT_GT(unweighted.score, 7.0);
+}
+
+TEST(AggregatorTest, WeightedScoreStaysWithinRatingBounds) {
+  std::vector<WeightedVote> votes = {{1, 3}, {10, 7}, {5, 0.5}};
+  SoftwareScore score = RatingAggregator::Aggregate(TestId("a"), votes, 0);
+  EXPECT_GE(score.score, 1.0);
+  EXPECT_LE(score.score, 10.0);
+}
+
+TEST(AggregatorTest, VendorScoreIsPlainMeanOfScoredSoftware) {
+  std::vector<SoftwareScore> scores;
+  SoftwareScore a;
+  a.score = 8.0;
+  a.vote_count = 10;
+  SoftwareScore b;
+  b.score = 4.0;
+  b.vote_count = 2;
+  SoftwareScore unscored;
+  unscored.score = 0.0;
+  unscored.vote_count = 0;  // must be excluded
+  scores = {a, b, unscored};
+
+  VendorScore vendor = RatingAggregator::AggregateVendor("Acme", scores, 7);
+  EXPECT_DOUBLE_EQ(vendor.score, 6.0);
+  EXPECT_EQ(vendor.software_count, 2);
+  EXPECT_EQ(vendor.vendor, "Acme");
+  EXPECT_EQ(vendor.computed_at, 7);
+}
+
+TEST(AggregatorTest, VendorWithNoScoredSoftwareIsZero) {
+  VendorScore vendor = RatingAggregator::AggregateVendor("Ghost", {}, 0);
+  EXPECT_EQ(vendor.software_count, 0);
+  EXPECT_EQ(vendor.score, 0.0);
+}
+
+TEST(AggregatorTest, AggregationPeriodIs24Hours) {
+  EXPECT_EQ(kAggregationPeriod, util::kDay);
+}
+
+// Property: the weighted mean is invariant under vote order and scales
+// correctly under weight multiplication.
+class AggregatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AggregatorPropertyTest, OrderInvarianceAndWeightScaling) {
+  util::Rng rng(GetParam());
+  std::vector<WeightedVote> votes;
+  int n = 2 + static_cast<int>(rng.NextBelow(20));
+  for (int i = 0; i < n; ++i) {
+    votes.push_back(WeightedVote{
+        static_cast<double>(rng.NextInt(1, 10)),
+        1.0 + static_cast<double>(rng.NextBelow(99))});
+  }
+  SoftwareScore base = RatingAggregator::Aggregate(TestId("p"), votes, 0);
+
+  // Shuffle.
+  std::vector<WeightedVote> shuffled = votes;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextIndex(i)]);
+  }
+  SoftwareScore reordered =
+      RatingAggregator::Aggregate(TestId("p"), shuffled, 0);
+  EXPECT_NEAR(base.score, reordered.score, 1e-9);
+
+  // Scaling all weights by a constant leaves the mean unchanged.
+  std::vector<WeightedVote> scaled = votes;
+  for (WeightedVote& vote : scaled) vote.weight *= 3.0;
+  SoftwareScore scaled_score =
+      RatingAggregator::Aggregate(TestId("p"), scaled, 0);
+  EXPECT_NEAR(base.score, scaled_score.score, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregatorPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace pisrep::core

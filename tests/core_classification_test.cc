@@ -1,0 +1,217 @@
+#include "core/classification.h"
+
+#include <gtest/gtest.h>
+
+#include "core/behavior.h"
+
+namespace pisrep::core {
+namespace {
+
+// The full Table-1 grid, cell by cell.
+struct Cell {
+  ConsentLevel consent;
+  ConsequenceLevel consequence;
+  PisCategory category;
+  const char* name;
+};
+
+const Cell kTable1[] = {
+    {ConsentLevel::kHigh, ConsequenceLevel::kTolerable,
+     PisCategory::kLegitimate, "Legitimate software"},
+    {ConsentLevel::kHigh, ConsequenceLevel::kModerate, PisCategory::kAdverse,
+     "Adverse software"},
+    {ConsentLevel::kHigh, ConsequenceLevel::kSevere,
+     PisCategory::kDoubleAgent, "Double agents"},
+    {ConsentLevel::kMedium, ConsequenceLevel::kTolerable,
+     PisCategory::kSemiTransparent, "Semi-transparent software"},
+    {ConsentLevel::kMedium, ConsequenceLevel::kModerate,
+     PisCategory::kUnsolicited, "Unsolicited software"},
+    {ConsentLevel::kMedium, ConsequenceLevel::kSevere,
+     PisCategory::kSemiParasite, "Semi-parasites"},
+    {ConsentLevel::kLow, ConsequenceLevel::kTolerable, PisCategory::kCovert,
+     "Covert software"},
+    {ConsentLevel::kLow, ConsequenceLevel::kModerate, PisCategory::kTrojan,
+     "Trojans"},
+    {ConsentLevel::kLow, ConsequenceLevel::kSevere, PisCategory::kParasite,
+     "Parasites"},
+};
+
+TEST(ClassificationTest, Table1GridMatchesPaper) {
+  for (const Cell& cell : kTable1) {
+    EXPECT_EQ(Classify(cell.consent, cell.consequence), cell.category);
+    EXPECT_STREQ(PisCategoryName(cell.category), cell.name);
+    EXPECT_EQ(CategoryConsent(cell.category), cell.consent);
+    EXPECT_EQ(CategoryConsequence(cell.category), cell.consequence);
+  }
+}
+
+TEST(ClassificationTest, CategoryNumbersMatchPaperNumbering) {
+  // The paper numbers cells 1..9 row-major from high consent.
+  EXPECT_EQ(static_cast<int>(PisCategory::kLegitimate), 1);
+  EXPECT_EQ(static_cast<int>(PisCategory::kAdverse), 2);
+  EXPECT_EQ(static_cast<int>(PisCategory::kDoubleAgent), 3);
+  EXPECT_EQ(static_cast<int>(PisCategory::kSemiTransparent), 4);
+  EXPECT_EQ(static_cast<int>(PisCategory::kUnsolicited), 5);
+  EXPECT_EQ(static_cast<int>(PisCategory::kSemiParasite), 6);
+  EXPECT_EQ(static_cast<int>(PisCategory::kCovert), 7);
+  EXPECT_EQ(static_cast<int>(PisCategory::kTrojan), 8);
+  EXPECT_EQ(static_cast<int>(PisCategory::kParasite), 9);
+}
+
+TEST(ClassificationTest, MalwareIsLowConsentOrSevere) {
+  // §1.1: low consent OR severe consequences → malware.
+  EXPECT_TRUE(IsMalware(PisCategory::kDoubleAgent));
+  EXPECT_TRUE(IsMalware(PisCategory::kSemiParasite));
+  EXPECT_TRUE(IsMalware(PisCategory::kCovert));
+  EXPECT_TRUE(IsMalware(PisCategory::kTrojan));
+  EXPECT_TRUE(IsMalware(PisCategory::kParasite));
+  EXPECT_FALSE(IsMalware(PisCategory::kLegitimate));
+  EXPECT_FALSE(IsMalware(PisCategory::kAdverse));
+  EXPECT_FALSE(IsMalware(PisCategory::kSemiTransparent));
+  EXPECT_FALSE(IsMalware(PisCategory::kUnsolicited));
+}
+
+TEST(ClassificationTest, LegitimateIsHighConsentAndTolerable) {
+  EXPECT_TRUE(IsLegitimate(PisCategory::kLegitimate));
+  for (const Cell& cell : kTable1) {
+    if (cell.category != PisCategory::kLegitimate) {
+      EXPECT_FALSE(IsLegitimate(cell.category))
+          << PisCategoryName(cell.category);
+    }
+  }
+}
+
+TEST(ClassificationTest, SpywareIsTheRemainder) {
+  // §1.1: spyware = not legitimate, not malware = cells 2, 4, 5.
+  EXPECT_TRUE(IsSpyware(PisCategory::kAdverse));
+  EXPECT_TRUE(IsSpyware(PisCategory::kSemiTransparent));
+  EXPECT_TRUE(IsSpyware(PisCategory::kUnsolicited));
+  EXPECT_FALSE(IsSpyware(PisCategory::kLegitimate));
+  EXPECT_FALSE(IsSpyware(PisCategory::kParasite));
+}
+
+TEST(ClassificationTest, PartitionIsExhaustiveAndDisjoint) {
+  for (const Cell& cell : kTable1) {
+    int buckets = (IsLegitimate(cell.category) ? 1 : 0) +
+                  (IsSpyware(cell.category) ? 1 : 0) +
+                  (IsMalware(cell.category) ? 1 : 0);
+    EXPECT_EQ(buckets, 1) << PisCategoryName(cell.category);
+  }
+}
+
+TEST(ClassificationTest, Table2TransformCollapsesMediumConsent) {
+  // §4.1: informed users move medium-consent software to high or low.
+  EXPECT_EQ(TransformWithReputation(PisCategory::kSemiTransparent, true),
+            PisCategory::kLegitimate);
+  EXPECT_EQ(TransformWithReputation(PisCategory::kSemiTransparent, false),
+            PisCategory::kCovert);
+  EXPECT_EQ(TransformWithReputation(PisCategory::kUnsolicited, true),
+            PisCategory::kAdverse);
+  EXPECT_EQ(TransformWithReputation(PisCategory::kUnsolicited, false),
+            PisCategory::kTrojan);
+  EXPECT_EQ(TransformWithReputation(PisCategory::kSemiParasite, true),
+            PisCategory::kDoubleAgent);
+  EXPECT_EQ(TransformWithReputation(PisCategory::kSemiParasite, false),
+            PisCategory::kParasite);
+}
+
+TEST(ClassificationTest, Table2TransformLeavesOtherRowsAlone) {
+  for (const Cell& cell : kTable1) {
+    if (CategoryConsent(cell.category) == ConsentLevel::kMedium) continue;
+    EXPECT_EQ(TransformWithReputation(cell.category, true), cell.category);
+    EXPECT_EQ(TransformWithReputation(cell.category, false), cell.category);
+  }
+}
+
+TEST(ClassificationTest, TransformedGridHasNoMediumRow) {
+  // After the transform, no category may sit in the medium-consent row —
+  // exactly the shape of Table 2.
+  for (const Cell& cell : kTable1) {
+    for (bool accepts : {true, false}) {
+      PisCategory out = TransformWithReputation(cell.category, accepts);
+      EXPECT_NE(CategoryConsent(out), ConsentLevel::kMedium);
+      // Consequences never change; only consent does.
+      EXPECT_EQ(CategoryConsequence(out),
+                CategoryConsequence(cell.category));
+    }
+  }
+}
+
+TEST(ClassificationTest, FromNumberValidatesRange) {
+  EXPECT_EQ(*PisCategoryFromNumber(1), PisCategory::kLegitimate);
+  EXPECT_EQ(*PisCategoryFromNumber(9), PisCategory::kParasite);
+  EXPECT_FALSE(PisCategoryFromNumber(0).ok());
+  EXPECT_FALSE(PisCategoryFromNumber(10).ok());
+}
+
+// --- Behaviour-derived levels ---------------------------------------------
+
+TEST(BehaviorTest, NamesRoundTrip) {
+  for (Behavior b : AllBehaviors()) {
+    auto parsed = BehaviorFromName(BehaviorName(b));
+    ASSERT_TRUE(parsed.ok()) << BehaviorName(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(BehaviorFromName("nonsense").ok());
+}
+
+TEST(BehaviorTest, SetStringRoundTrip) {
+  BehaviorSet set = WithBehavior(
+      WithBehavior(kNoBehaviors, Behavior::kShowsAds), Behavior::kKeylogging);
+  auto parsed = BehaviorSetFromString(BehaviorSetToString(set));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, set);
+
+  EXPECT_EQ(*BehaviorSetFromString(""), kNoBehaviors);
+  EXPECT_EQ(BehaviorSetToString(kNoBehaviors), "");
+  EXPECT_FALSE(BehaviorSetFromString("shows_ads,bogus").ok());
+}
+
+TEST(BehaviorTest, ConsequenceAssessment) {
+  EXPECT_EQ(AssessConsequence(kNoBehaviors), ConsequenceLevel::kTolerable);
+  EXPECT_EQ(AssessConsequence(
+                static_cast<BehaviorSet>(Behavior::kShowsAds)),
+            ConsequenceLevel::kTolerable);
+  EXPECT_EQ(AssessConsequence(
+                static_cast<BehaviorSet>(Behavior::kPopupAds)),
+            ConsequenceLevel::kModerate);
+  EXPECT_EQ(AssessConsequence(
+                static_cast<BehaviorSet>(Behavior::kNoUninstall)),
+            ConsequenceLevel::kModerate);
+  EXPECT_EQ(AssessConsequence(
+                static_cast<BehaviorSet>(Behavior::kKeylogging)),
+            ConsequenceLevel::kSevere);
+  // Severe dominates moderate.
+  EXPECT_EQ(AssessConsequence(
+                static_cast<BehaviorSet>(Behavior::kPopupAds) |
+                static_cast<BehaviorSet>(Behavior::kSendsPersonalData)),
+            ConsequenceLevel::kSevere);
+}
+
+TEST(BehaviorTest, ConsentAssessment) {
+  DisclosureProfile undisclosed;
+  EXPECT_EQ(AssessConsent(undisclosed), ConsentLevel::kLow);
+
+  DisclosureProfile clear;
+  clear.disclosed = true;
+  clear.plain_language = true;
+  clear.eula_word_count = 800;
+  EXPECT_EQ(AssessConsent(clear), ConsentLevel::kHigh);
+
+  // §1: a 5000+ word legal EULA yields only medium consent even though the
+  // behaviour is technically "stated".
+  DisclosureProfile buried;
+  buried.disclosed = true;
+  buried.plain_language = false;
+  buried.eula_word_count = 6000;
+  EXPECT_EQ(AssessConsent(buried), ConsentLevel::kMedium);
+
+  DisclosureProfile long_but_plain;
+  long_but_plain.disclosed = true;
+  long_but_plain.plain_language = true;
+  long_but_plain.eula_word_count = 9000;
+  EXPECT_EQ(AssessConsent(long_but_plain), ConsentLevel::kMedium);
+}
+
+}  // namespace
+}  // namespace pisrep::core

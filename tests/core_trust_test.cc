@@ -1,0 +1,98 @@
+#include "core/trust.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pisrep::core {
+namespace {
+
+using util::kWeek;
+
+TEST(TrustTest, NewMemberStartsAtMinimum) {
+  TrustState state = TrustEngine::NewMember(1000);
+  EXPECT_EQ(state.factor, kMinTrust);
+  EXPECT_EQ(state.joined_at, 1000);
+}
+
+TEST(TrustTest, CeilingScheduleMatchesPaper) {
+  // §3.2: "you can reach a maximum trust factor of 5 the first week you are
+  // a member, 10 the second week, and so on."
+  util::TimePoint joined = 0;
+  EXPECT_EQ(TrustEngine::MaxTrustAt(joined, 0), 5.0);
+  EXPECT_EQ(TrustEngine::MaxTrustAt(joined, kWeek - 1), 5.0);
+  EXPECT_EQ(TrustEngine::MaxTrustAt(joined, kWeek), 10.0);
+  EXPECT_EQ(TrustEngine::MaxTrustAt(joined, 3 * kWeek), 20.0);
+  // Absolute maximum of 100, reached after 20 weeks.
+  EXPECT_EQ(TrustEngine::MaxTrustAt(joined, 19 * kWeek), 100.0);
+  EXPECT_EQ(TrustEngine::MaxTrustAt(joined, 500 * kWeek), 100.0);
+}
+
+TEST(TrustTest, PositiveRemarksRaiseWithinCeiling) {
+  TrustState state = TrustEngine::NewMember(0);
+  for (int i = 0; i < 100; ++i) {
+    TrustEngine::ApplyPositiveRemark(state, 0);
+  }
+  // Week 1 ceiling is 5 no matter how many remarks arrive.
+  EXPECT_EQ(state.factor, 5.0);
+}
+
+TEST(TrustTest, CeilingGrowsWithMembershipAge) {
+  TrustState state = TrustEngine::NewMember(0);
+  for (int i = 0; i < 100; ++i) TrustEngine::ApplyPositiveRemark(state, 0);
+  EXPECT_EQ(state.factor, 5.0);
+  for (int i = 0; i < 100; ++i) {
+    TrustEngine::ApplyPositiveRemark(state, kWeek);
+  }
+  EXPECT_EQ(state.factor, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    TrustEngine::ApplyPositiveRemark(state, 30 * kWeek);
+  }
+  EXPECT_EQ(state.factor, 100.0);
+}
+
+TEST(TrustTest, NegativeRemarksLowerButNotBelowMinimum) {
+  TrustState state = TrustEngine::NewMember(0);
+  state.factor = 10.0;
+  TrustEngine::ApplyNegativeRemark(state, 30 * kWeek);
+  EXPECT_EQ(state.factor, 8.0);  // -2 per negative remark
+  for (int i = 0; i < 50; ++i) {
+    TrustEngine::ApplyNegativeRemark(state, 30 * kWeek);
+  }
+  EXPECT_EQ(state.factor, kMinTrust);
+}
+
+TEST(TrustTest, NegativeRemarksWeighDoublePositive) {
+  EXPECT_EQ(kPositiveRemarkDelta, 1.0);
+  EXPECT_EQ(kNegativeRemarkDelta, -2.0);
+}
+
+TEST(TrustTest, DeltaClampsToCurrentCeilingNotOldOne) {
+  TrustState state = TrustEngine::NewMember(0);
+  // Earn max trust at week 5 (ceiling 30 at weeks>=5... ceiling = 5*(w+1)).
+  for (int i = 0; i < 500; ++i) {
+    TrustEngine::ApplyPositiveRemark(state, 4 * kWeek);
+  }
+  EXPECT_EQ(state.factor, 25.0);  // 5 * 5 weeks of membership
+  // Applying a zero-delta later does not lower an earned factor.
+  TrustEngine::ApplyDelta(state, 0.0, 4 * kWeek);
+  EXPECT_EQ(state.factor, 25.0);
+}
+
+TEST(TrustTest, MaxTrustBeforeJoinIsMinimum) {
+  EXPECT_EQ(TrustEngine::MaxTrustAt(100, 50), kMinTrust);
+}
+
+class TrustSchedulePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrustSchedulePropertyTest, CeilingIsFiveTimesWeeks) {
+  int weeks = GetParam();
+  double expected = std::min(100.0, 5.0 * (weeks + 1));
+  EXPECT_EQ(TrustEngine::MaxTrustAt(0, weeks * kWeek), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weeks, TrustSchedulePropertyTest,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace pisrep::core

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "crypto/signing.h"
+#include "crypto/trust_store.h"
+#include "util/random.h"
+
+namespace pisrep::crypto {
+namespace {
+
+TEST(SigningTest, PrimalityTestKnownValues) {
+  using internal_signing::IsPrime;
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(91));  // 7 * 13
+  EXPECT_TRUE(IsPrime(2147483647ull));    // 2^31 - 1 (Mersenne)
+  EXPECT_FALSE(IsPrime(2147483649ull));
+  EXPECT_TRUE(IsPrime(1073741827ull));
+  // Carmichael number: fools Fermat, not Miller-Rabin.
+  EXPECT_FALSE(IsPrime(561));
+}
+
+TEST(SigningTest, PowModBasics) {
+  using internal_signing::PowMod;
+  EXPECT_EQ(PowMod(2, 10, 1000), 24u);
+  EXPECT_EQ(PowMod(5, 0, 7), 1u);
+  EXPECT_EQ(PowMod(0, 5, 7), 0u);
+  // Fermat's little theorem: a^(p-1) ≡ 1 mod p.
+  EXPECT_EQ(PowMod(123456789, 2147483646, 2147483647), 1u);
+}
+
+TEST(SigningTest, SignVerifyRoundTrip) {
+  util::Rng rng(99);
+  KeyPair pair = GenerateKeyPair(rng);
+  Signature sig = Sign(pair.private_key, "hello world");
+  EXPECT_TRUE(Verify(pair.public_key, "hello world", sig));
+}
+
+TEST(SigningTest, TamperedMessageFailsVerification) {
+  util::Rng rng(100);
+  KeyPair pair = GenerateKeyPair(rng);
+  Signature sig = Sign(pair.private_key, "original");
+  EXPECT_FALSE(Verify(pair.public_key, "tampered", sig));
+}
+
+TEST(SigningTest, WrongKeyFailsVerification) {
+  util::Rng rng(101);
+  KeyPair alice = GenerateKeyPair(rng);
+  KeyPair mallory = GenerateKeyPair(rng);
+  Signature sig = Sign(mallory.private_key, "msg");
+  EXPECT_FALSE(Verify(alice.public_key, "msg", sig));
+}
+
+TEST(SigningTest, ForgedSignatureFailsVerification) {
+  util::Rng rng(102);
+  KeyPair pair = GenerateKeyPair(rng);
+  Signature sig = Sign(pair.private_key, "msg");
+  EXPECT_FALSE(Verify(pair.public_key, "msg", sig ^ 1));
+  EXPECT_FALSE(Verify(pair.public_key, "msg", 0));
+}
+
+TEST(SigningTest, ZeroKeyNeverVerifies) {
+  EXPECT_FALSE(Verify(PublicKey{}, "msg", 123));
+}
+
+class SigningPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SigningPropertyTest, RoundTripAcrossKeysAndMessages) {
+  util::Rng rng(GetParam());
+  KeyPair pair = GenerateKeyPair(rng);
+  for (int i = 0; i < 5; ++i) {
+    std::string message = rng.NextToken(32);
+    Signature sig = Sign(pair.private_key, message);
+    EXPECT_TRUE(Verify(pair.public_key, message, sig));
+    EXPECT_FALSE(Verify(pair.public_key, message + "x", sig));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SigningPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(PublicKeyTest, StringRoundTrip) {
+  util::Rng rng(103);
+  KeyPair pair = GenerateKeyPair(rng);
+  auto parsed = PublicKey::FromString(pair.public_key.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, pair.public_key);
+}
+
+TEST(PublicKeyTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(PublicKey::FromString("").ok());
+  EXPECT_FALSE(PublicKey::FromString("abc").ok());
+  EXPECT_FALSE(PublicKey::FromString("0123:4567").ok());
+  EXPECT_FALSE(
+      PublicKey::FromString("zzzzzzzzzzzzzzzz:0000000000010001").ok());
+}
+
+TEST(TrustStoreTest, CertificateLifecycle) {
+  util::Rng rng(104);
+  KeyPair pair = GenerateKeyPair(rng);
+  TrustStore store;
+  EXPECT_FALSE(store.FindCertificate("Acme").ok());
+
+  store.AddCertificate(Certificate{"Acme", pair.public_key, 10, false});
+  ASSERT_TRUE(store.FindCertificate("Acme").ok());
+  EXPECT_EQ(store.certificate_count(), 1u);
+
+  Signature sig = Sign(pair.private_key, "payload");
+  EXPECT_TRUE(store.VerifySignature("Acme", "payload", sig));
+  EXPECT_FALSE(store.VerifySignature("Acme", "other", sig));
+  EXPECT_FALSE(store.VerifySignature("Unknown", "payload", sig));
+}
+
+TEST(TrustStoreTest, RevocationStopsVerification) {
+  util::Rng rng(105);
+  KeyPair pair = GenerateKeyPair(rng);
+  TrustStore store;
+  store.AddCertificate(Certificate{"Acme", pair.public_key, 0, false});
+  Signature sig = Sign(pair.private_key, "payload");
+  ASSERT_TRUE(store.VerifySignature("Acme", "payload", sig));
+
+  ASSERT_TRUE(store.RevokeCertificate("Acme").ok());
+  EXPECT_FALSE(store.VerifySignature("Acme", "payload", sig));
+  EXPECT_FALSE(store.RevokeCertificate("Ghost").ok());
+}
+
+TEST(TrustStoreTest, TrustDecisions) {
+  TrustStore store;
+  EXPECT_EQ(store.GetTrust("A"), TrustStore::VendorTrust::kUnknown);
+  store.TrustVendor("A");
+  store.BlockVendor("B");
+  EXPECT_EQ(store.GetTrust("A"), TrustStore::VendorTrust::kTrusted);
+  EXPECT_EQ(store.GetTrust("B"), TrustStore::VendorTrust::kBlocked);
+  store.ResetVendor("A");
+  EXPECT_EQ(store.GetTrust("A"), TrustStore::VendorTrust::kUnknown);
+}
+
+TEST(TrustStoreTest, TrustedVendorsSorted) {
+  TrustStore store;
+  store.TrustVendor("Zeta");
+  store.TrustVendor("Alpha");
+  store.BlockVendor("Mid");
+  auto trusted = store.TrustedVendors();
+  ASSERT_EQ(trusted.size(), 2u);
+  EXPECT_EQ(trusted[0], "Alpha");
+  EXPECT_EQ(trusted[1], "Zeta");
+}
+
+}  // namespace
+}  // namespace pisrep::crypto

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/hex.h"
+#include "util/hmac.h"
+#include "util/sha1.h"
+#include "util/sha256.h"
+
+namespace pisrep::util {
+namespace {
+
+// --- SHA-1 (FIPS 180-1 / RFC 3174 vectors) ------------------------------
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(Sha1::Hash("").ToHex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(Sha1::Hash("abc").ToHex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(Sha1::Hash(input).ToHex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); split += 7) {
+    Sha1 h;
+    h.Update(data.substr(0, split));
+    h.Update(data.substr(split));
+    EXPECT_EQ(h.Finish(), Sha1::Hash(data)) << "split at " << split;
+  }
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding cutoff.
+class Sha1BoundaryTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha1BoundaryTest, IncrementalByteAtATimeMatchesOneShot) {
+  std::string data(GetParam(), 'x');
+  Sha1 h;
+  for (char c : data) h.Update(std::string_view(&c, 1));
+  EXPECT_EQ(h.Finish(), Sha1::Hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha1BoundaryTest,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 127, 128, 129, 1000));
+
+TEST(Sha1Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha1::Hash("a"), Sha1::Hash("b"));
+  EXPECT_NE(Sha1::Hash("abc"), Sha1::Hash("abd"));
+  EXPECT_NE(Sha1::Hash("abc"), Sha1::Hash("abc "));
+}
+
+TEST(Sha1Test, DigestOrderingIsLexicographic) {
+  Sha1Digest a = Sha1::Hash("a");
+  Sha1Digest b = Sha1::Hash("b");
+  EXPECT_TRUE((a < b) || (b < a));
+  EXPECT_EQ(a, Sha1::Hash("a"));
+}
+
+// --- SHA-256 (FIPS 180-4 vectors) ----------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(
+      Sha256::Hash("").ToHex(),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(
+      Sha256::Hash("abc").ToHex(),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  std::string input(1000000, 'a');
+  EXPECT_EQ(
+      Sha256::Hash(input).ToHex(),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+class Sha256BoundaryTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256BoundaryTest, IncrementalMatchesOneShot) {
+  std::string data(GetParam(), 'y');
+  Sha256 h;
+  for (std::size_t i = 0; i < data.size(); i += 3) {
+    h.Update(data.substr(i, 3));
+  }
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256BoundaryTest,
+                         ::testing::Values(0, 1, 55, 56, 63, 64, 65, 127, 128,
+                                           500));
+
+// --- HMAC-SHA256 (RFC 4231 vectors) ---------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(
+      HmacSha256Hex(key, "Hi There"),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(
+      HmacSha256Hex("Jefe", "what do ya want for nothing?"),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  std::string key(20, '\xaa');
+  std::string data(50, '\xdd');
+  EXPECT_EQ(
+      HmacSha256Hex(key, data),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  std::string key(131, '\xaa');
+  EXPECT_EQ(
+      HmacSha256Hex(key, "Test Using Larger Than Block-Size Key - Hash Key "
+                         "First"),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  EXPECT_NE(HmacSha256Hex("k1", "msg"), HmacSha256Hex("k2", "msg"));
+  EXPECT_NE(HmacSha256Hex("k", "msg1"), HmacSha256Hex("k", "msg2"));
+}
+
+// --- Hex codec -------------------------------------------------------------
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  std::string data = "\x00\x01\x7f\xff\xab binary";
+  std::string hex = HexEncode(data);
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::string(decoded->begin(), decoded->end()), data);
+}
+
+TEST(HexTest, EncodeIsLowercase) {
+  std::uint8_t bytes[] = {0xAB, 0xCD, 0xEF};
+  EXPECT_EQ(HexEncode(bytes, 3), "abcdef");
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  auto decoded = HexDecode("ABCDEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0], 0xAB);
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+  EXPECT_FALSE(HexDecode("a ").ok());
+}
+
+TEST(HexTest, EmptyIsValid) {
+  auto decoded = HexDecode("");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+}  // namespace
+}  // namespace pisrep::util

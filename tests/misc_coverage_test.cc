@@ -1,0 +1,164 @@
+// Odds-and-ends coverage: codec robustness against garbage, negative-time
+// calendar arithmetic, network byte accounting, event-loop execution caps,
+// and ecosystem generation at configuration extremes.
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.h"
+#include "net/network.h"
+#include "sim/software_ecosystem.h"
+#include "storage/codec.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace pisrep {
+namespace {
+
+// --- Codec fuzz: DecodeSchema / DecodeRow on random bytes -----------------------
+
+class CodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzzTest, DecodeSchemaNeverCrashesOnGarbage) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    std::string garbage;
+    std::size_t len = rng.NextBelow(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    storage::Decoder dec(garbage);
+    auto schema = storage::DecodeSchema(dec);
+    if (!schema.ok()) {
+      EXPECT_EQ(schema.status().code(), util::StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST_P(CodecFuzzTest, DecodeRowNeverCrashesOnGarbage) {
+  storage::TableSchema schema = storage::SchemaBuilder("f")
+                                    .Int("a")
+                                    .Str("b")
+                                    .Real("c")
+                                    .Boolean("d")
+                                    .PrimaryKey("a")
+                                    .Build();
+  util::Rng rng(GetParam() + 77);
+  for (int round = 0; round < 300; ++round) {
+    std::string garbage;
+    std::size_t len = rng.NextBelow(40);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    storage::Decoder dec(garbage);
+    auto row = storage::DecodeRow(schema, dec);
+    if (!row.ok()) {
+      EXPECT_EQ(row.status().code(), util::StatusCode::kDataLoss);
+    } else {
+      // A lucky decode must still produce a schema-valid row.
+      EXPECT_TRUE(schema.CheckRow(*row).ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzzTest,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+// --- Calendar arithmetic with negative times ------------------------------------
+
+TEST(ClockNegativeTest, DayAndWeekIndexFloorForNegativeTimes) {
+  using util::DayIndex;
+  using util::kDay;
+  using util::kWeek;
+  using util::WeekIndex;
+  EXPECT_EQ(DayIndex(-1), -1);
+  EXPECT_EQ(DayIndex(-kDay), -1);
+  EXPECT_EQ(DayIndex(-kDay - 1), -2);
+  EXPECT_EQ(WeekIndex(-1), -1);
+  EXPECT_EQ(WeekIndex(-kWeek), -1);
+  EXPECT_EQ(WeekIndex(-kWeek - 1), -2);
+}
+
+// --- Network accounting -----------------------------------------------------------
+
+TEST(NetworkAccountingTest, BytesAndCountsTrackTraffic) {
+  net::EventLoop loop;
+  net::NetworkConfig config;
+  config.jitter = 0;
+  net::SimNetwork network(&loop, config);
+  ASSERT_TRUE(network.Bind("sink", [](const net::Message&) {}).ok());
+  network.Send("a", "sink", "12345");
+  network.Send("a", "sink", "678");
+  loop.RunAll();
+  EXPECT_EQ(network.messages_sent(), 2u);
+  EXPECT_EQ(network.messages_delivered(), 2u);
+  EXPECT_EQ(network.bytes_sent(), 8u);
+  EXPECT_TRUE(network.IsBound("sink"));
+  EXPECT_FALSE(network.IsBound("ghost"));
+}
+
+// --- Event loop caps ----------------------------------------------------------------
+
+TEST(EventLoopCapTest, RunAllStopsAtMaxEvents) {
+  net::EventLoop loop;
+  int fired = 0;
+  // A self-perpetuating chain would run forever without the cap.
+  std::function<void()> chain = [&] {
+    ++fired;
+    loop.ScheduleAfter(1, chain);
+  };
+  loop.ScheduleAfter(1, chain);
+  EXPECT_EQ(loop.RunAll(100), 100u);
+  EXPECT_EQ(fired, 100);
+  EXPECT_FALSE(loop.empty());
+}
+
+// --- Ecosystem configuration extremes ------------------------------------------------
+
+TEST(EcosystemExtremesTest, SingleCategoryCorpus) {
+  sim::EcosystemConfig config;
+  config.num_software = 40;
+  config.num_vendors = 5;
+  config.category_weights = {0, 0, 0, 0, 0, 0, 0, 0, 1.0};  // all parasites
+  config.seed = 9;
+  sim::SoftwareEcosystem eco = sim::SoftwareEcosystem::Generate(config);
+  for (const sim::SoftwareSpec& spec : eco.specs()) {
+    EXPECT_EQ(spec.truth, core::PisCategory::kParasite);
+    EXPECT_TRUE(sim::SoftwareEcosystem::IsPis(spec.truth));
+  }
+}
+
+TEST(EcosystemExtremesTest, AllVendorsPisStillAssigns) {
+  sim::EcosystemConfig config;
+  config.num_software = 30;
+  config.num_vendors = 4;
+  config.pis_vendor_fraction = 1.0;  // nobody honest
+  config.seed = 10;
+  sim::SoftwareEcosystem eco = sim::SoftwareEcosystem::Generate(config);
+  for (const sim::SoftwareSpec& spec : eco.specs()) {
+    ASSERT_GE(spec.vendor_index, 0);
+  }
+}
+
+TEST(EcosystemExtremesTest, TinyCorpus) {
+  sim::EcosystemConfig config;
+  config.num_software = 1;
+  config.num_vendors = 1;
+  config.seed = 11;
+  sim::SoftwareEcosystem eco = sim::SoftwareEcosystem::Generate(config);
+  EXPECT_EQ(eco.size(), 1u);
+  util::Rng rng(1);
+  EXPECT_EQ(eco.SamplePopular(rng), 0u);
+}
+
+// --- Rating bounds helper -----------------------------------------------------------
+
+TEST(RatingBoundsTest, IsValidRating) {
+  EXPECT_FALSE(core::IsValidRating(0));
+  EXPECT_TRUE(core::IsValidRating(1));
+  EXPECT_TRUE(core::IsValidRating(10));
+  EXPECT_FALSE(core::IsValidRating(11));
+  EXPECT_FALSE(core::IsValidRating(-5));
+}
+
+}  // namespace
+}  // namespace pisrep

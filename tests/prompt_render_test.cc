@@ -1,0 +1,144 @@
+#include "client/prompt_render.h"
+
+#include <gtest/gtest.h>
+
+#include "util/sha1.h"
+
+namespace pisrep::client {
+namespace {
+
+PromptInfo BaseInfo() {
+  PromptInfo info;
+  info.meta.id = util::Sha1::Hash("render-app");
+  info.meta.file_name = "widget.exe";
+  info.meta.file_size = 4096;
+  info.meta.company = "WidgetWorks";
+  info.meta.version = "2.1";
+  return info;
+}
+
+TEST(RatingBarTest, FillsProportionally) {
+  PromptRenderer renderer;
+  EXPECT_EQ(renderer.RatingBar(0.0), "[__________] 0.0/10");
+  EXPECT_EQ(renderer.RatingBar(5.0), "[#####_____] 5.0/10");
+  EXPECT_EQ(renderer.RatingBar(10.0), "[##########] 10.0/10");
+  // Out-of-range inputs clamp instead of overflowing the bar.
+  EXPECT_EQ(renderer.RatingBar(42.0), "[##########] 10.0/10");
+  EXPECT_EQ(renderer.RatingBar(-3.0), "[__________] 0.0/10");
+}
+
+TEST(AdvisoryTest, WarnsOnBadCommunityScore) {
+  PromptInfo info = BaseInfo();
+  core::SoftwareScore score;
+  score.score = 2.5;
+  score.vote_count = 12;
+  info.score = score;
+  info.known = true;
+  EXPECT_EQ(PromptRenderer().Advisory(info),
+            "the community warns against this program");
+}
+
+TEST(AdvisoryTest, PraisesCleanHighScore) {
+  PromptInfo info = BaseInfo();
+  core::SoftwareScore score;
+  score.score = 8.4;
+  score.vote_count = 30;
+  info.score = score;
+  info.known = true;
+  EXPECT_EQ(PromptRenderer().Advisory(info),
+            "well regarded by the community");
+  // Ads spoil the endorsement even at a high score.
+  info.reported_behaviors =
+      static_cast<core::BehaviorSet>(core::Behavior::kPopupAds);
+  EXPECT_EQ(PromptRenderer().Advisory(info),
+            "users report intrusive behaviour");
+}
+
+TEST(AdvisoryTest, FeedFlagTakesPrecedence) {
+  PromptInfo info = BaseInfo();
+  core::SoftwareScore score;
+  score.score = 9.0;  // crowd loves it...
+  score.vote_count = 100;
+  info.score = score;
+  server::FeedEntry entry;
+  entry.feed = "security-lab";
+  entry.score = 1.5;  // ...the lab does not
+  info.feed_entry = entry;
+  EXPECT_EQ(PromptRenderer().Advisory(info),
+            "your subscribed feed flags this program");
+}
+
+TEST(AdvisoryTest, UnknownSoftwareVariants) {
+  PromptInfo unsigned_unknown = BaseInfo();
+  EXPECT_EQ(PromptRenderer().Advisory(unsigned_unknown),
+            "no community information yet - decide carefully");
+
+  PromptInfo anonymous = BaseInfo();
+  anonymous.meta.company.clear();
+  EXPECT_EQ(PromptRenderer().Advisory(anonymous),
+            "unknown program with no company name - be careful");
+
+  PromptInfo trusted_signed = BaseInfo();
+  trusted_signed.signature.has_signature = true;
+  trusted_signed.signature.valid = true;
+  trusted_signed.signature.vendor_trusted = true;
+  EXPECT_EQ(PromptRenderer().Advisory(trusted_signed),
+            "unknown program, but signed by a vendor you trust");
+}
+
+TEST(RenderTest, IncludesAllSections) {
+  PromptInfo info = BaseInfo();
+  core::SoftwareScore score;
+  score.score = 3.7;
+  score.vote_count = 9;
+  info.score = score;
+  info.known = true;
+  core::VendorScore vendor;
+  vendor.vendor = "WidgetWorks";
+  vendor.score = 5.5;
+  vendor.software_count = 4;
+  info.vendor_score = vendor;
+  info.run_count = 1234;
+  info.reported_behaviors =
+      static_cast<core::BehaviorSet>(core::Behavior::kShowsAds);
+  core::RatingRecord comment;
+  comment.score = 3;
+  comment.comment = "ads everywhere";
+  info.comments.push_back(comment);
+  info.signature.has_signature = true;
+  info.signature.valid = false;
+
+  std::string text = PromptRenderer().Render(info);
+  EXPECT_NE(text.find("widget.exe"), std::string::npos);
+  EXPECT_NE(text.find("WidgetWorks"), std::string::npos);
+  EXPECT_NE(text.find("3.7/10"), std::string::npos);
+  EXPECT_NE(text.find("9 vote(s)"), std::string::npos);
+  EXPECT_NE(text.find("4 program(s)"), std::string::npos);
+  EXPECT_NE(text.find("1234 times"), std::string::npos);
+  EXPECT_NE(text.find("shows_ads"), std::string::npos);
+  EXPECT_NE(text.find("[3/10] ads everywhere"), std::string::npos);
+  EXPECT_NE(text.find("INVALID SIGNATURE"), std::string::npos);
+  EXPECT_NE(text.find(">> "), std::string::npos);
+}
+
+TEST(RenderTest, CapsCommentsAndMarksOffline) {
+  PromptRenderer::Options options;
+  options.max_comments = 2;
+  PromptRenderer renderer(options);
+  PromptInfo info = BaseInfo();
+  info.offline = true;
+  for (int i = 0; i < 5; ++i) {
+    core::RatingRecord comment;
+    comment.score = 5;
+    comment.comment = "comment number " + std::to_string(i);
+    info.comments.push_back(comment);
+  }
+  std::string text = renderer.Render(info);
+  EXPECT_NE(text.find("comment number 0"), std::string::npos);
+  EXPECT_NE(text.find("comment number 1"), std::string::npos);
+  EXPECT_EQ(text.find("comment number 2"), std::string::npos);
+  EXPECT_NE(text.find("server unreachable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pisrep::client

@@ -1,0 +1,163 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace pisrep::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBelow(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(4);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, NextBoolRespectsProbability) {
+  Rng rng(5);
+  int truths = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++truths;
+  }
+  EXPECT_NEAR(truths / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0.0));
+  EXPECT_TRUE(rng.NextBool(1.0));
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, GaussianWithParamsShifts) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextExponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.25);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    std::size_t rank = rng.NextZipf(10, 1.0);
+    ASSERT_LT(rank, 10u);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+  // Rank 0 should get roughly 1/H(10) ≈ 34% of the mass.
+  EXPECT_NEAR(counts[0] / 20000.0, 0.34, 0.05);
+}
+
+TEST(RngTest, TokenHasRequestedLengthAndAlphabet) {
+  Rng rng(10);
+  std::string token = rng.NextToken(40);
+  EXPECT_EQ(token.size(), 40u);
+  for (char c : token) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) << c;
+  }
+}
+
+TEST(RngTest, TokensAreUnlikelyToCollide) {
+  Rng rng(11);
+  std::set<std::string> tokens;
+  for (int i = 0; i < 1000; ++i) tokens.insert(rng.NextToken(16));
+  EXPECT_EQ(tokens.size(), 1000u);
+}
+
+TEST(RngTest, ForkedStreamsAreDecorrelated) {
+  Rng parent(12);
+  Rng child_a = parent.Fork(1);
+  Rng child_b = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child_a.NextUint64() == child_b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngDeathTest, NextBelowZeroAborts) {
+  Rng rng(13);
+  EXPECT_DEATH({ rng.NextBelow(0); }, "positive bound");
+}
+
+}  // namespace
+}  // namespace pisrep::util

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/attacks.h"
+#include "sim/baseline_av.h"
+#include "sim/host.h"
+#include "sim/metrics.h"
+#include "sim/software_ecosystem.h"
+#include "sim/user_model.h"
+
+namespace pisrep::sim {
+namespace {
+
+using util::kDay;
+
+// --- Metrics -----------------------------------------------------------------
+
+TEST(MetricsTest, SummarizeBasics) {
+  SummaryStats stats = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 3.0);
+  EXPECT_NEAR(stats.stddev, 1.5811, 1e-3);
+}
+
+TEST(MetricsTest, SummarizeEmptyIsZero) {
+  SummaryStats stats = Summarize({});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.mean, 0.0);
+}
+
+TEST(MetricsTest, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {1, 4, 0}), 5.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(MetricsTest, GroupOutcomeRates) {
+  GroupOutcome outcome;
+  outcome.hosts = 10;
+  outcome.infected_hosts = 8;
+  outcome.pis_allowed = 30;
+  outcome.pis_blocked = 70;
+  outcome.legit_allowed = 95;
+  outcome.legit_blocked = 5;
+  EXPECT_DOUBLE_EQ(outcome.InfectionRate(), 0.8);
+  EXPECT_DOUBLE_EQ(outcome.PisBlockRate(), 0.7);
+  EXPECT_DOUBLE_EQ(outcome.FalseBlockRate(), 0.05);
+}
+
+// --- Ecosystem ------------------------------------------------------------------
+
+TEST(EcosystemTest, GeneratesRequestedCounts) {
+  EcosystemConfig config;
+  config.num_software = 150;
+  config.num_vendors = 20;
+  SoftwareEcosystem eco = SoftwareEcosystem::Generate(config);
+  EXPECT_EQ(eco.size(), 150u);
+  EXPECT_EQ(eco.vendors().size(), 20u);
+}
+
+TEST(EcosystemTest, DeterministicForSameSeed) {
+  EcosystemConfig config;
+  config.seed = 77;
+  SoftwareEcosystem a = SoftwareEcosystem::Generate(config);
+  SoftwareEcosystem b = SoftwareEcosystem::Generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.spec(i).image.Digest(), b.spec(i).image.Digest());
+    EXPECT_EQ(a.spec(i).truth, b.spec(i).truth);
+  }
+}
+
+TEST(EcosystemTest, AllDigestsUnique) {
+  EcosystemConfig config;
+  config.num_software = 500;
+  SoftwareEcosystem eco = SoftwareEcosystem::Generate(config);
+  std::unordered_set<std::string> digests;
+  for (const SoftwareSpec& spec : eco.specs()) {
+    EXPECT_TRUE(digests.insert(spec.image.Digest().ToHex()).second);
+  }
+}
+
+class EcosystemInvariantTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcosystemInvariantTest, GroundTruthIsInternallyConsistent) {
+  EcosystemConfig config;
+  config.seed = GetParam();
+  config.num_software = 120;
+  SoftwareEcosystem eco = SoftwareEcosystem::Generate(config);
+  for (const SoftwareSpec& spec : eco.specs()) {
+    // The generated behaviours/disclosure must classify back into the
+    // declared ground-truth cell.
+    EXPECT_EQ(core::AssessConsequence(spec.behaviors),
+              core::CategoryConsequence(spec.truth));
+    EXPECT_EQ(core::AssessConsent(spec.disclosure),
+              core::CategoryConsent(spec.truth));
+    EXPECT_GE(spec.true_quality, 1.0);
+    EXPECT_LE(spec.true_quality, 10.0);
+    EXPECT_GT(spec.popularity, 0.0);
+    ASSERT_GE(spec.vendor_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(spec.vendor_index),
+              eco.vendors().size());
+    // Signatures, where present, must verify against the signing vendor.
+    if (spec.image.signature().has_value()) {
+      const VendorProfile& vendor = eco.vendors()[spec.vendor_index];
+      EXPECT_EQ(spec.image.signature()->vendor, vendor.name);
+      EXPECT_TRUE(crypto::Verify(vendor.keys.public_key,
+                                 spec.image.content(),
+                                 spec.image.signature()->signature));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcosystemInvariantTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(EcosystemTest, PopularitySamplingFavorsHighWeights) {
+  EcosystemConfig config;
+  config.num_software = 50;
+  SoftwareEcosystem eco = SoftwareEcosystem::Generate(config);
+  util::Rng rng(5);
+  std::vector<int> counts(eco.size(), 0);
+  for (int i = 0; i < 20000; ++i) ++counts[eco.SamplePopular(rng)];
+  // The most popular program must be sampled far more often than the least.
+  std::size_t top = 0, bottom = 0;
+  for (std::size_t i = 0; i < eco.size(); ++i) {
+    if (eco.spec(i).popularity > eco.spec(top).popularity) top = i;
+    if (eco.spec(i).popularity < eco.spec(bottom).popularity) bottom = i;
+  }
+  EXPECT_GT(counts[top], counts[bottom] * 5);
+}
+
+TEST(EcosystemTest, TrueQualityOrdersCategoriesSensibly) {
+  using core::PisCategory;
+  EXPECT_GT(SoftwareEcosystem::TrueQualityFor(PisCategory::kLegitimate),
+            SoftwareEcosystem::TrueQualityFor(PisCategory::kUnsolicited));
+  EXPECT_GT(SoftwareEcosystem::TrueQualityFor(PisCategory::kUnsolicited),
+            SoftwareEcosystem::TrueQualityFor(PisCategory::kParasite));
+}
+
+// --- User model -------------------------------------------------------------------
+
+TEST(UserModelTest, ExpertRatingsTrackTruth) {
+  SoftwareSpec spec;
+  spec.true_quality = 8.0;
+  SimUserModel expert(MakeUserBehavior(UserProfile::kExpert),
+                      util::Rng(11));
+  double sum = 0;
+  for (int i = 0; i < 500; ++i) sum += expert.RateSoftware(spec);
+  EXPECT_NEAR(sum / 500.0, 8.0, 0.3);
+}
+
+TEST(UserModelTest, NoviceRatingsAreInflatedAndNoisy) {
+  SoftwareSpec spec;
+  spec.true_quality = 4.0;
+  SimUserModel novice(MakeUserBehavior(UserProfile::kNovice),
+                      util::Rng(12));
+  double sum = 0;
+  for (int i = 0; i < 500; ++i) sum += novice.RateSoftware(spec);
+  // §2.1's ignorant user: rates PIS-bundled freeware too high.
+  EXPECT_GT(sum / 500.0, 5.0);
+}
+
+TEST(UserModelTest, MaliciousRatingsInvertTruth) {
+  SoftwareSpec parasite;
+  parasite.true_quality = 1.5;
+  SoftwareSpec legit;
+  legit.true_quality = 9.0;
+  SimUserModel attacker(MakeUserBehavior(UserProfile::kMalicious),
+                        util::Rng(13));
+  EXPECT_GE(attacker.RateSoftware(parasite), 9);
+  EXPECT_LE(attacker.RateSoftware(legit), 2);
+}
+
+TEST(UserModelTest, InformedExpertFollowsBadScore) {
+  client::PromptInfo info;
+  core::SoftwareScore score;
+  score.score = 2.0;
+  score.vote_count = 25;
+  info.score = score;
+  info.known = true;
+  SoftwareSpec spyware;
+  spyware.truth = core::PisCategory::kUnsolicited;
+  spyware.true_quality = 3.0;
+
+  SimUserModel expert(MakeUserBehavior(UserProfile::kExpert),
+                      util::Rng(14));
+  int allowed = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (expert.DecideAllow(info, spyware)) ++allowed;
+  }
+  // With a clear warning the expert almost never runs it.
+  EXPECT_LT(allowed, 30);
+}
+
+TEST(UserModelTest, UninformedNoviceClicksThrough) {
+  client::PromptInfo no_info;
+  SoftwareSpec spyware;
+  spyware.truth = core::PisCategory::kUnsolicited;
+  SimUserModel novice(MakeUserBehavior(UserProfile::kNovice),
+                      util::Rng(15));
+  int allowed = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (novice.DecideAllow(no_info, spyware)) ++allowed;
+  }
+  // The uninformed default that produces the 80%-infected world.
+  EXPECT_GT(allowed, 240);
+}
+
+TEST(UserModelTest, ReportedBehaviorsAreSubsetOfTruth) {
+  SoftwareSpec spec;
+  spec.behaviors =
+      static_cast<core::BehaviorSet>(core::Behavior::kPopupAds) |
+      static_cast<core::BehaviorSet>(core::Behavior::kTracksUsage);
+  SimUserModel user(MakeUserBehavior(UserProfile::kExpert), util::Rng(16));
+  for (int i = 0; i < 50; ++i) {
+    core::BehaviorSet reported = user.ReportBehaviors(spec);
+    EXPECT_EQ(reported & ~spec.behaviors, 0u);
+  }
+}
+
+// --- Baseline AV ----------------------------------------------------------------
+
+TEST(BaselineTest, DetectsMalwareOnlyAfterLag) {
+  BaselineConfig config;
+  config.analysis_lag = 7 * kDay;
+  config.malware_coverage = 1.0;
+  SignatureBaseline baseline(config);
+
+  SoftwareSpec parasite;
+  parasite.truth = core::PisCategory::kParasite;
+  parasite.image = client::FileImage("p.exe", "parasite-bytes", "", "1.0");
+  baseline.ObserveSample(parasite, 0);
+
+  EXPECT_FALSE(baseline.IsDetected(parasite.image.Digest(), 0));
+  EXPECT_FALSE(baseline.IsDetected(parasite.image.Digest(), 6 * kDay));
+  EXPECT_TRUE(baseline.IsDetected(parasite.image.Digest(), 60 * kDay));
+}
+
+TEST(BaselineTest, NeverFlagsLegitimateSoftware) {
+  BaselineConfig config;
+  SignatureBaseline baseline(config);
+  SoftwareSpec legit;
+  legit.truth = core::PisCategory::kLegitimate;
+  legit.image = client::FileImage("l.exe", "legit-bytes", "Acme", "1.0");
+  baseline.ObserveSample(legit, 0);
+  EXPECT_FALSE(baseline.IsDetected(legit.image.Digest(), 365 * kDay));
+}
+
+TEST(BaselineTest, LegalConstraintExcludesDisclosedGreyZone) {
+  // Disclosed (EULA-covered) spyware can never be listed when the legal
+  // constraint is on — §4.3's "incomplete product".
+  BaselineConfig constrained;
+  constrained.spyware_coverage = 1.0;
+  constrained.legal_constraint = true;
+  SignatureBaseline baseline(constrained);
+
+  int listed = 0;
+  for (int i = 0; i < 50; ++i) {
+    SoftwareSpec spyware;
+    spyware.truth = core::PisCategory::kUnsolicited;
+    spyware.disclosure.disclosed = true;
+    spyware.image = client::FileImage(
+        "s.exe", "spy-" + std::to_string(i), "AdCorp", "1.0");
+    baseline.ObserveSample(spyware, 0);
+    if (baseline.IsDetected(spyware.image.Digest(), 365 * kDay)) ++listed;
+  }
+  EXPECT_EQ(listed, 0);
+  EXPECT_EQ(baseline.legally_excluded(), 50u);
+
+  BaselineConfig unconstrained = constrained;
+  unconstrained.legal_constraint = false;
+  SignatureBaseline free_baseline(unconstrained);
+  listed = 0;
+  for (int i = 0; i < 50; ++i) {
+    SoftwareSpec spyware;
+    spyware.truth = core::PisCategory::kUnsolicited;
+    spyware.disclosure.disclosed = true;
+    spyware.image = client::FileImage(
+        "s.exe", "spy2-" + std::to_string(i), "AdCorp", "1.0");
+    free_baseline.ObserveSample(spyware, 0);
+    if (free_baseline.IsDetected(spyware.image.Digest(), 365 * kDay)) {
+      ++listed;
+    }
+  }
+  EXPECT_EQ(listed, 50);
+}
+
+TEST(BaselineTest, ObserveIsIdempotent) {
+  BaselineConfig config;
+  config.malware_coverage = 1.0;
+  SignatureBaseline baseline(config);
+  SoftwareSpec trojan;
+  trojan.truth = core::PisCategory::kTrojan;
+  trojan.image = client::FileImage("t.exe", "trojan-bytes", "", "1.0");
+  baseline.ObserveSample(trojan, 0);
+  baseline.ObserveSample(trojan, 100 * kDay);  // later sighting ignored
+  EXPECT_TRUE(baseline.IsDetected(trojan.image.Digest(), 80 * kDay));
+  EXPECT_EQ(baseline.ListedCount(80 * kDay), 1u);
+}
+
+// --- Host accounting ---------------------------------------------------------------
+
+TEST(HostTest, UnprotectedHostRunsEverythingAndGetsInfected) {
+  EcosystemConfig eco_config;
+  eco_config.num_software = 30;
+  SoftwareEcosystem eco = SoftwareEcosystem::Generate(eco_config);
+
+  // Find one PIS program.
+  std::size_t pis_index = 0;
+  for (std::size_t i = 0; i < eco.size(); ++i) {
+    if (SoftwareEcosystem::IsPis(eco.spec(i).truth)) {
+      pis_index = i;
+      break;
+    }
+  }
+
+  SimHost host("h", ProtectionKind::kNone,
+               SimUserModel(MakeUserBehavior(UserProfile::kAverage),
+                            util::Rng(1)),
+               {pis_index});
+  GroupOutcome outcome;
+  outcome.hosts = 1;
+  host.ExecuteOne(eco, pis_index, 0, &outcome);
+  EXPECT_EQ(outcome.pis_allowed, 1u);
+  EXPECT_TRUE(host.infected());
+  EXPECT_EQ(outcome.infected_hosts, 1);
+  // Infection counted once per host.
+  host.ExecuteOne(eco, pis_index, 0, &outcome);
+  EXPECT_EQ(outcome.infected_hosts, 1);
+}
+
+TEST(HostTest, AvHostBlocksDetectedSamples) {
+  EcosystemConfig eco_config;
+  eco_config.num_software = 30;
+  SoftwareEcosystem eco = SoftwareEcosystem::Generate(eco_config);
+  std::size_t malware_index = eco.size();
+  for (std::size_t i = 0; i < eco.size(); ++i) {
+    if (core::IsMalware(eco.spec(i).truth)) {
+      malware_index = i;
+      break;
+    }
+  }
+  ASSERT_LT(malware_index, eco.size());
+
+  BaselineConfig config;
+  config.malware_coverage = 1.0;
+  config.analysis_lag = kDay;
+  SignatureBaseline baseline(config);
+  baseline.ObserveSample(eco.spec(malware_index), 0);
+
+  SimHost host("h", ProtectionKind::kSignatureAv,
+               SimUserModel(MakeUserBehavior(UserProfile::kAverage),
+                            util::Rng(2)),
+               {malware_index});
+  host.AttachBaseline(&baseline);
+  GroupOutcome outcome;
+  outcome.hosts = 1;
+  // Before the signature ships: infected.
+  host.ExecuteOne(eco, malware_index, 0, &outcome);
+  EXPECT_EQ(outcome.pis_allowed, 1u);
+  // After: blocked.
+  host.ExecuteOne(eco, malware_index, 60 * kDay, &outcome);
+  EXPECT_EQ(outcome.pis_blocked, 1u);
+}
+
+}  // namespace
+}  // namespace pisrep::sim

@@ -1,0 +1,124 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace pisrep::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  std::vector<Case> cases = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists},
+      {Status::PermissionDenied("d"), StatusCode::kPermissionDenied},
+      {Status::Unauthenticated("e"), StatusCode::kUnauthenticated},
+      {Status::FailedPrecondition("f"), StatusCode::kFailedPrecondition},
+      {Status::ResourceExhausted("g"), StatusCode::kResourceExhausted},
+      {Status::DataLoss("h"), StatusCode::kDataLoss},
+      {Status::Unavailable("i"), StatusCode::kUnavailable},
+      {Status::Internal("j"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::vector<std::string> names;
+  for (int i = 0; i <= static_cast<int>(StatusCode::kInternal); ++i) {
+    names.push_back(StatusCodeName(static_cast<StatusCode>(i)));
+  }
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(names[i], names[j]);
+    }
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  PISREP_RETURN_IF_ERROR(FailIfNegative(x));
+  return x * 2;
+}
+
+Result<int> ChainedAssign(int x) {
+  PISREP_ASSIGN_OR_RETURN(int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(DoubleIfPositive(3).ok());
+  EXPECT_EQ(*DoubleIfPositive(3), 6);
+  EXPECT_EQ(DoubleIfPositive(-1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*ChainedAssign(5), 11);
+  EXPECT_FALSE(ChainedAssign(-5).ok());
+}
+
+TEST(ResultDeathTest, AccessingFailedResultAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "failed Result");
+}
+
+}  // namespace
+}  // namespace pisrep::util
