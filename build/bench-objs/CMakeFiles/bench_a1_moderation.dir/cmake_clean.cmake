@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a1_moderation"
+  "../bench/bench_a1_moderation.pdb"
+  "CMakeFiles/bench_a1_moderation.dir/bench_a1_moderation.cc.o"
+  "CMakeFiles/bench_a1_moderation.dir/bench_a1_moderation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_moderation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a2_aggregation_period"
+  "../bench/bench_a2_aggregation_period.pdb"
+  "CMakeFiles/bench_a2_aggregation_period.dir/bench_a2_aggregation_period.cc.o"
+  "CMakeFiles/bench_a2_aggregation_period.dir/bench_a2_aggregation_period.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_aggregation_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_a3_cache_ttl"
+  "../bench/bench_a3_cache_ttl.pdb"
+  "CMakeFiles/bench_a3_cache_ttl.dir/bench_a3_cache_ttl.cc.o"
+  "CMakeFiles/bench_a3_cache_ttl.dir/bench_a3_cache_ttl.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_cache_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

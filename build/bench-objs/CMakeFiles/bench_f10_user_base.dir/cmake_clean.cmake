@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f10_user_base"
+  "../bench/bench_f10_user_base.pdb"
+  "CMakeFiles/bench_f10_user_base.dir/bench_f10_user_base.cc.o"
+  "CMakeFiles/bench_f10_user_base.dir/bench_f10_user_base.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_user_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f1_trust_weighting"
+  "../bench/bench_f1_trust_weighting.pdb"
+  "CMakeFiles/bench_f1_trust_weighting.dir/bench_f1_trust_weighting.cc.o"
+  "CMakeFiles/bench_f1_trust_weighting.dir/bench_f1_trust_weighting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_trust_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f2_bootstrap"
+  "../bench/bench_f2_bootstrap.pdb"
+  "CMakeFiles/bench_f2_bootstrap.dir/bench_f2_bootstrap.cc.o"
+  "CMakeFiles/bench_f2_bootstrap.dir/bench_f2_bootstrap.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f3_vote_flooding.cc" "bench-objs/CMakeFiles/bench_f3_vote_flooding.dir/bench_f3_vote_flooding.cc.o" "gcc" "bench-objs/CMakeFiles/bench_f3_vote_flooding.dir/bench_f3_vote_flooding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f3_vote_flooding"
+  "../bench/bench_f3_vote_flooding.pdb"
+  "CMakeFiles/bench_f3_vote_flooding.dir/bench_f3_vote_flooding.cc.o"
+  "CMakeFiles/bench_f3_vote_flooding.dir/bench_f3_vote_flooding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_vote_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f4_sybil"
+  "../bench/bench_f4_sybil.pdb"
+  "CMakeFiles/bench_f4_sybil.dir/bench_f4_sybil.cc.o"
+  "CMakeFiles/bench_f4_sybil.dir/bench_f4_sybil.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_sybil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_trust_growth"
+  "../bench/bench_f5_trust_growth.pdb"
+  "CMakeFiles/bench_f5_trust_growth.dir/bench_f5_trust_growth.cc.o"
+  "CMakeFiles/bench_f5_trust_growth.dir/bench_f5_trust_growth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_trust_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f6_polymorphic_vendor"
+  "../bench/bench_f6_polymorphic_vendor.pdb"
+  "CMakeFiles/bench_f6_polymorphic_vendor.dir/bench_f6_polymorphic_vendor.cc.o"
+  "CMakeFiles/bench_f6_polymorphic_vendor.dir/bench_f6_polymorphic_vendor.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_polymorphic_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f7_policy_manager"
+  "../bench/bench_f7_policy_manager.pdb"
+  "CMakeFiles/bench_f7_policy_manager.dir/bench_f7_policy_manager.cc.o"
+  "CMakeFiles/bench_f7_policy_manager.dir/bench_f7_policy_manager.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_policy_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

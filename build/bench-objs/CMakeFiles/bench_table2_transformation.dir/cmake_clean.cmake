@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_transformation"
+  "../bench/bench_table2_transformation.pdb"
+  "CMakeFiles/bench_table2_transformation.dir/bench_table2_transformation.cc.o"
+  "CMakeFiles/bench_table2_transformation.dir/bench_table2_transformation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_transformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_simulation.dir/community_simulation.cpp.o"
+  "CMakeFiles/community_simulation.dir/community_simulation.cpp.o.d"
+  "community_simulation"
+  "community_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_lab.dir/security_lab.cpp.o"
+  "CMakeFiles/security_lab.dir/security_lab.cpp.o.d"
+  "security_lab"
+  "security_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/client_app.cc" "src/CMakeFiles/pisrep_client.dir/client/client_app.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/client_app.cc.o.d"
+  "/root/repo/src/client/file_image.cc" "src/CMakeFiles/pisrep_client.dir/client/file_image.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/file_image.cc.o.d"
+  "/root/repo/src/client/interceptor.cc" "src/CMakeFiles/pisrep_client.dir/client/interceptor.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/interceptor.cc.o.d"
+  "/root/repo/src/client/prompt_render.cc" "src/CMakeFiles/pisrep_client.dir/client/prompt_render.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/prompt_render.cc.o.d"
+  "/root/repo/src/client/safety_lists.cc" "src/CMakeFiles/pisrep_client.dir/client/safety_lists.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/safety_lists.cc.o.d"
+  "/root/repo/src/client/server_cache.cc" "src/CMakeFiles/pisrep_client.dir/client/server_cache.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/server_cache.cc.o.d"
+  "/root/repo/src/client/signature_check.cc" "src/CMakeFiles/pisrep_client.dir/client/signature_check.cc.o" "gcc" "src/CMakeFiles/pisrep_client.dir/client/signature_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_client.dir/client/client_app.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/client_app.cc.o.d"
+  "CMakeFiles/pisrep_client.dir/client/file_image.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/file_image.cc.o.d"
+  "CMakeFiles/pisrep_client.dir/client/interceptor.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/interceptor.cc.o.d"
+  "CMakeFiles/pisrep_client.dir/client/prompt_render.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/prompt_render.cc.o.d"
+  "CMakeFiles/pisrep_client.dir/client/safety_lists.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/safety_lists.cc.o.d"
+  "CMakeFiles/pisrep_client.dir/client/server_cache.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/server_cache.cc.o.d"
+  "CMakeFiles/pisrep_client.dir/client/signature_check.cc.o"
+  "CMakeFiles/pisrep_client.dir/client/signature_check.cc.o.d"
+  "libpisrep_client.a"
+  "libpisrep_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

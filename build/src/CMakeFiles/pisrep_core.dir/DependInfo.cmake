@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavior.cc" "src/CMakeFiles/pisrep_core.dir/core/behavior.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/behavior.cc.o.d"
+  "/root/repo/src/core/classification.cc" "src/CMakeFiles/pisrep_core.dir/core/classification.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/classification.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/pisrep_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/prompt_policy.cc" "src/CMakeFiles/pisrep_core.dir/core/prompt_policy.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/prompt_policy.cc.o.d"
+  "/root/repo/src/core/rating_aggregator.cc" "src/CMakeFiles/pisrep_core.dir/core/rating_aggregator.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/rating_aggregator.cc.o.d"
+  "/root/repo/src/core/trust.cc" "src/CMakeFiles/pisrep_core.dir/core/trust.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/trust.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/CMakeFiles/pisrep_core.dir/core/types.cc.o" "gcc" "src/CMakeFiles/pisrep_core.dir/core/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_core.dir/core/behavior.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/behavior.cc.o.d"
+  "CMakeFiles/pisrep_core.dir/core/classification.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/classification.cc.o.d"
+  "CMakeFiles/pisrep_core.dir/core/policy.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/policy.cc.o.d"
+  "CMakeFiles/pisrep_core.dir/core/prompt_policy.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/prompt_policy.cc.o.d"
+  "CMakeFiles/pisrep_core.dir/core/rating_aggregator.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/rating_aggregator.cc.o.d"
+  "CMakeFiles/pisrep_core.dir/core/trust.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/trust.cc.o.d"
+  "CMakeFiles/pisrep_core.dir/core/types.cc.o"
+  "CMakeFiles/pisrep_core.dir/core/types.cc.o.d"
+  "libpisrep_core.a"
+  "libpisrep_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

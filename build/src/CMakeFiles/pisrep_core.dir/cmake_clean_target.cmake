@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpisrep_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_crypto.dir/crypto/signing.cc.o"
+  "CMakeFiles/pisrep_crypto.dir/crypto/signing.cc.o.d"
+  "CMakeFiles/pisrep_crypto.dir/crypto/trust_store.cc.o"
+  "CMakeFiles/pisrep_crypto.dir/crypto/trust_store.cc.o.d"
+  "libpisrep_crypto.a"
+  "libpisrep_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_net.dir/net/event_loop.cc.o"
+  "CMakeFiles/pisrep_net.dir/net/event_loop.cc.o.d"
+  "CMakeFiles/pisrep_net.dir/net/network.cc.o"
+  "CMakeFiles/pisrep_net.dir/net/network.cc.o.d"
+  "CMakeFiles/pisrep_net.dir/net/rpc.cc.o"
+  "CMakeFiles/pisrep_net.dir/net/rpc.cc.o.d"
+  "libpisrep_net.a"
+  "libpisrep_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

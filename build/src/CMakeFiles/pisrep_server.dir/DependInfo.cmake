@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/account_manager.cc" "src/CMakeFiles/pisrep_server.dir/server/account_manager.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/account_manager.cc.o.d"
+  "/root/repo/src/server/aggregation_job.cc" "src/CMakeFiles/pisrep_server.dir/server/aggregation_job.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/aggregation_job.cc.o.d"
+  "/root/repo/src/server/bootstrap.cc" "src/CMakeFiles/pisrep_server.dir/server/bootstrap.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/bootstrap.cc.o.d"
+  "/root/repo/src/server/feeds.cc" "src/CMakeFiles/pisrep_server.dir/server/feeds.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/feeds.cc.o.d"
+  "/root/repo/src/server/flood_guard.cc" "src/CMakeFiles/pisrep_server.dir/server/flood_guard.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/flood_guard.cc.o.d"
+  "/root/repo/src/server/moderation.cc" "src/CMakeFiles/pisrep_server.dir/server/moderation.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/moderation.cc.o.d"
+  "/root/repo/src/server/reputation_server.cc" "src/CMakeFiles/pisrep_server.dir/server/reputation_server.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/reputation_server.cc.o.d"
+  "/root/repo/src/server/software_registry.cc" "src/CMakeFiles/pisrep_server.dir/server/software_registry.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/software_registry.cc.o.d"
+  "/root/repo/src/server/vote_store.cc" "src/CMakeFiles/pisrep_server.dir/server/vote_store.cc.o" "gcc" "src/CMakeFiles/pisrep_server.dir/server/vote_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_server.dir/server/account_manager.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/account_manager.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/aggregation_job.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/aggregation_job.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/bootstrap.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/bootstrap.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/feeds.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/feeds.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/flood_guard.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/flood_guard.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/moderation.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/moderation.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/reputation_server.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/reputation_server.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/software_registry.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/software_registry.cc.o.d"
+  "CMakeFiles/pisrep_server.dir/server/vote_store.cc.o"
+  "CMakeFiles/pisrep_server.dir/server/vote_store.cc.o.d"
+  "libpisrep_server.a"
+  "libpisrep_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attacks.cc" "src/CMakeFiles/pisrep_sim.dir/sim/attacks.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/attacks.cc.o.d"
+  "/root/repo/src/sim/baseline_av.cc" "src/CMakeFiles/pisrep_sim.dir/sim/baseline_av.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/baseline_av.cc.o.d"
+  "/root/repo/src/sim/host.cc" "src/CMakeFiles/pisrep_sim.dir/sim/host.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/host.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/pisrep_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/runtime_analyzer.cc" "src/CMakeFiles/pisrep_sim.dir/sim/runtime_analyzer.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/runtime_analyzer.cc.o.d"
+  "/root/repo/src/sim/scenario.cc" "src/CMakeFiles/pisrep_sim.dir/sim/scenario.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/scenario.cc.o.d"
+  "/root/repo/src/sim/software_ecosystem.cc" "src/CMakeFiles/pisrep_sim.dir/sim/software_ecosystem.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/software_ecosystem.cc.o.d"
+  "/root/repo/src/sim/user_model.cc" "src/CMakeFiles/pisrep_sim.dir/sim/user_model.cc.o" "gcc" "src/CMakeFiles/pisrep_sim.dir/sim/user_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisrep_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_sim.dir/sim/attacks.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/attacks.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/baseline_av.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/baseline_av.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/host.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/host.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/runtime_analyzer.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/runtime_analyzer.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/scenario.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/scenario.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/software_ecosystem.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/software_ecosystem.cc.o.d"
+  "CMakeFiles/pisrep_sim.dir/sim/user_model.cc.o"
+  "CMakeFiles/pisrep_sim.dir/sim/user_model.cc.o.d"
+  "libpisrep_sim.a"
+  "libpisrep_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

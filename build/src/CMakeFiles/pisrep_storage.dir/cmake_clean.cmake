@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_storage.dir/storage/codec.cc.o"
+  "CMakeFiles/pisrep_storage.dir/storage/codec.cc.o.d"
+  "CMakeFiles/pisrep_storage.dir/storage/database.cc.o"
+  "CMakeFiles/pisrep_storage.dir/storage/database.cc.o.d"
+  "CMakeFiles/pisrep_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/pisrep_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/pisrep_storage.dir/storage/table.cc.o"
+  "CMakeFiles/pisrep_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/pisrep_storage.dir/storage/value.cc.o"
+  "CMakeFiles/pisrep_storage.dir/storage/value.cc.o.d"
+  "CMakeFiles/pisrep_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/pisrep_storage.dir/storage/wal.cc.o.d"
+  "libpisrep_storage.a"
+  "libpisrep_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/clock.cc" "src/CMakeFiles/pisrep_util.dir/util/clock.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/clock.cc.o.d"
+  "/root/repo/src/util/hex.cc" "src/CMakeFiles/pisrep_util.dir/util/hex.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/hex.cc.o.d"
+  "/root/repo/src/util/hmac.cc" "src/CMakeFiles/pisrep_util.dir/util/hmac.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/hmac.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/pisrep_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/pisrep_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/sha1.cc" "src/CMakeFiles/pisrep_util.dir/util/sha1.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/sha1.cc.o.d"
+  "/root/repo/src/util/sha256.cc" "src/CMakeFiles/pisrep_util.dir/util/sha256.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/sha256.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/pisrep_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/pisrep_util.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/pisrep_util.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

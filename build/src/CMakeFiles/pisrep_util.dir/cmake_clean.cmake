@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_util.dir/util/clock.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/clock.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/hex.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/hex.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/hmac.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/hmac.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/logging.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/random.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/random.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/sha1.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/sha1.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/sha256.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/sha256.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/status.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/status.cc.o.d"
+  "CMakeFiles/pisrep_util.dir/util/string_util.cc.o"
+  "CMakeFiles/pisrep_util.dir/util/string_util.cc.o.d"
+  "libpisrep_util.a"
+  "libpisrep_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

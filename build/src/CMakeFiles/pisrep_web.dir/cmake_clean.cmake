@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_web.dir/web/html.cc.o"
+  "CMakeFiles/pisrep_web.dir/web/html.cc.o.d"
+  "CMakeFiles/pisrep_web.dir/web/portal.cc.o"
+  "CMakeFiles/pisrep_web.dir/web/portal.cc.o.d"
+  "libpisrep_web.a"
+  "libpisrep_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

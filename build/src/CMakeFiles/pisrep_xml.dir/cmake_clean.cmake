@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pisrep_xml.dir/xml/xml_node.cc.o"
+  "CMakeFiles/pisrep_xml.dir/xml/xml_node.cc.o.d"
+  "CMakeFiles/pisrep_xml.dir/xml/xml_parser.cc.o"
+  "CMakeFiles/pisrep_xml.dir/xml/xml_parser.cc.o.d"
+  "CMakeFiles/pisrep_xml.dir/xml/xml_writer.cc.o"
+  "CMakeFiles/pisrep_xml.dir/xml/xml_writer.cc.o.d"
+  "libpisrep_xml.a"
+  "libpisrep_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pisrep_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attacks_test.cc" "tests/CMakeFiles/pisrep_tests.dir/attacks_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/attacks_test.cc.o.d"
+  "/root/repo/tests/client_test.cc" "tests/CMakeFiles/pisrep_tests.dir/client_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/client_test.cc.o.d"
+  "/root/repo/tests/clock_test.cc" "tests/CMakeFiles/pisrep_tests.dir/clock_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/clock_test.cc.o.d"
+  "/root/repo/tests/core_aggregator_test.cc" "tests/CMakeFiles/pisrep_tests.dir/core_aggregator_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/core_aggregator_test.cc.o.d"
+  "/root/repo/tests/core_classification_test.cc" "tests/CMakeFiles/pisrep_tests.dir/core_classification_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/core_classification_test.cc.o.d"
+  "/root/repo/tests/core_policy_test.cc" "tests/CMakeFiles/pisrep_tests.dir/core_policy_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/core_policy_test.cc.o.d"
+  "/root/repo/tests/core_trust_test.cc" "tests/CMakeFiles/pisrep_tests.dir/core_trust_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/core_trust_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/pisrep_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/pisrep_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/hash_test.cc" "tests/CMakeFiles/pisrep_tests.dir/hash_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/hash_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/pisrep_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/pisrep_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/misc_coverage_test.cc" "tests/CMakeFiles/pisrep_tests.dir/misc_coverage_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/misc_coverage_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/pisrep_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/prompt_render_test.cc" "tests/CMakeFiles/pisrep_tests.dir/prompt_render_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/prompt_render_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/pisrep_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/pisrep_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/server_edge_test.cc" "tests/CMakeFiles/pisrep_tests.dir/server_edge_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/server_edge_test.cc.o.d"
+  "/root/repo/tests/server_test.cc" "tests/CMakeFiles/pisrep_tests.dir/server_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/server_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/pisrep_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/pisrep_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/pisrep_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/pisrep_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/web_test.cc" "tests/CMakeFiles/pisrep_tests.dir/web_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/web_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/pisrep_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/pisrep_tests.dir/xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pisrep_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pisrep_web.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
