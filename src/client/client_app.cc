@@ -82,7 +82,9 @@ ClientApp::ClientApp(net::SimNetwork* network, net::EventLoop* loop,
                                          : SafetyLists()),
       signature_checker_(&trust_store_),
       prompt_scheduler_(config_.prompts),
-      cache_(config_.cache_ttl) {
+      cache_(config_.cache_ttl, config_.cache_stale_ttl,
+             config_.cache_max_entries),
+      offline_queue_(config_.offline_queue) {
   interceptor_.SetHandler(
       [this](const FileImage& image, DecisionCallback done) {
         HandleExecution(image, std::move(done));
@@ -91,6 +93,7 @@ ClientApp::ClientApp(net::SimNetwork* network, net::EventLoop* loop,
 
 Status ClientApp::Start() {
   rpc_.set_max_retries(config_.rpc_retries);
+  rpc_.set_breaker(config_.breaker);
   return rpc_.Start();
 }
 
@@ -222,6 +225,7 @@ void ClientApp::QueryServer(const core::SoftwareId& id,
     return;
   }
   if (session_.empty()) {
+    if (TryServeStale(id, partial, done)) return;
     partial.offline = true;
     done(std::move(partial));
     return;
@@ -235,6 +239,17 @@ void ClientApp::QueryServer(const core::SoftwareId& id,
       [this, id, partial = std::move(partial),
        done = std::move(done)](Result<XmlNode> response) mutable {
         if (!response.ok()) {
+          if (response.status().code() ==
+              util::StatusCode::kUnauthenticated) {
+            // The server restarted and forgot our session; recover it in
+            // the background so the *next* query goes through live.
+            session_.clear();
+            MaybeRelogin();
+          }
+          // Server unreachable (or the response was corrupted beyond the
+          // retry budget): degrade to whatever we still have cached, even
+          // if expired, before falling back to a bare offline prompt.
+          if (TryServeStale(id, partial, done)) return;
           partial.offline = true;
           done(std::move(partial));
           return;
@@ -253,6 +268,25 @@ void ClientApp::QueryServer(const core::SoftwareId& id,
         FetchFeedEntry(id, std::move(info), std::move(done));
       },
       config_.rpc_timeout);
+}
+
+bool ClientApp::TryServeStale(const core::SoftwareId& id,
+                              const PromptInfo& partial,
+                              const std::function<void(PromptInfo)>& done) {
+  auto stale = cache_.GetStale(id, loop_->Now());
+  if (!stale.has_value()) return false;
+  ++stats_.stale_served;
+  PromptInfo info = partial;
+  info.offline = true;  // the data may be out of date; say so in the prompt
+  info.known = stale->known;
+  info.score = stale->score;
+  info.vendor_score = stale->vendor_score;
+  info.reported_behaviors = stale->reported_behaviors;
+  info.comments = stale->comments;
+  auto feed_it = feed_cache_.find(id);
+  if (feed_it != feed_cache_.end()) info.feed_entry = feed_it->second;
+  done(std::move(info));
+  return true;
 }
 
 void ClientApp::FetchVendorFallback(const core::SoftwareId& id,
@@ -438,13 +472,9 @@ void ClientApp::MaybePromptForRating(const FileImage& image,
       });
 }
 
-void ClientApp::SubmitRating(const core::SoftwareMeta& meta,
-                             const RatingSubmission& submission,
-                             StatusCallback done) {
-  if (session_.empty()) {
-    done(Status::Unauthenticated("not logged in"));
-    return;
-  }
+void ClientApp::SendRating(const core::SoftwareMeta& meta, int score,
+                           const std::string& comment,
+                           core::BehaviorSet behaviors, StatusCallback done) {
   XmlNode request("request");
   request.AddTextChild("session", session_);
   XmlNode& software = request.AddChild("software");
@@ -453,17 +483,135 @@ void ClientApp::SubmitRating(const core::SoftwareMeta& meta,
   software.SetAttribute("file_size", std::to_string(meta.file_size));
   software.SetAttribute("company", meta.company);
   software.SetAttribute("version", meta.version);
-  request.AddIntChild("score", submission.score);
-  request.AddTextChild("comment", submission.comment);
-  request.AddTextChild("behaviors",
-                       core::BehaviorSetToString(submission.behaviors));
+  request.AddIntChild("score", score);
+  request.AddTextChild("comment", comment);
+  request.AddTextChild("behaviors", core::BehaviorSetToString(behaviors));
   rpc_.Call(
       "SubmitRating", std::move(request),
-      [this, done = std::move(done)](Result<XmlNode> response) {
-        if (response.ok()) ++stats_.ratings_submitted;
+      [done = std::move(done)](Result<XmlNode> response) {
         done(response.ok() ? Status::Ok() : response.status());
       },
       config_.rpc_timeout);
+}
+
+void ClientApp::SubmitRating(const core::SoftwareMeta& meta,
+                             const RatingSubmission& submission,
+                             StatusCallback done) {
+  if (session_.empty()) {
+    done(Status::Unauthenticated("not logged in"));
+    return;
+  }
+  SendRating(
+      meta, submission.score, submission.comment, submission.behaviors,
+      [this, meta, submission,
+       done = std::move(done)](Status status) mutable {
+        if (status.ok()) {
+          ++stats_.ratings_submitted;
+          done(Status::Ok());
+          return;
+        }
+        util::StatusCode code = status.code();
+        if (code == util::StatusCode::kUnavailable ||
+            code == util::StatusCode::kDataLoss ||
+            code == util::StatusCode::kUnauthenticated) {
+          // Server down, response mangled, or the server restarted and
+          // forgot our session: park the rating in the outbox and replay
+          // later (re-logging-in first if needed). Report success so the
+          // prompt flow marks the software rated — the user said their
+          // piece; delivery is now the client's job.
+          if (code == util::StatusCode::kUnauthenticated) session_.clear();
+          QueuedRating queued;
+          queued.meta = meta;
+          queued.score = submission.score;
+          queued.comment = submission.comment;
+          queued.behaviors = submission.behaviors;
+          queued.queued_at = loop_->Now();
+          offline_queue_.Push(std::move(queued));
+          ++stats_.ratings_queued;
+          ScheduleReplay(offline_queue_.NextBackoff());
+          done(Status::Ok());
+          return;
+        }
+        done(std::move(status));
+      });
+}
+
+void ClientApp::MaybeRelogin() {
+  if (relogin_pending_ || config_.username.empty()) return;
+  relogin_pending_ = true;
+  Login([this](Status status) {
+    relogin_pending_ = false;
+    if (status.ok()) ++stats_.relogins;
+    // On failure, the next rejected call triggers another attempt.
+  });
+}
+
+void ClientApp::ScheduleReplay(util::Duration delay) {
+  if (replay_scheduled_ || offline_queue_.empty()) return;
+  replay_scheduled_ = true;
+  loop_->ScheduleAfter(delay, [this, alive = std::weak_ptr<int>(alive_)] {
+    if (alive.expired()) return;  // the client is gone; do not touch it
+    replay_scheduled_ = false;
+    if (replay_active_) return;  // a chain is already running
+    ReplayNext();
+  });
+}
+
+void ClientApp::ReplayNext() {
+  if (offline_queue_.empty()) {
+    replay_active_ = false;
+    return;
+  }
+  replay_active_ = true;
+  if (session_.empty()) {
+    // The server restarted and lost its in-memory sessions; log back in
+    // with the configured credentials before replaying.
+    Login([this](Status status) {
+      if (status.ok()) {
+        ++stats_.relogins;
+        ReplayNext();
+      } else {
+        replay_active_ = false;
+        ScheduleReplay(offline_queue_.NextBackoff());
+      }
+    });
+    return;
+  }
+  const QueuedRating& head = offline_queue_.Front();
+  SendRating(
+      head.meta, head.score, head.comment, head.behaviors,
+      [this](Status status) {
+        util::StatusCode code = status.code();
+        if (status.ok() || code == util::StatusCode::kAlreadyExists) {
+          // kAlreadyExists means an earlier attempt landed even though we
+          // never saw its response — the vote is on the server either way.
+          if (status.ok()) {
+            offline_queue_.RecordReplayed();
+            ++stats_.ratings_replayed;
+            ++stats_.ratings_submitted;
+          } else {
+            offline_queue_.RecordDuplicate();
+          }
+          offline_queue_.PopFront();
+          offline_queue_.ResetBackoff();
+          ReplayNext();
+          return;
+        }
+        if (code == util::StatusCode::kUnauthenticated) session_.clear();
+        if (code == util::StatusCode::kUnavailable ||
+            code == util::StatusCode::kDataLoss ||
+            code == util::StatusCode::kUnauthenticated) {
+          replay_active_ = false;
+          ScheduleReplay(offline_queue_.NextBackoff());
+          return;
+        }
+        // Permanent rejection (bad argument, banned user, ...): retrying
+        // can never succeed, so drop it rather than wedge the queue.
+        PISREP_LOG(kWarning)
+            << "dropping queued rating: " << status.ToString();
+        offline_queue_.PopFront();
+        ReplayNext();
+      });
 }
 
 void ClientApp::SubmitRemark(core::UserId author,

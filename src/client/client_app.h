@@ -11,6 +11,7 @@
 
 #include "client/file_image.h"
 #include "client/interceptor.h"
+#include "client/offline_queue.h"
 #include "client/safety_lists.h"
 #include "client/server_cache.h"
 #include "client/signature_check.h"
@@ -70,6 +71,15 @@ struct ClientStats {
   std::uint64_t server_queries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t offline_decisions = 0;
+  /// Prompts answered from an expired cache entry while the server was
+  /// unreachable (stale-while-revalidate; the info is marked offline).
+  std::uint64_t stale_served = 0;
+  /// Ratings parked in the offline outbox because the server was down.
+  std::uint64_t ratings_queued = 0;
+  /// Queued ratings that later landed on the server via replay.
+  std::uint64_t ratings_replayed = 0;
+  /// Automatic re-logins after the server forgot our session (restart).
+  std::uint64_t relogins = 0;
 };
 
 /// The reputation-system client application (§3.1): sits behind the
@@ -98,9 +108,18 @@ class ClientApp {
     ExecDecision fallback_decision = ExecDecision::kAllow;
     /// TTL for cached server responses.
     util::Duration cache_ttl = util::kHour;
+    /// Expired-but-present cache entries up to this age still answer
+    /// prompts (marked offline) when the server is unreachable.
+    util::Duration cache_stale_ttl = 24 * util::kHour;
+    /// LRU bound on the response cache.
+    std::size_t cache_max_entries = 4096;
     /// RPC timeout and per-call retry budget (timeouts double per retry).
     util::Duration rpc_timeout = 5 * util::kSecond;
     int rpc_retries = 2;
+    /// Per-server circuit breaker (fail fast while the server is down).
+    net::RpcClient::BreakerConfig breaker;
+    /// Offline outbox for ratings submitted while the server is down.
+    OfflineQueue::Config offline_queue;
     /// §3.3 countermeasure against polymorphic re-hashing: when the digest
     /// is unknown to the server but the file embeds a company name, fetch
     /// the *vendor* score so the policy/user can judge the publisher even
@@ -170,6 +189,7 @@ class ClientApp {
   crypto::TrustStore& trust_store() { return trust_store_; }
   core::PromptScheduler& prompt_scheduler() { return prompt_scheduler_; }
   ServerCache& cache() { return cache_; }
+  OfflineQueue& offline_queue() { return offline_queue_; }
   const ClientStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
   net::RpcClient& rpc() { return rpc_; }
@@ -178,6 +198,24 @@ class ClientApp {
   void QueryServer(const core::SoftwareId& id,
                    std::function<void(PromptInfo)> done,
                    PromptInfo partial);
+  /// Answers `done` from an expired-but-present cache entry (marked
+  /// offline); returns false when nothing usable is cached.
+  bool TryServeStale(const core::SoftwareId& id, const PromptInfo& partial,
+                     const std::function<void(PromptInfo)>& done);
+  /// Builds and sends the SubmitRating RPC (shared by the live path and
+  /// the offline-queue replay).
+  void SendRating(const core::SoftwareMeta& meta, int score,
+                  const std::string& comment, core::BehaviorSet behaviors,
+                  StatusCallback done);
+  /// Kicks off one background re-login (no-op while one is in flight).
+  /// Used when the server rejects our session — it restarted and lost its
+  /// in-memory session table.
+  void MaybeRelogin();
+  /// Arms the outbox replay timer (no-op if already armed or queue empty).
+  void ScheduleReplay(util::Duration delay);
+  /// Replays the head of the outbox; chains itself until the queue drains
+  /// or the server fails again (then re-arms the timer with backoff).
+  void ReplayNext();
   void FetchVendorFallback(const core::SoftwareId& id, PromptInfo info,
                            std::function<void(PromptInfo)> done);
   void FetchFeedEntry(const core::SoftwareId& id, PromptInfo info,
@@ -209,6 +247,16 @@ class ClientApp {
   /// §3.1 run statistics pending upload, per program.
   std::unordered_map<core::SoftwareId, int, core::SoftwareIdHash>
       pending_run_reports_;
+  OfflineQueue offline_queue_;
+  /// A replay timer is already scheduled on the loop.
+  bool replay_scheduled_ = false;
+  /// A replay chain is currently in flight (one rating at a time).
+  bool replay_active_ = false;
+  /// A background re-login is in flight.
+  bool relogin_pending_ = false;
+  /// Liveness token for loop callbacks (replay timers) so a destroyed
+  /// client's events become no-ops.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   ClientStats stats_;
 };
 

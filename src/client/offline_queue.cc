@@ -1,0 +1,28 @@
+#include "client/offline_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pisrep::client {
+
+OfflineQueue::OfflineQueue() : OfflineQueue(Config{}) {}
+
+OfflineQueue::OfflineQueue(Config config)
+    : config_(config), backoff_(config_.initial_backoff) {}
+
+void OfflineQueue::Push(QueuedRating rating) {
+  while (entries_.size() >= config_.max_entries) {
+    entries_.pop_front();
+    ++dropped_;
+  }
+  entries_.push_back(std::move(rating));
+  ++queued_;
+}
+
+util::Duration OfflineQueue::NextBackoff() {
+  util::Duration delay = backoff_;
+  backoff_ = std::min(backoff_ * 2, config_.max_backoff);
+  return delay;
+}
+
+}  // namespace pisrep::client

@@ -1,0 +1,80 @@
+#ifndef PISREP_CLIENT_OFFLINE_QUEUE_H_
+#define PISREP_CLIENT_OFFLINE_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/behavior.h"
+#include "core/types.h"
+#include "util/clock.h"
+
+namespace pisrep::client {
+
+/// One rating the user submitted while the server was unreachable.
+struct QueuedRating {
+  core::SoftwareMeta meta;
+  int score = 0;
+  std::string comment;
+  core::BehaviorSet behaviors = core::kNoBehaviors;
+  util::TimePoint queued_at = 0;
+};
+
+/// Offline outbox for rating submissions (§3.1: the user rates at the
+/// prompt, whether or not the server happens to be reachable right then).
+///
+/// A bounded FIFO plus replay-backoff state. The ClientApp drains it once
+/// the server answers again; replays are at-least-once, which is safe
+/// end-to-end because the server's one-vote-per-(user, software) rule
+/// rejects duplicates as kAlreadyExists.
+class OfflineQueue {
+ public:
+  struct Config {
+    /// Oldest entries are dropped beyond this bound.
+    std::size_t max_entries = 256;
+    /// First replay delay after a failed attempt; doubles per failure.
+    util::Duration initial_backoff = 5 * util::kSecond;
+    util::Duration max_backoff = 10 * util::kMinute;
+  };
+
+  OfflineQueue();
+  explicit OfflineQueue(Config config);
+
+  /// Enqueues a rating, evicting the oldest entry when full.
+  void Push(QueuedRating rating);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const QueuedRating& Front() const { return entries_.front(); }
+  void PopFront() { entries_.pop_front(); }
+
+  /// Current replay delay; call after a failed replay attempt.
+  util::Duration NextBackoff();
+  /// Resets the backoff after a successful (or duplicate-rejected) replay.
+  void ResetBackoff() { backoff_ = config_.initial_backoff; }
+
+  // --- Counters --------------------------------------------------------
+  std::uint64_t queued() const { return queued_; }
+  std::uint64_t replayed() const { return replayed_; }
+  /// Replays the server rejected as duplicates (an earlier attempt had
+  /// landed even though its response was lost) — proof of idempotence, not
+  /// an error.
+  std::uint64_t replayed_duplicate() const { return replayed_duplicate_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  void RecordReplayed() { ++replayed_; }
+  void RecordDuplicate() { ++replayed_duplicate_; }
+
+ private:
+  Config config_;
+  std::deque<QueuedRating> entries_;
+  util::Duration backoff_;
+  std::uint64_t queued_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t replayed_duplicate_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace pisrep::client
+
+#endif  // PISREP_CLIENT_OFFLINE_QUEUE_H_

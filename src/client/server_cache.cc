@@ -1,29 +1,71 @@
 #include "client/server_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace pisrep::client {
 
+ServerCache::ServerCache(util::Duration ttl, util::Duration stale_ttl,
+                         std::size_t max_entries)
+    : ttl_(ttl),
+      stale_ttl_(std::max(stale_ttl, ttl)),
+      max_entries_(std::max<std::size_t>(max_entries, 1)) {}
+
+void ServerCache::Touch(Map::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+}
+
 std::optional<server::SoftwareInfo> ServerCache::Get(
-    const core::SoftwareId& id, util::TimePoint now) const {
+    const core::SoftwareId& id, util::TimePoint now) {
   auto it = entries_.find(id);
   if (it == entries_.end() || now - it->second.stored_at > ttl_) {
     ++misses_;
     return std::nullopt;
   }
   ++hits_;
+  Touch(it);
+  return it->second.info;
+}
+
+std::optional<server::SoftwareInfo> ServerCache::GetStale(
+    const core::SoftwareId& id, util::TimePoint now) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || now - it->second.stored_at > stale_ttl_) {
+    return std::nullopt;
+  }
+  ++stale_hits_;
+  Touch(it);
   return it->second.info;
 }
 
 void ServerCache::Put(const core::SoftwareId& id, server::SoftwareInfo info,
                       util::TimePoint now) {
-  entries_[id] = Entry{std::move(info), now};
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.info = std::move(info);
+    it->second.stored_at = now;
+    Touch(it);
+    return;
+  }
+  lru_.push_front(id);
+  entries_.emplace(id, Entry{std::move(info), now, lru_.begin()});
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 void ServerCache::Invalidate(const core::SoftwareId& id) {
-  entries_.erase(id);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
 }
 
-void ServerCache::Clear() { entries_.clear(); }
+void ServerCache::Clear() {
+  entries_.clear();
+  lru_.clear();
+}
 
 }  // namespace pisrep::client

@@ -2,6 +2,7 @@
 #define PISREP_CLIENT_SERVER_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <unordered_map>
 
@@ -15,13 +16,29 @@ namespace pisrep::client {
 /// executing the same program does not hit the server every time. Scores
 /// only change at the daily aggregation anyway, so a generous TTL loses
 /// little freshness.
+///
+/// Two time horizons and one space bound:
+///  - `ttl`: entries younger than this are served on the normal path.
+///  - `stale_ttl` (>= ttl): expired-but-present entries up to this age are
+///    still returned by GetStale — the stale-while-revalidate data the
+///    client shows (marked offline) when the server is unreachable. Better
+///    a day-old community score than none at the moment of execution.
+///  - `max_entries`: least-recently-used entries are evicted beyond this
+///    cap, so a long-lived client on a busy host stays bounded.
 class ServerCache {
  public:
-  explicit ServerCache(util::Duration ttl = util::kHour) : ttl_(ttl) {}
+  explicit ServerCache(util::Duration ttl = util::kHour,
+                       util::Duration stale_ttl = 24 * util::kHour,
+                       std::size_t max_entries = 4096);
 
   /// A fresh cached entry, or nullopt.
   std::optional<server::SoftwareInfo> Get(const core::SoftwareId& id,
-                                          util::TimePoint now) const;
+                                          util::TimePoint now);
+
+  /// A fresh *or stale* entry (age <= stale_ttl), or nullopt. Does not
+  /// count toward hits/misses; callers use it only on the offline path.
+  std::optional<server::SoftwareInfo> GetStale(const core::SoftwareId& id,
+                                               util::TimePoint now);
 
   void Put(const core::SoftwareId& id, server::SoftwareInfo info,
            util::TimePoint now);
@@ -33,18 +50,36 @@ class ServerCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  /// Offline fallbacks served from expired-but-present entries.
+  std::uint64_t stale_hits() const { return stale_hits_; }
+  /// Entries dropped by the LRU cap.
+  std::uint64_t evictions() const { return evictions_; }
   std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
 
  private:
   struct Entry {
     server::SoftwareInfo info;
     util::TimePoint stored_at = 0;
+    std::list<core::SoftwareId>::iterator lru_pos;
   };
 
+  using Map =
+      std::unordered_map<core::SoftwareId, Entry, core::SoftwareIdHash>;
+
+  /// Moves `it` to the most-recently-used position.
+  void Touch(Map::iterator it);
+
   util::Duration ttl_;
-  std::unordered_map<core::SoftwareId, Entry, core::SoftwareIdHash> entries_;
-  mutable std::uint64_t hits_ = 0;
-  mutable std::uint64_t misses_ = 0;
+  util::Duration stale_ttl_;
+  std::size_t max_entries_;
+  Map entries_;
+  /// Usage order, most recent at the front.
+  std::list<core::SoftwareId> lru_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stale_hits_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace pisrep::client

@@ -1,0 +1,153 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pisrep::net {
+
+namespace {
+
+/// Canonical key for an unordered endpoint pair.
+std::string PairKey(std::string_view a, std::string_view b) {
+  if (b < a) std::swap(a, b);
+  return std::string(a) + "\x1f" + std::string(b);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(EventLoop* loop, std::uint64_t seed)
+    : loop_(loop), rng_(seed) {}
+
+void FaultInjector::Partition(std::string_view a, std::string_view b) {
+  cut_pairs_.insert(PairKey(a, b));
+}
+
+void FaultInjector::Isolate(std::string_view address) {
+  isolated_.insert(std::string(address));
+}
+
+void FaultInjector::Heal() {
+  cut_pairs_.clear();
+  isolated_.clear();
+}
+
+bool FaultInjector::IsCut(std::string_view from, std::string_view to) const {
+  if (isolated_.contains(std::string(from)) ||
+      isolated_.contains(std::string(to))) {
+    return true;
+  }
+  return cut_pairs_.contains(PairKey(from, to));
+}
+
+void FaultInjector::SetLinkLoss(std::string_view from, std::string_view to,
+                                double p) {
+  link_loss_[std::string(from) + "\x1f" + std::string(to)] = p;
+}
+
+void FaultInjector::SetReorderBursts(double p, util::Duration max_extra) {
+  PISREP_CHECK(max_extra >= 0) << "negative reorder burst";
+  reorder_probability_ = p;
+  reorder_max_extra_ = max_extra;
+}
+
+void FaultInjector::Reset() {
+  Heal();
+  ClearLinkLoss();
+  loss_ = 0.0;
+  duplication_ = 0.0;
+  corruption_ = 0.0;
+  reorder_probability_ = 0.0;
+  reorder_max_extra_ = 0;
+}
+
+void FaultInjector::ScheduleWindow(util::TimePoint start, util::TimePoint end,
+                                   std::function<void()> apply,
+                                   std::function<void()> revert) {
+  PISREP_CHECK(start <= end) << "fault window ends before it starts";
+  loop_->ScheduleAt(start, std::move(apply));
+  loop_->ScheduleAt(end, std::move(revert));
+}
+
+void FaultInjector::IsolateWindow(util::TimePoint start, util::TimePoint end,
+                                  std::string address) {
+  ScheduleWindow(
+      start, end, [this, address] { Isolate(address); },
+      [this, address] {
+        isolated_.erase(address);
+      });
+}
+
+void FaultInjector::DegradeWindow(util::TimePoint start, util::TimePoint end,
+                                  double loss, double duplication,
+                                  double corruption) {
+  ScheduleWindow(
+      start, end,
+      [this, loss, duplication, corruption] {
+        loss_ = loss;
+        duplication_ = duplication;
+        corruption_ = corruption;
+      },
+      [this] {
+        loss_ = 0.0;
+        duplication_ = 0.0;
+        corruption_ = 0.0;
+      });
+}
+
+bool FaultInjector::ShouldDrop(std::string_view from, std::string_view to) {
+  if (IsCut(from, to)) {
+    ++dropped_by_fault_;
+    return true;
+  }
+  double p = loss_;
+  if (!link_loss_.empty()) {
+    auto it =
+        link_loss_.find(std::string(from) + "\x1f" + std::string(to));
+    if (it != link_loss_.end()) p = std::max(p, it->second);
+  }
+  if (p > 0.0 && rng_.NextBool(p)) {
+    ++dropped_by_fault_;
+    return true;
+  }
+  return false;
+}
+
+int FaultInjector::ExtraCopies() {
+  if (duplication_ > 0.0 && rng_.NextBool(duplication_)) {
+    ++duplicated_;
+    return 1;
+  }
+  return 0;
+}
+
+bool FaultInjector::MaybeCorrupt(std::string* payload) {
+  if (corruption_ <= 0.0 || payload->empty() ||
+      !rng_.NextBool(corruption_)) {
+    return false;
+  }
+  ++corrupted_;
+  if (rng_.NextBool(0.5)) {
+    // Bit flip somewhere in the payload.
+    std::size_t pos = rng_.NextIndex(payload->size());
+    (*payload)[pos] = static_cast<char>(
+        static_cast<unsigned char>((*payload)[pos]) ^
+        (1u << rng_.NextBelow(8)));
+  } else {
+    // Truncation: keep a strict prefix.
+    payload->resize(rng_.NextIndex(payload->size()));
+  }
+  return true;
+}
+
+util::Duration FaultInjector::ExtraLatency() {
+  if (reorder_probability_ <= 0.0 || reorder_max_extra_ <= 0 ||
+      !rng_.NextBool(reorder_probability_)) {
+    return 0;
+  }
+  ++reordered_;
+  return static_cast<util::Duration>(
+      rng_.NextBelow(static_cast<std::uint64_t>(reorder_max_extra_) + 1));
+}
+
+}  // namespace pisrep::net

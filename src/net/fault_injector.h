@@ -1,0 +1,143 @@
+#ifndef PISREP_NET_FAULT_INJECTOR_H_
+#define PISREP_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "net/event_loop.h"
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace pisrep::net {
+
+/// Scriptable fault plane layered on top of SimNetwork.
+///
+/// The base NetworkConfig models a *healthy* network (fixed latency, uniform
+/// jitter, background loss). The injector models *adversity*: partitions,
+/// directional per-link loss, message duplication, reordering bursts and
+/// payload corruption — everything a reputation client must degrade
+/// gracefully under (§3.1: the allow/deny decision happens at the moment of
+/// execution, server reachable or not).
+///
+/// Attach with SimNetwork::AttachFaultInjector; the injector must outlive
+/// the network. All randomness is drawn from a private seeded stream so
+/// chaos runs are exactly reproducible. Faults can be toggled directly or
+/// scheduled as time windows on the event loop.
+class FaultInjector {
+ public:
+  explicit FaultInjector(EventLoop* loop, std::uint64_t seed = 0xfa017);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // --- Partitions ------------------------------------------------------
+
+  /// Cuts the link between `a` and `b` in both directions.
+  void Partition(std::string_view a, std::string_view b);
+
+  /// Cuts every link to and from `address` (node failure / partition of a
+  /// single server from the whole client population).
+  void Isolate(std::string_view address);
+
+  /// Removes all partitions and isolations. Stochastic faults (loss,
+  /// duplication, corruption, reorder bursts) are untouched.
+  void Heal();
+
+  bool IsCut(std::string_view from, std::string_view to) const;
+
+  // --- Stochastic faults -----------------------------------------------
+
+  /// Extra loss probability applied to every message (on top of the
+  /// network's own loss_probability).
+  void SetLoss(double p) { loss_ = p; }
+
+  /// Directional per-link loss: messages from `from` to `to` are dropped
+  /// with probability `p` (overrides the global extra loss when higher).
+  void SetLinkLoss(std::string_view from, std::string_view to, double p);
+  void ClearLinkLoss() { link_loss_.clear(); }
+
+  /// Probability that a delivered message is delivered twice.
+  void SetDuplication(double p) { duplication_ = p; }
+
+  /// Payload corruption: with probability `p` a delivered copy has one bit
+  /// flipped or its tail truncated (chosen at random).
+  void SetCorruption(double p) { corruption_ = p; }
+
+  /// Reordering: with probability `p` a delivery is delayed by an extra
+  /// uniform [0, max_extra] burst, letting later sends overtake it.
+  void SetReorderBursts(double p, util::Duration max_extra);
+
+  /// Clears every fault — partitions and stochastic settings alike.
+  void Reset();
+
+  // --- Time-windowed schedules -----------------------------------------
+
+  /// Runs `apply` at `start` and `revert` at `end` on the event loop.
+  /// Building block for fault schedules; the convenience wrappers below
+  /// cover the common cases.
+  void ScheduleWindow(util::TimePoint start, util::TimePoint end,
+                      std::function<void()> apply,
+                      std::function<void()> revert);
+
+  /// Isolates `address` during [start, end).
+  void IsolateWindow(util::TimePoint start, util::TimePoint end,
+                     std::string address);
+
+  /// Applies extra loss / duplication / corruption during [start, end),
+  /// then restores the previous values.
+  void DegradeWindow(util::TimePoint start, util::TimePoint end, double loss,
+                     double duplication, double corruption);
+
+  // --- Hooks used by SimNetwork ----------------------------------------
+
+  /// Decides the fate of one send. Returns true when the message must be
+  /// dropped (partition or fault loss).
+  bool ShouldDrop(std::string_view from, std::string_view to);
+
+  /// Number of *extra* copies to deliver (0 almost always, 1 when the
+  /// duplication fault fires).
+  int ExtraCopies();
+
+  /// Possibly corrupts `payload` in place (bit flip or truncation).
+  /// Returns true when it did.
+  bool MaybeCorrupt(std::string* payload);
+
+  /// Extra delivery latency for one copy (reorder burst), usually 0.
+  util::Duration ExtraLatency();
+
+  // --- Counters --------------------------------------------------------
+
+  std::uint64_t dropped_by_fault() const { return dropped_by_fault_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t reordered() const { return reordered_; }
+
+ private:
+  EventLoop* loop_;
+  util::Rng rng_;
+
+  /// Bidirectional pair cuts, stored with the endpoints sorted.
+  std::unordered_set<std::string> cut_pairs_;
+  std::unordered_set<std::string> isolated_;
+  std::unordered_map<std::string, double> link_loss_;
+
+  double loss_ = 0.0;
+  double duplication_ = 0.0;
+  double corruption_ = 0.0;
+  double reorder_probability_ = 0.0;
+  util::Duration reorder_max_extra_ = 0;
+
+  std::uint64_t dropped_by_fault_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t corrupted_ = 0;
+  std::uint64_t reordered_ = 0;
+};
+
+}  // namespace pisrep::net
+
+#endif  // PISREP_NET_FAULT_INJECTOR_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "net/fault_injector.h"
+
 namespace pisrep::net {
 
 SimNetwork::SimNetwork(EventLoop* loop, NetworkConfig config)
@@ -29,16 +31,34 @@ void SimNetwork::Send(std::string_view from, std::string_view to,
                       std::string payload) {
   ++messages_sent_;
   bytes_sent_ += payload.size();
+  if (injector_ != nullptr && injector_->ShouldDrop(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
   if (rng_.NextBool(config_.loss_probability)) {
     ++messages_dropped_;
     return;
   }
+  Message message{std::string(from), std::string(to), std::move(payload)};
+  if (injector_ != nullptr) {
+    // Duplication delivers an identical extra copy; each copy corrupts and
+    // reorders independently, like distinct packets on a real path.
+    int extra = injector_->ExtraCopies();
+    for (int i = 0; i < extra; ++i) DeliverCopy(message);
+  }
+  DeliverCopy(std::move(message));
+}
+
+void SimNetwork::DeliverCopy(Message message) {
   util::Duration latency = config_.base_latency;
   if (config_.jitter > 0) {
     latency += static_cast<util::Duration>(
         rng_.NextBelow(static_cast<std::uint64_t>(config_.jitter) + 1));
   }
-  Message message{std::string(from), std::string(to), std::move(payload)};
+  if (injector_ != nullptr) {
+    injector_->MaybeCorrupt(&message.payload);
+    latency += injector_->ExtraLatency();
+  }
   loop_->ScheduleAfter(latency, [this, message = std::move(message)] {
     auto it = endpoints_.find(message.to);
     if (it == endpoints_.end()) {

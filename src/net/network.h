@@ -32,16 +32,25 @@ struct NetworkConfig {
   std::uint64_t seed = 0x5eed;
 };
 
+class FaultInjector;
+
 /// An in-process message-passing network with configurable latency and loss.
 ///
 /// Endpoints register a handler under a unique address; Send schedules an
 /// asynchronous delivery on the event loop. This stands in for the paper's
-/// TCP/HTTP transport while keeping simulations deterministic.
+/// TCP/HTTP transport while keeping simulations deterministic. NetworkConfig
+/// models the healthy baseline; adversity (partitions, corruption,
+/// duplication, reorder bursts) layers on via an attached FaultInjector.
 class SimNetwork {
  public:
   using Handler = std::function<void(const Message&)>;
 
   SimNetwork(EventLoop* loop, NetworkConfig config);
+
+  /// Attaches (or detaches, with nullptr) a fault plane consulted on every
+  /// send. The injector must outlive the network or be detached first.
+  void AttachFaultInjector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
 
   /// Registers `address`; fails if it is already bound.
   util::Status Bind(std::string_view address, Handler handler);
@@ -65,9 +74,14 @@ class SimNetwork {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
 
  private:
+  /// Schedules one delivery attempt of `message` (a possibly corrupted
+  /// copy), after the modelled latency plus any reorder burst.
+  void DeliverCopy(Message message);
+
   EventLoop* loop_;
   NetworkConfig config_;
   util::Rng rng_;
+  FaultInjector* injector_ = nullptr;
   std::unordered_map<std::string, Handler> endpoints_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;

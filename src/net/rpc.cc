@@ -1,5 +1,6 @@
 #include "net/rpc.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "util/logging.h"
@@ -96,7 +97,8 @@ RpcClient::RpcClient(SimNetwork* network, EventLoop* loop,
     : network_(network),
       loop_(loop),
       address_(std::move(address)),
-      server_address_(std::move(server_address)) {}
+      server_address_(std::move(server_address)),
+      rng_(0xbac0ff ^ std::hash<std::string>{}(address_)) {}
 
 RpcClient::~RpcClient() { network_->Unbind(address_); }
 
@@ -107,6 +109,23 @@ Status RpcClient::Start() {
 
 void RpcClient::Call(std::string_view method, XmlNode params,
                      ResponseCallback callback, util::Duration timeout) {
+  if (breaker_config_.enabled &&
+      breaker_state_ == BreakerState::kOpen &&
+      loop_->Now() >= open_until_) {
+    // Cooldown elapsed: this call becomes the half-open probe.
+    breaker_state_ = BreakerState::kHalfOpen;
+    probe_in_flight_ = false;
+  }
+  if (breaker_config_.enabled &&
+      (breaker_state_ == BreakerState::kOpen ||
+       (breaker_state_ == BreakerState::kHalfOpen && probe_in_flight_))) {
+    ++fast_failures_;
+    callback(Status::Unavailable("circuit breaker open for " +
+                                 server_address_));
+    return;
+  }
+  if (breaker_state_ == BreakerState::kHalfOpen) probe_in_flight_ = true;
+
   params.set_name("request");
   params.SetAttribute("method", std::string(method));
 
@@ -137,35 +156,97 @@ void RpcClient::Dispatch(PendingCall call) {
     PendingCall timed_out = std::move(it->second);
     pending_.erase(it);
     ++timeouts_;
-    if (timed_out.retries_left > 0) {
-      --timed_out.retries_left;
-      timed_out.timeout *= 2;  // back off
-      ++retries_sent_;
-      Dispatch(std::move(timed_out));
-      return;
-    }
-    timed_out.callback(
-        Status::Unavailable("rpc timeout calling " + timed_out.method));
+    Status error =
+        Status::Unavailable("rpc timeout calling " + timed_out.method);
+    RetryOrFail(std::move(timed_out), std::move(error));
   });
+}
+
+void RpcClient::RetryOrFail(PendingCall call, Status error) {
+  if (call.retries_left > 0) {
+    --call.retries_left;
+    // Exponential backoff with deterministic jitter: double the budget,
+    // then stretch by up to +25% so recovering clients desynchronize.
+    call.timeout *= 2;
+    call.timeout += static_cast<util::Duration>(
+        rng_.NextBelow(static_cast<std::uint64_t>(call.timeout) / 4 + 1));
+    ++retries_sent_;
+    Dispatch(std::move(call));
+    return;
+  }
+  Complete(std::move(call), std::move(error));
+}
+
+void RpcClient::Complete(PendingCall call, Result<XmlNode> result) {
+  // Only transport-level failures feed the breaker: an application error
+  // (duplicate vote, bad session, ...) proves the server is reachable.
+  bool reachable =
+      result.ok() ||
+      (result.status().code() != StatusCode::kUnavailable &&
+       result.status().code() != StatusCode::kDataLoss);
+  RecordOutcome(reachable);
+  call.callback(std::move(result));
+}
+
+void RpcClient::RecordOutcome(bool success) {
+  if (!breaker_config_.enabled) return;
+  if (success) {
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    breaker_state_ = BreakerState::kClosed;
+    return;
+  }
+  ++consecutive_failures_;
+  bool probe_failed =
+      breaker_state_ == BreakerState::kHalfOpen && probe_in_flight_;
+  if (probe_failed ||
+      (breaker_state_ == BreakerState::kClosed &&
+       consecutive_failures_ >= breaker_config_.failure_threshold)) {
+    breaker_state_ = BreakerState::kOpen;
+    probe_in_flight_ = false;
+    open_until_ = loop_->Now() + breaker_config_.cooldown;
+    ++breaker_opens_;
+  }
 }
 
 void RpcClient::HandleMessage(const Message& message) {
   auto parsed = xml::ParseXml(message.payload);
-  if (!parsed.ok() || parsed->name() != "response") return;
+  if (!parsed.ok() || parsed->name() != "response") {
+    // Corrupted on the wire. The request id may still be legible in the
+    // mangled payload; if so, fail that call over to the retry path now
+    // instead of letting it burn the rest of its timeout. If the id is
+    // gone too, the pending call is covered by its timeout — corruption
+    // can never hang a call.
+    ++corrupt_responses_;
+    std::size_t at = message.payload.find("id=\"");
+    if (at == std::string::npos) return;
+    const char* p = message.payload.c_str() + at + 4;
+    char* end = nullptr;
+    std::uint64_t id = std::strtoull(p, &end, 10);
+    if (end == p) return;
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    PendingCall call = std::move(it->second);
+    pending_.erase(it);
+    Status error =
+        Status::DataLoss("corrupted rpc response for " + call.method);
+    RetryOrFail(std::move(call), std::move(error));
+    return;
+  }
   const XmlNode& response = *parsed;
 
   auto id_result = util::ParseInt64(response.AttributeOr("id", ""));
   if (!id_result.ok()) return;
   auto it = pending_.find(static_cast<std::uint64_t>(*id_result));
-  if (it == pending_.end()) return;  // late response after timeout
-  ResponseCallback cb = std::move(it->second.callback);
+  if (it == pending_.end()) return;  // late or duplicate response
+  PendingCall call = std::move(it->second);
   pending_.erase(it);
 
   if (response.AttributeOr("status", "") == "ok") {
-    cb(response);
+    Complete(std::move(call), Result<XmlNode>(response));
   } else {
     StatusCode code = StatusCodeFromName(response.AttributeOr("code", ""));
-    cb(Status(code, response.text()));
+    Complete(std::move(call), Status(code, response.text()));
   }
 }
 

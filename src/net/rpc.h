@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "net/network.h"
+#include "util/random.h"
 #include "util/status.h"
 #include "xml/xml_node.h"
 
@@ -63,9 +64,33 @@ class RpcServer {
 };
 
 /// Asynchronous RPC client endpoint.
+///
+/// Failure handling (the client side of graceful degradation):
+///  - Timed-out calls are retried with exponential backoff plus
+///    deterministic jitter, so a thundering herd of recovering clients does
+///    not re-synchronize on the server.
+///  - A per-server circuit breaker trips open after a run of consecutive
+///    call failures; while open, calls fail fast with kUnavailable instead
+///    of burning a full timeout each. After a cooldown one half-open probe
+///    is let through; its outcome closes or re-opens the breaker.
+///  - Corrupted responses (malformed XML) surface as kDataLoss once retries
+///    are exhausted — never a crash, never a silently hung pending call.
 class RpcClient {
  public:
   using ResponseCallback = std::function<void(util::Result<xml::XmlNode>)>;
+
+  /// Circuit-breaker tuning (§3.1 availability: the client must answer
+  /// allow/deny even when the server cannot).
+  struct BreakerConfig {
+    bool enabled = true;
+    /// Consecutive call failures (timeout-exhausted or data loss) that trip
+    /// the breaker open.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before admitting a half-open probe.
+    util::Duration cooldown = 30 * util::kSecond;
+  };
+
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
   /// The network and loop must outlive the client.
   RpcClient(SimNetwork* network, EventLoop* loop, std::string address,
@@ -80,16 +105,22 @@ class RpcClient {
   /// Binds the client address on the network.
   util::Status Start();
 
-  /// How many times a timed-out call is re-sent before failing (with the
-  /// timeout doubled per attempt). Retries give at-least-once semantics:
-  /// a request whose *response* was lost may execute twice on the server,
-  /// which the pisrep API tolerates (duplicate votes are rejected, queries
-  /// are read-only, counters are best-effort).
+  /// How many times a timed-out call is re-sent before failing (timeout
+  /// doubled per attempt, plus jitter). Retries give at-least-once
+  /// semantics: a request whose *response* was lost may execute twice on
+  /// the server, which the pisrep API tolerates (duplicate votes are
+  /// rejected, queries are read-only, counters are best-effort).
   void set_max_retries(int retries) { max_retries_ = retries; }
   int max_retries() const { return max_retries_; }
 
-  /// Issues a call; `callback` fires exactly once, with the response body or
-  /// an error (kUnavailable after all retries time out).
+  void set_breaker(BreakerConfig config) { breaker_config_ = config; }
+  const BreakerConfig& breaker_config() const { return breaker_config_; }
+  BreakerState breaker_state() const { return breaker_state_; }
+
+  /// Issues a call; `callback` fires exactly once, with the response body
+  /// or an error: kUnavailable after all retries time out (or immediately
+  /// when the breaker is open), kDataLoss when every attempt's response
+  /// arrived corrupted.
   void Call(std::string_view method, xml::XmlNode params,
             ResponseCallback callback,
             util::Duration timeout = 5 * util::kSecond);
@@ -98,6 +129,12 @@ class RpcClient {
   std::uint64_t calls_sent() const { return calls_sent_; }
   std::uint64_t timeouts() const { return timeouts_; }
   std::uint64_t retries_sent() const { return retries_sent_; }
+  /// Calls rejected synchronously because the breaker was open.
+  std::uint64_t fast_failures() const { return fast_failures_; }
+  /// Closed→open transitions (including a failed half-open probe).
+  std::uint64_t breaker_opens() const { return breaker_opens_; }
+  /// Responses that failed to parse as XML (corruption on the wire).
+  std::uint64_t corrupt_responses() const { return corrupt_responses_; }
 
  private:
   struct PendingCall {
@@ -110,6 +147,12 @@ class RpcClient {
 
   void Dispatch(PendingCall call);
   void HandleMessage(const Message& message);
+  /// Retries `call` with backoff, or completes it with `error` when the
+  /// retry budget is exhausted.
+  void RetryOrFail(PendingCall call, util::Status error);
+  /// Completes a call: runs the breaker bookkeeping, then the callback.
+  void Complete(PendingCall call, util::Result<xml::XmlNode> result);
+  void RecordOutcome(bool success);
 
   SimNetwork* network_;
   EventLoop* loop_;
@@ -120,10 +163,23 @@ class RpcClient {
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
   std::uint64_t next_id_ = 1;
   int max_retries_ = 0;
+  /// Private jitter stream; seeded deterministically so simulations stay
+  /// reproducible, decorrelated per client by the address.
+  util::Rng rng_;
   std::unordered_map<std::uint64_t, PendingCall> pending_;
+
+  BreakerConfig breaker_config_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  util::TimePoint open_until_ = 0;
+  bool probe_in_flight_ = false;
+
   std::uint64_t calls_sent_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t retries_sent_ = 0;
+  std::uint64_t fast_failures_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t corrupt_responses_ = 0;
 };
 
 /// Maps a status-code name back to the enum (inverse of StatusCodeName);

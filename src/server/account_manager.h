@@ -76,6 +76,10 @@ class AccountManager {
   /// Invalidates a session token.
   void Logout(std::string_view session);
 
+  /// Invalidates every session (what a process restart does to in-memory
+  /// session state); accounts are untouched. Clients must log in again.
+  void DropSessions() { sessions_.clear(); }
+
   util::Result<Account> GetAccount(core::UserId id) const;
   util::Result<Account> GetAccountByUsername(std::string_view username) const;
 

@@ -65,8 +65,23 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now) {
 }
 
 void AggregationJob::Schedule(net::EventLoop* loop, util::Duration period) {
-  loop->SchedulePeriodic(loop->Now() + period, period,
-                         [this, loop] { RunOnce(loop->Now()); });
+  CancelSchedule();
+  loop_ = loop;
+  period_ = period;
+  schedule_token_ = std::make_shared<int>(0);
+  ScheduleNext();
+}
+
+void AggregationJob::ScheduleNext() {
+  // A self-rescheduling chain (not SchedulePeriodic): each link checks the
+  // token, so cancellation — including destruction of the job — turns any
+  // still-queued event into a no-op instead of a dangling call.
+  loop_->ScheduleAfter(
+      period_, [this, token = std::weak_ptr<int>(schedule_token_)] {
+        if (token.expired()) return;
+        RunOnce(loop_->Now());
+        ScheduleNext();
+      });
 }
 
 }  // namespace pisrep::server

@@ -2,6 +2,7 @@
 #define PISREP_SERVER_AGGREGATION_JOB_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 
 #include "core/rating_aggregator.h"
@@ -35,18 +36,34 @@ class AggregationJob {
   /// entries whose score was recomputed.
   std::size_t RunOnce(util::TimePoint now);
 
-  /// Installs the job on the loop, first run after one period.
+  /// Installs the job on the loop, first run after one period. The job
+  /// reschedules itself after each run; CancelSchedule (or destroying the
+  /// job) stops the chain. Calling Schedule again replaces any existing
+  /// schedule.
   void Schedule(net::EventLoop* loop,
                 util::Duration period = core::kAggregationPeriod);
+
+  /// Stops the periodic schedule. Already-queued loop events become
+  /// no-ops, so this is safe to call at any point (server shutdown).
+  void CancelSchedule() { schedule_token_.reset(); }
+
+  bool scheduled() const { return schedule_token_ != nullptr; }
 
   std::uint64_t runs() const { return runs_; }
 
  private:
+  void ScheduleNext();
+
   SoftwareRegistry* registry_;
   VoteStore* votes_;
   AccountManager* accounts_;
   bool trust_weighting_ = true;
   std::uint64_t runs_ = 0;
+  net::EventLoop* loop_ = nullptr;
+  util::Duration period_ = 0;
+  /// Liveness token: queued loop callbacks hold a weak_ptr and fire only
+  /// while this schedule (and this job) is still alive.
+  std::shared_ptr<int> schedule_token_;
 };
 
 }  // namespace pisrep::server

@@ -293,6 +293,12 @@ Status ReputationServer::AttachRpc(net::SimNetwork* network,
   return Status::Ok();
 }
 
+void ReputationServer::Stop() {
+  rpc_.reset();  // unbinds the address; in-flight requests go unanswered
+  aggregation_.CancelSchedule();
+  accounts_.DropSessions();
+}
+
 void ReputationServer::RegisterRpcMethods() {
   rpc_->RegisterMethod("RequestPuzzle", [this](const XmlNode&)
                            -> Result<XmlNode> {

@@ -161,6 +161,15 @@ class ReputationServer {
   /// Binds the XML RPC front-end at `address` on `network`.
   util::Status AttachRpc(net::SimNetwork* network, std::string address);
 
+  /// Simulates a crash/shutdown: unbinds the RPC front-end (clients see
+  /// timeouts, exactly as with a dead process) and cancels the periodic
+  /// aggregation. Durable state lives in the database; in-memory sessions
+  /// are lost, as a real restart would lose them. "Restarting" is opening
+  /// a new ReputationServer over the same database (whose WAL replay —
+  /// with salvage, see storage::Database::OpenOptions — is the recovery
+  /// path), after which clients re-login.
+  void Stop();
+
   // ------------------------------------------------------------------
   // Component access (administration, benches, tests)
   // ------------------------------------------------------------------

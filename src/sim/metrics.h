@@ -46,6 +46,14 @@ struct GroupOutcome {
   std::uint64_t prompts = 0;        ///< user interruptions (allow/deny asks)
   int infected_hosts = 0;           ///< hosts that ran >= 1 PIS binary
 
+  /// Decisions whose callback actually fired. Equal to `executions` when
+  /// every execution hook resolved exactly once — the liveness invariant
+  /// chaos runs assert: no decision may be dropped (deadlock) or counted
+  /// twice (duplicate callback), no matter what the network did.
+  std::uint64_t DecisionsResolved() const {
+    return pis_allowed + pis_blocked + legit_allowed + legit_blocked;
+  }
+
   /// Fraction of hosts that ran at least one PIS binary.
   double InfectionRate() const {
     return hosts == 0 ? 0.0 : static_cast<double>(infected_hosts) / hosts;

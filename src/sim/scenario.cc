@@ -21,10 +21,16 @@ constexpr std::string_view kNoisePrefix = "noise: ";
 ScenarioRunner::ScenarioRunner(ScenarioConfig config)
     : config_(std::move(config)),
       rng_(config_.seed),
+      injector_(&loop_, config_.seed ^ 0xfa017),
       eco_(SoftwareEcosystem::Generate(config_.ecosystem)),
       baseline_(config_.baseline) {
   network_ = std::make_unique<net::SimNetwork>(&loop_, config_.network);
-  db_ = storage::Database::Open(config_.server_db_path).value();
+  network_->AttachFaultInjector(&injector_);
+  // Salvage mode: a chaos run may crash the server mid-append; the
+  // restarted server must come up on whatever prefix survived.
+  storage::Database::OpenOptions db_options;
+  db_options.salvage_corruption = true;
+  db_ = storage::Database::Open(config_.server_db_path, db_options).value();
   server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
                                                        config_.server);
   util::Status rpc_status = server_->AttachRpc(network_.get(), "server");
@@ -206,20 +212,7 @@ void ScenarioRunner::SetUpAccounts() {
     loop_.ScheduleAfter(
         join_times_[i] +
             static_cast<util::Duration>(i) * 100 * util::kMillisecond,
-        [this, app] {
-          app->Register([this, app](util::Status status) {
-            PISREP_CHECK(status.ok())
-                << "registration failed: " << status.ToString();
-            auto mail = server_->FetchMail(app->config().email);
-            PISREP_CHECK(mail.ok()) << "no activation mail";
-            app->Activate(mail->token, [app](util::Status activated) {
-              PISREP_CHECK(activated.ok()) << activated.ToString();
-              app->Login([](util::Status logged_in) {
-                PISREP_CHECK(logged_in.ok()) << logged_in.ToString();
-              });
-            });
-          });
-        });
+        [this, app] { OnboardClient(app); });
   }
   loop_.RunUntil(loop_.Now() + util::kHour);
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
@@ -232,6 +225,51 @@ void ScenarioRunner::SetUpAccounts() {
           << host->name() << " failed to log in";
     }
   }
+}
+
+void ScenarioRunner::OnboardClient(client::ClientApp* app) {
+  app->Register([this, app](util::Status status) {
+    if (status.code() == util::StatusCode::kAlreadyExists) {
+      // A previous attempt's response was lost but the registration
+      // landed; the activation mail was fetched then, so head straight
+      // for login.
+      LoginClient(app);
+      return;
+    }
+    if (!status.ok()) {
+      // Server unreachable (likely a fault window); the host simply comes
+      // online later.
+      loop_.ScheduleAfter(util::kHour, [this, app] { OnboardClient(app); });
+      return;
+    }
+    auto mail = server_->FetchMail(app->config().email);
+    PISREP_CHECK(mail.ok()) << "no activation mail for "
+                            << app->config().email;
+    ActivateClient(app, mail->token);
+  });
+}
+
+void ScenarioRunner::ActivateClient(client::ClientApp* app,
+                                    const std::string& token) {
+  app->Activate(token, [this, app, token](util::Status status) {
+    if (status.code() == util::StatusCode::kUnavailable ||
+        status.code() == util::StatusCode::kDataLoss) {
+      loop_.ScheduleAfter(util::kHour,
+                          [this, app, token] { ActivateClient(app, token); });
+      return;
+    }
+    // Any other error means the token was already consumed by a retry
+    // whose response we never saw — either way, try logging in.
+    LoginClient(app);
+  });
+}
+
+void ScenarioRunner::LoginClient(client::ClientApp* app) {
+  app->Login([this, app](util::Status status) {
+    if (!status.ok()) {
+      loop_.ScheduleAfter(util::kHour, [this, app] { LoginClient(app); });
+    }
+  });
 }
 
 void ScenarioRunner::ApplyCommunityHistory() {
@@ -317,10 +355,14 @@ void ScenarioRunner::ScheduleExecutions() {
     GroupOutcome* outcome =
         &outcomes_[static_cast<std::size_t>(host->protection())];
     // Self-rescheduling execution process with exponential interarrival.
+    // The lambda holds only a weak reference to itself; the strong
+    // references live in the event queue, so the process frees itself
+    // once it stops rescheduling (past `end`, or when the loop dies).
     auto step = std::make_shared<std::function<void()>>();
     util::Rng exec_rng = rng_.Fork(50'000 + i);
     auto rng_ptr = std::make_shared<util::Rng>(std::move(exec_rng));
-    *step = [this, host, outcome, end, mean_gap_ms, step, rng_ptr] {
+    std::weak_ptr<std::function<void()>> weak_step = step;
+    *step = [this, host, outcome, end, mean_gap_ms, weak_step, rng_ptr] {
       if (loop_.Now() >= end) return;
       std::size_t idx = host->SampleInstalled(*rng_ptr);
       // The AV lab sees samples as they circulate, regardless of who runs
@@ -330,7 +372,9 @@ void ScenarioRunner::ScheduleExecutions() {
       util::Duration gap = std::max<util::Duration>(
           util::kSecond,
           static_cast<util::Duration>(rng_ptr->NextExponential(mean_gap_ms)));
-      loop_.ScheduleAfter(gap, [step] { (*step)(); });
+      if (auto self = weak_step.lock()) {
+        loop_.ScheduleAfter(gap, [self] { (*self)(); });
+      }
     };
     // A machine only starts launching programs once its user has joined
     // (plus an hour for onboarding to finish).
@@ -340,6 +384,35 @@ void ScenarioRunner::ScheduleExecutions() {
             rng_.NextBelow(static_cast<std::uint64_t>(mean_gap_ms) + 1));
     loop_.ScheduleAfter(first, [step] { (*step)(); });
   }
+}
+
+void ScenarioRunner::CrashServer() {
+  PISREP_LOG(kInfo) << "chaos: server crash at t=" << loop_.Now();
+  server_->Stop();
+}
+
+void ScenarioRunner::RestartServer() {
+  PISREP_LOG(kInfo) << "chaos: server restart at t=" << loop_.Now();
+  // A fresh process over the same database: durable state (accounts,
+  // votes, registry) comes back; sessions and pending mail do not.
+  server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
+                                                       config_.server);
+  util::Status rpc_status = server_->AttachRpc(network_.get(), "server");
+  PISREP_CHECK(rpc_status.ok()) << rpc_status.ToString();
+}
+
+void ScenarioRunner::ScheduleChaos(util::TimePoint start) {
+  const ScenarioConfig::ChaosConfig& chaos = config_.chaos;
+  if (!chaos.enabled) return;
+  injector_.IsolateWindow(start + chaos.partition_start,
+                          start + chaos.partition_end, "server");
+  injector_.ScheduleWindow(
+      start + chaos.crash_start, start + chaos.crash_end,
+      [this] { CrashServer(); }, [this] { RestartServer(); });
+  injector_.DegradeWindow(start + chaos.degrade_start,
+                          start + chaos.degrade_end, chaos.degrade_loss,
+                          chaos.degrade_duplication,
+                          chaos.degrade_corruption);
 }
 
 ScenarioResult ScenarioRunner::Collect() {
@@ -391,6 +464,7 @@ ScenarioResult ScenarioRunner::Run() {
   ApplyCommunityHistory();
   ApplyBootstrap();
   util::TimePoint start = loop_.Now();
+  ScheduleChaos(start);
   ScheduleExecutions();
   // Grace period so in-flight RPCs at the deadline still resolve.
   loop_.RunUntil(start + config_.duration + util::kMinute);

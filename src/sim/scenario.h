@@ -10,6 +10,7 @@
 #include "core/policy.h"
 #include "core/prompt_policy.h"
 #include "net/event_loop.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 #include "server/reputation_server.h"
 #include "sim/baseline_av.h"
@@ -85,6 +86,34 @@ struct ScenarioConfig {
   /// (durability integration testing); empty keeps it in-memory.
   std::string server_db_path;
 
+  /// Scripted fault schedule (chaos engineering): drives the FaultInjector
+  /// and the server lifecycle through three windows, exercising every
+  /// degradation path at once — stale-cache prompts and offline outboxes
+  /// during the partition, session recovery after the crash, retry/breaker
+  /// behaviour under loss and corruption. Offsets are relative to the
+  /// start of the execution phase. Keep the windows clear of onboarding
+  /// (first hour, plus `join_spread` when late joiners are on): onboarding
+  /// retries hourly, so hosts that happen to join mid-fault simply come up
+  /// late.
+  struct ChaosConfig {
+    bool enabled = false;
+    /// Server isolated from the whole client population.
+    util::Duration partition_start = 5 * util::kDay;
+    util::Duration partition_end = 6 * util::kDay;
+    /// Server process down: Stop() at start, then a new server over the
+    /// same database (WAL replay is the recovery path). Sessions are lost;
+    /// clients re-login automatically when replaying queued ratings.
+    util::Duration crash_start = 12 * util::kDay;
+    util::Duration crash_end = 12 * util::kDay + 6 * util::kHour;
+    /// Degraded-network window: extra loss, duplication and corruption.
+    util::Duration degrade_start = 20 * util::kDay;
+    util::Duration degrade_end = 22 * util::kDay;
+    double degrade_loss = 0.10;
+    double degrade_duplication = 0.02;
+    double degrade_corruption = 0.05;
+  };
+  ChaosConfig chaos;
+
   /// §2.1 bootstrapping: pre-seed the most popular fraction of the corpus
   /// with reliable external scores before the run.
   bool bootstrap = false;
@@ -135,6 +164,7 @@ class ScenarioRunner {
   // internals afterwards (attack drivers, score dumps, ...).
   net::EventLoop& loop() { return loop_; }
   net::SimNetwork& network() { return *network_; }
+  net::FaultInjector& faults() { return injector_; }
   server::ReputationServer& server() { return *server_; }
   SoftwareEcosystem& ecosystem() { return eco_; }
   SignatureBaseline& baseline() { return baseline_; }
@@ -145,10 +175,24 @@ class ScenarioRunner {
   /// registered by the caller).
   const SoftwareSpec* FindSpec(const core::SoftwareId& id) const;
 
+  /// Simulated server crash: the RPC endpoint vanishes, the periodic
+  /// aggregation stops, every session dies. Exposed so benches can script
+  /// their own fault timelines beyond ChaosConfig's.
+  void CrashServer();
+  /// Brings a fresh server process up over the same database (recovering
+  /// durable state from its WAL when one is configured).
+  void RestartServer();
+
  private:
   void SetUpHosts();
   void WireClient(SimHost* host, int index);
   void SetUpAccounts();
+  /// Register → activate → login over RPC; steps that fail while a fault
+  /// window is open retry hourly instead of aborting the run.
+  void OnboardClient(client::ClientApp* app);
+  void ActivateClient(client::ClientApp* app, const std::string& token);
+  void LoginClient(client::ClientApp* app);
+  void ScheduleChaos(util::TimePoint start);
   void ApplyCommunityHistory();
   void ApplyBootstrap();
   void ScheduleExecutions();
@@ -157,6 +201,8 @@ class ScenarioRunner {
   ScenarioConfig config_;
   util::Rng rng_;
   net::EventLoop loop_;
+  /// Declared before network_ so it outlives the network that consults it.
+  net::FaultInjector injector_;
   std::unique_ptr<net::SimNetwork> network_;
   std::unique_ptr<storage::Database> db_;
   std::unique_ptr<server::ReputationServer> server_;

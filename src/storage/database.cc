@@ -1,6 +1,7 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "storage/codec.h"
 #include "util/logging.h"
@@ -15,70 +16,114 @@ using util::Status;
 Database::Database(std::string wal_path) : wal_path_(std::move(wal_path)) {}
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& wal_path) {
+  return Open(wal_path, OpenOptions{});
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& wal_path,
+                                                 const OpenOptions& options) {
   std::unique_ptr<Database> db(new Database(wal_path));
   if (!wal_path.empty()) {
-    PISREP_RETURN_IF_ERROR(db->Replay());
+    PISREP_RETURN_IF_ERROR(db->Replay(options));
     PISREP_RETURN_IF_ERROR(db->wal_.Open(wal_path));
   }
   return db;
 }
 
-Status Database::Replay() {
+Status Database::Replay(const OpenOptions& options) {
   WalReader reader;
   PISREP_RETURN_IF_ERROR(reader.Open(wal_path_));
   for (;;) {
+    std::size_t frame_start = reader.offset();
     auto frame = reader.Next();
     if (!frame.ok()) {
-      if (frame.status().code() == util::StatusCode::kNotFound) break;
-      return frame.status();
+      if (frame.status().code() == util::StatusCode::kNotFound) {
+        if (frame_start < reader.offset()) {
+          // Torn final frame (crash mid-append). The partial bytes were
+          // never committed — chop them off so subsequent appends extend
+          // intact data instead of burying garbage mid-log.
+          std::error_code ec;
+          std::filesystem::resize_file(wal_path_, frame_start, ec);
+          if (ec) {
+            return Status::DataLoss("cannot trim torn WAL tail of " +
+                                    wal_path_ + ": " + ec.message());
+          }
+        }
+        break;
+      }
+      if (!options.salvage_corruption) return frame.status();
+      return SalvageTail(frame_start, frame.status());
     }
-    Decoder dec(*frame);
-    PISREP_ASSIGN_OR_RETURN(std::uint8_t op_byte, dec.GetByte());
-    WalOp op = static_cast<WalOp>(op_byte);
-    switch (op) {
-      case WalOp::kCreateTable: {
-        PISREP_ASSIGN_OR_RETURN(TableSchema schema, DecodeSchema(dec));
-        std::string name = schema.table_name();
-        if (tables_.contains(name)) {
-          return Status::DataLoss("duplicate create-table in WAL: " + name);
-        }
-        auto table = std::make_unique<Table>(std::move(schema));
-        AttachListener(name, table.get());
-        tables_.emplace(name, std::move(table));
-        break;
-      }
-      case WalOp::kInsert:
-      case WalOp::kUpsert: {
-        PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
-        auto it = tables_.find(name);
-        if (it == tables_.end()) {
-          return Status::DataLoss("WAL references unknown table: " + name);
-        }
-        PISREP_ASSIGN_OR_RETURN(Row row, DecodeRow(it->second->schema(), dec));
-        if (op == WalOp::kInsert) {
-          PISREP_RETURN_IF_ERROR(it->second->InsertUnlogged(std::move(row)));
-        } else {
-          PISREP_RETURN_IF_ERROR(it->second->UpsertUnlogged(std::move(row)));
-        }
-        break;
-      }
-      case WalOp::kDelete: {
-        PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
-        auto it = tables_.find(name);
-        if (it == tables_.end()) {
-          return Status::DataLoss("WAL references unknown table: " + name);
-        }
-        const TableSchema& schema = it->second->schema();
-        ColumnType key_type =
-            schema.columns()[schema.primary_key_index()].type;
-        PISREP_ASSIGN_OR_RETURN(Value key, DecodeValue(key_type, dec));
-        PISREP_RETURN_IF_ERROR(it->second->DeleteUnlogged(key));
-        break;
-      }
-      default:
-        return Status::DataLoss("unknown WAL op");
+    Status applied = ApplyFrame(*frame);
+    if (!applied.ok()) {
+      if (!options.salvage_corruption) return applied;
+      return SalvageTail(frame_start, applied);
     }
   }
+  return Status::Ok();
+}
+
+Status Database::ApplyFrame(const std::string& frame) {
+  Decoder dec(frame);
+  PISREP_ASSIGN_OR_RETURN(std::uint8_t op_byte, dec.GetByte());
+  WalOp op = static_cast<WalOp>(op_byte);
+  switch (op) {
+    case WalOp::kCreateTable: {
+      PISREP_ASSIGN_OR_RETURN(TableSchema schema, DecodeSchema(dec));
+      std::string name = schema.table_name();
+      if (tables_.contains(name)) {
+        return Status::DataLoss("duplicate create-table in WAL: " + name);
+      }
+      auto table = std::make_unique<Table>(std::move(schema));
+      AttachListener(name, table.get());
+      tables_.emplace(name, std::move(table));
+      break;
+    }
+    case WalOp::kInsert:
+    case WalOp::kUpsert: {
+      PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::DataLoss("WAL references unknown table: " + name);
+      }
+      PISREP_ASSIGN_OR_RETURN(Row row, DecodeRow(it->second->schema(), dec));
+      if (op == WalOp::kInsert) {
+        PISREP_RETURN_IF_ERROR(it->second->InsertUnlogged(std::move(row)));
+      } else {
+        PISREP_RETURN_IF_ERROR(it->second->UpsertUnlogged(std::move(row)));
+      }
+      break;
+    }
+    case WalOp::kDelete: {
+      PISREP_ASSIGN_OR_RETURN(std::string name, dec.GetLengthPrefixed());
+      auto it = tables_.find(name);
+      if (it == tables_.end()) {
+        return Status::DataLoss("WAL references unknown table: " + name);
+      }
+      const TableSchema& schema = it->second->schema();
+      ColumnType key_type =
+          schema.columns()[schema.primary_key_index()].type;
+      PISREP_ASSIGN_OR_RETURN(Value key, DecodeValue(key_type, dec));
+      PISREP_RETURN_IF_ERROR(it->second->DeleteUnlogged(key));
+      break;
+    }
+    default:
+      return Status::DataLoss("unknown WAL op");
+  }
+  return Status::Ok();
+}
+
+Status Database::SalvageTail(std::size_t prefix_len,
+                             const util::Status& cause) {
+  recovered_with_loss_ = true;
+  std::error_code ec;
+  std::filesystem::resize_file(wal_path_, prefix_len, ec);
+  if (ec) {
+    return Status::DataLoss("cannot truncate corrupted WAL " + wal_path_ +
+                            ": " + ec.message());
+  }
+  PISREP_LOG(kWarning) << "WAL " << wal_path_
+                       << " corrupted: " << cause.ToString() << "; salvaged "
+                       << prefix_len << "-byte prefix";
   return Status::Ok();
 }
 

@@ -22,10 +22,22 @@ namespace pisrep::storage {
 /// (used by most simulations for speed).
 class Database {
  public:
+  struct OpenOptions {
+    /// When true, a corrupted WAL does not fail Open: replay stops at the
+    /// first bad frame, the file is truncated to the intact prefix (so
+    /// subsequent appends extend good data, not garbage), and
+    /// recovered_with_loss() reports the amputation. Every frame before
+    /// the corruption is applied — a crash-damaged server restarts with
+    /// everything it had durably logged up to that point.
+    bool salvage_corruption = false;
+  };
+
   /// Opens a database. `wal_path` empty → in-memory only. When the file
   /// exists, its log is replayed before the call returns.
   static util::Result<std::unique_ptr<Database>> Open(
       const std::string& wal_path);
+  static util::Result<std::unique_ptr<Database>> Open(
+      const std::string& wal_path, const OpenOptions& options);
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -58,10 +70,17 @@ class Database {
   /// Total rows across all tables (for stats and tests).
   std::size_t TotalRows() const;
 
+  /// True when salvage mode dropped a corrupted WAL tail during Open.
+  bool recovered_with_loss() const { return recovered_with_loss_; }
+
  private:
   explicit Database(std::string wal_path);
 
-  util::Status Replay();
+  util::Status Replay(const OpenOptions& options);
+  /// Applies one decoded WAL frame to the in-memory tables.
+  util::Status ApplyFrame(const std::string& frame);
+  /// Truncates the WAL to `prefix_len` bytes after hitting `cause`.
+  util::Status SalvageTail(std::size_t prefix_len, const util::Status& cause);
   util::Status LogCreateTable(const TableSchema& schema);
   void LogMutation(const std::string& table_name, MutationOp op,
                    const Row& row, const Value& key);
@@ -77,6 +96,7 @@ class Database {
   std::size_t frames_since_compact_ = 0;
   std::size_t compactions_ = 0;
   bool compacting_ = false;
+  bool recovered_with_loss_ = false;
 };
 
 }  // namespace pisrep::storage

@@ -90,7 +90,11 @@ Result<std::string> WalReader::Next() {
 
   Decoder dec(std::string_view(data_).substr(pos_));
   auto len_result = dec.GetVarint();
-  if (!len_result.ok()) return Status::NotFound("end of log (torn length)");
+  if (!len_result.ok()) {
+    // Torn mid-varint: ignore, treat as end of log.
+    pos_ = data_.size();
+    return Status::NotFound("end of log (torn length)");
+  }
   std::uint64_t len = *len_result;
   std::size_t header = dec.position();
   if (pos_ + header + len + 4 > data_.size()) {

@@ -60,8 +60,13 @@ class WalReader {
 
   /// Reads the next frame. Returns kNotFound at clean end-of-log, including
   /// when the final frame is truncated (torn write). Checksum mismatches on
-  /// complete frames return kDataLoss.
+  /// complete frames return kDataLoss *without* advancing the read
+  /// position, so offset() then marks the end of the intact prefix.
   util::Result<std::string> Next();
+
+  /// Byte offset of the next unread frame — after a kDataLoss, the length
+  /// of the salvageable prefix.
+  std::size_t offset() const { return pos_; }
 
  private:
   std::string data_;

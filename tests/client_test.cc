@@ -159,6 +159,78 @@ TEST(ServerCacheTest, InvalidateRemovesEntry) {
   EXPECT_FALSE(cache.Get(id, 0).has_value());
 }
 
+TEST(ServerCacheTest, StaleEntriesServeUntilStaleTtl) {
+  ServerCache cache(kHour, /*stale_ttl=*/4 * kHour);
+  core::SoftwareId id = util::Sha1::Hash("stale");
+  server::SoftwareInfo info;
+  info.known = true;
+  cache.Put(id, info, 0);
+  // Expired for the fresh path, still within the stale horizon.
+  EXPECT_FALSE(cache.Get(id, 2 * kHour).has_value());
+  auto stale = cache.GetStale(id, 2 * kHour);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_TRUE(stale->known);
+  EXPECT_EQ(cache.stale_hits(), 1u);
+  // Beyond stale_ttl nothing is served.
+  EXPECT_FALSE(cache.GetStale(id, 5 * kHour).has_value());
+}
+
+TEST(ServerCacheTest, LruCapEvictsLeastRecentlyUsed) {
+  ServerCache cache(kHour, kHour, /*max_entries=*/3);
+  core::SoftwareId a = util::Sha1::Hash("a");
+  core::SoftwareId b = util::Sha1::Hash("b");
+  core::SoftwareId c = util::Sha1::Hash("c");
+  core::SoftwareId d = util::Sha1::Hash("d");
+  cache.Put(a, server::SoftwareInfo{}, 0);
+  cache.Put(b, server::SoftwareInfo{}, 0);
+  cache.Put(c, server::SoftwareInfo{}, 0);
+  // Touch `a` so `b` becomes the least recently used, then overflow.
+  EXPECT_TRUE(cache.Get(a, 0).has_value());
+  cache.Put(d, server::SoftwareInfo{}, 0);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Get(b, 0).has_value());  // the victim
+  EXPECT_TRUE(cache.Get(a, 0).has_value());
+  EXPECT_TRUE(cache.Get(c, 0).has_value());
+  EXPECT_TRUE(cache.Get(d, 0).has_value());
+}
+
+// --- OfflineQueue -----------------------------------------------------------------
+
+QueuedRating MakeQueued(int score) {
+  QueuedRating rating;
+  rating.meta.file_name = "q.exe";
+  rating.score = score;
+  return rating;
+}
+
+TEST(OfflineQueueTest, FifoWithCapEvictsOldest) {
+  OfflineQueue::Config config;
+  config.max_entries = 3;
+  OfflineQueue queue(config);
+  for (int i = 1; i <= 4; ++i) queue.Push(MakeQueued(i));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.queued(), 4u);
+  EXPECT_EQ(queue.dropped(), 1u);
+  EXPECT_EQ(queue.Front().score, 2);  // the oldest entry was evicted
+  queue.PopFront();
+  EXPECT_EQ(queue.Front().score, 3);
+}
+
+TEST(OfflineQueueTest, BackoffDoublesToCapAndResets) {
+  OfflineQueue::Config config;
+  config.initial_backoff = 5 * kSecond;
+  config.max_backoff = 30 * kSecond;
+  OfflineQueue queue(config);
+  EXPECT_EQ(queue.NextBackoff(), 5 * kSecond);
+  EXPECT_EQ(queue.NextBackoff(), 10 * kSecond);
+  EXPECT_EQ(queue.NextBackoff(), 20 * kSecond);
+  EXPECT_EQ(queue.NextBackoff(), 30 * kSecond);  // capped
+  EXPECT_EQ(queue.NextBackoff(), 30 * kSecond);
+  queue.ResetBackoff();
+  EXPECT_EQ(queue.NextBackoff(), 5 * kSecond);
+}
+
 // --- End-to-end client pipeline over RPC ---------------------------------------------
 
 class ClientPipelineTest : public ::testing::Test {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "net/event_loop.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "xml/xml_node.h"
@@ -372,6 +373,39 @@ TEST(RpcLifetimeTest, DestroyedServerDropsRequestsCleanly) {
       /*timeout=*/1 * kSecond);
   loop.RunAll();
   EXPECT_EQ(seen.code(), util::StatusCode::kUnavailable);
+}
+
+TEST(RpcDuplicationTest, DuplicatedDeliveriesFireCallbackExactlyOnce) {
+  EventLoop loop;
+  SimNetwork network(&loop, [] {
+    NetworkConfig config;
+    config.base_latency = 5 * kMillisecond;
+    config.jitter = 0;
+    return config;
+  }());
+  FaultInjector injector(&loop, 7);
+  network.AttachFaultInjector(&injector);
+  injector.SetDuplication(1.0);  // every message delivered twice
+
+  RpcServer server(&network, "server");
+  ASSERT_TRUE(server.Start().ok());
+  server.RegisterMethod("Echo", [](const XmlNode&) -> util::Result<XmlNode> {
+    return XmlNode("result");
+  });
+  RpcClient client(&network, &loop, "client", "server");
+  ASSERT_TRUE(client.Start().ok());
+
+  int fired = 0;
+  client.Call("Echo", XmlNode("request"), [&](util::Result<XmlNode> response) {
+    ++fired;
+    EXPECT_TRUE(response.ok());
+  });
+  loop.RunAll();
+  // The request arrived twice (the server handled both), and each response
+  // was duplicated again — yet the pending call resolves exactly once; the
+  // surplus responses land on a retired id and are ignored.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(server.requests_handled(), 2u);
 }
 
 TEST(StatusCodeNameTest, RoundTripsThroughWireNames) {

@@ -597,5 +597,133 @@ TEST(DatabaseTest, WritesAfterCompactionSurviveRecovery) {
   std::remove(path.c_str());
 }
 
+// --- Crash/corruption recovery ------------------------------------------
+
+long FileSize(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return -1;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+TEST(DatabaseRecoveryTest, TornTailIsExcisedSoLaterAppendsStayFramed) {
+  std::string path = TempPath("torn_tail");
+  std::remove(path.c_str());
+  {
+    auto db = Database::Open(path).value();
+    ASSERT_TRUE(db->CreateTable(UserSchema()).ok());
+    Table* table = db->GetTable("users").value();
+    ASSERT_TRUE(table->Insert(UserRow(1, "a", 1, true)).ok());
+    ASSERT_TRUE(table->Insert(UserRow(2, "b", 2, true)).ok());
+  }
+  // Crash mid-append: a frame header claiming 64 payload bytes, with only a
+  // few actually written.
+  FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputc(0x40, f);  // varint length 64
+  std::fputs("short", f);
+  std::fclose(f);
+  long torn_size = FileSize(path);
+
+  {
+    // Replay ignores the torn tail AND truncates it away, so the append
+    // below starts at a frame boundary instead of extending garbage.
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_FALSE((*db)->recovered_with_loss());  // a torn tail is not loss
+    EXPECT_LT(FileSize(path), torn_size);
+    Table* table = (*db)->GetTable("users").value();
+    EXPECT_EQ(table->size(), 2u);
+    ASSERT_TRUE(table->Insert(UserRow(3, "c", 3, true)).ok());
+  }
+  {
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    Table* table = (*db)->GetTable("users").value();
+    EXPECT_EQ(table->size(), 3u);
+    EXPECT_TRUE(table->Get(Value::Int(3)).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseRecoveryTest, InteriorCorruptionFailsClosedByDefault) {
+  std::string path = TempPath("interior_default");
+  std::remove(path.c_str());
+  long prefix_size = 0;
+  {
+    auto db = Database::Open(path).value();
+    ASSERT_TRUE(db->CreateTable(UserSchema()).ok());
+    Table* table = db->GetTable("users").value();
+    ASSERT_TRUE(table->Insert(UserRow(1, "keep", 1, true)).ok());
+    prefix_size = FileSize(path);
+    for (int i = 2; i <= 5; ++i) {
+      ASSERT_TRUE(table->Insert(UserRow(i, "lost", i, true)).ok());
+    }
+  }
+  // Flip a byte inside the payload of row 2's frame (past its 1-byte
+  // length varint), breaking that frame's checksum.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, prefix_size + 5, SEEK_SET);
+  int original = std::fgetc(f);
+  std::fseek(f, prefix_size + 5, SEEK_SET);
+  std::fputc(original ^ 0x1, f);
+  std::fclose(f);
+
+  auto db = Database::Open(path);
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), util::StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseRecoveryTest, SalvageKeepsIntactPrefixAndTruncatesTheRest) {
+  std::string path = TempPath("interior_salvage");
+  std::remove(path.c_str());
+  long prefix_size = 0;
+  {
+    auto db = Database::Open(path).value();
+    ASSERT_TRUE(db->CreateTable(UserSchema()).ok());
+    Table* table = db->GetTable("users").value();
+    ASSERT_TRUE(table->Insert(UserRow(1, "keep", 1, true)).ok());
+    prefix_size = FileSize(path);
+    for (int i = 2; i <= 5; ++i) {
+      ASSERT_TRUE(table->Insert(UserRow(i, "lost", i, true)).ok());
+    }
+  }
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, prefix_size + 5, SEEK_SET);
+  int original = std::fgetc(f);
+  std::fseek(f, prefix_size + 5, SEEK_SET);
+  std::fputc(original ^ 0x1, f);
+  std::fclose(f);
+
+  Database::OpenOptions salvage;
+  salvage.salvage_corruption = true;
+  {
+    auto db = Database::Open(path, salvage);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_TRUE((*db)->recovered_with_loss());
+    EXPECT_EQ(FileSize(path), prefix_size);  // amputated at the bad frame
+    Table* table = (*db)->GetTable("users").value();
+    EXPECT_EQ(table->size(), 1u);
+    EXPECT_EQ((*table->Get(Value::Int(1)))[1].AsStr(), "keep");
+    // The log accepts new writes after the amputation.
+    ASSERT_TRUE(table->Insert(UserRow(6, "after", 6, true)).ok());
+  }
+  {
+    // The salvaged log is clean again: default open succeeds.
+    auto db = Database::Open(path);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_FALSE((*db)->recovered_with_loss());
+    Table* table = (*db)->GetTable("users").value();
+    EXPECT_EQ(table->size(), 2u);
+    EXPECT_TRUE(table->Get(Value::Int(6)).ok());
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pisrep::storage
