@@ -59,9 +59,11 @@ int main_impl() {
       for (int c = 0; c < kCommentsPerDay; ++c) {
         std::string name = "user" + std::to_string(user_counter++);
         std::string email = name + "@x.com";
-        server.Register("s", name, "password", email, "", "", now);
+        bench::MustOk(server.Register("s", name, "password", email, "", "",
+                                      now),
+                      "Register");
         auto mail = server.FetchMail(email);
-        server.Activate(name, mail->token);
+        bench::MustOk(server.Activate(name, mail->token), "Activate");
         std::string session = *server.Login(name, "password", now);
         core::SoftwareMeta meta;
         meta.id = util::Sha1::Hash("program-" +
@@ -70,10 +72,10 @@ int main_impl() {
         meta.file_size = 1000;
         meta.company = "Vendor";
         meta.version = "1.0";
-        server.SubmitRating(session, meta,
-                            static_cast<int>(rng.NextInt(1, 10)),
-                            "a comment needing review", core::kNoBehaviors,
-                            now);
+        bench::MustOk(server.SubmitRating(
+                          session, meta, static_cast<int>(rng.NextInt(1, 10)),
+                          "a comment needing review", core::kNoBehaviors, now),
+                      "SubmitRating");
       }
       for (int r = 0; r < reviews_per_day; ++r) {
         auto pending = server.moderation().Peek();

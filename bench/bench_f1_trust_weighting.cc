@@ -43,14 +43,16 @@ int main_impl() {
 
   auto make_user = [&](const std::string& name, bool expert) {
     std::string email = name + "@bench.example";
-    server.Register("src", name, "password", email, "", "", 0);
+    bench::MustOk(server.Register("src", name, "password", email, "", "", 0),
+                  "Register");
     auto mail = server.FetchMail(email);
-    server.Activate(name, mail->token);
+    bench::MustOk(server.Activate(name, mail->token), "Activate");
     std::string session = *server.Login(name, "password", now);
     if (expert) {
       core::UserId id = server.accounts().GetAccountByUsername(name)->id;
       for (int i = 0; i < 250; ++i) {
-        server.accounts().ApplyRemark(id, true, now);
+        bench::MustOk(server.accounts().ApplyRemark(id, true, now),
+                      "ApplyRemark");
       }
     }
     return session;
@@ -67,8 +69,10 @@ int main_impl() {
   // Five enthusiastic novices first.
   for (int i = 0; i < 5; ++i) {
     std::string session = make_user("novice" + std::to_string(i), false);
-    server.SubmitRating(session, bundle, 9, "great free program!",
-                        core::kNoBehaviors, now);
+    bench::MustOk(server.SubmitRating(session, bundle, 9,
+                                      "great free program!",
+                                      core::kNoBehaviors, now),
+                  "SubmitRating");
   }
 
   std::printf("true quality of the bundled-PIS installer: %.1f/10\n",
@@ -98,11 +102,12 @@ int main_impl() {
   print_row(0);
   for (int i = 0; i < 3; ++i) {
     std::string session = make_user("expert" + std::to_string(i), true);
-    server.SubmitRating(session, bundle, 2,
-                        "helpful: bundles three adware programs",
-                        static_cast<core::BehaviorSet>(
-                            core::Behavior::kBundlesSoftware),
-                        now);
+    bench::MustOk(server.SubmitRating(session, bundle, 2,
+                                      "helpful: bundles three adware programs",
+                                      static_cast<core::BehaviorSet>(
+                                          core::Behavior::kBundlesSoftware),
+                                      now),
+                  "SubmitRating");
     print_row(i + 1);
   }
 

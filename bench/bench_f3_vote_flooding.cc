@@ -66,17 +66,22 @@ Fixture MakeFixture(const Defense& defense) {
     std::string email = name + "@example.com";
     server::Puzzle puzzle = fx.server->RequestPuzzle();
     std::string solution = server::FloodGuard::SolvePuzzle(puzzle);
-    fx.server->Register("home-" + name, name, "password", email,
-                        puzzle.nonce, solution, 0);
+    bench::MustOk(fx.server->Register("home-" + name, name, "password", email,
+                                      puzzle.nonce, solution, 0),
+                  "Register");
     auto mail = fx.server->FetchMail(email);
-    fx.server->Activate(name, mail->token);
+    bench::MustOk(fx.server->Activate(name, mail->token), "Activate");
     util::TimePoint now = 6 * util::kWeek;
     std::string session = *fx.server->Login(name, "password", now);
     core::UserId id = fx.server->accounts().GetAccountByUsername(name)->id;
-    for (int r = 0; r < 60; ++r) fx.server->accounts().ApplyRemark(id, true, now);
-    fx.server->SubmitRating(session, fx.target, 2 + (i % 2),
-                            "helpful: constant popups", core::kNoBehaviors,
-                            now);
+    for (int r = 0; r < 60; ++r) {
+      bench::MustOk(fx.server->accounts().ApplyRemark(id, true, now),
+                    "ApplyRemark");
+    }
+    bench::MustOk(fx.server->SubmitRating(session, fx.target, 2 + (i % 2),
+                                          "helpful: constant popups",
+                                          core::kNoBehaviors, now),
+                  "SubmitRating");
   }
   fx.server->aggregation().RunOnce(6 * util::kWeek);
   fx.honest_score = fx.server->registry().GetScore(fx.target.id)->score;

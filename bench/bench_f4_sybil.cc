@@ -61,15 +61,23 @@ int main_impl() {
       std::string name = "honest" + std::to_string(i);
       std::string email = name + "@example.com";
       server::Puzzle puzzle = server.RequestPuzzle();
-      server.Register("home-" + name, name, "password", email, puzzle.nonce,
-                      server::FloodGuard::SolvePuzzle(puzzle), 0);
+      bench::MustOk(server.Register("home-" + name, name, "password", email,
+                                    puzzle.nonce,
+                                    server::FloodGuard::SolvePuzzle(puzzle),
+                                    0),
+                    "Register");
       auto mail = server.FetchMail(email);
-      server.Activate(name, mail->token);
+      bench::MustOk(server.Activate(name, mail->token), "Activate");
       std::string session = *server.Login(name, "password", now);
       core::UserId id = server.accounts().GetAccountByUsername(name)->id;
-      for (int r = 0; r < 60; ++r) server.accounts().ApplyRemark(id, true, now);
-      server.SubmitRating(session, target, 2, "helpful: tracks browsing",
-                          core::kNoBehaviors, now);
+      for (int r = 0; r < 60; ++r) {
+        bench::MustOk(server.accounts().ApplyRemark(id, true, now),
+                      "ApplyRemark");
+      }
+      bench::MustOk(server.SubmitRating(session, target, 2,
+                                        "helpful: tracks browsing",
+                                        core::kNoBehaviors, now),
+                    "SubmitRating");
     }
     server.aggregation().RunOnce(now);
     double before = server.registry().GetScore(target.id)->score;

@@ -54,16 +54,19 @@ int main_impl() {
   for (int i = 0; i < 15; ++i) {
     std::string name = "rater" + std::to_string(i);
     std::string email = name + "@example.com";
-    server.Register("src", name, "password", email, "", "", 0);
+    bench::MustOk(server.Register("src", name, "password", email, "", "", 0),
+                  "Register");
     auto mail = server.FetchMail(email);
-    server.Activate(name, mail->token);
+    bench::MustOk(server.Activate(name, mail->token), "Activate");
     std::string session = *server.Login(name, "password", 0);
     if (i == 0) first_session = session;
-    server.SubmitRating(session, base.image.Meta(), 2,
-                        "helpful: hijacks the browser start page",
-                        static_cast<core::BehaviorSet>(
-                            core::Behavior::kChangesSettings),
-                        0);
+    bench::MustOk(
+        server.SubmitRating(session, base.image.Meta(), 2,
+                            "helpful: hijacks the browser start page",
+                            static_cast<core::BehaviorSet>(
+                                core::Behavior::kChangesSettings),
+                            0),
+        "SubmitRating");
   }
   server.aggregation().RunOnce(util::kDay);
   double vendor_score =

@@ -2,9 +2,27 @@
 #define PISREP_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "util/status.h"
+
 namespace pisrep::bench {
+
+/// Aborts the bench when a setup call fails: benchmark numbers measured on
+/// top of half-built state are worse than no numbers.
+inline void MustOk(const util::Status& status, const char* what) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "bench setup: %s failed: %s\n", what,
+               status.ToString().c_str());
+  std::abort();
+}
+
+/// Result<T> overload: the value is not needed, only that the call worked.
+template <typename T>
+inline void MustOk(const util::Result<T>& result, const char* what) {
+  MustOk(result.status(), what);
+}
 
 /// Prints a section banner for a reproduced table/figure.
 inline void Banner(const std::string& experiment,

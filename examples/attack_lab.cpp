@@ -14,6 +14,7 @@
 #include "sim/attacks.h"
 #include "storage/database.h"
 #include "util/sha1.h"
+#include "util/logging.h"
 
 using namespace pisrep;
 
@@ -45,18 +46,26 @@ void SeedHonestCommunity(server::ReputationServer& server) {
     std::string name = "citizen" + std::to_string(i);
     std::string email = name + "@example.com";
     server::Puzzle puzzle = server.RequestPuzzle();
-    server.Register("home-" + name, name, "password", email, puzzle.nonce,
-                    server::FloodGuard::SolvePuzzle(puzzle), 0);
+    PISREP_CHECK(server
+                     .Register("home-" + name, name, "password", email,
+                               puzzle.nonce,
+                               server::FloodGuard::SolvePuzzle(puzzle), 0)
+                     .ok());
     auto mail = server.FetchMail(email);
-    server.Activate(name, mail->token);
+    PISREP_CHECK(server.Activate(name, mail->token).ok());
     std::string session = *server.Login(name, "password", now);
     core::UserId id = server.accounts().GetAccountByUsername(name)->id;
-    for (int r = 0; r < 40; ++r) server.accounts().ApplyRemark(id, true, now);
-    server.SubmitRating(session, Target(), 2,
-                        "helpful: resets the search engine constantly",
-                        static_cast<core::BehaviorSet>(
-                            core::Behavior::kChangesSettings),
-                        now);
+    for (int r = 0; r < 40; ++r) {
+      PISREP_CHECK(server.accounts().ApplyRemark(id, true, now).ok());
+    }
+    PISREP_CHECK(server
+                     .SubmitRating(session, Target(), 2,
+                                   "helpful: resets the search engine "
+                                   "constantly",
+                                   static_cast<core::BehaviorSet>(
+                                       core::Behavior::kChangesSettings),
+                                   now)
+                     .ok());
   }
   server.aggregation().RunOnce(now);
 }

@@ -17,6 +17,7 @@
 #include "net/network.h"
 #include "server/reputation_server.h"
 #include "storage/database.h"
+#include "util/logging.h"
 
 using namespace pisrep;  // example code; library code never does this
 
@@ -29,7 +30,7 @@ int main() {
   server::ReputationServer::Config server_config;
   server_config.flood.registration_puzzle_bits = 8;  // small but real
   server::ReputationServer server(db.get(), &loop, server_config);
-  server.AttachRpc(&network, "reputation-server");
+  PISREP_CHECK(server.AttachRpc(&network, "reputation-server").ok());
 
   // --- 2. Two clients. ---------------------------------------------------
   auto make_client = [&](const std::string& name) {
@@ -43,8 +44,8 @@ int main() {
   };
   auto alice = make_client("alice");
   auto bob = make_client("bob");
-  alice->Start();
-  bob->Start();
+  PISREP_CHECK(alice->Start().ok());
+  PISREP_CHECK(bob->Start().ok());
 
   // Register -> activation e-mail -> activate -> login, over the XML RPC.
   auto onboard = [&](client::ClientApp& app) {

@@ -15,6 +15,7 @@
 #include "sim/runtime_analyzer.h"
 #include "sim/software_ecosystem.h"
 #include "storage/database.h"
+#include "util/logging.h"
 
 using namespace pisrep;
 
@@ -29,7 +30,7 @@ int main() {
   server_config.flood.max_registrations_per_source_per_day = 0;
   server_config.pseudonymous_votes = true;  // §5: pseudonym protection
   server::ReputationServer server(db.get(), &loop, server_config);
-  server.AttachRpc(&network, "server");
+  PISREP_CHECK(server.AttachRpc(&network, "server").ok());
 
   // --- 1. The lab analyzes a small batch of fresh samples. ---------------
   sim::EcosystemConfig eco_config;
@@ -43,7 +44,7 @@ int main() {
   analyzer_config.feed_name = "security-lab";
   sim::RuntimeAnalyzer analyzer(analyzer_config, &server.registry(),
                                 &server.feeds());
-  analyzer.SetUpFeed(/*publisher=*/1);
+  PISREP_CHECK(analyzer.SetUpFeed(/*publisher=*/1).ok());
 
   std::printf("runtime analysis of %zu fresh samples:\n", eco.size());
   for (const sim::SoftwareSpec& spec : eco.specs()) {
@@ -82,7 +83,7 @@ int main() {
   }
   config.policy = policy;
   client::ClientApp app(&network, &loop, config);
-  app.Start();
+  PISREP_CHECK(app.Start().ok());
   app.Register([&](util::Status status) {
     if (!status.ok()) return;
     auto mail = server.FetchMail("e@corp.example");

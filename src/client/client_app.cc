@@ -2,7 +2,6 @@
 
 #include <utility>
 
-#include "server/flood_guard.h"
 #include "util/hex.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -115,7 +114,7 @@ void ClientApp::Register(StatusCallback done) {
           return;
         }
         const XmlNode* puzzle_node = response->FindChild("puzzle");
-        server::Puzzle puzzle;
+        proto::Puzzle puzzle;
         if (puzzle_node != nullptr) {
           puzzle.nonce = puzzle_node->AttributeOr("nonce", "");
           auto bits = util::ParseInt64(puzzle_node->AttributeOr("bits", "0"));
@@ -123,7 +122,7 @@ void ClientApp::Register(StatusCallback done) {
         }
         // The honest client burns CPU here; simulations use modest
         // difficulties so this stays cheap per registration.
-        std::string solution = server::FloodGuard::SolvePuzzle(puzzle);
+        std::string solution = proto::SolvePuzzle(puzzle);
 
         XmlNode request("request");
         request.AddTextChild("source", config_.address);
@@ -332,7 +331,7 @@ void ClientApp::FetchFeedEntry(const core::SoftwareId& id, PromptInfo info,
        done = std::move(done)](Result<XmlNode> response) mutable {
         if (response.ok()) {
           if (const XmlNode* entry_node = response->FindChild("entry")) {
-            server::FeedEntry entry;
+            proto::FeedEntry entry;
             entry.feed = entry_node->AttributeOr("feed", "");
             auto score =
                 util::ParseDouble(entry_node->AttributeOr("score", "0"));
@@ -355,7 +354,7 @@ void ClientApp::FetchFeedEntry(const core::SoftwareId& id, PromptInfo info,
 
 void ClientApp::FinishQuery(const core::SoftwareId& id, PromptInfo info,
                             std::function<void(PromptInfo)> done) {
-  server::SoftwareInfo cache_entry;
+  proto::SoftwareInfo cache_entry;
   cache_entry.meta = info.meta;
   cache_entry.known = info.known;
   cache_entry.score = info.score;
@@ -421,12 +420,22 @@ void ClientApp::DecideWithInfo(const FileImage& image, PromptInfo info,
              done = std::move(done)](UserDecision decision) mutable {
         if (decision.allow) {
           ++stats_.user_allowed;
-          if (decision.remember) lists_.AddToWhitelist(id);
+          if (decision.remember) {
+            util::Status s = lists_.AddToWhitelist(id);
+            if (!s.ok()) {
+              PISREP_LOG(kWarning) << "whitelist persist failed: " << s;
+            }
+          }
           done(ExecDecision::kAllow);
           PostAllow(image, info);
         } else {
           ++stats_.user_denied;
-          if (decision.remember) lists_.AddToBlacklist(id);
+          if (decision.remember) {
+            util::Status s = lists_.AddToBlacklist(id);
+            if (!s.ok()) {
+              PISREP_LOG(kWarning) << "blacklist persist failed: " << s;
+            }
+          }
           done(ExecDecision::kDeny);
         }
       });

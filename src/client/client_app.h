@@ -19,7 +19,7 @@
 #include "core/prompt_policy.h"
 #include "crypto/trust_store.h"
 #include "net/rpc.h"
-#include "server/reputation_server.h"
+#include "proto/wire.h"
 
 namespace pisrep::client {
 
@@ -36,7 +36,7 @@ struct PromptInfo {
   core::BehaviorSet reported_behaviors = core::kNoBehaviors;
   std::vector<core::RatingRecord> comments;
   /// Assessment from the subscribed expert feed (§4.2), when one exists.
-  std::optional<server::FeedEntry> feed_entry;
+  std::optional<proto::FeedEntry> feed_entry;
   /// §3.1 run statistics: community-wide execution count.
   std::int64_t run_count = 0;
 };
@@ -241,7 +241,7 @@ class ClientApp {
   RatingHandler rating_handler_;
   std::string session_;
   /// Subscribed-feed lookups, including negative results (nullopt).
-  std::unordered_map<core::SoftwareId, std::optional<server::FeedEntry>,
+  std::unordered_map<core::SoftwareId, std::optional<proto::FeedEntry>,
                      core::SoftwareIdHash>
       feed_cache_;
   /// §3.1 run statistics pending upload, per program.

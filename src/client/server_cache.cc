@@ -15,7 +15,7 @@ void ServerCache::Touch(Map::iterator it) {
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
 }
 
-std::optional<server::SoftwareInfo> ServerCache::Get(
+std::optional<proto::SoftwareInfo> ServerCache::Get(
     const core::SoftwareId& id, util::TimePoint now) {
   auto it = entries_.find(id);
   if (it == entries_.end() || now - it->second.stored_at > ttl_) {
@@ -27,7 +27,7 @@ std::optional<server::SoftwareInfo> ServerCache::Get(
   return it->second.info;
 }
 
-std::optional<server::SoftwareInfo> ServerCache::GetStale(
+std::optional<proto::SoftwareInfo> ServerCache::GetStale(
     const core::SoftwareId& id, util::TimePoint now) {
   auto it = entries_.find(id);
   if (it == entries_.end() || now - it->second.stored_at > stale_ttl_) {
@@ -38,7 +38,7 @@ std::optional<server::SoftwareInfo> ServerCache::GetStale(
   return it->second.info;
 }
 
-void ServerCache::Put(const core::SoftwareId& id, server::SoftwareInfo info,
+void ServerCache::Put(const core::SoftwareId& id, proto::SoftwareInfo info,
                       util::TimePoint now) {
   auto it = entries_.find(id);
   if (it != entries_.end()) {

@@ -7,7 +7,7 @@
 #include <unordered_map>
 
 #include "core/types.h"
-#include "server/reputation_server.h"
+#include "proto/wire.h"
 #include "util/clock.h"
 
 namespace pisrep::client {
@@ -32,15 +32,15 @@ class ServerCache {
                        std::size_t max_entries = 4096);
 
   /// A fresh cached entry, or nullopt.
-  std::optional<server::SoftwareInfo> Get(const core::SoftwareId& id,
+  std::optional<proto::SoftwareInfo> Get(const core::SoftwareId& id,
                                           util::TimePoint now);
 
   /// A fresh *or stale* entry (age <= stale_ttl), or nullopt. Does not
   /// count toward hits/misses; callers use it only on the offline path.
-  std::optional<server::SoftwareInfo> GetStale(const core::SoftwareId& id,
+  std::optional<proto::SoftwareInfo> GetStale(const core::SoftwareId& id,
                                                util::TimePoint now);
 
-  void Put(const core::SoftwareId& id, server::SoftwareInfo info,
+  void Put(const core::SoftwareId& id, proto::SoftwareInfo info,
            util::TimePoint now);
 
   /// Drops one entry (after the local user rates, to refetch fresh data).
@@ -59,7 +59,7 @@ class ServerCache {
 
  private:
   struct Entry {
-    server::SoftwareInfo info;
+    proto::SoftwareInfo info;
     util::TimePoint stored_at = 0;
     std::list<core::SoftwareId>::iterator lru_pos;
   };

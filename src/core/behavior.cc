@@ -5,6 +5,8 @@
 namespace pisrep::core {
 
 const std::vector<Behavior>& AllBehaviors() {
+  // Leaky singleton: intentionally never destroyed so the list stays valid
+  // during static teardown. pisrep-lint: allow(raw-new-delete)
   static const std::vector<Behavior>& all = *new std::vector<Behavior>{
       Behavior::kShowsAds,
       Behavior::kPopupAds,

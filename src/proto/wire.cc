@@ -1,0 +1,39 @@
+#include "proto/wire.h"
+
+#include "util/sha256.h"
+
+namespace pisrep::proto {
+
+bool PuzzleSolutionValid(std::string_view nonce, std::string_view solution,
+                         int difficulty_bits) {
+  util::Sha256 hasher;
+  hasher.Update(nonce);
+  hasher.Update(solution);
+  util::Sha256Digest digest = hasher.Finish();
+  int remaining = difficulty_bits;
+  for (std::uint8_t byte : digest.bytes) {
+    if (remaining <= 0) return true;
+    if (remaining >= 8) {
+      if (byte != 0) return false;
+      remaining -= 8;
+    } else {
+      return (byte >> (8 - remaining)) == 0;
+    }
+  }
+  return remaining <= 0;
+}
+
+std::string SolvePuzzle(const Puzzle& puzzle, std::uint64_t* attempts) {
+  std::uint64_t counter = 0;
+  for (;;) {
+    std::string candidate = std::to_string(counter);
+    if (PuzzleSolutionValid(puzzle.nonce, candidate,
+                            puzzle.difficulty_bits)) {
+      if (attempts != nullptr) *attempts = counter + 1;
+      return candidate;
+    }
+    ++counter;
+  }
+}
+
+}  // namespace pisrep::proto

@@ -1,0 +1,72 @@
+#ifndef PISREP_PROTO_WIRE_H_
+#define PISREP_PROTO_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/behavior.h"
+#include "core/types.h"
+#include "util/clock.h"
+
+namespace pisrep::proto {
+
+/// Wire-protocol types shared by the client and the server (§3.2: the
+/// client/server XML RPC schema). This layer exists so that the client
+/// library never includes server headers: both sides depend on `proto/`,
+/// which in turn depends only on `core/` and `util/`. The `pisrep-lint`
+/// layering rule (tools/lint) enforces this.
+
+/// A DoS-resistant client puzzle (§2.1 "non-automatable process" and the
+/// future-work reference to Aura's client puzzles): the server issues a
+/// nonce and a difficulty, and the client must find a solution such that
+/// SHA-256(nonce || solution) starts with `difficulty_bits` zero bits.
+/// Raising the difficulty makes automated mass registration expensive while
+/// staying cheap for a single human sign-up.
+struct Puzzle {
+  std::string nonce;
+  int difficulty_bits = 0;
+};
+
+/// True when SHA-256(nonce || solution) has the required zero prefix.
+bool PuzzleSolutionValid(std::string_view nonce, std::string_view solution,
+                         int difficulty_bits);
+
+/// Brute-forces a solution (the honest client's work loop). Exposed so
+/// simulations can account for attacker compute cost; returns the number
+/// of hash attempts through `attempts` when non-null.
+std::string SolvePuzzle(const Puzzle& puzzle,
+                        std::uint64_t* attempts = nullptr);
+
+/// A published expert assessment of one software (§4.2: organisations or
+/// groups of technically skilled individuals publishing ratings that users
+/// can subscribe to instead of — or alongside — crowd scores).
+struct FeedEntry {
+  std::string feed;  ///< owning feed name
+  core::SoftwareId software;
+  double score = 0.0;  ///< the group's rating, [1, 10]
+  core::BehaviorSet behaviors = core::kNoBehaviors;
+  std::string note;
+  util::TimePoint published_at = 0;
+};
+
+/// Everything the client displays about a pending software (§3.1: the
+/// client "queries the server and fetches the information about the
+/// executing software to show the user").
+struct SoftwareInfo {
+  core::SoftwareMeta meta;
+  bool known = false;  ///< registered in the reputation system at all
+  std::optional<core::SoftwareScore> score;
+  std::optional<core::VendorScore> vendor_score;
+  core::BehaviorSet reported_behaviors = core::kNoBehaviors;
+  std::vector<core::RatingRecord> comments;
+  /// §3.1 run statistics: community-wide execution count reported by
+  /// clients (anonymous totals, never per-host).
+  std::int64_t run_count = 0;
+};
+
+}  // namespace pisrep::proto
+
+#endif  // PISREP_PROTO_WIRE_H_

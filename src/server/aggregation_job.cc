@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/logging.h"
+
 namespace pisrep::server {
 
 AggregationJob::AggregationJob(SoftwareRegistry* registry, VoteStore* votes,
@@ -43,7 +45,12 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now) {
       // The prior is not a community vote; do not count it as one.
       score.vote_count -= 1;
     }
-    registry_->PutScore(score);
+    util::Status put = registry_->PutScore(score);
+    if (!put.ok()) {
+      PISREP_LOG(kWarning) << "aggregation: PutScore(" << software.ToHex()
+                           << ") failed: " << put;
+      continue;
+    }
     ++recomputed;
   }
 
@@ -58,8 +65,12 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now) {
     by_vendor[meta->company].push_back(*score);
   }
   for (const auto& [vendor, scores] : by_vendor) {
-    registry_->PutVendorScore(
+    util::Status put = registry_->PutVendorScore(
         core::RatingAggregator::AggregateVendor(vendor, scores, now));
+    if (!put.ok()) {
+      PISREP_LOG(kWarning) << "aggregation: PutVendorScore(" << vendor
+                           << ") failed: " << put;
+    }
   }
   return recomputed;
 }

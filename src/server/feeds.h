@@ -7,20 +7,15 @@
 
 #include "core/behavior.h"
 #include "core/types.h"
+#include "proto/wire.h"
 #include "storage/database.h"
 #include "util/status.h"
 
 namespace pisrep::server {
 
-/// A published expert assessment of one software.
-struct FeedEntry {
-  std::string feed;           ///< owning feed name
-  core::SoftwareId software;
-  double score = 0.0;         ///< the group's rating, [1, 10]
-  core::BehaviorSet behaviors = core::kNoBehaviors;
-  std::string note;
-  util::TimePoint published_at = 0;
-};
+/// Feed entries travel over the client/server wire, so the struct lives in
+/// proto/; the alias keeps the historical server-side spelling.
+using FeedEntry = proto::FeedEntry;
 
 /// §4.2 improvement: "allowing for instance organisations or groups of
 /// technically skilled individuals to publish their software ratings and

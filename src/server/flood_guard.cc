@@ -1,6 +1,5 @@
 #include "server/flood_guard.h"
 
-#include "util/sha256.h"
 #include "util/string_util.h"
 
 namespace pisrep::server {
@@ -38,34 +37,12 @@ Status FloodGuard::CheckPuzzle(std::string_view nonce,
 bool FloodGuard::SolutionValid(std::string_view nonce,
                                std::string_view solution,
                                int difficulty_bits) {
-  util::Sha256 hasher;
-  hasher.Update(nonce);
-  hasher.Update(solution);
-  util::Sha256Digest digest = hasher.Finish();
-  int remaining = difficulty_bits;
-  for (std::uint8_t byte : digest.bytes) {
-    if (remaining <= 0) return true;
-    if (remaining >= 8) {
-      if (byte != 0) return false;
-      remaining -= 8;
-    } else {
-      return (byte >> (8 - remaining)) == 0;
-    }
-  }
-  return remaining <= 0;
+  return proto::PuzzleSolutionValid(nonce, solution, difficulty_bits);
 }
 
 std::string FloodGuard::SolvePuzzle(const Puzzle& puzzle,
                                     std::uint64_t* attempts) {
-  std::uint64_t counter = 0;
-  for (;;) {
-    std::string candidate = std::to_string(counter);
-    if (SolutionValid(puzzle.nonce, candidate, puzzle.difficulty_bits)) {
-      if (attempts != nullptr) *attempts = counter + 1;
-      return candidate;
-    }
-    ++counter;
-  }
+  return proto::SolvePuzzle(puzzle, attempts);
 }
 
 Status FloodGuard::CheckRegistrationAllowed(std::string_view source,

@@ -7,22 +7,16 @@
 #include <unordered_map>
 
 #include "core/types.h"
+#include "proto/wire.h"
 #include "util/clock.h"
 #include "util/random.h"
 #include "util/status.h"
 
 namespace pisrep::server {
 
-/// A DoS-resistant client puzzle (§2.1 "non-automatable process" and the
-/// future-work reference to Aura's client puzzles): the server issues a
-/// nonce and a difficulty, and the client must find a solution such that
-/// SHA-256(nonce || solution) starts with `difficulty_bits` zero bits.
-/// Raising the difficulty makes automated mass registration expensive while
-/// staying cheap for a single human sign-up.
-struct Puzzle {
-  std::string nonce;
-  int difficulty_bits = 0;
-};
+/// The registration puzzle is part of the client/server wire schema and
+/// lives in proto/; the alias keeps the historical server-side spelling.
+using Puzzle = proto::Puzzle;
 
 /// Rate limiting and abuse resistance for account creation and voting.
 class FloodGuard {
@@ -47,9 +41,8 @@ class FloodGuard {
   util::Status CheckPuzzle(std::string_view nonce,
                            std::string_view solution);
 
-  /// Brute-forces a solution (the honest client's work loop). Exposed so
-  /// simulations can account for attacker compute cost; returns the number
-  /// of hash attempts through `attempts` when non-null.
+  /// Brute-forces a solution (the honest client's work loop). Delegates to
+  /// proto::SolvePuzzle; kept for server-side callers and benches.
   static std::string SolvePuzzle(const Puzzle& puzzle,
                                  std::uint64_t* attempts = nullptr);
 

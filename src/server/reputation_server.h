@@ -13,6 +13,7 @@
 #include "core/types.h"
 #include "net/event_loop.h"
 #include "net/rpc.h"
+#include "proto/wire.h"
 #include "server/account_manager.h"
 #include "server/aggregation_job.h"
 #include "server/bootstrap.h"
@@ -31,20 +32,10 @@ struct ActivationMail {
   std::string token;
 };
 
-/// Everything the client displays about a pending software (§3.1: the
-/// client "queries the server and fetches the information about the
-/// executing software to show the user").
-struct SoftwareInfo {
-  core::SoftwareMeta meta;
-  bool known = false;  ///< registered in the reputation system at all
-  std::optional<core::SoftwareScore> score;
-  std::optional<core::VendorScore> vendor_score;
-  core::BehaviorSet reported_behaviors = core::kNoBehaviors;
-  std::vector<core::RatingRecord> comments;
-  /// §3.1 run statistics: community-wide execution count reported by
-  /// clients (anonymous totals, never per-host).
-  std::int64_t run_count = 0;
-};
+/// Everything the client displays about a pending software travels over the
+/// wire, so the struct lives in proto/; the alias keeps the historical
+/// server-side spelling.
+using SoftwareInfo = proto::SoftwareInfo;
 
 /// Operation counters for reports and benches.
 struct ServerStats {

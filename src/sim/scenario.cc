@@ -308,10 +308,13 @@ void ScenarioRunner::ApplyCommunityHistory() {
     int positives = static_cast<int>(positives_per_week * weeks);
     int negatives = static_cast<int>(negatives_per_week * weeks);
     for (int r = 0; r < positives; ++r) {
-      server_->accounts().ApplyRemark(account->id, true, now);
+      // Seeding trust history for a known-valid account; the updated factor
+      // is recomputed from scratch by the next aggregation run.
+      (void)server_->accounts().ApplyRemark(account->id, true, now);
     }
     for (int r = 0; r < negatives; ++r) {
-      server_->accounts().ApplyRemark(account->id, false, now);
+      // Seeding trust history for a known-valid account (see above).
+      (void)server_->accounts().ApplyRemark(account->id, false, now);
     }
   }
 }

@@ -19,12 +19,16 @@ using core::PisCategory;
 /// Candidate behaviours per consequence column, used so generated behaviour
 /// sets are consistent with the ground-truth category.
 const std::vector<Behavior>& SevereBehaviors() {
+  // Leaky singleton, safe during static teardown.
+  // pisrep-lint: allow(raw-new-delete)
   static const auto& v = *new std::vector<Behavior>{
       Behavior::kSendsPersonalData, Behavior::kDialsPremium,
       Behavior::kKeylogging};
   return v;
 }
 const std::vector<Behavior>& ModerateBehaviors() {
+  // Leaky singleton, safe during static teardown.
+  // pisrep-lint: allow(raw-new-delete)
   static const auto& v = *new std::vector<Behavior>{
       Behavior::kPopupAds,        Behavior::kTracksUsage,
       Behavior::kNoUninstall,     Behavior::kChangesSettings,
@@ -32,6 +36,8 @@ const std::vector<Behavior>& ModerateBehaviors() {
   return v;
 }
 const std::vector<Behavior>& TolerableBehaviors() {
+  // Leaky singleton, safe during static teardown.
+  // pisrep-lint: allow(raw-new-delete)
   static const auto& v = *new std::vector<Behavior>{
       Behavior::kShowsAds, Behavior::kStartupRegistration};
   return v;

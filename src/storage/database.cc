@@ -21,6 +21,8 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& wal_path) {
 
 Result<std::unique_ptr<Database>> Database::Open(const std::string& wal_path,
                                                  const OpenOptions& options) {
+  // Private constructor: std::make_unique cannot reach it.
+  // pisrep-lint: allow(raw-new-delete)
   std::unique_ptr<Database> db(new Database(wal_path));
   if (!wal_path.empty()) {
     PISREP_RETURN_IF_ERROR(db->Replay(options));

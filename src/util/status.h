@@ -31,8 +31,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// Result of an operation that can fail. pisrep does not throw exceptions
 /// across public API boundaries; every fallible call returns a Status (or a
-/// Result<T>, below) that the caller must inspect.
-class Status {
+/// Result<T>, below) that the caller must inspect. The class-level
+/// [[nodiscard]] makes the compiler reject call sites that silently drop a
+/// Status; `pisrep-lint` (tools/lint) enforces the same invariant plus a
+/// justifying comment on any deliberate `(void)` discard.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,7 +77,7 @@ std::ostream& operator<<(std::ostream& os, const Status& s);
 /// Either a value of type T or a failure Status. Accessing the value of a
 /// failed Result is a programming error and aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: allows `return value;` in functions returning
   /// Result<T>, mirroring absl::StatusOr.

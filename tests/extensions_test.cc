@@ -103,7 +103,9 @@ TEST_F(PseudonymTest, AggregationUsesSnapshottedTrust) {
   core::UserId expert_id =
       server_->accounts().GetAccountByUsername("expert")->id;
   for (int i = 0; i < 300; ++i) {
-    server_->accounts().ApplyRemark(expert_id, true, 30 * util::kWeek);
+    ASSERT_TRUE(server_->accounts()
+                    .ApplyRemark(expert_id, true, 30 * util::kWeek)
+                    .ok());
   }
   ASSERT_EQ(server_->accounts().TrustFactor(expert_id), 100.0);
 

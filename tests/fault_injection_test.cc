@@ -229,6 +229,7 @@ TEST_F(BreakerFixture, OpensAfterConsecutiveFailuresThenFailsFast) {
 
 TEST_F(BreakerFixture, HalfOpenProbeClosesBreakerAfterRecovery) {
   injector.Isolate("server");
+  // Failures are the point here: drive the breaker to its open state.
   for (int i = 0; i < 3; ++i) (void)CallOnce();
   ASSERT_EQ(client.breaker_state(), net::RpcClient::BreakerState::kOpen);
 
@@ -244,6 +245,7 @@ TEST_F(BreakerFixture, HalfOpenProbeClosesBreakerAfterRecovery) {
 
 TEST_F(BreakerFixture, FailedProbeReopensForAnotherCooldown) {
   injector.Isolate("server");
+  // Failures are the point here: drive the breaker to its open state.
   for (int i = 0; i < 3; ++i) (void)CallOnce();
   ASSERT_EQ(client.breaker_state(), net::RpcClient::BreakerState::kOpen);
 

@@ -1,0 +1,410 @@
+// Unit tests for pisrep-lint (tools/lint): each rule is driven against
+// in-memory fixtures, so the suite pins down rule ids, line numbers,
+// suppression-comment handling, and baseline filtering without touching
+// the real tree. Fixture code lives in string literals, which the lint
+// lexer treats as opaque tokens — the fixtures cannot trip the lint run
+// over this repository.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+
+namespace pisrep::lint {
+namespace {
+
+std::vector<Finding> Analyze(const std::vector<SourceFile>& files) {
+  return AnalyzeProject(files);
+}
+
+std::vector<Finding> AnalyzeOne(const std::string& path,
+                                const std::string& content) {
+  return Analyze({{path, content}});
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& file, int line) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.file == file && f.line == line) return true;
+  }
+  return false;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : findings) n += (f.rule == rule) ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(LintRegistry, RulesAreRegisteredWithUniqueIds) {
+  const auto& checkers = AllCheckers();
+  ASSERT_GE(checkers.size(), 7u);
+  std::set<std::string> ids;
+  for (const auto& checker : checkers) {
+    EXPECT_FALSE(checker->rule().empty());
+    EXPECT_FALSE(checker->description().empty());
+    EXPECT_TRUE(ids.insert(std::string(checker->rule())).second)
+        << "duplicate rule id " << checker->rule();
+  }
+  EXPECT_NE(FindChecker("discarded-status"), nullptr);
+  EXPECT_NE(FindChecker("wall-clock"), nullptr);
+  EXPECT_EQ(FindChecker("no-such-rule"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// discarded-status
+
+constexpr char kStatusDecl[] =
+    "namespace pisrep::storage {\n"
+    "util::Status Persist(int row);\n"
+    "util::Result<int> Fetch(int key);\n"
+    "}\n";
+
+TEST(DiscardedStatus, FlagsBareStatementCall) {
+  auto findings = Analyze({
+      {"src/storage/api.h", kStatusDecl},
+      {"src/storage/use.cc",
+       "void Use() {\n"
+       "  Persist(1);\n"      // line 2: discarded
+       "  int v = Fetch(2).value();\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(HasFinding(findings, "discarded-status", "src/storage/use.cc", 2))
+      << FormatHuman(findings);
+  EXPECT_EQ(CountRule(findings, "discarded-status"), 1);
+}
+
+TEST(DiscardedStatus, FlagsDiscardedMemberChainCall) {
+  auto findings = Analyze({
+      {"src/storage/api.h", kStatusDecl},
+      {"src/storage/use.cc",
+       "void Use(Db* db) {\n"
+       "  db->inner().Persist(7);\n"  // line 2
+       "}\n"},
+  });
+  EXPECT_TRUE(
+      HasFinding(findings, "discarded-status", "src/storage/use.cc", 2));
+}
+
+TEST(DiscardedStatus, AcceptsInspectedResults) {
+  auto findings = Analyze({
+      {"src/storage/api.h", kStatusDecl},
+      {"src/storage/use.cc",
+       "void Use() {\n"
+       "  util::Status s = Persist(1);\n"
+       "  if (!Persist(2).ok()) return;\n"
+       "  return Persist(3);\n"
+       "}\n"},
+  });
+  EXPECT_EQ(CountRule(findings, "discarded-status"), 0)
+      << FormatHuman(findings);
+}
+
+TEST(DiscardedStatus, VoidCastNeedsJustifyingComment) {
+  auto findings = Analyze({
+      {"src/storage/api.h", kStatusDecl},
+      {"src/storage/use.cc",
+       "void Use() {\n"
+       "  (void)Persist(1);\n"  // line 2: bare cast, no comment
+       "  // best-effort: row is rewritten on the next sync anyway\n"
+       "  (void)Persist(2);\n"  // line 4: justified
+       "  (void)Persist(3);  // best-effort\n"
+       "}\n"},
+  });
+  EXPECT_TRUE(
+      HasFinding(findings, "discarded-status", "src/storage/use.cc", 2));
+  EXPECT_EQ(CountRule(findings, "discarded-status"), 1)
+      << FormatHuman(findings);
+}
+
+TEST(DiscardedStatus, AmbiguouslyDeclaredNamesAreNotFlagged) {
+  // Login is declared returning Status in one layer and void in another
+  // (callback-style client API). Token-level analysis cannot tell the call
+  // sites apart, so neither is flagged — [[nodiscard]] covers the real one.
+  auto findings = Analyze({
+      {"src/server/api.h", "util::Status Login(const std::string& user);\n"},
+      {"src/client/api.h", "void Login(LoginCallback done);\n"},
+      {"src/client/use.cc",
+       "void Use() {\n"
+       "  Login(cb_);\n"
+       "}\n"},
+  });
+  EXPECT_EQ(CountRule(findings, "discarded-status"), 0)
+      << FormatHuman(findings);
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+
+TEST(WallClock, FlagsWallClockAndEntropyOutsideUtil) {
+  auto findings = AnalyzeOne(
+      "src/core/t.cc",
+      "void T() {\n"
+      "  auto now = std::chrono::system_clock::now();\n"  // line 2
+      "  long t = time(nullptr);\n"                       // line 3
+      "  std::random_device rd;\n"                        // line 4
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", "src/core/t.cc", 2));
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", "src/core/t.cc", 3));
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", "src/core/t.cc", 4));
+}
+
+TEST(WallClock, UtilLayerMayImplementTheClock) {
+  auto findings = AnalyzeOne(
+      "src/util/clock.cc",
+      "long WallNow() { return time(nullptr); }\n");
+  EXPECT_EQ(CountRule(findings, "wall-clock"), 0) << FormatHuman(findings);
+}
+
+TEST(WallClock, MembersAndDeclarationsSharingLibcNamesAreFine) {
+  auto findings = AnalyzeOne(
+      "src/net/loop.h",
+      "#ifndef L_H_\n"
+      "#define L_H_\n"
+      "struct Loop {\n"
+      "  util::SimClock* clock() { return &clock_; }\n"  // declaration
+      "  long Now() { return sim_.time(); }\n"           // member call
+      "};\n"
+      "#endif  // L_H_\n");
+  EXPECT_EQ(CountRule(findings, "wall-clock"), 0) << FormatHuman(findings);
+}
+
+// ---------------------------------------------------------------------------
+// banned-function
+
+TEST(BannedFunction, FlagsUnsafeCStringCalls) {
+  auto findings = AnalyzeOne(
+      "src/xml/p.cc",
+      "void P(char* d, const char* s) {\n"
+      "  strcpy(d, s);\n"       // line 2
+      "  int v = atoi(s);\n"    // line 3
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, "banned-function", "src/xml/p.cc", 2));
+  EXPECT_TRUE(HasFinding(findings, "banned-function", "src/xml/p.cc", 3));
+}
+
+TEST(BannedFunction, ProjectFunctionsSharingTheNameAreFine) {
+  auto findings = AnalyzeOne(
+      "src/xml/p.cc",
+      "void P(Obj* o) {\n"
+      "  o->atoi(3);\n"
+      "  mylib::strcpy(a, b);\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "banned-function"), 0)
+      << FormatHuman(findings);
+}
+
+// ---------------------------------------------------------------------------
+// include hygiene
+
+TEST(IncludeHygiene, UsingNamespaceInHeaderIsFlagged) {
+  auto findings = AnalyzeOne(
+      "src/core/h.h",
+      "#ifndef H_H_\n"
+      "#define H_H_\n"
+      "using namespace std;\n"  // line 3
+      "#endif\n");
+  EXPECT_TRUE(
+      HasFinding(findings, "using-namespace-header", "src/core/h.h", 3));
+}
+
+TEST(IncludeHygiene, UsingNamespaceInSourceFileIsFine) {
+  auto findings =
+      AnalyzeOne("src/core/h.cc", "using namespace std::chrono;\n");
+  EXPECT_EQ(CountRule(findings, "using-namespace-header"), 0);
+}
+
+TEST(IncludeHygiene, MissingIncludeGuardIsFlagged) {
+  auto findings = AnalyzeOne("src/core/g.h", "struct G {};\n");
+  EXPECT_EQ(CountRule(findings, "include-guard"), 1);
+}
+
+TEST(IncludeHygiene, GuardAndPragmaOnceBothAccepted) {
+  auto guarded = AnalyzeOne("src/core/g.h",
+                            "#ifndef G_H_\n"
+                            "#define G_H_\n"
+                            "struct G {};\n"
+                            "#endif  // G_H_\n");
+  EXPECT_EQ(CountRule(guarded, "include-guard"), 0) << FormatHuman(guarded);
+  auto pragma = AnalyzeOne("src/core/g.h",
+                           "#pragma once\n"
+                           "struct G {};\n");
+  EXPECT_EQ(CountRule(pragma, "include-guard"), 0) << FormatHuman(pragma);
+}
+
+TEST(IncludeHygiene, MismatchedGuardIsFlagged) {
+  auto findings = AnalyzeOne("src/core/g.h",
+                             "#ifndef G_H_\n"
+                             "#define OTHER_H_\n"
+                             "#endif\n");
+  EXPECT_EQ(CountRule(findings, "include-guard"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// layering
+
+TEST(Layering, LowerLayersMustNotReachUp) {
+  auto findings = AnalyzeOne(
+      "src/core/c.cc",
+      "#include \"server/reputation_server.h\"\n"  // line 1: forbidden
+      "#include \"util/status.h\"\n"               // allowed
+      "#include <vector>\n");                      // system: always fine
+  EXPECT_TRUE(HasFinding(findings, "layering", "src/core/c.cc", 1));
+  EXPECT_EQ(CountRule(findings, "layering"), 1) << FormatHuman(findings);
+}
+
+TEST(Layering, ClientMayUseProtoButNotServer) {
+  auto ok = AnalyzeOne("src/client/c.cc",
+                       "#include \"proto/wire.h\"\n"
+                       "#include \"core/software_id.h\"\n");
+  EXPECT_EQ(CountRule(ok, "layering"), 0) << FormatHuman(ok);
+  auto bad = AnalyzeOne("src/client/c.cc",
+                        "#include \"server/feeds.h\"\n");
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/client/c.cc", 1));
+}
+
+TEST(Layering, TestsAreUnrestricted) {
+  auto findings = AnalyzeOne("tests/x_test.cc",
+                             "#include \"server/feeds.h\"\n"
+                             "#include \"client/client_app.h\"\n");
+  EXPECT_EQ(CountRule(findings, "layering"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// raw-new-delete
+
+TEST(RawNewDelete, FlagsRawNewAndDelete) {
+  auto findings = AnalyzeOne(
+      "src/core/m.cc",
+      "void M() {\n"
+      "  int* p = new int(3);\n"  // line 2
+      "  delete p;\n"             // line 3
+      "}\n");
+  EXPECT_TRUE(HasFinding(findings, "raw-new-delete", "src/core/m.cc", 2));
+  EXPECT_TRUE(HasFinding(findings, "raw-new-delete", "src/core/m.cc", 3));
+}
+
+TEST(RawNewDelete, DeletedFunctionsAndOperatorOverloadsAreFine) {
+  auto findings = AnalyzeOne(
+      "src/core/m.h",
+      "#pragma once\n"
+      "struct M {\n"
+      "  M(const M&) = delete;\n"
+      "  M& operator=(const M&) = delete;\n"
+      "  static void* operator new(std::size_t n);\n"
+      "  static void operator delete(void* p);\n"
+      "};\n");
+  EXPECT_EQ(CountRule(findings, "raw-new-delete"), 0)
+      << FormatHuman(findings);
+}
+
+// ---------------------------------------------------------------------------
+// suppression comments
+
+TEST(Suppression, SameLineAndPrecedingLineBothCover) {
+  auto same = AnalyzeOne(
+      "src/core/s.cc",
+      "void S() { int* p = new int; }  // pisrep-lint: allow(raw-new-delete)\n");
+  EXPECT_EQ(CountRule(same, "raw-new-delete"), 0) << FormatHuman(same);
+
+  auto above = AnalyzeOne("src/core/s.cc",
+                          "// pisrep-lint: allow(raw-new-delete)\n"
+                          "int* p = new int;\n");
+  EXPECT_EQ(CountRule(above, "raw-new-delete"), 0) << FormatHuman(above);
+}
+
+TEST(Suppression, OnlyTheNamedRuleIsSuppressed) {
+  auto findings = AnalyzeOne(
+      "src/core/s.cc",
+      "// pisrep-lint: allow(wall-clock)\n"
+      "int* p = new int;\n");  // line 2: still a raw-new finding
+  EXPECT_TRUE(HasFinding(findings, "raw-new-delete", "src/core/s.cc", 2));
+}
+
+TEST(Suppression, AllowAllAndMultiRuleLists) {
+  auto all = AnalyzeOne("src/core/s.cc",
+                        "// pisrep-lint: allow(all)\n"
+                        "long t = time(nullptr);\n");
+  EXPECT_TRUE(all.empty()) << FormatHuman(all);
+
+  auto multi = AnalyzeOne(
+      "src/core/s.cc",
+      "// pisrep-lint: allow(raw-new-delete, wall-clock)\n"
+      "int* p = new int(time(nullptr));\n");
+  EXPECT_TRUE(multi.empty()) << FormatHuman(multi);
+}
+
+TEST(Suppression, DoesNotLeakBeyondTheNextLine) {
+  auto findings = AnalyzeOne("src/core/s.cc",
+                             "// pisrep-lint: allow(raw-new-delete)\n"
+                             "int a = 0;\n"
+                             "int* p = new int;\n");  // line 3: uncovered
+  EXPECT_TRUE(HasFinding(findings, "raw-new-delete", "src/core/s.cc", 3));
+}
+
+// ---------------------------------------------------------------------------
+// baseline
+
+TEST(Baseline, ParseSkipsCommentsAndBlankLines) {
+  auto entries = ParseBaseline(
+      "# grandfathered\n"
+      "\n"
+      "raw-new-delete src/core/old.cc:12\n"
+      "  wall-clock src/net/old.cc:7  \n");
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries.count("raw-new-delete src/core/old.cc:12"), 1u);
+  EXPECT_EQ(entries.count("wall-clock src/net/old.cc:7"), 1u);
+}
+
+TEST(Baseline, FilterRemovesExactMatchesOnly) {
+  std::vector<Finding> findings = {
+      {"raw-new-delete", "src/core/old.cc", 12, "raw new"},
+      {"raw-new-delete", "src/core/old.cc", 30, "raw new"},
+      {"wall-clock", "src/core/old.cc", 12, "time()"},
+  };
+  auto filtered = FilterBaseline(
+      findings, ParseBaseline("raw-new-delete src/core/old.cc:12\n"));
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_TRUE(HasFinding(filtered, "raw-new-delete", "src/core/old.cc", 30));
+  EXPECT_TRUE(HasFinding(filtered, "wall-clock", "src/core/old.cc", 12));
+}
+
+TEST(Baseline, KeyMatchesDocumentedFormat) {
+  Finding f{"layering", "src/core/c.cc", 1, "msg"};
+  EXPECT_EQ(BaselineKey(f), "layering src/core/c.cc:1");
+}
+
+// ---------------------------------------------------------------------------
+// output formats
+
+TEST(Output, HumanAndJsonCarryRuleFileAndLine) {
+  std::vector<Finding> findings = {
+      {"wall-clock", "src/core/t.cc", 3, "call to 'time('"}};
+  std::string human = FormatHuman(findings);
+  EXPECT_NE(human.find("src/core/t.cc:3: [wall-clock]"), std::string::npos)
+      << human;
+  std::string json = FormatJson(findings);
+  EXPECT_NE(json.find("\"rule\":\"wall-clock\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos) << json;
+}
+
+TEST(Output, FindingsAreSortedByFileThenLine) {
+  auto findings = Analyze({
+      {"src/core/b.cc", "int* q = new int;\n"},
+      {"src/core/a.cc", "int x = 0;\nint* p = new int;\n"},
+  });
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "src/core/a.cc");
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].file, "src/core/b.cc");
+}
+
+}  // namespace
+}  // namespace pisrep::lint

@@ -60,7 +60,7 @@ TEST(AdvisoryTest, FeedFlagTakesPrecedence) {
   score.score = 9.0;  // crowd loves it...
   score.vote_count = 100;
   info.score = score;
-  server::FeedEntry entry;
+  proto::FeedEntry entry;
   entry.feed = "security-lab";
   entry.score = 1.5;  // ...the lab does not
   info.feed_entry = entry;

@@ -290,7 +290,8 @@ TEST_F(ServerEdgeTest, ScoreWeightTracksTrustAtAggregationTime) {
 
   // Ivy earns trust; her old vote now dominates.
   for (int i = 0; i < 200; ++i) {
-    server_->accounts().ApplyRemark(id, true, 30 * util::kWeek);
+    ASSERT_TRUE(
+        server_->accounts().ApplyRemark(id, true, 30 * util::kWeek).ok());
   }
   server_->aggregation().RunOnce(30 * util::kWeek);
   double after = server_->registry().GetScore(meta.id)->score;

@@ -277,7 +277,8 @@ TEST_F(ServerTest, TrustWeightedAggregationFavorsTrustedUsers) {
       server_->accounts().GetAccountByUsername("expert")->id;
   // Manually raise the expert's trust (as months of good remarks would).
   for (int i = 0; i < 200; ++i) {
-    server_->accounts().ApplyRemark(expert_id, true, 30 * kWeek);
+    ASSERT_TRUE(
+        server_->accounts().ApplyRemark(expert_id, true, 30 * kWeek).ok());
   }
   EXPECT_EQ(server_->accounts().TrustFactor(expert_id), 100.0);
 

@@ -73,7 +73,7 @@ class PortalTest : public ::testing::Test {
     Submit(bob, anon_, 4, "noise: meh");
     core::UserId alice_id =
         server_->accounts().GetAccountByUsername("alice")->id;
-    server_->SubmitRemark(bob, alice_id, bad_.id, true, 0);
+    EXPECT_TRUE(server_->SubmitRemark(bob, alice_id, bad_.id, true, 0).ok());
     server_->aggregation().RunOnce(util::kDay);
   }
 

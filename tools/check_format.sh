@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Formatting gate for pisrep: runs clang-format -n over the tree and fails
+# on any diff. The build image does not ship clang-format, so the script
+# degrades to a no-op with a notice there (CI installs it; see
+# .github/workflows/ci.yml). Usage:
+#   tools/check_format.sh          # check, exit 1 on violations
+#   tools/check_format.sh --fix    # rewrite files in place
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+mode=check
+[ "${1:-}" = "--fix" ] && mode=fix
+
+fmt=${CLANG_FORMAT:-clang-format}
+if ! command -v "$fmt" >/dev/null 2>&1; then
+  echo "check_format: $fmt not found; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+# Same file set pisrep-lint walks, minus generated/build trees.
+files=$(find "$root/src" "$root/tests" "$root/bench" "$root/examples" \
+          "$root/tools/lint" \
+          -type f \( -name '*.h' -o -name '*.hpp' -o -name '*.cc' \
+                     -o -name '*.cpp' \) 2>/dev/null | sort)
+[ -n "$files" ] || { echo "check_format: no sources found"; exit 2; }
+
+if [ "$mode" = fix ]; then
+  # shellcheck disable=SC2086
+  "$fmt" -i $files
+  echo "check_format: formatted $(echo "$files" | wc -l) files"
+  exit 0
+fi
+
+status=0
+for f in $files; do
+  if ! "$fmt" --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "needs formatting: ${f#"$root"/}"
+    status=1
+  fi
+done
+[ $status -eq 0 ] && echo "check_format: all files clean"
+exit $status

@@ -1,0 +1,492 @@
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker.h"
+
+namespace pisrep::lint {
+
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// True when the token at `pos` begins a statement: start of file, after
+/// statement punctuation, after a block boundary, a label, or a
+/// parenthesised condition (`if (...) Foo();`).
+bool AtStatementStart(const std::vector<Token>& toks, std::size_t pos) {
+  if (pos == 0) return true;
+  const Token& prev = toks[pos - 1];
+  if (prev.kind == TokenKind::kPunct) {
+    return prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+           prev.text == ":" || prev.text == ")";
+  }
+  if (prev.kind == TokenKind::kIdentifier) {
+    return prev.text == "else" || prev.text == "do";
+  }
+  return false;
+}
+
+/// Skips a balanced (...) group; `pos` is the index of the opening paren.
+/// Returns the index one past the matching close, or toks.size().
+std::size_t SkipParens(const std::vector<Token>& toks, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == "(") depth += 1;
+    if (toks[i].text == ")") {
+      depth -= 1;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// Parses a call chain `a::b.c->Callee(` starting at `pos`, allowing
+/// intermediate call segments (`db->inner().Callee(`). On success returns
+/// the index of the chain's FINAL opening paren and stores the final callee
+/// name; returns npos when the tokens do not form a call chain.
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+std::size_t ParseCallChain(const std::vector<Token>& toks, std::size_t pos,
+                           std::string* callee) {
+  std::size_t i = pos;
+  if (i >= toks.size() || !IsIdent(toks[i])) return kNpos;
+  std::string last = toks[i].text;
+  ++i;
+  while (i < toks.size()) {
+    if (i + 1 < toks.size() &&
+        (IsPunct(toks[i], "::") || IsPunct(toks[i], ".") ||
+         IsPunct(toks[i], "->")) &&
+        IsIdent(toks[i + 1])) {
+      last = toks[i + 1].text;
+      i += 2;
+      continue;
+    }
+    if (IsPunct(toks[i], "(")) {
+      std::size_t after = SkipParens(toks, i);
+      if (after + 1 < toks.size() &&
+          (IsPunct(toks[after], ".") || IsPunct(toks[after], "->")) &&
+          IsIdent(toks[after + 1])) {
+        // `inner().Next...`: an intermediate call, keep walking the chain.
+        last = toks[after + 1].text;
+        i = after + 2;
+        continue;
+      }
+      *callee = last;
+      return i;
+    }
+    return kNpos;
+  }
+  return kNpos;
+}
+
+/// True when a comment exists on `line` or the line directly above it.
+bool HasCommentNear(const LexedFile& lexed, int line) {
+  for (const Comment& c : lexed.comments) {
+    if (c.line == line || c.line == line - 1) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// discarded-status
+// ---------------------------------------------------------------------------
+
+/// Flags statements that call a Status/Result-returning function and drop
+/// the value on the floor, LevelDB's assert_status_checked in spirit. The
+/// compiler enforces the same via [[nodiscard]]; the lint additionally
+/// demands that deliberate `(void)` discards carry a justifying comment.
+class DiscardedStatusChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "discarded-status"; }
+  std::string_view description() const override {
+    return "a util::Status / util::Result return value is discarded at a "
+           "call site (or (void)-discarded without a justifying comment)";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    const auto& toks = ctx.lexed->tokens;
+    const auto& fallible = ctx.index->fallible_functions;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!AtStatementStart(toks, i)) continue;
+      // A chain right after `(void)` is matched from the cast's own `(`,
+      // not re-matched here.
+      if (i >= 3 && IsPunct(toks[i - 1], ")") && IsIdent(toks[i - 2]) &&
+          toks[i - 2].text == "void" && IsPunct(toks[i - 3], "(")) {
+        continue;
+      }
+
+      bool void_cast = false;
+      std::size_t chain_start = i;
+      if (IsPunct(toks[i], "(") && i + 2 < toks.size() &&
+          IsIdent(toks[i + 1]) && toks[i + 1].text == "void" &&
+          IsPunct(toks[i + 2], ")")) {
+        void_cast = true;
+        chain_start = i + 3;
+      }
+
+      std::string callee;
+      std::size_t open = ParseCallChain(toks, chain_start, &callee);
+      if (open == kNpos) continue;
+      if (fallible.find(callee) == fallible.end()) continue;
+
+      std::size_t after = SkipParens(toks, open);
+      if (after >= toks.size() || !IsPunct(toks[after], ";")) continue;
+
+      int line = toks[chain_start].line;
+      if (void_cast) {
+        if (!HasCommentNear(*ctx.lexed, line)) {
+          out->push_back(Finding{
+              std::string(rule()), ctx.path, line,
+              "call to '" + callee + "' is (void)-discarded without a "
+              "justifying comment on the same or preceding line"});
+        }
+      } else {
+        out->push_back(Finding{
+            std::string(rule()), ctx.path, line,
+            "call to '" + callee + "' discards its util::Status/Result; "
+            "inspect it, or (void)-cast it with a justifying comment"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// wall-clock
+// ---------------------------------------------------------------------------
+
+/// Deterministic replay (the chaos harness, seeded sims, property tests)
+/// dies the moment anything reads the wall clock or raw entropy. Everything
+/// outside src/util must go through util::SimClock and util::Rng.
+class WallClockChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "wall-clock"; }
+  std::string_view description() const override {
+    return "wall-clock or raw-entropy source used outside src/util "
+           "(breaks deterministic simulation; use util::SimClock / "
+           "util::Rng)";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    if (ctx.layer == "util") return;  // the one place allowed to wrap them
+
+    static const std::set<std::string> kBannedTypes = {
+        "system_clock",   "steady_clock",        "high_resolution_clock",
+        "random_device",  "mt19937",             "mt19937_64",
+        "default_random_engine", "minstd_rand",  "knuth_b",
+    };
+    static const std::set<std::string> kBannedCalls = {
+        "time",   "rand",         "srand",         "clock",
+        "gettimeofday", "clock_gettime", "localtime", "gmtime",
+    };
+
+    const auto& toks = ctx.lexed->tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!IsIdent(toks[i])) continue;
+      const std::string& name = toks[i].text;
+
+      if (kBannedTypes.count(name) != 0 && !IsMember(toks, i)) {
+        out->push_back(Finding{
+            std::string(rule()), ctx.path, toks[i].line,
+            "'" + name + "' is a nondeterministic time/entropy source; use "
+            "util::SimClock / util::Rng instead"});
+        continue;
+      }
+
+      if (kBannedCalls.count(name) != 0 && i + 1 < toks.size() &&
+          IsPunct(toks[i + 1], "(") && !IsMember(toks, i) &&
+          !IsNonStdQualified(toks, i) && !IsDeclaration(toks, i)) {
+        out->push_back(Finding{
+            std::string(rule()), ctx.path, toks[i].line,
+            "call to '" + name + "(' reads the wall clock or raw entropy; "
+            "use util::SimClock / util::Rng instead"});
+      }
+    }
+  }
+
+ private:
+  /// True for `x.time(...)` / `x->clock(...)` — a member, not libc.
+  static bool IsMember(const std::vector<Token>& toks, std::size_t i) {
+    return i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+  }
+
+  /// True for `somens::time(...)` where somens is neither std nor global
+  /// scope — a project function that merely shares the name.
+  static bool IsNonStdQualified(const std::vector<Token>& toks,
+                                std::size_t i) {
+    if (i == 0 || !IsPunct(toks[i - 1], "::")) return false;
+    if (i < 2) return false;  // leading `::time` is the libc one
+    return !(IsIdent(toks[i - 2]) &&
+             (toks[i - 2].text == "std" || toks[i - 2].text == "chrono"));
+  }
+
+  /// True for `SimClock* clock()` / `TimePoint time() const` — a
+  /// declaration of a member that shares a libc name, not a call. A call
+  /// is preceded by punctuation or a statement keyword, never directly by
+  /// another identifier or a declarator's * / &.
+  static bool IsDeclaration(const std::vector<Token>& toks, std::size_t i) {
+    if (i == 0) return false;
+    const Token& prev = toks[i - 1];
+    if (prev.kind == TokenKind::kPunct) {
+      return prev.text == "*" || prev.text == "&" || prev.text == "&&" ||
+             prev.text == ">" || prev.text == ">>";
+    }
+    return IsIdent(prev) && prev.text != "return";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// banned-function
+// ---------------------------------------------------------------------------
+
+/// Unsafe / error-swallowing C library functions. strcpy and friends
+/// overflow; atoi and friends return 0 on garbage, hiding parse failures
+/// the Status doctrine says must surface.
+class BannedFunctionChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "banned-function"; }
+  std::string_view description() const override {
+    return "unsafe or error-swallowing C function (strcpy, sprintf, atoi, "
+           "...); use std::string / util::ParseInt-style APIs";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    static const std::map<std::string, std::string> kBanned = {
+        {"strcpy", "overflows; use std::string"},
+        {"strcat", "overflows; use std::string"},
+        {"sprintf", "overflows; use snprintf or std::string"},
+        {"vsprintf", "overflows; use vsnprintf"},
+        {"gets", "cannot be used safely at all"},
+        {"strtok", "hidden global state; use string_util helpers"},
+        {"atoi", "returns 0 on garbage, hiding the error; parse and check"},
+        {"atol", "returns 0 on garbage, hiding the error; parse and check"},
+        {"atoll", "returns 0 on garbage, hiding the error; parse and check"},
+    };
+    const auto& toks = ctx.lexed->tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!IsIdent(toks[i]) || !IsPunct(toks[i + 1], "(")) continue;
+      auto it = kBanned.find(toks[i].text);
+      if (it == kBanned.end()) continue;
+      if (i > 0 &&
+          (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+        continue;  // a member that shares the name
+      }
+      if (i >= 2 && IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2]) &&
+          toks[i - 2].text != "std") {
+        continue;  // somens::atoi — a project function sharing the name
+      }
+      out->push_back(Finding{std::string(rule()), ctx.path, toks[i].line,
+                             "'" + toks[i].text + "' is banned: " +
+                                 it->second});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// using-namespace-header
+// ---------------------------------------------------------------------------
+
+class UsingNamespaceHeaderChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "using-namespace-header"; }
+  std::string_view description() const override {
+    return "`using namespace` in a header leaks into every includer";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    if (!ctx.is_header) return;
+    const auto& toks = ctx.lexed->tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (IsIdent(toks[i]) && toks[i].text == "using" &&
+          IsIdent(toks[i + 1]) && toks[i + 1].text == "namespace") {
+        out->push_back(Finding{
+            std::string(rule()), ctx.path, toks[i].line,
+            "`using namespace` in a header pollutes every translation unit "
+            "that includes it"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+class IncludeGuardChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "include-guard"; }
+  std::string_view description() const override {
+    return "header lacks a matching #ifndef/#define include guard "
+           "(or #pragma once)";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    if (!ctx.is_header) return;
+    const auto& pp = ctx.lexed->preproc;
+    if (!pp.empty() && pp[0].text.rfind("pragma once", 0) == 0) return;
+    if (pp.size() >= 2) {
+      std::string_view first = pp[0].text;
+      std::string_view second = pp[1].text;
+      if (first.rfind("ifndef ", 0) == 0 && second.rfind("define ", 0) == 0) {
+        std::string_view guard = first.substr(7);
+        std::string_view defined = second.substr(7);
+        while (!guard.empty() && guard.front() == ' ') guard.remove_prefix(1);
+        while (!defined.empty() && defined.front() == ' ') {
+          defined.remove_prefix(1);
+        }
+        // The #define body must be exactly the guard macro.
+        if (guard == defined.substr(0, guard.size()) &&
+            (defined.size() == guard.size() ||
+             defined[guard.size()] == ' ')) {
+          return;
+        }
+        out->push_back(Finding{
+            std::string(rule()), ctx.path, pp[1].line,
+            "include-guard #define does not match the #ifndef macro"});
+        return;
+      }
+    }
+    out->push_back(Finding{
+        std::string(rule()), ctx.path, 1,
+        "header must open with a matching #ifndef/#define include guard"});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+/// Enforces the CMake link graph at the include level, so a layer cannot
+/// quietly grow an upward dependency the build happens to tolerate (static
+/// libraries resolve lazily, which is how client -> server crept in before
+/// this rule existed).
+class LayeringChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "layering"; }
+  std::string_view description() const override {
+    return "cross-layer include not permitted by the dependency graph "
+           "(e.g. core/ -> server/)";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    static const std::map<std::string, std::set<std::string>> kAllowed = {
+        {"util", {"util"}},
+        {"xml", {"xml", "util"}},
+        {"crypto", {"crypto", "util"}},
+        {"storage", {"storage", "util"}},
+        {"net", {"net", "util", "xml"}},
+        {"core", {"core", "util"}},
+        {"proto", {"proto", "core", "util"}},
+        {"server",
+         {"server", "core", "proto", "storage", "net", "crypto", "util",
+          "xml"}},
+        {"client",
+         {"client", "core", "proto", "storage", "net", "crypto", "util",
+          "xml"}},
+        {"web",
+         {"web", "server", "core", "proto", "storage", "net", "crypto",
+          "util", "xml"}},
+        {"sim",
+         {"sim", "server", "client", "core", "proto", "storage", "net",
+          "crypto", "util", "xml"}},
+    };
+    auto allowed = kAllowed.find(ctx.layer);
+    if (allowed == kAllowed.end()) return;  // tests/bench/... may include all
+
+    for (const PreprocLine& pp : ctx.lexed->preproc) {
+      if (pp.text.rfind("include", 0) != 0) continue;
+      std::size_t open = pp.text.find('"');
+      if (open == std::string::npos) continue;  // <system> include
+      std::size_t close = pp.text.find('"', open + 1);
+      if (close == std::string::npos) continue;
+      std::string target = pp.text.substr(open + 1, close - open - 1);
+      std::size_t slash = target.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      std::string target_layer = target.substr(0, slash);
+      if (kAllowed.find(target_layer) == kAllowed.end()) continue;
+      if (allowed->second.count(target_layer) == 0) {
+        out->push_back(Finding{
+            std::string(rule()), ctx.path, pp.line,
+            "layer '" + ctx.layer + "' must not include '" + target +
+                "' (allowed: own layer and its declared dependencies)"});
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// raw-new-delete
+// ---------------------------------------------------------------------------
+
+/// Ownership goes through std::unique_ptr / std::make_unique. The rare
+/// legitimate raw `new` (leaky static singletons that dodge destruction
+/// order, private-constructor factories) carries a suppression comment
+/// explaining itself.
+class RawNewDeleteChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "raw-new-delete"; }
+  std::string_view description() const override {
+    return "raw new/delete outside allocator shims; use make_unique or a "
+           "container, or suppress with justification";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    const auto& toks = ctx.lexed->tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!IsIdent(toks[i])) continue;
+      const std::string& name = toks[i].text;
+      if (name != "new" && name != "delete") continue;
+      if (i > 0 && IsIdent(toks[i - 1]) && toks[i - 1].text == "operator") {
+        continue;  // operator new/delete definitions are the shim itself
+      }
+      if (name == "delete" && i > 0 && IsPunct(toks[i - 1], "=")) {
+        continue;  // deleted special member
+      }
+      out->push_back(Finding{
+          std::string(rule()), ctx.path, toks[i].line,
+          "raw '" + name + "' — use std::make_unique / RAII containers"});
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::unique_ptr<Checker>>& AllCheckers() {
+  // Leaky singleton: the registry must outlive any static destructor that
+  // might still run a checker. pisrep-lint: allow(raw-new-delete)
+  static const auto* checkers = [] {
+    auto* v = new std::vector<std::unique_ptr<Checker>>();
+    v->push_back(std::make_unique<DiscardedStatusChecker>());
+    v->push_back(std::make_unique<WallClockChecker>());
+    v->push_back(std::make_unique<BannedFunctionChecker>());
+    v->push_back(std::make_unique<UsingNamespaceHeaderChecker>());
+    v->push_back(std::make_unique<IncludeGuardChecker>());
+    v->push_back(std::make_unique<LayeringChecker>());
+    v->push_back(std::make_unique<RawNewDeleteChecker>());
+    return v;
+  }();
+  return *checkers;
+}
+
+const Checker* FindChecker(std::string_view rule) {
+  for (const auto& checker : AllCheckers()) {
+    if (checker->rule() == rule) return checker.get();
+  }
+  return nullptr;
+}
+
+}  // namespace pisrep::lint

@@ -1,0 +1,291 @@
+#include "driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pisrep::lint {
+
+namespace {
+
+bool IsIdent(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+/// Skips a balanced <...> template argument list; `pos` indexes the `<`.
+/// Returns one past the closing `>`, treating `>>` as two closers.
+std::size_t SkipAngles(const std::vector<Token>& toks, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kPunct) continue;
+    if (toks[i].text == "<") depth += 1;
+    if (toks[i].text == ">") depth -= 1;
+    if (toks[i].text == ">>") depth -= 2;
+    if (depth <= 0 && (toks[i].text == ">" || toks[i].text == ">>")) {
+      return i + 1;
+    }
+    // Give up on clearly-not-template content (statement punctuation).
+    if (toks[i].text == ";" || toks[i].text == "{") return toks.size();
+  }
+  return toks.size();
+}
+
+/// Statement keywords that can directly precede a call: `return f(x)` is a
+/// call, `SimClock* clock()` is a declaration.
+bool IsDeclHeadKeyword(std::string_view text) {
+  static const std::set<std::string_view> kKeywords = {
+      "return", "co_return", "co_await", "co_yield", "throw", "new",
+      "delete", "else", "case", "goto",
+  };
+  return kKeywords.count(text) != 0;
+}
+
+void IndexFile(const LexedFile& lexed, ProjectIndex* index,
+               std::set<std::string>* non_fallible) {
+  const auto& toks = lexed.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i])) continue;
+
+    // `Status Name(`  (optionally qualified: util::Status, ::pisrep::...).
+    if (toks[i].text == "Status" && i + 2 < toks.size() &&
+        IsIdent(toks[i + 1]) && IsPunct(toks[i + 2], "(")) {
+      if (toks[i + 1].text != "operator") {
+        index->fallible_functions.insert(toks[i + 1].text);
+      }
+      continue;
+    }
+
+    // `Result<T...> Name(`.
+    if (toks[i].text == "Result" && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "<")) {
+      std::size_t after = SkipAngles(toks, i + 1);
+      if (after + 1 < toks.size() && IsIdent(toks[after]) &&
+          IsPunct(toks[after + 1], "(") &&
+          toks[after].text != "operator") {
+        index->fallible_functions.insert(toks[after].text);
+      }
+      continue;
+    }
+
+    // Any other declaration-shaped `Type [&|*] Name(` marks Name as having
+    // a non-Status overload somewhere (`void Login(cb)`, `HtmlWriter&
+    // Open(tag)`). Names declared both ways are ambiguous at token level,
+    // so BuildIndex drops them: [[nodiscard]] + -Werror still catches real
+    // discards of the fallible overload exactly.
+    if (IsDeclHeadKeyword(toks[i].text)) continue;
+    std::size_t name_at = i + 1;
+    if (name_at < toks.size() && toks[name_at].kind == TokenKind::kPunct &&
+        (toks[name_at].text == "&" || toks[name_at].text == "*" ||
+         toks[name_at].text == "&&")) {
+      ++name_at;
+    }
+    if (name_at + 1 < toks.size() && IsIdent(toks[name_at]) &&
+        IsPunct(toks[name_at + 1], "(") &&
+        toks[name_at].text != "operator" &&
+        !IsDeclHeadKeyword(toks[name_at].text)) {
+      non_fallible->insert(toks[name_at].text);
+    }
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string LayerOf(std::string_view path) {
+  if (path.rfind("src/", 0) != 0) return std::string();
+  std::string_view rest = path.substr(4);
+  std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return std::string();
+  return std::string(rest.substr(0, slash));
+}
+
+bool IsHeaderPath(std::string_view path) {
+  auto ends_with = [&](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.substr(path.size() - suffix.size()) == suffix;
+  };
+  return ends_with(".h") || ends_with(".hpp");
+}
+
+}  // namespace
+
+ProjectIndex BuildIndex(const std::vector<SourceFile>& files) {
+  ProjectIndex index;
+  std::set<std::string> non_fallible;
+  for (const auto& [path, content] : files) {
+    LexedFile lexed = Lex(content);
+    IndexFile(lexed, &index, &non_fallible);
+  }
+  for (const std::string& name : non_fallible) {
+    index.fallible_functions.erase(name);
+  }
+  return index;
+}
+
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const LexedFile& lexed) {
+  std::map<int, std::set<std::string>> out;
+  constexpr std::string_view kMarker = "pisrep-lint:";
+  for (const Comment& comment : lexed.comments) {
+    std::size_t at = comment.text.find(kMarker);
+    if (at == std::string::npos) continue;
+    std::string_view rest =
+        std::string_view(comment.text).substr(at + kMarker.size());
+    std::size_t open = rest.find("allow(");
+    if (open == std::string_view::npos) continue;
+    std::size_t close = rest.find(')', open);
+    if (close == std::string_view::npos) continue;
+    std::string_view list = rest.substr(open + 6, close - open - 6);
+    std::set<std::string>& rules = out[comment.line];
+    std::string current;
+    for (char c : list) {
+      if (c == ',' || c == ' ') {
+        if (!current.empty()) rules.insert(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    if (!current.empty()) rules.insert(current);
+  }
+  return out;
+}
+
+std::vector<Finding> AnalyzeFile(const std::string& path,
+                                 std::string_view content,
+                                 const ProjectIndex& index) {
+  LexedFile lexed = Lex(content);
+  FileContext ctx;
+  ctx.path = path;
+  ctx.content = content;
+  ctx.lexed = &lexed;
+  ctx.index = &index;
+  ctx.is_header = IsHeaderPath(path);
+  ctx.layer = LayerOf(path);
+
+  std::vector<Finding> findings;
+  for (const auto& checker : AllCheckers()) {
+    checker->Check(ctx, &findings);
+  }
+
+  // A suppression comment covers its own line and the line below it, so it
+  // can sit at the end of the offending line or on the line above.
+  auto suppressions = CollectSuppressions(lexed);
+  auto allowed = [&](const Finding& f) {
+    for (int line : {f.line, f.line - 1}) {
+      auto it = suppressions.find(line);
+      if (it == suppressions.end()) continue;
+      if (it->second.count("all") != 0 ||
+          it->second.count(f.rule) != 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(), allowed),
+      findings.end());
+  return findings;
+}
+
+std::vector<Finding> AnalyzeProject(const std::vector<SourceFile>& files) {
+  ProjectIndex index = BuildIndex(files);
+  std::vector<Finding> findings;
+  for (const auto& [path, content] : files) {
+    std::vector<Finding> file_findings = AnalyzeFile(path, content, index);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::set<std::string> ParseBaseline(std::string_view content) {
+  std::set<std::string> out;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    std::string_view line = content.substr(start, end - start);
+    start = end + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+    out.insert(std::string(line));
+  }
+  return out;
+}
+
+std::string BaselineKey(const Finding& finding) {
+  return finding.rule + " " + finding.file + ":" +
+         std::to_string(finding.line);
+}
+
+std::vector<Finding> FilterBaseline(std::vector<Finding> findings,
+                                    const std::set<std::string>& baseline) {
+  findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                [&](const Finding& f) {
+                                  return baseline.count(BaselineKey(f)) != 0;
+                                }),
+                 findings.end());
+  return findings;
+}
+
+std::string FormatHuman(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+  if (findings.empty()) {
+    os << "pisrep-lint: no findings\n";
+  } else {
+    os << "pisrep-lint: " << findings.size() << " finding"
+       << (findings.size() == 1 ? "" : "s") << "\n";
+  }
+  return os.str();
+}
+
+std::string FormatJson(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) os << ",";
+    os << "{\"rule\":\"" << JsonEscape(f.rule) << "\",\"file\":\""
+       << JsonEscape(f.file) << "\",\"line\":" << f.line
+       << ",\"message\":\"" << JsonEscape(f.message) << "\"}";
+  }
+  os << "],\"count\":" << findings.size() << "}\n";
+  return os.str();
+}
+
+}  // namespace pisrep::lint

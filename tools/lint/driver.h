@@ -1,0 +1,57 @@
+#ifndef PISREP_TOOLS_LINT_DRIVER_H_
+#define PISREP_TOOLS_LINT_DRIVER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "checker.h"
+
+namespace pisrep::lint {
+
+/// (repo-relative path, file content) pairs — the unit the driver works on,
+/// so that tests can feed in-memory fixtures without touching the disk.
+using SourceFile = std::pair<std::string, std::string>;
+
+/// First pass: collect project-wide facts (fallible function names) from
+/// every file.
+ProjectIndex BuildIndex(const std::vector<SourceFile>& files);
+
+/// Suppressions present in a file: line -> rule ids allowed on that line
+/// and the one below it. The special rule id "all" allows everything.
+/// Syntax, anywhere in a comment:   pisrep-lint: allow(rule-a, rule-b)
+std::map<int, std::set<std::string>> CollectSuppressions(
+    const LexedFile& lexed);
+
+/// Second pass over one file: runs every registered checker and drops
+/// findings covered by suppression comments.
+std::vector<Finding> AnalyzeFile(const std::string& path,
+                                 std::string_view content,
+                                 const ProjectIndex& index);
+
+/// Runs both passes over a file set and returns all findings, sorted by
+/// path, line, rule.
+std::vector<Finding> AnalyzeProject(const std::vector<SourceFile>& files);
+
+/// Baseline file format: one `rule path:line` entry per line; blank lines
+/// and lines starting with '#' are ignored.
+std::set<std::string> ParseBaseline(std::string_view content);
+std::string BaselineKey(const Finding& finding);
+
+/// Removes findings whose BaselineKey appears in `baseline` (grandfathered
+/// findings from before a rule was introduced).
+std::vector<Finding> FilterBaseline(std::vector<Finding> findings,
+                                    const std::set<std::string>& baseline);
+
+/// "path:line: [rule] message" per finding plus a summary line.
+std::string FormatHuman(const std::vector<Finding>& findings);
+
+/// {"findings":[{"rule":...,"file":...,"line":...,"message":...}],"count":N}
+std::string FormatJson(const std::vector<Finding>& findings);
+
+}  // namespace pisrep::lint
+
+#endif  // PISREP_TOOLS_LINT_DRIVER_H_

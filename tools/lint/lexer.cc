@@ -1,0 +1,194 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace pisrep::lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the checkers care about. Everything else is
+/// emitted one character at a time, which is good enough for statement
+/// boundary detection.
+constexpr std::string_view kDigraphs[] = {"::", "->", "<<", ">>", "==", "!=",
+                                          "<=", ">=", "&&", "||", "+=", "-=",
+                                          "*=", "/=", "++", "--"};
+
+}  // namespace
+
+LexedFile Lex(std::string_view content) {
+  LexedFile out;
+  std::size_t i = 0;
+  const std::size_t n = content.size();
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') line += 1;
+    }
+  };
+
+  while (i < n) {
+    char c = content[i];
+
+    if (c == '\n') {
+      at_line_start = true;
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      std::size_t end = content.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      std::string_view body = content.substr(i + 2, end - i - 2);
+      while (!body.empty() && (body.front() == '/' || body.front() == ' ' ||
+                               body.front() == '!')) {
+        body.remove_prefix(1);
+      }
+      out.comments.push_back(Comment{line, std::string(body)});
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      int start_line = line;
+      std::size_t end = content.find("*/", i + 2);
+      std::size_t stop = (end == std::string_view::npos) ? n : end + 2;
+      std::string_view body = content.substr(
+          i + 2, (end == std::string_view::npos ? n : end) - i - 2);
+      out.comments.push_back(Comment{start_line, std::string(body)});
+      advance(stop - i);
+      at_line_start = false;
+      continue;
+    }
+
+    // Preprocessor directive (only when '#' is the first non-whitespace
+    // character on the line). Continuations are joined.
+    if (c == '#' && at_line_start) {
+      int start_line = line;
+      std::string text;
+      std::size_t j = i + 1;
+      while (j < n) {
+        char d = content[j];
+        if (d == '\\' && j + 1 < n && content[j + 1] == '\n') {
+          j += 2;
+          text.push_back(' ');
+          continue;
+        }
+        if (d == '\n') break;
+        // A comment ends the directive body.
+        if (d == '/' && j + 1 < n &&
+            (content[j + 1] == '/' || content[j + 1] == '*')) {
+          break;
+        }
+        text.push_back(d);
+        ++j;
+      }
+      // Trim.
+      std::size_t b = text.find_first_not_of(" \t");
+      std::size_t e = text.find_last_not_of(" \t");
+      text = (b == std::string::npos) ? std::string()
+                                      : text.substr(b, e - b + 1);
+      out.preproc.push_back(PreprocLine{start_line, text});
+      advance(j - i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+      std::size_t paren = content.find('(', i + 2);
+      if (paren != std::string_view::npos && paren - i - 2 <= 16) {
+        std::string delim(content.substr(i + 2, paren - i - 2));
+        std::string closer = ")" + delim + "\"";
+        std::size_t end = content.find(closer, paren + 1);
+        std::size_t stop =
+            (end == std::string_view::npos) ? n : end + closer.size();
+        out.tokens.push_back(
+            Token{TokenKind::kString,
+                  std::string(content.substr(i, stop - i)), line});
+        advance(stop - i);
+        continue;
+      }
+    }
+
+    // String / char literal (with escape handling).
+    if (c == '"' || c == '\'') {
+      int start_line = line;
+      std::size_t j = i + 1;
+      while (j < n) {
+        if (content[j] == '\\' && j + 1 < n) {
+          j += 2;
+          continue;
+        }
+        if (content[j] == c) {
+          ++j;
+          break;
+        }
+        if (content[j] == '\n') break;  // unterminated; stop at the line end
+        ++j;
+      }
+      out.tokens.push_back(
+          Token{c == '"' ? TokenKind::kString : TokenKind::kChar,
+                std::string(content.substr(i, j - i)), start_line});
+      advance(j - i);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && IsIdentChar(content[j])) ++j;
+      out.tokens.push_back(Token{TokenKind::kIdentifier,
+                                 std::string(content.substr(i, j - i)),
+                                 line});
+      advance(j - i);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (IsIdentChar(content[j]) || content[j] == '.' ||
+                       ((content[j] == '+' || content[j] == '-') &&
+                        (content[j - 1] == 'e' || content[j - 1] == 'E')))) {
+        ++j;
+      }
+      out.tokens.push_back(Token{TokenKind::kNumber,
+                                 std::string(content.substr(i, j - i)),
+                                 line});
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation: longest known digraph first.
+    std::string_view rest = content.substr(i);
+    std::string_view matched;
+    for (std::string_view d : kDigraphs) {
+      if (rest.substr(0, d.size()) == d) {
+        matched = d;
+        break;
+      }
+    }
+    if (matched.empty()) matched = rest.substr(0, 1);
+    out.tokens.push_back(
+        Token{TokenKind::kPunct, std::string(matched), line});
+    advance(matched.size());
+  }
+
+  return out;
+}
+
+}  // namespace pisrep::lint

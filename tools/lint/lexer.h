@@ -1,0 +1,57 @@
+#ifndef PISREP_TOOLS_LINT_LEXER_H_
+#define PISREP_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pisrep::lint {
+
+/// A lightweight C++ token. The lexer is deliberately not a full C++
+/// front-end: it only needs to be exact about the things the checkers care
+/// about — identifier boundaries, statement punctuation, and what is inside
+/// a comment, string literal, or preprocessor directive (and therefore not
+/// code).
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (the lexer does not distinguish)
+  kNumber,
+  kString,  ///< string literal, including raw strings; text is the literal
+  kChar,
+  kPunct,  ///< one operator/punctuator per token ("::", "->", "(", ...)
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  ///< 1-based
+};
+
+/// A comment with its starting line. Block comments produce one entry.
+struct Comment {
+  int line;
+  std::string text;  ///< without the // or /* */ markers, trimmed
+};
+
+/// A preprocessor directive with continuations joined ("include "a/b.h"").
+struct PreprocLine {
+  int line;
+  std::string text;  ///< without the leading '#', trimmed
+};
+
+/// The lexed view of one translation unit. Comments and preprocessor
+/// directives are kept out of the token stream so checkers never mistake
+/// commented-out or macro-definition code for live statements.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<PreprocLine> preproc;
+};
+
+/// Lexes `content`. Never fails: unterminated constructs are consumed to
+/// end-of-file, which matches how the checkers want to treat malformed
+/// input (no findings are better than crashed findings).
+LexedFile Lex(std::string_view content);
+
+}  // namespace pisrep::lint
+
+#endif  // PISREP_TOOLS_LINT_LEXER_H_
