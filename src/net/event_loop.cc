@@ -20,13 +20,21 @@ void EventLoop::ScheduleAfter(util::Duration delay, Callback cb) {
 void EventLoop::SchedulePeriodic(util::TimePoint first,
                                  util::Duration interval, Callback cb) {
   PISREP_CHECK(interval > 0) << "periodic interval must be positive";
-  // The wrapper reschedules itself after running the user callback.
+  // The wrapper reschedules itself after running the user callback. Only
+  // the queued events hold it strongly; the wrapper captures itself weakly,
+  // so destroying the loop (whose queue owns the last strong reference)
+  // frees the chain instead of leaking a self-referential cycle.
   auto wrapper = std::make_shared<std::function<void(util::TimePoint)>>();
   Callback user_cb = std::move(cb);
-  *wrapper = [this, interval, user_cb, wrapper](util::TimePoint at) {
+  std::weak_ptr<std::function<void(util::TimePoint)>> weak = wrapper;
+  *wrapper = [this, interval, user_cb, weak](util::TimePoint at) {
     user_cb();
     util::TimePoint next = at + interval;
-    ScheduleAt(next, [wrapper, next] { (*wrapper)(next); });
+    // The currently-running event still holds a strong reference, so the
+    // lock always succeeds here; the next event takes over ownership.
+    if (auto self = weak.lock()) {
+      ScheduleAt(next, [self, next] { (*self)(next); });
+    }
   };
   ScheduleAt(first, [wrapper, first] { (*wrapper)(first); });
 }

@@ -1,5 +1,6 @@
 #include "server/account_manager.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/hmac.h"
@@ -193,9 +194,46 @@ Result<double> AccountManager::ApplyRemark(core::UserId id, bool positive,
   double updated = positive
                        ? core::TrustEngine::ApplyPositiveRemark(state, now)
                        : core::TrustEngine::ApplyNegativeRemark(state, now);
+  bool changed = updated != account.trust_factor;
   account.trust_factor = updated;
   PISREP_RETURN_IF_ERROR(users_->Upsert(RowFromAccount(account)));
+  if (changed) {
+    // Capped remarks (weekly growth limit, floor/ceiling) that leave the
+    // factor untouched do not dirty the account.
+    trust_changes_.emplace_back(++trust_generation_, id);
+  }
   return updated;
+}
+
+std::vector<core::UserId> AccountManager::TrustChangedSince(
+    std::uint64_t after) const {
+  std::vector<core::UserId> out;
+  std::unordered_map<core::UserId, bool> seen;
+  for (const auto& [generation, user] : trust_changes_) {
+    if (generation <= after) continue;
+    if (!seen.emplace(user, true).second) continue;
+    out.push_back(user);
+  }
+  return out;
+}
+
+void AccountManager::PruneTrustChangesBefore(std::uint64_t upto) {
+  trust_changes_.erase(
+      std::remove_if(trust_changes_.begin(), trust_changes_.end(),
+                     [upto](const std::pair<std::uint64_t, core::UserId>& e) {
+                       return e.first <= upto;
+                     }),
+      trust_changes_.end());
+}
+
+std::unordered_map<core::UserId, double> AccountManager::AllTrustFactors()
+    const {
+  std::unordered_map<core::UserId, double> factors;
+  factors.reserve(users_->size());
+  users_->ForEach([&](const Row& row) {
+    factors.emplace(row[0].AsInt(), row[8].AsReal());
+  });
+  return factors;
 }
 
 std::size_t AccountManager::AccountCount() const { return users_->size(); }

@@ -87,10 +87,30 @@ class AccountManager {
   /// weight a brand-new user would carry).
   double TrustFactor(core::UserId id) const;
 
+  /// Every account's current trust factor in one table scan, without
+  /// materializing Account rows. Bulk alternative to per-vote TrustFactor
+  /// calls for the aggregation sweep: O(accounts) instead of O(votes) row
+  /// copies, and the resulting map is safe to read from worker threads.
+  std::unordered_map<core::UserId, double> AllTrustFactors() const;
+
   /// Applies a meta-moderation remark to the user's trust factor, honoring
   /// the §3.2 growth schedule. Returns the new factor.
   util::Result<double> ApplyRemark(core::UserId id, bool positive,
                                    util::TimePoint now);
+
+  /// Monotonic counter bumped every time some account's trust factor
+  /// actually changes. The aggregation job snapshots it to ask, next run,
+  /// "whose weight moved since I last looked?".
+  std::uint64_t trust_generation() const { return trust_generation_; }
+
+  /// Accounts whose trust factor changed in generations (after, now],
+  /// deduplicated, in change order. Pure query; see
+  /// PruneTrustChangesBefore for reclaiming the log.
+  std::vector<core::UserId> TrustChangedSince(std::uint64_t after) const;
+
+  /// Drops change-log entries with generation <= upto (called by the
+  /// consumer once a run has folded them in, bounding log growth).
+  void PruneTrustChangesBefore(std::uint64_t upto);
 
   std::size_t AccountCount() const;
   std::vector<core::UserId> AllUserIds() const;
@@ -109,6 +129,12 @@ class AccountManager {
   storage::Table* activations_;
   std::unordered_map<std::string, core::UserId> sessions_;
   core::UserId next_user_id_ = 1;
+  /// Trust-change log for incremental aggregation: (generation, account).
+  /// In-memory only — like sessions, it does not survive a restart, which
+  /// is safe because the aggregation job's first run after construction is
+  /// always a full sweep.
+  std::uint64_t trust_generation_ = 0;
+  std::vector<std::pair<std::uint64_t, core::UserId>> trust_changes_;
 };
 
 }  // namespace pisrep::server

@@ -1,9 +1,12 @@
 #include "server/aggregation_job.h"
 
+#include <algorithm>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "util/clock.h"
 #include "util/logging.h"
 
 namespace pisrep::server {
@@ -12,25 +15,110 @@ AggregationJob::AggregationJob(SoftwareRegistry* registry, VoteStore* votes,
                                AccountManager* accounts)
     : registry_(registry), votes_(votes), accounts_(accounts) {}
 
-std::size_t AggregationJob::RunOnce(util::TimePoint now) {
+std::size_t AggregationJob::RunOnce(util::TimePoint now, bool full_sweep) {
   ++runs_;
-  std::size_t recomputed = 0;
+  const std::int64_t started = util::MonotonicMicros();
+  // The first run after construction is always a full sweep: dirty state is
+  // in-memory and did not observe whatever happened before a restart.
+  const bool sweep =
+      full_sweep || runs_ == 1 ||
+      (full_sweep_every_ != 0 && runs_ % full_sweep_every_ == 0);
 
-  for (const core::SoftwareId& software : votes_->RatedSoftware()) {
-    std::vector<core::WeightedVote> weighted;
-    for (const StoredRating& stored : votes_->VotesForSoftware(software)) {
-      // Pseudonymous votes carry their weight frozen at vote time; linkable
-      // votes use the voter's *current* trust factor (§3.2). The ablation
-      // switch flattens everything to 1.
-      double weight = 1.0;
-      if (trust_weighting_) {
-        weight = stored.trust_snapshot > 0.0
-                     ? stored.trust_snapshot
-                     : accounts_->TrustFactor(stored.record.user);
+  // Consume every dirty source even when sweeping, so the next incremental
+  // run starts from a clean slate instead of redoing already-swept work.
+  std::vector<core::SoftwareId> dirty_votes = votes_->TakeDirtySoftware();
+  std::vector<core::SoftwareId> dirty_priors = registry_->TakeDirtyPriors();
+  const std::uint64_t trust_generation = accounts_->trust_generation();
+  std::vector<core::UserId> trust_changed =
+      accounts_->TrustChangedSince(trust_generation_seen_);
+  trust_generation_seen_ = trust_generation;
+  accounts_->PruneTrustChangesBefore(trust_generation);
+
+  stats_ = AggregationStats{};
+  stats_.run = runs_;
+  stats_.full_sweep = sweep;
+  stats_.candidates = votes_->RatedSoftwareCount();
+  stats_.dirty_votes = dirty_votes.size();
+  stats_.dirty_priors = dirty_priors.size();
+
+  // Target assembly. Incremental targets are deduplicated in a fixed order
+  // (vote-dirty, then trust-dirty, then prior-dirty) so repeated runs over
+  // the same dirt recompute in the same sequence. Ids without votes are
+  // skipped: a full sweep would not touch them either (RatedSoftware), so
+  // skipping keeps the two modes byte-identical.
+  std::vector<core::SoftwareId> targets;
+  if (sweep) {
+    targets = votes_->RatedSoftware();
+  } else {
+    std::unordered_set<std::string> seen;
+    auto add = [&](const core::SoftwareId& id) {
+      if (votes_->VoteCountFor(id) == 0) return false;
+      if (!seen.insert(id.ToHex()).second) return false;
+      targets.push_back(id);
+      return true;
+    };
+    for (const core::SoftwareId& id : dirty_votes) add(id);
+    if (trust_weighting_) {
+      // A trust change re-weighs only *linkable* votes; pseudonymous votes
+      // carry a frozen snapshot and are immune (§3.2).
+      for (core::UserId user : trust_changed) {
+        for (const StoredRating& stored : votes_->VotesByUser(user)) {
+          if (stored.trust_snapshot > 0.0) continue;
+          if (add(stored.record.software)) ++stats_.dirty_trust;
+        }
       }
-      weighted.push_back(core::WeightedVote{
-          static_cast<double>(stored.record.score), weight});
     }
+    for (const core::SoftwareId& id : dirty_priors) add(id);
+  }
+
+  // When the run will touch more votes than there are accounts, snapshot
+  // every trust factor in one users-table scan up front. Per-vote
+  // TrustFactor() copies a full account row (five string columns) per call;
+  // under the pool those copies all contend on the allocator and eat the
+  // parallel speedup. The map holds the same live values a per-vote lookup
+  // would see (nothing mutates accounts mid-run), so output is unchanged.
+  std::unordered_map<core::UserId, double> trust_cache;
+  bool use_trust_cache = false;
+  if (trust_weighting_) {
+    std::size_t vote_work = 0;
+    for (const core::SoftwareId& id : targets) {
+      vote_work += votes_->VoteCountFor(id);
+    }
+    if (vote_work >= accounts_->AccountCount()) {
+      trust_cache = accounts_->AllTrustFactors();
+      use_trust_cache = true;
+    }
+  }
+
+  // Phase 1 — pure compute, fanned out across the pool when one is
+  // attached. Workers only *read* (votes, trust factors, priors) and write
+  // disjoint slots of a pre-sized results vector; per-software arithmetic
+  // order never changes, so parallel output is bit-identical to serial.
+  auto compute = [&](const core::SoftwareId& software) {
+    std::vector<core::WeightedVote> weighted;
+    weighted.reserve(votes_->VoteCountFor(software) + 1);
+    votes_->ForEachVoteOn(
+        software, [&](core::UserId user, int score, double trust_snapshot) {
+          // Pseudonymous votes carry their weight frozen at vote time;
+          // linkable votes use the voter's *current* trust factor (§3.2).
+          // The ablation switch flattens everything to 1.
+          double weight = 1.0;
+          if (trust_weighting_) {
+            if (trust_snapshot > 0.0) {
+              weight = trust_snapshot;
+            } else if (use_trust_cache) {
+              auto it = trust_cache.find(user);
+              // A miss means the voter has no account row; fall through to
+              // TrustFactor so the unknown-user default stays in one place.
+              weight = it != trust_cache.end() ? it->second
+                                               : accounts_->TrustFactor(user);
+            } else {
+              weight = accounts_->TrustFactor(user);
+            }
+          }
+          weighted.push_back(
+              core::WeightedVote{static_cast<double>(score), weight});
+        });
     // Blend the bootstrap prior (§2.1 second approach) as synthetic weight:
     // imported scores behave like an existing body of votes, so a handful
     // of novice ratings become "one out of many, rather than the one and
@@ -45,33 +133,95 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now) {
       // The prior is not a community vote; do not count it as one.
       score.vote_count -= 1;
     }
-    util::Status put = registry_->PutScore(score);
+    return score;
+  };
+
+  std::vector<core::SoftwareScore> results(targets.size());
+  if (pool_ != nullptr && targets.size() > 1) {
+    std::size_t shards = std::min(targets.size(), pool_->size());
+    std::size_t chunk = (targets.size() + shards - 1) / shards;
+    stats_.shards = (targets.size() + chunk - 1) / chunk;
+    pool_->ParallelFor(targets.size(),
+                       [&](std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           results[i] = compute(targets[i]);
+                         }
+                       });
+  } else {
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      results[i] = compute(targets[i]);
+    }
+  }
+
+  // Phase 2 — writes, sequential on the calling thread in target order
+  // (storage::Database is single-writer).
+  std::size_t recomputed = 0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    util::Status put = registry_->PutScore(results[i]);
     if (!put.ok()) {
-      PISREP_LOG(kWarning) << "aggregation: PutScore(" << software.ToHex()
-                           << ") failed: " << put;
+      PISREP_LOG(kWarning) << "aggregation: PutScore("
+                           << targets[i].ToHex() << ") failed: " << put;
       continue;
     }
     ++recomputed;
   }
+  stats_.recomputed = recomputed;
+  stats_.skipped = stats_.candidates - std::min(stats_.candidates,
+                                                targets.size());
 
-  // Vendor scores: mean over the vendor's scored software (§3.2).
-  std::unordered_map<std::string, std::vector<core::SoftwareScore>>
-      by_vendor;
-  for (const core::SoftwareId& software : registry_->AllSoftware()) {
+  // Vendor scores: mean over the vendor's scored software (§3.2). Both
+  // modes gather through SoftwareByVendor so the floating-point summation
+  // order is identical whether a vendor was reached by a sweep or by one
+  // dirty title.
+  std::vector<core::VendorId> vendors;
+  std::unordered_set<std::string> vendor_seen;
+  auto add_vendor = [&](const core::SoftwareId& software) {
     auto meta = registry_->GetSoftware(software);
-    if (!meta.ok() || meta->company.empty()) continue;
-    auto score = registry_->GetScore(software);
-    if (!score.ok()) continue;
-    by_vendor[meta->company].push_back(*score);
+    if (!meta.ok() || meta->company.empty()) return;
+    if (!vendor_seen.insert(meta->company).second) return;
+    vendors.push_back(meta->company);
+  };
+  if (sweep) {
+    for (const core::SoftwareId& software : registry_->AllSoftware()) {
+      add_vendor(software);
+    }
+  } else {
+    for (const core::SoftwareId& software : targets) add_vendor(software);
+    // A rewritten prior on a zero-vote title never enters `targets` (its
+    // visible row was updated by PutBootstrapPrior directly), but the
+    // vendor mean reads that row — the vendor is dirty even though no
+    // software score was recomputed.
+    for (const core::SoftwareId& software : dirty_priors) {
+      add_vendor(software);
+    }
   }
-  for (const auto& [vendor, scores] : by_vendor) {
+  for (const core::VendorId& vendor : vendors) {
+    std::vector<core::SoftwareScore> scores;
+    for (const core::SoftwareMeta& meta :
+         registry_->SoftwareByVendor(vendor)) {
+      auto score = registry_->GetScore(meta.id);
+      if (score.ok()) scores.push_back(*score);
+    }
+    if (scores.empty()) continue;
     util::Status put = registry_->PutVendorScore(
         core::RatingAggregator::AggregateVendor(vendor, scores, now));
     if (!put.ok()) {
       PISREP_LOG(kWarning) << "aggregation: PutVendorScore(" << vendor
                            << ") failed: " << put;
+      continue;
     }
+    ++stats_.vendors_recomputed;
   }
+
+  stats_.wall_micros = util::MonotonicMicros() - started;
+  PISREP_LOG(kInfo) << "aggregation run " << stats_.run
+                    << (sweep ? " (full sweep)" : " (incremental)")
+                    << ": recomputed " << stats_.recomputed << "/"
+                    << stats_.candidates << " software (dirty: votes="
+                    << stats_.dirty_votes << " trust=" << stats_.dirty_trust
+                    << " priors=" << stats_.dirty_priors << "), "
+                    << stats_.vendors_recomputed << " vendors, shards="
+                    << stats_.shards << ", " << stats_.wall_micros << "us";
   return recomputed;
 }
 

@@ -10,20 +10,57 @@
 #include "server/account_manager.h"
 #include "server/software_registry.h"
 #include "server/vote_store.h"
+#include "util/thread_pool.h"
 
 namespace pisrep::server {
 
-/// The daily score recomputation (§3.2: "Software ratings are calculated at
+/// Instrumentation for one aggregation run (logged, exposed for tests and
+/// the A4 benchmark).
+struct AggregationStats {
+  std::uint64_t run = 0;        ///< 1-based run counter
+  bool full_sweep = false;      ///< true when every rated software was redone
+  std::size_t candidates = 0;   ///< distinct software with >= 1 vote
+  std::size_t recomputed = 0;   ///< software whose score was recomputed
+  std::size_t skipped = 0;      ///< candidates - recomputed (clean entries)
+  std::size_t dirty_votes = 0;  ///< dirtied by SubmitRating / SetApproved
+  std::size_t dirty_trust = 0;  ///< dirtied via a voter's trust change
+  std::size_t dirty_priors = 0; ///< dirtied by a bootstrap-prior write
+  std::size_t vendors_recomputed = 0;
+  std::size_t shards = 1;       ///< parallel chunks the compute fanned over
+  std::int64_t wall_micros = 0; ///< real elapsed time (instrumentation only)
+};
+
+/// The score recomputation job (§3.2: "Software ratings are calculated at
 /// fixed points in time (currently once in every 24-hour period). During
 /// this work users' trust factors are taken into consideration").
 ///
-/// Each run:
-///   1. for every rated software: gathers votes, weights each by the
-///      voter's *current* trust factor, blends in any bootstrap prior, and
-///      stores the SoftwareScore;
-///   2. for every vendor with scored software: stores the vendor mean.
+/// The paper recomputes everything every 24 h; at millions of votes that
+/// makes the recompute cost — not the period — the scaling limit. This job
+/// is therefore *incremental*: each run recomputes only the union of
+///
+///   - software touched by SubmitRating / SetApproved (VoteStore dirty set),
+///   - software voted on (linkably) by accounts whose trust factor changed
+///     since the previous run (AccountManager trust generation, mapped back
+///     through VotesByUser; pseudonymous votes carry frozen weights and are
+///     immune to trust changes),
+///   - software whose bootstrap prior was rewritten (SoftwareRegistry),
+///
+/// and vendor scores only for vendors owning a recomputed title. A
+/// `full_sweep` escape hatch, a forced full sweep every Nth run
+/// (set_full_sweep_every), and an unconditional full sweep on a job's first
+/// run (dirty state is in-memory and lost on restart) guard against drift.
+///
+/// Parallelism: per-software gather+aggregate is read-only over the
+/// database and fans out across a util::ThreadPool when one is attached;
+/// every write (PutScore / PutVendorScore) happens on the calling thread —
+/// storage::Database stays single-writer, and results are byte-identical
+/// to the sequential path because per-software arithmetic order never
+/// changes.
 class AggregationJob {
  public:
+  /// Every Nth scheduled run is widened to a full sweep by default.
+  static constexpr std::uint64_t kDefaultFullSweepEvery = 16;
+
   AggregationJob(SoftwareRegistry* registry, VoteStore* votes,
                  AccountManager* accounts);
 
@@ -32,14 +69,29 @@ class AggregationJob {
   void set_trust_weighting(bool enabled) { trust_weighting_ = enabled; }
   bool trust_weighting() const { return trust_weighting_; }
 
-  /// Recomputes all scores as of `now`. Returns the number of software
-  /// entries whose score was recomputed.
-  std::size_t RunOnce(util::TimePoint now);
+  /// Attaches a worker pool for the compute fan-out (not owned; must
+  /// outlive the job or be detached with nullptr). Null means compute
+  /// inline on the calling thread.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+
+  /// Forces a full sweep every `n` runs; 0 disables the periodic guard
+  /// (the first run and the explicit escape hatch still sweep fully).
+  void set_full_sweep_every(std::uint64_t n) { full_sweep_every_ = n; }
+  std::uint64_t full_sweep_every() const { return full_sweep_every_; }
+
+  /// Recomputes scores as of `now` — incrementally, unless `full_sweep`
+  /// asks for the paper's recompute-everything behaviour. Returns the
+  /// number of software entries whose score was recomputed.
+  std::size_t RunOnce(util::TimePoint now, bool full_sweep = false);
+
+  /// Stats for the most recent RunOnce.
+  const AggregationStats& last_stats() const { return stats_; }
 
   /// Installs the job on the loop, first run after one period. The job
   /// reschedules itself after each run; CancelSchedule (or destroying the
   /// job) stops the chain. Calling Schedule again replaces any existing
-  /// schedule.
+  /// schedule. Scheduled runs are incremental (with the periodic forced
+  /// full sweep).
   void Schedule(net::EventLoop* loop,
                 util::Duration period = core::kAggregationPeriod);
 
@@ -58,7 +110,12 @@ class AggregationJob {
   VoteStore* votes_;
   AccountManager* accounts_;
   bool trust_weighting_ = true;
+  util::ThreadPool* pool_ = nullptr;
+  std::uint64_t full_sweep_every_ = kDefaultFullSweepEvery;
+  /// Trust generation already folded into scores by previous runs.
+  std::uint64_t trust_generation_seen_ = 0;
   std::uint64_t runs_ = 0;
+  AggregationStats stats_;
   net::EventLoop* loop_ = nullptr;
   util::Duration period_ = 0;
   /// Liveness token: queued loop callbacks hold a weak_ptr and fire only

@@ -65,6 +65,12 @@ ReputationServer::ReputationServer(storage::Database* db,
       aggregation_(&registry_, &votes_, &accounts_),
       bootstrap_(&registry_) {
   aggregation_.set_trust_weighting(config_.trust_weighting);
+  aggregation_.set_full_sweep_every(config_.aggregation_full_sweep_every);
+  if (config_.aggregation_workers > 0) {
+    aggregation_pool_ =
+        std::make_unique<util::ThreadPool>(config_.aggregation_workers);
+    aggregation_.set_thread_pool(aggregation_pool_.get());
+  }
   if (loop_ != nullptr) {
     aggregation_.Schedule(loop_, config_.aggregation_period);
   }

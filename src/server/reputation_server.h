@@ -23,6 +23,7 @@
 #include "server/software_registry.h"
 #include "server/vote_store.h"
 #include "storage/database.h"
+#include "util/thread_pool.h"
 
 namespace pisrep::server {
 
@@ -80,6 +81,14 @@ class ReputationServer {
     /// lose meta-moderation (remarks need linkable authorship).
     bool pseudonymous_votes = false;
     std::string pseudonym_secret = "pisrep-pseudonym-secret";
+    /// Worker threads for the aggregation compute fan-out. 0 keeps the
+    /// job on the calling thread (deterministic single-threaded default
+    /// for simulations; results are identical either way).
+    std::size_t aggregation_workers = 0;
+    /// Every Nth aggregation run is widened to a full sweep (drift
+    /// guard); 0 disables the periodic guard.
+    std::uint64_t aggregation_full_sweep_every =
+        AggregationJob::kDefaultFullSweepEvery;
   };
 
   /// The database must outlive the server. The loop is used for the daily
@@ -188,6 +197,9 @@ class ReputationServer {
 
   Config config_;
   net::EventLoop* loop_;
+  /// Declared before aggregation_ so the pool outlives the job that uses
+  /// it. Null when aggregation_workers == 0.
+  std::unique_ptr<util::ThreadPool> aggregation_pool_;
   AccountManager accounts_;
   SoftwareRegistry registry_;
   VoteStore votes_;

@@ -235,18 +235,23 @@ Status SoftwareRegistry::PutBootstrapPrior(const SoftwareId& id,
     Row row = *existing;
     row[5] = Value::Real(score);
     row[6] = Value::Real(weight);
-    return scores_->Upsert(std::move(row));
+    PISREP_RETURN_IF_ERROR(scores_->Upsert(std::move(row)));
+  } else {
+    // No aggregated score yet: the prior *is* the visible score.
+    PISREP_RETURN_IF_ERROR(scores_->Upsert(Row{
+        Value::Str(id_hex),
+        Value::Real(score),
+        Value::Int(0),
+        Value::Real(weight),
+        Value::Int(0),
+        Value::Real(score),
+        Value::Real(weight),
+    }));
   }
-  // No aggregated score yet: the prior *is* the visible score.
-  return scores_->Upsert(Row{
-      Value::Str(id_hex),
-      Value::Real(score),
-      Value::Int(0),
-      Value::Real(weight),
-      Value::Int(0),
-      Value::Real(score),
-      Value::Real(weight),
-  });
+  if (dirty_prior_set_.insert(id_hex).second) {
+    dirty_prior_order_.push_back(id_hex);
+  }
+  return Status::Ok();
 }
 
 std::pair<double, double> SoftwareRegistry::GetBootstrapPrior(
@@ -254,6 +259,24 @@ std::pair<double, double> SoftwareRegistry::GetBootstrapPrior(
   auto row = scores_->Get(Value::Str(id.ToHex()));
   if (!row.ok()) return {0.0, 0.0};
   return {(*row)[5].AsReal(), (*row)[6].AsReal()};
+}
+
+std::vector<SoftwareId> SoftwareRegistry::TakeDirtyPriors() {
+  std::vector<SoftwareId> out;
+  out.reserve(dirty_prior_order_.size());
+  for (const std::string& hex : dirty_prior_order_) {
+    auto decoded = util::HexDecode(hex);
+    SoftwareId id;
+    PISREP_CHECK(decoded.ok() && decoded->size() == id.bytes.size())
+        << "corrupt software id in dirty-prior set";
+    for (std::size_t i = 0; i < id.bytes.size(); ++i) {
+      id.bytes[i] = (*decoded)[i];
+    }
+    out.push_back(id);
+  }
+  dirty_prior_order_.clear();
+  dirty_prior_set_.clear();
+  return out;
 }
 
 Status SoftwareRegistry::PutVendorScore(const core::VendorScore& score) {

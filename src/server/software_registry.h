@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -69,6 +70,12 @@ class SoftwareRegistry {
   /// Returns {score, weight}; weight 0 when no prior exists.
   std::pair<double, double> GetBootstrapPrior(const core::SoftwareId& id) const;
 
+  /// Software whose bootstrap prior changed since the last call, in
+  /// change order (incremental-aggregation input). Consuming clears it.
+  std::vector<core::SoftwareId> TakeDirtyPriors();
+
+  std::size_t DirtyPriorCount() const { return dirty_prior_order_.size(); }
+
   util::Status PutVendorScore(const core::VendorScore& score);
   util::Result<core::VendorScore> GetVendorScore(
       const core::VendorId& vendor) const;
@@ -101,6 +108,10 @@ class SoftwareRegistry {
   storage::Table* vendor_scores_;
   storage::Table* behavior_reports_;
   storage::Table* run_stats_;
+  /// Priors written since the aggregation job last consumed them
+  /// (hex ids, first-touch order).
+  std::vector<std::string> dirty_prior_order_;
+  std::unordered_set<std::string> dirty_prior_set_;
 };
 
 }  // namespace pisrep::server

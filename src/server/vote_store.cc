@@ -74,6 +74,13 @@ VoteStore::VoteStore(storage::Database* db) : db_(db) {
   }
   ratings_ = db_->GetTable("ratings").value();
   remarks_ = db_->GetTable("remarks").value();
+  // Seed the rated-software cache from recovered rows. Iteration over
+  // rows_ is insertion order, so rated_order_ matches what incremental
+  // maintenance would have produced.
+  ratings_->ForEach([this](const Row& row) {
+    const std::string& hex = row[2].AsStr();
+    if (votes_per_software_[hex]++ == 0) rated_order_.push_back(hex);
+  });
 }
 
 std::string VoteStore::VoteKey(core::UserId user,
@@ -101,16 +108,22 @@ Status VoteStore::SubmitRating(const core::RatingRecord& record,
     // §2.1: "each user only votes for a software program exactly once."
     return Status::AlreadyExists("user already voted on this software");
   }
-  return ratings_->Insert(Row{
+  std::string software_hex = record.software.ToHex();
+  PISREP_RETURN_IF_ERROR(ratings_->Insert(Row{
       Value::Str(key),
       Value::Int(record.user),
-      Value::Str(record.software.ToHex()),
+      Value::Str(software_hex),
       Value::Int(record.score),
       Value::Str(record.comment),
       Value::Int(record.submitted_at),
       Value::Boolean(approved),
       Value::Real(trust_snapshot),
-  });
+  }));
+  if (votes_per_software_[software_hex]++ == 0) {
+    rated_order_.push_back(software_hex);
+  }
+  MarkDirty(software_hex);
+  return Status::Ok();
 }
 
 bool VoteStore::HasVoted(core::UserId user,
@@ -121,36 +134,70 @@ bool VoteStore::HasVoted(core::UserId user,
 std::vector<StoredRating> VoteStore::VotesForSoftware(
     const SoftwareId& software) const {
   std::vector<StoredRating> out;
-  auto rows = ratings_->FindByIndex("software", Value::Str(software.ToHex()));
-  if (!rows.ok()) return out;
-  out.reserve(rows->size());
-  for (const Row& row : *rows) out.push_back(RatingFromRow(row));
+  Value key = Value::Str(software.ToHex());
+  auto count = ratings_->CountByIndex("software", key);
+  if (!count.ok()) return out;
+  out.reserve(*count);
+  // ForEachByIndex materializes StoredRating straight from the table rows
+  // — no intermediate std::vector<Row> copy as FindByIndex would make.
+  Status visited = ratings_->ForEachByIndex(
+      "software", key, [&](const Row& row) { out.push_back(RatingFromRow(row)); });
+  PISREP_CHECK(visited.ok()) << visited.ToString();
   return out;
+}
+
+void VoteStore::ForEachVoteOn(
+    const SoftwareId& software,
+    const std::function<void(core::UserId, int, double)>& fn) const {
+  Status visited = ratings_->ForEachByIndex(
+      "software", Value::Str(software.ToHex()), [&](const Row& row) {
+        fn(row[1].AsInt(), static_cast<int>(row[3].AsInt()),
+           row[7].AsReal());
+      });
+  PISREP_CHECK(visited.ok()) << visited.ToString();
 }
 
 std::vector<StoredRating> VoteStore::VotesByUser(core::UserId user) const {
   std::vector<StoredRating> out;
-  auto rows = ratings_->FindByIndex("user", Value::Int(user));
-  if (!rows.ok()) return out;
-  out.reserve(rows->size());
-  for (const Row& row : *rows) out.push_back(RatingFromRow(row));
+  Value key = Value::Int(user);
+  auto count = ratings_->CountByIndex("user", key);
+  if (!count.ok()) return out;
+  out.reserve(*count);
+  Status visited = ratings_->ForEachByIndex(
+      "user", key, [&](const Row& row) { out.push_back(RatingFromRow(row)); });
+  PISREP_CHECK(visited.ok()) << visited.ToString();
   return out;
 }
 
 std::vector<core::RatingRecord> VoteStore::VisibleComments(
     const SoftwareId& software, std::size_t limit) const {
-  std::vector<StoredRating> votes = VotesForSoftware(software);
   std::vector<core::RatingRecord> comments;
-  for (const StoredRating& vote : votes) {
-    if (vote.approved && !vote.record.comment.empty()) {
-      comments.push_back(vote.record);
-    }
+  if (limit == 0) return comments;
+  // Filter rows in place (no StoredRating materialization of the whole
+  // vote set), then pick the newest `limit` with a partial sort; only the
+  // selected rows' comment strings are ever copied.
+  std::vector<const Row*> visible;
+  Status visited = ratings_->ForEachByIndex(
+      "software", Value::Str(software.ToHex()), [&](const Row& row) {
+        if (row[6].AsBool() && !row[4].AsStr().empty()) {
+          visible.push_back(&row);
+        }
+      });
+  if (!visited.ok()) return comments;
+  auto newer = [](const Row* a, const Row* b) {
+    return (*a)[5].AsInt() > (*b)[5].AsInt();
+  };
+  if (visible.size() > limit) {
+    std::partial_sort(visible.begin(), visible.begin() + limit,
+                      visible.end(), newer);
+    visible.resize(limit);
+  } else {
+    std::sort(visible.begin(), visible.end(), newer);
   }
-  std::sort(comments.begin(), comments.end(),
-            [](const core::RatingRecord& a, const core::RatingRecord& b) {
-              return a.submitted_at > b.submitted_at;
-            });
-  if (comments.size() > limit) comments.resize(limit);
+  comments.reserve(visible.size());
+  for (const Row* row : visible) {
+    comments.push_back(RatingFromRow(*row).record);
+  }
   return comments;
 }
 
@@ -159,7 +206,12 @@ Status VoteStore::SetApproved(core::UserId author,
   std::string key = VoteKey(author, software);
   PISREP_ASSIGN_OR_RETURN(Row row, ratings_->Get(Value::Str(key)));
   row[6] = Value::Boolean(approved);
-  return ratings_->Upsert(std::move(row));
+  PISREP_RETURN_IF_ERROR(ratings_->Upsert(std::move(row)));
+  // Approval only gates comment visibility, not the score — but marking
+  // dirty keeps the invalidation protocol simple ("any write to a
+  // software's votes dirties it") at the cost of one redundant recompute.
+  MarkDirty(software.ToHex());
+  return Status::Ok();
 }
 
 Status VoteStore::SubmitRemark(const Remark& remark) {
@@ -193,22 +245,38 @@ bool VoteStore::HasRemarked(core::UserId rater, core::UserId author,
 
 std::int64_t VoteStore::RemarkBalance(core::UserId author,
                                       const SoftwareId& software) const {
-  auto rows = remarks_->FindByIndex(
-      "comment_key", Value::Str(CommentKey(author, software)));
-  if (!rows.ok()) return 0;
   std::int64_t balance = 0;
-  for (const Row& row : *rows) balance += row[3].AsBool() ? 1 : -1;
-  return balance;
+  Status visited = remarks_->ForEachByIndex(
+      "comment_key", Value::Str(CommentKey(author, software)),
+      [&](const Row& row) { balance += row[3].AsBool() ? 1 : -1; });
+  return visited.ok() ? balance : 0;
 }
 
 std::vector<SoftwareId> VoteStore::RatedSoftware() const {
-  std::unordered_set<std::string> seen;
   std::vector<SoftwareId> out;
-  ratings_->ForEach([&](const Row& row) {
-    const std::string& hex = row[2].AsStr();
-    if (seen.insert(hex).second) out.push_back(IdFromHex(hex));
-  });
+  out.reserve(rated_order_.size());
+  for (const std::string& hex : rated_order_) out.push_back(IdFromHex(hex));
   return out;
+}
+
+std::size_t VoteStore::VoteCountFor(const SoftwareId& software) const {
+  auto it = votes_per_software_.find(software.ToHex());
+  return it == votes_per_software_.end() ? 0 : it->second;
+}
+
+std::vector<SoftwareId> VoteStore::TakeDirtySoftware() {
+  std::vector<SoftwareId> out;
+  out.reserve(dirty_order_.size());
+  for (const std::string& hex : dirty_order_) out.push_back(IdFromHex(hex));
+  dirty_order_.clear();
+  dirty_set_.clear();
+  return out;
+}
+
+void VoteStore::MarkDirty(const std::string& software_hex) {
+  if (dirty_set_.insert(software_hex).second) {
+    dirty_order_.push_back(software_hex);
+  }
 }
 
 std::size_t VoteStore::TotalVotes() const { return ratings_->size(); }

@@ -2,8 +2,11 @@
 #define PISREP_SERVER_VOTE_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/types.h"
@@ -59,6 +62,15 @@ class VoteStore {
   std::vector<StoredRating> VotesForSoftware(
       const core::SoftwareId& software) const;
 
+  /// Visits the scoring-relevant fields of every vote on `software` without
+  /// materializing StoredRating (no comment/key string copies). This is the
+  /// aggregation hot path: it runs once per vote per recompute, possibly
+  /// from worker threads, so it must not allocate per vote.
+  void ForEachVoteOn(
+      const core::SoftwareId& software,
+      const std::function<void(core::UserId user, int score,
+                               double trust_snapshot)>& fn) const;
+
   /// All votes cast by `user`.
   std::vector<StoredRating> VotesByUser(core::UserId user) const;
 
@@ -82,8 +94,24 @@ class VoteStore {
   std::int64_t RemarkBalance(core::UserId author,
                              const core::SoftwareId& software) const;
 
-  /// Distinct software ids that have at least one vote.
+  /// Distinct software ids that have at least one vote, in first-vote
+  /// order. Served from a cache maintained on every SubmitRating (and
+  /// rebuilt from the table on recovery), not by scanning all votes.
   std::vector<core::SoftwareId> RatedSoftware() const;
+
+  /// Number of distinct software ids with at least one vote. O(1).
+  std::size_t RatedSoftwareCount() const { return rated_order_.size(); }
+
+  /// Number of votes cast on `software`. O(1).
+  std::size_t VoteCountFor(const core::SoftwareId& software) const;
+
+  /// Incremental-aggregation support: software ids touched by
+  /// SubmitRating / SetApproved since the last call, in first-touch order.
+  /// Consuming clears the set.
+  std::vector<core::SoftwareId> TakeDirtySoftware();
+
+  /// Software ids currently marked dirty (not consumed).
+  std::size_t DirtySoftwareCount() const { return dirty_order_.size(); }
 
   std::size_t TotalVotes() const;
   std::size_t TotalRemarks() const;
@@ -94,9 +122,19 @@ class VoteStore {
   static std::string CommentKey(core::UserId author,
                                 const core::SoftwareId& software);
 
+  void MarkDirty(const std::string& software_hex);
+
   storage::Database* db_;
   storage::Table* ratings_;
   storage::Table* remarks_;
+  /// Distinct voted software, insertion-ordered + counted. Maintained by
+  /// SubmitRating; seeded from the ratings table in the constructor so a
+  /// recovered database starts consistent.
+  std::vector<std::string> rated_order_;
+  std::unordered_map<std::string, std::size_t> votes_per_software_;
+  /// Dirty set for incremental aggregation (hex ids, first-touch order).
+  std::vector<std::string> dirty_order_;
+  std::unordered_set<std::string> dirty_set_;
 };
 
 }  // namespace pisrep::server

@@ -122,10 +122,43 @@ Result<std::vector<Row>> Table::FindByIndex(std::string_view column,
     if (schema_.secondary_indexes()[i] != col) continue;
     std::vector<Row> out;
     auto [begin, end] = secondary_[i].equal_range(value);
+    // Reserve up front: each Row is a vector of Values, so growth-driven
+    // reallocation used to re-copy every already-collected row.
+    out.reserve(static_cast<std::size_t>(std::distance(begin, end)));
     for (auto it = begin; it != end; ++it) {
       out.push_back(rows_[it->second]);
     }
     return out;
+  }
+  return Status::FailedPrecondition("column " + std::string(column) +
+                                    " has no secondary index in table " +
+                                    schema_.table_name());
+}
+
+Status Table::ForEachByIndex(
+    std::string_view column, const Value& value,
+    const std::function<void(const Row&)>& visit) const {
+  PISREP_ASSIGN_OR_RETURN(std::size_t col, schema_.ColumnIndex(column));
+  for (std::size_t i = 0; i < schema_.secondary_indexes().size(); ++i) {
+    if (schema_.secondary_indexes()[i] != col) continue;
+    auto [begin, end] = secondary_[i].equal_range(value);
+    for (auto it = begin; it != end; ++it) {
+      visit(rows_[it->second]);
+    }
+    return Status::Ok();
+  }
+  return Status::FailedPrecondition("column " + std::string(column) +
+                                    " has no secondary index in table " +
+                                    schema_.table_name());
+}
+
+Result<std::size_t> Table::CountByIndex(std::string_view column,
+                                        const Value& value) const {
+  PISREP_ASSIGN_OR_RETURN(std::size_t col, schema_.ColumnIndex(column));
+  for (std::size_t i = 0; i < schema_.secondary_indexes().size(); ++i) {
+    if (schema_.secondary_indexes()[i] != col) continue;
+    auto [begin, end] = secondary_[i].equal_range(value);
+    return static_cast<std::size_t>(std::distance(begin, end));
   }
   return Status::FailedPrecondition("column " + std::string(column) +
                                     " has no secondary index in table " +

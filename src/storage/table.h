@@ -67,6 +67,19 @@ class Table {
   util::Result<std::vector<Row>> FindByIndex(std::string_view column,
                                              const Value& value) const;
 
+  /// Visits every row whose indexed column equals `value`, in index order,
+  /// without materializing (and copying into) a vector — the hot-path
+  /// sibling of FindByIndex. The rows passed to `visit` live inside the
+  /// table; references must not be retained past a mutation.
+  util::Status ForEachByIndex(
+      std::string_view column, const Value& value,
+      const std::function<void(const Row&)>& visit) const;
+
+  /// Number of rows whose indexed column equals `value`; lets callers
+  /// reserve before a ForEachByIndex materialization pass.
+  util::Result<std::size_t> CountByIndex(std::string_view column,
+                                         const Value& value) const;
+
   /// Rows whose ordered-indexed column lies in [min, max] (both inclusive),
   /// in ascending column order. The column must have a declared ordered
   /// index.

@@ -1,10 +1,17 @@
 #include "util/clock.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "util/logging.h"
 
 namespace pisrep::util {
+
+std::int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string FormatTime(TimePoint t) {
   std::int64_t day = DayIndex(t);

@@ -35,6 +35,12 @@ constexpr std::int64_t WeekIndex(TimePoint t) {
 /// Renders a time point as "d<day>+hh:mm:ss" for logs and reports.
 std::string FormatTime(TimePoint t);
 
+/// A monotonic *wall-clock* reading in microseconds, for instrumentation
+/// only (run-duration stats, benchmark timing). Simulation logic must keep
+/// measuring time through SimClock; this lives in util precisely because
+/// the `wall-clock` lint rule fences real time into this one layer.
+std::int64_t MonotonicMicros();
+
 /// A settable virtual clock. The simulation event loop owns one and advances
 /// it; components hold a pointer and only ever read it.
 class SimClock {

@@ -1,0 +1,93 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pisrep::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  std::size_t count = std::max<std::size_t>(1, workers);
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-then-exit: queued work submitted before shutdown still runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task catches whatever the task throws and parks it in the
+    // shared state; the exception resurfaces at future.get().
+    task();
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PISREP_CHECK(!stopping_) << "Submit on a ThreadPool being destroyed";
+    queue_.push_back(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  std::size_t shards = std::min(n, threads_.size());
+  if (shards <= 1) {
+    body(0, n);
+    return;
+  }
+  std::size_t chunk = (n + shards - 1) / shards;
+  std::vector<std::future<void>> pending;
+  pending.reserve(shards - 1);
+  for (std::size_t s = 1; s < shards; ++s) {
+    std::size_t begin = s * chunk;
+    std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pending.push_back(
+        Submit([&body, begin, end] { body(begin, end); }));
+  }
+  // The calling thread takes the first chunk instead of idling.
+  std::exception_ptr first;
+  try {
+    body(0, std::min(n, chunk));
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace pisrep::util

@@ -1,0 +1,69 @@
+#ifndef PISREP_UTIL_THREAD_POOL_H_
+#define PISREP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pisrep::util {
+
+/// A fixed-size pool of worker threads with a FIFO task queue.
+///
+/// The pool exists for one purpose: fanning out *pure compute* — work that
+/// only reads shared state — while a single coordinating thread keeps all
+/// writes to itself (the aggregation job's single-writer rule over
+/// storage::Database). The event loop stays single-threaded; nothing in the
+/// pool touches util::SimClock, so determinism of simulated time is
+/// unaffected by how many workers run.
+///
+/// Shutdown is clean and drains: the destructor lets every already-queued
+/// task run to completion before joining the workers, so `Submit` followed
+/// by destruction never silently drops work.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. At least one worker is always created.
+  explicit ThreadPool(std::size_t workers);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues `task` and returns a future that becomes ready when it has
+  /// run. An exception thrown by the task is captured and rethrown from
+  /// `future.get()` on the caller's thread. Submitting to a pool whose
+  /// destructor has started is a programming error.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Splits [0, n) into at most size() contiguous chunks and runs
+  /// `body(begin, end)` for each, one chunk on the calling thread and the
+  /// rest on workers. Blocks until every chunk finished. The first
+  /// exception thrown by any chunk is rethrown here after all chunks have
+  /// completed (no partial abandonment: the range is always fully
+  /// attempted). n == 0 is a no-op; a single chunk runs inline on the
+  /// caller without touching the queue.
+  void ParallelFor(std::size_t n,
+                   const std::function<void(std::size_t begin,
+                                            std::size_t end)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;  ///< guarded by mu_
+  bool stopping_ = false;                         ///< guarded by mu_
+};
+
+}  // namespace pisrep::util
+
+#endif  // PISREP_UTIL_THREAD_POOL_H_

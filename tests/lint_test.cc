@@ -162,6 +162,25 @@ TEST(WallClock, UtilLayerMayImplementTheClock) {
   EXPECT_EQ(CountRule(findings, "wall-clock"), 0) << FormatHuman(findings);
 }
 
+TEST(WallClock, BenchTimerHeaderIsTheOneBenchAllowance) {
+  // The benchmark timer helper wraps steady_clock by design...
+  auto allowed = AnalyzeOne(
+      "bench/bench_timer.h",
+      "#ifndef T_H_\n"
+      "#define T_H_\n"
+      "auto Start() { return std::chrono::steady_clock::now(); }\n"
+      "#endif  // T_H_\n");
+  EXPECT_EQ(CountRule(allowed, "wall-clock"), 0) << FormatHuman(allowed);
+  // ...but any other bench file reading the clock directly is still
+  // flagged: timing must go through the helper.
+  auto flagged = AnalyzeOne(
+      "bench/bench_rogue.cc",
+      "void B() {\n"
+      "  auto t0 = std::chrono::steady_clock::now();\n"  // line 2
+      "}\n");
+  EXPECT_TRUE(HasFinding(flagged, "wall-clock", "bench/bench_rogue.cc", 2));
+}
+
 TEST(WallClock, MembersAndDeclarationsSharingLibcNamesAreFine) {
   auto findings = AnalyzeOne(
       "src/net/loop.h",
@@ -267,6 +286,18 @@ TEST(Layering, ClientMayUseProtoButNotServer) {
   auto bad = AnalyzeOne("src/client/c.cc",
                         "#include \"server/feeds.h\"\n");
   EXPECT_TRUE(HasFinding(bad, "layering", "src/client/c.cc", 1));
+}
+
+TEST(Layering, UtilStaysLeafEvenWithThreadPool) {
+  // The thread pool lives in util so every layer may use it; in return it
+  // must depend on nothing above util.
+  auto ok = AnalyzeOne("src/util/thread_pool.cc",
+                       "#include \"util/thread_pool.h\"\n"
+                       "#include \"util/logging.h\"\n");
+  EXPECT_EQ(CountRule(ok, "layering"), 0) << FormatHuman(ok);
+  auto bad = AnalyzeOne("src/util/thread_pool.h",
+                        "#include \"server/aggregation_job.h\"\n");
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/util/thread_pool.h", 1));
 }
 
 TEST(Layering, TestsAreUnrestricted) {

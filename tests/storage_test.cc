@@ -115,14 +115,17 @@ TEST(CodecTest, SignedVarintRoundTrip) {
 TEST(CodecTest, TruncatedDataReportsDataLoss) {
   std::string buf;
   PutVarint(1ull << 40, &buf);
-  Decoder dec(buf.substr(0, 2));
+  // Decoder views its input; the truncated copies must outlive it.
+  std::string truncated = buf.substr(0, 2);
+  Decoder dec(truncated);
   auto result = dec.GetVarint();
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), util::StatusCode::kDataLoss);
 
   std::string buf2;
   PutLengthPrefixed("hello world", &buf2);
-  Decoder dec2(buf2.substr(0, 4));
+  std::string truncated2 = buf2.substr(0, 4);
+  Decoder dec2(truncated2);
   EXPECT_EQ(dec2.GetLengthPrefixed().status().code(),
             util::StatusCode::kDataLoss);
 }
