@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,8 @@
 #include "net/event_loop.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "server/flood_guard.h"
 #include "server/reputation_server.h"
 #include "storage/database.h"
@@ -286,6 +289,75 @@ void BM_AggregationJob(benchmark::State& state) {
                               server.votes().TotalVotes()));
 }
 BENCHMARK(BM_AggregationJob)->Arg(50)->Arg(200);
+
+// --- Observability overhead --------------------------------------------------
+//
+// DESIGN.md §10 budgets the obs hot path: an enabled counter is one relaxed
+// fetch_add, a disabled registry is a single predictable branch, and an
+// unattached component (null handle) is the same branch on the caller's
+// side. These three benches verify the budget holds.
+
+void BM_ObsCounterEnabled(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("pisrep_bench_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_ObsCounterEnabled);
+
+void BM_ObsCounterDisabledRegistry(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.GetCounter("pisrep_bench_total");
+  registry.set_enabled(false);
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_ObsCounterDisabledRegistry);
+
+void BM_ObsCounterNullHandle(benchmark::State& state) {
+  // The instrumentation-site pattern when no registry was ever attached.
+  obs::Counter* counter = nullptr;
+  std::uint64_t fallback = 0;
+  for (auto _ : state) {
+    if (counter != nullptr) {
+      counter->Increment();
+    } else {
+      benchmark::DoNotOptimize(fallback);
+    }
+  }
+}
+BENCHMARK(BM_ObsCounterNullHandle);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* histogram = registry.GetHistogram(
+      "pisrep_bench_ms", {1, 5, 10, 50, 100, 500, 1000});
+  double v = 0;
+  for (auto _ : state) {
+    histogram->Observe(v);
+    v += 7;
+    if (v > 1200) v = 0;
+  }
+  benchmark::DoNotOptimize(histogram->Count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsRenderText(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.GetCounter("pisrep_bench_total_" + std::to_string(i))
+        ->Increment(static_cast<std::uint64_t>(i));
+  }
+  registry.GetHistogram("pisrep_bench_ms", {10, 100, 1000})->Observe(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::RenderText(registry));
+  }
+}
+BENCHMARK(BM_ObsRenderText);
 
 }  // namespace
 }  // namespace pisrep

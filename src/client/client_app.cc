@@ -88,6 +88,11 @@ ClientApp::ClientApp(net::SimNetwork* network, net::EventLoop* loop,
       [this](const FileImage& image, DecisionCallback done) {
         HandleExecution(image, std::move(done));
       });
+  if (config_.metrics != nullptr || config_.tracer != nullptr) {
+    rpc_.AttachObservability(config_.metrics, config_.tracer);
+    cache_.AttachMetrics(config_.metrics);
+    offline_queue_.AttachMetrics(config_.metrics);
+  }
 }
 
 Status ClientApp::Start() {

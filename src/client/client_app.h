@@ -19,6 +19,8 @@
 #include "core/prompt_policy.h"
 #include "crypto/trust_store.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/wire.h"
 
 namespace pisrep::client {
@@ -137,6 +139,11 @@ class ClientApp {
     /// precisely so the user is never asked about the same binary twice).
     /// Must outlive the ClientApp.
     storage::Database* local_db = nullptr;
+    /// Observability (optional, both null by default). Neither is owned;
+    /// both must outlive the ClientApp. Wires the RPC client, response
+    /// cache and offline queue into the registry/tracer.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
   };
 
   using StatusCallback = std::function<void(util::Status)>;

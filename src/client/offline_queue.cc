@@ -10,13 +10,37 @@ OfflineQueue::OfflineQueue() : OfflineQueue(Config{}) {}
 OfflineQueue::OfflineQueue(Config config)
     : config_(config), backoff_(config_.initial_backoff) {}
 
+void OfflineQueue::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    depth_gauge_ = nullptr;
+    queued_metric_ = nullptr;
+    replayed_metric_ = nullptr;
+    duplicate_metric_ = nullptr;
+    dropped_metric_ = nullptr;
+    return;
+  }
+  depth_gauge_ = metrics->GetGauge("pisrep_client_offline_queue_depth");
+  queued_metric_ =
+      metrics->GetCounter("pisrep_client_offline_queued_total");
+  replayed_metric_ =
+      metrics->GetCounter("pisrep_client_offline_replayed_total");
+  duplicate_metric_ = metrics->GetCounter(
+      "pisrep_client_offline_replayed_duplicate_total");
+  dropped_metric_ =
+      metrics->GetCounter("pisrep_client_offline_dropped_total");
+  UpdateDepth();
+}
+
 void OfflineQueue::Push(QueuedRating rating) {
   while (entries_.size() >= config_.max_entries) {
     entries_.pop_front();
     ++dropped_;
+    if (dropped_metric_) dropped_metric_->Increment();
   }
   entries_.push_back(std::move(rating));
   ++queued_;
+  if (queued_metric_) queued_metric_->Increment();
+  UpdateDepth();
 }
 
 util::Duration OfflineQueue::NextBackoff() {

@@ -7,6 +7,7 @@
 
 #include "core/behavior.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace pisrep::client {
@@ -46,7 +47,10 @@ class OfflineQueue {
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }
   const QueuedRating& Front() const { return entries_.front(); }
-  void PopFront() { entries_.pop_front(); }
+  void PopFront() {
+    entries_.pop_front();
+    UpdateDepth();
+  }
 
   /// Current replay delay; call after a failed replay attempt.
   util::Duration NextBackoff();
@@ -62,10 +66,26 @@ class OfflineQueue {
   std::uint64_t replayed_duplicate() const { return replayed_duplicate_; }
   std::uint64_t dropped() const { return dropped_; }
 
-  void RecordReplayed() { ++replayed_; }
-  void RecordDuplicate() { ++replayed_duplicate_; }
+  void RecordReplayed() {
+    ++replayed_;
+    if (replayed_metric_) replayed_metric_->Increment();
+  }
+  void RecordDuplicate() {
+    ++replayed_duplicate_;
+    if (duplicate_metric_) duplicate_metric_->Increment();
+  }
+
+  /// Wires the depth gauge plus queued/replayed/duplicate/dropped counters
+  /// into `metrics` (null detaches).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
  private:
+  void UpdateDepth() {
+    if (depth_gauge_) {
+      depth_gauge_->Set(static_cast<std::int64_t>(entries_.size()));
+    }
+  }
+
   Config config_;
   std::deque<QueuedRating> entries_;
   util::Duration backoff_;
@@ -73,6 +93,12 @@ class OfflineQueue {
   std::uint64_t replayed_ = 0;
   std::uint64_t replayed_duplicate_ = 0;
   std::uint64_t dropped_ = 0;
+
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* queued_metric_ = nullptr;
+  obs::Counter* replayed_metric_ = nullptr;
+  obs::Counter* duplicate_metric_ = nullptr;
+  obs::Counter* dropped_metric_ = nullptr;
 };
 
 }  // namespace pisrep::client

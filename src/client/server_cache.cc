@@ -11,6 +11,22 @@ ServerCache::ServerCache(util::Duration ttl, util::Duration stale_ttl,
       stale_ttl_(std::max(stale_ttl, ttl)),
       max_entries_(std::max<std::size_t>(max_entries, 1)) {}
 
+void ServerCache::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    hits_metric_ = nullptr;
+    misses_metric_ = nullptr;
+    stale_metric_ = nullptr;
+    evictions_metric_ = nullptr;
+    return;
+  }
+  hits_metric_ = metrics->GetCounter("pisrep_client_cache_hits_total");
+  misses_metric_ = metrics->GetCounter("pisrep_client_cache_misses_total");
+  stale_metric_ =
+      metrics->GetCounter("pisrep_client_cache_stale_served_total");
+  evictions_metric_ =
+      metrics->GetCounter("pisrep_client_cache_evictions_total");
+}
+
 void ServerCache::Touch(Map::iterator it) {
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
 }
@@ -20,9 +36,11 @@ std::optional<proto::SoftwareInfo> ServerCache::Get(
   auto it = entries_.find(id);
   if (it == entries_.end() || now - it->second.stored_at > ttl_) {
     ++misses_;
+    if (misses_metric_) misses_metric_->Increment();
     return std::nullopt;
   }
   ++hits_;
+  if (hits_metric_) hits_metric_->Increment();
   Touch(it);
   return it->second.info;
 }
@@ -34,6 +52,7 @@ std::optional<proto::SoftwareInfo> ServerCache::GetStale(
     return std::nullopt;
   }
   ++stale_hits_;
+  if (stale_metric_) stale_metric_->Increment();
   Touch(it);
   return it->second.info;
 }
@@ -53,6 +72,7 @@ void ServerCache::Put(const core::SoftwareId& id, proto::SoftwareInfo info,
     entries_.erase(lru_.back());
     lru_.pop_back();
     ++evictions_;
+    if (evictions_metric_) evictions_metric_->Increment();
   }
 }
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "proto/wire.h"
 #include "util/clock.h"
 
@@ -57,6 +58,10 @@ class ServerCache {
   std::size_t size() const { return entries_.size(); }
   std::size_t max_entries() const { return max_entries_; }
 
+  /// Mirrors hit/miss/stale-serve/eviction counters into `metrics`
+  /// (null detaches).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Entry {
     proto::SoftwareInfo info;
@@ -80,6 +85,11 @@ class ServerCache {
   std::uint64_t misses_ = 0;
   std::uint64_t stale_hits_ = 0;
   std::uint64_t evictions_ = 0;
+
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* stale_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
 };
 
 }  // namespace pisrep::client

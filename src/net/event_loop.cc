@@ -7,9 +7,23 @@
 
 namespace pisrep::net {
 
+void EventLoop::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    pending_gauge_ = nullptr;
+    events_run_ = nullptr;
+    return;
+  }
+  pending_gauge_ = metrics->GetGauge("pisrep_net_events_pending");
+  events_run_ = metrics->GetCounter("pisrep_net_events_run_total");
+  pending_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
+}
+
 void EventLoop::ScheduleAt(util::TimePoint t, Callback cb) {
   if (t < clock_.Now()) t = clock_.Now();
   queue_.push(Event{t, next_seq_++, std::move(cb)});
+  if (pending_gauge_) {
+    pending_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
+  }
 }
 
 void EventLoop::ScheduleAfter(util::Duration delay, Callback cb) {
@@ -43,6 +57,10 @@ bool EventLoop::RunOne() {
   if (queue_.empty()) return false;
   Event event = queue_.top();
   queue_.pop();
+  if (pending_gauge_) {
+    pending_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
+  }
+  if (events_run_) events_run_->Increment();
   clock_.AdvanceTo(event.time);
   event.callback();
   return true;

@@ -6,6 +6,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace pisrep::net {
@@ -27,6 +28,11 @@ class EventLoop {
 
   util::SimClock& clock() { return clock_; }
   util::TimePoint Now() const { return clock_.Now(); }
+
+  /// Registers the loop's queue-depth gauge and events-run counter with
+  /// `metrics` (null detaches). Safe to call on a shared registry from
+  /// several loops — handles are per-name and this loop just updates them.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
   /// Schedules `cb` at absolute time `t` (clamped to now when in the past).
   void ScheduleAt(util::TimePoint t, Callback cb);
@@ -68,6 +74,8 @@ class EventLoop {
   util::SimClock clock_;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Counter* events_run_ = nullptr;
 };
 
 }  // namespace pisrep::net

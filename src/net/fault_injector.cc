@@ -19,6 +19,24 @@ std::string PairKey(std::string_view a, std::string_view b) {
 FaultInjector::FaultInjector(EventLoop* loop, std::uint64_t seed)
     : loop_(loop), rng_(seed) {}
 
+void FaultInjector::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    dropped_metric_ = nullptr;
+    duplicated_metric_ = nullptr;
+    corrupted_metric_ = nullptr;
+    reordered_metric_ = nullptr;
+    return;
+  }
+  dropped_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_net_faults_total", "kind", "drop"));
+  duplicated_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_net_faults_total", "kind", "duplicate"));
+  corrupted_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_net_faults_total", "kind", "corrupt"));
+  reordered_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_net_faults_total", "kind", "reorder"));
+}
+
 void FaultInjector::Partition(std::string_view a, std::string_view b) {
   cut_pairs_.insert(PairKey(a, b));
 }
@@ -98,6 +116,7 @@ void FaultInjector::DegradeWindow(util::TimePoint start, util::TimePoint end,
 bool FaultInjector::ShouldDrop(std::string_view from, std::string_view to) {
   if (IsCut(from, to)) {
     ++dropped_by_fault_;
+    if (dropped_metric_) dropped_metric_->Increment();
     return true;
   }
   double p = loss_;
@@ -108,6 +127,7 @@ bool FaultInjector::ShouldDrop(std::string_view from, std::string_view to) {
   }
   if (p > 0.0 && rng_.NextBool(p)) {
     ++dropped_by_fault_;
+    if (dropped_metric_) dropped_metric_->Increment();
     return true;
   }
   return false;
@@ -116,6 +136,7 @@ bool FaultInjector::ShouldDrop(std::string_view from, std::string_view to) {
 int FaultInjector::ExtraCopies() {
   if (duplication_ > 0.0 && rng_.NextBool(duplication_)) {
     ++duplicated_;
+    if (duplicated_metric_) duplicated_metric_->Increment();
     return 1;
   }
   return 0;
@@ -127,6 +148,7 @@ bool FaultInjector::MaybeCorrupt(std::string* payload) {
     return false;
   }
   ++corrupted_;
+  if (corrupted_metric_) corrupted_metric_->Increment();
   if (rng_.NextBool(0.5)) {
     // Bit flip somewhere in the payload.
     std::size_t pos = rng_.NextIndex(payload->size());
@@ -146,6 +168,7 @@ util::Duration FaultInjector::ExtraLatency() {
     return 0;
   }
   ++reordered_;
+  if (reordered_metric_) reordered_metric_->Increment();
   return static_cast<util::Duration>(
       rng_.NextBelow(static_cast<std::uint64_t>(reorder_max_extra_) + 1));
 }

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "net/event_loop.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/random.h"
 
@@ -117,6 +118,10 @@ class FaultInjector {
   std::uint64_t corrupted() const { return corrupted_; }
   std::uint64_t reordered() const { return reordered_; }
 
+  /// Mirrors the fault counters into `pisrep_net_faults_total{kind=...}`
+  /// (null detaches).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   EventLoop* loop_;
   util::Rng rng_;
@@ -136,6 +141,11 @@ class FaultInjector {
   std::uint64_t duplicated_ = 0;
   std::uint64_t corrupted_ = 0;
   std::uint64_t reordered_ = 0;
+
+  obs::Counter* dropped_metric_ = nullptr;
+  obs::Counter* duplicated_metric_ = nullptr;
+  obs::Counter* corrupted_metric_ = nullptr;
+  obs::Counter* reordered_metric_ = nullptr;
 };
 
 }  // namespace pisrep::net

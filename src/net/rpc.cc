@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "xml/xml_parser.h"
@@ -39,9 +40,44 @@ void RpcServer::RegisterMethod(std::string name, Method method) {
   methods_[std::move(name)] = std::move(method);
 }
 
+void RpcServer::AttachObservability(obs::MetricsRegistry* metrics,
+                                    obs::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  method_counters_.clear();
+  error_counters_.clear();
+  handle_micros_ = nullptr;
+  if (metrics_ != nullptr) {
+    // Wall-clock-valued (instrumentation only, never steers sim logic):
+    // handler durations are real compute time, not sim time — sim time
+    // stands still inside an event. Bucket layout stays deterministic.
+    handle_micros_ = metrics_->GetHistogram(
+        "pisrep_net_rpc_handle_micros",
+        {10.0, 100.0, 1000.0, 10000.0, 100000.0});
+  }
+}
+
 std::uint64_t RpcServer::MethodCalls(std::string_view method) const {
   auto it = method_calls_.find(std::string(method));
   return it == method_calls_.end() ? 0 : it->second;
+}
+
+obs::Counter* RpcServer::MethodCounter(const std::string& method) {
+  auto it = method_counters_.find(method);
+  if (it != method_counters_.end()) return it->second;
+  obs::Counter* counter = metrics_->GetCounter(
+      obs::WithLabel("pisrep_net_rpc_requests_total", "method", method));
+  method_counters_.emplace(method, counter);
+  return counter;
+}
+
+obs::Counter* RpcServer::ErrorCounter(const std::string& code) {
+  auto it = error_counters_.find(code);
+  if (it != error_counters_.end()) return it->second;
+  obs::Counter* counter = metrics_->GetCounter(
+      obs::WithLabel("pisrep_net_rpc_errors_total", "code", code));
+  error_counters_.emplace(code, counter);
+  return counter;
 }
 
 void RpcServer::HandleMessage(const Message& message) {
@@ -49,11 +85,32 @@ void RpcServer::HandleMessage(const Message& message) {
   if (!parsed.ok() || parsed->name() != "request") {
     // Malformed datagram: nothing sensible to reply to.
     ++requests_failed_;
+    if (metrics_) ErrorCounter("malformed")->Increment();
     return;
   }
   const XmlNode& request = *parsed;
   std::string id = request.AttributeOr("id", "");
   std::string method_name = request.AttributeOr("method", "");
+
+  // Continue the caller's trace when the request carries span ids (the
+  // client codec adds them whenever its side has a tracer attached).
+  obs::Span span;
+  if (tracer_ != nullptr) {
+    auto trace_id = util::ParseInt64(request.AttributeOr("trace", ""));
+    auto span_id = util::ParseInt64(request.AttributeOr("span", ""));
+    if (trace_id.ok() && span_id.ok()) {
+      span = tracer_->StartChild("rpc.server." + method_name,
+                                 static_cast<std::uint64_t>(*trace_id),
+                                 static_cast<std::uint64_t>(*span_id));
+    } else {
+      span = tracer_->StartSpan("rpc.server." + method_name);
+    }
+  }
+  if (metrics_) MethodCounter(method_name)->Increment();
+  // Wall time, not sim time: sim time stands still inside an event, so the
+  // handler's real compute cost is the only meaningful duration here.
+  const std::int64_t handle_started =
+      handle_micros_ ? util::MonotonicMicros() : 0;
 
   XmlNode response("response");
   response.SetAttribute("id", id);
@@ -61,6 +118,11 @@ void RpcServer::HandleMessage(const Message& message) {
   auto it = methods_.find(method_name);
   if (it == methods_.end()) {
     ++requests_failed_;
+    if (metrics_) {
+      ErrorCounter(util::StatusCodeName(StatusCode::kNotFound))
+          ->Increment();
+    }
+    span.SetError("no such method");
     response.SetAttribute("status", "error");
     response.SetAttribute("code",
                           util::StatusCodeName(StatusCode::kNotFound));
@@ -83,12 +145,22 @@ void RpcServer::HandleMessage(const Message& message) {
       if (!result->text().empty()) response.set_text(result->text());
     } else {
       ++requests_failed_;
+      if (metrics_) {
+        ErrorCounter(util::StatusCodeName(result.status().code()))
+            ->Increment();
+      }
+      span.SetError(result.status().message());
       response.SetAttribute("status", "error");
       response.SetAttribute(
           "code", util::StatusCodeName(result.status().code()));
       response.set_text(result.status().message());
     }
   }
+  if (handle_micros_) {
+    handle_micros_->Observe(
+        static_cast<double>(util::MonotonicMicros() - handle_started));
+  }
+  span.Finish();
   network_->Send(address_, message.from, xml::WriteXml(response));
 }
 
@@ -107,6 +179,37 @@ Status RpcClient::Start() {
                         [this](const Message& m) { HandleMessage(m); });
 }
 
+void RpcClient::AttachObservability(obs::MetricsRegistry* metrics,
+                                    obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    calls_metric_ = nullptr;
+    timeouts_metric_ = nullptr;
+    retries_metric_ = nullptr;
+    fast_failures_metric_ = nullptr;
+    breaker_opens_metric_ = nullptr;
+    corrupt_metric_ = nullptr;
+    latency_ms_ = nullptr;
+    return;
+  }
+  calls_metric_ = metrics->GetCounter("pisrep_net_rpc_client_calls_total");
+  timeouts_metric_ =
+      metrics->GetCounter("pisrep_net_rpc_client_timeouts_total");
+  retries_metric_ =
+      metrics->GetCounter("pisrep_net_rpc_client_retries_total");
+  fast_failures_metric_ =
+      metrics->GetCounter("pisrep_net_rpc_client_fast_failures_total");
+  breaker_opens_metric_ =
+      metrics->GetCounter("pisrep_net_rpc_client_breaker_opens_total");
+  corrupt_metric_ =
+      metrics->GetCounter("pisrep_net_rpc_client_corrupt_responses_total");
+  // Sim-time round trip of a logical call, retries included — these
+  // values are deterministic, unlike the server's wall-micros histogram.
+  latency_ms_ = metrics->GetHistogram(
+      "pisrep_net_rpc_client_latency_ms",
+      {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 30000.0});
+}
+
 void RpcClient::Call(std::string_view method, XmlNode params,
                      ResponseCallback callback, util::Duration timeout) {
   if (breaker_config_.enabled &&
@@ -120,6 +223,7 @@ void RpcClient::Call(std::string_view method, XmlNode params,
       (breaker_state_ == BreakerState::kOpen ||
        (breaker_state_ == BreakerState::kHalfOpen && probe_in_flight_))) {
     ++fast_failures_;
+    if (fast_failures_metric_) fast_failures_metric_->Increment();
     callback(Status::Unavailable("circuit breaker open for " +
                                  server_address_));
     return;
@@ -132,9 +236,18 @@ void RpcClient::Call(std::string_view method, XmlNode params,
   PendingCall call;
   call.callback = std::move(callback);
   call.method = std::string(method);
-  call.request = std::move(params);
   call.retries_left = max_retries_;
   call.timeout = timeout;
+  call.started = loop_->Now();
+  if (tracer_ != nullptr) {
+    // The span's ids ride along as request attributes so the server side
+    // can open a causally linked child span. They survive retries: the
+    // stored request is re-sent verbatim (only "id" is refreshed).
+    call.span = tracer_->StartSpan("rpc.client." + call.method);
+    params.SetAttribute("trace", std::to_string(call.span.trace_id()));
+    params.SetAttribute("span", std::to_string(call.span.span_id()));
+  }
+  call.request = std::move(params);
   Dispatch(std::move(call));
 }
 
@@ -146,6 +259,7 @@ void RpcClient::Dispatch(PendingCall call) {
 
   pending_.emplace(id, std::move(call));
   ++calls_sent_;
+  if (calls_metric_) calls_metric_->Increment();
   network_->Send(address_, server_address_, xml::WriteXml(request));
 
   loop_->ScheduleAfter(timeout, [this, id,
@@ -156,6 +270,7 @@ void RpcClient::Dispatch(PendingCall call) {
     PendingCall timed_out = std::move(it->second);
     pending_.erase(it);
     ++timeouts_;
+    if (timeouts_metric_) timeouts_metric_->Increment();
     Status error =
         Status::Unavailable("rpc timeout calling " + timed_out.method);
     RetryOrFail(std::move(timed_out), std::move(error));
@@ -171,6 +286,7 @@ void RpcClient::RetryOrFail(PendingCall call, Status error) {
     call.timeout += static_cast<util::Duration>(
         rng_.NextBelow(static_cast<std::uint64_t>(call.timeout) / 4 + 1));
     ++retries_sent_;
+    if (retries_metric_) retries_metric_->Increment();
     Dispatch(std::move(call));
     return;
   }
@@ -185,6 +301,12 @@ void RpcClient::Complete(PendingCall call, Result<XmlNode> result) {
       (result.status().code() != StatusCode::kUnavailable &&
        result.status().code() != StatusCode::kDataLoss);
   RecordOutcome(reachable);
+  if (latency_ms_) {
+    latency_ms_->Observe(
+        static_cast<double>(loop_->Now() - call.started));
+  }
+  if (!result.ok()) call.span.SetError(result.status().message());
+  call.span.Finish();
   call.callback(std::move(result));
 }
 
@@ -206,6 +328,7 @@ void RpcClient::RecordOutcome(bool success) {
     probe_in_flight_ = false;
     open_until_ = loop_->Now() + breaker_config_.cooldown;
     ++breaker_opens_;
+    if (breaker_opens_metric_) breaker_opens_metric_->Increment();
   }
 }
 
@@ -218,6 +341,7 @@ void RpcClient::HandleMessage(const Message& message) {
     // gone too, the pending call is covered by its timeout — corruption
     // can never hang a call.
     ++corrupt_responses_;
+    if (corrupt_metric_) corrupt_metric_->Increment();
     std::size_t at = message.payload.find("id=\"");
     if (at == std::string::npos) return;
     const char* p = message.payload.c_str() + at + 4;

@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "xml/xml_node.h"
@@ -52,8 +54,18 @@ class RpcServer {
   /// Successful invocations of one method (operations telemetry).
   std::uint64_t MethodCalls(std::string_view method) const;
 
+  /// Wires per-method request counters, per-code error counters and a
+  /// handler-duration histogram into `metrics`, and opens a server-side
+  /// child span per request on `tracer` (continuing the trace/span ids
+  /// the client codec put on the request). Either may be null. Both must
+  /// outlive the server.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
  private:
   void HandleMessage(const Message& message);
+  obs::Counter* MethodCounter(const std::string& method);
+  obs::Counter* ErrorCounter(const std::string& code);
 
   SimNetwork* network_;
   std::string address_;
@@ -61,6 +73,13 @@ class RpcServer {
   std::unordered_map<std::string, std::uint64_t> method_calls_;
   std::uint64_t requests_handled_ = 0;
   std::uint64_t requests_failed_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  /// Handle caches so the steady-state path never takes the registry lock.
+  std::unordered_map<std::string, obs::Counter*> method_counters_;
+  std::unordered_map<std::string, obs::Counter*> error_counters_;
+  obs::Histogram* handle_micros_ = nullptr;
 };
 
 /// Asynchronous RPC client endpoint.
@@ -125,6 +144,14 @@ class RpcClient {
             ResponseCallback callback,
             util::Duration timeout = 5 * util::kSecond);
 
+  /// Mirrors the client counters into the registry, records a sim-time
+  /// round-trip latency histogram (Call→Complete, retries included) and
+  /// opens one client span per logical call on `tracer`; the span's
+  /// trace/span ids travel to the server as request attributes. Either
+  /// may be null. Both must outlive the client.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
   const std::string& address() const { return address_; }
   std::uint64_t calls_sent() const { return calls_sent_; }
   std::uint64_t timeouts() const { return timeouts_; }
@@ -143,6 +170,8 @@ class RpcClient {
     xml::XmlNode request;  ///< re-sent verbatim (with a fresh id) on retry
     int retries_left = 0;
     util::Duration timeout = 0;
+    util::TimePoint started = 0;  ///< sim time of the original Call
+    obs::Span span;  ///< client span; finishes when the call completes
   };
 
   void Dispatch(PendingCall call);
@@ -180,6 +209,15 @@ class RpcClient {
   std::uint64_t fast_failures_ = 0;
   std::uint64_t breaker_opens_ = 0;
   std::uint64_t corrupt_responses_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* calls_metric_ = nullptr;
+  obs::Counter* timeouts_metric_ = nullptr;
+  obs::Counter* retries_metric_ = nullptr;
+  obs::Counter* fast_failures_metric_ = nullptr;
+  obs::Counter* breaker_opens_metric_ = nullptr;
+  obs::Counter* corrupt_metric_ = nullptr;
+  obs::Histogram* latency_ms_ = nullptr;
 };
 
 /// Maps a status-code name back to the enum (inverse of StatusCodeName);

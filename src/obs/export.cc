@@ -1,0 +1,203 @@
+#include "obs/export.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pisrep::obs {
+
+namespace {
+
+/// Renders a double compactly: integral values without a decimal point
+/// (bucket bounds and sim-time sums are usually whole numbers), otherwise
+/// shortest-ish %g form. snprintf with a fixed format is deterministic.
+std::string FormatDouble(double v) {
+  auto as_int = static_cast<std::int64_t>(v);
+  if (static_cast<double>(as_int) == v) return std::to_string(as_int);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+/// Splits `name{key="v"}` into the family and the raw label body (without
+/// braces); label body is empty for unlabeled metrics.
+void SplitName(const std::string& name, std::string* family,
+               std::string* labels) {
+  std::size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+    return;
+  }
+  *family = name.substr(0, brace);
+  // Drop the surrounding braces; keep the key="v",... body.
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// `family` + merged labels (existing body plus an extra key="v" pair).
+std::string NameWith(const std::string& family, const std::string& labels,
+                     const std::string& extra) {
+  std::string out = family;
+  out.push_back('{');
+  out.append(labels);
+  if (!labels.empty() && !extra.empty()) out.push_back(',');
+  out.append(extra);
+  out.push_back('}');
+  return out;
+}
+
+const char* TypeName(MetricSnapshot::Type type) {
+  switch (type) {
+    case MetricSnapshot::Type::kCounter: return "counter";
+    case MetricSnapshot::Type::kGauge: return "gauge";
+    case MetricSnapshot::Type::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string RenderText(const MetricsRegistry& registry) {
+  std::string out;
+  std::string last_family;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    std::string family;
+    std::string labels;
+    SplitName(m.name, &family, &labels);
+    if (family != last_family) {
+      out.append("# TYPE ");
+      out.append(family);
+      out.push_back(' ');
+      out.append(TypeName(m.type));
+      out.push_back('\n');
+      last_family = family;
+    }
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        out.append(m.name);
+        out.push_back(' ');
+        out.append(std::to_string(m.counter_value));
+        out.push_back('\n');
+        break;
+      case MetricSnapshot::Type::kGauge:
+        out.append(m.name);
+        out.push_back(' ');
+        out.append(std::to_string(m.gauge_value));
+        out.push_back('\n');
+        break;
+      case MetricSnapshot::Type::kHistogram: {
+        // Buckets are exported cumulatively, Prometheus style.
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          cumulative += m.bucket_counts[i];
+          std::string le = i < m.bounds.size()
+                               ? FormatDouble(m.bounds[i])
+                               : std::string("+Inf");
+          out.append(NameWith(family + "_bucket", labels,
+                              "le=\"" + le + "\""));
+          out.push_back(' ');
+          out.append(std::to_string(cumulative));
+          out.push_back('\n');
+        }
+        out.append(labels.empty() ? family + "_sum"
+                                  : NameWith(family + "_sum", labels, ""));
+        out.push_back(' ');
+        out.append(FormatDouble(m.sum));
+        out.push_back('\n');
+        out.append(labels.empty() ? family + "_count"
+                                  : NameWith(family + "_count", labels, ""));
+        out.push_back(' ');
+        out.append(std::to_string(m.count));
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsRegistry& registry) {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":");
+    AppendJsonString(&out, m.name);
+    out.append(",\"type\":\"");
+    out.append(TypeName(m.type));
+    out.append("\"");
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        out.append(",\"value\":");
+        out.append(std::to_string(m.counter_value));
+        break;
+      case MetricSnapshot::Type::kGauge:
+        out.append(",\"value\":");
+        out.append(std::to_string(m.gauge_value));
+        break;
+      case MetricSnapshot::Type::kHistogram: {
+        out.append(",\"bounds\":[");
+        for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+          if (i != 0) out.push_back(',');
+          out.append(FormatDouble(m.bounds[i]));
+        }
+        out.append("],\"buckets\":[");
+        for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+          if (i != 0) out.push_back(',');
+          out.append(std::to_string(m.bucket_counts[i]));
+        }
+        out.append("],\"sum\":");
+        out.append(FormatDouble(m.sum));
+        out.append(",\"count\":");
+        out.append(std::to_string(m.count));
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string RenderDigest(const MetricsRegistry& registry) {
+  std::string out;
+  bool first = true;
+  for (const MetricSnapshot& m : registry.Snapshot()) {
+    if (!first) out.push_back(' ');
+    first = false;
+    out.append(m.name);
+    out.push_back('=');
+    switch (m.type) {
+      case MetricSnapshot::Type::kCounter:
+        out.append(std::to_string(m.counter_value));
+        break;
+      case MetricSnapshot::Type::kGauge:
+        out.append(std::to_string(m.gauge_value));
+        break;
+      case MetricSnapshot::Type::kHistogram:
+        out.append(std::to_string(m.count));
+        out.push_back('/');
+        out.append(FormatDouble(m.sum));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pisrep::obs

@@ -1,0 +1,35 @@
+#ifndef PISREP_OBS_EXPORT_H_
+#define PISREP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace pisrep::obs {
+
+/// Prometheus-style text exposition of every metric in `registry`:
+///
+///   # TYPE pisrep_server_votes_total counter
+///   pisrep_server_votes_total 42
+///   # TYPE pisrep_net_rpc_client_latency_ms histogram
+///   pisrep_net_rpc_client_latency_ms_bucket{le="50"} 3
+///   pisrep_net_rpc_client_latency_ms_bucket{le="+Inf"} 7
+///   pisrep_net_rpc_client_latency_ms_sum 1250
+///   pisrep_net_rpc_client_latency_ms_count 7
+///
+/// Labeled cells (`family{key="value"}`) render verbatim; the `le` label
+/// of histogram buckets merges into any existing label set. Output order
+/// is the registry's name-sorted order — byte-stable across runs.
+std::string RenderText(const MetricsRegistry& registry);
+
+/// The same snapshot as a JSON array (one object per metric), for
+/// programmatic consumers of the portal.
+std::string RenderJson(const MetricsRegistry& registry);
+
+/// One-line digest of counters and gauges (histograms appear as
+/// count/sum), used by the periodic snapshot logger.
+std::string RenderDigest(const MetricsRegistry& registry);
+
+}  // namespace pisrep::obs
+
+#endif  // PISREP_OBS_EXPORT_H_

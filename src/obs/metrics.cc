@@ -1,0 +1,139 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pisrep::obs {
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : enabled_(enabled), bounds_(std::move(bounds)) {
+  PISREP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be sorted";
+  PISREP_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+               bounds_.end())
+      << "histogram bounds must be strictly increasing";
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double v) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  // First bucket whose upper bound admits v; everything above every bound
+  // lands in the +Inf slot.
+  std::size_t idx =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::string WithLabel(std::string_view family, std::string_view key,
+                      std::string_view value) {
+  std::string out;
+  out.reserve(family.size() + key.size() + value.size() + 5);
+  out.append(family);
+  out.push_back('{');
+  out.append(key);
+  out.append("=\"");
+  out.append(value);
+  out.append("\"}");
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it != cells_.end()) {
+    PISREP_CHECK(it->second.type == MetricSnapshot::Type::kCounter)
+        << "metric '" << name << "' already registered with another type";
+    return it->second.counter.get();
+  }
+  Cell cell;
+  cell.type = MetricSnapshot::Type::kCounter;
+  // Private-constructor factory. pisrep-lint: allow(raw-new-delete)
+  cell.counter.reset(new Counter(&enabled_));
+  Counter* handle = cell.counter.get();
+  cells_.emplace(name, std::move(cell));
+  return handle;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it != cells_.end()) {
+    PISREP_CHECK(it->second.type == MetricSnapshot::Type::kGauge)
+        << "metric '" << name << "' already registered with another type";
+    return it->second.gauge.get();
+  }
+  Cell cell;
+  cell.type = MetricSnapshot::Type::kGauge;
+  // Private-constructor factory. pisrep-lint: allow(raw-new-delete)
+  cell.gauge.reset(new Gauge(&enabled_));
+  Gauge* handle = cell.gauge.get();
+  cells_.emplace(name, std::move(cell));
+  return handle;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cells_.find(name);
+  if (it != cells_.end()) {
+    PISREP_CHECK(it->second.type == MetricSnapshot::Type::kHistogram)
+        << "metric '" << name << "' already registered with another type";
+    return it->second.histogram.get();
+  }
+  Cell cell;
+  cell.type = MetricSnapshot::Type::kHistogram;
+  // Private-constructor factory. pisrep-lint: allow(raw-new-delete)
+  cell.histogram.reset(new Histogram(&enabled_, std::move(bounds)));
+  Histogram* handle = cell.histogram.get();
+  cells_.emplace(name, std::move(cell));
+  return handle;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) {
+    MetricSnapshot snap;
+    snap.name = name;
+    snap.type = cell.type;
+    switch (cell.type) {
+      case MetricSnapshot::Type::kCounter:
+        snap.counter_value = cell.counter->Value();
+        break;
+      case MetricSnapshot::Type::kGauge:
+        snap.gauge_value = cell.gauge->Value();
+        break;
+      case MetricSnapshot::Type::kHistogram:
+        snap.bounds = cell.histogram->bounds();
+        snap.bucket_counts = cell.histogram->BucketCounts();
+        snap.sum = cell.histogram->Sum();
+        snap.count = cell.histogram->Count();
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cells_.size();
+}
+
+}  // namespace pisrep::obs

@@ -1,0 +1,167 @@
+#ifndef PISREP_OBS_METRICS_H_
+#define PISREP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pisrep::obs {
+
+/// Runtime observability: a registry of named counters, gauges, and
+/// fixed-bucket histograms.
+///
+/// Design constraints (DESIGN.md §10):
+///  - Metric handles are stable raw pointers owned by the registry; an
+///    instrumented component fetches them once (AttachMetrics) and keeps
+///    them for its lifetime, so the hot path never touches the registry
+///    lock or a string.
+///  - Updates are relaxed atomics; a disabled registry turns every update
+///    into a single predictable branch (`enabled` pointer load + test).
+///    Components not wired to any registry hold null handles — the same
+///    single-branch cost.
+///  - Export iterates a name-sorted map, so output order is deterministic
+///    and sim runs are reproducible byte-for-byte (as long as the metric
+///    *values* are sim-time derived; wall-clock-valued histograms are
+///    documented as instrumentation-only).
+///
+/// Naming scheme: `pisrep_<layer>_<name>` with optional labels rendered
+/// into the name itself via WithLabel: `pisrep_net_faults_total{kind="drop"}`.
+/// Counter families end in `_total`; gauges and histograms do not.
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, pending dirty set, ...).
+class Gauge {
+ public:
+  void Set(std::int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  const std::atomic<bool>* enabled_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket layout is chosen at registration time
+/// and never changes, so two runs that observe the same values export the
+/// same buckets — determinism lives in the layout, not the data source.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative-style raw bucket counts: bucket i counts observations
+  /// <= bounds()[i]; the final extra slot is the +Inf bucket.
+  std::vector<std::uint64_t> BucketCounts() const;
+  std::uint64_t Count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+  const std::atomic<bool>* enabled_;
+  std::vector<double> bounds_;  ///< sorted, strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< size()+1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Renders `family{key="value"}`; use for per-label metric names so one
+/// family groups several cells in the exporters.
+std::string WithLabel(std::string_view family, std::string_view key,
+                      std::string_view value);
+
+/// A flattened read of one metric, consumed by the exporters and tests.
+struct MetricSnapshot {
+  enum class Type { kCounter, kGauge, kHistogram };
+  std::string name;  ///< full name, labels included
+  Type type = Type::kCounter;
+  std::uint64_t counter_value = 0;
+  std::int64_t gauge_value = 0;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 (+Inf)
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Owner of every metric. Registration is mutex-guarded and idempotent:
+/// asking for an existing name returns the existing handle (the type must
+/// match — a mismatch is a programming error and CHECK-fails). Updates on
+/// the returned handles are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Flips collection on/off for every handle at once. Handles stay valid;
+  /// while disabled every update is a branch and nothing is written.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be sorted and strictly increasing; an implicit +Inf
+  /// bucket is appended. Re-registration ignores `bounds` and returns the
+  /// existing histogram.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Name-sorted flattened read of every metric (deterministic order).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  std::size_t MetricCount() const;
+
+ private:
+  struct Cell {
+    MetricSnapshot::Type type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::map<std::string, Cell> cells_;  ///< sorted => stable export order
+};
+
+}  // namespace pisrep::obs
+
+#endif  // PISREP_OBS_METRICS_H_

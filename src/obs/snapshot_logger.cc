@@ -1,0 +1,23 @@
+#include "obs/snapshot_logger.h"
+
+#include "obs/export.h"
+#include "util/logging.h"
+
+namespace pisrep::obs {
+
+SnapshotLogger::SnapshotLogger(const MetricsRegistry* registry,
+                               util::Duration period)
+    : registry_(registry), period_(period) {}
+
+bool SnapshotLogger::Tick(util::TimePoint now) {
+  if (registry_ == nullptr || period_ <= 0) return false;
+  if (armed_ && now - last_ < period_) return false;
+  armed_ = true;
+  last_ = now;
+  ++snapshots_;
+  PISREP_LOG(kInfo) << "metrics @" << now << "ms: "
+                    << RenderDigest(*registry_);
+  return true;
+}
+
+}  // namespace pisrep::obs

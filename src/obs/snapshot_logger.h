@@ -1,0 +1,39 @@
+#ifndef PISREP_OBS_SNAPSHOT_LOGGER_H_
+#define PISREP_OBS_SNAPSHOT_LOGGER_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace pisrep::obs {
+
+/// Periodically logs a one-line metrics digest at kInfo.
+///
+/// Deliberately loop-agnostic (obs sits below net in the layer DAG): the
+/// owner calls Tick(now) from whatever schedule it has — the
+/// ReputationServer drives it from the EventLoop, so "periodic" means
+/// sim-clock periodic and the wall clock is never read.
+class SnapshotLogger {
+ public:
+  /// `registry` must outlive the logger. `period` <= 0 disables it.
+  SnapshotLogger(const MetricsRegistry* registry, util::Duration period);
+
+  /// Logs a digest on the first call and then whenever at least `period`
+  /// sim-time has elapsed since the last snapshot; returns true when a
+  /// line was emitted.
+  bool Tick(util::TimePoint now);
+
+  std::uint64_t snapshots() const { return snapshots_; }
+
+ private:
+  const MetricsRegistry* registry_;
+  util::Duration period_;
+  bool armed_ = false;  ///< set once the first digest has been logged
+  util::TimePoint last_ = 0;
+  std::uint64_t snapshots_ = 0;
+};
+
+}  // namespace pisrep::obs
+
+#endif  // PISREP_OBS_SNAPSHOT_LOGGER_H_

@@ -1,0 +1,71 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace pisrep::obs {
+
+Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), rec_(std::move(other.rec_)) {
+  other.tracer_ = nullptr;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    Finish();
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span::~Span() { Finish(); }
+
+void Span::SetError(std::string_view note) {
+  if (tracer_ == nullptr) return;
+  rec_.error = true;
+  rec_.note = std::string(note);
+}
+
+void Span::Finish() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;  // idempotent: a second Finish is a no-op
+  tracer->FinishSpan(std::move(rec_));
+}
+
+Tracer::Tracer(const util::SimClock* clock, std::size_t capacity)
+    : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Span Tracer::StartSpan(std::string_view name) {
+  SpanRecord rec;
+  rec.trace_id = next_trace_id_++;
+  rec.span_id = next_span_id_++;
+  rec.name = std::string(name);
+  rec.start = Now();
+  ++spans_started_;
+  return Span(this, std::move(rec));
+}
+
+Span Tracer::StartChild(std::string_view name, std::uint64_t trace_id,
+                        std::uint64_t parent_span_id) {
+  SpanRecord rec;
+  rec.trace_id = trace_id;
+  rec.parent_id = parent_span_id;
+  rec.span_id = next_span_id_++;
+  rec.name = std::string(name);
+  rec.start = Now();
+  ++spans_started_;
+  return Span(this, std::move(rec));
+}
+
+void Tracer::FinishSpan(SpanRecord rec) {
+  rec.end = Now();
+  finished_.push_back(std::move(rec));
+  while (finished_.size() > capacity_) {
+    finished_.pop_front();
+    ++spans_dropped_;
+  }
+}
+
+}  // namespace pisrep::obs

@@ -1,0 +1,109 @@
+#ifndef PISREP_OBS_TRACE_H_
+#define PISREP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "util/clock.h"
+
+namespace pisrep::obs {
+
+class Tracer;
+
+/// One finished (or in-flight) span. Ids are small sequential integers
+/// handed out by the Tracer, so a sim run produces the same ids every
+/// time. `parent_id == 0` marks a root span.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::string name;
+  util::TimePoint start = 0;
+  util::TimePoint end = 0;
+  bool error = false;
+  std::string note;
+};
+
+/// RAII handle for an open span. Movable, not copyable; finishes itself
+/// on destruction (idempotent). A default-constructed Span is inactive
+/// and every operation on it is a no-op, so instrumentation sites do not
+/// need to branch on "is tracing attached".
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t trace_id() const { return rec_.trace_id; }
+  std::uint64_t span_id() const { return rec_.span_id; }
+
+  /// Marks the span failed and records why.
+  void SetError(std::string_view note);
+  /// Closes the span now (the destructor calls this too).
+  void Finish();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord rec)
+      : tracer_(tracer), rec_(std::move(rec)) {}
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_;
+};
+
+/// Factory + bounded sink for spans.
+///
+/// Timestamps come from the injected SimClock (never the wall clock);
+/// without a clock every span is stamped 0, which keeps the causal
+/// structure intact. Single-threaded by design: spans are opened and
+/// finished on the event-loop thread. The tracer must outlive every Span
+/// it handed out (spans finish into it from their destructors).
+class Tracer {
+ public:
+  /// `clock` may be null (timestamps become 0); `capacity` bounds the
+  /// finished-span buffer — the oldest record is dropped beyond it.
+  explicit Tracer(const util::SimClock* clock = nullptr,
+                  std::size_t capacity = 256);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Late clock injection, for owners created before the clock exists
+  /// (e.g. a tracer handed to ScenarioRunner, whose loop owns the clock).
+  void set_clock(const util::SimClock* clock) { clock_ = clock; }
+
+  /// Opens a root span (fresh trace id).
+  Span StartSpan(std::string_view name);
+  /// Opens a child span continuing `trace_id` under `parent_span_id` —
+  /// the receiving half of cross-process propagation (the RPC codec
+  /// carries the two ids as request attributes).
+  Span StartChild(std::string_view name, std::uint64_t trace_id,
+                  std::uint64_t parent_span_id);
+
+  const std::deque<SpanRecord>& finished() const { return finished_; }
+  std::uint64_t spans_started() const { return spans_started_; }
+  std::uint64_t spans_dropped() const { return spans_dropped_; }
+
+ private:
+  friend class Span;
+  void FinishSpan(SpanRecord rec);
+  util::TimePoint Now() const { return clock_ ? clock_->Now() : 0; }
+
+  const util::SimClock* clock_;
+  std::size_t capacity_;
+  std::uint64_t next_trace_id_ = 1;
+  std::uint64_t next_span_id_ = 1;
+  std::uint64_t spans_started_ = 0;
+  std::uint64_t spans_dropped_ = 0;
+  std::deque<SpanRecord> finished_;
+};
+
+}  // namespace pisrep::obs
+
+#endif  // PISREP_OBS_TRACE_H_

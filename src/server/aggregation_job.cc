@@ -11,12 +11,83 @@
 
 namespace pisrep::server {
 
+std::string AggregationStats::Summary() const {
+  return "aggregation run " + std::to_string(run) +
+         (full_sweep ? " (full sweep)" : " (incremental)") + ": recomputed " +
+         std::to_string(recomputed) + "/" + std::to_string(candidates) +
+         " software (dirty: votes=" + std::to_string(dirty_votes) +
+         " trust=" + std::to_string(dirty_trust) +
+         " priors=" + std::to_string(dirty_priors) + "), " +
+         std::to_string(vendors_recomputed) +
+         " vendors, shards=" + std::to_string(shards) + ", " +
+         std::to_string(wall_micros) + "us";
+}
+
 AggregationJob::AggregationJob(SoftwareRegistry* registry, VoteStore* votes,
                                AccountManager* accounts)
     : registry_(registry), votes_(votes), accounts_(accounts) {}
 
+void AggregationJob::AttachObservability(obs::MetricsRegistry* metrics,
+                                         obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (metrics == nullptr) {
+    runs_metric_ = nullptr;
+    full_sweeps_metric_ = nullptr;
+    recomputed_metric_ = nullptr;
+    skipped_metric_ = nullptr;
+    dirty_votes_metric_ = nullptr;
+    dirty_trust_metric_ = nullptr;
+    dirty_priors_metric_ = nullptr;
+    vendors_metric_ = nullptr;
+    run_micros_ = nullptr;
+    return;
+  }
+  runs_metric_ = metrics->GetCounter("pisrep_server_aggregation_runs_total");
+  full_sweeps_metric_ =
+      metrics->GetCounter("pisrep_server_aggregation_full_sweeps_total");
+  recomputed_metric_ =
+      metrics->GetCounter("pisrep_server_aggregation_recomputed_total");
+  skipped_metric_ =
+      metrics->GetCounter("pisrep_server_aggregation_skipped_total");
+  dirty_votes_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_server_aggregation_dirty_total", "kind",
+                     "votes"));
+  dirty_trust_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_server_aggregation_dirty_total", "kind",
+                     "trust"));
+  dirty_priors_metric_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_server_aggregation_dirty_total", "kind",
+                     "priors"));
+  vendors_metric_ = metrics->GetCounter(
+      "pisrep_server_aggregation_vendors_recomputed_total");
+  // Wall-clock-valued (instrumentation only): same caveat as
+  // stats_.wall_micros, which it mirrors.
+  run_micros_ = metrics->GetHistogram(
+      "pisrep_server_aggregation_run_micros",
+      {100.0, 1000.0, 10000.0, 100000.0, 1000000.0});
+}
+
+void AggregationJob::EmitStats() {
+  // Every figure below comes from the same stats_ snapshot that Summary()
+  // formats into the log line, so the two surfaces cannot diverge.
+  if (runs_metric_ == nullptr) return;
+  runs_metric_->Increment();
+  if (stats_.full_sweep) full_sweeps_metric_->Increment();
+  recomputed_metric_->Increment(stats_.recomputed);
+  skipped_metric_->Increment(stats_.skipped);
+  dirty_votes_metric_->Increment(stats_.dirty_votes);
+  dirty_trust_metric_->Increment(stats_.dirty_trust);
+  dirty_priors_metric_->Increment(stats_.dirty_priors);
+  vendors_metric_->Increment(stats_.vendors_recomputed);
+  run_micros_->Observe(static_cast<double>(stats_.wall_micros));
+}
+
 std::size_t AggregationJob::RunOnce(util::TimePoint now, bool full_sweep) {
   ++runs_;
+  // Root span: aggregation runs are loop events, not RPC handlers, so
+  // there is no inbound trace to continue.
+  obs::Span span;
+  if (tracer_ != nullptr) span = tracer_->StartSpan("aggregation.run");
   const std::int64_t started = util::MonotonicMicros();
   // The first run after construction is always a full sweep: dirty state is
   // in-memory and did not observe whatever happened before a restart.
@@ -214,14 +285,9 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now, bool full_sweep) {
   }
 
   stats_.wall_micros = util::MonotonicMicros() - started;
-  PISREP_LOG(kInfo) << "aggregation run " << stats_.run
-                    << (sweep ? " (full sweep)" : " (incremental)")
-                    << ": recomputed " << stats_.recomputed << "/"
-                    << stats_.candidates << " software (dirty: votes="
-                    << stats_.dirty_votes << " trust=" << stats_.dirty_trust
-                    << " priors=" << stats_.dirty_priors << "), "
-                    << stats_.vendors_recomputed << " vendors, shards="
-                    << stats_.shards << ", " << stats_.wall_micros << "us";
+  EmitStats();
+  PISREP_LOG(kInfo) << stats_.Summary();
+  span.Finish();
   return recomputed;
 }
 

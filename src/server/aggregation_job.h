@@ -3,10 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 
 #include "core/rating_aggregator.h"
 #include "net/event_loop.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/account_manager.h"
 #include "server/software_registry.h"
 #include "server/vote_store.h"
@@ -28,6 +31,11 @@ struct AggregationStats {
   std::size_t vendors_recomputed = 0;
   std::size_t shards = 1;       ///< parallel chunks the compute fanned over
   std::int64_t wall_micros = 0; ///< real elapsed time (instrumentation only)
+
+  /// The kInfo log line for this run. The metrics emission and the log
+  /// derive from the same snapshot via this single formatter, so the two
+  /// surfaces can never disagree (asserted in aggregation_incremental_test).
+  std::string Summary() const;
 };
 
 /// The score recomputation job (§3.2: "Software ratings are calculated at
@@ -87,6 +95,13 @@ class AggregationJob {
   /// Stats for the most recent RunOnce.
   const AggregationStats& last_stats() const { return stats_; }
 
+  /// After each run the AggregationStats snapshot is folded into run /
+  /// sweep / recompute counters and a run-duration histogram on `metrics`,
+  /// and the run executes under an `aggregation.run` root span on
+  /// `tracer`. Either may be null; both must outlive the job.
+  void AttachObservability(obs::MetricsRegistry* metrics,
+                           obs::Tracer* tracer);
+
   /// Installs the job on the loop, first run after one period. The job
   /// reschedules itself after each run; CancelSchedule (or destroying the
   /// job) stops the chain. Calling Schedule again replaces any existing
@@ -105,6 +120,8 @@ class AggregationJob {
 
  private:
   void ScheduleNext();
+  /// Adds the freshly finished run's stats_ to the registry counters.
+  void EmitStats();
 
   SoftwareRegistry* registry_;
   VoteStore* votes_;
@@ -121,6 +138,17 @@ class AggregationJob {
   /// Liveness token: queued loop callbacks hold a weak_ptr and fire only
   /// while this schedule (and this job) is still alive.
   std::shared_ptr<int> schedule_token_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* runs_metric_ = nullptr;
+  obs::Counter* full_sweeps_metric_ = nullptr;
+  obs::Counter* recomputed_metric_ = nullptr;
+  obs::Counter* skipped_metric_ = nullptr;
+  obs::Counter* dirty_votes_metric_ = nullptr;
+  obs::Counter* dirty_trust_metric_ = nullptr;
+  obs::Counter* dirty_priors_metric_ = nullptr;
+  obs::Counter* vendors_metric_ = nullptr;
+  obs::Histogram* run_micros_ = nullptr;
 };
 
 }  // namespace pisrep::server

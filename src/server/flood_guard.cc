@@ -11,6 +11,24 @@ using util::Status;
 FloodGuard::FloodGuard(Config config)
     : config_(config), rng_(config.seed) {}
 
+void FloodGuard::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    puzzle_rejections_ = nullptr;
+    registration_rejections_ = nullptr;
+    vote_rejections_ = nullptr;
+    return;
+  }
+  puzzle_rejections_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_server_flood_rejections_total", "kind",
+                     "puzzle"));
+  registration_rejections_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_server_flood_rejections_total", "kind",
+                     "registration"));
+  vote_rejections_ = metrics->GetCounter(
+      obs::WithLabel("pisrep_server_flood_rejections_total", "kind",
+                     "vote"));
+}
+
 Puzzle FloodGuard::IssuePuzzle() {
   Puzzle puzzle;
   puzzle.nonce = rng_.NextToken(16);
@@ -24,10 +42,12 @@ Status FloodGuard::CheckPuzzle(std::string_view nonce,
   if (config_.registration_puzzle_bits == 0) return Status::Ok();
   auto it = outstanding_puzzles_.find(std::string(nonce));
   if (it == outstanding_puzzles_.end()) {
+    if (puzzle_rejections_) puzzle_rejections_->Increment();
     return Status::PermissionDenied("unknown or already-used puzzle nonce");
   }
   int difficulty = it->second;
   if (!SolutionValid(nonce, solution, difficulty)) {
+    if (puzzle_rejections_) puzzle_rejections_->Increment();
     return Status::PermissionDenied("puzzle solution does not verify");
   }
   outstanding_puzzles_.erase(it);
@@ -54,6 +74,7 @@ Status FloodGuard::CheckRegistrationAllowed(std::string_view source,
   if (it->second.count < config_.max_registrations_per_source_per_day) {
     return Status::Ok();
   }
+  if (registration_rejections_) registration_rejections_->Increment();
   return Status::ResourceExhausted(
       "registration limit reached for this source today");
 }
@@ -77,6 +98,7 @@ Status FloodGuard::CheckVoteAllowed(core::UserId user, util::TimePoint now) {
   if (it->second.count < config_.max_votes_per_user_per_day) {
     return Status::Ok();
   }
+  if (vote_rejections_) vote_rejections_->Increment();
   return Status::ResourceExhausted(util::StrFormat(
       "vote limit (%d/day) reached", config_.max_votes_per_user_per_day));
 }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "proto/wire.h"
 #include "util/clock.h"
 #include "util/random.h"
@@ -65,6 +66,10 @@ class FloodGuard {
 
   const Config& config() const { return config_; }
 
+  /// Wires `pisrep_server_flood_rejections_total{kind=...}` counters into
+  /// `metrics` (null detaches).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   struct DayCounter {
     std::int64_t day = -1;
@@ -76,6 +81,10 @@ class FloodGuard {
   std::unordered_map<std::string, int> outstanding_puzzles_;
   std::unordered_map<std::string, DayCounter> registrations_;
   std::unordered_map<core::UserId, DayCounter> votes_;
+
+  obs::Counter* puzzle_rejections_ = nullptr;
+  obs::Counter* registration_rejections_ = nullptr;
+  obs::Counter* vote_rejections_ = nullptr;
 };
 
 }  // namespace pisrep::server

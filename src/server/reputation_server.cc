@@ -71,8 +71,31 @@ ReputationServer::ReputationServer(storage::Database* db,
         std::make_unique<util::ThreadPool>(config_.aggregation_workers);
     aggregation_.set_thread_pool(aggregation_pool_.get());
   }
+  if (config_.metrics != nullptr || config_.tracer != nullptr) {
+    votes_.AttachMetrics(config_.metrics);
+    flood_.AttachMetrics(config_.metrics);
+    aggregation_.AttachObservability(config_.metrics, config_.tracer);
+    if (loop_ != nullptr && config_.metrics != nullptr) {
+      loop_->AttachMetrics(config_.metrics);
+    }
+  }
   if (loop_ != nullptr) {
     aggregation_.Schedule(loop_, config_.aggregation_period);
+  }
+  if (loop_ != nullptr && config_.metrics != nullptr &&
+      config_.metrics_snapshot_period > 0) {
+    snapshot_logger_ = std::make_unique<obs::SnapshotLogger>(
+        config_.metrics, config_.metrics_snapshot_period);
+    snapshot_token_ = std::make_shared<int>(0);
+    // Tick at the snapshot period; the logger itself also rate-limits, so
+    // a duplicate schedule could never double-log.
+    loop_->SchedulePeriodic(
+        loop_->Now() + config_.metrics_snapshot_period,
+        config_.metrics_snapshot_period,
+        [this, token = std::weak_ptr<int>(snapshot_token_)] {
+          if (token.expired()) return;
+          snapshot_logger_->Tick(loop_->Now());
+        });
   }
 }
 
@@ -294,6 +317,7 @@ Result<FeedEntry> ReputationServer::QueryFeed(std::string_view session,
 Status ReputationServer::AttachRpc(net::SimNetwork* network,
                                    std::string address) {
   rpc_ = std::make_unique<net::RpcServer>(network, std::move(address));
+  rpc_->AttachObservability(config_.metrics, config_.tracer);
   PISREP_RETURN_IF_ERROR(rpc_->Start());
   RegisterRpcMethods();
   return Status::Ok();
@@ -302,6 +326,7 @@ Status ReputationServer::AttachRpc(net::SimNetwork* network,
 void ReputationServer::Stop() {
   rpc_.reset();  // unbinds the address; in-flight requests go unanswered
   aggregation_.CancelSchedule();
+  snapshot_token_.reset();  // queued snapshot ticks become no-ops
   accounts_.DropSessions();
 }
 

@@ -13,6 +13,9 @@
 #include "core/types.h"
 #include "net/event_loop.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
+#include "obs/snapshot_logger.h"
+#include "obs/trace.h"
 #include "proto/wire.h"
 #include "server/account_manager.h"
 #include "server/aggregation_job.h"
@@ -89,6 +92,15 @@ class ReputationServer {
     /// guard); 0 disables the periodic guard.
     std::uint64_t aggregation_full_sweep_every =
         AggregationJob::kDefaultFullSweepEvery;
+    /// Observability (optional, both null by default — instrumented paths
+    /// then cost one branch each). Neither is owned; both must outlive the
+    /// server. The registry feeds the `/metrics` portal endpoint, the
+    /// tracer records RPC and aggregation spans.
+    obs::MetricsRegistry* metrics = nullptr;
+    obs::Tracer* tracer = nullptr;
+    /// When > 0 (and a loop and registry are present), a metrics digest is
+    /// logged at kInfo every period of *sim* time.
+    util::Duration metrics_snapshot_period = 0;
   };
 
   /// The database must outlive the server. The loop is used for the daily
@@ -184,6 +196,9 @@ class ReputationServer {
   BootstrapImporter& bootstrap() { return bootstrap_; }
   const ServerStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
+  /// The attached metrics registry, or null (drives the web portal's
+  /// /metrics endpoint).
+  obs::MetricsRegistry* metrics() const { return config_.metrics; }
 
   util::TimePoint Now() const;
 
@@ -211,6 +226,10 @@ class ReputationServer {
   std::unordered_map<std::string, ActivationMail> mailbox_;
   std::unique_ptr<net::RpcServer> rpc_;
   ServerStats stats_;
+  std::unique_ptr<obs::SnapshotLogger> snapshot_logger_;
+  /// Liveness token for the snapshot-logger schedule (same pattern as the
+  /// aggregation job): Stop() resets it and queued ticks become no-ops.
+  std::shared_ptr<int> snapshot_token_;
 };
 
 }  // namespace pisrep::server

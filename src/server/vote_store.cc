@@ -83,6 +83,19 @@ VoteStore::VoteStore(storage::Database* db) : db_(db) {
   });
 }
 
+void VoteStore::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    votes_metric_ = nullptr;
+    remarks_metric_ = nullptr;
+    dirty_gauge_ = nullptr;
+    return;
+  }
+  votes_metric_ = metrics->GetCounter("pisrep_server_votes_total");
+  remarks_metric_ = metrics->GetCounter("pisrep_server_remarks_total");
+  dirty_gauge_ = metrics->GetGauge("pisrep_server_vote_dirty_pending");
+  dirty_gauge_->Set(static_cast<std::int64_t>(dirty_order_.size()));
+}
+
 std::string VoteStore::VoteKey(core::UserId user,
                                const SoftwareId& software) {
   return std::to_string(user) + ":" + software.ToHex();
@@ -123,6 +136,7 @@ Status VoteStore::SubmitRating(const core::RatingRecord& record,
     rated_order_.push_back(software_hex);
   }
   MarkDirty(software_hex);
+  if (votes_metric_) votes_metric_->Increment();
   return Status::Ok();
 }
 
@@ -227,13 +241,15 @@ Status VoteStore::SubmitRemark(const Remark& remark) {
   if (remarks_->Contains(Value::Str(key))) {
     return Status::AlreadyExists("already remarked on this comment");
   }
-  return remarks_->Insert(Row{
+  PISREP_RETURN_IF_ERROR(remarks_->Insert(Row{
       Value::Str(key),
       Value::Int(remark.rater),
       Value::Str(comment_key),
       Value::Boolean(remark.positive),
       Value::Int(remark.submitted_at),
-  });
+  }));
+  if (remarks_metric_) remarks_metric_->Increment();
+  return Status::Ok();
 }
 
 bool VoteStore::HasRemarked(core::UserId rater, core::UserId author,
@@ -270,12 +286,16 @@ std::vector<SoftwareId> VoteStore::TakeDirtySoftware() {
   for (const std::string& hex : dirty_order_) out.push_back(IdFromHex(hex));
   dirty_order_.clear();
   dirty_set_.clear();
+  if (dirty_gauge_) dirty_gauge_->Set(0);
   return out;
 }
 
 void VoteStore::MarkDirty(const std::string& software_hex) {
   if (dirty_set_.insert(software_hex).second) {
     dirty_order_.push_back(software_hex);
+    if (dirty_gauge_) {
+      dirty_gauge_->Set(static_cast<std::int64_t>(dirty_order_.size()));
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -116,6 +117,10 @@ class VoteStore {
   std::size_t TotalVotes() const;
   std::size_t TotalRemarks() const;
 
+  /// Wires accepted-vote / accepted-remark counters and the dirty-pending
+  /// gauge into `metrics` (null detaches).
+  void AttachMetrics(obs::MetricsRegistry* metrics);
+
  private:
   static std::string VoteKey(core::UserId user,
                              const core::SoftwareId& software);
@@ -135,6 +140,10 @@ class VoteStore {
   /// Dirty set for incremental aggregation (hex ids, first-touch order).
   std::vector<std::string> dirty_order_;
   std::unordered_set<std::string> dirty_set_;
+
+  obs::Counter* votes_metric_ = nullptr;
+  obs::Counter* remarks_metric_ = nullptr;
+  obs::Gauge* dirty_gauge_ = nullptr;
 };
 
 }  // namespace pisrep::server

@@ -26,6 +26,16 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config)
       baseline_(config_.baseline) {
   network_ = std::make_unique<net::SimNetwork>(&loop_, config_.network);
   network_->AttachFaultInjector(&injector_);
+  // Scenario-level observability fans out to every component; the server
+  // config carries the pointers so RestartServer re-wires automatically.
+  if (config_.metrics != nullptr) {
+    config_.server.metrics = config_.metrics;
+    injector_.AttachMetrics(config_.metrics);
+  }
+  if (config_.tracer != nullptr) {
+    config_.server.tracer = config_.tracer;
+    config_.tracer->set_clock(&loop_.clock());
+  }
   // Salvage mode: a chaos run may crash the server mid-append; the
   // restarted server must come up on whatever prefix survived.
   storage::Database::OpenOptions db_options;
@@ -130,6 +140,8 @@ void ScenarioRunner::WireClient(SimHost* host, int index) {
   cfg.policy = config_.policy;
   cfg.prompts = config_.prompts;
   cfg.cache_ttl = config_.client_cache_ttl;
+  cfg.metrics = config_.metrics;
+  cfg.tracer = config_.tracer;
 
   auto client = std::make_unique<client::ClientApp>(network_.get(), &loop_,
                                                     std::move(cfg));

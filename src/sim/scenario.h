@@ -12,6 +12,8 @@
 #include "net/event_loop.h"
 #include "net/fault_injector.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/reputation_server.h"
 #include "sim/baseline_av.h"
 #include "sim/host.h"
@@ -81,6 +83,15 @@ struct ScenarioConfig {
   server::ReputationServer::Config server;
   BaselineConfig baseline;
   net::NetworkConfig network;
+
+  /// Observability for the whole scenario (optional, not owned; must
+  /// outlive the runner). When set, the server, every client, the event
+  /// loop and the fault injector all report into the same registry/tracer
+  /// — one scrapeable surface per simulated deployment. Survives the
+  /// chaos server restart: the restarted server re-fetches the same
+  /// metric handles by name.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 
   /// When non-empty, the server runs on a WAL-backed database at this path
   /// (durability integration testing); empty keeps it in-memory.

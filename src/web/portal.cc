@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/export.h"
 #include "util/hex.h"
 #include "util/string_util.h"
 #include "web/html.h"
@@ -75,6 +76,8 @@ Result<std::string> WebPortal::Handle(std::string_view path) const {
   if (path == "/top") return TopListPage(/*best=*/true);
   if (path == "/worst") return TopListPage(/*best=*/false);
   if (path == "/stats") return StatsPage();
+  if (path == "/metrics") return MetricsPage(/*json=*/false);
+  if (path == "/metrics.json") return MetricsPage(/*json=*/true);
   if (util::StartsWith(path, "/software/")) {
     PISREP_ASSIGN_OR_RETURN(SoftwareId id,
                             ParseIdHex(path.substr(strlen("/software/"))));
@@ -263,6 +266,15 @@ std::string WebPortal::StatsPage() const {
                  std::to_string(stats.registrations_rejected)});
   html.Close();
   return html.Finish();
+}
+
+Result<std::string> WebPortal::MetricsPage(bool json) const {
+  // Raw exposition, not HTML: the consumers are scrapers and tooling.
+  const obs::MetricsRegistry* metrics = server_->metrics();
+  if (metrics == nullptr) {
+    return Status::Unavailable("no metrics registry attached");
+  }
+  return json ? obs::RenderJson(*metrics) : obs::RenderText(*metrics);
 }
 
 }  // namespace pisrep::web

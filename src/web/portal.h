@@ -27,6 +27,8 @@ namespace pisrep::web {
 ///   /top                   best-rated programs
 ///   /worst                 worst-rated programs (the PIS wall of shame)
 ///   /stats                 deployment statistics
+///   /metrics               live runtime metrics, Prometheus-style text
+///   /metrics.json          the same metrics as JSON
 ///
 /// Read-only by design: votes and remarks are submitted through the client
 /// application; the web side only presents.
@@ -48,6 +50,9 @@ class WebPortal {
   std::string SearchPage(std::string_view query) const;
   std::string TopListPage(bool best) const;
   std::string StatsPage() const;
+  /// Text (`json == false`) or JSON exposition of the server's metrics
+  /// registry; kUnavailable when no registry is attached.
+  util::Result<std::string> MetricsPage(bool json) const;
 
   /// Decodes %XX escapes and '+' in a URL query component.
   static std::string UrlDecode(std::string_view encoded);

@@ -1,4 +1,5 @@
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -6,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "core/types.h"
+#include "obs/metrics.h"
 #include "server/account_manager.h"
 #include "server/aggregation_job.h"
 #include "server/software_registry.h"
@@ -292,6 +294,93 @@ TEST_F(AggregationIncrementalTest, SweepConsumesDirtySets) {
   inc_.job->RunOnce(kDay);
   // Nothing re-dirtied: the incremental run after a sweep starts clean.
   EXPECT_EQ(inc_.job->last_stats().recomputed, 0u);
+}
+
+// --- Metrics emission ------------------------------------------------------
+
+TEST_F(AggregationIncrementalTest, MetricsAndLogLineDeriveFromSameStats) {
+  obs::MetricsRegistry metrics;
+  inc_.job->AttachObservability(&metrics, /*tracer=*/nullptr);
+
+  UserId alice = inc_.AddUser("alice");
+  UserId bob = inc_.AddUser("bob");
+  SoftwareMeta a = Meta("obs-a", "VendorA");
+  SoftwareMeta b = Meta("obs-b", "VendorB");
+
+  // Accumulate what each run reported; the registry counters (which only
+  // ever accumulate) must equal these sums exactly.
+  std::uint64_t runs = 0;
+  std::uint64_t sweeps = 0;
+  std::uint64_t recomputed = 0;
+  std::uint64_t skipped = 0;
+  std::uint64_t dirty_votes = 0;
+  std::uint64_t vendors = 0;
+  auto absorb = [&] {
+    const AggregationStats& s = inc_.job->last_stats();
+    ++runs;
+    if (s.full_sweep) ++sweeps;
+    recomputed += s.recomputed;
+    skipped += s.skipped;
+    dirty_votes += s.dirty_votes;
+    vendors += s.vendors_recomputed;
+  };
+
+  inc_.Vote(alice, a, 8);
+  inc_.job->RunOnce(0);  // run 1: full sweep
+  absorb();
+  inc_.Vote(bob, b, 3);
+  inc_.job->RunOnce(kDay);  // run 2: incremental, one dirty vote
+  absorb();
+  inc_.job->RunOnce(2 * kDay);  // run 3: clean, everything skipped
+  absorb();
+
+  EXPECT_EQ(
+      metrics.GetCounter("pisrep_server_aggregation_runs_total")->Value(),
+      runs);
+  EXPECT_EQ(metrics.GetCounter("pisrep_server_aggregation_full_sweeps_total")
+                ->Value(),
+            sweeps);
+  EXPECT_EQ(
+      metrics.GetCounter("pisrep_server_aggregation_recomputed_total")
+          ->Value(),
+      recomputed);
+  EXPECT_EQ(
+      metrics.GetCounter("pisrep_server_aggregation_skipped_total")->Value(),
+      skipped);
+  EXPECT_EQ(metrics
+                .GetCounter(obs::WithLabel(
+                    "pisrep_server_aggregation_dirty_total", "kind", "votes"))
+                ->Value(),
+            dirty_votes);
+  EXPECT_EQ(
+      metrics
+          .GetCounter("pisrep_server_aggregation_vendors_recomputed_total")
+          ->Value(),
+      vendors);
+  // One run-duration observation per run (values are wall-clock and thus
+  // not asserted; the count is deterministic).
+  EXPECT_EQ(
+      metrics.GetHistogram("pisrep_server_aggregation_run_micros", {})
+          ->Count(),
+      runs);
+
+  // The kInfo line is formatted by Summary() from the identical snapshot,
+  // so its numbers must match the stats fields verbatim.
+  const AggregationStats& last = inc_.job->last_stats();
+  std::string line = last.Summary();
+  EXPECT_NE(line.find("aggregation run " + std::to_string(last.run)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("recomputed " + std::to_string(last.recomputed) + "/" +
+                      std::to_string(last.candidates)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find("votes=" + std::to_string(last.dirty_votes)),
+            std::string::npos)
+      << line;
+  EXPECT_NE(line.find(std::to_string(last.vendors_recomputed) + " vendors"),
+            std::string::npos)
+      << line;
 }
 
 // --- Parallel == serial ---------------------------------------------------

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -18,6 +19,7 @@
 #include "net/fault_injector.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "obs/metrics.h"
 #include "server/reputation_server.h"
 #include "storage/database.h"
 #include "xml/xml_node.h"
@@ -425,6 +427,69 @@ TEST_F(DegradationTest, ReplayedDuplicateIsRejectedNotDoubleCounted) {
   EXPECT_EQ(app->offline_queue().size(), 0u);
   EXPECT_EQ(app->offline_queue().replayed_duplicate(), 1u);
   EXPECT_EQ(server_->votes().TotalVotes(), 1u);  // still exactly one
+}
+
+TEST_F(DegradationTest, ChaosCountersSurfaceInOneRegistry) {
+  // One registry observes the whole incident: the fault plane (injected
+  // drops), the client RPC path (timeouts, breaker trips), and the cache
+  // (stale serves) all report into it.
+  obs::MetricsRegistry registry;
+  injector_.AttachMetrics(&registry);
+
+  client::ClientApp::Config overrides;
+  overrides.metrics = &registry;
+  overrides.cache_ttl = 10 * kMinute;
+  overrides.cache_stale_ttl = 24 * kHour;
+  overrides.rpc_timeout = 2 * kSecond;
+  overrides.breaker.failure_threshold = 3;
+  overrides.breaker.cooldown = 10 * kMinute;
+  auto app = MakeClient("erin", std::move(overrides));
+  Onboard(*app);
+
+  // Healthy query primes the cache and the RPC call counter.
+  client::FileImage image = Program(0);
+  app->HandleExecution(image, [](client::ExecDecision) {});
+  Drain();
+  std::uint64_t healthy_calls =
+      registry.GetCounter("pisrep_net_rpc_client_calls_total")->Value();
+  EXPECT_GT(healthy_calls, 0u);
+
+  // Entry goes past its fresh TTL, then the server drops off the network.
+  loop_.RunUntil(loop_.Now() + kHour);
+  injector_.Isolate("server");
+  app->SetPromptHandler(
+      [&](const client::PromptInfo&,
+          std::function<void(client::UserDecision)> done) {
+        done(client::UserDecision{/*allow=*/false, /*remember=*/false});
+      });
+  for (int i = 0; i < 3; ++i) {
+    app->HandleExecution(image, [](client::ExecDecision) {});
+    Drain(2 * kMinute);
+  }
+
+  // Isolation shows up as injected drops; the failed queries as timeouts;
+  // enough consecutive failures as a breaker trip; and the cache served
+  // the stale entry in the meantime.
+  EXPECT_GT(registry
+                .GetCounter(obs::WithLabel("pisrep_net_faults_total", "kind",
+                                           "drop"))
+                ->Value(),
+            0u);
+  EXPECT_GT(registry.GetCounter("pisrep_net_rpc_client_timeouts_total")
+                ->Value(),
+            0u);
+  EXPECT_GE(registry.GetCounter("pisrep_net_rpc_client_breaker_opens_total")
+                ->Value(),
+            1u);
+  EXPECT_GE(
+      registry.GetCounter("pisrep_client_cache_stale_served_total")->Value(),
+      1u);
+  EXPECT_EQ(
+      registry.GetCounter("pisrep_client_cache_stale_served_total")->Value(),
+      app->cache().stale_hits());
+  EXPECT_EQ(registry.GetCounter("pisrep_net_rpc_client_breaker_opens_total")
+                ->Value(),
+            app->rpc().breaker_opens());
 }
 
 TEST_F(DegradationTest, CrashRestartLosesSessionsAndClientsRelogin) {

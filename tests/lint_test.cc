@@ -300,6 +300,37 @@ TEST(Layering, UtilStaysLeafEvenWithThreadPool) {
   EXPECT_TRUE(HasFinding(bad, "layering", "src/util/thread_pool.h", 1));
 }
 
+TEST(Layering, ObsIsBelowEverythingButUtil) {
+  // obs instruments the upper layers, so it must never include them —
+  // otherwise attaching metrics to net/server/client would create a cycle.
+  auto ok = AnalyzeOne("src/obs/metrics.cc",
+                       "#include \"obs/metrics.h\"\n"
+                       "#include \"util/check.h\"\n");
+  EXPECT_EQ(CountRule(ok, "layering"), 0) << FormatHuman(ok);
+  auto bad = AnalyzeOne("src/obs/trace.h",
+                        "#include \"server/reputation_server.h\"\n"  // line 1
+                        "#include \"client/client_app.h\"\n"         // line 2
+                        "#include \"net/rpc.h\"\n");                 // line 3
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/obs/trace.h", 1));
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/obs/trace.h", 2));
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/obs/trace.h", 3));
+  EXPECT_EQ(CountRule(bad, "layering"), 3) << FormatHuman(bad);
+}
+
+TEST(Layering, InstrumentedLayersMayUseObs) {
+  auto net = AnalyzeOne("src/net/rpc.cc",
+                        "#include \"obs/metrics.h\"\n"
+                        "#include \"obs/trace.h\"\n");
+  EXPECT_EQ(CountRule(net, "layering"), 0) << FormatHuman(net);
+  auto server = AnalyzeOne("src/server/vote_store.cc",
+                           "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(CountRule(server, "layering"), 0) << FormatHuman(server);
+  // util stays the sole leaf: it may not include obs.
+  auto util = AnalyzeOne("src/util/logging.cc",
+                         "#include \"obs/metrics.h\"\n");
+  EXPECT_TRUE(HasFinding(util, "layering", "src/util/logging.cc", 1));
+}
+
 TEST(Layering, TestsAreUnrestricted) {
   auto findings = AnalyzeOne("tests/x_test.cc",
                              "#include \"server/feeds.h\"\n"

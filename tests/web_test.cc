@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.h"
 #include "server/reputation_server.h"
 #include "storage/database.h"
 #include "util/sha1.h"
@@ -56,6 +57,7 @@ class PortalTest : public ::testing::Test {
     config.flood.registration_puzzle_bits = 0;
     config.flood.max_registrations_per_source_per_day = 0;
     config.flood.max_votes_per_user_per_day = 0;
+    config.metrics = &metrics_;
     server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
                                                          config);
     portal_ = std::make_unique<WebPortal>(server_.get());
@@ -106,6 +108,8 @@ class PortalTest : public ::testing::Test {
   }
 
   net::EventLoop loop_;
+  /// Declared before server_ so every metric handle outlives its user.
+  obs::MetricsRegistry metrics_;
   std::unique_ptr<storage::Database> db_;
   std::unique_ptr<server::ReputationServer> server_;
   std::unique_ptr<WebPortal> portal_;
@@ -191,6 +195,56 @@ TEST_F(PortalTest, RouterRejectsGarbage) {
             util::StatusCode::kInvalidArgument);
   EXPECT_EQ(portal_->Handle("/software/abcd").status().code(),
             util::StatusCode::kInvalidArgument);
+}
+
+TEST_F(PortalTest, MetricsEndpointExposesInstrumentedFamilies) {
+  auto text = portal_->Handle("/metrics");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  // The fixture submitted 4 ratings, 1 remark, and ran aggregation once;
+  // every instrumented server-side family must be present with the
+  // matching value in Prometheus text exposition.
+  EXPECT_NE(text->find("# TYPE pisrep_server_votes_total counter"),
+            std::string::npos)
+      << *text;
+  EXPECT_NE(text->find("pisrep_server_votes_total 4\n"), std::string::npos);
+  EXPECT_NE(text->find("pisrep_server_remarks_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text->find("pisrep_server_aggregation_runs_total 1\n"),
+            std::string::npos);
+  // Aggregation drained the dirty set, so the gauge is back to zero.
+  EXPECT_NE(text->find("pisrep_server_vote_dirty_pending 0\n"),
+            std::string::npos);
+  for (const char* family :
+       {"pisrep_server_flood_rejections_total{kind=\"puzzle\"}",
+        "pisrep_server_flood_rejections_total{kind=\"registration\"}",
+        "pisrep_server_flood_rejections_total{kind=\"vote\"}",
+        "pisrep_server_aggregation_run_micros_bucket",
+        "pisrep_server_aggregation_recomputed_total",
+        "pisrep_net_events_pending", "pisrep_net_events_run_total"}) {
+    EXPECT_NE(text->find(family), std::string::npos) << family;
+  }
+
+  auto json = portal_->Handle("/metrics.json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->front(), '[');
+  EXPECT_EQ(json->back(), ']');
+  EXPECT_NE(json->find("{\"name\":\"pisrep_server_votes_total\","
+                       "\"type\":\"counter\",\"value\":4}"),
+            std::string::npos)
+      << *json;
+  EXPECT_NE(json->find("\"name\":\"pisrep_server_aggregation_run_micros\","
+                       "\"type\":\"histogram\""),
+            std::string::npos);
+}
+
+TEST_F(PortalTest, MetricsUnavailableWithoutRegistry) {
+  server::ReputationServer bare(db_.get(), &loop_,
+                                server::ReputationServer::Config{});
+  WebPortal portal(&bare);
+  EXPECT_EQ(portal.Handle("/metrics").status().code(),
+            util::StatusCode::kUnavailable);
+  EXPECT_EQ(portal.Handle("/metrics.json").status().code(),
+            util::StatusCode::kUnavailable);
 }
 
 TEST_F(PortalTest, CommentsAreHtmlEscaped) {

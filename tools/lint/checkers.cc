@@ -388,24 +388,27 @@ class LayeringChecker : public Checker {
              std::vector<Finding>* out) const override {
     static const std::map<std::string, std::set<std::string>> kAllowed = {
         {"util", {"util"}},
+        // obs sits just above util so every other layer can report into it;
+        // it must never look upward at the layers it instruments.
+        {"obs", {"obs", "util"}},
         {"xml", {"xml", "util"}},
         {"crypto", {"crypto", "util"}},
         {"storage", {"storage", "util"}},
-        {"net", {"net", "util", "xml"}},
+        {"net", {"net", "obs", "util", "xml"}},
         {"core", {"core", "util"}},
         {"proto", {"proto", "core", "util"}},
         {"server",
-         {"server", "core", "proto", "storage", "net", "crypto", "util",
-          "xml"}},
+         {"server", "core", "proto", "storage", "net", "crypto", "obs",
+          "util", "xml"}},
         {"client",
-         {"client", "core", "proto", "storage", "net", "crypto", "util",
-          "xml"}},
+         {"client", "core", "proto", "storage", "net", "crypto", "obs",
+          "util", "xml"}},
         {"web",
          {"web", "server", "core", "proto", "storage", "net", "crypto",
-          "util", "xml"}},
+          "obs", "util", "xml"}},
         {"sim",
          {"sim", "server", "client", "core", "proto", "storage", "net",
-          "crypto", "util", "xml"}},
+          "crypto", "obs", "util", "xml"}},
     };
     auto allowed = kAllowed.find(ctx.layer);
     if (allowed == kAllowed.end()) return;  // tests/bench/... may include all
