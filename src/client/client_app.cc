@@ -101,6 +101,31 @@ Status ClientApp::Start() {
   return rpc_.Start();
 }
 
+void ClientApp::CallRouted(const std::string& method, XmlNode params,
+                           net::RpcClient::ResponseCallback callback) {
+  XmlNode retry_copy = params;
+  rpc_.Call(
+      method, std::move(params),
+      [this, method, retry_copy = std::move(retry_copy),
+       callback = std::move(callback)](Result<XmlNode> response) mutable {
+        if (!response.ok() &&
+            response.status().code() ==
+                util::StatusCode::kFailedPrecondition &&
+            proto::IsOwnershipMoved(response.status().message())) {
+          std::string owner =
+              proto::OwnershipMovedTarget(response.status().message());
+          if (!owner.empty()) {
+            ++stats_.redirects_followed;
+            rpc_.CallTo(owner, method, std::move(retry_copy),
+                        std::move(callback), config_.rpc_timeout);
+            return;
+          }
+        }
+        callback(std::move(response));
+      },
+      config_.rpc_timeout);
+}
+
 void ClientApp::SetPromptHandler(PromptHandler handler) {
   prompt_handler_ = std::move(handler);
 }
@@ -238,7 +263,7 @@ void ClientApp::QueryServer(const core::SoftwareId& id,
   XmlNode request("request");
   request.AddTextChild("session", session_);
   request.AddTextChild("id", id.ToHex());
-  rpc_.Call(
+  CallRouted(
       "QuerySoftware", std::move(request),
       [this, id, partial = std::move(partial),
        done = std::move(done)](Result<XmlNode> response) mutable {
@@ -270,8 +295,7 @@ void ClientApp::QueryServer(const core::SoftwareId& id,
           return;
         }
         FetchFeedEntry(id, std::move(info), std::move(done));
-      },
-      config_.rpc_timeout);
+      });
 }
 
 bool ClientApp::TryServeStale(const core::SoftwareId& id,
@@ -330,7 +354,7 @@ void ClientApp::FetchFeedEntry(const core::SoftwareId& id, PromptInfo info,
   request.AddTextChild("session", session_);
   request.AddTextChild("feed", config_.subscribed_feed);
   request.AddTextChild("id", id.ToHex());
-  rpc_.Call(
+  CallRouted(
       "QueryFeed", std::move(request),
       [this, id, info = std::move(info),
        done = std::move(done)](Result<XmlNode> response) mutable {
@@ -353,8 +377,7 @@ void ClientApp::FetchFeedEntry(const core::SoftwareId& id, PromptInfo info,
         // Cache presence *and* absence, so repeats skip the round trip.
         feed_cache_[id] = info.feed_entry;
         FinishQuery(id, std::move(info), std::move(done));
-      },
-      config_.rpc_timeout);
+      });
 }
 
 void ClientApp::FinishQuery(const core::SoftwareId& id, PromptInfo info,
@@ -465,8 +488,7 @@ void ClientApp::AccumulateRunReport(const core::SoftwareId& id) {
   request.AddTextChild("session", session_);
   request.AddTextChild("id", id.ToHex());
   request.AddIntChild("count", count);
-  rpc_.Call("ReportExecutions", std::move(request),
-            [](Result<XmlNode>) {}, config_.rpc_timeout);
+  CallRouted("ReportExecutions", std::move(request), [](Result<XmlNode>) {});
 }
 
 void ClientApp::MaybePromptForRating(const FileImage& image,
@@ -500,12 +522,10 @@ void ClientApp::SendRating(const core::SoftwareMeta& meta, int score,
   request.AddIntChild("score", score);
   request.AddTextChild("comment", comment);
   request.AddTextChild("behaviors", core::BehaviorSetToString(behaviors));
-  rpc_.Call(
-      "SubmitRating", std::move(request),
-      [done = std::move(done)](Result<XmlNode> response) {
-        done(response.ok() ? Status::Ok() : response.status());
-      },
-      config_.rpc_timeout);
+  CallRouted("SubmitRating", std::move(request),
+             [done = std::move(done)](Result<XmlNode> response) {
+               done(response.ok() ? Status::Ok() : response.status());
+             });
 }
 
 void ClientApp::SubmitRating(const core::SoftwareMeta& meta,
@@ -640,12 +660,10 @@ void ClientApp::SubmitRemark(core::UserId author,
   request.AddIntChild("author", author);
   request.AddTextChild("id", software.ToHex());
   request.AddIntChild("positive", positive ? 1 : 0);
-  rpc_.Call(
-      "SubmitRemark", std::move(request),
-      [done = std::move(done)](Result<XmlNode> response) {
-        done(response.ok() ? Status::Ok() : response.status());
-      },
-      config_.rpc_timeout);
+  CallRouted("SubmitRemark", std::move(request),
+             [done = std::move(done)](Result<XmlNode> response) {
+               done(response.ok() ? Status::Ok() : response.status());
+             });
 }
 
 }  // namespace pisrep::client

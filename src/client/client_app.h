@@ -82,6 +82,9 @@ struct ClientStats {
   std::uint64_t ratings_replayed = 0;
   /// Automatic re-logins after the server forgot our session (restart).
   std::uint64_t relogins = 0;
+  /// Cluster `ownership-moved` redirects followed (client pointed straight
+  /// at a shard whose ring ownership moved).
+  std::uint64_t redirects_followed = 0;
 };
 
 /// The reputation-system client application (§3.1): sits behind the
@@ -202,6 +205,12 @@ class ClientApp {
   net::RpcClient& rpc() { return rpc_; }
 
  private:
+  /// Issues a digest-routed call, following one cluster `ownership-moved`
+  /// redirect: a client pointed straight at a shard (no router in front)
+  /// retries against the owner the shard named. Non-cluster deployments
+  /// never produce the redirect, so this is Call plus one branch.
+  void CallRouted(const std::string& method, xml::XmlNode params,
+                  net::RpcClient::ResponseCallback callback);
   void QueryServer(const core::SoftwareId& id,
                    std::function<void(PromptInfo)> done,
                    PromptInfo partial);

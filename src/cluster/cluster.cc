@@ -1,0 +1,414 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/router.h"
+#include "proto/wire.h"
+#include "util/logging.h"
+
+namespace pisrep::cluster {
+
+namespace {
+using util::Result;
+using util::Status;
+using xml::XmlNode;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardNode
+// ---------------------------------------------------------------------------
+
+ShardNode::ShardNode(net::SimNetwork* network, net::EventLoop* loop,
+                     std::string name,
+                     server::ReputationServer::Config server_config,
+                     ReplicationConfig replication, const HashRing* ring)
+    : network_(network),
+      loop_(loop),
+      name_(std::move(name)),
+      server_config_(std::move(server_config)),
+      replication_(replication),
+      ring_(ring) {
+  // Tokens minted by any shard must validate on every shard and survive a
+  // failover (a promoted backup restarts its RNG stream).
+  server_config_.accounts.deterministic_tokens = true;
+}
+
+ShardNode::~ShardNode() = default;
+
+Status ShardNode::Start() {
+  auto db = storage::Database::Open("");
+  if (!db.ok()) return db.status();
+  db_ = std::move(db).value();
+  PISREP_RETURN_IF_ERROR(StartPrimary());
+  return StartReplica();
+}
+
+Status ShardNode::StartPrimary() {
+  server_ = std::make_unique<server::ReputationServer>(db_.get(), loop_,
+                                                       server_config_);
+  PISREP_RETURN_IF_ERROR(server_->AttachRpc(network_, name_));
+  InstallClusterMethods();
+  return Status::Ok();
+}
+
+void ShardNode::InstallClusterMethods() {
+  net::RpcServer* rpc = server_->rpc_server();
+  PISREP_CHECK(rpc != nullptr) << "cluster methods need the RPC front-end";
+
+  rpc->RegisterMethod(std::string(kPingMethod),
+                      [](const XmlNode&) -> Result<XmlNode> {
+                        return XmlNode("result");
+                      });
+
+  // The router fans a validated remark's trust side effect to the shards
+  // that do not hold the rating row; only the account table is touched.
+  rpc->RegisterMethod(
+      std::string(kApplyRemarkMethod),
+      [this](const XmlNode& request) -> Result<XmlNode> {
+        auto author = request.ChildInt("author");
+        auto positive = request.ChildInt("positive");
+        auto at = request.ChildInt("at");
+        if (!author.ok() || !positive.ok() || !at.ok()) {
+          return Status::InvalidArgument("malformed ClusterApplyRemark");
+        }
+        PISREP_ASSIGN_OR_RETURN(
+            double factor,
+            server_->accounts().ApplyRemark(
+                static_cast<core::UserId>(*author), *positive != 0,
+                static_cast<util::TimePoint>(*at)));
+        XmlNode result("result");
+        result.AddDoubleChild("trust", factor);
+        return result;
+      });
+
+  // Ownership guard: wrap every digest-routed method so a request that
+  // lands on the wrong shard (stale router ring, client pointed directly
+  // at a shard) is answered with an ownership-moved redirect instead of
+  // silently creating divergent state.
+  for (const char* routed :
+       {"QuerySoftware", "SubmitRating", "ReportExecutions", "QueryFeed",
+        "SubmitRemark"}) {
+    PISREP_CHECK(IsDigestRoutedMethod(routed))
+        << routed << " missing from the router's digest plane";
+    net::RpcServer::Method original = rpc->FindMethod(routed);
+    if (!original) continue;
+    rpc->RegisterMethod(
+        routed, [this, original = std::move(original),
+                 method = std::string(routed)](
+                    const XmlNode& request) -> Result<XmlNode> {
+          PISREP_ASSIGN_OR_RETURN(util::Sha1Digest digest,
+                                  RoutingDigestOf(method, request));
+          const std::string& owner = ring_->OwnerOf(digest);
+          if (owner != name_) {
+            return Status::FailedPrecondition(
+                proto::OwnershipMovedMessage(owner));
+          }
+          return original(request);
+        });
+  }
+}
+
+void ShardNode::InstallResponseGate() {
+  if (server_ == nullptr || shipper_ == nullptr) return;
+  net::RpcServer* rpc = server_->rpc_server();
+  if (rpc == nullptr) return;
+  // Raw capture is safe: the gate dies with the RPC server inside
+  // server_->Stop()/reset, which KillPrimary runs before shipper_.reset().
+  ReplicationShipper* shipper = shipper_.get();
+  rpc->SetResponseGate(
+      [shipper](const std::string& method, std::function<void()> send) {
+        // Liveness probes must answer even when the backup lags or is
+        // down — a gated ping would turn replication trouble into a
+        // spurious failover of a healthy primary.
+        if (method == kPingMethod) {
+          send();
+          return;
+        }
+        shipper->GateResponse(method, std::move(send));
+      });
+}
+
+Status ShardNode::StartReplica() {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition("shard has no primary database");
+  }
+  if (replica_ == nullptr) {
+    replica_ = std::make_unique<ReplicaNode>(network_, name_ + "!replica");
+    PISREP_RETURN_IF_ERROR(replica_->Start());
+  }
+  if (shipper_ == nullptr) {
+    shipper_ = std::make_unique<ReplicationShipper>(
+        network_, loop_, name_ + "!ship", name_ + "!replica", db_.get(),
+        replication_, server_config_.metrics, name_);
+    PISREP_RETURN_IF_ERROR(shipper_->Start());
+    InstallResponseGate();
+  } else {
+    // Revive path: the backup is back (fresh and empty); the shipper's
+    // next batch comes back stale and snapshot-resyncs it.
+    shipper_->Pump();
+  }
+  return Status::Ok();
+}
+
+void ShardNode::KillPrimary() {
+  if (server_ == nullptr) return;
+  server_->Stop();   // unbinds the RPC endpoint (and the response gate)
+  server_.reset();
+  shipper_.reset();  // clears the db frame listener before the db dies
+  db_.reset();
+}
+
+Status ShardNode::Promote() {
+  if (server_ != nullptr) {
+    ++promotions_refused_;
+    return Status::FailedPrecondition("primary still alive");
+  }
+  if (replica_ == nullptr) {
+    ++promotions_refused_;
+    return Status::FailedPrecondition("no backup to promote");
+  }
+  if (replica_->stale()) {
+    // A backup that knows it is missing acked records must never serve:
+    // promoting it would silently drop acknowledged votes.
+    ++promotions_refused_;
+    return Status::FailedPrecondition("backup is stale; refusing promotion");
+  }
+  db_ = replica_->Detach();
+  replica_.reset();
+  PISREP_RETURN_IF_ERROR(StartPrimary());
+  ++promotions_;
+  // Stand up a fresh (empty) backup behind the new primary; the shipper's
+  // seeded snapshot brings it to parity.
+  return StartReplica();
+}
+
+// ---------------------------------------------------------------------------
+// ShardCluster
+// ---------------------------------------------------------------------------
+
+ShardCluster::ShardCluster(net::SimNetwork* network, net::EventLoop* loop,
+                           ClusterConfig config)
+    : network_(network),
+      loop_(loop),
+      config_(std::move(config)),
+      ring_(config_.vnodes_per_shard) {
+  PISREP_CHECK(config_.num_shards > 0) << "a cluster needs at least one shard";
+  config_.server.accounts.deterministic_tokens = true;
+  for (int i = 0; i < config_.num_shards; ++i) ring_.AddShard(ShardName(i));
+  misses_.assign(static_cast<std::size_t>(config_.num_shards), 0);
+  for (int i = 0; i < config_.num_shards; ++i) {
+    server::ReputationServer::Config shard_config = config_.server;
+    if (i < static_cast<int>(config_.tuning.size())) {
+      const ShardTuning& tuning = config_.tuning[static_cast<std::size_t>(i)];
+      shard_config.aggregation_full_sweep_every = tuning.full_sweep_every;
+      shard_config.aggregation_force_full_sweep = tuning.force_full_sweep;
+    }
+    shards_.push_back(std::make_unique<ShardNode>(
+        network_, loop_, ShardName(i), std::move(shard_config),
+        config_.replication, &ring_));
+  }
+  if (obs::MetricsRegistry* metrics = config_.server.metrics) {
+    failovers_metric_ = metrics->GetCounter("pisrep_cluster_failovers_total");
+    failovers_refused_metric_ =
+        metrics->GetCounter("pisrep_cluster_failovers_refused_total");
+    heartbeat_misses_metric_ =
+        metrics->GetCounter("pisrep_cluster_heartbeat_misses_total");
+  }
+}
+
+ShardCluster::~ShardCluster() = default;
+
+std::string ShardCluster::ShardName(int i) const {
+  return config_.name_prefix + std::to_string(i);
+}
+
+Status ShardCluster::Start() {
+  for (auto& shard : shards_) {
+    PISREP_RETURN_IF_ERROR(shard->Start());
+  }
+  if (config_.auto_failover && config_.heartbeat_period > 0) {
+    StartHeartbeats();
+  }
+  return Status::Ok();
+}
+
+void ShardCluster::StopAll() {
+  heartbeat_token_.reset();
+  controller_.reset();
+  for (auto& shard : shards_) shard->KillPrimary();
+}
+
+ShardNode* ShardCluster::OwnerShard(const core::SoftwareId& id) {
+  const std::string& owner = ring_.OwnerOf(id);
+  for (auto& shard : shards_) {
+    if (shard->name() == owner) return shard.get();
+  }
+  PISREP_CHECK(false) << "ring owner " << owner << " is not a cluster shard";
+  return nullptr;
+}
+
+Result<core::SoftwareScore> ShardCluster::GetScore(const core::SoftwareId& id) {
+  ShardNode* owner = OwnerShard(id);
+  if (!owner->primary_alive()) {
+    return Status::Unavailable("owning shard's primary is down");
+  }
+  return owner->server()->registry().GetScore(id);
+}
+
+Result<core::VendorScore> ShardCluster::MergedVendorScore(
+    const core::VendorId& vendor) {
+  // Same arithmetic and same (sorted-shard) order as the router's scatter
+  // merge, so native and RPC reads agree.
+  double weighted_sum = 0.0;
+  int total_count = 0;
+  util::TimePoint computed_at = 0;
+  for (const std::string& member : ring_.Members()) {
+    ShardNode* node = nullptr;
+    for (auto& shard : shards_) {
+      if (shard->name() == member) node = shard.get();
+    }
+    if (node == nullptr || !node->primary_alive()) {
+      return Status::Unavailable("shard primary down during vendor merge");
+    }
+    Result<core::VendorScore> leg =
+        node->server()->registry().GetVendorScore(vendor);
+    if (!leg.ok()) continue;  // the vendor has no software on this shard
+    if (leg->software_count <= 0) continue;
+    weighted_sum += leg->score * leg->software_count;
+    total_count += leg->software_count;
+    computed_at = std::max(computed_at, leg->computed_at);
+  }
+  if (total_count == 0) {
+    return Status::NotFound("vendor has no scored software");
+  }
+  core::VendorScore merged;
+  merged.vendor = vendor;
+  merged.score = weighted_sum / total_count;
+  merged.software_count = total_count;
+  merged.computed_at = computed_at;
+  return merged;
+}
+
+std::uint64_t ShardCluster::TotalVotesAccepted() const {
+  // Counted from the vote store, not from ReputationServer::stats(): the
+  // stats counter is in-memory primary state and resets on promotion, while
+  // the store is exactly the replicated data the "no acked vote lost"
+  // guarantee is about.
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    if (shard->server() == nullptr) continue;
+    server::VoteStore& votes = shard->server()->votes();
+    for (const core::SoftwareId& id : votes.RatedSoftware()) {
+      total += votes.VoteCountFor(id);
+    }
+  }
+  return total;
+}
+
+void ShardCluster::RunAggregationAll(util::TimePoint now) {
+  for (auto& shard : shards_) {
+    if (shard->server() != nullptr) {
+      shard->server()->aggregation().RunOnce(now);
+    }
+  }
+}
+
+Result<server::ActivationMail> ShardCluster::FetchMail(std::string_view email) {
+  // Registration is broadcast, so every shard minted the mail — and with
+  // deterministic tokens every copy carries the same token. Shard 0 is the
+  // canonical mailbox; later shards cover the case where shard 0 failed
+  // over (its mailbox is process state and died with the old primary).
+  Status last = Status::Unavailable("no shard primary alive");
+  for (auto& shard : shards_) {
+    if (!shard->primary_alive()) continue;
+    Result<server::ActivationMail> mail = shard->server()->FetchMail(email);
+    if (mail.ok()) return mail;
+    last = mail.status();
+  }
+  return last;
+}
+
+void ShardCluster::KillPrimary(int i) { shard(i)->KillPrimary(); }
+
+Status ShardCluster::TriggerFailover(int i) {
+  ShardNode* node = shard(i);
+  node->KillPrimary();  // fence first — idempotent when already dead
+  Status promoted = node->Promote();
+  if (promoted.ok()) {
+    ++failovers_;
+    if (failovers_metric_ != nullptr) failovers_metric_->Increment();
+  } else {
+    if (failovers_refused_metric_ != nullptr) {
+      failovers_refused_metric_->Increment();
+    }
+  }
+  return promoted;
+}
+
+Status ShardCluster::ReviveReplica(int i) { return shard(i)->StartReplica(); }
+
+std::uint64_t ShardCluster::failovers_refused() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->promotions_refused();
+  return total;
+}
+
+void ShardCluster::StartHeartbeats() {
+  controller_ = std::make_unique<net::RpcClient>(
+      network_, loop_, config_.name_prefix + "!ctl", ShardName(0));
+  // The controller is its own failure detector; the generic breaker and
+  // retry machinery would only mask missed beats.
+  net::RpcClient::BreakerConfig breaker;
+  breaker.enabled = false;
+  controller_->set_breaker(breaker);
+  controller_->set_max_retries(0);
+  Status started = controller_->Start();
+  PISREP_CHECK(started.ok()) << "heartbeat controller: " << started.ToString();
+  heartbeat_token_ = std::make_shared<int>(0);
+  ScheduleHeartbeat();
+}
+
+void ShardCluster::ScheduleHeartbeat() {
+  // Self-rescheduling (instead of SchedulePeriodic) so that StopAll lets
+  // the event loop drain: once the token dies, no further tick is queued.
+  loop_->ScheduleAfter(
+      config_.heartbeat_period,
+      [this, token = std::weak_ptr<int>(heartbeat_token_)] {
+        if (token.expired()) return;
+        HeartbeatTick();
+        ScheduleHeartbeat();
+      });
+}
+
+void ShardCluster::HeartbeatTick() {
+  for (int i = 0; i < num_shards(); ++i) {
+    controller_->CallTo(
+        ShardName(i), kPingMethod, XmlNode("p"),
+        [this, i, token = std::weak_ptr<int>(heartbeat_token_)](
+            Result<XmlNode> result) {
+          if (token.expired()) return;
+          if (result.ok()) {
+            misses_[static_cast<std::size_t>(i)] = 0;
+            return;
+          }
+          ++misses_[static_cast<std::size_t>(i)];
+          if (heartbeat_misses_metric_ != nullptr) {
+            heartbeat_misses_metric_->Increment();
+          }
+          if (misses_[static_cast<std::size_t>(i)] >=
+              config_.heartbeat_misses) {
+            misses_[static_cast<std::size_t>(i)] = 0;
+            Status failed_over = TriggerFailover(i);
+            if (!failed_over.ok()) {
+              PISREP_LOG(kWarning)
+                  << "failover of " << ShardName(i)
+                  << " refused: " << failed_over.ToString();
+            }
+          }
+        },
+        config_.heartbeat_period);
+  }
+}
+
+}  // namespace pisrep::cluster

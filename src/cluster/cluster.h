@@ -1,0 +1,209 @@
+#ifndef PISREP_CLUSTER_CLUSTER_H_
+#define PISREP_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/replication.h"
+#include "core/types.h"
+#include "net/rpc.h"
+#include "obs/metrics.h"
+#include "server/reputation_server.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace pisrep::cluster {
+
+/// Method name of the cluster-internal trust-propagation call (the router
+/// fans a validated remark's trust effect to the non-owning shards).
+inline constexpr std::string_view kApplyRemarkMethod = "ClusterApplyRemark";
+/// Method name of the failover controller's liveness probe.
+inline constexpr std::string_view kPingMethod = "ClusterPing";
+
+/// Per-shard overrides of the aggregation cadence (the per-shard config
+/// knobs of ReputationServer::Config): a small shard can afford to sweep
+/// fully every run, a big one cannot.
+struct ShardTuning {
+  std::uint64_t full_sweep_every =
+      server::AggregationJob::kDefaultFullSweepEvery;
+  bool force_full_sweep = false;
+};
+
+struct ClusterConfig {
+  int num_shards = 2;
+  /// Shard i's service address is "<name_prefix><i>" — stable across
+  /// failovers, which is what makes promotion transparent to the router.
+  std::string name_prefix = "shard";
+  int vnodes_per_shard = 64;
+  /// Template for every shard's server; per-shard ShardTuning overrides
+  /// layer on top. `accounts.deterministic_tokens` is forced on — cluster
+  /// sessions and activation tokens must validate on every shard and
+  /// survive a failover.
+  server::ReputationServer::Config server;
+  ReplicationConfig replication;
+  /// Per-shard aggregation overrides, indexed by shard; shorter-than-
+  /// num_shards vectors leave the remaining shards on the template.
+  std::vector<ShardTuning> tuning;
+  /// Failover controller: a primary missing `heartbeat_misses` consecutive
+  /// pings (or whose breaker trips) is fenced and its backup promoted.
+  /// Period 0 disables the periodic probe (tests drive TriggerFailover
+  /// manually and the event loop can then drain).
+  util::Duration heartbeat_period = 2 * util::kSecond;
+  int heartbeat_misses = 3;
+  bool auto_failover = true;
+};
+
+/// One shard: a primary ReputationServer over an in-memory database, a
+/// warm backup (ReplicaNode) fed by synchronous WAL shipping, and the
+/// promote-on-failure lifecycle. The service address never changes; which
+/// process answers it does.
+class ShardNode {
+ public:
+  /// `ring` is the cluster's authoritative ownership map (used by the
+  /// ownership guard); it must outlive the node. `network`/`loop` too.
+  ShardNode(net::SimNetwork* network, net::EventLoop* loop, std::string name,
+            server::ReputationServer::Config server_config,
+            ReplicationConfig replication, const HashRing* ring);
+  ~ShardNode();
+
+  ShardNode(const ShardNode&) = delete;
+  ShardNode& operator=(const ShardNode&) = delete;
+
+  /// Starts the primary, the backup, and the replication channel.
+  util::Status Start();
+
+  const std::string& name() const { return name_; }
+  /// The live primary, or null between KillPrimary and Promote.
+  server::ReputationServer* server() { return server_.get(); }
+  bool primary_alive() const { return server_ != nullptr; }
+  storage::Database* db() { return db_.get(); }
+  ReplicaNode* replica() { return replica_.get(); }
+  ReplicationShipper* shipper() { return shipper_.get(); }
+
+  /// Fences the primary: unbinds its RPC endpoint and tears down the
+  /// replication channel. Simulates a crash; idempotent.
+  void KillPrimary();
+
+  /// Promotes the backup into a fresh primary at the same address, then
+  /// starts a new empty backup and re-seeds it (snapshot resync). Refuses
+  /// when the backup is stale — a backup that knows it is missing acked
+  /// records must never serve.
+  util::Status Promote();
+
+  /// (Re)creates the backup and kicks the shipper — the revive path after
+  /// a failover consumed the previous backup.
+  util::Status StartReplica();
+
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t promotions_refused() const { return promotions_refused_; }
+
+ private:
+  util::Status StartPrimary();
+  /// Registers ClusterPing, ClusterApplyRemark, and wraps every
+  /// digest-routed method in the ownership guard.
+  void InstallClusterMethods();
+  void InstallResponseGate();
+
+  net::SimNetwork* network_;
+  net::EventLoop* loop_;
+  std::string name_;
+  server::ReputationServer::Config server_config_;
+  ReplicationConfig replication_;
+  const HashRing* ring_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<server::ReputationServer> server_;
+  std::unique_ptr<ReplicaNode> replica_;
+  std::unique_ptr<ReplicationShipper> shipper_;
+  std::uint64_t promotions_ = 0;
+  std::uint64_t promotions_refused_ = 0;
+};
+
+/// The shard fleet plus the failover controller. Deliberately router-free:
+/// the Router is a separate front-door component (sims run both; unit
+/// tests can run a cluster without one).
+class ShardCluster {
+ public:
+  ShardCluster(net::SimNetwork* network, net::EventLoop* loop,
+               ClusterConfig config);
+  ~ShardCluster();
+
+  ShardCluster(const ShardCluster&) = delete;
+  ShardCluster& operator=(const ShardCluster&) = delete;
+
+  /// Starts every shard and (when configured) the heartbeat controller.
+  util::Status Start();
+
+  /// Fences every primary and stops the controller.
+  void StopAll();
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::string ShardName(int i) const;
+  ShardNode* shard(int i) { return shards_[static_cast<std::size_t>(i)].get(); }
+  /// Shard i's primary (null while failed over).
+  server::ReputationServer* primary(int i) { return shard(i)->server(); }
+  const HashRing& ring() const { return ring_; }
+
+  /// The shard owning `id` under the cluster's ring.
+  ShardNode* OwnerShard(const core::SoftwareId& id);
+
+  // ------------------------------------------------------------------
+  // Native cross-shard reads (tests, web portal, benches) — full
+  // precision, no RPC hop.
+  // ------------------------------------------------------------------
+
+  util::Result<core::SoftwareScore> GetScore(const core::SoftwareId& id);
+  /// Software-count-weighted merge of the per-shard vendor means, in
+  /// sorted-shard order (deterministic; same arithmetic as the router's
+  /// scatter merge).
+  util::Result<core::VendorScore> MergedVendorScore(
+      const core::VendorId& vendor);
+  std::uint64_t TotalVotesAccepted() const;
+
+  /// Runs one aggregation pass on every live shard, in shard order.
+  void RunAggregationAll(util::TimePoint now);
+
+  /// Activation mail is broadcast-registered on every shard; shard 0's
+  /// mailbox is the canonical copy, with the other shards' (identical,
+  /// thanks to deterministic tokens) copies as fallback after a failover.
+  util::Result<server::ActivationMail> FetchMail(std::string_view email);
+
+  // ------------------------------------------------------------------
+  // Failure control
+  // ------------------------------------------------------------------
+
+  /// Simulated crash of shard i's primary.
+  void KillPrimary(int i);
+  /// Manual failover (fence + promote + revive); the controller calls the
+  /// same path when heartbeats go missing.
+  util::Status TriggerFailover(int i);
+  util::Status ReviveReplica(int i);
+
+  std::uint64_t failovers() const { return failovers_; }
+  std::uint64_t failovers_refused() const;
+
+ private:
+  void StartHeartbeats();
+  void ScheduleHeartbeat();
+  void HeartbeatTick();
+
+  net::SimNetwork* network_;
+  net::EventLoop* loop_;
+  ClusterConfig config_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<ShardNode>> shards_;
+  std::unique_ptr<net::RpcClient> controller_;
+  std::vector<int> misses_;
+  std::shared_ptr<int> heartbeat_token_;
+  std::uint64_t failovers_ = 0;
+
+  obs::Counter* failovers_metric_ = nullptr;
+  obs::Counter* failovers_refused_metric_ = nullptr;
+  obs::Counter* heartbeat_misses_metric_ = nullptr;
+};
+
+}  // namespace pisrep::cluster
+
+#endif  // PISREP_CLUSTER_CLUSTER_H_

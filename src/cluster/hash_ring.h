@@ -1,0 +1,67 @@
+#ifndef PISREP_CLUSTER_HASH_RING_H_
+#define PISREP_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/sha1.h"
+
+namespace pisrep::cluster {
+
+/// Consistent-hash ring over the SHA-1 digest space.
+///
+/// The paper identifies every software by its SHA-1 digest (§3.3); the
+/// cluster partitions reputation state by treating the first 8 digest
+/// bytes as a position on a 64-bit ring. Each shard contributes
+/// `vnodes_per_shard` virtual points (SHA-1 of "name#i"), which evens out
+/// the per-shard key share, and a digest is owned by the shard whose
+/// point is the first at or clockwise after the digest's position.
+///
+/// Determinism is the contract everything else leans on:
+///  - ownership is a pure function of the member-name set — insertion
+///    order never matters (the point map is rebuilt from the sorted
+///    member set on every change, with lexicographic-min tie-breaking on
+///    the astronomically unlikely point collision);
+///  - adding a shard moves keys only *to* the new shard; removing one
+///    moves only the removed shard's keys, redistributing them among the
+///    survivors. Both properties are asserted over synthetic digest
+///    populations in cluster_test.
+class HashRing {
+ public:
+  explicit HashRing(int vnodes_per_shard = 64);
+
+  /// Adds a member; no-op when already present.
+  void AddShard(const std::string& name);
+  /// Removes a member; no-op when absent.
+  void RemoveShard(const std::string& name);
+
+  bool empty() const { return members_.empty(); }
+  std::size_t size() const { return members_.size(); }
+  bool Contains(const std::string& name) const {
+    return members_.contains(name);
+  }
+
+  /// Owning shard of a digest. The ring must not be empty.
+  const std::string& OwnerOf(const util::Sha1Digest& digest) const;
+
+  /// Members in sorted order (the canonical shard enumeration used for
+  /// deterministic scatter-gather merges).
+  std::vector<std::string> Members() const;
+
+  /// Ring position of a digest: its first 8 bytes, big-endian.
+  static std::uint64_t PointOf(const util::Sha1Digest& digest);
+
+ private:
+  void Rebuild();
+
+  int vnodes_;
+  std::set<std::string> members_;
+  std::map<std::uint64_t, std::string> ring_;
+};
+
+}  // namespace pisrep::cluster
+
+#endif  // PISREP_CLUSTER_HASH_RING_H_

@@ -1,0 +1,342 @@
+#include "cluster/replication.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/hex.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pisrep::cluster {
+
+namespace {
+using util::Result;
+using util::Status;
+using xml::XmlNode;
+
+constexpr std::string_view kReplicateMethod = "ShardReplicate";
+constexpr std::string_view kStatusMethod = "ShardReplicaStatus";
+
+std::uint64_t AttrU64(const XmlNode& node, std::string_view key) {
+  auto parsed = util::ParseInt64(node.AttributeOr(key, "0"));
+  if (!parsed.ok() || *parsed < 0) return 0;
+  return static_cast<std::uint64_t>(*parsed);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ReplicationLog
+// ---------------------------------------------------------------------------
+
+std::uint64_t ReplicationLog::Append(std::string frame) {
+  frames_.push_back(std::move(frame));
+  ++head_seq_;
+  while (frames_.size() > max_records_) {
+    frames_.pop_front();
+    ++base_seq_;
+  }
+  return head_seq_;
+}
+
+bool ReplicationLog::CollectAfter(
+    std::uint64_t after, std::size_t max_batch,
+    std::vector<std::pair<std::uint64_t, std::string>>* out) const {
+  if (after < base_seq_) return false;  // span already dropped
+  for (std::size_t i = after - base_seq_;
+       i < frames_.size() && out->size() < max_batch; ++i) {
+    out->emplace_back(base_seq_ + 1 + i, frames_[i]);
+  }
+  return true;
+}
+
+void ReplicationLog::PruneThrough(std::uint64_t upto) {
+  while (!frames_.empty() && base_seq_ < upto) {
+    frames_.pop_front();
+    ++base_seq_;
+  }
+}
+
+void ReplicationLog::Clear() {
+  frames_.clear();
+  base_seq_ = head_seq_;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaNode
+// ---------------------------------------------------------------------------
+
+ReplicaNode::ReplicaNode(net::SimNetwork* network, std::string address)
+    : network_(network), address_(std::move(address)) {
+  auto db = storage::Database::Open("");
+  PISREP_CHECK(db.ok()) << "in-memory database open cannot fail";
+  db_ = std::move(db).value();
+}
+
+Status ReplicaNode::Start() {
+  rpc_ = std::make_unique<net::RpcServer>(network_, address_);
+  rpc_->RegisterMethod(
+      std::string(kReplicateMethod),
+      [this](const XmlNode& request) { return HandleReplicate(request); });
+  rpc_->RegisterMethod(
+      std::string(kStatusMethod), [this](const XmlNode&) -> Result<XmlNode> {
+        XmlNode result("result");
+        result.SetAttribute("applied", std::to_string(applied_seq_));
+        result.SetAttribute("stale", stale_ ? "1" : "0");
+        return result;
+      });
+  return rpc_->Start();
+}
+
+Result<XmlNode> ReplicaNode::HandleReplicate(const XmlNode& request) {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition("replica detached");
+  }
+  std::uint64_t first_seq = AttrU64(request, "first_seq");
+  if (first_seq == 0) {
+    return Status::InvalidArgument("replicate batch without first_seq");
+  }
+  if (request.AttributeOr("reset", "0") == "1") {
+    // Snapshot resync: the primary replaced history; drop everything and
+    // rebuild from the frames that follow.
+    auto fresh = storage::Database::Open("");
+    PISREP_CHECK(fresh.ok()) << "in-memory database open cannot fail";
+    db_ = std::move(fresh).value();
+    applied_seq_ = first_seq - 1;
+    stale_ = false;
+    ++resets_;
+  } else if (first_seq > applied_seq_ + 1) {
+    // A gap: records were shipped past us (lost batch beyond the primary's
+    // retention, or we restarted empty). Only a snapshot can heal this.
+    stale_ = true;
+  }
+  if (!stale_) {
+    std::uint64_t seq = first_seq;
+    for (const XmlNode* frame_node : request.FindChildren("f")) {
+      std::uint64_t this_seq = seq++;
+      if (this_seq <= applied_seq_) continue;  // duplicate of a re-sent batch
+      auto bytes = util::HexDecode(frame_node->text());
+      if (!bytes.ok()) {
+        stale_ = true;
+        break;
+      }
+      std::string frame(bytes->begin(), bytes->end());
+      Status applied = db_->ApplyReplicatedFrame(frame);
+      if (!applied.ok()) {
+        PISREP_LOG(kWarning) << "replica " << address_ << " failed frame "
+                             << this_seq << ": " << applied.ToString();
+        stale_ = true;
+        break;
+      }
+      applied_seq_ = this_seq;
+    }
+  }
+  XmlNode result("result");
+  result.SetAttribute("acked", std::to_string(applied_seq_));
+  result.SetAttribute("stale", stale_ ? "1" : "0");
+  return result;
+}
+
+std::unique_ptr<storage::Database> ReplicaNode::Detach() {
+  rpc_.reset();
+  return std::move(db_);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationShipper
+// ---------------------------------------------------------------------------
+
+ReplicationShipper::ReplicationShipper(
+    net::SimNetwork* network, net::EventLoop* loop, std::string client_address,
+    std::string replica_address, storage::Database* primary_db,
+    ReplicationConfig config, obs::MetricsRegistry* metrics,
+    std::string shard_label)
+    : network_(network),
+      loop_(loop),
+      db_(primary_db),
+      config_(config),
+      replica_address_(std::move(replica_address)),
+      rpc_(network, loop, std::move(client_address), replica_address_),
+      log_(config.max_log_records) {
+  // The shipper runs its own retry/resync state machine; the generic client
+  // breaker would only add a second layer of fast-fails on top of it.
+  net::RpcClient::BreakerConfig breaker;
+  breaker.enabled = false;
+  rpc_.set_breaker(breaker);
+  rpc_.set_max_retries(0);
+  if (metrics != nullptr) {
+    lag_gauge_ = metrics->GetGauge(obs::WithLabel(
+        "pisrep_cluster_replication_lag_records", "shard", shard_label));
+    shipped_metric_ = metrics->GetCounter(obs::WithLabel(
+        "pisrep_cluster_replication_shipped_total", "shard", shard_label));
+    resyncs_metric_ = metrics->GetCounter(obs::WithLabel(
+        "pisrep_cluster_replication_resyncs_total", "shard", shard_label));
+    degraded_acks_metric_ = metrics->GetCounter(obs::WithLabel(
+        "pisrep_cluster_degraded_acks_total", "shard", shard_label));
+  }
+}
+
+ReplicationShipper::~ReplicationShipper() { db_->SetFrameListener({}); }
+
+Status ReplicationShipper::Start() {
+  PISREP_RETURN_IF_ERROR(rpc_.Start());
+  // Seed the log with a full snapshot so a brand-new empty backup can
+  // replay from sequence 1; everything after arrives via the listener.
+  PISREP_RETURN_IF_ERROR(
+      db_->ExportSnapshotFrames([this](const std::string& frame) {
+        log_.Append(frame);
+        return Status::Ok();
+      }));
+  db_->SetFrameListener([this](const std::string& frame) { OnFrame(frame); });
+  UpdateLagGauge();
+  Pump();
+  return Status::Ok();
+}
+
+void ReplicationShipper::OnFrame(const std::string& frame) {
+  log_.Append(frame);
+  UpdateLagGauge();
+  Pump();
+}
+
+void ReplicationShipper::GateResponse(const std::string& method,
+                                      std::function<void()> send) {
+  (void)method;  // all methods gate on WAL position, none on their name
+  std::uint64_t needed = log_.head_seq();
+  if (needed <= acked_seq_ || !config_.synchronous_acks) {
+    send();
+    return;
+  }
+  if (degraded_) {
+    ++degraded_acks_;
+    if (degraded_acks_metric_) degraded_acks_metric_->Increment();
+    send();
+    return;
+  }
+  gates_.emplace_back(needed, std::move(send));
+  Pump();
+}
+
+void ReplicationShipper::StartResync() {
+  log_.Clear();
+  reset_at_seq_ = log_.head_seq() + 1;
+  ++resyncs_;
+  if (resyncs_metric_) resyncs_metric_->Increment();
+  Status exported = db_->ExportSnapshotFrames([this](const std::string& frame) {
+    log_.Append(frame);
+    return Status::Ok();
+  });
+  PISREP_CHECK(exported.ok()) << "snapshot export cannot fail in-memory";
+  // The snapshot must survive in the log until the backup acks it; a
+  // snapshot larger than the retention window could never be shipped.
+  PISREP_CHECK(log_.base_seq() < reset_at_seq_)
+      << "replication log retention smaller than a full snapshot";
+}
+
+void ReplicationShipper::Pump() {
+  if (in_flight_) return;
+  if (acked_seq_ >= log_.head_seq()) return;  // fully caught up
+  std::uint64_t from = acked_seq_;
+  if (reset_at_seq_ != 0) {
+    from = std::max(acked_seq_, reset_at_seq_ - 1);
+  } else if (acked_seq_ < log_.base_seq()) {
+    // The backup is beyond the bounded catch-up window: replace history
+    // with a snapshot (the first shipped batch carries the reset marker).
+    StartResync();
+    from = reset_at_seq_ - 1;
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> batch;
+  if (!log_.CollectAfter(from, config_.max_batch_records, &batch) ||
+      batch.empty()) {
+    return;
+  }
+
+  XmlNode params("r");
+  params.SetAttribute("first_seq", std::to_string(batch.front().first));
+  if (reset_at_seq_ != 0 && batch.front().first == reset_at_seq_) {
+    params.SetAttribute("reset", "1");
+  }
+  for (const auto& [seq, frame] : batch) {
+    params.AddTextChild("f", util::HexEncode(frame));
+  }
+  in_flight_ = true;
+  rpc_.Call(
+      kReplicateMethod, std::move(params),
+      [this, alive = std::weak_ptr<int>(alive_)](Result<XmlNode> result) {
+        if (alive.expired()) return;
+        HandleShipResult(std::move(result));
+      },
+      config_.ship_timeout);
+}
+
+void ReplicationShipper::HandleShipResult(Result<XmlNode> result) {
+  in_flight_ = false;
+  if (!result.ok()) {
+    ++consecutive_failures_;
+    if (!degraded_ &&
+        consecutive_failures_ >= config_.degraded_after_failures) {
+      EnterDegraded();
+    }
+    // Keep probing while responses are still gated on us; once degraded
+    // with nothing gated, go quiescent — new frames and an explicit Pump
+    // (after the backup is revived) restart shipping.
+    if ((!degraded_ || !gates_.empty()) && !retry_scheduled_) {
+      retry_scheduled_ = true;
+      loop_->ScheduleAfter(config_.retry_delay,
+                           [this, alive = std::weak_ptr<int>(alive_)] {
+                             if (alive.expired()) return;
+                             retry_scheduled_ = false;
+                             Pump();
+                           });
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+  degraded_ = false;  // the backup is reachable again
+  const XmlNode& response = *result;
+  if (response.AttributeOr("stale", "0") == "1") {
+    StartResync();
+  } else {
+    std::uint64_t acked = AttrU64(response, "acked");
+    if (acked > acked_seq_) {
+      if (shipped_metric_) shipped_metric_->Increment(acked - acked_seq_);
+      acked_seq_ = acked;
+      log_.PruneThrough(acked_seq_);
+      if (reset_at_seq_ != 0 && acked_seq_ >= reset_at_seq_) {
+        reset_at_seq_ = 0;  // the snapshot head landed; back to streaming
+      }
+      FlushGatesThrough(acked_seq_);
+    }
+  }
+  UpdateLagGauge();
+  Pump();
+}
+
+void ReplicationShipper::FlushGatesThrough(std::uint64_t seq) {
+  while (!gates_.empty() && gates_.front().first <= seq) {
+    auto send = std::move(gates_.front().second);
+    gates_.pop_front();
+    send();
+  }
+}
+
+void ReplicationShipper::EnterDegraded() {
+  degraded_ = true;
+  PISREP_LOG(kWarning) << "replication to " << replica_address_
+                       << " degraded after " << consecutive_failures_
+                       << " failures; releasing " << gates_.size()
+                       << " gated responses";
+  while (!gates_.empty()) {
+    auto send = std::move(gates_.front().second);
+    gates_.pop_front();
+    ++degraded_acks_;
+    if (degraded_acks_metric_) degraded_acks_metric_->Increment();
+    send();
+  }
+}
+
+void ReplicationShipper::UpdateLagGauge() {
+  if (lag_gauge_ == nullptr) return;
+  lag_gauge_->Set(static_cast<std::int64_t>(log_.head_seq() - acked_seq_));
+}
+
+}  // namespace pisrep::cluster

@@ -1,0 +1,200 @@
+#ifndef PISREP_CLUSTER_REPLICATION_H_
+#define PISREP_CLUSTER_REPLICATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/rpc.h"
+#include "obs/metrics.h"
+#include "storage/database.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace pisrep::cluster {
+
+/// Tuning for one shard's primary→backup replication channel.
+struct ReplicationConfig {
+  /// Bounded catch-up: the primary retains at most this many unacked WAL
+  /// records. A backup that falls further behind cannot be caught up from
+  /// the log any more and is re-seeded with a full snapshot instead.
+  std::size_t max_log_records = 8192;
+  /// Records shipped per RPC batch.
+  std::size_t max_batch_records = 128;
+  /// Per-batch RPC timeout.
+  util::Duration ship_timeout = 2 * util::kSecond;
+  /// Delay before re-probing an unreachable backup.
+  util::Duration retry_delay = 2 * util::kSecond;
+  /// Consecutive shipping failures before the primary stops gating client
+  /// responses on replication (graceful degradation: answers flow again,
+  /// durability of *new* acks is reduced and counted).
+  int degraded_after_failures = 3;
+  /// When true (the default), a client response whose handler advanced the
+  /// primary's WAL is held until the backup has acked those records —
+  /// synchronous replication, the "zero lost acked votes" guarantee.
+  bool synchronous_acks = true;
+};
+
+/// The primary's in-memory, sequence-numbered record of WAL frames not yet
+/// known to be applied by the backup. Appending past `max_records` drops
+/// the oldest entries (the shipper then falls back to snapshot resync).
+class ReplicationLog {
+ public:
+  explicit ReplicationLog(std::size_t max_records)
+      : max_records_(max_records) {}
+
+  /// Appends a frame and returns its sequence number (1-based).
+  std::uint64_t Append(std::string frame);
+
+  /// Seq of the newest record, 0 when none was ever appended.
+  std::uint64_t head_seq() const { return head_seq_; }
+  /// Seq of the oldest *retained* record minus one: the log can replay
+  /// (base_seq, head_seq]. base_seq == head_seq means empty.
+  std::uint64_t base_seq() const { return base_seq_; }
+  std::size_t size() const { return frames_.size(); }
+
+  /// Collects up to `max_batch` frames with seq > after, in order. Returns
+  /// false when `after` < base_seq (the span was already dropped).
+  bool CollectAfter(std::uint64_t after, std::size_t max_batch,
+                    std::vector<std::pair<std::uint64_t, std::string>>* out)
+      const;
+
+  /// Drops records with seq <= upto (they are safely on the backup).
+  void PruneThrough(std::uint64_t upto);
+
+  /// Drops every retained record but keeps the sequence counter running —
+  /// the resync path replaces history with a snapshot.
+  void Clear();
+
+ private:
+  std::size_t max_records_;
+  std::uint64_t head_seq_ = 0;
+  std::uint64_t base_seq_ = 0;
+  std::deque<std::string> frames_;  ///< frames_ [i] has seq base_seq_+1+i
+};
+
+/// The standby half of a shard: a raw replicated Database behind an RPC
+/// endpoint. It is deliberately *not* a ReputationServer — in-memory server
+/// state (sessions, caches) cannot be log-shipped; on promotion a fresh
+/// ReputationServer is constructed over the replicated database and rebuilds
+/// those from tables, exactly like a process restart would.
+class ReplicaNode {
+ public:
+  /// The network must outlive the node.
+  ReplicaNode(net::SimNetwork* network, std::string address);
+
+  /// Binds the replication endpoint.
+  util::Status Start();
+
+  /// Highest WAL sequence applied (acked to the primary).
+  std::uint64_t applied_seq() const { return applied_seq_; }
+
+  /// True when the node knows it is missing records (it observed a gap or
+  /// failed an apply) and has not yet been re-seeded by a snapshot. A
+  /// stale replica refuses promotion.
+  bool stale() const { return stale_; }
+
+  std::uint64_t resets() const { return resets_; }
+
+  storage::Database* db() { return db_.get(); }
+
+  /// Unbinds the endpoint and releases the database — the promotion
+  /// handoff. The node is inert afterwards.
+  std::unique_ptr<storage::Database> Detach();
+
+ private:
+  util::Result<xml::XmlNode> HandleReplicate(const xml::XmlNode& request);
+
+  net::SimNetwork* network_;
+  std::string address_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<net::RpcServer> rpc_;
+  std::uint64_t applied_seq_ = 0;
+  bool stale_ = false;
+  std::uint64_t resets_ = 0;
+};
+
+/// The primary half of the channel: exports the primary database's WAL
+/// frames into a ReplicationLog, ships them to the backup in acked batches,
+/// gates client responses on replication progress, and falls back to
+/// snapshot resync when the backup is too far behind (or brand new after a
+/// failover).
+class ReplicationShipper {
+ public:
+  /// `primary_db` must outlive the shipper; the shipper owns the database's
+  /// frame listener while alive. `shard_label` tags the metrics.
+  ReplicationShipper(net::SimNetwork* network, net::EventLoop* loop,
+                     std::string client_address, std::string replica_address,
+                     storage::Database* primary_db, ReplicationConfig config,
+                     obs::MetricsRegistry* metrics, std::string shard_label);
+  ~ReplicationShipper();
+
+  ReplicationShipper(const ReplicationShipper&) = delete;
+  ReplicationShipper& operator=(const ReplicationShipper&) = delete;
+
+  /// Binds the shipping client, seeds the log with a snapshot of the
+  /// primary database (so a brand-new empty backup can replay from seq 1)
+  /// and installs the frame listener for everything after.
+  util::Status Start();
+
+  /// The RpcServer response gate: a response whose handler advanced the
+  /// WAL is held until the backup acks those records (or until the channel
+  /// degrades). Reads pass through untouched.
+  void GateResponse(const std::string& method, std::function<void()> send);
+
+  std::uint64_t head_seq() const { return log_.head_seq(); }
+  std::uint64_t acked_seq() const { return acked_seq_; }
+  /// Records the backup has not confirmed yet.
+  std::uint64_t lag_records() const { return log_.head_seq() - acked_seq_; }
+  /// True while the backup is unreachable and responses flow unreplicated.
+  bool degraded() const { return degraded_; }
+  /// Client responses released without replication coverage.
+  std::uint64_t degraded_acks() const { return degraded_acks_; }
+  std::uint64_t resyncs() const { return resyncs_; }
+
+  /// Kicks the shipping loop (idempotent; called internally on new frames
+  /// and acks, externally after attaching a fresh backup).
+  void Pump();
+
+ private:
+  void OnFrame(const std::string& frame);
+  void StartResync();
+  void HandleShipResult(util::Result<xml::XmlNode> result);
+  void FlushGatesThrough(std::uint64_t seq);
+  void EnterDegraded();
+  void UpdateLagGauge();
+
+  net::SimNetwork* network_;
+  net::EventLoop* loop_;
+  storage::Database* db_;
+  ReplicationConfig config_;
+  std::string replica_address_;
+  net::RpcClient rpc_;
+  ReplicationLog log_;
+  std::uint64_t acked_seq_ = 0;
+  bool in_flight_ = false;
+  bool retry_scheduled_ = false;
+  int consecutive_failures_ = 0;
+  bool degraded_ = false;
+  /// Set while a snapshot resync is pending: the batch starting at this
+  /// seq carries the reset marker telling the backup to discard its state.
+  std::uint64_t reset_at_seq_ = 0;
+  std::uint64_t degraded_acks_ = 0;
+  std::uint64_t resyncs_ = 0;
+  /// (required seq, send closure), FIFO per seq.
+  std::deque<std::pair<std::uint64_t, std::function<void()>>> gates_;
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+
+  obs::Gauge* lag_gauge_ = nullptr;
+  obs::Counter* shipped_metric_ = nullptr;
+  obs::Counter* resyncs_metric_ = nullptr;
+  obs::Counter* degraded_acks_metric_ = nullptr;
+};
+
+}  // namespace pisrep::cluster
+
+#endif  // PISREP_CLUSTER_REPLICATION_H_

@@ -40,6 +40,15 @@ void RpcServer::RegisterMethod(std::string name, Method method) {
   methods_[std::move(name)] = std::move(method);
 }
 
+RpcServer::Method RpcServer::FindMethod(const std::string& name) const {
+  auto it = methods_.find(name);
+  return it == methods_.end() ? Method() : it->second;
+}
+
+void RpcServer::SetResponseGate(ResponseGate gate) {
+  response_gate_ = std::move(gate);
+}
+
 void RpcServer::AttachObservability(obs::MetricsRegistry* metrics,
                                     obs::Tracer* tracer) {
   metrics_ = metrics;
@@ -161,7 +170,18 @@ void RpcServer::HandleMessage(const Message& message) {
         static_cast<double>(util::MonotonicMicros() - handle_started));
   }
   span.Finish();
-  network_->Send(address_, message.from, xml::WriteXml(response));
+  auto send = [network = network_, from = address_, to = message.from,
+               payload = xml::WriteXml(response)] {
+    network->Send(from, to, payload);
+  };
+  if (response_gate_) {
+    // The gate owns the transmission now; it may run the closure
+    // immediately (reads) or hold it until e.g. replication catches up
+    // (writes). Handler work and metrics above already happened.
+    response_gate_(method_name, std::move(send));
+  } else {
+    send();
+  }
 }
 
 RpcClient::RpcClient(SimNetwork* network, EventLoop* loop,
@@ -210,31 +230,50 @@ void RpcClient::AttachObservability(obs::MetricsRegistry* metrics,
       {10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 30000.0});
 }
 
+RpcClient::ServerState& RpcClient::StateFor(const std::string& server) {
+  return servers_[server];  // default-constructed closed breaker
+}
+
+RpcClient::BreakerState RpcClient::breaker_state_for(
+    std::string_view server) const {
+  auto it = servers_.find(std::string(server));
+  return it == servers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
 void RpcClient::Call(std::string_view method, XmlNode params,
                      ResponseCallback callback, util::Duration timeout) {
-  if (breaker_config_.enabled &&
-      breaker_state_ == BreakerState::kOpen &&
-      loop_->Now() >= open_until_) {
+  CallTo(server_address_, method, std::move(params), std::move(callback),
+         timeout);
+}
+
+void RpcClient::CallTo(std::string_view server, std::string_view method,
+                       XmlNode params, ResponseCallback callback,
+                       util::Duration timeout) {
+  std::string server_address(server);
+  ServerState& state = StateFor(server_address);
+  if (breaker_config_.enabled && state.state == BreakerState::kOpen &&
+      loop_->Now() >= state.open_until) {
     // Cooldown elapsed: this call becomes the half-open probe.
-    breaker_state_ = BreakerState::kHalfOpen;
-    probe_in_flight_ = false;
+    state.state = BreakerState::kHalfOpen;
+    state.probe_in_flight = false;
   }
   if (breaker_config_.enabled &&
-      (breaker_state_ == BreakerState::kOpen ||
-       (breaker_state_ == BreakerState::kHalfOpen && probe_in_flight_))) {
+      (state.state == BreakerState::kOpen ||
+       (state.state == BreakerState::kHalfOpen && state.probe_in_flight))) {
     ++fast_failures_;
     if (fast_failures_metric_) fast_failures_metric_->Increment();
     callback(Status::Unavailable("circuit breaker open for " +
-                                 server_address_));
+                                 server_address));
     return;
   }
-  if (breaker_state_ == BreakerState::kHalfOpen) probe_in_flight_ = true;
+  if (state.state == BreakerState::kHalfOpen) state.probe_in_flight = true;
 
   params.set_name("request");
   params.SetAttribute("method", std::string(method));
 
   PendingCall call;
   call.callback = std::move(callback);
+  call.server = std::move(server_address);
   call.method = std::string(method);
   call.retries_left = max_retries_;
   call.timeout = timeout;
@@ -242,8 +281,20 @@ void RpcClient::Call(std::string_view method, XmlNode params,
   if (tracer_ != nullptr) {
     // The span's ids ride along as request attributes so the server side
     // can open a causally linked child span. They survive retries: the
-    // stored request is re-sent verbatim (only "id" is refreshed).
-    call.span = tracer_->StartSpan("rpc.client." + call.method);
+    // stored request is re-sent verbatim (only "id" is refreshed). When
+    // the request already carries trace ids (a forwarded router hop), the
+    // new client span continues that trace instead of starting a root, so
+    // one query is traceable client→router→shard.
+    auto trace_id = util::ParseInt64(params.AttributeOr("trace", ""));
+    auto span_id = util::ParseInt64(params.AttributeOr("span", ""));
+    if (trace_id.ok() && span_id.ok()) {
+      call.span = tracer_->StartChild(
+          "rpc.client." + call.method,
+          static_cast<std::uint64_t>(*trace_id),
+          static_cast<std::uint64_t>(*span_id));
+    } else {
+      call.span = tracer_->StartSpan("rpc.client." + call.method);
+    }
     params.SetAttribute("trace", std::to_string(call.span.trace_id()));
     params.SetAttribute("span", std::to_string(call.span.span_id()));
   }
@@ -257,10 +308,11 @@ void RpcClient::Dispatch(PendingCall call) {
   request.SetAttribute("id", std::to_string(id));
   util::Duration timeout = call.timeout;
 
+  std::string destination = call.server;
   pending_.emplace(id, std::move(call));
   ++calls_sent_;
   if (calls_metric_) calls_metric_->Increment();
-  network_->Send(address_, server_address_, xml::WriteXml(request));
+  network_->Send(address_, destination, xml::WriteXml(request));
 
   loop_->ScheduleAfter(timeout, [this, id,
                                  alive = std::weak_ptr<int>(alive_)] {
@@ -300,7 +352,7 @@ void RpcClient::Complete(PendingCall call, Result<XmlNode> result) {
       result.ok() ||
       (result.status().code() != StatusCode::kUnavailable &&
        result.status().code() != StatusCode::kDataLoss);
-  RecordOutcome(reachable);
+  RecordOutcome(call.server, reachable);
   if (latency_ms_) {
     latency_ms_->Observe(
         static_cast<double>(loop_->Now() - call.started));
@@ -310,23 +362,24 @@ void RpcClient::Complete(PendingCall call, Result<XmlNode> result) {
   call.callback(std::move(result));
 }
 
-void RpcClient::RecordOutcome(bool success) {
+void RpcClient::RecordOutcome(const std::string& server, bool success) {
   if (!breaker_config_.enabled) return;
+  ServerState& state = StateFor(server);
   if (success) {
-    consecutive_failures_ = 0;
-    probe_in_flight_ = false;
-    breaker_state_ = BreakerState::kClosed;
+    state.consecutive_failures = 0;
+    state.probe_in_flight = false;
+    state.state = BreakerState::kClosed;
     return;
   }
-  ++consecutive_failures_;
+  ++state.consecutive_failures;
   bool probe_failed =
-      breaker_state_ == BreakerState::kHalfOpen && probe_in_flight_;
+      state.state == BreakerState::kHalfOpen && state.probe_in_flight;
   if (probe_failed ||
-      (breaker_state_ == BreakerState::kClosed &&
-       consecutive_failures_ >= breaker_config_.failure_threshold)) {
-    breaker_state_ = BreakerState::kOpen;
-    probe_in_flight_ = false;
-    open_until_ = loop_->Now() + breaker_config_.cooldown;
+      (state.state == BreakerState::kClosed &&
+       state.consecutive_failures >= breaker_config_.failure_threshold)) {
+    state.state = BreakerState::kOpen;
+    state.probe_in_flight = false;
+    state.open_until = loop_->Now() + breaker_config_.cooldown;
     ++breaker_opens_;
     if (breaker_opens_metric_) breaker_opens_metric_->Increment();
   }

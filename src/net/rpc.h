@@ -47,6 +47,21 @@ class RpcServer {
   /// Registers a handler; overwrites any existing handler of that name.
   void RegisterMethod(std::string name, Method method);
 
+  /// Returns a copy of the registered handler (empty function when absent).
+  /// Lets an upper layer wrap an existing method — e.g. the cluster's
+  /// ownership guard re-registers a routed method around the original.
+  Method FindMethod(const std::string& name) const;
+
+  /// When set, the gate is invoked after every handled request with a
+  /// closure that transmits the already-built response; the gate decides
+  /// *when* to run it (immediately, or after some condition such as
+  /// replication reaching the request's mutations). An unset gate sends
+  /// synchronously, as before. The gate must eventually run or drop every
+  /// closure it receives; pending closures die harmlessly with the gate.
+  using ResponseGate =
+      std::function<void(const std::string& method, std::function<void()>)>;
+  void SetResponseGate(ResponseGate gate);
+
   const std::string& address() const { return address_; }
   std::uint64_t requests_handled() const { return requests_handled_; }
   std::uint64_t requests_failed() const { return requests_failed_; }
@@ -69,6 +84,7 @@ class RpcServer {
 
   SimNetwork* network_;
   std::string address_;
+  ResponseGate response_gate_;
   std::unordered_map<std::string, Method> methods_;
   std::unordered_map<std::string, std::uint64_t> method_calls_;
   std::uint64_t requests_handled_ = 0;
@@ -134,15 +150,31 @@ class RpcClient {
 
   void set_breaker(BreakerConfig config) { breaker_config_ = config; }
   const BreakerConfig& breaker_config() const { return breaker_config_; }
-  BreakerState breaker_state() const { return breaker_state_; }
+  /// Breaker state for the default server (constructor `server_address`).
+  BreakerState breaker_state() const {
+    return breaker_state_for(server_address_);
+  }
+  /// Breaker state for one server. Breaker and backoff bookkeeping is keyed
+  /// by server address: a stub talking to several shards keeps independent
+  /// failure state per shard, so one dead shard's open breaker never
+  /// fast-fails calls to healthy ones.
+  BreakerState breaker_state_for(std::string_view server) const;
 
-  /// Issues a call; `callback` fires exactly once, with the response body
-  /// or an error: kUnavailable after all retries time out (or immediately
-  /// when the breaker is open), kDataLoss when every attempt's response
-  /// arrived corrupted.
+  /// Issues a call to the default server; `callback` fires exactly once,
+  /// with the response body or an error: kUnavailable after all retries
+  /// time out (or immediately when the breaker is open), kDataLoss when
+  /// every attempt's response arrived corrupted.
   void Call(std::string_view method, xml::XmlNode params,
             ResponseCallback callback,
             util::Duration timeout = 5 * util::kSecond);
+
+  /// Same as Call, but addressed to an explicit server. When the request
+  /// already carries `trace`/`span` attributes (a forwarded hop, e.g. the
+  /// cluster router), the client span continues that trace as a child
+  /// instead of opening a new root.
+  void CallTo(std::string_view server, std::string_view method,
+              xml::XmlNode params, ResponseCallback callback,
+              util::Duration timeout = 5 * util::kSecond);
 
   /// Mirrors the client counters into the registry, records a sim-time
   /// round-trip latency histogram (Call→Complete, retries included) and
@@ -166,6 +198,7 @@ class RpcClient {
  private:
   struct PendingCall {
     ResponseCallback callback;
+    std::string server;  ///< destination address (breaker key)
     std::string method;
     xml::XmlNode request;  ///< re-sent verbatim (with a fresh id) on retry
     int retries_left = 0;
@@ -174,6 +207,15 @@ class RpcClient {
     obs::Span span;  ///< client span; finishes when the call completes
   };
 
+  /// Per-server circuit-breaker state (keyed by server address).
+  struct ServerState {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    util::TimePoint open_until = 0;
+    bool probe_in_flight = false;
+  };
+
+  ServerState& StateFor(const std::string& server);
   void Dispatch(PendingCall call);
   void HandleMessage(const Message& message);
   /// Retries `call` with backoff, or completes it with `error` when the
@@ -181,7 +223,7 @@ class RpcClient {
   void RetryOrFail(PendingCall call, util::Status error);
   /// Completes a call: runs the breaker bookkeeping, then the callback.
   void Complete(PendingCall call, util::Result<xml::XmlNode> result);
-  void RecordOutcome(bool success);
+  void RecordOutcome(const std::string& server, bool success);
 
   SimNetwork* network_;
   EventLoop* loop_;
@@ -198,10 +240,7 @@ class RpcClient {
   std::unordered_map<std::uint64_t, PendingCall> pending_;
 
   BreakerConfig breaker_config_;
-  BreakerState breaker_state_ = BreakerState::kClosed;
-  int consecutive_failures_ = 0;
-  util::TimePoint open_until_ = 0;
-  bool probe_in_flight_ = false;
+  std::unordered_map<std::string, ServerState> servers_;
 
   std::uint64_t calls_sent_ = 0;
   std::uint64_t timeouts_ = 0;

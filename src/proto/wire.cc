@@ -36,4 +36,18 @@ std::string SolvePuzzle(const Puzzle& puzzle, std::uint64_t* attempts) {
   }
 }
 
+std::string OwnershipMovedMessage(std::string_view owner) {
+  return std::string(kOwnershipMovedPrefix) + std::string(owner);
+}
+
+bool IsOwnershipMoved(std::string_view message) {
+  return message.substr(0, kOwnershipMovedPrefix.size()) ==
+         kOwnershipMovedPrefix;
+}
+
+std::string OwnershipMovedTarget(std::string_view message) {
+  if (!IsOwnershipMoved(message)) return "";
+  return std::string(message.substr(kOwnershipMovedPrefix.size()));
+}
+
 }  // namespace pisrep::proto

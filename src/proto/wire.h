@@ -52,6 +52,24 @@ struct FeedEntry {
   util::TimePoint published_at = 0;
 };
 
+/// Cluster redirect protocol. A shard that receives a digest-routed
+/// request for a software it does not own answers kFailedPrecondition with
+/// this message shape; the owning shard's name rides in the message (the
+/// Redis MOVED idiom). The router — and a client stub pointed directly at
+/// a shard — retries the call against the named owner. Lives in proto/
+/// because both sides of the wire must agree on the spelling.
+inline constexpr std::string_view kOwnershipMovedPrefix =
+    "ownership-moved to=";
+
+/// Builds the redirect message for `owner`.
+std::string OwnershipMovedMessage(std::string_view owner);
+
+/// True when `message` is an ownership redirect.
+bool IsOwnershipMoved(std::string_view message);
+
+/// The owner named in a redirect message, or "" when `message` is not one.
+std::string OwnershipMovedTarget(std::string_view message);
+
 /// Everything the client displays about a pending software (§3.1: the
 /// client "queries the server and fetches the information about the
 /// executing software to show the user").

@@ -106,7 +106,7 @@ Result<std::string> AccountManager::Register(std::string_view username,
   account.trust_factor = core::kMinTrust;
   PISREP_RETURN_IF_ERROR(users_->Insert(RowFromAccount(account)));
 
-  std::string token = rng_.NextToken(24);
+  std::string token = MintToken("activation", uname, 24);
   if (config_.require_activation) {
     PISREP_RETURN_IF_ERROR(activations_->Upsert(
         Row{Value::Str(uname), Value::Str(token)}));
@@ -149,9 +149,18 @@ Result<std::string> AccountManager::Login(std::string_view username,
   account.last_login = now;
   PISREP_RETURN_IF_ERROR(users_->Upsert(RowFromAccount(account)));
 
-  std::string session = rng_.NextToken(32);
+  std::string session = MintToken("session", account.username, 32);
   sessions_[session] = account.id;
   return session;
+}
+
+std::string AccountManager::MintToken(std::string_view purpose,
+                                      std::string_view username,
+                                      std::size_t rng_bytes) {
+  if (!config_.deterministic_tokens) return rng_.NextToken(rng_bytes);
+  return util::HmacSha256Hex(config_.email_pepper + "|" +
+                                 std::string(purpose),
+                             std::string(username));
 }
 
 Result<core::UserId> AccountManager::Authenticate(

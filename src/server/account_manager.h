@@ -49,6 +49,14 @@ class AccountManager {
     bool require_activation = true;
     /// Seed for token generation.
     std::uint64_t seed = 0xacc0;
+    /// Cluster mode: derive activation and session tokens from the pepper
+    /// and username (HMAC) instead of the RNG stream. Every shard given
+    /// the same pepper then mints the *same* tokens for the same user, so
+    /// a token issued by any shard is valid on all of them — a shared-
+    /// secret stand-in for a distributed session store, robust to one
+    /// shard failing over and losing its RNG position. Leave false for a
+    /// standalone server: unpredictable tokens are strictly safer.
+    bool deterministic_tokens = false;
   };
 
   AccountManager(storage::Database* db, Config config);
@@ -121,6 +129,11 @@ class AccountManager {
  private:
   util::Result<Account> AccountFromRow(const storage::Row& row) const;
   storage::Row RowFromAccount(const Account& account) const;
+  /// Token minting: RNG hex by default, HMAC-derived when
+  /// `deterministic_tokens` is on (`purpose` domain-separates activation
+  /// from session tokens).
+  std::string MintToken(std::string_view purpose, std::string_view username,
+                        std::size_t rng_bytes);
 
   storage::Database* db_;
   Config config_;

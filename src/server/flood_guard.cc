@@ -29,9 +29,10 @@ void FloodGuard::AttachMetrics(obs::MetricsRegistry* metrics) {
                      "vote"));
 }
 
-Puzzle FloodGuard::IssuePuzzle() {
+Puzzle FloodGuard::IssuePuzzle(std::string_view forced_nonce) {
   Puzzle puzzle;
-  puzzle.nonce = rng_.NextToken(16);
+  puzzle.nonce =
+      forced_nonce.empty() ? rng_.NextToken(16) : std::string(forced_nonce);
   puzzle.difficulty_bits = config_.registration_puzzle_bits;
   outstanding_puzzles_[puzzle.nonce] = puzzle.difficulty_bits;
   return puzzle;

@@ -35,8 +35,11 @@ class FloodGuard {
   explicit FloodGuard(Config config);
 
   /// Issues a registration puzzle. The nonce is remembered until solved or
-  /// the guard is reset.
-  Puzzle IssuePuzzle();
+  /// the guard is reset. A non-empty `forced_nonce` is used verbatim
+  /// instead of drawing one from the guard's RNG: the cluster router mints
+  /// one nonce per RequestPuzzle and forces it onto every shard, so the
+  /// subsequent Register broadcast validates everywhere.
+  Puzzle IssuePuzzle(std::string_view forced_nonce = {});
 
   /// Verifies a puzzle solution; a nonce can be redeemed only once.
   util::Status CheckPuzzle(std::string_view nonce,

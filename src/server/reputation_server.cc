@@ -66,6 +66,7 @@ ReputationServer::ReputationServer(storage::Database* db,
       bootstrap_(&registry_) {
   aggregation_.set_trust_weighting(config_.trust_weighting);
   aggregation_.set_full_sweep_every(config_.aggregation_full_sweep_every);
+  aggregation_.set_force_full_sweep(config_.aggregation_force_full_sweep);
   if (config_.aggregation_workers > 0) {
     aggregation_pool_ =
         std::make_unique<util::ThreadPool>(config_.aggregation_workers);
@@ -103,7 +104,9 @@ util::TimePoint ReputationServer::Now() const {
   return loop_ != nullptr ? loop_->Now() : 0;
 }
 
-Puzzle ReputationServer::RequestPuzzle() { return flood_.IssuePuzzle(); }
+Puzzle ReputationServer::RequestPuzzle(std::string_view forced_nonce) {
+  return flood_.IssuePuzzle(forced_nonce);
+}
 
 Status ReputationServer::Register(std::string_view source,
                                   std::string_view username,
@@ -331,9 +334,9 @@ void ReputationServer::Stop() {
 }
 
 void ReputationServer::RegisterRpcMethods() {
-  rpc_->RegisterMethod("RequestPuzzle", [this](const XmlNode&)
+  rpc_->RegisterMethod("RequestPuzzle", [this](const XmlNode& request)
                            -> Result<XmlNode> {
-    Puzzle puzzle = RequestPuzzle();
+    Puzzle puzzle = RequestPuzzle(request.ChildText("nonce").value_or(""));
     XmlNode result("result");
     XmlNode& node = result.AddChild("puzzle");
     node.SetAttribute("nonce", puzzle.nonce);

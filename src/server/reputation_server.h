@@ -89,9 +89,15 @@ class ReputationServer {
     /// for simulations; results are identical either way).
     std::size_t aggregation_workers = 0;
     /// Every Nth aggregation run is widened to a full sweep (drift
-    /// guard); 0 disables the periodic guard.
+    /// guard); 0 disables the periodic guard. Per-server (and therefore
+    /// per-shard in a cluster): shards of different sizes can sweep on
+    /// different cadences.
     std::uint64_t aggregation_full_sweep_every =
         AggregationJob::kDefaultFullSweepEvery;
+    /// Standing escape hatch: when true, every aggregation run is a full
+    /// sweep. Per-shard config like the cadence above; default off keeps
+    /// single-server output bit-identical.
+    bool aggregation_force_full_sweep = false;
     /// Observability (optional, both null by default — instrumented paths
     /// then cost one branch each). Neither is owned; both must outlive the
     /// server. The registry feeds the `/metrics` portal endpoint, the
@@ -113,7 +119,9 @@ class ReputationServer {
   // ------------------------------------------------------------------
 
   /// Issues a registration puzzle (client must solve it before Register).
-  Puzzle RequestPuzzle();
+  /// A non-empty `forced_nonce` (cluster router broadcast) is used as the
+  /// puzzle nonce instead of a random one — see FloodGuard::IssuePuzzle.
+  Puzzle RequestPuzzle(std::string_view forced_nonce = {});
 
   /// Registers an account. On success the activation token travels via the
   /// simulated e-mail system (FetchMail), never via the RPC response.
@@ -196,6 +204,10 @@ class ReputationServer {
   BootstrapImporter& bootstrap() { return bootstrap_; }
   const ServerStats& stats() const { return stats_; }
   const Config& config() const { return config_; }
+  /// The RPC front-end while attached (null otherwise). Cluster shards
+  /// register extra methods (heartbeats, replication control) and install
+  /// the replication response gate through this.
+  net::RpcServer* rpc_server() { return rpc_.get(); }
   /// The attached metrics registry, or null (drives the web portal's
   /// /metrics endpoint).
   obs::MetricsRegistry* metrics() const { return config_.metrics; }

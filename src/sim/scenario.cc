@@ -36,15 +36,42 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config)
     config_.server.tracer = config_.tracer;
     config_.tracer->set_clock(&loop_.clock());
   }
-  // Salvage mode: a chaos run may crash the server mid-append; the
-  // restarted server must come up on whatever prefix survived.
-  storage::Database::OpenOptions db_options;
-  db_options.salvage_corruption = true;
-  db_ = storage::Database::Open(config_.server_db_path, db_options).value();
-  server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
-                                                       config_.server);
-  util::Status rpc_status = server_->AttachRpc(network_.get(), "server");
-  PISREP_CHECK(rpc_status.ok()) << rpc_status.ToString();
+  if (config_.num_shards > 1) {
+    // Cluster mode: N shards behind a router at the same "server" address
+    // the clients already use.
+    PISREP_CHECK(config_.server_db_path.empty())
+        << "cluster shards are in-memory; server_db_path is single-server";
+    cluster::ClusterConfig cluster_config;
+    cluster_config.num_shards = config_.num_shards;
+    cluster_config.server = config_.server;
+    cluster_config.replication = config_.replication;
+    cluster_config.heartbeat_period = config_.cluster_heartbeat_period;
+    cluster_config.auto_failover = config_.cluster_heartbeat_period > 0;
+    cluster_ = std::make_unique<cluster::ShardCluster>(network_.get(), &loop_,
+                                                       cluster_config);
+    util::Status cluster_status = cluster_->Start();
+    PISREP_CHECK(cluster_status.ok()) << cluster_status.ToString();
+    cluster::RouterConfig router_config;
+    router_config.service_address = "server";
+    router_ = std::make_unique<cluster::Router>(network_.get(), &loop_,
+                                                router_config, config_.metrics,
+                                                config_.tracer);
+    util::Status router_status = router_->Start();
+    PISREP_CHECK(router_status.ok()) << router_status.ToString();
+    for (int i = 0; i < config_.num_shards; ++i) {
+      router_->AddShard(cluster_->ShardName(i));
+    }
+  } else {
+    // Salvage mode: a chaos run may crash the server mid-append; the
+    // restarted server must come up on whatever prefix survived.
+    storage::Database::OpenOptions db_options;
+    db_options.salvage_corruption = true;
+    db_ = storage::Database::Open(config_.server_db_path, db_options).value();
+    server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
+                                                         config_.server);
+    util::Status rpc_status = server_->AttachRpc(network_.get(), "server");
+    PISREP_CHECK(rpc_status.ok()) << rpc_status.ToString();
+  }
 
   for (std::size_t i = 0; i < eco_.size(); ++i) {
     digest_index_.emplace(eco_.spec(i).image.Digest(), i);
@@ -55,6 +82,12 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config)
 }
 
 ScenarioRunner::~ScenarioRunner() = default;
+
+server::ReputationServer& ScenarioRunner::server() {
+  PISREP_CHECK(server_ != nullptr)
+      << "no single server in cluster mode; use cluster()";
+  return *server_;
+}
 
 const SoftwareSpec* ScenarioRunner::FindSpec(
     const core::SoftwareId& id) const {
@@ -254,7 +287,18 @@ void ScenarioRunner::OnboardClient(client::ClientApp* app) {
       loop_.ScheduleAfter(util::kHour, [this, app] { OnboardClient(app); });
       return;
     }
-    auto mail = server_->FetchMail(app->config().email);
+    auto mail = [&] {
+      if (cluster_ != nullptr) return cluster_->FetchMail(app->config().email);
+      return server_->FetchMail(app->config().email);
+    }();
+    if (!mail.ok() && cluster_ != nullptr) {
+      // Shard 0 (the canonical mailbox) may be mid-failover; pending mail
+      // is process state and dies with the old primary. Re-onboarding is
+      // safe: registration replies AlreadyExists and we fall through to
+      // login with the deterministic tokens.
+      loop_.ScheduleAfter(util::kHour, [this, app] { OnboardClient(app); });
+      return;
+    }
     PISREP_CHECK(mail.ok()) << "no activation mail for "
                             << app->config().email;
     ActivateClient(app, mail->token);
@@ -290,10 +334,22 @@ void ScenarioRunner::ApplyCommunityHistory() {
   std::int64_t weeks = config_.community_age / util::kWeek;
   util::TimePoint now = loop_.Now();
 
+  // In cluster mode the remark history must land on every shard: each
+  // shard weighs its own votes by the author's local trust factor, and
+  // accounts exist everywhere (broadcast registration, identical ids).
+  std::vector<server::ReputationServer*> account_servers;
+  if (cluster_ != nullptr) {
+    for (int s = 0; s < cluster_->num_shards(); ++s) {
+      account_servers.push_back(cluster_->primary(s));
+    }
+  } else {
+    account_servers.push_back(server_.get());
+  }
+
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     SimHost* host = hosts_[i].get();
     if (host->protection() != ProtectionKind::kReputation) continue;
-    auto account = server_->accounts().GetAccountByUsername(
+    auto account = account_servers.front()->accounts().GetAccountByUsername(
         host->client()->config().username);
     if (!account.ok()) continue;
     // Remark history per week of age, by archetype: helpful commenters
@@ -319,14 +375,16 @@ void ScenarioRunner::ApplyCommunityHistory() {
     }
     int positives = static_cast<int>(positives_per_week * weeks);
     int negatives = static_cast<int>(negatives_per_week * weeks);
-    for (int r = 0; r < positives; ++r) {
-      // Seeding trust history for a known-valid account; the updated factor
-      // is recomputed from scratch by the next aggregation run.
-      (void)server_->accounts().ApplyRemark(account->id, true, now);
-    }
-    for (int r = 0; r < negatives; ++r) {
-      // Seeding trust history for a known-valid account (see above).
-      (void)server_->accounts().ApplyRemark(account->id, false, now);
+    for (server::ReputationServer* target : account_servers) {
+      for (int r = 0; r < positives; ++r) {
+        // Seeding trust history for a known-valid account; the updated
+        // factor is recomputed from scratch by the next aggregation run.
+        (void)target->accounts().ApplyRemark(account->id, true, now);
+      }
+      for (int r = 0; r < negatives; ++r) {
+        // Seeding trust history for a known-valid account (see above).
+        (void)target->accounts().ApplyRemark(account->id, false, now);
+      }
     }
   }
 }
@@ -353,6 +411,23 @@ void ScenarioRunner::ApplyBootstrap() {
                               1.0, 10.0);
     record.vote_count = config_.bootstrap_votes;
     records.push_back(std::move(record));
+  }
+  if (cluster_ != nullptr) {
+    // Partition the bootstrap records by ring owner: priors live only
+    // where the software's votes will live.
+    for (int s = 0; s < cluster_->num_shards(); ++s) {
+      std::vector<server::BootstrapRecord> shard_records;
+      for (const server::BootstrapRecord& record : records) {
+        if (cluster_->ring().OwnerOf(record.meta.id) ==
+            cluster_->ShardName(s)) {
+          shard_records.push_back(record);
+        }
+      }
+      auto imported = cluster_->primary(s)->bootstrap().Import(shard_records);
+      PISREP_CHECK(imported.ok()) << imported.status().ToString();
+    }
+    cluster_->RunAggregationAll(loop_.Now());
+    return;
   }
   auto imported = server_->bootstrap().Import(records);
   PISREP_CHECK(imported.ok()) << imported.status().ToString();
@@ -403,11 +478,25 @@ void ScenarioRunner::ScheduleExecutions() {
 
 void ScenarioRunner::CrashServer() {
   PISREP_LOG(kInfo) << "chaos: server crash at t=" << loop_.Now();
+  if (cluster_ != nullptr) {
+    cluster_->KillPrimary(0);
+    return;
+  }
   server_->Stop();
 }
 
 void ScenarioRunner::RestartServer() {
   PISREP_LOG(kInfo) << "chaos: server restart at t=" << loop_.Now();
+  if (cluster_ != nullptr) {
+    // The replicated equivalent of restart-with-recovery: promote shard
+    // 0's backup (which holds every acked write) to a fresh primary.
+    util::Status promoted = cluster_->TriggerFailover(0);
+    if (!promoted.ok()) {
+      PISREP_LOG(kWarning) << "chaos: shard 0 promotion refused: "
+                           << promoted.ToString();
+    }
+    return;
+  }
   // A fresh process over the same database: durable state (accounts,
   // votes, registry) comes back; sessions and pending mail do not.
   server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
@@ -432,7 +521,11 @@ void ScenarioRunner::ScheduleChaos(util::TimePoint start) {
 
 ScenarioResult ScenarioRunner::Collect() {
   // Final aggregation so scores reflect every vote.
-  server_->aggregation().RunOnce(loop_.Now());
+  if (cluster_ != nullptr) {
+    cluster_->RunAggregationAll(loop_.Now());
+  } else {
+    server_->aggregation().RunOnce(loop_.Now());
+  }
 
   ScenarioResult result;
   result.groups = outcomes_;
@@ -452,7 +545,11 @@ ScenarioResult ScenarioRunner::Collect() {
   double visible_error = 0.0;
   int visible = 0;
   for (std::size_t i = 0; i < eco_.size(); ++i) {
-    auto score = server_->registry().GetScore(eco_.spec(i).image.Digest());
+    core::SoftwareId digest = eco_.spec(i).image.Digest();
+    auto score = [&] {
+      if (cluster_ != nullptr) return cluster_->GetScore(digest);
+      return server_->registry().GetScore(digest);
+    }();
     if (!score.ok()) continue;
     ++visible;
     visible_error += std::abs(score->score - eco_.spec(i).true_quality);
@@ -464,6 +561,29 @@ ScenarioResult ScenarioRunner::Collect() {
   result.scored_software = scored;
   result.visible_software = visible;
   result.visible_score_mae = visible > 0 ? visible_error / visible : 0.0;
+  if (cluster_ != nullptr) {
+    // Vote and remark rows live only on their owning shard, so the sums
+    // are exact. Stats are summed too — note registrations count once per
+    // shard (account operations are broadcast).
+    for (int s = 0; s < cluster_->num_shards(); ++s) {
+      server::ReputationServer* shard = cluster_->primary(s);
+      if (shard == nullptr) continue;
+      result.total_votes += shard->votes().TotalVotes();
+      result.total_remarks += shard->votes().TotalRemarks();
+      const server::ServerStats& stats = shard->stats();
+      result.server_stats.registrations += stats.registrations;
+      result.server_stats.registrations_rejected +=
+          stats.registrations_rejected;
+      result.server_stats.logins += stats.logins;
+      result.server_stats.queries += stats.queries;
+      result.server_stats.votes_accepted += stats.votes_accepted;
+      result.server_stats.votes_rejected_duplicate +=
+          stats.votes_rejected_duplicate;
+      result.server_stats.votes_rejected_flood += stats.votes_rejected_flood;
+      result.server_stats.remarks_accepted += stats.remarks_accepted;
+    }
+    return result;
+  }
   result.total_votes = server_->votes().TotalVotes();
   result.total_remarks = server_->votes().TotalRemarks();
   result.server_stats = server_->stats();

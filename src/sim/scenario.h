@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/cluster.h"
+#include "cluster/router.h"
 #include "core/policy.h"
 #include "core/prompt_policy.h"
 #include "net/event_loop.h"
@@ -83,6 +85,19 @@ struct ScenarioConfig {
   server::ReputationServer::Config server;
   BaselineConfig baseline;
   net::NetworkConfig network;
+
+  /// Cluster mode: when > 1, the scenario runs this many shard servers
+  /// (each with a replicated backup) behind a cluster::Router bound at
+  /// "server" — clients are untouched and talk to the same address as in
+  /// single-server mode. 1 keeps the historical single-server path
+  /// bit-identical. Cluster shards are in-memory (`server_db_path` must
+  /// stay empty); durability comes from replication, not a WAL file.
+  int num_shards = 1;
+  cluster::ReplicationConfig replication;
+  /// Heartbeat period of the cluster's failover controller; 0 disables
+  /// auto-failover (benches and chaos tests drive failures explicitly,
+  /// and the event loop can then drain).
+  util::Duration cluster_heartbeat_period = 0;
 
   /// Observability for the whole scenario (optional, not owned; must
   /// outlive the runner). When set, the server, every client, the event
@@ -176,7 +191,12 @@ class ScenarioRunner {
   net::EventLoop& loop() { return loop_; }
   net::SimNetwork& network() { return *network_; }
   net::FaultInjector& faults() { return injector_; }
-  server::ReputationServer& server() { return *server_; }
+  /// The single server (single-server mode only; aborts in cluster mode —
+  /// use cluster() there).
+  server::ReputationServer& server();
+  /// The shard cluster and router in cluster mode; null otherwise.
+  cluster::ShardCluster* cluster() { return cluster_.get(); }
+  cluster::Router* router() { return router_.get(); }
   SoftwareEcosystem& ecosystem() { return eco_; }
   SignatureBaseline& baseline() { return baseline_; }
   std::vector<std::unique_ptr<SimHost>>& hosts() { return hosts_; }
@@ -188,10 +208,13 @@ class ScenarioRunner {
 
   /// Simulated server crash: the RPC endpoint vanishes, the periodic
   /// aggregation stops, every session dies. Exposed so benches can script
-  /// their own fault timelines beyond ChaosConfig's.
+  /// their own fault timelines beyond ChaosConfig's. In cluster mode this
+  /// fences shard 0's primary instead.
   void CrashServer();
   /// Brings a fresh server process up over the same database (recovering
-  /// durable state from its WAL when one is configured).
+  /// durable state from its WAL when one is configured). In cluster mode
+  /// this promotes shard 0's backup — the replicated equivalent of a
+  /// restart-with-recovery.
   void RestartServer();
 
  private:
@@ -217,6 +240,8 @@ class ScenarioRunner {
   std::unique_ptr<net::SimNetwork> network_;
   std::unique_ptr<storage::Database> db_;
   std::unique_ptr<server::ReputationServer> server_;
+  std::unique_ptr<cluster::ShardCluster> cluster_;
+  std::unique_ptr<cluster::Router> router_;
   SoftwareEcosystem eco_;
   SignatureBaseline baseline_;
   std::vector<std::unique_ptr<SimHost>> hosts_;

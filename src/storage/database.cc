@@ -226,9 +226,50 @@ Status Database::LogCreateTable(const TableSchema& schema) {
   return Status::Ok();
 }
 
+void Database::SetFrameListener(FrameListener listener) {
+  frame_listener_ = std::move(listener);
+}
+
+Status Database::ApplyReplicatedFrame(const std::string& frame) {
+  PISREP_RETURN_IF_ERROR(ApplyFrame(frame));
+  // Journal the imported frame for this database's own durability; apply
+  // above went through the *Unlogged paths, so this is the only append.
+  if (wal_.is_open()) {
+    PISREP_RETURN_IF_ERROR(wal_.Append(frame));
+    ++frames_since_compact_;
+    MaybeAutoCompact();
+  }
+  return Status::Ok();
+}
+
+Status Database::ExportSnapshotFrames(
+    const std::function<util::Status(const std::string&)>& emit) {
+  for (const std::string& name : TableNames()) {
+    Table* table = tables_.at(name).get();
+    std::string frame;
+    frame.push_back(static_cast<char>(WalOp::kCreateTable));
+    EncodeSchema(table->schema(), &frame);
+    PISREP_RETURN_IF_ERROR(emit(frame));
+  }
+  for (const std::string& name : TableNames()) {
+    Table* table = tables_.at(name).get();
+    Status row_status = Status::Ok();
+    table->ForEach([&](const Row& row) {
+      if (!row_status.ok()) return;
+      std::string row_frame;
+      row_frame.push_back(static_cast<char>(WalOp::kInsert));
+      PutLengthPrefixed(name, &row_frame);
+      EncodeRow(table->schema(), row, &row_frame);
+      row_status = emit(row_frame);
+    });
+    PISREP_RETURN_IF_ERROR(row_status);
+  }
+  return Status::Ok();
+}
+
 void Database::LogMutation(const std::string& table_name, MutationOp op,
                            const Row& row, const Value& key) {
-  if (!wal_.is_open()) return;
+  if (!wal_.is_open() && !frame_listener_) return;
   std::string frame;
   Table* table = tables_.at(table_name).get();
   switch (op) {
@@ -248,10 +289,13 @@ void Database::LogMutation(const std::string& table_name, MutationOp op,
       EncodeValue(key, &frame);
       break;
   }
-  Status status = wal_.Append(frame);
-  PISREP_CHECK(status.ok()) << "WAL append failed: " << status.ToString();
-  ++frames_since_compact_;
-  MaybeAutoCompact();
+  if (wal_.is_open()) {
+    Status status = wal_.Append(frame);
+    PISREP_CHECK(status.ok()) << "WAL append failed: " << status.ToString();
+    ++frames_since_compact_;
+  }
+  if (frame_listener_) frame_listener_(frame);
+  if (wal_.is_open()) MaybeAutoCompact();
 }
 
 void Database::AttachListener(const std::string& name, Table* table) {

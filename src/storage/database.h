@@ -1,6 +1,7 @@
 #ifndef PISREP_STORAGE_DATABASE_H_
 #define PISREP_STORAGE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -73,6 +74,30 @@ class Database {
   /// True when salvage mode dropped a corrupted WAL tail during Open.
   bool recovered_with_loss() const { return recovered_with_loss_; }
 
+  /// Observes every mutation frame (insert/upsert/delete) in WAL wire
+  /// format, including on in-memory databases that write no log file.
+  /// This is the replication export hook: a cluster primary ships these
+  /// frames to its backup. Create-table frames are not exported — replicas
+  /// bootstrap their schemas from ExportSnapshotFrames. One listener;
+  /// setting replaces, an empty function clears.
+  using FrameListener = std::function<void(const std::string& frame)>;
+  void SetFrameListener(FrameListener listener);
+
+  /// Applies one WAL frame produced by another database (the replication
+  /// import hook). The frame is journaled to this database's own WAL when
+  /// one is open, but is NOT re-announced to the frame listener — chains
+  /// re-export explicitly after promotion, which keeps a primary⇄backup
+  /// pair loop-free by construction.
+  util::Status ApplyReplicatedFrame(const std::string& frame);
+
+  /// Emits the database's full state as WAL frames (schemas first, then
+  /// every row as an insert), in deterministic table-name order. Feeding
+  /// the frames to an empty database's ApplyReplicatedFrame reproduces the
+  /// state — the replica bootstrap / catch-up-resync path. Stops at the
+  /// first emit error and returns it.
+  util::Status ExportSnapshotFrames(
+      const std::function<util::Status(const std::string&)>& emit);
+
  private:
   explicit Database(std::string wal_path);
 
@@ -90,6 +115,7 @@ class Database {
 
   std::string wal_path_;
   WalWriter wal_;
+  FrameListener frame_listener_;
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
   double auto_compact_factor_ = 0.0;
   std::size_t auto_compact_min_frames_ = 1024;

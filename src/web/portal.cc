@@ -49,6 +49,46 @@ Result<SoftwareId> ParseIdHex(std::string_view hex) {
 
 }  // namespace
 
+std::vector<server::ReputationServer*> WebPortal::Shards() const {
+  std::vector<server::ReputationServer*> shards = provider_();
+  shards.erase(std::remove(shards.begin(), shards.end(), nullptr),
+               shards.end());
+  return shards;
+}
+
+server::ReputationServer* WebPortal::OwnerOf(const SoftwareId& id) const {
+  // A software row lives on exactly one shard (digest partitioning), so
+  // probing in shard order finds the owner without knowing the ring.
+  for (server::ReputationServer* shard : Shards()) {
+    if (shard->registry().HasSoftware(id)) return shard;
+  }
+  return nullptr;
+}
+
+Result<core::VendorScore> WebPortal::MergedVendorScore(
+    const std::vector<server::ReputationServer*>& shards,
+    const core::VendorId& vendor) const {
+  double weighted_sum = 0.0;
+  int total_count = 0;
+  util::TimePoint computed_at = 0;
+  for (server::ReputationServer* shard : shards) {
+    auto leg = shard->registry().GetVendorScore(vendor);
+    if (!leg.ok() || leg->software_count <= 0) continue;
+    weighted_sum += leg->score * leg->software_count;
+    total_count += leg->software_count;
+    computed_at = std::max(computed_at, leg->computed_at);
+  }
+  if (total_count == 0) {
+    return Status::NotFound("vendor has no scored software");
+  }
+  core::VendorScore merged;
+  merged.vendor = vendor;
+  merged.score = weighted_sum / total_count;
+  merged.software_count = total_count;
+  merged.computed_at = computed_at;
+  return merged;
+}
+
 std::string WebPortal::UrlDecode(std::string_view encoded) {
   std::string out;
   out.reserve(encoded.size());
@@ -93,15 +133,21 @@ Result<std::string> WebPortal::Handle(std::string_view path) const {
 }
 
 std::string WebPortal::HomePage() const {
+  std::vector<server::ReputationServer*> shards = Shards();
+  std::size_t programs = 0;
+  std::size_t votes = 0;
+  // Accounts exist on every shard (broadcast registration); count once.
+  std::size_t members = shards.empty() ? 0 : shards[0]->accounts().AccountCount();
+  for (server::ReputationServer* shard : shards) {
+    programs += shard->registry().SoftwareCount();
+    votes += shard->votes().TotalVotes();
+  }
   HtmlBuilder html;
   PageHeader("Software reputation portal", html);
   html.Open("p")
       .Text("Community ratings for the software on your computer. ")
-      .Text(StrFormat(
-          "%zu programs tracked, %zu votes from %zu members.",
-          server_->registry().SoftwareCount(),
-          server_->votes().TotalVotes(),
-          server_->accounts().AccountCount()))
+      .Text(StrFormat("%zu programs tracked, %zu votes from %zu members.",
+                      programs, votes, members))
       .Close();
   html.Open("form", {{"action", "/search"}, {"method", "get"}});
   html.Open("input", {{"name", "q"}, {"placeholder", "file name..."}});
@@ -111,8 +157,12 @@ std::string WebPortal::HomePage() const {
 }
 
 Result<std::string> WebPortal::SoftwarePage(const SoftwareId& id) const {
+  server::ReputationServer* owner = OwnerOf(id);
+  if (owner == nullptr) {
+    return Status::NotFound("software not registered: " + id.ToHex());
+  }
   PISREP_ASSIGN_OR_RETURN(core::SoftwareMeta meta,
-                          server_->registry().GetSoftware(id));
+                          owner->registry().GetSoftware(id));
   HtmlBuilder html;
   PageHeader(meta.file_name, html);
 
@@ -128,32 +178,33 @@ Result<std::string> WebPortal::SoftwarePage(const SoftwareId& id) const {
   } else {
     html.TableRow({"company", meta.company});
   }
-  auto score = server_->registry().GetScore(id);
+  auto score = owner->registry().GetScore(id);
   html.TableRow({"community score",
                  score.ok() ? ScoreText(*score) : "not yet rated"});
   if (!meta.company.empty()) {
-    auto vendor = server_->registry().GetVendorScore(meta.company);
+    // The vendor's catalogue spans shards; show the cluster-wide score.
+    auto vendor = MergedVendorScore(Shards(), meta.company);
     if (vendor.ok()) {
       html.TableRow({"vendor score",
                      StrFormat("%.1f/10 over %d programs", vendor->score,
                                vendor->software_count)});
     }
   }
-  core::BehaviorSet behaviors = server_->registry().ReportedBehaviors(
-      id, server_->config().behavior_report_threshold);
+  core::BehaviorSet behaviors = owner->registry().ReportedBehaviors(
+      id, owner->config().behavior_report_threshold);
   html.TableRow({"reported behaviours",
                  behaviors == core::kNoBehaviors
                      ? "none"
                      : core::BehaviorSetToString(behaviors)});
   html.TableRow({"community run count",
-                 std::to_string(server_->registry().RunCount(id))});
+                 std::to_string(owner->registry().RunCount(id))});
   html.Close();  // table
 
   // §3: the web interface shows "all the comments that have been
   // submitted" (approved ones), with their meta-moderation balance.
   html.Element("h2", "comments");
   std::vector<server::StoredRating> votes =
-      server_->votes().VotesForSoftware(id);
+      owner->votes().VotesForSoftware(id);
   std::sort(votes.begin(), votes.end(),
             [](const server::StoredRating& a, const server::StoredRating& b) {
               return a.record.submitted_at > b.record.submitted_at;
@@ -161,8 +212,7 @@ Result<std::string> WebPortal::SoftwarePage(const SoftwareId& id) const {
   html.Open("ul");
   for (const server::StoredRating& vote : votes) {
     if (!vote.approved || vote.record.comment.empty()) continue;
-    std::int64_t balance =
-        server_->votes().RemarkBalance(vote.record.user, id);
+    std::int64_t balance = owner->votes().RemarkBalance(vote.record.user, id);
     html.Open("li")
         .Text(StrFormat("[%d/10, helpfulness %+lld] ", vote.record.score,
                         static_cast<long long>(balance)))
@@ -175,14 +225,29 @@ Result<std::string> WebPortal::SoftwarePage(const SoftwareId& id) const {
 
 Result<std::string> WebPortal::VendorPage(std::string_view vendor) const {
   std::string name(vendor);
-  std::vector<core::SoftwareMeta> catalogue =
-      server_->registry().SoftwareByVendor(name);
+  std::vector<server::ReputationServer*> shards = Shards();
+  // The catalogue is partitioned by digest; concatenate the per-shard
+  // slices and order them deterministically regardless of sharding.
+  std::vector<std::pair<server::ReputationServer*, core::SoftwareMeta>>
+      catalogue;
+  for (server::ReputationServer* shard : shards) {
+    for (core::SoftwareMeta& meta : shard->registry().SoftwareByVendor(name)) {
+      catalogue.emplace_back(shard, std::move(meta));
+    }
+  }
   if (catalogue.empty()) {
     return Status::NotFound("no software registered for vendor: " + name);
   }
+  std::sort(catalogue.begin(), catalogue.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.file_name != b.second.file_name) {
+                return a.second.file_name < b.second.file_name;
+              }
+              return a.second.id.ToHex() < b.second.id.ToHex();
+            });
   HtmlBuilder html;
   PageHeader("Vendor: " + name, html);
-  auto vendor_score = server_->registry().GetVendorScore(name);
+  auto vendor_score = MergedVendorScore(shards, name);
   if (vendor_score.ok()) {
     html.Element("p", StrFormat("derived vendor score: %.1f/10 over %d "
                                 "rated programs",
@@ -191,8 +256,8 @@ Result<std::string> WebPortal::VendorPage(std::string_view vendor) const {
   }
   html.Open("table");
   html.TableRow({"file name", "version", "score"}, "th");
-  for (const core::SoftwareMeta& meta : catalogue) {
-    auto score = server_->registry().GetScore(meta.id);
+  for (const auto& [shard, meta] : catalogue) {
+    auto score = shard->registry().GetScore(meta.id);
     html.Open("tr");
     html.Open("td");
     html.Link("/software/" + meta.id.ToHex(), meta.file_name);
@@ -208,8 +273,18 @@ Result<std::string> WebPortal::VendorPage(std::string_view vendor) const {
 std::string WebPortal::SearchPage(std::string_view query) const {
   HtmlBuilder html;
   PageHeader("Search: " + std::string(query), html);
-  std::vector<core::SoftwareMeta> hits =
-      server_->registry().SearchByName(query);
+  std::vector<core::SoftwareMeta> hits;
+  for (server::ReputationServer* shard : Shards()) {
+    for (core::SoftwareMeta& meta : shard->registry().SearchByName(query)) {
+      hits.push_back(std::move(meta));
+    }
+  }
+  // Deterministic cross-shard order: by name, digest as tie-break.
+  std::sort(hits.begin(), hits.end(),
+            [](const core::SoftwareMeta& a, const core::SoftwareMeta& b) {
+              if (a.file_name != b.file_name) return a.file_name < b.file_name;
+              return a.id.ToHex() < b.id.ToHex();
+            });
   html.Element("p", StrFormat("%zu result(s)", hits.size()));
   html.Open("ul");
   std::size_t shown = 0;
@@ -226,15 +301,33 @@ std::string WebPortal::SearchPage(std::string_view query) const {
 }
 
 std::string WebPortal::TopListPage(bool best) const {
-  // Served straight off the ordered score index.
-  std::vector<core::SoftwareScore> scores =
-      server_->registry().TopScored(list_limit_, best);
+  // Each shard serves its own top slice off the ordered score index; the
+  // merge keeps the best `list_limit_` overall. Deterministic order:
+  // score (descending for /top, ascending for /worst), digest ascending
+  // as tie-break — independent of shard count and iteration order.
+  std::vector<std::pair<server::ReputationServer*, core::SoftwareScore>>
+      merged;
+  for (server::ReputationServer* shard : Shards()) {
+    for (core::SoftwareScore& score :
+         shard->registry().TopScored(list_limit_, best)) {
+      merged.emplace_back(shard, std::move(score));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [best](const auto& a, const auto& b) {
+              if (a.second.score != b.second.score) {
+                return best ? a.second.score > b.second.score
+                            : a.second.score < b.second.score;
+              }
+              return a.second.software.ToHex() < b.second.software.ToHex();
+            });
+  if (merged.size() > list_limit_) merged.resize(list_limit_);
 
   HtmlBuilder html;
   PageHeader(best ? "Best rated software" : "Worst rated software", html);
   html.Open("ol");
-  for (const core::SoftwareScore& score : scores) {
-    auto meta = server_->registry().GetSoftware(score.software);
+  for (const auto& [shard, score] : merged) {
+    auto meta = shard->registry().GetSoftware(score.software);
     if (!meta.ok()) continue;
     html.Open("li");
     html.Link("/software/" + meta->id.ToHex(), meta->file_name);
@@ -246,17 +339,28 @@ std::string WebPortal::TopListPage(bool best) const {
 }
 
 std::string WebPortal::StatsPage() const {
+  std::vector<server::ReputationServer*> shards = Shards();
+  server::ServerStats stats;
+  std::size_t members = shards.empty() ? 0 : shards[0]->accounts().AccountCount();
+  std::size_t programs = 0;
+  std::size_t votes = 0;
+  std::size_t remarks = 0;
+  for (server::ReputationServer* shard : shards) {
+    programs += shard->registry().SoftwareCount();
+    votes += shard->votes().TotalVotes();
+    remarks += shard->votes().TotalRemarks();
+    stats.queries += shard->stats().queries;
+    stats.votes_rejected_duplicate += shard->stats().votes_rejected_duplicate;
+    stats.votes_rejected_flood += shard->stats().votes_rejected_flood;
+    stats.registrations_rejected += shard->stats().registrations_rejected;
+  }
   HtmlBuilder html;
   PageHeader("Deployment statistics", html);
-  const server::ServerStats& stats = server_->stats();
   html.Open("table");
-  html.TableRow({"registered members",
-                 std::to_string(server_->accounts().AccountCount())});
-  html.TableRow({"tracked programs",
-                 std::to_string(server_->registry().SoftwareCount())});
-  html.TableRow({"votes", std::to_string(server_->votes().TotalVotes())});
-  html.TableRow({"comment remarks",
-                 std::to_string(server_->votes().TotalRemarks())});
+  html.TableRow({"registered members", std::to_string(members)});
+  html.TableRow({"tracked programs", std::to_string(programs)});
+  html.TableRow({"votes", std::to_string(votes)});
+  html.TableRow({"comment remarks", std::to_string(remarks)});
   html.TableRow({"queries served", std::to_string(stats.queries)});
   html.TableRow({"duplicate votes rejected",
                  std::to_string(stats.votes_rejected_duplicate)});
@@ -269,12 +373,16 @@ std::string WebPortal::StatsPage() const {
 }
 
 Result<std::string> WebPortal::MetricsPage(bool json) const {
-  // Raw exposition, not HTML: the consumers are scrapers and tooling.
-  const obs::MetricsRegistry* metrics = server_->metrics();
-  if (metrics == nullptr) {
-    return Status::Unavailable("no metrics registry attached");
+  // Raw exposition, not HTML: the consumers are scrapers and tooling. All
+  // shards share one registry in a cluster; the first live backend with
+  // one attached serves it.
+  for (server::ReputationServer* shard : Shards()) {
+    const obs::MetricsRegistry* metrics = shard->metrics();
+    if (metrics != nullptr) {
+      return json ? obs::RenderJson(*metrics) : obs::RenderText(*metrics);
+    }
   }
-  return json ? obs::RenderJson(*metrics) : obs::RenderText(*metrics);
+  return Status::Unavailable("no metrics registry attached");
 }
 
 }  // namespace pisrep::web

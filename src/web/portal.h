@@ -2,8 +2,10 @@
 #define PISREP_WEB_PORTAL_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/types.h"
 #include "server/reputation_server.h"
@@ -32,12 +34,31 @@ namespace pisrep::web {
 ///
 /// Read-only by design: votes and remarks are submitted through the client
 /// application; the web side only presents.
+///
+/// The portal reads one server *or* a whole shard cluster: the provider
+/// returns every live backend, and pages merge across them
+/// deterministically (software rows live on exactly one shard; vendor
+/// scores merge weighted by software count; top/worst lists merge by
+/// score, digest-tie-broken). A provider lets the backend set change under
+/// the portal — a shard mid-failover simply drops out of a page render.
 class WebPortal {
  public:
-  /// The server must outlive the portal.
+  using ServerProvider =
+      std::function<std::vector<server::ReputationServer*>()>;
+
+  /// Single-server portal. The server must outlive the portal.
   explicit WebPortal(server::ReputationServer* server,
                      std::size_t list_limit = 25)
-      : server_(server), list_limit_(list_limit) {}
+      : provider_([server] {
+          return std::vector<server::ReputationServer*>{server};
+        }),
+        list_limit_(list_limit) {}
+
+  /// Multi-shard portal: `provider` is polled per page render and returns
+  /// the live shard primaries (nulls are skipped). Every returned server
+  /// must stay alive for the duration of one Handle call.
+  explicit WebPortal(ServerProvider provider, std::size_t list_limit = 25)
+      : provider_(std::move(provider)), list_limit_(list_limit) {}
 
   /// Routes a request path to the matching page. Unknown paths and
   /// malformed ids produce kNotFound / kInvalidArgument.
@@ -58,7 +79,17 @@ class WebPortal {
   static std::string UrlDecode(std::string_view encoded);
 
  private:
-  server::ReputationServer* server_;
+  /// The live backends this render (nulls filtered out).
+  std::vector<server::ReputationServer*> Shards() const;
+  /// The shard whose registry holds `id`, or null.
+  server::ReputationServer* OwnerOf(const core::SoftwareId& id) const;
+  /// Cross-shard vendor mean, weighted by per-shard software counts (the
+  /// same merge the cluster router serves over RPC).
+  util::Result<core::VendorScore> MergedVendorScore(
+      const std::vector<server::ReputationServer*>& shards,
+      const core::VendorId& vendor) const;
+
+  ServerProvider provider_;
   std::size_t list_limit_;
 };
 

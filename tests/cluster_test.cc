@@ -1,0 +1,880 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/client_app.h"
+#include "cluster/cluster.h"
+#include "cluster/hash_ring.h"
+#include "cluster/replication.h"
+#include "cluster/router.h"
+#include "net/event_loop.h"
+#include "net/network.h"
+#include "net/rpc.h"
+#include "obs/metrics.h"
+#include "proto/wire.h"
+#include "server/reputation_server.h"
+#include "sim/scenario.h"
+#include "storage/database.h"
+#include "util/logging.h"
+#include "util/sha1.h"
+#include "util/string_util.h"
+#include "web/portal.h"
+
+namespace pisrep::cluster {
+namespace {
+
+using util::Result;
+using util::Status;
+using util::StrFormat;
+using xml::XmlNode;
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring properties
+// ---------------------------------------------------------------------------
+
+std::vector<util::Sha1Digest> SyntheticDigests(int n) {
+  std::vector<util::Sha1Digest> digests;
+  digests.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    digests.push_back(util::Sha1::Hash(StrFormat("synthetic-digest-%d", i)));
+  }
+  return digests;
+}
+
+std::map<std::string, int> OwnerHistogram(
+    const HashRing& ring, const std::vector<util::Sha1Digest>& digests) {
+  std::map<std::string, int> histogram;
+  for (const auto& digest : digests) ++histogram[ring.OwnerOf(digest)];
+  return histogram;
+}
+
+TEST(HashRing, OwnershipIsAPureFunctionOfTheMemberSet) {
+  HashRing forward;
+  forward.AddShard("shard0");
+  forward.AddShard("shard1");
+  forward.AddShard("shard2");
+  HashRing backward;
+  backward.AddShard("shard2");
+  backward.AddShard("shard0");
+  backward.AddShard("shard1");
+  for (const auto& digest : SyntheticDigests(1000)) {
+    EXPECT_EQ(forward.OwnerOf(digest), backward.OwnerOf(digest));
+  }
+}
+
+TEST(HashRing, AddingAShardMovesKeysOnlyToTheNewShard) {
+  auto digests = SyntheticDigests(1000);
+  HashRing ring;
+  ring.AddShard("shard0");
+  ring.AddShard("shard1");
+  ring.AddShard("shard2");
+  std::vector<std::string> before;
+  before.reserve(digests.size());
+  for (const auto& digest : digests) before.push_back(ring.OwnerOf(digest));
+
+  ring.AddShard("shard3");
+  int moved = 0;
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    const std::string& owner = ring.OwnerOf(digests[i]);
+    if (owner == before[i]) continue;
+    // A key may move only *to* the newcomer, never between survivors.
+    EXPECT_EQ(owner, "shard3") << "key " << i << " moved " << before[i]
+                               << " -> " << owner;
+    ++moved;
+  }
+  // The newcomer picked up roughly its 1/4 share (loose bound: vnode
+  // placement is hash-driven, not exact).
+  EXPECT_GT(moved, 100);
+  EXPECT_LT(moved, 500);
+}
+
+TEST(HashRing, RemovingAShardMovesOnlyItsOwnKeys) {
+  auto digests = SyntheticDigests(1000);
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.AddShard(StrFormat("shard%d", i));
+  std::vector<std::string> before;
+  before.reserve(digests.size());
+  for (const auto& digest : digests) before.push_back(ring.OwnerOf(digest));
+
+  ring.RemoveShard("shard2");
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    const std::string& owner = ring.OwnerOf(digests[i]);
+    if (before[i] == "shard2") {
+      EXPECT_NE(owner, "shard2");  // orphaned keys land on survivors
+    } else {
+      EXPECT_EQ(owner, before[i]) << "survivor key " << i << " moved";
+    }
+  }
+}
+
+TEST(HashRing, VnodesSpreadLoadAcrossEveryShard) {
+  auto digests = SyntheticDigests(1000);
+  HashRing ring(64);
+  for (int i = 0; i < 4; ++i) ring.AddShard(StrFormat("shard%d", i));
+  auto histogram = OwnerHistogram(ring, digests);
+  ASSERT_EQ(histogram.size(), 4u);
+  for (const auto& [shard, count] : histogram) {
+    // With 64 vnodes each, no shard ends up starved or hoarding.
+    EXPECT_GT(count, 100) << shard;
+    EXPECT_LT(count, 450) << shard;
+  }
+}
+
+TEST(HashRing, MembersEnumerateSorted) {
+  HashRing ring;
+  ring.AddShard("b");
+  ring.AddShard("a");
+  ring.AddShard("c");
+  EXPECT_EQ(ring.Members(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// ---------------------------------------------------------------------------
+// Replication log
+// ---------------------------------------------------------------------------
+
+TEST(ReplicationLog, AppendCollectPruneRoundTrip) {
+  ReplicationLog log(100);
+  EXPECT_EQ(log.Append("a"), 1u);
+  EXPECT_EQ(log.Append("b"), 2u);
+  EXPECT_EQ(log.Append("c"), 3u);
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  ASSERT_TRUE(log.CollectAfter(1, 10, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (std::pair<std::uint64_t, std::string>{2, "b"}));
+  EXPECT_EQ(out[1], (std::pair<std::uint64_t, std::string>{3, "c"}));
+  log.PruneThrough(2);
+  EXPECT_EQ(log.base_seq(), 2u);
+  out.clear();
+  // Asking for a span that fell off the retention window must fail loudly
+  // (the shipper then resyncs with a snapshot).
+  EXPECT_FALSE(log.CollectAfter(0, 10, &out));
+}
+
+TEST(ReplicationLog, BoundedRetentionDropsOldestButKeepsSequence) {
+  ReplicationLog log(2);
+  log.Append("a");
+  log.Append("b");
+  log.Append("c");
+  EXPECT_EQ(log.head_seq(), 3u);
+  EXPECT_EQ(log.base_seq(), 1u);
+  EXPECT_EQ(log.size(), 2u);
+  log.Clear();
+  EXPECT_EQ(log.head_seq(), 3u);
+  EXPECT_EQ(log.base_seq(), 3u);
+  EXPECT_EQ(log.Append("d"), 4u);  // the counter never rewinds
+}
+
+TEST(ReplicaNode, GapMarksTheReplicaStale) {
+  net::EventLoop loop;
+  net::SimNetwork network(&loop, net::NetworkConfig{});
+  ReplicaNode replica(&network, "rep");
+  ASSERT_TRUE(replica.Start().ok());
+  net::RpcClient client(&network, &loop, "probe", "rep");
+  ASSERT_TRUE(client.Start().ok());
+
+  // Ship a batch that starts at seq 5 while the replica sits at 0: that is
+  // a gap it can never fill from the stream, so it must refuse the data and
+  // report itself stale rather than silently apply a torn prefix.
+  XmlNode params("r");
+  params.SetAttribute("first_seq", "5");
+  params.AddTextChild("f", "00");
+  std::optional<Result<XmlNode>> response;
+  client.Call("ShardReplicate", std::move(params),
+              [&response](Result<XmlNode> r) { response = std::move(r); });
+  loop.RunUntil(loop.Now() + 10 * util::kSecond);
+  ASSERT_TRUE(response.has_value() && response->ok());
+  EXPECT_EQ((*response)->AttributeOr("stale", "0"), "1");
+  EXPECT_EQ((*response)->AttributeOr("acked", ""), "0");
+  EXPECT_TRUE(replica.stale());
+}
+
+// ---------------------------------------------------------------------------
+// Harness: a cluster (or a plain single server) driven over RPC
+// ---------------------------------------------------------------------------
+
+/// Drives the same scripted RPC workload against either a ShardCluster
+/// fronted by a Router, or (num_shards == 0) a plain single ReputationServer
+/// bound at the same "server" address — the single-server run is the oracle
+/// the cluster must reproduce.
+class Harness {
+ public:
+  explicit Harness(int num_shards, util::Duration heartbeat_period = 0,
+                   obs::MetricsRegistry* metrics = nullptr)
+      : network_(&loop_, net::NetworkConfig{}) {
+    if (num_shards > 0) {
+      ClusterConfig config;
+      config.num_shards = num_shards;
+      config.server.flood.registration_puzzle_bits = 0;
+      config.server.flood.max_registrations_per_source_per_day = 0;
+      config.server.metrics = metrics;
+      config.heartbeat_period = heartbeat_period;
+      config.heartbeat_misses = 3;
+      config.auto_failover = heartbeat_period > 0;
+      cluster_ = std::make_unique<ShardCluster>(&network_, &loop_,
+                                                std::move(config));
+      PISREP_CHECK(cluster_->Start().ok());
+      RouterConfig rc;
+      rc.service_address = "server";
+      router_ = std::make_unique<Router>(&network_, &loop_, rc, metrics,
+                                         nullptr);
+      PISREP_CHECK(router_->Start().ok());
+      for (int i = 0; i < num_shards; ++i) {
+        router_->AddShard(cluster_->ShardName(i));
+      }
+    } else {
+      auto db = storage::Database::Open("");
+      PISREP_CHECK(db.ok());
+      db_ = std::move(db).value();
+      server::ReputationServer::Config config;
+      config.flood.registration_puzzle_bits = 0;
+      config.flood.max_registrations_per_source_per_day = 0;
+      config.accounts.deterministic_tokens = true;
+      server_ = std::make_unique<server::ReputationServer>(db_.get(), &loop_,
+                                                           config);
+      PISREP_CHECK(server_->AttachRpc(&network_, "server").ok());
+    }
+    client_ = std::make_unique<net::RpcClient>(&network_, &loop_, "tester",
+                                               "server");
+    PISREP_CHECK(client_->Start().ok());
+  }
+
+  ~Harness() {
+    if (cluster_ != nullptr) cluster_->StopAll();
+  }
+
+  net::EventLoop& loop() { return loop_; }
+  net::SimNetwork& network() { return network_; }
+  ShardCluster* cluster() { return cluster_.get(); }
+  Router* router() { return router_.get(); }
+
+  /// Pumps the loop in one-second slices until `done` (when given) holds.
+  void Pump(const std::function<bool()>& done = {}, int max_seconds = 120) {
+    for (int i = 0; i < max_seconds; ++i) {
+      if (done && done()) return;
+      loop_.RunUntil(loop_.Now() + util::kSecond);
+    }
+  }
+
+  /// Blocking RPC through the front door ("server": router or the single
+  /// server — the workload cannot tell which).
+  Result<XmlNode> Call(const std::string& method, XmlNode params) {
+    std::optional<Result<XmlNode>> response;
+    client_->Call(
+        method, std::move(params),
+        [&response](Result<XmlNode> r) { response = std::move(r); },
+        5 * util::kSecond);
+    Pump([&response] { return response.has_value(); });
+    if (!response.has_value()) {
+      return Status::Unavailable("call never completed: " + method);
+    }
+    return *std::move(response);
+  }
+
+  /// Registers, activates, and logs `user` in; returns the session token.
+  std::string Onboard(const std::string& user) {
+    XmlNode puzzle_req("request");
+    auto puzzle_resp = Call("RequestPuzzle", std::move(puzzle_req));
+    PISREP_CHECK(puzzle_resp.ok()) << puzzle_resp.status().ToString();
+    const XmlNode* puzzle_node = puzzle_resp->FindChild("puzzle");
+    PISREP_CHECK(puzzle_node != nullptr);
+    proto::Puzzle puzzle;
+    puzzle.nonce = puzzle_node->AttributeOr("nonce", "");
+    auto bits = util::ParseInt64(puzzle_node->AttributeOr("bits", "0"));
+    puzzle.difficulty_bits = bits.ok() ? static_cast<int>(*bits) : 0;
+
+    XmlNode reg("request");
+    reg.AddTextChild("source", "src-" + user);
+    reg.AddTextChild("username", user);
+    reg.AddTextChild("password", "pw-" + user);
+    reg.AddTextChild("email", user + "@example.com");
+    reg.AddTextChild("nonce", puzzle.nonce);
+    reg.AddTextChild("solution", proto::SolvePuzzle(puzzle));
+    auto registered = Call("Register", std::move(reg));
+    PISREP_CHECK(registered.ok()) << registered.status().ToString();
+
+    auto mail = FetchMail(user + "@example.com");
+    PISREP_CHECK(mail.ok()) << mail.status().ToString();
+    XmlNode act("request");
+    act.AddTextChild("username", mail->username);
+    act.AddTextChild("token", mail->token);
+    auto activated = Call("Activate", std::move(act));
+    PISREP_CHECK(activated.ok()) << activated.status().ToString();
+
+    XmlNode login("request");
+    login.AddTextChild("username", user);
+    login.AddTextChild("password", "pw-" + user);
+    auto session = Call("Login", std::move(login));
+    PISREP_CHECK(session.ok()) << session.status().ToString();
+    return session->ChildText("session").value_or("");
+  }
+
+  Status SubmitRating(const std::string& session,
+                      const core::SoftwareMeta& meta, int score,
+                      const std::string& comment) {
+    XmlNode request("request");
+    request.AddTextChild("session", session);
+    XmlNode& software = request.AddChild("software");
+    software.SetAttribute("id", meta.id.ToHex());
+    software.SetAttribute("file_name", meta.file_name);
+    software.SetAttribute("file_size", std::to_string(meta.file_size));
+    software.SetAttribute("company", meta.company);
+    software.SetAttribute("version", meta.version);
+    request.AddIntChild("score", score);
+    request.AddTextChild("comment", comment);
+    auto response = Call("SubmitRating", std::move(request));
+    return response.ok() ? Status::Ok() : response.status();
+  }
+
+  Result<server::ActivationMail> FetchMail(const std::string& email) {
+    if (cluster_ != nullptr) return cluster_->FetchMail(email);
+    return server_->FetchMail(email);
+  }
+
+  void RunAggregation(util::TimePoint now) {
+    if (cluster_ != nullptr) {
+      cluster_->RunAggregationAll(now);
+    } else {
+      server_->aggregation().RunOnce(now, /*full_sweep=*/true);
+    }
+  }
+
+  Result<core::SoftwareScore> GetScore(const core::SoftwareId& id) {
+    if (cluster_ != nullptr) return cluster_->GetScore(id);
+    return server_->registry().GetScore(id);
+  }
+
+  Result<core::VendorScore> VendorScore(const std::string& vendor) {
+    if (cluster_ != nullptr) return cluster_->MergedVendorScore(vendor);
+    return server_->registry().GetVendorScore(vendor);
+  }
+
+ private:
+  net::EventLoop loop_;
+  net::SimNetwork network_;
+  std::unique_ptr<ShardCluster> cluster_;
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<storage::Database> db_;
+  std::unique_ptr<server::ReputationServer> server_;
+  std::unique_ptr<net::RpcClient> client_;
+};
+
+constexpr int kUsers = 5;
+constexpr int kPrograms = 10;
+
+core::SoftwareMeta ProgramMeta(int i) {
+  core::SoftwareMeta meta;
+  meta.id = util::Sha1::Hash(StrFormat("cluster-test-program-%d", i));
+  meta.file_name = StrFormat("app_%02d.exe", i);
+  meta.file_size = 10'000 + i;
+  meta.company = StrFormat("vendor-%d", i % 3);
+  meta.version = "1.0";
+  return meta;
+}
+
+/// The scores the scripted workload must converge to, keyed by digest hex.
+struct WorkloadOutcome {
+  std::map<std::string, std::pair<double, int>> scores;   // (score, votes)
+  std::map<std::string, std::pair<double, int>> vendors;  // (score, count)
+};
+
+/// A fixed, fully deterministic community: every user rates every program
+/// (well under the per-user daily flood limit), then one user remarks on
+/// another's comments — which must shift the author's trust factor on every
+/// shard, not just the comment's owner.
+WorkloadOutcome RunScriptedWorkload(Harness& h) {
+  std::vector<std::string> sessions;
+  sessions.reserve(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    sessions.push_back(h.Onboard(StrFormat("user%02d", u)));
+  }
+
+  for (int u = 0; u < kUsers; ++u) {
+    for (int i = 0; i < kPrograms; ++i) {
+      int score = 1 + (i * 3 + u * 5) % 10;
+      Status submitted = h.SubmitRating(sessions[static_cast<size_t>(u)],
+                                        ProgramMeta(i), score,
+                                        StrFormat("c-%d-%d", u, i));
+      EXPECT_TRUE(submitted.ok()) << submitted.ToString();
+    }
+  }
+
+  // user01 judges user00's comments: find the author id from the comment
+  // the cluster serves back, then remark on two programs.
+  XmlNode query("request");
+  query.AddTextChild("session", sessions[1]);
+  query.AddTextChild("id", ProgramMeta(0).id.ToHex());
+  auto info = h.Call("QuerySoftware", std::move(query));
+  EXPECT_TRUE(info.ok()) << info.status().ToString();
+  std::int64_t author = -1;
+  if (info.ok()) {
+    for (const XmlNode* comment : info->FindChildren("comment")) {
+      if (comment->text() == "c-0-0") {
+        auto parsed = util::ParseInt64(comment->AttributeOr("author", ""));
+        if (parsed.ok()) author = *parsed;
+      }
+    }
+  }
+  EXPECT_GE(author, 0) << "user00's comment not served back";
+  for (int i = 0; i < 2 && author >= 0; ++i) {
+    XmlNode remark("request");
+    remark.AddTextChild("session", sessions[1]);
+    remark.AddIntChild("author", author);
+    remark.AddTextChild("id", ProgramMeta(i).id.ToHex());
+    remark.AddIntChild("positive", i == 0 ? 1 : 0);
+    auto remarked = h.Call("SubmitRemark", std::move(remark));
+    EXPECT_TRUE(remarked.ok()) << remarked.status().ToString();
+  }
+  // Let fire-and-forget cross-shard trust effects land before aggregating.
+  h.Pump({}, 10);
+
+  h.RunAggregation(30 * util::kDay);
+  WorkloadOutcome outcome;
+  for (int i = 0; i < kPrograms; ++i) {
+    auto score = h.GetScore(ProgramMeta(i).id);
+    EXPECT_TRUE(score.ok()) << "program " << i;
+    if (score.ok()) {
+      outcome.scores[ProgramMeta(i).id.ToHex()] = {score->score,
+                                                   score->vote_count};
+    }
+  }
+  for (int v = 0; v < 3; ++v) {
+    auto vendor = h.VendorScore(StrFormat("vendor-%d", v));
+    EXPECT_TRUE(vendor.ok()) << "vendor " << v;
+    if (vendor.ok()) {
+      outcome.vendors[vendor->vendor] = {vendor->score,
+                                         vendor->software_count};
+    }
+  }
+  return outcome;
+}
+
+void ExpectSameOutcome(const WorkloadOutcome& expected,
+                       const WorkloadOutcome& actual,
+                       const std::string& label) {
+  ASSERT_EQ(expected.scores.size(), actual.scores.size()) << label;
+  for (const auto& [hex, score] : expected.scores) {
+    auto it = actual.scores.find(hex);
+    ASSERT_NE(it, actual.scores.end()) << label << ": missing " << hex;
+    EXPECT_EQ(score.second, it->second.second) << label << ": votes " << hex;
+    EXPECT_NEAR(score.first, it->second.first, 1e-9)
+        << label << ": score " << hex;
+  }
+  ASSERT_EQ(expected.vendors.size(), actual.vendors.size()) << label;
+  for (const auto& [name, score] : expected.vendors) {
+    auto it = actual.vendors.find(name);
+    ASSERT_NE(it, actual.vendors.end()) << label << ": missing " << name;
+    EXPECT_EQ(score.second, it->second.second) << label << ": count " << name;
+    EXPECT_NEAR(score.first, it->second.first, 1e-9)
+        << label << ": score " << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// N-shard == 1-shard == single server
+// ---------------------------------------------------------------------------
+
+TEST(ClusterEquivalence, ShardedScoresMatchTheSingleServerOracle) {
+  Harness oracle(0);
+  WorkloadOutcome expected = RunScriptedWorkload(oracle);
+  ASSERT_EQ(expected.scores.size(), static_cast<std::size_t>(kPrograms));
+
+  for (int shards : {1, 2, 3}) {
+    Harness h(shards);
+    WorkloadOutcome actual = RunScriptedWorkload(h);
+    ExpectSameOutcome(expected, actual, StrFormat("%d shards", shards));
+    // The workload really was spread: with >1 shard no single shard holds
+    // every program.
+    if (shards > 1) {
+      std::map<std::string, int> placement;
+      for (int i = 0; i < kPrograms; ++i) {
+        ++placement[h.cluster()->ring().OwnerOf(ProgramMeta(i).id)];
+      }
+      EXPECT_GT(placement.size(), 1u);
+    }
+  }
+}
+
+TEST(ClusterEquivalence, ScatteredVendorQueryMatchesTheNativeMerge) {
+  Harness h(3);
+  RunScriptedWorkload(h);
+  std::string session = h.Onboard("vendor-reader");
+  for (int v = 0; v < 3; ++v) {
+    XmlNode request("request");
+    request.AddTextChild("session", session);
+    request.AddTextChild("vendor", StrFormat("vendor-%d", v));
+    auto response = h.Call("QueryVendor", std::move(request));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    const XmlNode* node = (*response).FindChild("vendor");
+    ASSERT_NE(node, nullptr);
+    auto native = h.cluster()->MergedVendorScore(StrFormat("vendor-%d", v));
+    ASSERT_TRUE(native.ok());
+    auto wire_score = util::ParseDouble(node->AttributeOr("score", ""));
+    ASSERT_TRUE(wire_score.ok());
+    // The wire value is %.6f-rounded; compare at that precision.
+    EXPECT_NEAR(*wire_score, native->score, 1e-4);
+    EXPECT_EQ(node->AttributeOr("count", ""),
+              std::to_string(native->software_count));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover
+// ---------------------------------------------------------------------------
+
+TEST(ClusterFailover, KillPromoteCatchUpLosesNoAckedVote) {
+  Harness chaos(2);
+  Harness calm(2);
+
+  std::vector<std::string> chaos_sessions, calm_sessions;
+  for (int u = 0; u < kUsers; ++u) {
+    chaos_sessions.push_back(chaos.Onboard(StrFormat("user%02d", u)));
+    calm_sessions.push_back(calm.Onboard(StrFormat("user%02d", u)));
+  }
+
+  auto vote_phase = [&](Harness& h, const std::vector<std::string>& sessions,
+                        int from, int to) {
+    for (int u = 0; u < kUsers; ++u) {
+      for (int i = from; i < to; ++i) {
+        int score = 1 + (i * 3 + u * 5) % 10;
+        Status submitted = h.SubmitRating(sessions[static_cast<size_t>(u)],
+                                          ProgramMeta(i), score,
+                                          StrFormat("c-%d-%d", u, i));
+        ASSERT_TRUE(submitted.ok()) << submitted.ToString();
+      }
+    }
+  };
+
+  vote_phase(chaos, chaos_sessions, 0, kPrograms / 2);
+  vote_phase(calm, calm_sessions, 0, kPrograms / 2);
+
+  // Mid-run crash of shard 0's primary, then failover onto its synchronously
+  // replicated backup. Every vote above was acked, so every one of them must
+  // survive the promotion.
+  chaos.cluster()->KillPrimary(0);
+  ASSERT_FALSE(chaos.cluster()->shard(0)->primary_alive());
+  ASSERT_TRUE(chaos.cluster()->TriggerFailover(0).ok());
+  ASSERT_TRUE(chaos.cluster()->shard(0)->primary_alive());
+  EXPECT_EQ(chaos.cluster()->failovers(), 1u);
+  EXPECT_EQ(chaos.cluster()->shard(0)->promotions(), 1u);
+
+  // Sessions are in-memory primary state and die with it — exactly like a
+  // server restart. Clients re-login on kUnauthenticated; deterministic
+  // tokens re-mint the *same* session string, so queued work stays valid.
+  for (int u = 0; u < kUsers; ++u) {
+    XmlNode login("request");
+    login.AddTextChild("username", StrFormat("user%02d", u));
+    login.AddTextChild("password", StrFormat("pw-user%02d", u));
+    auto relogin = chaos.Call("Login", std::move(login));
+    ASSERT_TRUE(relogin.ok()) << relogin.status().ToString();
+    EXPECT_EQ(relogin->ChildText("session").value_or(""),
+              chaos_sessions[static_cast<size_t>(u)]);
+  }
+
+  // The second half of the run lands on the promoted primary.
+  vote_phase(chaos, chaos_sessions, kPrograms / 2, kPrograms);
+  vote_phase(calm, calm_sessions, kPrograms / 2, kPrograms);
+
+  chaos.RunAggregation(30 * util::kDay);
+  calm.RunAggregation(30 * util::kDay);
+
+  EXPECT_EQ(chaos.cluster()->TotalVotesAccepted(),
+            static_cast<std::uint64_t>(kUsers * kPrograms));
+  EXPECT_EQ(chaos.cluster()->TotalVotesAccepted(),
+            calm.cluster()->TotalVotesAccepted());
+  for (int i = 0; i < kPrograms; ++i) {
+    auto with_chaos = chaos.GetScore(ProgramMeta(i).id);
+    auto without = calm.GetScore(ProgramMeta(i).id);
+    ASSERT_TRUE(with_chaos.ok()) << "program " << i;
+    ASSERT_TRUE(without.ok()) << "program " << i;
+    EXPECT_EQ(with_chaos->vote_count, without->vote_count) << "program " << i;
+    EXPECT_NEAR(with_chaos->score, without->score, 1e-9) << "program " << i;
+  }
+}
+
+TEST(ClusterFailover, HeartbeatControllerPromotesAMissingPrimary) {
+  obs::MetricsRegistry metrics;
+  Harness h(2, /*heartbeat_period=*/util::kSecond, &metrics);
+  std::string session = h.Onboard("heartbeat-user");
+
+  h.cluster()->KillPrimary(0);
+  ASSERT_FALSE(h.cluster()->shard(0)->primary_alive());
+  // Three missed one-second probes (each waiting out its timeout) trigger
+  // the failover; give the controller a generous window.
+  h.Pump([&] { return h.cluster()->failovers() >= 1; }, 60);
+  EXPECT_EQ(h.cluster()->failovers(), 1u);
+  ASSERT_TRUE(h.cluster()->shard(0)->primary_alive());
+  EXPECT_GE(metrics.GetCounter("pisrep_cluster_failovers_total")->Value(),
+            1u);
+
+  // The revived shard serves: a vote owned by shard 0 goes through.
+  int owned_by_0 = -1;
+  for (int i = 0; i < 64 && owned_by_0 < 0; ++i) {
+    core::SoftwareMeta meta = ProgramMeta(i);
+    if (h.cluster()->ring().OwnerOf(meta.id) == h.cluster()->ShardName(0)) {
+      owned_by_0 = i;
+    }
+  }
+  ASSERT_GE(owned_by_0, 0);
+  // The promoted primary lost the in-memory session table; one re-login
+  // (broadcast, deterministic token) restores the same session everywhere.
+  XmlNode login("request");
+  login.AddTextChild("username", "heartbeat-user");
+  login.AddTextChild("password", "pw-heartbeat-user");
+  auto relogin = h.Call("Login", std::move(login));
+  ASSERT_TRUE(relogin.ok()) << relogin.status().ToString();
+  EXPECT_EQ(relogin->ChildText("session").value_or(""), session);
+  EXPECT_TRUE(
+      h.SubmitRating(session, ProgramMeta(owned_by_0), 7, "post-failover")
+          .ok());
+}
+
+TEST(ClusterFailover, PromotionIsRefusedWhileThePrimaryLives) {
+  Harness h(1);
+  EXPECT_FALSE(h.cluster()->shard(0)->Promote().ok());
+  EXPECT_EQ(h.cluster()->shard(0)->promotions_refused(), 1u);
+  EXPECT_EQ(h.cluster()->failovers(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ownership-moved redirects
+// ---------------------------------------------------------------------------
+
+TEST(ClusterRouting, RouterChasesOwnershipMovedRedirects) {
+  Harness h(2);
+  std::string session = h.Onboard("redirect-user");
+
+  // Skew the router: same two members, but a 1-vnode-per-shard ring, so
+  // some digests map to a different owner than under the shards' true
+  // 64-vnode ring. Those requests bounce off the wrong shard with
+  // `ownership-moved` and must be chased to the shard the guard named.
+  HashRing skewed(1);
+  skewed.AddShard(h.cluster()->ShardName(0));
+  skewed.AddShard(h.cluster()->ShardName(1));
+  int misrouted = -1;
+  for (int i = 0; i < 256 && misrouted < 0; ++i) {
+    const core::SoftwareId id = ProgramMeta(i).id;
+    if (skewed.OwnerOf(id) != h.cluster()->ring().OwnerOf(id)) misrouted = i;
+  }
+  ASSERT_GE(misrouted, 0) << "no digest disagrees between the two rings";
+  h.router()->SetRing(std::move(skewed));
+
+  EXPECT_TRUE(
+      h.SubmitRating(session, ProgramMeta(misrouted), 9, "went the long way")
+          .ok());
+  EXPECT_GE(h.router()->redirects_followed(), 1u);
+  // The vote landed on the true owner.
+  h.cluster()->RunAggregationAll(util::kDay);
+  auto score = h.cluster()->GetScore(ProgramMeta(misrouted).id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->vote_count, 1);
+}
+
+TEST(ClusterRouting, DirectShardClientFollowsOneRedirect) {
+  Harness h(2);
+  // Onboard through the router so the account exists on every shard.
+  h.Onboard("alice");
+
+  int owned_by_1 = -1;
+  for (int i = 0; i < 64 && owned_by_1 < 0; ++i) {
+    if (h.cluster()->ring().OwnerOf(ProgramMeta(i).id) ==
+        h.cluster()->ShardName(1)) {
+      owned_by_1 = i;
+    }
+  }
+  ASSERT_GE(owned_by_1, 0);
+
+  // A ClientApp pointed straight at shard0 (no router). Its login mints the
+  // deterministic session on shard0; an extra direct login against shard1
+  // registers the *same* token there, as a failover recovery would.
+  client::ClientApp::Config config;
+  config.address = "alice-box";
+  config.server_address = h.cluster()->ShardName(0);
+  config.username = "alice";
+  config.password = "pw-alice";
+  config.email = "alice@example.com";
+  client::ClientApp app(&h.network(), &h.loop(), config);
+  ASSERT_TRUE(app.Start().ok());
+  std::optional<Status> login;
+  app.Login([&login](Status s) { login = s; });
+  h.Pump([&login] { return login.has_value(); });
+  ASSERT_TRUE(login.has_value() && login->ok()) << login->ToString();
+
+  net::RpcClient side(&h.network(), &h.loop(), "side-door",
+                      h.cluster()->ShardName(1));
+  ASSERT_TRUE(side.Start().ok());
+  XmlNode relogin("request");
+  relogin.AddTextChild("username", "alice");
+  relogin.AddTextChild("password", "pw-alice");
+  std::optional<Result<XmlNode>> side_login;
+  side.Call("Login", std::move(relogin),
+            [&side_login](Result<XmlNode> r) { side_login = std::move(r); });
+  h.Pump([&side_login] { return side_login.has_value(); });
+  ASSERT_TRUE(side_login.has_value() && side_login->ok());
+
+  // Rating a shard1-owned program via shard0 must bounce once and succeed.
+  client::RatingSubmission submission;
+  submission.score = 8;
+  submission.comment = "redirected";
+  std::optional<Status> rated;
+  app.SubmitRating(ProgramMeta(owned_by_1), submission,
+                   [&rated](Status s) { rated = s; });
+  h.Pump([&rated] { return rated.has_value(); });
+  ASSERT_TRUE(rated.has_value());
+  EXPECT_TRUE(rated->ok()) << rated->ToString();
+  EXPECT_EQ(app.stats().redirects_followed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Replication metrics and the web portal over a cluster
+// ---------------------------------------------------------------------------
+
+TEST(ClusterObservability, ReplicationAndRouterMetricsAreLive) {
+  obs::MetricsRegistry metrics;
+  Harness h(2, /*heartbeat_period=*/0, &metrics);
+  std::string session = h.Onboard("metrics-user");
+  ASSERT_TRUE(h.SubmitRating(session, ProgramMeta(0), 6, "measured").ok());
+
+  std::uint64_t shipped = 0;
+  for (int i = 0; i < 2; ++i) {
+    shipped += metrics
+                   .GetCounter(obs::WithLabel(
+                       "pisrep_cluster_replication_shipped_total", "shard",
+                       h.cluster()->ShardName(i)))
+                   ->Value();
+  }
+  EXPECT_GT(shipped, 0u);  // acked votes implies shipped WAL records
+  std::uint64_t routed = 0;
+  for (int i = 0; i < 2; ++i) {
+    routed += metrics
+                  .GetCounter(obs::WithLabel(
+                      "pisrep_cluster_router_requests_total", "shard",
+                      h.cluster()->ShardName(i)))
+                  ->Value();
+  }
+  EXPECT_GT(routed, 0u);
+  EXPECT_GT(
+      metrics.GetCounter("pisrep_cluster_router_broadcast_ops_total")->Value(),
+      0u);
+}
+
+TEST(ClusterPortal, PortalMergesPagesAcrossShards) {
+  Harness h(2);
+  RunScriptedWorkload(h);
+
+  ShardCluster* cluster = h.cluster();
+  web::WebPortal portal([cluster] {
+    std::vector<server::ReputationServer*> shards;
+    for (int i = 0; i < cluster->num_shards(); ++i) {
+      shards.push_back(cluster->primary(i));
+    }
+    return shards;
+  });
+
+  // Every program renders from its owning shard.
+  for (int i = 0; i < kPrograms; ++i) {
+    auto page = portal.SoftwarePage(ProgramMeta(i).id);
+    ASSERT_TRUE(page.ok()) << "program " << i;
+    EXPECT_NE(page->find(ProgramMeta(i).file_name), std::string::npos);
+  }
+  // The merged top list sees programs regardless of placement, and the
+  // vendor page merges the catalogue.
+  std::string top = portal.TopListPage(/*best=*/true);
+  int listed = 0;
+  for (int i = 0; i < kPrograms; ++i) {
+    if (top.find(ProgramMeta(i).file_name) != std::string::npos) ++listed;
+  }
+  EXPECT_EQ(listed, kPrograms);  // list_limit 25 > kPrograms: all visible
+  auto vendor_page = portal.VendorPage("vendor-0");
+  ASSERT_TRUE(vendor_page.ok());
+  for (int i = 0; i < kPrograms; i += 3) {
+    EXPECT_NE(vendor_page->find(ProgramMeta(i).file_name), std::string::npos)
+        << "program " << i;
+  }
+  // The portal's merged vendor score agrees with the cluster's native merge.
+  auto native = cluster->MergedVendorScore("vendor-0");
+  ASSERT_TRUE(native.ok());
+  EXPECT_NE(portal.HomePage().find("programs tracked"), std::string::npos);
+}
+
+TEST(ClusterTuning, PerShardSweepCadenceIsHonored) {
+  net::EventLoop loop;
+  net::SimNetwork network(&loop, net::NetworkConfig{});
+  ClusterConfig config;
+  config.num_shards = 2;
+  config.heartbeat_period = 0;
+  config.auto_failover = false;
+  // Shard 0 sweeps fully on every run; shard 1 keeps the template default
+  // (incremental with the periodic full sweep).
+  config.tuning.push_back({.full_sweep_every = 1, .force_full_sweep = true});
+  ShardCluster cluster(&network, &loop, std::move(config));
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // First runs are full everywhere (cold start); the second run is where
+  // the cadence divides them.
+  cluster.RunAggregationAll(util::kDay);
+  cluster.RunAggregationAll(2 * util::kDay);
+  EXPECT_TRUE(cluster.primary(0)->aggregation().last_stats().full_sweep);
+  EXPECT_FALSE(cluster.primary(1)->aggregation().last_stats().full_sweep);
+  cluster.StopAll();
+}
+
+// ---------------------------------------------------------------------------
+// The full community scenario, clustered
+// ---------------------------------------------------------------------------
+
+sim::ScenarioConfig CommunityScenario(std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.ecosystem.num_software = 40;
+  config.ecosystem.num_vendors = 8;
+  config.ecosystem.seed = seed;
+  config.num_users = 12;
+  config.duration = 10 * util::kDay;
+  config.executions_per_day = 6.0;
+  config.server.flood.registration_puzzle_bits = 0;
+  config.server.flood.max_registrations_per_source_per_day = 0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ClusterScenario, CommunityScenarioMatchesSingleServerScores) {
+  sim::ScenarioConfig config = CommunityScenario(11);
+  sim::ScenarioRunner single(config);
+  sim::ScenarioResult single_result = single.Run();
+  ASSERT_GT(single_result.total_votes, 10u);
+
+  config.num_shards = 3;
+  sim::ScenarioRunner clustered(config);
+  sim::ScenarioResult cluster_result = clustered.Run();
+
+  // Same community, same seed, same address — the shard fleet must be
+  // invisible in every number the run produces.
+  EXPECT_EQ(cluster_result.total_votes, single_result.total_votes);
+  EXPECT_EQ(cluster_result.scored_software, single_result.scored_software);
+  EXPECT_NEAR(cluster_result.score_mae, single_result.score_mae, 1e-9);
+
+  for (std::size_t i = 0; i < single.ecosystem().size(); ++i) {
+    core::SoftwareId id = single.ecosystem().spec(i).image.Digest();
+    auto oracle = single.server().registry().GetScore(id);
+    auto sharded = clustered.cluster()->GetScore(id);
+    ASSERT_EQ(oracle.ok(), sharded.ok()) << "software " << i;
+    if (!oracle.ok()) continue;
+    EXPECT_EQ(sharded->vote_count, oracle->vote_count) << "software " << i;
+    EXPECT_NEAR(sharded->score, oracle->score, 1e-9) << "software " << i;
+  }
+  for (const auto& vendor : single.ecosystem().vendors()) {
+    auto oracle = single.server().registry().GetVendorScore(vendor.name);
+    auto merged = clustered.cluster()->MergedVendorScore(vendor.name);
+    ASSERT_EQ(oracle.ok(), merged.ok()) << vendor.name;
+    if (!oracle.ok()) continue;
+    EXPECT_EQ(merged->software_count, oracle->software_count) << vendor.name;
+    EXPECT_NEAR(merged->score, oracle->score, 1e-9) << vendor.name;
+  }
+}
+
+}  // namespace
+}  // namespace pisrep::cluster

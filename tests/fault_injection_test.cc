@@ -245,6 +245,41 @@ TEST_F(BreakerFixture, HalfOpenProbeClosesBreakerAfterRecovery) {
   EXPECT_EQ(client.breaker_opens(), 1u);  // never re-opened
 }
 
+TEST_F(BreakerFixture, BreakerIsScopedPerServerNotPerClient) {
+  // Regression: the breaker used to be a single client-wide state, so one
+  // dead shard fast-failed CallTo() traffic to every healthy shard. The
+  // state is keyed by destination address now.
+  net::RpcServer healthy(&network, "server2");
+  ASSERT_TRUE(healthy.Start().ok());
+  healthy.RegisterMethod("Ping", [](const XmlNode&) -> util::Result<XmlNode> {
+    return XmlNode("result");
+  });
+
+  injector.Isolate("server");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(CallOnce().code(), util::StatusCode::kUnavailable);
+  }
+  ASSERT_EQ(client.breaker_state_for("server"),
+            net::RpcClient::BreakerState::kOpen);
+
+  // The dead server's open breaker must not bleed into server2's calls:
+  // they go on the wire and succeed, and server2's own breaker stays shut.
+  std::uint64_t fast_failures_before = client.fast_failures();
+  std::optional<util::Status> seen;
+  client.CallTo(
+      "server2", "Ping", XmlNode("request"),
+      [&](util::Result<XmlNode> response) { seen = response.status(); },
+      /*timeout=*/1 * kSecond);
+  loop.RunUntil(loop.Now() + 5 * kSecond);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_TRUE(seen->ok()) << seen->ToString();
+  EXPECT_EQ(client.fast_failures(), fast_failures_before);
+  EXPECT_EQ(client.breaker_state_for("server2"),
+            net::RpcClient::BreakerState::kClosed);
+  EXPECT_EQ(client.breaker_state_for("server"),
+            net::RpcClient::BreakerState::kOpen);
+}
+
 TEST_F(BreakerFixture, FailedProbeReopensForAnotherCooldown) {
   injector.Isolate("server");
   // Failures are the point here: drive the breaker to its open state.

@@ -331,6 +331,31 @@ TEST(Layering, InstrumentedLayersMayUseObs) {
   EXPECT_TRUE(HasFinding(util, "layering", "src/util/logging.cc", 1));
 }
 
+TEST(Layering, ClusterSitsAboveServerButBelowSim) {
+  // cluster/ shards whole servers, so it may include server/ and below...
+  auto ok = AnalyzeOne("src/cluster/cluster.cc",
+                       "#include \"cluster/hash_ring.h\"\n"
+                       "#include \"server/reputation_server.h\"\n"
+                       "#include \"net/rpc.h\"\n"
+                       "#include \"storage/database.h\"\n"
+                       "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(CountRule(ok, "layering"), 0) << FormatHuman(ok);
+  // ...but must not reach sideways into client/ or up into sim/.
+  auto bad = AnalyzeOne("src/cluster/router.cc",
+                        "#include \"client/client_app.h\"\n"  // line 1
+                        "#include \"sim/scenario.h\"\n");     // line 2
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/cluster/router.cc", 1));
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/cluster/router.cc", 2));
+  // server/ may never look back up at the deployment layer above it.
+  auto up = AnalyzeOne("src/server/vote_store.cc",
+                       "#include \"cluster/replication.h\"\n");
+  EXPECT_TRUE(HasFinding(up, "layering", "src/server/vote_store.cc", 1));
+  // sim drives shard clusters, so the include is legal there.
+  auto sim = AnalyzeOne("src/sim/scenario.cc",
+                        "#include \"cluster/cluster.h\"\n");
+  EXPECT_EQ(CountRule(sim, "layering"), 0) << FormatHuman(sim);
+}
+
 TEST(Layering, TestsAreUnrestricted) {
   auto findings = AnalyzeOne("tests/x_test.cc",
                              "#include \"server/feeds.h\"\n"

@@ -406,9 +406,15 @@ class LayeringChecker : public Checker {
         {"web",
          {"web", "server", "core", "proto", "storage", "net", "crypto",
           "obs", "util", "xml"}},
+        // cluster sits above server: it shards whole ReputationServer
+        // instances, so it may see the full server surface but nothing in
+        // server/ or below may look back up at cluster/.
+        {"cluster",
+         {"cluster", "server", "core", "proto", "storage", "net", "crypto",
+          "obs", "util", "xml"}},
         {"sim",
-         {"sim", "server", "client", "core", "proto", "storage", "net",
-          "crypto", "obs", "util", "xml"}},
+         {"sim", "cluster", "server", "client", "core", "proto", "storage",
+          "net", "crypto", "obs", "util", "xml"}},
     };
     auto allowed = kAllowed.find(ctx.layer);
     if (allowed == kAllowed.end()) return;  // tests/bench/... may include all
