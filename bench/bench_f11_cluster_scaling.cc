@@ -87,8 +87,9 @@ class ClusterBench {
     config.server.flood.registration_puzzle_bits = 0;
     config.server.flood.max_votes_per_user_per_day = 0;
     config.server.flood.max_registrations_per_source_per_day = 0;
-    config.heartbeat_period = 0;  // no controller: the loop can drain
-    config.auto_failover = false;
+    // No background agents: the loop can drain between blocking calls.
+    config.gossip.enabled = false;
+    config.anti_entropy.enabled = false;
     cluster_ = std::make_unique<ShardCluster>(&network_, &loop_,
                                               std::move(config));
     MustOk(cluster_->Start(), "start cluster");
@@ -288,7 +289,57 @@ ShardResult RunShardCount(int shards, const Workload& load,
   return result;
 }
 
-void WriteJson(const Workload& load, const std::vector<ShardResult>& results) {
+struct FailoverResult {
+  std::int64_t sim_detect_ms = 0;  ///< kill -> promotion, simulated clock
+  std::int64_t wall_micros = 0;    ///< host cost of driving the recovery
+};
+
+/// Gossip-driven failover recovery time: a two-shard cluster with one-second
+/// gossip rounds loses shard 0's primary; the survivor must suspect, fence
+/// and promote on its own. Reported in *simulated* milliseconds — the
+/// detection latency an operator would see — plus the wall cost of driving
+/// the event loop through it.
+FailoverResult MeasureFailoverRecovery() {
+  net::EventLoop loop;
+  net::SimNetwork network(&loop, net::NetworkConfig{});
+  ClusterConfig config;
+  config.num_shards = 2;
+  config.server.flood.registration_puzzle_bits = 0;
+  config.server.flood.max_registrations_per_source_per_day = 0;
+  config.gossip.enabled = true;
+  config.gossip.period = util::kSecond;
+  config.gossip.suspicion_timeout = 3 * util::kSecond;
+  config.anti_entropy.enabled = false;
+  ShardCluster cluster(&network, &loop, std::move(config));
+  MustOk(cluster.Start(), "start failover cluster");
+  // A few rounds establish every agent's membership view.
+  loop.RunUntil(loop.Now() + 5 * util::kSecond);
+
+  WallTimer timer;
+  const util::TimePoint killed_at = loop.Now();
+  cluster.KillPrimary(0);
+  while (cluster.failovers() < 1 &&
+         loop.Now() - killed_at < 60 * util::kSecond) {
+    loop.RunUntil(loop.Now() + util::kSecond);
+  }
+  FailoverResult result;
+  result.wall_micros = timer.ElapsedMicros();
+  if (cluster.failovers() < 1) {
+    std::fprintf(stderr, "FAIL: gossip failover never promoted\n");
+    std::exit(1);
+  }
+  result.sim_detect_ms = (loop.Now() - killed_at) / util::kMillisecond;
+  cluster.StopAll();
+  std::printf(
+      "  failover: survivor promoted the replica after %lld simulated ms "
+      "(%lld us wall)\n",
+      static_cast<long long>(result.sim_detect_ms),
+      static_cast<long long>(result.wall_micros));
+  return result;
+}
+
+void WriteJson(const Workload& load, const std::vector<ShardResult>& results,
+               const FailoverResult& failover) {
   std::FILE* out = std::fopen("BENCH_cluster.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "FAIL: cannot write BENCH_cluster.json\n");
@@ -297,8 +348,13 @@ void WriteJson(const Workload& load, const std::vector<ShardResult>& results) {
   std::fprintf(out, "{\n  \"benchmark\": \"cluster_scaling\",\n");
   std::fprintf(out,
                "  \"users\": %d,\n  \"programs\": %d,\n"
-               "  \"votes_per_user\": %d,\n  \"shard_counts\": [\n",
+               "  \"votes_per_user\": %d,\n",
                load.users, load.programs, load.votes_per_user);
+  std::fprintf(out,
+               "  \"failover\": {\"sim_detect_ms\": %lld, "
+               "\"wall_micros\": %lld},\n  \"shard_counts\": [\n",
+               static_cast<long long>(failover.sim_detect_ms),
+               static_cast<long long>(failover.wall_micros));
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ShardResult& r = results[i];
     std::fprintf(
@@ -335,11 +391,13 @@ int Main(bool smoke) {
   for (int shards : shard_counts) {
     results.push_back(RunShardCount(shards, load, &oracle));
   }
-  WriteJson(load, results);
+  FailoverResult failover = MeasureFailoverRecovery();
+  WriteJson(load, results, failover);
   Rule();
   std::printf("wrote BENCH_cluster.json (%zu shard counts, all matched "
-              "the 1-shard oracle)\n",
-              results.size());
+              "the 1-shard oracle; failover recovery %lld sim ms)\n",
+              results.size(),
+              static_cast<long long>(failover.sim_detect_ms));
   return 0;
 }
 

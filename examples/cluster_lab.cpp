@@ -1,13 +1,14 @@
 // Cluster lab: stands up a 3-shard reputation cluster behind the router,
 // drives it through the same front door a single server would present,
-// then kills a primary mid-run and lets the heartbeat controller promote
-// its replicated backup — showing that the community's scores survive the
-// crash bit-for-bit and that clients only ever see one address.
+// then kills a primary mid-run and lets the gossip failure detector's
+// designated survivor fence it and promote its replicated backup — showing
+// that the community's scores survive the crash bit-for-bit and that
+// clients only ever see one address.
 //
 // The walk-through covers all three routing planes (digest-routed votes,
 // broadcast account operations, scatter-merged vendor reads), synchronous
-// WAL shipping to the warm backups, failover with session re-login, and a
-// web portal page merged across the shard fleet.
+// WAL shipping to the warm backups, decentralized failover with session
+// re-login, and a web portal page merged across the shard fleet.
 //
 // Usage: ./build/examples/cluster_lab [num_users]
 
@@ -72,8 +73,9 @@ int main(int argc, char** argv) {
   config.server.flood.registration_puzzle_bits = 0;
   config.server.flood.max_registrations_per_source_per_day = 0;
   config.server.metrics = &metrics;
-  config.heartbeat_period = util::kSecond;
-  config.heartbeat_misses = 3;
+  config.gossip.enabled = true;
+  config.gossip.period = util::kSecond;
+  config.gossip.suspicion_timeout = 3 * util::kSecond;
   auto cluster =
       std::make_unique<cluster::ShardCluster>(&network, &loop, config);
   if (!cluster->Start().ok()) return 1;
@@ -161,12 +163,12 @@ int main(int argc, char** argv) {
     before.push_back(score.ok() ? score->score : -1.0);
   }
 
-  // --- Chaos: crash shard 0's primary; the controller promotes. ---------
+  // --- Chaos: crash shard 0's primary; the gossip survivors promote. ----
   std::printf("\ncrashing %s's primary...\n", cluster->ShardName(0).c_str());
   cluster->KillPrimary(0);
   Pump(loop, [&] { return cluster->failovers() >= 1; });
-  std::printf("heartbeat controller promoted the warm backup "
-              "(failovers=%llu)\n",
+  std::printf("gossip suspicion fenced the dead primary and promoted its "
+              "warm backup (failovers=%llu)\n",
               static_cast<unsigned long long>(cluster->failovers()));
 
   // Promotion is a restart from the client's point of view: sessions were

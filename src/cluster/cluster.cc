@@ -5,6 +5,9 @@
 
 #include "cluster/router.h"
 #include "proto/wire.h"
+#include "storage/table.h"
+#include "storage/value.h"
+#include "util/hex.h"
 #include "util/logging.h"
 
 namespace pisrep::cluster {
@@ -13,6 +16,52 @@ namespace {
 using util::Result;
 using util::Status;
 using xml::XmlNode;
+
+/// Column holding each digest-routed table's routing hex, or null when the
+/// table is broadcast (users, activations, feeds) or derived
+/// (vendor_scores, rebuilt after a reshard rather than moved).
+const char* RoutingColumnOf(std::string_view table) {
+  if (table == "software" || table == "software_scores" ||
+      table == "run_stats") {
+    return "id";
+  }
+  if (table == "behavior_reports" || table == "ratings" ||
+      table == "feed_entries") {
+    return "software";
+  }
+  if (table == "remarks") return "comment_key";
+  return nullptr;
+}
+
+/// The 40-char routing hex of one row, empty when not parseable.
+std::string RoutingHexOf(std::string_view table,
+                         const storage::TableSchema& schema,
+                         const storage::Row& row) {
+  const char* column = RoutingColumnOf(table);
+  if (column == nullptr) return "";
+  auto index = schema.ColumnIndex(column);
+  if (!index.ok()) return "";
+  if (row[*index].type() != storage::ColumnType::kString) return "";
+  std::string value = row[*index].AsStr();
+  if (table == "remarks") {
+    // comment_key is "<author>:<software hex>" — route by the digest.
+    auto colon = value.find(':');
+    if (colon == std::string::npos) return "";
+    value = value.substr(colon + 1);
+  }
+  return value;
+}
+
+Result<util::Sha1Digest> DigestFromHex(const std::string& hex) {
+  auto bytes = util::HexDecode(hex);
+  if (!bytes.ok()) return bytes.status();
+  if (bytes->size() != 20) {
+    return Status::InvalidArgument("routing hex is not a SHA-1 digest");
+  }
+  util::Sha1Digest digest;
+  std::copy(bytes->begin(), bytes->end(), digest.bytes.begin());
+  return digest;
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -22,26 +71,35 @@ using xml::XmlNode;
 ShardNode::ShardNode(net::SimNetwork* network, net::EventLoop* loop,
                      std::string name,
                      server::ReputationServer::Config server_config,
-                     ReplicationConfig replication, const HashRing* ring)
+                     ReplicationConfig replication, const HashRing* ring,
+                     GossipConfig gossip, AntiEntropyConfig anti_entropy,
+                     GossipAgent::DeadCallback on_dead)
     : network_(network),
       loop_(loop),
       name_(std::move(name)),
       server_config_(std::move(server_config)),
       replication_(replication),
-      ring_(ring) {
+      ring_(ring),
+      gossip_config_(gossip),
+      anti_entropy_config_(anti_entropy),
+      on_dead_(std::move(on_dead)) {
   // Tokens minted by any shard must validate on every shard and survive a
-  // failover (a promoted backup restarts its RNG stream).
+  // failover (a promoted replica restarts its RNG stream).
   server_config_.accounts.deterministic_tokens = true;
 }
 
-ShardNode::~ShardNode() = default;
+ShardNode::~ShardNode() {
+  // Agents hold raw pointers into server/shipper state; drop them first.
+  gossip_.reset();
+  anti_entropy_.reset();
+}
 
 Status ShardNode::Start() {
   auto db = storage::Database::Open("");
   if (!db.ok()) return db.status();
   db_ = std::move(db).value();
   PISREP_RETURN_IF_ERROR(StartPrimary());
-  return StartReplica();
+  return StartReplicas();
 }
 
 Status ShardNode::StartPrimary() {
@@ -49,6 +107,13 @@ Status ShardNode::StartPrimary() {
                                                        server_config_);
   PISREP_RETURN_IF_ERROR(server_->AttachRpc(network_, name_));
   InstallClusterMethods();
+  if (gossip_config_.enabled && on_dead_) {
+    gossip_ = std::make_unique<GossipAgent>(network_, loop_, name_, ring_,
+                                            gossip_config_,
+                                            server_config_.metrics, on_dead_);
+    PISREP_RETURN_IF_ERROR(gossip_->Start());
+    gossip_->AttachRpc(server_->rpc_server());
+  }
   return Status::Ok();
 }
 
@@ -80,6 +145,34 @@ void ShardNode::InstallClusterMethods() {
         XmlNode result("result");
         result.AddDoubleChild("trust", factor);
         return result;
+      });
+
+  // Read-repair plane: the router probes the primary's exact stored score
+  // row and asks it to resync a replica caught serving a diverged copy.
+  rpc->RegisterMethod(
+      std::string(kScoreFingerprintMethod),
+      [this](const XmlNode& request) -> Result<XmlNode> {
+        XmlNode result("result");
+        result.SetAttribute(
+            "fp", ScoreFingerprint(db_.get(),
+                                   request.ChildText("id").value_or("")));
+        result.SetAttribute(
+            "head",
+            std::to_string(shipper_ != nullptr ? shipper_->head_seq() : 0));
+        return result;
+      });
+  rpc->RegisterMethod(
+      std::string(kRepairReplicaMethod),
+      [this](const XmlNode& request) -> Result<XmlNode> {
+        if (shipper_ == nullptr) {
+          return Status::FailedPrecondition("shard has no replication plane");
+        }
+        auto k = request.ChildInt("replica");
+        if (!k.ok() || *k < 1 || *k > shipper_->replica_count()) {
+          return Status::InvalidArgument("bad replica ordinal");
+        }
+        shipper_->ForceResync(static_cast<int>(*k) - 1);
+        return XmlNode("result");
       });
 
   // Ownership guard: wrap every digest-routed method so a request that
@@ -118,10 +211,13 @@ void ShardNode::InstallResponseGate() {
   ReplicationShipper* shipper = shipper_.get();
   rpc->SetResponseGate(
       [shipper](const std::string& method, std::function<void()> send) {
-        // Liveness probes must answer even when the backup lags or is
-        // down — a gated ping would turn replication trouble into a
-        // spurious failover of a healthy primary.
-        if (method == kPingMethod) {
+        // The control plane must answer even when writes are blocked on a
+        // quorum: a gated ping or gossip exchange would turn replication
+        // trouble into a spurious failover of a healthy primary, and a
+        // gated repair order could never heal the replica it waits on.
+        if (method == kPingMethod || method == kGossipMethod ||
+            method == kScoreFingerprintMethod ||
+            method == kRepairReplicaMethod) {
           send();
           return;
         }
@@ -129,23 +225,41 @@ void ShardNode::InstallResponseGate() {
       });
 }
 
-Status ShardNode::StartReplica() {
+Status ShardNode::StartReplicas() {
   if (db_ == nullptr) {
     return Status::FailedPrecondition("shard has no primary database");
   }
-  if (replica_ == nullptr) {
-    replica_ = std::make_unique<ReplicaNode>(network_, name_ + "!replica");
-    PISREP_RETURN_IF_ERROR(replica_->Start());
+  int want = std::max(0, replication_.replication_factor - 1);
+  replicas_.resize(static_cast<std::size_t>(want));
+  std::vector<int> revived;
+  for (int k = 0; k < want; ++k) {
+    if (replicas_[static_cast<std::size_t>(k)] != nullptr) continue;
+    auto node = std::make_unique<ReplicaNode>(network_,
+                                              ReplicaAddress(name_, k + 1));
+    PISREP_RETURN_IF_ERROR(node->Start());
+    replicas_[static_cast<std::size_t>(k)] = std::move(node);
+    revived.push_back(k);
   }
   if (shipper_ == nullptr) {
+    std::vector<std::string> addresses;
+    for (int k = 1; k <= want; ++k) {
+      addresses.push_back(ReplicaAddress(name_, k));
+    }
     shipper_ = std::make_unique<ReplicationShipper>(
-        network_, loop_, name_ + "!ship", name_ + "!replica", db_.get(),
+        network_, loop_, name_ + "!ship", std::move(addresses), db_.get(),
         replication_, server_config_.metrics, name_);
     PISREP_RETURN_IF_ERROR(shipper_->Start());
     InstallResponseGate();
+    if (anti_entropy_config_.enabled && want > 0) {
+      anti_entropy_ = std::make_unique<AntiEntropyAgent>(
+          network_, loop_, name_, db_.get(), shipper_.get(),
+          anti_entropy_config_, server_config_.metrics);
+      PISREP_RETURN_IF_ERROR(anti_entropy_->Start());
+    }
   } else {
-    // Revive path: the backup is back (fresh and empty); the shipper's
-    // next batch comes back stale and snapshot-resyncs it.
+    // Revive path: each recreated replica is fresh and empty — forget its
+    // old ack position and snapshot it back to parity.
+    for (int k : revived) shipper_->ReviveChannel(k);
     shipper_->Pump();
   }
   return Status::Ok();
@@ -153,10 +267,16 @@ Status ShardNode::StartReplica() {
 
 void ShardNode::KillPrimary() {
   if (server_ == nullptr) return;
-  server_->Stop();   // unbinds the RPC endpoint (and the response gate)
+  gossip_.reset();        // unbinds the gossip client
+  anti_entropy_.reset();  // unbinds the sweep client
+  server_->Stop();        // unbinds the RPC endpoint (and the response gate)
   server_.reset();
   shipper_.reset();  // clears the db frame listener before the db dies
   db_.reset();
+}
+
+void ShardNode::KillReplica(int k) {
+  replicas_[static_cast<std::size_t>(k)].reset();
 }
 
 Status ShardNode::Promote() {
@@ -164,23 +284,44 @@ Status ShardNode::Promote() {
     ++promotions_refused_;
     return Status::FailedPrecondition("primary still alive");
   }
-  if (replica_ == nullptr) {
-    ++promotions_refused_;
-    return Status::FailedPrecondition("no backup to promote");
+  // The most-caught-up replica that does not know itself to be missing
+  // acked records. Promoting a stale one would silently drop votes.
+  int best = -1;
+  std::uint64_t best_applied = 0;
+  for (int k = 0; k < replica_count(); ++k) {
+    ReplicaNode* candidate = replica(k);
+    if (candidate == nullptr || candidate->stale()) continue;
+    if (best < 0 || candidate->applied_seq() > best_applied) {
+      best = k;
+      best_applied = candidate->applied_seq();
+    }
   }
-  if (replica_->stale()) {
-    // A backup that knows it is missing acked records must never serve:
-    // promoting it would silently drop acknowledged votes.
+  if (best < 0) {
     ++promotions_refused_;
-    return Status::FailedPrecondition("backup is stale; refusing promotion");
+    return Status::FailedPrecondition(
+        "no promotable replica (all dead or stale)");
   }
-  db_ = replica_->Detach();
-  replica_.reset();
+  db_ = replica(best)->Detach();
+  replicas_.clear();
   PISREP_RETURN_IF_ERROR(StartPrimary());
   ++promotions_;
-  // Stand up a fresh (empty) backup behind the new primary; the shipper's
-  // seeded snapshot brings it to parity.
-  return StartReplica();
+  // Stand up a fresh (empty) replica set behind the new primary; the
+  // shipper's initial snapshots bring every copy to parity.
+  return StartReplicas();
+}
+
+Status ShardNode::RestartPrimary() {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition("shard has no primary database");
+  }
+  gossip_.reset();
+  if (server_ != nullptr) {
+    server_->Stop();
+    server_.reset();
+  }
+  PISREP_RETURN_IF_ERROR(StartPrimary());
+  InstallResponseGate();  // the shipper survived the bounce
+  return Status::Ok();
 }
 
 // ---------------------------------------------------------------------------
@@ -195,57 +336,73 @@ ShardCluster::ShardCluster(net::SimNetwork* network, net::EventLoop* loop,
       ring_(config_.vnodes_per_shard) {
   PISREP_CHECK(config_.num_shards > 0) << "a cluster needs at least one shard";
   config_.server.accounts.deterministic_tokens = true;
-  for (int i = 0; i < config_.num_shards; ++i) ring_.AddShard(ShardName(i));
-  misses_.assign(static_cast<std::size_t>(config_.num_shards), 0);
   for (int i = 0; i < config_.num_shards; ++i) {
-    server::ReputationServer::Config shard_config = config_.server;
-    if (i < static_cast<int>(config_.tuning.size())) {
-      const ShardTuning& tuning = config_.tuning[static_cast<std::size_t>(i)];
-      shard_config.aggregation_full_sweep_every = tuning.full_sweep_every;
-      shard_config.aggregation_force_full_sweep = tuning.force_full_sweep;
-    }
-    shards_.push_back(std::make_unique<ShardNode>(
-        network_, loop_, ShardName(i), std::move(shard_config),
-        config_.replication, &ring_));
+    std::string name = config_.name_prefix + std::to_string(next_ordinal_++);
+    ring_.AddShard(name);
+    shards_.push_back(MakeShard(name, i));
   }
   if (obs::MetricsRegistry* metrics = config_.server.metrics) {
     failovers_metric_ = metrics->GetCounter("pisrep_cluster_failovers_total");
     failovers_refused_metric_ =
         metrics->GetCounter("pisrep_cluster_failovers_refused_total");
-    heartbeat_misses_metric_ =
-        metrics->GetCounter("pisrep_cluster_heartbeat_misses_total");
+    reshards_metric_ = metrics->GetCounter("pisrep_cluster_reshards_total");
+    migrated_rows_metric_ =
+        metrics->GetCounter("pisrep_cluster_migrated_rows_total");
   }
 }
 
 ShardCluster::~ShardCluster() = default;
 
+std::unique_ptr<ShardNode> ShardCluster::MakeShard(const std::string& name,
+                                                   int tuning_index) {
+  server::ReputationServer::Config shard_config = config_.server;
+  if (tuning_index >= 0 &&
+      tuning_index < static_cast<int>(config_.tuning.size())) {
+    const ShardTuning& tuning =
+        config_.tuning[static_cast<std::size_t>(tuning_index)];
+    shard_config.aggregation_full_sweep_every = tuning.full_sweep_every;
+    shard_config.aggregation_force_full_sweep = tuning.force_full_sweep;
+  }
+  return std::make_unique<ShardNode>(
+      network_, loop_, name, std::move(shard_config), config_.replication,
+      &ring_, config_.gossip, config_.anti_entropy,
+      [this](const std::string& dead) { return OnGossipDeath(dead); });
+}
+
 std::string ShardCluster::ShardName(int i) const {
-  return config_.name_prefix + std::to_string(i);
+  return shards_[static_cast<std::size_t>(i)]->name();
+}
+
+std::vector<std::string> ShardCluster::ShardNames() const {
+  std::vector<std::string> names;
+  for (const auto& shard : shards_) names.push_back(shard->name());
+  return names;
+}
+
+ShardNode* ShardCluster::FindShard(std::string_view name) {
+  for (auto& shard : shards_) {
+    if (shard->name() == name) return shard.get();
+  }
+  return nullptr;
 }
 
 Status ShardCluster::Start() {
   for (auto& shard : shards_) {
     PISREP_RETURN_IF_ERROR(shard->Start());
   }
-  if (config_.auto_failover && config_.heartbeat_period > 0) {
-    StartHeartbeats();
-  }
   return Status::Ok();
 }
 
 void ShardCluster::StopAll() {
-  heartbeat_token_.reset();
-  controller_.reset();
   for (auto& shard : shards_) shard->KillPrimary();
 }
 
 ShardNode* ShardCluster::OwnerShard(const core::SoftwareId& id) {
   const std::string& owner = ring_.OwnerOf(id);
-  for (auto& shard : shards_) {
-    if (shard->name() == owner) return shard.get();
-  }
-  PISREP_CHECK(false) << "ring owner " << owner << " is not a cluster shard";
-  return nullptr;
+  ShardNode* node = FindShard(owner);
+  PISREP_CHECK(node != nullptr)
+      << "ring owner " << owner << " is not a cluster shard";
+  return node;
 }
 
 Result<core::SoftwareScore> ShardCluster::GetScore(const core::SoftwareId& id) {
@@ -264,10 +421,7 @@ Result<core::VendorScore> ShardCluster::MergedVendorScore(
   int total_count = 0;
   util::TimePoint computed_at = 0;
   for (const std::string& member : ring_.Members()) {
-    ShardNode* node = nullptr;
-    for (auto& shard : shards_) {
-      if (shard->name() == member) node = shard.get();
-    }
+    ShardNode* node = FindShard(member);
     if (node == nullptr || !node->primary_alive()) {
       return Status::Unavailable("shard primary down during vendor merge");
     }
@@ -331,8 +485,7 @@ Result<server::ActivationMail> ShardCluster::FetchMail(std::string_view email) {
 
 void ShardCluster::KillPrimary(int i) { shard(i)->KillPrimary(); }
 
-Status ShardCluster::TriggerFailover(int i) {
-  ShardNode* node = shard(i);
+Status ShardCluster::FailoverNode(ShardNode* node) {
   node->KillPrimary();  // fence first — idempotent when already dead
   Status promoted = node->Promote();
   if (promoted.ok()) {
@@ -346,7 +499,25 @@ Status ShardCluster::TriggerFailover(int i) {
   return promoted;
 }
 
-Status ShardCluster::ReviveReplica(int i) { return shard(i)->StartReplica(); }
+Status ShardCluster::TriggerFailover(int i) { return FailoverNode(shard(i)); }
+
+Status ShardCluster::OnGossipDeath(const std::string& name) {
+  ShardNode* node = FindShard(name);
+  if (node == nullptr) {
+    return Status::NotFound("suspected shard already left the cluster");
+  }
+  if (node->primary_alive()) {
+    // The gossip plane lost heartbeats but the primary process is there —
+    // a partition, not a crash. In the sim the cluster object stands in
+    // for the out-of-band fencing authority (IPMI, the cloud control
+    // plane); a primary it can still see is never shot, so a partitioned
+    // cluster cannot split-brain.
+    return Status::FailedPrecondition("primary is alive; not fencing");
+  }
+  return FailoverNode(node);
+}
+
+Status ShardCluster::ReviveReplica(int i) { return shard(i)->StartReplicas(); }
 
 std::uint64_t ShardCluster::failovers_refused() const {
   std::uint64_t total = 0;
@@ -354,60 +525,145 @@ std::uint64_t ShardCluster::failovers_refused() const {
   return total;
 }
 
-void ShardCluster::StartHeartbeats() {
-  controller_ = std::make_unique<net::RpcClient>(
-      network_, loop_, config_.name_prefix + "!ctl", ShardName(0));
-  // The controller is its own failure detector; the generic breaker and
-  // retry machinery would only mask missed beats.
-  net::RpcClient::BreakerConfig breaker;
-  breaker.enabled = false;
-  controller_->set_breaker(breaker);
-  controller_->set_max_retries(0);
-  Status started = controller_->Start();
-  PISREP_CHECK(started.ok()) << "heartbeat controller: " << started.ToString();
-  heartbeat_token_ = std::make_shared<int>(0);
-  ScheduleHeartbeat();
+// ---------------------------------------------------------------------------
+// Elastic membership
+// ---------------------------------------------------------------------------
+
+Result<std::string> ShardCluster::AddShard() {
+  for (auto& shard : shards_) {
+    if (!shard->primary_alive()) {
+      return Status::Unavailable(
+          "cannot reshard while a primary is down: " + shard->name());
+    }
+  }
+  std::string name = config_.name_prefix + std::to_string(next_ordinal_++);
+  std::unique_ptr<ShardNode> node = MakeShard(name, -1);
+  ShardNode* raw = node.get();
+  // Start it *before* joining the ring: until the membership changes the
+  // ownership guard redirects every digest-routed request away from it,
+  // so a half-seeded newcomer can never serve.
+  PISREP_RETURN_IF_ERROR(raw->Start());
+  ring_.AddShard(name);
+  shards_.push_back(std::move(node));
+  // Broadcast tables exist in full on every shard; seed the newcomer's
+  // copies (logged, so its replicas follow).
+  PISREP_RETURN_IF_ERROR(CopyBroadcastTables(shards_[0].get(), raw));
+  // Only the key ranges the ring now assigns to the newcomer move; every
+  // other row stays put.
+  for (auto& shard : shards_) {
+    if (shard.get() == raw) continue;
+    PISREP_RETURN_IF_ERROR(MigrateShardData(shard.get()));
+  }
+  for (auto& shard : shards_) {
+    ClearVendorScores(shard.get());
+    PISREP_RETURN_IF_ERROR(shard->RestartPrimary());
+  }
+  ++reshards_;
+  if (reshards_metric_ != nullptr) reshards_metric_->Increment();
+  PISREP_LOG(kInfo) << "cluster grew to " << shards_.size() << " shards (+"
+                    << name << ")";
+  return name;
 }
 
-void ShardCluster::ScheduleHeartbeat() {
-  // Self-rescheduling (instead of SchedulePeriodic) so that StopAll lets
-  // the event loop drain: once the token dies, no further tick is queued.
-  loop_->ScheduleAfter(
-      config_.heartbeat_period,
-      [this, token = std::weak_ptr<int>(heartbeat_token_)] {
-        if (token.expired()) return;
-        HeartbeatTick();
-        ScheduleHeartbeat();
-      });
+Status ShardCluster::RemoveShard(const std::string& name) {
+  if (shards_.size() < 2) {
+    return Status::FailedPrecondition("cannot remove the last shard");
+  }
+  ShardNode* node = FindShard(name);
+  if (node == nullptr) return Status::NotFound("no such shard: " + name);
+  for (auto& shard : shards_) {
+    if (!shard->primary_alive()) {
+      return Status::Unavailable(
+          "cannot reshard while a primary is down: " + shard->name());
+    }
+  }
+  // Leave the ring first: from here OwnerOf never answers `name`, so the
+  // migration below drains *everything* digest-routed off the node and
+  // new writes land on the inheritors.
+  ring_.RemoveShard(name);
+  Status migrated = MigrateShardData(node);
+  if (!migrated.ok()) {
+    ring_.AddShard(name);  // roll the membership back; nothing was torn down
+    return migrated;
+  }
+  for (auto& shard : shards_) {
+    if (shard.get() == node) continue;
+    ClearVendorScores(shard.get());
+    PISREP_RETURN_IF_ERROR(shard->RestartPrimary());
+  }
+  node->KillPrimary();
+  std::erase_if(shards_, [&](const std::unique_ptr<ShardNode>& shard) {
+    return shard.get() == node;
+  });
+  ++reshards_;
+  if (reshards_metric_ != nullptr) reshards_metric_->Increment();
+  PISREP_LOG(kInfo) << "cluster shrank to " << shards_.size() << " shards (-"
+                    << name << ")";
+  return Status::Ok();
 }
 
-void ShardCluster::HeartbeatTick() {
-  for (int i = 0; i < num_shards(); ++i) {
-    controller_->CallTo(
-        ShardName(i), kPingMethod, XmlNode("p"),
-        [this, i, token = std::weak_ptr<int>(heartbeat_token_)](
-            Result<XmlNode> result) {
-          if (token.expired()) return;
-          if (result.ok()) {
-            misses_[static_cast<std::size_t>(i)] = 0;
-            return;
-          }
-          ++misses_[static_cast<std::size_t>(i)];
-          if (heartbeat_misses_metric_ != nullptr) {
-            heartbeat_misses_metric_->Increment();
-          }
-          if (misses_[static_cast<std::size_t>(i)] >=
-              config_.heartbeat_misses) {
-            misses_[static_cast<std::size_t>(i)] = 0;
-            Status failed_over = TriggerFailover(i);
-            if (!failed_over.ok()) {
-              PISREP_LOG(kWarning)
-                  << "failover of " << ShardName(i)
-                  << " refused: " << failed_over.ToString();
-            }
-          }
-        },
-        config_.heartbeat_period);
+Status ShardCluster::MigrateShardData(ShardNode* source) {
+  storage::Database* db = source->db();
+  for (const std::string& table_name : db->TableNames()) {
+    if (RoutingColumnOf(table_name) == nullptr) continue;
+    auto table = db->GetTable(table_name);
+    if (!table.ok()) continue;
+    const storage::TableSchema& schema = (*table)->schema();
+    std::size_t pk = schema.primary_key_index();
+    // Collect first, move second: mutating a table mid-ForEach is UB.
+    std::vector<std::pair<std::string, storage::Row>> moving;
+    (*table)->ForEach([&](const storage::Row& row) {
+      std::string hex = RoutingHexOf(table_name, schema, row);
+      if (hex.empty()) return;
+      auto digest = DigestFromHex(hex);
+      if (!digest.ok()) return;
+      const std::string& owner = ring_.OwnerOf(*digest);
+      if (owner == source->name()) return;
+      moving.emplace_back(owner, row);
+    });
+    for (auto& [owner, row] : moving) {
+      ShardNode* target = FindShard(owner);
+      if (target == nullptr) {
+        return Status::Internal("row owner " + owner + " is not a shard");
+      }
+      auto target_table = target->db()->GetTable(table_name);
+      if (!target_table.ok()) return target_table.status();
+      // Logged on both sides: the receivers' and the source's replicas
+      // stream the move through ordinary WAL shipping.
+      PISREP_RETURN_IF_ERROR((*target_table)->Upsert(row));
+      PISREP_RETURN_IF_ERROR((*table)->Delete(row[pk]));
+      ++migrated_rows_;
+      if (migrated_rows_metric_ != nullptr) migrated_rows_metric_->Increment();
+    }
+  }
+  return Status::Ok();
+}
+
+Status ShardCluster::CopyBroadcastTables(ShardNode* from, ShardNode* to) {
+  for (const char* table_name : {"users", "activations", "feeds"}) {
+    auto source = from->db()->GetTable(table_name);
+    if (!source.ok()) continue;  // feature not enabled on this deployment
+    auto target = to->db()->GetTable(table_name);
+    if (!target.ok()) return target.status();
+    std::vector<storage::Row> rows;
+    (*source)->ForEach([&](const storage::Row& row) { rows.push_back(row); });
+    for (storage::Row& row : rows) {
+      PISREP_RETURN_IF_ERROR((*target)->Upsert(std::move(row)));
+    }
+  }
+  return Status::Ok();
+}
+
+void ShardCluster::ClearVendorScores(ShardNode* node) {
+  auto table = node->db()->GetTable("vendor_scores");
+  if (!table.ok()) return;
+  std::size_t pk = (*table)->schema().primary_key_index();
+  std::vector<storage::Value> keys;
+  (*table)->ForEach(
+      [&](const storage::Row& row) { keys.push_back(row[pk]); });
+  for (const storage::Value& key : keys) {
+    Status deleted = (*table)->Delete(key);
+    PISREP_CHECK(deleted.ok()) << "vendor score delete cannot fail";
   }
 }
 

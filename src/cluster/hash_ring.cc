@@ -1,5 +1,7 @@
 #include "cluster/hash_ring.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace pisrep::cluster {
@@ -47,6 +49,42 @@ const std::string& HashRing::OwnerOf(const util::Sha1Digest& digest) const {
   auto it = ring_.lower_bound(PointOf(digest));
   if (it == ring_.end()) it = ring_.begin();  // wrap past the top
   return it->second;
+}
+
+std::vector<std::string> HashRing::PreferenceListOf(
+    const util::Sha1Digest& digest, std::size_t n) const {
+  std::vector<std::string> out;
+  if (ring_.empty() || n == 0) return out;
+  std::size_t want = std::min(n, members_.size());
+  auto it = ring_.lower_bound(PointOf(digest));
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < want;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::vector<std::string> HashRing::SuccessorsOf(const std::string& name,
+                                                std::size_t n) const {
+  std::vector<std::string> out;
+  if (!members_.contains(name) || members_.size() < 2 || n == 0) return out;
+  std::size_t want = std::min(n, members_.size() - 1);
+  std::uint64_t start = PointOf(util::Sha1::Hash(name + "#0"));
+  auto it = ring_.upper_bound(start);
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < want;
+       ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (it->second != name &&
+        std::find(out.begin(), out.end(), it->second) == out.end()) {
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
 }
 
 std::vector<std::string> HashRing::Members() const {

@@ -47,6 +47,21 @@ class HashRing {
   /// Owning shard of a digest. The ring must not be empty.
   const std::string& OwnerOf(const util::Sha1Digest& digest) const;
 
+  /// The first `n` distinct shards at or clockwise after the digest's
+  /// position — the replica preference list. Entry 0 is OwnerOf(digest);
+  /// the list is shorter than `n` when the ring has fewer members. Like
+  /// ownership, it is a pure function of the member set.
+  std::vector<std::string> PreferenceListOf(const util::Sha1Digest& digest,
+                                            std::size_t n) const;
+
+  /// The first `n` distinct members clockwise after `name`'s first virtual
+  /// point, excluding `name` itself — the deterministic successor order
+  /// every member computes identically (gossip uses it to designate which
+  /// survivor executes a dead shard's failover). Empty when `name` is not
+  /// a member or is the only one.
+  std::vector<std::string> SuccessorsOf(const std::string& name,
+                                        std::size_t n) const;
+
   /// Members in sorted order (the canonical shard enumeration used for
   /// deterministic scatter-gather merges).
   std::vector<std::string> Members() const;

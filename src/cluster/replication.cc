@@ -1,8 +1,10 @@
 #include "cluster/replication.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
+#include "cluster/anti_entropy.h"
 #include "util/hex.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -14,15 +16,16 @@ using util::Result;
 using util::Status;
 using xml::XmlNode;
 
-constexpr std::string_view kReplicateMethod = "ShardReplicate";
-constexpr std::string_view kStatusMethod = "ShardReplicaStatus";
-
 std::uint64_t AttrU64(const XmlNode& node, std::string_view key) {
   auto parsed = util::ParseInt64(node.AttributeOr(key, "0"));
   if (!parsed.ok() || *parsed < 0) return 0;
   return static_cast<std::uint64_t>(*parsed);
 }
 }  // namespace
+
+std::string ReplicaAddress(const std::string& shard, int k) {
+  return shard + "!r" + std::to_string(k);
+}
 
 // ---------------------------------------------------------------------------
 // ReplicationLog
@@ -78,10 +81,36 @@ Status ReplicaNode::Start() {
       std::string(kReplicateMethod),
       [this](const XmlNode& request) { return HandleReplicate(request); });
   rpc_->RegisterMethod(
-      std::string(kStatusMethod), [this](const XmlNode&) -> Result<XmlNode> {
+      std::string(kReplicaStatusMethod),
+      [this](const XmlNode&) -> Result<XmlNode> {
         XmlNode result("result");
         result.SetAttribute("applied", std::to_string(applied_seq_));
         result.SetAttribute("stale", stale_ ? "1" : "0");
+        return result;
+      });
+  // Anti-entropy: per-key-range digests of everything this replica holds.
+  rpc_->RegisterMethod(
+      std::string(kReplicaDigestMethod),
+      [this](const XmlNode&) -> Result<XmlNode> {
+        if (db_ == nullptr) return Status::FailedPrecondition("detached");
+        XmlNode result("result");
+        result.SetAttribute("applied", std::to_string(applied_seq_));
+        result.SetAttribute("stale", stale_ ? "1" : "0");
+        result.SetAttribute("digests",
+                            FormatRangeDigests(RangeDigestsOf(db_.get())));
+        return result;
+      });
+  // Read repair: the exact stored bytes of one software's score row.
+  rpc_->RegisterMethod(
+      std::string(kReplicaScoreMethod),
+      [this](const XmlNode& request) -> Result<XmlNode> {
+        if (db_ == nullptr) return Status::FailedPrecondition("detached");
+        XmlNode result("result");
+        result.SetAttribute("applied", std::to_string(applied_seq_));
+        result.SetAttribute("stale", stale_ ? "1" : "0");
+        result.SetAttribute(
+            "fp", ScoreFingerprint(db_.get(),
+                                   request.ChildText("id").value_or("")));
         return result;
       });
   return rpc_->Start();
@@ -91,43 +120,68 @@ Result<XmlNode> ReplicaNode::HandleReplicate(const XmlNode& request) {
   if (db_ == nullptr) {
     return Status::FailedPrecondition("replica detached");
   }
-  std::uint64_t first_seq = AttrU64(request, "first_seq");
-  if (first_seq == 0) {
-    return Status::InvalidArgument("replicate batch without first_seq");
-  }
   if (request.AttributeOr("reset", "0") == "1") {
-    // Snapshot resync: the primary replaced history; drop everything and
-    // rebuild from the frames that follow.
-    auto fresh = storage::Database::Open("");
-    PISREP_CHECK(fresh.ok()) << "in-memory database open cannot fail";
-    db_ = std::move(fresh).value();
-    applied_seq_ = first_seq - 1;
-    stale_ = false;
-    ++resets_;
-  } else if (first_seq > applied_seq_ + 1) {
-    // A gap: records were shipped past us (lost batch beyond the primary's
-    // retention, or we restarted empty). Only a snapshot can heal this.
-    stale_ = true;
-  }
-  if (!stale_) {
-    std::uint64_t seq = first_seq;
-    for (const XmlNode* frame_node : request.FindChildren("f")) {
-      std::uint64_t this_seq = seq++;
-      if (this_seq <= applied_seq_) continue;  // duplicate of a re-sent batch
-      auto bytes = util::HexDecode(frame_node->text());
-      if (!bytes.ok()) {
-        stale_ = true;
-        break;
+    // Out-of-band snapshot: discard local state, rebuild from the frames,
+    // land exactly at the primary's head at export time. A duplicated
+    // delivery of an *older* snapshot must not rewind state the replica
+    // has since applied on top.
+    std::uint64_t snap_through = AttrU64(request, "snap_through");
+    if (snap_through >= applied_seq_ || stale_) {
+      auto fresh = storage::Database::Open("");
+      PISREP_CHECK(fresh.ok()) << "in-memory database open cannot fail";
+      db_ = std::move(fresh).value();
+      applied_seq_ = 0;
+      stale_ = false;
+      ++resets_;
+      for (const XmlNode* frame_node : request.FindChildren("f")) {
+        auto bytes = util::HexDecode(frame_node->text());
+        if (!bytes.ok()) {
+          stale_ = true;
+          break;
+        }
+        std::string frame(bytes->begin(), bytes->end());
+        Status applied = db_->ApplyReplicatedFrame(frame);
+        if (!applied.ok()) {
+          PISREP_LOG(kWarning) << "replica " << address_
+                               << " failed snapshot frame: "
+                               << applied.ToString();
+          stale_ = true;
+          break;
+        }
       }
-      std::string frame(bytes->begin(), bytes->end());
-      Status applied = db_->ApplyReplicatedFrame(frame);
-      if (!applied.ok()) {
-        PISREP_LOG(kWarning) << "replica " << address_ << " failed frame "
-                             << this_seq << ": " << applied.ToString();
-        stale_ = true;
-        break;
+      if (!stale_) applied_seq_ = snap_through;
+    }
+  } else {
+    std::uint64_t first_seq = AttrU64(request, "first_seq");
+    if (first_seq == 0) {
+      return Status::InvalidArgument("replicate batch without first_seq");
+    }
+    if (first_seq > applied_seq_ + 1) {
+      // A gap: records were shipped past us (lost batch beyond the
+      // primary's retention, or we restarted empty). Only a snapshot can
+      // heal this.
+      stale_ = true;
+    }
+    if (!stale_) {
+      std::uint64_t seq = first_seq;
+      for (const XmlNode* frame_node : request.FindChildren("f")) {
+        std::uint64_t this_seq = seq++;
+        if (this_seq <= applied_seq_) continue;  // duplicate of a re-sent batch
+        auto bytes = util::HexDecode(frame_node->text());
+        if (!bytes.ok()) {
+          stale_ = true;
+          break;
+        }
+        std::string frame(bytes->begin(), bytes->end());
+        Status applied = db_->ApplyReplicatedFrame(frame);
+        if (!applied.ok()) {
+          PISREP_LOG(kWarning) << "replica " << address_ << " failed frame "
+                               << this_seq << ": " << applied.ToString();
+          stale_ = true;
+          break;
+        }
+        applied_seq_ = this_seq;
       }
-      applied_seq_ = this_seq;
     }
   }
   XmlNode result("result");
@@ -147,25 +201,34 @@ std::unique_ptr<storage::Database> ReplicaNode::Detach() {
 
 ReplicationShipper::ReplicationShipper(
     net::SimNetwork* network, net::EventLoop* loop, std::string client_address,
-    std::string replica_address, storage::Database* primary_db,
+    std::vector<std::string> replica_addresses, storage::Database* primary_db,
     ReplicationConfig config, obs::MetricsRegistry* metrics,
     std::string shard_label)
     : network_(network),
       loop_(loop),
       db_(primary_db),
       config_(config),
-      replica_address_(std::move(replica_address)),
-      rpc_(network, loop, std::move(client_address), replica_address_),
       log_(config.max_log_records) {
   // The shipper runs its own retry/resync state machine; the generic client
   // breaker would only add a second layer of fast-fails on top of it.
   net::RpcClient::BreakerConfig breaker;
   breaker.enabled = false;
-  rpc_.set_breaker(breaker);
-  rpc_.set_max_retries(0);
+  int index = 0;
+  for (std::string& address : replica_addresses) {
+    Channel channel;
+    channel.address = std::move(address);
+    channel.rpc = std::make_unique<net::RpcClient>(
+        network_, loop_, client_address + "#" + std::to_string(index++),
+        channel.address);
+    channel.rpc->set_breaker(breaker);
+    channel.rpc->set_max_retries(0);
+    channels_.push_back(std::move(channel));
+  }
   if (metrics != nullptr) {
     lag_gauge_ = metrics->GetGauge(obs::WithLabel(
         "pisrep_cluster_replication_lag_records", "shard", shard_label));
+    degraded_gauge_ = metrics->GetGauge(obs::WithLabel(
+        "pisrep_cluster_replication_degraded", "shard", shard_label));
     shipped_metric_ = metrics->GetCounter(obs::WithLabel(
         "pisrep_cluster_replication_shipped_total", "shard", shard_label));
     resyncs_metric_ = metrics->GetCounter(obs::WithLabel(
@@ -178,37 +241,85 @@ ReplicationShipper::ReplicationShipper(
 ReplicationShipper::~ReplicationShipper() { db_->SetFrameListener({}); }
 
 Status ReplicationShipper::Start() {
-  PISREP_RETURN_IF_ERROR(rpc_.Start());
-  // Seed the log with a full snapshot so a brand-new empty backup can
-  // replay from sequence 1; everything after arrives via the listener.
-  PISREP_RETURN_IF_ERROR(
-      db_->ExportSnapshotFrames([this](const std::string& frame) {
-        log_.Append(frame);
-        return Status::Ok();
-      }));
+  for (Channel& channel : channels_) {
+    PISREP_RETURN_IF_ERROR(channel.rpc->Start());
+  }
   db_->SetFrameListener([this](const std::string& frame) { OnFrame(frame); });
-  UpdateLagGauge();
+  UpdateGauges();
   Pump();
   return Status::Ok();
 }
 
 void ReplicationShipper::OnFrame(const std::string& frame) {
   log_.Append(frame);
-  UpdateLagGauge();
+  UpdateGauges();
   Pump();
+}
+
+std::uint64_t ReplicationShipper::acked_seq() const {
+  std::uint64_t min_acked = log_.head_seq();
+  for (const Channel& channel : channels_) {
+    min_acked = std::min(min_acked, channel.acked);
+  }
+  return min_acked;
+}
+
+bool ReplicationShipper::degraded() const {
+  return std::any_of(channels_.begin(), channels_.end(),
+                     [](const Channel& c) { return c.degraded; });
+}
+
+const std::string& ReplicationShipper::replica_address(int k) const {
+  return channels_[static_cast<std::size_t>(k)].address;
+}
+
+std::uint64_t ReplicationShipper::channel_acked(int k) const {
+  return channels_[static_cast<std::size_t>(k)].acked;
+}
+
+bool ReplicationShipper::channel_degraded(int k) const {
+  return channels_[static_cast<std::size_t>(k)].degraded;
+}
+
+bool ReplicationShipper::channel_caught_up(int k) const {
+  const Channel& channel = channels_[static_cast<std::size_t>(k)];
+  return !channel.reset_pending && channel.acked >= log_.head_seq();
+}
+
+int ReplicationShipper::CopiesHolding(std::uint64_t seq) const {
+  int copies = 1;  // the primary's own WAL
+  for (const Channel& channel : channels_) {
+    if (!channel.degraded && channel.acked >= seq) ++copies;
+  }
+  return copies;
+}
+
+int ReplicationShipper::ConfiguredQuorum() const {
+  return std::clamp(config_.write_quorum, 1,
+                    1 + static_cast<int>(channels_.size()));
+}
+
+int ReplicationShipper::EffectiveQuorum() const {
+  int healthy = 1;
+  for (const Channel& channel : channels_) {
+    if (!channel.degraded) ++healthy;
+  }
+  return std::min(ConfiguredQuorum(), healthy);
 }
 
 void ReplicationShipper::GateResponse(const std::string& method,
                                       std::function<void()> send) {
   (void)method;  // all methods gate on WAL position, none on their name
   std::uint64_t needed = log_.head_seq();
-  if (needed <= acked_seq_ || !config_.synchronous_acks) {
+  if (!config_.synchronous_acks || channels_.empty()) {
     send();
     return;
   }
-  if (degraded_) {
-    ++degraded_acks_;
-    if (degraded_acks_metric_) degraded_acks_metric_->Increment();
+  if (CopiesHolding(needed) >= EffectiveQuorum()) {
+    if (CopiesHolding(needed) < ConfiguredQuorum()) {
+      ++degraded_acks_;
+      if (degraded_acks_metric_) degraded_acks_metric_->Increment();
+    }
     send();
     return;
   }
@@ -216,127 +327,189 @@ void ReplicationShipper::GateResponse(const std::string& method,
   Pump();
 }
 
-void ReplicationShipper::StartResync() {
-  log_.Clear();
-  reset_at_seq_ = log_.head_seq() + 1;
-  ++resyncs_;
-  if (resyncs_metric_) resyncs_metric_->Increment();
-  Status exported = db_->ExportSnapshotFrames([this](const std::string& frame) {
-    log_.Append(frame);
-    return Status::Ok();
-  });
-  PISREP_CHECK(exported.ok()) << "snapshot export cannot fail in-memory";
-  // The snapshot must survive in the log until the backup acks it; a
-  // snapshot larger than the retention window could never be shipped.
-  PISREP_CHECK(log_.base_seq() < reset_at_seq_)
-      << "replication log retention smaller than a full snapshot";
+void ReplicationShipper::Pump() {
+  for (std::size_t k = 0; k < channels_.size(); ++k) PumpChannel(k);
 }
 
-void ReplicationShipper::Pump() {
-  if (in_flight_) return;
-  if (acked_seq_ >= log_.head_seq()) return;  // fully caught up
-  std::uint64_t from = acked_seq_;
-  if (reset_at_seq_ != 0) {
-    from = std::max(acked_seq_, reset_at_seq_ - 1);
-  } else if (acked_seq_ < log_.base_seq()) {
-    // The backup is beyond the bounded catch-up window: replace history
-    // with a snapshot (the first shipped batch carries the reset marker).
-    StartResync();
-    from = reset_at_seq_ - 1;
+void ReplicationShipper::PumpChannel(std::size_t k) {
+  Channel& channel = channels_[k];
+  if (channel.in_flight) return;
+  if (channel.reset_pending) {
+    SendSnapshot(k);
+    return;
+  }
+  if (channel.acked >= log_.head_seq()) return;  // fully caught up
+  if (channel.acked < log_.base_seq()) {
+    // Beyond the bounded catch-up window: only a snapshot can heal it.
+    MarkResyncPending(channel);
+    SendSnapshot(k);
+    return;
   }
   std::vector<std::pair<std::uint64_t, std::string>> batch;
-  if (!log_.CollectAfter(from, config_.max_batch_records, &batch) ||
+  if (!log_.CollectAfter(channel.acked, config_.max_batch_records, &batch) ||
       batch.empty()) {
     return;
   }
-
   XmlNode params("r");
   params.SetAttribute("first_seq", std::to_string(batch.front().first));
-  if (reset_at_seq_ != 0 && batch.front().first == reset_at_seq_) {
-    params.SetAttribute("reset", "1");
-  }
   for (const auto& [seq, frame] : batch) {
     params.AddTextChild("f", util::HexEncode(frame));
   }
-  in_flight_ = true;
-  rpc_.Call(
+  channel.in_flight = true;
+  channel.rpc->Call(
       kReplicateMethod, std::move(params),
-      [this, alive = std::weak_ptr<int>(alive_)](Result<XmlNode> result) {
+      [this, k, alive = std::weak_ptr<int>(alive_)](Result<XmlNode> result) {
         if (alive.expired()) return;
-        HandleShipResult(std::move(result));
+        HandleShipResult(k, /*was_reset=*/false, std::move(result));
       },
       config_.ship_timeout);
 }
 
-void ReplicationShipper::HandleShipResult(Result<XmlNode> result) {
-  in_flight_ = false;
+void ReplicationShipper::SendSnapshot(std::size_t k) {
+  Channel& channel = channels_[k];
+  // The snapshot is exported fresh per attempt (nothing is parked in the
+  // shared log) and covers everything through the current head; frames
+  // appended while it is in flight ship from the log afterwards.
+  XmlNode params("r");
+  params.SetAttribute("reset", "1");
+  Status exported = db_->ExportSnapshotFrames([&](const std::string& frame) {
+    params.AddTextChild("f", util::HexEncode(frame));
+    return Status::Ok();
+  });
+  PISREP_CHECK(exported.ok()) << "snapshot export cannot fail in-memory";
+  channel.reset_floor = log_.head_seq();
+  params.SetAttribute("snap_through", std::to_string(channel.reset_floor));
+  channel.in_flight = true;
+  channel.rpc->Call(
+      kReplicateMethod, std::move(params),
+      [this, k, alive = std::weak_ptr<int>(alive_)](Result<XmlNode> result) {
+        if (alive.expired()) return;
+        HandleShipResult(k, /*was_reset=*/true, std::move(result));
+      },
+      config_.ship_timeout);
+}
+
+void ReplicationShipper::HandleShipResult(std::size_t k, bool was_reset,
+                                          Result<XmlNode> result) {
+  Channel& channel = channels_[k];
+  channel.in_flight = false;
   if (!result.ok()) {
-    ++consecutive_failures_;
-    if (!degraded_ &&
-        consecutive_failures_ >= config_.degraded_after_failures) {
-      EnterDegraded();
+    ++channel.failures;
+    if (!channel.degraded &&
+        channel.failures >= config_.degraded_after_failures) {
+      EnterDegraded(channel);
     }
-    // Keep probing while responses are still gated on us; once degraded
-    // with nothing gated, go quiescent — new frames and an explicit Pump
-    // (after the backup is revived) restart shipping.
-    if ((!degraded_ || !gates_.empty()) && !retry_scheduled_) {
-      retry_scheduled_ = true;
+    // Keep probing while responses are still gated; once degraded with
+    // nothing gated, go quiescent — new frames and an explicit Pump (after
+    // the replica is revived) restart shipping.
+    if ((!channel.degraded || !gates_.empty()) && !channel.retry_scheduled) {
+      channel.retry_scheduled = true;
       loop_->ScheduleAfter(config_.retry_delay,
-                           [this, alive = std::weak_ptr<int>(alive_)] {
+                           [this, k, alive = std::weak_ptr<int>(alive_)] {
                              if (alive.expired()) return;
-                             retry_scheduled_ = false;
-                             Pump();
+                             channels_[k].retry_scheduled = false;
+                             PumpChannel(k);
                            });
     }
     return;
   }
-  consecutive_failures_ = 0;
-  degraded_ = false;  // the backup is reachable again
+  channel.failures = 0;
+  if (channel.degraded) LeaveDegraded(channel);
   const XmlNode& response = *result;
   if (response.AttributeOr("stale", "0") == "1") {
-    StartResync();
+    MarkResyncPending(channel);
   } else {
+    if (was_reset) channel.reset_pending = false;
     std::uint64_t acked = AttrU64(response, "acked");
-    if (acked > acked_seq_) {
-      if (shipped_metric_) shipped_metric_->Increment(acked - acked_seq_);
-      acked_seq_ = acked;
-      log_.PruneThrough(acked_seq_);
-      if (reset_at_seq_ != 0 && acked_seq_ >= reset_at_seq_) {
-        reset_at_seq_ = 0;  // the snapshot head landed; back to streaming
-      }
-      FlushGatesThrough(acked_seq_);
+    if (acked > channel.acked) {
+      if (shipped_metric_) shipped_metric_->Increment(acked - channel.acked);
+      channel.acked = acked;
     }
+    PruneLog();
+    CheckGates();
   }
-  UpdateLagGauge();
-  Pump();
+  UpdateGauges();
+  PumpChannel(k);
 }
 
-void ReplicationShipper::FlushGatesThrough(std::uint64_t seq) {
-  while (!gates_.empty() && gates_.front().first <= seq) {
-    auto send = std::move(gates_.front().second);
-    gates_.pop_front();
-    send();
-  }
-}
-
-void ReplicationShipper::EnterDegraded() {
-  degraded_ = true;
-  PISREP_LOG(kWarning) << "replication to " << replica_address_
-                       << " degraded after " << consecutive_failures_
-                       << " failures; releasing " << gates_.size()
-                       << " gated responses";
+void ReplicationShipper::CheckGates() {
   while (!gates_.empty()) {
+    std::uint64_t seq = gates_.front().first;
+    int copies = CopiesHolding(seq);
+    if (copies < EffectiveQuorum()) break;
     auto send = std::move(gates_.front().second);
     gates_.pop_front();
-    ++degraded_acks_;
-    if (degraded_acks_metric_) degraded_acks_metric_->Increment();
+    if (copies < ConfiguredQuorum()) {
+      ++degraded_acks_;
+      if (degraded_acks_metric_) degraded_acks_metric_->Increment();
+    }
     send();
   }
 }
 
-void ReplicationShipper::UpdateLagGauge() {
-  if (lag_gauge_ == nullptr) return;
-  lag_gauge_->Set(static_cast<std::int64_t>(log_.head_seq() - acked_seq_));
+void ReplicationShipper::EnterDegraded(Channel& channel) {
+  channel.degraded = true;
+  PISREP_LOG(kWarning) << "replication to " << channel.address
+                       << " degraded after " << channel.failures
+                       << " failures; responses no longer wait for it";
+  UpdateGauges();
+  // Losing a healthy copy shrinks the effective quorum — gates that only
+  // waited for the dead replica release now (as degraded acks).
+  CheckGates();
+}
+
+void ReplicationShipper::LeaveDegraded(Channel& channel) {
+  channel.degraded = false;
+  PISREP_LOG(kInfo) << "replication to " << channel.address << " recovered";
+  UpdateGauges();
+}
+
+void ReplicationShipper::ForceResync(int k) {
+  MarkResyncPending(channels_[static_cast<std::size_t>(k)]);
+  PumpChannel(static_cast<std::size_t>(k));
+}
+
+void ReplicationShipper::ReviveChannel(int k) {
+  Channel& channel = channels_[static_cast<std::size_t>(k)];
+  channel.failures = 0;
+  if (channel.degraded) LeaveDegraded(channel);
+  channel.acked = 0;
+  MarkResyncPending(channel);
+  PumpChannel(static_cast<std::size_t>(k));
+}
+
+void ReplicationShipper::MarkResyncPending(Channel& channel) {
+  if (channel.reset_pending) return;
+  channel.reset_pending = true;
+  ++resyncs_;
+  if (resyncs_metric_) resyncs_metric_->Increment();
+}
+
+void ReplicationShipper::PruneLog() {
+  std::uint64_t min_needed = std::numeric_limits<std::uint64_t>::max();
+  for (const Channel& channel : channels_) {
+    // A reset-pending channel needs nothing at or below its snapshot
+    // floor — the snapshot covers it.
+    std::uint64_t have = channel.reset_pending
+                             ? std::max(channel.acked, channel.reset_floor)
+                             : channel.acked;
+    min_needed = std::min(min_needed, have);
+  }
+  if (channels_.empty()) min_needed = log_.head_seq();
+  log_.PruneThrough(min_needed);
+}
+
+void ReplicationShipper::UpdateGauges() {
+  if (lag_gauge_ != nullptr) {
+    lag_gauge_->Set(static_cast<std::int64_t>(lag_records()));
+  }
+  if (degraded_gauge_ != nullptr) {
+    std::int64_t degraded_count = 0;
+    for (const Channel& channel : channels_) {
+      if (channel.degraded) ++degraded_count;
+    }
+    degraded_gauge_->Set(degraded_count);
+  }
 }
 
 }  // namespace pisrep::cluster

@@ -17,31 +17,55 @@
 
 namespace pisrep::cluster {
 
-/// Tuning for one shard's primary→backup replication channel.
+// Replication-plane RPC method names (registered on ReplicaNodes, except
+// the last two which live on the primary and are called by the Router's
+// read-repair path).
+inline constexpr std::string_view kReplicateMethod = "ShardReplicate";
+inline constexpr std::string_view kReplicaStatusMethod = "ShardReplicaStatus";
+inline constexpr std::string_view kReplicaDigestMethod = "ShardReplicaDigest";
+inline constexpr std::string_view kReplicaScoreMethod = "ShardReplicaScore";
+inline constexpr std::string_view kScoreFingerprintMethod =
+    "ShardScoreFingerprint";
+inline constexpr std::string_view kRepairReplicaMethod = "ShardRepairReplica";
+
+/// Network address of replica k (1-based, k < replication_factor) of shard
+/// `shard`. Replica addresses are a pure function of the shard name, so
+/// the router's read fan-out and the shipper agree without coordination.
+std::string ReplicaAddress(const std::string& shard, int k);
+
+/// Tuning for one shard's primary→replicas replication fan-out.
 struct ReplicationConfig {
   /// Bounded catch-up: the primary retains at most this many unacked WAL
-  /// records. A backup that falls further behind cannot be caught up from
+  /// records. A replica that falls further behind cannot be caught up from
   /// the log any more and is re-seeded with a full snapshot instead.
   std::size_t max_log_records = 8192;
   /// Records shipped per RPC batch.
   std::size_t max_batch_records = 128;
   /// Per-batch RPC timeout.
   util::Duration ship_timeout = 2 * util::kSecond;
-  /// Delay before re-probing an unreachable backup.
+  /// Delay before re-probing an unreachable replica.
   util::Duration retry_delay = 2 * util::kSecond;
-  /// Consecutive shipping failures before the primary stops gating client
-  /// responses on replication (graceful degradation: answers flow again,
-  /// durability of *new* acks is reduced and counted).
+  /// Consecutive shipping failures before a replica's channel is marked
+  /// degraded and stops counting toward (or blocking) the write quorum.
   int degraded_after_failures = 3;
   /// When true (the default), a client response whose handler advanced the
-  /// primary's WAL is held until the backup has acked those records —
+  /// primary's WAL is held until `write_quorum` copies hold those records —
   /// synchronous replication, the "zero lost acked votes" guarantee.
   bool synchronous_acks = true;
+  /// Total copies of the shard's data including the primary (R). The shard
+  /// stands up replication_factor - 1 ReplicaNodes behind its primary.
+  int replication_factor = 2;
+  /// Copies — counting the primary's own WAL — that must hold a record
+  /// before its gated response is released (W of R). Clamped to
+  /// [1, replication_factor]; degraded channels shrink the *effective*
+  /// quorum so a dead replica cannot wedge the shard, with every such
+  /// under-quorum release counted as a degraded ack.
+  int write_quorum = 2;
 };
 
 /// The primary's in-memory, sequence-numbered record of WAL frames not yet
-/// known to be applied by the backup. Appending past `max_records` drops
-/// the oldest entries (the shipper then falls back to snapshot resync).
+/// known to be applied by every replica. Appending past `max_records` drops
+/// the oldest entries (lagging channels then fall back to snapshot resync).
 class ReplicationLog {
  public:
   explicit ReplicationLog(std::size_t max_records)
@@ -63,11 +87,10 @@ class ReplicationLog {
                     std::vector<std::pair<std::uint64_t, std::string>>* out)
       const;
 
-  /// Drops records with seq <= upto (they are safely on the backup).
+  /// Drops records with seq <= upto (every channel has them).
   void PruneThrough(std::uint64_t upto);
 
-  /// Drops every retained record but keeps the sequence counter running —
-  /// the resync path replaces history with a snapshot.
+  /// Drops every retained record but keeps the sequence counter running.
   void Clear();
 
  private:
@@ -77,7 +100,7 @@ class ReplicationLog {
   std::deque<std::string> frames_;  ///< frames_ [i] has seq base_seq_+1+i
 };
 
-/// The standby half of a shard: a raw replicated Database behind an RPC
+/// One standby copy of a shard: a raw replicated Database behind an RPC
 /// endpoint. It is deliberately *not* a ReputationServer — in-memory server
 /// state (sessions, caches) cannot be log-shipped; on promotion a fresh
 /// ReputationServer is constructed over the replicated database and rebuilds
@@ -87,8 +110,10 @@ class ReplicaNode {
   /// The network must outlive the node.
   ReplicaNode(net::SimNetwork* network, std::string address);
 
-  /// Binds the replication endpoint.
+  /// Binds the replication endpoints.
   util::Status Start();
+
+  const std::string& address() const { return address_; }
 
   /// Highest WAL sequence applied (acked to the primary).
   std::uint64_t applied_seq() const { return applied_seq_; }
@@ -118,17 +143,21 @@ class ReplicaNode {
   std::uint64_t resets_ = 0;
 };
 
-/// The primary half of the channel: exports the primary database's WAL
-/// frames into a ReplicationLog, ships them to the backup in acked batches,
-/// gates client responses on replication progress, and falls back to
-/// snapshot resync when the backup is too far behind (or brand new after a
-/// failover).
+/// The primary half of the replication plane: exports the primary
+/// database's WAL frames into one shared ReplicationLog, ships them to
+/// every replica over an independent per-replica channel with its own
+/// acked sequence number, gates client responses on a configurable write
+/// quorum (W of R), and re-seeds any channel that fell behind the bounded
+/// log — or was force-resynced by anti-entropy / read repair — with an
+/// out-of-band full snapshot.
 class ReplicationShipper {
  public:
   /// `primary_db` must outlive the shipper; the shipper owns the database's
-  /// frame listener while alive. `shard_label` tags the metrics.
+  /// frame listener while alive. One RPC client per channel is bound at
+  /// `client_address` + "#k". `shard_label` tags the metrics.
   ReplicationShipper(net::SimNetwork* network, net::EventLoop* loop,
-                     std::string client_address, std::string replica_address,
+                     std::string client_address,
+                     std::vector<std::string> replica_addresses,
                      storage::Database* primary_db, ReplicationConfig config,
                      obs::MetricsRegistry* metrics, std::string shard_label);
   ~ReplicationShipper();
@@ -136,53 +165,90 @@ class ReplicationShipper {
   ReplicationShipper(const ReplicationShipper&) = delete;
   ReplicationShipper& operator=(const ReplicationShipper&) = delete;
 
-  /// Binds the shipping client, seeds the log with a snapshot of the
-  /// primary database (so a brand-new empty backup can replay from seq 1)
-  /// and installs the frame listener for everything after.
+  /// Binds the shipping clients and installs the frame listener. Every
+  /// channel starts reset-pending: its first shipment is a full snapshot,
+  /// which bootstraps brand-new empty replicas and re-seeds fresh ones
+  /// after a promotion alike.
   util::Status Start();
 
   /// The RpcServer response gate: a response whose handler advanced the
-  /// WAL is held until the backup acks those records (or until the channel
-  /// degrades). Reads pass through untouched.
+  /// WAL is held until `write_quorum` copies (primary included) hold those
+  /// records. Degraded channels neither count nor block — a release below
+  /// the configured quorum is a degraded ack. Reads pass through untouched.
   void GateResponse(const std::string& method, std::function<void()> send);
 
   std::uint64_t head_seq() const { return log_.head_seq(); }
-  std::uint64_t acked_seq() const { return acked_seq_; }
-  /// Records the backup has not confirmed yet.
-  std::uint64_t lag_records() const { return log_.head_seq() - acked_seq_; }
-  /// True while the backup is unreachable and responses flow unreplicated.
-  bool degraded() const { return degraded_; }
-  /// Client responses released without replication coverage.
+  /// Lowest acked seq across channels (head_seq when there are none) —
+  /// everything at or below this is on every replica.
+  std::uint64_t acked_seq() const;
+  /// Records the slowest replica has not confirmed yet.
+  std::uint64_t lag_records() const { return head_seq() - acked_seq(); }
+  /// True while any channel is degraded.
+  bool degraded() const;
+  /// Client responses released below the configured write quorum.
   std::uint64_t degraded_acks() const { return degraded_acks_; }
   std::uint64_t resyncs() const { return resyncs_; }
 
-  /// Kicks the shipping loop (idempotent; called internally on new frames
-  /// and acks, externally after attaching a fresh backup).
+  int replica_count() const { return static_cast<int>(channels_.size()); }
+  const std::string& replica_address(int k) const;
+  std::uint64_t channel_acked(int k) const;
+  bool channel_degraded(int k) const;
+  /// True when channel k holds everything the primary logged (and no
+  /// snapshot is pending) — the precondition for digest comparison.
+  bool channel_caught_up(int k) const;
+
+  /// Schedules a full snapshot re-seed of channel k (anti-entropy and
+  /// read-repair call this on detected divergence).
+  void ForceResync(int k);
+
+  /// Re-arms channel k after its replica was replaced by a fresh, empty
+  /// node: forgets the old ack position, clears degradation, snapshots.
+  void ReviveChannel(int k);
+
+  /// Kicks every channel's shipping loop (idempotent).
   void Pump();
 
  private:
+  struct Channel {
+    std::string address;
+    std::unique_ptr<net::RpcClient> rpc;
+    std::uint64_t acked = 0;
+    bool in_flight = false;
+    bool retry_scheduled = false;
+    int failures = 0;
+    bool degraded = false;
+    /// The next shipment is a full snapshot (initially true: the replica
+    /// starts empty, whatever the primary's history says).
+    bool reset_pending = true;
+    /// head_seq at the last snapshot export: the pending snapshot covers
+    /// everything through this seq, so the log only needs to retain
+    /// records after it for this channel.
+    std::uint64_t reset_floor = 0;
+  };
+
   void OnFrame(const std::string& frame);
-  void StartResync();
-  void HandleShipResult(util::Result<xml::XmlNode> result);
-  void FlushGatesThrough(std::uint64_t seq);
-  void EnterDegraded();
-  void UpdateLagGauge();
+  void PumpChannel(std::size_t k);
+  void SendSnapshot(std::size_t k);
+  void HandleShipResult(std::size_t k, bool was_reset,
+                        util::Result<xml::XmlNode> result);
+  /// Copies (primary + healthy channels) holding records through `seq`.
+  int CopiesHolding(std::uint64_t seq) const;
+  int ConfiguredQuorum() const;
+  /// Configured quorum shrunk to the healthy copy count.
+  int EffectiveQuorum() const;
+  void CheckGates();
+  void EnterDegraded(Channel& channel);
+  void LeaveDegraded(Channel& channel);
+  void PruneLog();
+  void MarkResyncPending(Channel& channel);
+  void UpdateGauges();
 
   net::SimNetwork* network_;
   net::EventLoop* loop_;
   storage::Database* db_;
   ReplicationConfig config_;
-  std::string replica_address_;
-  net::RpcClient rpc_;
+  std::vector<Channel> channels_;
   ReplicationLog log_;
-  std::uint64_t acked_seq_ = 0;
-  bool in_flight_ = false;
-  bool retry_scheduled_ = false;
-  int consecutive_failures_ = 0;
-  bool degraded_ = false;
-  /// Set while a snapshot resync is pending: the batch starting at this
-  /// seq carries the reset marker telling the backup to discard its state.
-  std::uint64_t reset_at_seq_ = 0;
   std::uint64_t degraded_acks_ = 0;
   std::uint64_t resyncs_ = 0;
   /// (required seq, send closure), FIFO per seq.
@@ -190,6 +256,7 @@ class ReplicationShipper {
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 
   obs::Gauge* lag_gauge_ = nullptr;
+  obs::Gauge* degraded_gauge_ = nullptr;
   obs::Counter* shipped_metric_ = nullptr;
   obs::Counter* resyncs_metric_ = nullptr;
   obs::Counter* degraded_acks_metric_ = nullptr;

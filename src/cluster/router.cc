@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "cluster/replication.h"
 #include "proto/wire.h"
 #include "util/hex.h"
 #include "util/logging.h"
@@ -23,6 +24,12 @@ constexpr std::string_view kApplyRemarkMethod = "ClusterApplyRemark";
 bool IsTransportError(const Status& status) {
   return status.code() == StatusCode::kUnavailable ||
          status.code() == StatusCode::kDataLoss;
+}
+
+std::uint64_t AttrU64(const XmlNode& node, std::string_view key) {
+  auto parsed = util::ParseInt64(node.AttributeOr(key, "0"));
+  if (!parsed.ok() || *parsed < 0) return 0;
+  return static_cast<std::uint64_t>(*parsed);
 }
 
 }  // namespace
@@ -85,6 +92,8 @@ Router::Router(net::SimNetwork* network, net::EventLoop* loop,
         metrics_->GetCounter("pisrep_cluster_router_ownership_moved_total");
     effect_failures_metric_ =
         metrics_->GetCounter("pisrep_cluster_router_effect_failures_total");
+    read_repairs_metric_ =
+        metrics_->GetCounter("pisrep_cluster_read_repairs_total");
     scatter_ms_ = metrics_->GetHistogram(
         "pisrep_cluster_router_scatter_ms",
         {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0});
@@ -230,6 +239,10 @@ void Router::ForwardTo(const std::string& shard, const std::string& method,
           }
         }
         if (result.ok() && method == "QuerySoftware") {
+          // Read repair rides on real read traffic: compare the replicas'
+          // stored copy of this score row against the primary's, in the
+          // background — the client's response is never delayed.
+          StartReadRepair(shard, request.ChildText("id").value_or(""));
           // The owning shard reports the vendor score over its own slice
           // of the vendor's software; rewrite it with the cluster-wide
           // merge so a clustered answer matches a single server's.
@@ -279,6 +292,7 @@ void Router::Broadcast(const net::Message& message, XmlNode request,
   op->client = message.from;
   op->id = id;
   op->pending = static_cast<int>(members.size());
+  op->shards = members;
   op->results.resize(members.size());
   for (std::size_t i = 0; i < members.size(); ++i) {
     PipelineItem item;
@@ -323,10 +337,12 @@ void Router::IssueHead(const std::string& shard) {
         Pipeline& p = pipelines_[shard];
         PipelineItem& head = p.queue.front();
         if (!result.ok() && IsTransportError(result.status()) &&
-            head.attempts_left > 1) {
+            head.attempts_left > 1 && ring_.Contains(shard)) {
           // Deferred retry: the shard is (probably) failing over. Hold
           // this pipeline — order within the shard must not change — and
-          // try the same op again shortly.
+          // try the same op again shortly. A shard evicted from the ring
+          // mid-broadcast is not retried: its leg completes with the
+          // error, which FinishBroadcastOp discounts.
           --head.attempts_left;
           loop_->ScheduleAfter(config_.leg_retry_delay,
                                [this, shard,
@@ -354,19 +370,40 @@ void Router::IssueHead(const std::string& shard) {
 }
 
 void Router::FinishBroadcastOp(const std::shared_ptr<BroadcastOp>& op) {
-  // A transport failure on ANY leg must surface to the client (the op may
-  // not have applied on that shard; the caller's retry heals it), in
-  // lowest-shard order for determinism. Otherwise the lowest shard's
-  // response is canonical — all shards executed the same op.
-  for (const auto& result : op->results) {
+  // Legs are judged against the membership as of completion, not as of
+  // fan-out: a shard removed while the op was in flight no longer holds
+  // authoritative state, so its failure (or success) must not decide the
+  // client's answer.
+  //
+  // A transport failure on any *still-member* leg surfaces to the client
+  // (the op may not have applied on that shard; the caller's retry heals
+  // it), in lowest-shard order for determinism. Otherwise the lowest
+  // still-member shard's response is canonical — all shards executed the
+  // same op.
+  for (std::size_t i = 0; i < op->results.size(); ++i) {
+    const auto& result = op->results[i];
     if (result.has_value() && !result->ok() &&
-        IsTransportError(result->status())) {
+        IsTransportError(result->status()) && ring_.Contains(op->shards[i])) {
       Reply(op->client, op->id, *result);
       return;
     }
   }
-  PISREP_CHECK(op->results[0].has_value());
-  Reply(op->client, op->id, *op->results[0]);
+  for (std::size_t i = 0; i < op->results.size(); ++i) {
+    if (op->results[i].has_value() && ring_.Contains(op->shards[i])) {
+      Reply(op->client, op->id, *op->results[i]);
+      return;
+    }
+  }
+  // Every fanned-out shard has since left the ring; fall back to any
+  // answer at all rather than dropping the client on the floor.
+  for (const auto& result : op->results) {
+    if (result.has_value()) {
+      Reply(op->client, op->id, *result);
+      return;
+    }
+  }
+  ReplyError(op->client, op->id,
+             Status::Unavailable("broadcast lost every shard"));
 }
 
 // ---------------------------------------------------------------------------
@@ -457,6 +494,91 @@ void Router::ScatterVendor(const net::Message& message,
               [this, client = message.from, id](Result<XmlNode> merged) {
                 Reply(client, id, std::move(merged));
               });
+}
+
+// ---------------------------------------------------------------------------
+// Read-repair plane
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Accumulator shared by one read-repair probe's legs.
+struct ReadProbe {
+  int pending = 0;
+  bool primary_ok = false;
+  std::string primary_fp;
+  std::uint64_t primary_head = 0;
+  struct ReplicaLeg {
+    bool ok = false;
+    bool stale = false;
+    std::uint64_t applied = 0;
+    std::string fp;
+  };
+  std::vector<ReplicaLeg> replicas;
+};
+}  // namespace
+
+void Router::StartReadRepair(const std::string& shard,
+                             const std::string& id_hex) {
+  if (config_.read_fanout <= 0 || id_hex.empty()) return;
+  auto probe = std::make_shared<ReadProbe>();
+  probe->replicas.resize(static_cast<std::size_t>(config_.read_fanout));
+  probe->pending = 1 + config_.read_fanout;
+  auto finish = [this, shard, probe] {
+    if (--probe->pending > 0) return;
+    if (!probe->primary_ok) return;
+    for (std::size_t k = 0; k < probe->replicas.size(); ++k) {
+      const ReadProbe::ReplicaLeg& leg = probe->replicas[k];
+      // Divergence means: the replica claims the exact same WAL position
+      // as the primary yet stores different bytes. A merely *lagging*
+      // replica is not divergent — shipping is already on it.
+      if (!leg.ok || leg.stale || leg.applied != probe->primary_head ||
+          leg.fp == probe->primary_fp) {
+        continue;
+      }
+      ++read_repairs_;
+      if (read_repairs_metric_) read_repairs_metric_->Increment();
+      PISREP_LOG(kWarning) << "router: read repair — replica " << (k + 1)
+                           << " of " << shard
+                           << " diverges from its primary; ordering resync";
+      XmlNode repair("r");
+      repair.AddIntChild("replica", static_cast<std::int64_t>(k + 1));
+      rpc_.CallTo(shard, kRepairReplicaMethod, std::move(repair),
+                  [](Result<XmlNode>) {}, config_.call_timeout);
+    }
+  };
+  XmlNode params("r");
+  params.AddTextChild("id", id_hex);
+  rpc_.CallTo(
+      shard, kScoreFingerprintMethod, params,
+      [probe, finish, alive = std::weak_ptr<int>(alive_)](
+          Result<XmlNode> result) {
+        if (alive.expired()) return;
+        if (result.ok()) {
+          probe->primary_ok = true;
+          probe->primary_fp = result->AttributeOr("fp", "");
+          probe->primary_head = AttrU64(*result, "head");
+        }
+        finish();
+      },
+      config_.call_timeout);
+  for (int k = 1; k <= config_.read_fanout; ++k) {
+    rpc_.CallTo(
+        ReplicaAddress(shard, k), kReplicaScoreMethod, params,
+        [probe, finish, k, alive = std::weak_ptr<int>(alive_)](
+            Result<XmlNode> result) {
+          if (alive.expired()) return;
+          ReadProbe::ReplicaLeg& leg =
+              probe->replicas[static_cast<std::size_t>(k - 1)];
+          if (result.ok()) {
+            leg.ok = true;
+            leg.stale = result->AttributeOr("stale", "0") == "1";
+            leg.applied = AttrU64(*result, "applied");
+            leg.fp = result->AttributeOr("fp", "");
+          }
+          finish();
+        },
+        config_.call_timeout);
+  }
 }
 
 }  // namespace pisrep::cluster

@@ -47,6 +47,12 @@ struct RouterConfig {
   int max_redirects = 3;
   /// Seed for the router's puzzle-nonce stream.
   std::uint64_t nonce_seed = 0x9047e5;
+  /// Read repair: after a successful QuerySoftware, probe this many of the
+  /// owning shard's replicas (ordinals 1..read_fanout) and compare their
+  /// stored score row against the primary's; a replica that is at the same
+  /// WAL position yet answers differently is forced into snapshot resync.
+  /// The client's response is never delayed. 0 disables.
+  int read_fanout = 0;
 };
 
 /// The client-facing front door of the cluster (and, pointed at by a
@@ -104,6 +110,8 @@ class Router {
 
   std::uint64_t requests() const { return requests_; }
   std::uint64_t redirects_followed() const { return redirects_followed_; }
+  /// Replicas detected serving a diverged score row and sent to resync.
+  std::uint64_t read_repairs() const { return read_repairs_; }
 
  private:
   /// One client-visible broadcast operation, fanned into N pipeline legs.
@@ -111,6 +119,10 @@ class Router {
     std::string client;
     std::string id;
     int pending = 0;
+    /// The membership snapshot the op fanned out to — legs are judged
+    /// against the *current* ring when the op completes, so a shard
+    /// evicted mid-broadcast cannot fail the whole op.
+    std::vector<std::string> shards;
     std::vector<std::optional<util::Result<xml::XmlNode>>> results;
   };
 
@@ -159,6 +171,10 @@ class Router {
   void MergeVendor(const std::string& session, const std::string& vendor,
                    std::function<void(util::Result<xml::XmlNode>)> done);
 
+  /// Read-repair plane: fire-and-forget comparison of the owning shard's
+  /// replicas against its primary for one software's score row.
+  void StartReadRepair(const std::string& shard, const std::string& id_hex);
+
   obs::Counter* ShardRequestCounter(const std::string& shard);
 
   net::SimNetwork* network_;
@@ -172,12 +188,14 @@ class Router {
 
   std::uint64_t requests_ = 0;
   std::uint64_t redirects_followed_ = 0;
+  std::uint64_t read_repairs_ = 0;
 
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unordered_map<std::string, obs::Counter*> shard_counters_;
   obs::Counter* broadcast_ops_metric_ = nullptr;
   obs::Counter* ownership_moved_metric_ = nullptr;
   obs::Counter* effect_failures_metric_ = nullptr;
+  obs::Counter* read_repairs_metric_ = nullptr;
   obs::Histogram* scatter_ms_ = nullptr;
 };
 

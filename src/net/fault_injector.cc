@@ -8,10 +8,9 @@ namespace pisrep::net {
 
 namespace {
 
-/// Canonical key for an unordered endpoint pair.
-std::string PairKey(std::string_view a, std::string_view b) {
-  if (b < a) std::swap(a, b);
-  return std::string(a) + "\x1f" + std::string(b);
+/// Key for one directed link.
+std::string LinkKey(std::string_view from, std::string_view to) {
+  return std::string(from) + "\x1f" + std::string(to);
 }
 
 }  // namespace
@@ -38,7 +37,13 @@ void FaultInjector::AttachMetrics(obs::MetricsRegistry* metrics) {
 }
 
 void FaultInjector::Partition(std::string_view a, std::string_view b) {
-  cut_pairs_.insert(PairKey(a, b));
+  cut_links_.insert(LinkKey(a, b));
+  cut_links_.insert(LinkKey(b, a));
+}
+
+void FaultInjector::PartitionOneWay(std::string_view from,
+                                    std::string_view to) {
+  cut_links_.insert(LinkKey(from, to));
 }
 
 void FaultInjector::Isolate(std::string_view address) {
@@ -46,8 +51,12 @@ void FaultInjector::Isolate(std::string_view address) {
 }
 
 void FaultInjector::Heal() {
-  cut_pairs_.clear();
+  cut_links_.clear();
   isolated_.clear();
+}
+
+void FaultInjector::HealLink(std::string_view from, std::string_view to) {
+  cut_links_.erase(LinkKey(from, to));
 }
 
 bool FaultInjector::IsCut(std::string_view from, std::string_view to) const {
@@ -55,7 +64,7 @@ bool FaultInjector::IsCut(std::string_view from, std::string_view to) const {
       isolated_.contains(std::string(to))) {
     return true;
   }
-  return cut_pairs_.contains(PairKey(from, to));
+  return cut_links_.contains(LinkKey(from, to));
 }
 
 void FaultInjector::SetLinkLoss(std::string_view from, std::string_view to,
@@ -94,6 +103,14 @@ void FaultInjector::IsolateWindow(util::TimePoint start, util::TimePoint end,
       [this, address] {
         isolated_.erase(address);
       });
+}
+
+void FaultInjector::PartitionOneWayWindow(util::TimePoint start,
+                                          util::TimePoint end,
+                                          std::string from, std::string to) {
+  ScheduleWindow(
+      start, end, [this, from, to] { PartitionOneWay(from, to); },
+      [this, from, to] { HealLink(from, to); });
 }
 
 void FaultInjector::DegradeWindow(util::TimePoint start, util::TimePoint end,

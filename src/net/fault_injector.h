@@ -41,6 +41,12 @@ class FaultInjector {
   /// Cuts the link between `a` and `b` in both directions.
   void Partition(std::string_view a, std::string_view b);
 
+  /// Cuts only the `from`→`to` direction — an asymmetric partition: `to`
+  /// still reaches `from`, but anything `from` sends (requests, or the
+  /// responses to `to`'s calls) is dropped. Chaos schedules use this to
+  /// model one-way link failures that symmetric cuts cannot express.
+  void PartitionOneWay(std::string_view from, std::string_view to);
+
   /// Cuts every link to and from `address` (node failure / partition of a
   /// single server from the whole client population).
   void Isolate(std::string_view address);
@@ -48,6 +54,10 @@ class FaultInjector {
   /// Removes all partitions and isolations. Stochastic faults (loss,
   /// duplication, corruption, reorder bursts) are untouched.
   void Heal();
+
+  /// Restores only the `from`→`to` direction (undoes PartitionOneWay, or
+  /// half of a Partition).
+  void HealLink(std::string_view from, std::string_view to);
 
   bool IsCut(std::string_view from, std::string_view to) const;
 
@@ -89,6 +99,10 @@ class FaultInjector {
   void IsolateWindow(util::TimePoint start, util::TimePoint end,
                      std::string address);
 
+  /// Cuts only `from`→`to` during [start, end).
+  void PartitionOneWayWindow(util::TimePoint start, util::TimePoint end,
+                             std::string from, std::string to);
+
   /// Applies extra loss / duplication / corruption during [start, end),
   /// then restores the previous values.
   void DegradeWindow(util::TimePoint start, util::TimePoint end, double loss,
@@ -126,8 +140,9 @@ class FaultInjector {
   EventLoop* loop_;
   util::Rng rng_;
 
-  /// Bidirectional pair cuts, stored with the endpoints sorted.
-  std::unordered_set<std::string> cut_pairs_;
+  /// Directed link cuts, keyed "from\x1fto"; Partition inserts both
+  /// directions, PartitionOneWay exactly one.
+  std::unordered_set<std::string> cut_links_;
   std::unordered_set<std::string> isolated_;
   std::unordered_map<std::string, double> link_loss_;
 

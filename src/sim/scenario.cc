@@ -45,8 +45,8 @@ ScenarioRunner::ScenarioRunner(ScenarioConfig config)
     cluster_config.num_shards = config_.num_shards;
     cluster_config.server = config_.server;
     cluster_config.replication = config_.replication;
-    cluster_config.heartbeat_period = config_.cluster_heartbeat_period;
-    cluster_config.auto_failover = config_.cluster_heartbeat_period > 0;
+    cluster_config.gossip = config_.cluster_gossip;
+    cluster_config.anti_entropy = config_.cluster_anti_entropy;
     cluster_ = std::make_unique<cluster::ShardCluster>(network_.get(), &loop_,
                                                        cluster_config);
     util::Status cluster_status = cluster_->Start();

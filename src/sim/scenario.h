@@ -94,10 +94,13 @@ struct ScenarioConfig {
   /// stay empty); durability comes from replication, not a WAL file.
   int num_shards = 1;
   cluster::ReplicationConfig replication;
-  /// Heartbeat period of the cluster's failover controller; 0 disables
-  /// auto-failover (benches and chaos tests drive failures explicitly,
-  /// and the event loop can then drain).
-  util::Duration cluster_heartbeat_period = 0;
+  /// Gossip failure detection for the cluster. Disabled by default so
+  /// benches and chaos tests drive failures explicitly and the event loop
+  /// can drain; enable for decentralized auto-failover.
+  cluster::GossipConfig cluster_gossip{.enabled = false};
+  /// Background replica digest comparison; disabled by default for the
+  /// same drain reason.
+  cluster::AntiEntropyConfig cluster_anti_entropy{.enabled = false};
 
   /// Observability for the whole scenario (optional, not owned; must
   /// outlive the runner). When set, the server, every client, the event

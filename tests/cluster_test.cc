@@ -1,18 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "client/client_app.h"
+#include "cluster/anti_entropy.h"
 #include "cluster/cluster.h"
 #include "cluster/hash_ring.h"
 #include "cluster/replication.h"
 #include "cluster/router.h"
 #include "net/event_loop.h"
+#include "net/fault_injector.h"
 #include "net/network.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
@@ -133,6 +137,38 @@ TEST(HashRing, MembersEnumerateSorted) {
   EXPECT_EQ(ring.Members(), (std::vector<std::string>{"a", "b", "c"}));
 }
 
+TEST(HashRing, PreferenceListStartsAtTheOwnerAndNamesDistinctShards) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.AddShard(StrFormat("shard%d", i));
+  for (const auto& digest : SyntheticDigests(200)) {
+    auto prefs = ring.PreferenceListOf(digest, 3);
+    ASSERT_EQ(prefs.size(), 3u);
+    EXPECT_EQ(prefs[0], ring.OwnerOf(digest));
+    std::set<std::string> distinct(prefs.begin(), prefs.end());
+    EXPECT_EQ(distinct.size(), prefs.size());
+  }
+  // Asking for more copies than members yields every member exactly once.
+  auto everyone = ring.PreferenceListOf(SyntheticDigests(1)[0], 10);
+  std::set<std::string> distinct(everyone.begin(), everyone.end());
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_EQ(everyone.size(), 4u);
+}
+
+TEST(HashRing, SuccessorsExcludeTheShardItselfAndStayDistinct) {
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) ring.AddShard(StrFormat("shard%d", i));
+  auto successors = ring.SuccessorsOf("shard1", 3);
+  ASSERT_EQ(successors.size(), 3u);
+  std::set<std::string> distinct(successors.begin(), successors.end());
+  EXPECT_EQ(distinct.size(), 3u);
+  EXPECT_EQ(distinct.count("shard1"), 0u);
+  // Non-members have no successors, and neither does a sole member.
+  EXPECT_TRUE(ring.SuccessorsOf("not-a-member", 3).empty());
+  HashRing solo;
+  solo.AddShard("only");
+  EXPECT_TRUE(solo.SuccessorsOf("only", 2).empty());
+}
+
 // ---------------------------------------------------------------------------
 // Replication log
 // ---------------------------------------------------------------------------
@@ -203,8 +239,14 @@ TEST(ReplicaNode, GapMarksTheReplicaStale) {
 /// the cluster must reproduce.
 class Harness {
  public:
-  explicit Harness(int num_shards, util::Duration heartbeat_period = 0,
-                   obs::MetricsRegistry* metrics = nullptr)
+  /// `gossip_period` > 0 turns on decentralized failure detection with a
+  /// suspicion timeout of three periods; 0 leaves both background agents
+  /// off so the event loop can drain. `tweak` gets the final word on both
+  /// configs (replication factor, quorum, anti-entropy, read fan-out).
+  explicit Harness(
+      int num_shards, util::Duration gossip_period = 0,
+      obs::MetricsRegistry* metrics = nullptr,
+      std::function<void(ClusterConfig&, RouterConfig&)> tweak = {})
       : network_(&loop_, net::NetworkConfig{}) {
     if (num_shards > 0) {
       ClusterConfig config;
@@ -212,14 +254,16 @@ class Harness {
       config.server.flood.registration_puzzle_bits = 0;
       config.server.flood.max_registrations_per_source_per_day = 0;
       config.server.metrics = metrics;
-      config.heartbeat_period = heartbeat_period;
-      config.heartbeat_misses = 3;
-      config.auto_failover = heartbeat_period > 0;
+      config.gossip.enabled = gossip_period > 0;
+      config.gossip.period = gossip_period > 0 ? gossip_period : util::kSecond;
+      config.gossip.suspicion_timeout = 3 * config.gossip.period;
+      config.anti_entropy.enabled = false;
+      RouterConfig rc;
+      rc.service_address = "server";
+      if (tweak) tweak(config, rc);
       cluster_ = std::make_unique<ShardCluster>(&network_, &loop_,
                                                 std::move(config));
       PISREP_CHECK(cluster_->Start().ok());
-      RouterConfig rc;
-      rc.service_address = "server";
       router_ = std::make_unique<Router>(&network_, &loop_, rc, metrics,
                                          nullptr);
       PISREP_CHECK(router_->Start().ok());
@@ -262,12 +306,13 @@ class Harness {
 
   /// Blocking RPC through the front door ("server": router or the single
   /// server — the workload cannot tell which).
-  Result<XmlNode> Call(const std::string& method, XmlNode params) {
+  Result<XmlNode> Call(const std::string& method, XmlNode params,
+                       util::Duration timeout = 5 * util::kSecond) {
     std::optional<Result<XmlNode>> response;
     client_->Call(
         method, std::move(params),
         [&response](Result<XmlNode> r) { response = std::move(r); },
-        5 * util::kSecond);
+        timeout);
     Pump([&response] { return response.has_value(); });
     if (!response.has_value()) {
       return Status::Unavailable("call never completed: " + method);
@@ -374,6 +419,19 @@ core::SoftwareMeta ProgramMeta(int i) {
   meta.company = StrFormat("vendor-%d", i % 3);
   meta.version = "1.0";
   return meta;
+}
+
+/// The first `want` ProgramMeta ordinals owned by shard `shard_index`.
+std::vector<int> ProgramsOwnedBy(ShardCluster* cluster, int shard_index,
+                                 int want) {
+  std::vector<int> owned;
+  for (int i = 0; i < 256 && static_cast<int>(owned.size()) < want; ++i) {
+    if (cluster->ring().OwnerOf(ProgramMeta(i).id) ==
+        cluster->ShardName(shard_index)) {
+      owned.push_back(i);
+    }
+  }
+  return owned;
 }
 
 /// The scores the scripted workload must converge to, keyed by digest hex.
@@ -596,19 +654,33 @@ TEST(ClusterFailover, KillPromoteCatchUpLosesNoAckedVote) {
   }
 }
 
-TEST(ClusterFailover, HeartbeatControllerPromotesAMissingPrimary) {
+TEST(ClusterFailover, GossipSuspicionPromotesAMissingPrimary) {
   obs::MetricsRegistry metrics;
-  Harness h(2, /*heartbeat_period=*/util::kSecond, &metrics);
+  Harness h(2, /*gossip_period=*/util::kSecond, &metrics);
   std::string session = h.Onboard("heartbeat-user");
 
+  const util::TimePoint killed_at = h.loop().Now();
   h.cluster()->KillPrimary(0);
   ASSERT_FALSE(h.cluster()->shard(0)->primary_alive());
-  // Three missed one-second probes (each waiting out its timeout) trigger
-  // the failover; give the controller a generous window.
+  // The survivor's gossip agent stops seeing shard 0's heartbeat advance,
+  // suspects it after the suspicion timeout (three periods in this harness),
+  // and — being shard 0's first live ring successor — fences and promotes on
+  // its own, with no central controller in the loop.
   h.Pump([&] { return h.cluster()->failovers() >= 1; }, 60);
   EXPECT_EQ(h.cluster()->failovers(), 1u);
   ASSERT_TRUE(h.cluster()->shard(0)->primary_alive());
+  // Promotion happened within the configured suspicion window (plus a few
+  // gossip rounds of detection slack) in *simulated* time.
+  EXPECT_LE(h.loop().Now() - killed_at,
+            3 * util::kSecond + 5 * util::kSecond);
   EXPECT_GE(metrics.GetCounter("pisrep_cluster_failovers_total")->Value(),
+            1u);
+  const std::string survivor = h.cluster()->ShardName(1);
+  EXPECT_GE(metrics
+                .GetCounter(obs::WithLabel(
+                    "pisrep_cluster_gossip_suspicions_total", "shard",
+                    survivor))
+                ->Value(),
             1u);
 
   // The revived shard serves: a vote owned by shard 0 goes through.
@@ -638,6 +710,102 @@ TEST(ClusterFailover, PromotionIsRefusedWhileThePrimaryLives) {
   EXPECT_FALSE(h.cluster()->shard(0)->Promote().ok());
   EXPECT_EQ(h.cluster()->shard(0)->promotions_refused(), 1u);
   EXPECT_EQ(h.cluster()->failovers(), 0u);
+}
+
+TEST(ClusterFailover, GossipDeathReportIsRefusedWhileThePrimaryAnswers) {
+  Harness h(2);
+  // A suspicion that reaches the fencing authority while the primary is in
+  // fact alive (an asymmetric partition, not a crash) must not shoot it.
+  Status refused = h.cluster()->OnGossipDeath(h.cluster()->ShardName(0));
+  EXPECT_FALSE(refused.ok());
+  EXPECT_TRUE(h.cluster()->shard(0)->primary_alive());
+  EXPECT_EQ(h.cluster()->failovers(), 0u);
+  EXPECT_FALSE(h.cluster()->OnGossipDeath("no-such-shard").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Write quorum (W of R) and degraded replica channels
+// ---------------------------------------------------------------------------
+
+TEST(ClusterQuorum, WritesRideOutASingleReplicaCrashAtFullQuorum) {
+  // R=3/W=2: the primary plus either replica satisfy the quorum, so one
+  // replica crash neither delays nor downgrades a single acked write.
+  Harness h(2, 0, nullptr, [](ClusterConfig& c, RouterConfig&) {
+    c.replication.replication_factor = 3;
+    c.replication.write_quorum = 2;
+  });
+  std::string session = h.Onboard("quorum-user");
+  ASSERT_EQ(h.cluster()->shard(0)->replica_count(), 2);
+  h.cluster()->shard(0)->KillReplica(1);
+
+  for (int i = 0; i < kPrograms; ++i) {
+    Status voted =
+        h.SubmitRating(session, ProgramMeta(i), 1 + i % 10,
+                       StrFormat("q-%d", i));
+    EXPECT_TRUE(voted.ok()) << voted.ToString();
+  }
+  EXPECT_EQ(h.cluster()->TotalVotesAccepted(),
+            static_cast<std::uint64_t>(kPrograms));
+  // Every release met the configured quorum — no degraded acks anywhere.
+  EXPECT_EQ(h.cluster()->shard(0)->shipper()->degraded_acks(), 0u);
+  EXPECT_EQ(h.cluster()->shard(1)->shipper()->degraded_acks(), 0u);
+}
+
+TEST(ClusterQuorum, LosingTheWholeQuorumDegradesButNeverWedges) {
+  obs::MetricsRegistry metrics;
+  Harness h(2, 0, &metrics, [](ClusterConfig& c, RouterConfig&) {
+    c.replication.replication_factor = 3;
+    c.replication.write_quorum = 2;
+  });
+  std::string session = h.Onboard("degraded-user");
+  ShardNode* node = h.cluster()->shard(0);
+  ReplicationShipper* shipper = node->shipper();
+  auto owned = ProgramsOwnedBy(h.cluster(), 0, 2);
+  ASSERT_EQ(owned.size(), 2u);
+
+  node->KillReplica(0);
+  node->KillReplica(1);
+
+  // With both replicas dead a shard-0 write cannot reach W=2 copies. The
+  // ack is *held* until both channels exhaust their failure budget and
+  // degrade; only then does the effective quorum shrink to the primary
+  // alone and the response go out as a degraded ack. The client-visible
+  // call may time out upstream — what matters is that the vote is applied,
+  // never lost, and the degradation is loud.
+  (void)h.SubmitRating(session, ProgramMeta(owned[0]), 7, "under-quorum");
+  h.Pump([&] { return shipper->degraded_acks() >= 1; }, 60);
+  EXPECT_GE(shipper->degraded_acks(), 1u);
+  EXPECT_TRUE(shipper->degraded());
+  EXPECT_EQ(h.cluster()->TotalVotesAccepted(), 1u);
+  obs::Gauge* degraded_gauge = metrics.GetGauge(obs::WithLabel(
+      "pisrep_cluster_replication_degraded", "shard", node->name()));
+  EXPECT_EQ(degraded_gauge->Value(), 2);
+  EXPECT_GE(metrics
+                .GetCounter(obs::WithLabel(
+                    "pisrep_cluster_degraded_acks_total", "shard",
+                    node->name()))
+                ->Value(),
+            1u);
+
+  // Revive: fresh replicas are snapshot-seeded, the channels leave
+  // degradation and the gauge drops back to zero — the off half of the
+  // regression.
+  ASSERT_TRUE(h.cluster()->ReviveReplica(0).ok());
+  h.Pump(
+      [&] {
+        return shipper->channel_caught_up(0) && shipper->channel_caught_up(1);
+      },
+      60);
+  EXPECT_TRUE(shipper->channel_caught_up(0));
+  EXPECT_TRUE(shipper->channel_caught_up(1));
+  EXPECT_FALSE(shipper->degraded());
+  EXPECT_EQ(degraded_gauge->Value(), 0);
+
+  // Back at strength, a write acks at the configured quorum again.
+  const std::uint64_t degraded_before = shipper->degraded_acks();
+  Status voted = h.SubmitRating(session, ProgramMeta(owned[1]), 6, "healed");
+  EXPECT_TRUE(voted.ok()) << voted.ToString();
+  EXPECT_EQ(shipper->degraded_acks(), degraded_before);
 }
 
 // ---------------------------------------------------------------------------
@@ -730,12 +898,261 @@ TEST(ClusterRouting, DirectShardClientFollowsOneRedirect) {
 }
 
 // ---------------------------------------------------------------------------
+// Anti-entropy and read repair: silent divergence is found and healed
+// ---------------------------------------------------------------------------
+
+TEST(ClusterAntiEntropy, DivergentReplicaIsDetectedAndResynced) {
+  obs::MetricsRegistry metrics;
+  Harness h(1, 0, &metrics, [](ClusterConfig& c, RouterConfig&) {
+    c.anti_entropy.enabled = true;
+    c.anti_entropy.period = 5 * util::kSecond;
+  });
+  std::string session = h.Onboard("ae-user");
+  ASSERT_TRUE(h.SubmitRating(session, ProgramMeta(0), 8, "clean").ok());
+  h.RunAggregation(util::kDay);
+
+  ShardNode* node = h.cluster()->shard(0);
+  ReplicationShipper* shipper = node->shipper();
+  h.Pump([&] { return shipper->channel_caught_up(0); }, 30);
+  ASSERT_TRUE(shipper->channel_caught_up(0));
+  ASSERT_NE(node->anti_entropy(), nullptr);
+
+  // Corrupt the replica behind the WAL's back: an unlogged in-place edit of
+  // its score row — the kind of divergence only a content digest can see,
+  // since both sides still agree on the applied sequence number.
+  const std::string hex = ProgramMeta(0).id.ToHex();
+  auto table = node->replica(0)->db()->GetTable("software_scores");
+  ASSERT_TRUE(table.ok());
+  auto row = (*table)->Get(storage::Value::Str(hex));
+  ASSERT_TRUE(row.ok());
+  storage::Row poisoned = *row;
+  poisoned[1] = storage::Value::Real(99.5);  // score column
+  ASSERT_TRUE((*table)->UpsertUnlogged(std::move(poisoned)).ok());
+  ASSERT_NE(RangeDigestsOf(node->db()),
+            RangeDigestsOf(node->replica(0)->db()));
+
+  const std::uint64_t resets_before = node->replica(0)->resets();
+  h.Pump([&] { return node->anti_entropy()->repairs() >= 1; }, 60);
+  EXPECT_GE(node->anti_entropy()->repairs(), 1u);
+  EXPECT_GE(node->anti_entropy()->checks(), 1u);
+  h.Pump(
+      [&] {
+        return node->replica(0)->resets() > resets_before &&
+               RangeDigestsOf(node->db()) ==
+                   RangeDigestsOf(node->replica(0)->db());
+      },
+      60);
+  EXPECT_EQ(FormatRangeDigests(RangeDigestsOf(node->db())),
+            FormatRangeDigests(RangeDigestsOf(node->replica(0)->db())));
+  EXPECT_GE(metrics
+                .GetCounter(obs::WithLabel(
+                    "pisrep_cluster_anti_entropy_repairs_total", "shard",
+                    node->name()))
+                ->Value(),
+            1u);
+}
+
+TEST(ClusterReadRepair, DivergedScoreRowIsRepairedAfterAQuery) {
+  obs::MetricsRegistry metrics;
+  Harness h(2, 0, &metrics, [](ClusterConfig&, RouterConfig& r) {
+    r.read_fanout = 1;
+  });
+  std::string session = h.Onboard("rr-user");
+  ASSERT_TRUE(h.SubmitRating(session, ProgramMeta(0), 9, "to-score").ok());
+  h.RunAggregation(util::kDay);
+
+  ShardNode* owner = h.cluster()->OwnerShard(ProgramMeta(0).id);
+  h.Pump([&] { return owner->shipper()->channel_caught_up(0); }, 30);
+  ASSERT_TRUE(owner->shipper()->channel_caught_up(0));
+
+  const std::string hex = ProgramMeta(0).id.ToHex();
+  auto table = owner->replica(0)->db()->GetTable("software_scores");
+  ASSERT_TRUE(table.ok());
+  auto row = (*table)->Get(storage::Value::Str(hex));
+  ASSERT_TRUE(row.ok());
+  storage::Row poisoned = *row;
+  poisoned[1] = storage::Value::Real(0.125);
+  ASSERT_TRUE((*table)->UpsertUnlogged(std::move(poisoned)).ok());
+  ASSERT_NE(ScoreFingerprint(owner->replica(0)->db(), hex),
+            ScoreFingerprint(owner->db(), hex));
+
+  // An ordinary routed read triggers the repair; the client's response is
+  // served straight from the primary, undelayed and uncorrupted.
+  XmlNode query("request");
+  query.AddTextChild("session", session);
+  query.AddTextChild("id", hex);
+  auto response = h.Call("QuerySoftware", std::move(query));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  h.Pump([&] { return h.router()->read_repairs() >= 1; }, 30);
+  EXPECT_GE(h.router()->read_repairs(), 1u);
+  h.Pump(
+      [&] {
+        return ScoreFingerprint(owner->replica(0)->db(), hex) ==
+               ScoreFingerprint(owner->db(), hex);
+      },
+      30);
+  EXPECT_EQ(ScoreFingerprint(owner->replica(0)->db(), hex),
+            ScoreFingerprint(owner->db(), hex));
+  EXPECT_GE(metrics.GetCounter("pisrep_cluster_read_repairs_total")->Value(),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership: reshard under traffic, redirects, evicted shards
+// ---------------------------------------------------------------------------
+
+TEST(ClusterElastic, RouterChasesRedirectsIntoANewlyAddedShard) {
+  Harness h(2);
+  auto added = h.cluster()->AddShard();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  h.router()->AddShard(*added);
+  std::string session = h.Onboard("elastic-user");
+
+  // Skew the router with a 1-vnode ring over the same three members: where
+  // the skewed owner disagrees with the true ring, the wrong shard answers
+  // `ownership-moved` and the router must chase the redirect — here
+  // specifically into the shard that just joined.
+  HashRing skewed(1);
+  for (const auto& name : h.cluster()->ShardNames()) skewed.AddShard(name);
+  int moved = -1;
+  for (int i = 0; i < 256 && moved < 0; ++i) {
+    const core::SoftwareId id = ProgramMeta(i).id;
+    if (h.cluster()->ring().OwnerOf(id) == *added &&
+        skewed.OwnerOf(id) != *added) {
+      moved = i;
+    }
+  }
+  ASSERT_GE(moved, 0) << "no program moved to the new shard under the skew";
+  h.router()->SetRing(std::move(skewed));
+
+  EXPECT_TRUE(
+      h.SubmitRating(session, ProgramMeta(moved), 9, "chased into newcomer")
+          .ok());
+  EXPECT_GE(h.router()->redirects_followed(), 1u);
+  h.RunAggregation(util::kDay);
+  auto score = h.cluster()->GetScore(ProgramMeta(moved).id);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->vote_count, 1);
+}
+
+TEST(ClusterElastic, BroadcastSurvivesAShardEvictedMidFlight) {
+  Harness h(3);
+  net::FaultInjector faults(&h.loop());
+  h.network().AttachFaultInjector(&faults);
+  std::string session = h.Onboard("evict-user");
+
+  // One-way cut: the router's requests to shard 2 vanish while everything
+  // else flows. A broadcast login fans out, two legs answer, the third
+  // hangs on its timeout — and mid-flight the stuck shard is removed from
+  // the cluster. The op must settle from the legs that are still members
+  // instead of failing the client on the evicted one.
+  const std::string victim = h.cluster()->ShardName(2);
+  faults.PartitionOneWay("server!up", victim);
+  h.loop().ScheduleAfter(4 * util::kSecond, [&h, victim] {
+    Status removed = h.cluster()->RemoveShard(victim);
+    ASSERT_TRUE(removed.ok()) << removed.ToString();
+    h.router()->RemoveShard(victim);
+  });
+
+  XmlNode login("request");
+  login.AddTextChild("username", "evict-user");
+  login.AddTextChild("password", "pw-evict-user");
+  auto relogin = h.Call("Login", std::move(login), 20 * util::kSecond);
+  ASSERT_TRUE(relogin.ok()) << relogin.status().ToString();
+  EXPECT_EQ(relogin->ChildText("session").value_or(""), session);
+  EXPECT_EQ(h.cluster()->num_shards(), 2);
+  EXPECT_EQ(h.cluster()->reshards(), 1u);
+  h.network().AttachFaultInjector(nullptr);
+}
+
+TEST(ClusterElastic, GrowAndShrinkUnderTrafficMatchesTheCalmOracle) {
+  Harness oracle(0);
+  Harness h(2);
+
+  std::vector<std::string> oracle_sessions, sessions;
+  for (int u = 0; u < kUsers; ++u) {
+    oracle_sessions.push_back(oracle.Onboard(StrFormat("user%02d", u)));
+    sessions.push_back(h.Onboard(StrFormat("user%02d", u)));
+  }
+  auto vote_phase = [&](Harness& target, std::vector<std::string>& ss,
+                        int from, int to) {
+    for (int u = 0; u < kUsers; ++u) {
+      for (int i = from; i < to; ++i) {
+        int score = 1 + (i * 3 + u * 5) % 10;
+        Status voted = target.SubmitRating(ss[static_cast<size_t>(u)],
+                                           ProgramMeta(i), score,
+                                           StrFormat("c-%d-%d", u, i));
+        ASSERT_TRUE(voted.ok()) << voted.ToString();
+      }
+    }
+  };
+  // Resharding bounces every primary, so in-memory sessions die; one
+  // broadcast re-login re-mints the same deterministic tokens.
+  auto relogin_all = [&](Harness& target, std::vector<std::string>& ss) {
+    for (int u = 0; u < kUsers; ++u) {
+      XmlNode login("request");
+      login.AddTextChild("username", StrFormat("user%02d", u));
+      login.AddTextChild("password", StrFormat("pw-user%02d", u));
+      auto r = target.Call("Login", std::move(login));
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r->ChildText("session").value_or(""),
+                ss[static_cast<size_t>(u)]);
+    }
+  };
+
+  vote_phase(oracle, oracle_sessions, 0, 3);
+  vote_phase(h, sessions, 0, 3);
+
+  // Grow 2 -> 3 with live data, keep voting, then shrink back to 2 by
+  // draining one of the *original* shards through the newcomer.
+  auto added = h.cluster()->AddShard();
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  h.router()->AddShard(*added);
+  relogin_all(h, sessions);
+
+  vote_phase(oracle, oracle_sessions, 3, 7);
+  vote_phase(h, sessions, 3, 7);
+
+  const std::string drained = h.cluster()->ShardName(0);
+  ASSERT_TRUE(h.cluster()->RemoveShard(drained).ok());
+  h.router()->RemoveShard(drained);
+  relogin_all(h, sessions);
+
+  vote_phase(oracle, oracle_sessions, 7, kPrograms);
+  vote_phase(h, sessions, 7, kPrograms);
+
+  oracle.RunAggregation(30 * util::kDay);
+  h.RunAggregation(30 * util::kDay);
+
+  EXPECT_EQ(h.cluster()->reshards(), 2u);
+  EXPECT_GT(h.cluster()->migrated_rows(), 0u);
+  EXPECT_EQ(h.cluster()->TotalVotesAccepted(),
+            static_cast<std::uint64_t>(kUsers * kPrograms));
+  for (int i = 0; i < kPrograms; ++i) {
+    auto resharded = h.GetScore(ProgramMeta(i).id);
+    auto calm = oracle.GetScore(ProgramMeta(i).id);
+    ASSERT_TRUE(resharded.ok()) << "program " << i;
+    ASSERT_TRUE(calm.ok()) << "program " << i;
+    EXPECT_EQ(resharded->vote_count, calm->vote_count) << "program " << i;
+    EXPECT_NEAR(resharded->score, calm->score, 1e-9) << "program " << i;
+  }
+  for (int v = 0; v < 3; ++v) {
+    auto merged = h.VendorScore(StrFormat("vendor-%d", v));
+    auto calm = oracle.VendorScore(StrFormat("vendor-%d", v));
+    ASSERT_TRUE(merged.ok() && calm.ok()) << "vendor " << v;
+    EXPECT_EQ(merged->software_count, calm->software_count) << "vendor " << v;
+    EXPECT_NEAR(merged->score, calm->score, 1e-9) << "vendor " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Replication metrics and the web portal over a cluster
 // ---------------------------------------------------------------------------
 
 TEST(ClusterObservability, ReplicationAndRouterMetricsAreLive) {
   obs::MetricsRegistry metrics;
-  Harness h(2, /*heartbeat_period=*/0, &metrics);
+  Harness h(2, /*gossip_period=*/0, &metrics);
   std::string session = h.Onboard("metrics-user");
   ASSERT_TRUE(h.SubmitRating(session, ProgramMeta(0), 6, "measured").ok());
 
@@ -806,8 +1223,8 @@ TEST(ClusterTuning, PerShardSweepCadenceIsHonored) {
   net::SimNetwork network(&loop, net::NetworkConfig{});
   ClusterConfig config;
   config.num_shards = 2;
-  config.heartbeat_period = 0;
-  config.auto_failover = false;
+  config.gossip.enabled = false;
+  config.anti_entropy.enabled = false;
   // Shard 0 sweeps fully on every run; shard 1 keeps the template default
   // (incremental with the periodic full sweep).
   config.tuning.push_back({.full_sweep_every = 1, .force_full_sweep = true});

@@ -64,6 +64,72 @@ TEST(FaultInjectorTest, IsolateCutsEveryLinkOfOneNode) {
   EXPECT_FALSE(injector.IsCut("client1", "server"));
 }
 
+TEST(FaultInjectorTest, OneWayPartitionCutsOnlyTheNamedDirection) {
+  net::EventLoop loop;
+  net::FaultInjector injector(&loop);
+  injector.PartitionOneWay("a", "b");
+  EXPECT_TRUE(injector.IsCut("a", "b"));
+  EXPECT_FALSE(injector.IsCut("b", "a"));  // asymmetric: replies still flow
+  injector.HealLink("a", "b");
+  EXPECT_FALSE(injector.IsCut("a", "b"));
+}
+
+TEST(FaultInjectorTest, HealLinkUndoesHalfOfASymmetricPartition) {
+  net::EventLoop loop;
+  net::FaultInjector injector(&loop);
+  injector.Partition("a", "b");
+  injector.HealLink("a", "b");
+  EXPECT_FALSE(injector.IsCut("a", "b"));
+  EXPECT_TRUE(injector.IsCut("b", "a"));  // the other direction stays dark
+  injector.Heal();
+  EXPECT_FALSE(injector.IsCut("b", "a"));
+}
+
+TEST(FaultInjectorTest, OneWayPartitionWindowAppliesAndExpiresOnSchedule) {
+  net::EventLoop loop;
+  net::FaultInjector injector(&loop);
+  injector.PartitionOneWayWindow(loop.Now() + 2 * kSecond,
+                                 loop.Now() + 5 * kSecond, "a", "b");
+  EXPECT_FALSE(injector.IsCut("a", "b"));
+  loop.RunUntil(loop.Now() + 3 * kSecond);
+  EXPECT_TRUE(injector.IsCut("a", "b"));
+  EXPECT_FALSE(injector.IsCut("b", "a"));
+  loop.RunUntil(loop.Now() + 3 * kSecond);
+  EXPECT_FALSE(injector.IsCut("a", "b"));
+}
+
+TEST(FaultInjectorTest, LostAckStillMeansTheServerDidTheWork) {
+  // The scenario symmetric cuts cannot express: the request arrives and is
+  // applied, only the response dies. Any caller that treats the timeout as
+  // "not applied" double-applies on retry — which is exactly why the
+  // cluster's durable writers treat already-exists on a retry as an ack.
+  net::EventLoop loop;
+  net::SimNetwork network(&loop, QuietNet());
+  net::FaultInjector injector(&loop);
+  network.AttachFaultInjector(&injector);
+  net::RpcServer server(&network, "server");
+  ASSERT_TRUE(server.Start().ok());
+  int applied = 0;
+  server.RegisterMethod("Apply",
+                        [&](const XmlNode&) -> util::Result<XmlNode> {
+                          ++applied;
+                          return XmlNode("result");
+                        });
+  net::RpcClient client(&network, &loop, "client", "server");
+  ASSERT_TRUE(client.Start().ok());
+
+  injector.PartitionOneWay("server", "client");
+  std::optional<util::Status> seen;
+  client.Call(
+      "Apply", XmlNode("request"),
+      [&](util::Result<XmlNode> response) { seen = response.status(); },
+      /*timeout=*/2 * kSecond);
+  loop.RunUntil(loop.Now() + 5 * kSecond);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(seen->code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(applied, 1);  // the work happened; only the ack was lost
+}
+
 TEST(FaultInjectorTest, ExtraLossDropsConfiguredFraction) {
   net::EventLoop loop;
   net::SimNetwork network(&loop, QuietNet());

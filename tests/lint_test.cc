@@ -356,6 +356,31 @@ TEST(Layering, ClusterSitsAboveServerButBelowSim) {
   EXPECT_EQ(CountRule(sim, "layering"), 0) << FormatHuman(sim);
 }
 
+TEST(Layering, GossipAndAntiEntropyStayInTheClusterLayer) {
+  // The gossip failure detector and anti-entropy sweeper are cluster-layer
+  // citizens: free to use the RPC plane, storage digests, and metrics...
+  auto gossip = AnalyzeOne("src/cluster/gossip.cc",
+                           "#include \"cluster/gossip.h\"\n"
+                           "#include \"cluster/hash_ring.h\"\n"
+                           "#include \"net/rpc.h\"\n"
+                           "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(CountRule(gossip, "layering"), 0) << FormatHuman(gossip);
+  auto entropy = AnalyzeOne("src/cluster/anti_entropy.cc",
+                            "#include \"cluster/anti_entropy.h\"\n"
+                            "#include \"cluster/replication.h\"\n"
+                            "#include \"storage/database.h\"\n"
+                            "#include \"util/sha1.h\"\n");
+  EXPECT_EQ(CountRule(entropy, "layering"), 0) << FormatHuman(entropy);
+  // ...but the layers below must not grow a dependency on them: a server
+  // or net file reaching up into the failure detector inverts the DAG.
+  auto up = AnalyzeOne("src/server/reputation_server.cc",
+                       "#include \"cluster/gossip.h\"\n");
+  EXPECT_TRUE(HasFinding(up, "layering", "src/server/reputation_server.cc", 1));
+  auto net = AnalyzeOne("src/net/fault_injector.cc",
+                        "#include \"cluster/anti_entropy.h\"\n");
+  EXPECT_TRUE(HasFinding(net, "layering", "src/net/fault_injector.cc", 1));
+}
+
 TEST(Layering, TestsAreUnrestricted) {
   auto findings = AnalyzeOne("tests/x_test.cc",
                              "#include \"server/feeds.h\"\n"
