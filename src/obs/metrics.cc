@@ -53,7 +53,7 @@ std::string WithLabel(std::string_view family, std::string_view key,
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = cells_.find(name);
   if (it != cells_.end()) {
     PISREP_CHECK(it->second.type == MetricSnapshot::Type::kCounter)
@@ -70,7 +70,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = cells_.find(name);
   if (it != cells_.end()) {
     PISREP_CHECK(it->second.type == MetricSnapshot::Type::kGauge)
@@ -88,7 +88,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   auto it = cells_.find(name);
   if (it != cells_.end()) {
     PISREP_CHECK(it->second.type == MetricSnapshot::Type::kHistogram)
@@ -105,7 +105,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   std::vector<MetricSnapshot> out;
   out.reserve(cells_.size());
   for (const auto& [name, cell] : cells_) {
@@ -132,7 +132,7 @@ std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
 }
 
 std::size_t MetricsRegistry::MetricCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return cells_.size();
 }
 

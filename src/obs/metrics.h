@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pisrep::obs {
 
@@ -136,18 +138,22 @@ class MetricsRegistry {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mutex_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mutex_);
   /// `bounds` must be sorted and strictly increasing; an implicit +Inf
   /// bucket is appended. Re-registration ignores `bounds` and returns the
   /// existing histogram.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds);
+                          std::vector<double> bounds) EXCLUDES(mutex_);
 
   /// Name-sorted flattened read of every metric (deterministic order).
-  std::vector<MetricSnapshot> Snapshot() const;
+  /// Concurrent updates on live handles land in the snapshot
+  /// monotonically but not atomically across cells: a counter bumped
+  /// mid-snapshot may show in one cell and not another. Totals are exact
+  /// once updaters have quiesced (asserted by the tsan-stress suite).
+  std::vector<MetricSnapshot> Snapshot() const EXCLUDES(mutex_);
 
-  std::size_t MetricCount() const;
+  std::size_t MetricCount() const EXCLUDES(mutex_);
 
  private:
   struct Cell {
@@ -158,8 +164,10 @@ class MetricsRegistry {
   };
 
   std::atomic<bool> enabled_{true};
-  mutable std::mutex mutex_;
-  std::map<std::string, Cell> cells_;  ///< sorted => stable export order
+  mutable util::Mutex mutex_;
+  /// Sorted => stable export order. The map (registration) is guarded;
+  /// updates on the handles inside the cells are lock-free atomics.
+  std::map<std::string, Cell> cells_ GUARDED_BY(mutex_);
 };
 
 }  // namespace pisrep::obs

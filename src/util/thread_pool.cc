@@ -18,10 +18,10 @@ ThreadPool::ThreadPool(std::size_t workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
+    cv_.NotifyAll();
   }
-  cv_.notify_all();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -29,8 +29,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain-then-exit: queued work submitted before shutdown still runs.
       if (queue_.empty()) return;
       task = std::move(queue_.front());
@@ -46,11 +46,16 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   std::future<void> future = packaged.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PISREP_CHECK(!stopping_) << "Submit on a ThreadPool being destroyed";
     queue_.push_back(std::move(packaged));
+    // Notify while still holding mu_: with the old unlocked notify, a
+    // last Submit racing pool destruction could touch cv_ after the
+    // destructor had already drained, joined, and freed it. Under the
+    // lock, the destructor (which must take mu_ to set stopping_) cannot
+    // start tearing down until this notify has finished.
+    cv_.NotifyOne();
   }
-  cv_.notify_one();
   return future;
 }
 

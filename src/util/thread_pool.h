@@ -1,14 +1,15 @@
 #ifndef PISREP_UTIL_THREAD_POOL_H_
 #define PISREP_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pisrep::util {
 
@@ -41,7 +42,7 @@ class ThreadPool {
   /// run. An exception thrown by the task is captured and rethrown from
   /// `future.get()` on the caller's thread. Submitting to a pool whose
   /// destructor has started is a programming error.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Splits [0, n) into at most size() contiguous chunks and runs
   /// `body(begin, end)` for each, one chunk on the calling thread and the
@@ -55,13 +56,14 @@ class ThreadPool {
                                             std::size_t end)>& body);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
+  /// Written once in the constructor, then only read — no lock needed.
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;  ///< guarded by mu_
-  bool stopping_ = false;                         ///< guarded by mu_
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::packaged_task<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pisrep::util

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -44,7 +45,7 @@ int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
 
 TEST(LintRegistry, RulesAreRegisteredWithUniqueIds) {
   const auto& checkers = AllCheckers();
-  ASSERT_GE(checkers.size(), 7u);
+  ASSERT_GE(checkers.size(), 10u);
   std::set<std::string> ids;
   for (const auto& checker : checkers) {
     EXPECT_FALSE(checker->rule().empty());
@@ -54,6 +55,9 @@ TEST(LintRegistry, RulesAreRegisteredWithUniqueIds) {
   }
   EXPECT_NE(FindChecker("discarded-status"), nullptr);
   EXPECT_NE(FindChecker("wall-clock"), nullptr);
+  EXPECT_NE(FindChecker("unannotated-guarded-field"), nullptr);
+  EXPECT_NE(FindChecker("raw-lock-unlock"), nullptr);
+  EXPECT_NE(FindChecker("atomic-memory-order"), nullptr);
   EXPECT_EQ(FindChecker("no-such-rule"), nullptr);
 }
 
@@ -461,6 +465,198 @@ TEST(Suppression, DoesNotLeakBeyondTheNextLine) {
 }
 
 // ---------------------------------------------------------------------------
+// unannotated-guarded-field
+
+TEST(GuardedField, FieldAfterMutexWithoutAnnotationIsFlagged) {
+  auto findings = AnalyzeOne("src/core/g.h",
+                             "#ifndef G_H_\n"
+                             "#define G_H_\n"
+                             "class Tracker {\n"
+                             " private:\n"
+                             "  util::Mutex mu_;\n"
+                             "  int count_ = 0;\n"  // line 6: unguarded
+                             "};\n"
+                             "#endif  // G_H_\n");
+  EXPECT_TRUE(
+      HasFinding(findings, "unannotated-guarded-field", "src/core/g.h", 6))
+      << FormatHuman(findings);
+  EXPECT_EQ(CountRule(findings, "unannotated-guarded-field"), 1);
+}
+
+TEST(GuardedField, DisciplinedClassIsClean) {
+  // Config fields above the mutex, GUARDED_BY fields below it; atomics,
+  // condition variables, and statics synchronize themselves.
+  auto findings = AnalyzeOne("src/core/g.h",
+                             "#ifndef G_H_\n"
+                             "#define G_H_\n"
+                             "class Tracker {\n"
+                             " public:\n"
+                             "  int limit() const { return limit_; }\n"
+                             " private:\n"
+                             "  int limit_ = 8;\n"
+                             "  std::mutex mu_;\n"
+                             "  int count_ GUARDED_BY(mu_) = 0;\n"
+                             "  std::deque<int> work_ GUARDED_BY(mu_);\n"
+                             "  CondVar cv_;\n"
+                             "  std::atomic<bool> done_{false};\n"
+                             "  static constexpr int kMax_ = 4;\n"
+                             "};\n"
+                             "#endif  // G_H_\n");
+  EXPECT_EQ(CountRule(findings, "unannotated-guarded-field"), 0)
+      << FormatHuman(findings);
+}
+
+TEST(GuardedField, ClassWithoutMutexAndTestFilesAreExempt) {
+  auto no_mutex = AnalyzeOne("src/core/g.h",
+                             "#ifndef G_H_\n"
+                             "#define G_H_\n"
+                             "class Plain {\n"
+                             "  int count_ = 0;\n"
+                             "};\n"
+                             "#endif  // G_H_\n");
+  EXPECT_EQ(CountRule(no_mutex, "unannotated-guarded-field"), 0)
+      << FormatHuman(no_mutex);
+
+  // The rule is a src/ discipline; test fixtures may improvise.
+  auto in_test = AnalyzeOne("tests/g_test.cc",
+                            "class Fixture {\n"
+                            "  std::mutex mu_;\n"
+                            "  int count_ = 0;\n"
+                            "};\n");
+  EXPECT_EQ(CountRule(in_test, "unannotated-guarded-field"), 0)
+      << FormatHuman(in_test);
+}
+
+TEST(GuardedField, SuppressionCommentIsHonoured) {
+  auto findings = AnalyzeOne(
+      "src/core/g.h",
+      "#ifndef G_H_\n"
+      "#define G_H_\n"
+      "class Tracker {\n"
+      "  std::mutex mu_;\n"
+      "  // pisrep-lint: allow(unannotated-guarded-field)\n"
+      "  int count_ = 0;\n"
+      "};\n"
+      "#endif  // G_H_\n");
+  EXPECT_EQ(CountRule(findings, "unannotated-guarded-field"), 0)
+      << FormatHuman(findings);
+}
+
+TEST(GuardedField, MethodBodiesAndInitializersDoNotConfuseTheScan) {
+  // Inline method bodies between the mutex and a guarded field, and a
+  // brace initializer on the field itself, must not derail statement
+  // tracking.
+  auto findings = AnalyzeOne("src/core/g.h",
+                             "#ifndef G_H_\n"
+                             "#define G_H_\n"
+                             "class Tracker {\n"
+                             " public:\n"
+                             "  void Reset() { count_ = 0; }\n"
+                             " private:\n"
+                             "  std::mutex mu_;\n"
+                             "  int count_ GUARDED_BY(mu_){0};\n"
+                             "  int bad_{0};\n"  // line 9: unguarded
+                             "};\n"
+                             "#endif  // G_H_\n");
+  EXPECT_TRUE(
+      HasFinding(findings, "unannotated-guarded-field", "src/core/g.h", 9))
+      << FormatHuman(findings);
+  EXPECT_EQ(CountRule(findings, "unannotated-guarded-field"), 1);
+}
+
+// ---------------------------------------------------------------------------
+// raw-lock-unlock
+
+TEST(RawLockUnlock, ManualLockAndUnlockStatementsAreFlagged) {
+  auto findings = AnalyzeOne("src/core/l.cc",
+                             "void Poke() {\n"
+                             "  mu_.lock();\n"
+                             "  counter.Bump();\n"
+                             "  mu_.unlock();\n"
+                             "}\n");
+  EXPECT_TRUE(HasFinding(findings, "raw-lock-unlock", "src/core/l.cc", 2))
+      << FormatHuman(findings);
+  EXPECT_TRUE(HasFinding(findings, "raw-lock-unlock", "src/core/l.cc", 4));
+  EXPECT_EQ(CountRule(findings, "raw-lock-unlock"), 2);
+}
+
+TEST(RawLockUnlock, RaiiHoldersAndWeakPtrLockAreFine) {
+  auto findings = AnalyzeOne(
+      "src/core/l.cc",
+      "void Poke() {\n"
+      "  MutexLock lock(&mu_);\n"
+      "  counter.Bump();\n"
+      "}\n"
+      "void Visit(std::weak_ptr<Conn> weak) {\n"
+      // weak_ptr::lock() returns a value that is consumed, so it is not
+      // a statement-level discarded call and never matches.
+      "  if (auto self = weak.lock()) self->Visit();\n"
+      "  auto held = weak.lock();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "raw-lock-unlock"), 0)
+      << FormatHuman(findings);
+}
+
+TEST(RawLockUnlock, SuppressionCommentIsHonoured) {
+  auto findings = AnalyzeOne(
+      "src/util/l.cc",
+      "void Mutex::Lock() {\n"
+      "  mu_.lock();  // pisrep-lint: allow(raw-lock-unlock)\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "raw-lock-unlock"), 0)
+      << FormatHuman(findings);
+}
+
+// ---------------------------------------------------------------------------
+// atomic-memory-order
+
+TEST(AtomicMemoryOrder, DefaultedOrderIsFlaggedOutsideObs) {
+  auto findings = AnalyzeOne("src/core/a.cc",
+                             "void Bump() {\n"
+                             "  hits_.fetch_add(1);\n"
+                             "  ready_.store(true);\n"
+                             "  int v = hits_.load();\n"
+                             "}\n");
+  EXPECT_TRUE(HasFinding(findings, "atomic-memory-order", "src/core/a.cc", 2))
+      << FormatHuman(findings);
+  EXPECT_TRUE(HasFinding(findings, "atomic-memory-order", "src/core/a.cc", 3));
+  EXPECT_TRUE(HasFinding(findings, "atomic-memory-order", "src/core/a.cc", 4));
+  EXPECT_EQ(CountRule(findings, "atomic-memory-order"), 3);
+}
+
+TEST(AtomicMemoryOrder, ExplicitOrderAndNonAtomicNamesAreFine) {
+  auto findings = AnalyzeOne(
+      "src/core/a.cc",
+      "void Bump() {\n"
+      "  hits_.fetch_add(1, std::memory_order_relaxed);\n"
+      "  ready_.store(true, std::memory_order_release);\n"
+      "  int v = hits_.load(std::memory_order_acquire);\n"
+      "  bool won = state_.compare_exchange_strong(\n"
+      "      expected, desired, std::memory_order_acq_rel,\n"
+      "      std::memory_order_acquire);\n"
+      // Free-function std::exchange and a container Load-alike are not
+      // member atomic ops.
+      "  int old = std::exchange(plain, 4);\n"
+      "  wal.Load();\n"
+      "}\n");
+  EXPECT_EQ(CountRule(findings, "atomic-memory-order"), 0)
+      << FormatHuman(findings);
+}
+
+TEST(AtomicMemoryOrder, ObsLayerIsExemptAndSuppressionWorks) {
+  auto obs = AnalyzeOne("src/obs/m.cc",
+                        "void Bump() { value_.fetch_add(1); }\n");
+  EXPECT_EQ(CountRule(obs, "atomic-memory-order"), 0) << FormatHuman(obs);
+
+  auto suppressed = AnalyzeOne(
+      "src/core/a.cc",
+      "// seq_cst deliberately: pisrep-lint: allow(atomic-memory-order)\n"
+      "void Bump() { hits_.fetch_add(1); }\n");
+  EXPECT_EQ(CountRule(suppressed, "atomic-memory-order"), 0)
+      << FormatHuman(suppressed);
+}
+
+// ---------------------------------------------------------------------------
 // baseline
 
 TEST(Baseline, ParseSkipsCommentsAndBlankLines) {
@@ -490,6 +686,30 @@ TEST(Baseline, FilterRemovesExactMatchesOnly) {
 TEST(Baseline, KeyMatchesDocumentedFormat) {
   Finding f{"layering", "src/core/c.cc", 1, "msg"};
   EXPECT_EQ(BaselineKey(f), "layering src/core/c.cc:1");
+}
+
+TEST(Baseline, FormatBaselineIsSortedDeduplicatedAndStable) {
+  std::vector<Finding> findings = {
+      {"wall-clock", "src/net/old.cc", 7, "time()"},
+      {"raw-new-delete", "src/core/old.cc", 12, "raw new"},
+      {"raw-new-delete", "src/core/old.cc", 12, "duplicate"},
+  };
+  std::string first = FormatBaseline(findings);
+  // Entries are sorted and deduplicated regardless of input order.
+  EXPECT_NE(first.find("raw-new-delete src/core/old.cc:12\n"
+                       "wall-clock src/net/old.cc:7\n"),
+            std::string::npos)
+      << first;
+
+  std::reverse(findings.begin(), findings.end());
+  EXPECT_EQ(first, FormatBaseline(findings)) << "must be byte-stable";
+
+  // Round trip: a regenerated baseline filters out exactly its findings,
+  // so `--update-baseline` twice in a row is a no-op.
+  auto filtered = FilterBaseline(findings, ParseBaseline(first));
+  EXPECT_TRUE(filtered.empty()) << FormatHuman(filtered);
+  EXPECT_EQ(FormatBaseline({}),
+            FormatBaseline(filtered));  // header-only when clean
 }
 
 // ---------------------------------------------------------------------------

@@ -18,8 +18,8 @@ TEST(ThreadPoolTest, AtLeastOneWorker) {
 TEST(ThreadPoolTest, SubmitRunsTask) {
   ThreadPool pool(2);
   std::atomic<int> ran{0};
-  pool.Submit([&] { ran.fetch_add(1); }).get();
-  EXPECT_EQ(ran.load(), 1);
+  pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); }).get();
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1);
 }
 
 TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
@@ -31,11 +31,11 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedWork) {
   {
     ThreadPool pool(2);
     for (int i = 0; i < kTasks; ++i) {
-      pool.Submit([&] { ran.fetch_add(1); });
+      pool.Submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
     }
     // Destructor: drain, then join.
   }
-  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), kTasks);
 }
 
 TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
@@ -45,14 +45,14 @@ TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
   // The worker survives the throwing task.
   std::atomic<bool> ok{false};
   pool.Submit([&] { ok = true; }).get();
-  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(ok.load(std::memory_order_relaxed));
 }
 
 TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoOp) {
   ThreadPool pool(4);
   std::atomic<int> calls{0};
-  pool.ParallelFor(0, [&](std::size_t, std::size_t) { calls.fetch_add(1); });
-  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(0, [&](std::size_t, std::size_t) { calls.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(calls.load(std::memory_order_relaxed), 0);
 }
 
 TEST(ThreadPoolTest, ParallelForSizeOneRunsInline) {
@@ -60,11 +60,11 @@ TEST(ThreadPoolTest, ParallelForSizeOneRunsInline) {
   std::atomic<int> calls{0};
   std::size_t seen_begin = 99, seen_end = 99;
   pool.ParallelFor(1, [&](std::size_t begin, std::size_t end) {
-    calls.fetch_add(1);
+    calls.fetch_add(1, std::memory_order_relaxed);
     seen_begin = begin;
     seen_end = end;
   });
-  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(calls.load(std::memory_order_relaxed), 1);
   EXPECT_EQ(seen_begin, 0u);
   EXPECT_EQ(seen_end, 1u);
 }
@@ -76,10 +76,10 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
     pool.ParallelFor(n, [&](std::size_t begin, std::size_t end) {
       ASSERT_LE(begin, end);
       ASSERT_LE(end, n);
-      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1, std::memory_order_relaxed);
     });
     for (std::size_t i = 0; i < n; ++i) {
-      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+      EXPECT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "n=" << n << " i=" << i;
     }
   }
 }
@@ -90,12 +90,12 @@ TEST(ThreadPoolTest, ParallelForPropagatesChunkException) {
   EXPECT_THROW(
       pool.ParallelFor(100,
                        [&](std::size_t begin, std::size_t end) {
-                         visited.fetch_add(end - begin);
+                         visited.fetch_add(end - begin, std::memory_order_relaxed);
                          if (begin == 0) throw std::runtime_error("chunk 0");
                        }),
       std::runtime_error);
   // No partial abandonment: every chunk was attempted before the rethrow.
-  EXPECT_EQ(visited.load(), 100u);
+  EXPECT_EQ(visited.load(std::memory_order_relaxed), 100u);
 }
 
 TEST(ThreadPoolTest, ParallelForUsableAfterException) {
@@ -107,9 +107,9 @@ TEST(ThreadPoolTest, ParallelForUsableAfterException) {
               std::runtime_error);
   std::atomic<std::size_t> total{0};
   pool.ParallelFor(10, [&](std::size_t begin, std::size_t end) {
-    total.fetch_add(end - begin);
+    total.fetch_add(end - begin, std::memory_order_relaxed);
   });
-  EXPECT_EQ(total.load(), 10u);
+  EXPECT_EQ(total.load(std::memory_order_relaxed), 10u);
 }
 
 }  // namespace

@@ -476,6 +476,303 @@ class RawNewDeleteChecker : public Checker {
   }
 };
 
+// ---------------------------------------------------------------------------
+// unannotated-guarded-field
+// ---------------------------------------------------------------------------
+
+/// Enforces the GUARDED_BY discipline (DESIGN.md §13) on every compiler,
+/// not just clang: in a class that owns a mutex, every data member declared
+/// *after* the mutex must say which lock guards it. The house layout makes
+/// this checkable at token level — config fields written before threads
+/// exist go above the mutex, the mutex comes next, and everything below it
+/// is lock-protected shared state:
+///
+///   std::vector<std::thread> threads_;            // pre-thread config
+///   Mutex mu_;
+///   std::deque<Task> queue_ GUARDED_BY(mu_);      // shared state
+///
+/// Atomics, condition variables, and further locks are their own
+/// synchronization and are exempt, as are static/constexpr members.
+/// Restricted to src/: tests and benches may improvise.
+class UnannotatedGuardedFieldChecker : public Checker {
+ public:
+  std::string_view rule() const override {
+    return "unannotated-guarded-field";
+  }
+  std::string_view description() const override {
+    return "field declared after a mutex member lacks GUARDED_BY(...); "
+           "annotate it, or move unguarded config fields above the mutex";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    if (ctx.layer.empty()) return;  // src/ only
+    const auto& toks = ctx.lexed->tokens;
+
+    struct Frame {
+      bool is_class = false;
+      bool mutex_seen = false;
+      std::string mutex_name;
+      std::vector<Token> stmt;  ///< pending member-declaration tokens
+    };
+    std::vector<Frame> frames;
+    bool pending_class = false;
+
+    auto in_class = [&] {
+      return !frames.empty() && frames.back().is_class;
+    };
+    // Inline-skips a balanced {...} group; `i` indexes the opening brace.
+    // Returns the index of the matching close (or the last token).
+    auto skip_braces = [&](std::size_t i) {
+      int depth = 0;
+      for (; i < toks.size(); ++i) {
+        if (toks[i].kind != TokenKind::kPunct) continue;
+        if (toks[i].text == "{") ++depth;
+        if (toks[i].text == "}" && --depth == 0) return i;
+      }
+      return toks.size() - 1;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (IsIdent(t)) {
+        if ((t.text == "class" || t.text == "struct" ||
+             t.text == "union") &&
+            (i == 0 ||
+             !(IsIdent(toks[i - 1]) && toks[i - 1].text == "enum"))) {
+          pending_class = true;
+        }
+        if (in_class()) frames.back().stmt.push_back(t);
+        continue;
+      }
+      if (t.kind != TokenKind::kPunct) {
+        if (in_class()) frames.back().stmt.push_back(t);
+        continue;
+      }
+      if (t.text == "{") {
+        if (pending_class) {
+          pending_class = false;
+          frames.push_back(Frame{true, false, {}, {}});
+        } else if (in_class() && !frames.back().stmt.empty() &&
+                   IsMemberName(frames.back().stmt.back())) {
+          // Default member initializer `field_{...}`: consume the braces,
+          // the declaration continues up to its ';'.
+          i = skip_braces(i);
+        } else {
+          // Function body or other non-class block: its tokens are not
+          // member declarations, and any heading tokens collected so far
+          // (`void Foo() ...`) were a method, not a field.
+          if (in_class()) frames.back().stmt.clear();
+          frames.push_back(Frame{});
+        }
+        continue;
+      }
+      if (t.text == "}") {
+        if (!frames.empty()) frames.pop_back();
+        continue;
+      }
+      if (t.text == ";") {
+        pending_class = false;  // `class X;` forward declaration
+        if (in_class()) {
+          ProcessMember(ctx, &frames.back(), out);
+          frames.back().stmt.clear();
+        }
+        continue;
+      }
+      if (t.text == ":" && in_class() && frames.back().stmt.size() == 1 &&
+          IsAccessSpecifier(frames.back().stmt[0])) {
+        frames.back().stmt.clear();
+        continue;
+      }
+      if (in_class()) frames.back().stmt.push_back(t);
+    }
+  }
+
+ private:
+  static bool IsAccessSpecifier(const Token& t) {
+    return IsIdent(t) && (t.text == "public" || t.text == "private" ||
+                          t.text == "protected");
+  }
+
+  /// House style: data members end in '_'. Method and parameter names
+  /// never do, which is what makes field declarations recognisable
+  /// without a real parser.
+  static bool IsMemberName(const Token& t) {
+    return IsIdent(t) && t.text.size() > 1 && t.text.back() == '_';
+  }
+
+  static bool IsMutexTypeName(const std::string& name) {
+    static const std::set<std::string> kMutexTypes = {
+        "Mutex",          "mutex",
+        "shared_mutex",   "recursive_mutex",
+        "timed_mutex",    "recursive_timed_mutex",
+        "shared_timed_mutex",
+    };
+    return kMutexTypes.count(name) != 0;
+  }
+
+  template <typename FrameT>
+  static void ProcessMember(const FileContext& ctx, FrameT* frame,
+                            std::vector<Finding>* out) {
+    const std::vector<Token>& stmt = frame->stmt;
+    if (stmt.empty()) return;
+    // The declarator is the first top-level identifier ending in '_'
+    // (type tokens precede it; annotation arguments and parameter lists
+    // sit inside (...) or <...> and are never top-level).
+    int depth = 0;
+    std::size_t decl = stmt.size();
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      const Token& t = stmt[i];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "<") ++depth;
+        if (t.text == ")" || t.text == "]" || t.text == ">") --depth;
+        if (t.text == ">>") depth -= 2;
+        continue;
+      }
+      if (depth <= 0 && IsMemberName(t)) {
+        decl = i;
+        break;
+      }
+    }
+    if (decl == stmt.size()) return;  // no field declarator: method, enum...
+
+    // Mutex members flip the frame into guarded mode; they need no
+    // annotation themselves.
+    int type_depth = 0;
+    for (std::size_t i = 0; i < decl; ++i) {
+      const Token& t = stmt[i];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[" || t.text == "<") ++type_depth;
+        if (t.text == ")" || t.text == "]" || t.text == ">") --type_depth;
+        if (t.text == ">>") type_depth -= 2;
+        continue;
+      }
+      if (type_depth <= 0 && IsIdent(t) && IsMutexTypeName(t.text)) {
+        frame->mutex_seen = true;
+        frame->mutex_name = stmt[decl].text;
+        return;
+      }
+    }
+    if (!frame->mutex_seen) return;
+
+    // Exemptions: annotated fields, other synchronization primitives, and
+    // compile-time members.
+    for (std::size_t i = 0; i < stmt.size(); ++i) {
+      if (!IsIdent(stmt[i])) continue;
+      const std::string& name = stmt[i].text;
+      if (name == "GUARDED_BY" || name == "PT_GUARDED_BY") return;
+      if (name == "static" || name == "constexpr") return;
+      if (i < decl &&
+          (name == "atomic" || name == "CondVar" ||
+           name == "condition_variable" ||
+           name == "condition_variable_any")) {
+        return;
+      }
+    }
+    out->push_back(Finding{
+        std::string("unannotated-guarded-field"), ctx.path, stmt[decl].line,
+        "field '" + stmt[decl].text + "' is declared after mutex '" +
+            frame->mutex_name +
+            "' but carries no GUARDED_BY(...) annotation; annotate it, "
+            "move it above the mutex if unguarded, or suppress with a "
+            "justification"});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// raw-lock-unlock
+// ---------------------------------------------------------------------------
+
+/// Manual lock()/unlock() pairs leak on early returns and exceptions, and
+/// clang's hold-tracking cannot follow them across branches. All locking
+/// goes through RAII holders (util::MutexLock); the annotated wrapper's
+/// own implementation is the single suppressed exception. The check only
+/// fires on *statement-level* calls — `weak.lock()` on a weak_ptr returns
+/// a value that any real use consumes, so it never matches.
+class RawLockUnlockChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "raw-lock-unlock"; }
+  std::string_view description() const override {
+    return "manual lock()/unlock() call; use a RAII holder "
+           "(util::MutexLock) so early returns and exceptions release";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    static const std::set<std::string> kBanned = {
+        "lock",        "unlock",        "try_lock", "lock_shared",
+        "unlock_shared", "Lock",        "Unlock",   "TryLock",
+    };
+    const auto& toks = ctx.lexed->tokens;
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (!AtStatementStart(toks, i)) continue;
+      std::string callee;
+      std::size_t open = ParseCallChain(toks, i, &callee);
+      if (open == kNpos) continue;
+      if (kBanned.count(callee) == 0) continue;
+      std::size_t after = SkipParens(toks, open);
+      if (after >= toks.size() || !IsPunct(toks[after], ";")) continue;
+      out->push_back(Finding{
+          std::string(rule()), ctx.path, toks[i].line,
+          "manual '" + callee + "()' call; hold the lock through a RAII "
+          "holder (util::MutexLock) instead"});
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// atomic-memory-order
+// ---------------------------------------------------------------------------
+
+/// Defaulted atomic operations are seq_cst, which both hides the author's
+/// intent and quietly costs a full fence on weakly-ordered targets. Every
+/// named atomic operation outside obs/ (whose relaxed cells are audited as
+/// a layer property, DESIGN.md §10/§13) must spell its ordering; audited
+/// deviations carry a `pisrep-lint: allow(atomic-memory-order)` comment.
+class AtomicMemoryOrderChecker : public Checker {
+ public:
+  std::string_view rule() const override { return "atomic-memory-order"; }
+  std::string_view description() const override {
+    return "std::atomic load/store/RMW without an explicit "
+           "std::memory_order argument (outside obs/)";
+  }
+
+  void Check(const FileContext& ctx,
+             std::vector<Finding>* out) const override {
+    if (ctx.layer == "obs") return;  // audited relaxed cells live there
+    static const std::set<std::string> kAtomicOps = {
+        "load",      "store",     "exchange",
+        "fetch_add", "fetch_sub", "fetch_and",
+        "fetch_or",  "fetch_xor", "compare_exchange_weak",
+        "compare_exchange_strong",
+    };
+    const auto& toks = ctx.lexed->tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!(IsPunct(toks[i], ".") || IsPunct(toks[i], "->"))) continue;
+      if (!IsIdent(toks[i + 1]) ||
+          kAtomicOps.count(toks[i + 1].text) == 0) {
+        continue;
+      }
+      if (!IsPunct(toks[i + 2], "(")) continue;
+      std::size_t after = SkipParens(toks, i + 2);
+      bool has_order = false;
+      for (std::size_t j = i + 3; j + 1 < after; ++j) {
+        if (IsIdent(toks[j]) &&
+            toks[j].text.rfind("memory_order", 0) == 0) {
+          has_order = true;
+          break;
+        }
+      }
+      if (has_order) continue;
+      out->push_back(Finding{
+          std::string(rule()), ctx.path, toks[i + 1].line,
+          "atomic '" + toks[i + 1].text + "' without an explicit "
+          "std::memory_order argument; name the ordering (seq_cst if "
+          "that is what you mean)"});
+    }
+  }
+};
+
 }  // namespace
 
 const std::vector<std::unique_ptr<Checker>>& AllCheckers() {
@@ -490,6 +787,9 @@ const std::vector<std::unique_ptr<Checker>>& AllCheckers() {
     v->push_back(std::make_unique<IncludeGuardChecker>());
     v->push_back(std::make_unique<LayeringChecker>());
     v->push_back(std::make_unique<RawNewDeleteChecker>());
+    v->push_back(std::make_unique<UnannotatedGuardedFieldChecker>());
+    v->push_back(std::make_unique<RawLockUnlockChecker>());
+    v->push_back(std::make_unique<AtomicMemoryOrderChecker>());
     return v;
   }();
   return *checkers;

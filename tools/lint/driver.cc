@@ -259,6 +259,20 @@ std::vector<Finding> FilterBaseline(std::vector<Finding> findings,
   return findings;
 }
 
+std::string FormatBaseline(const std::vector<Finding>& findings) {
+  std::set<std::string> keys;  // sorted + deduplicated => byte-stable
+  for (const Finding& f : findings) keys.insert(BaselineKey(f));
+  std::ostringstream os;
+  os << "# pisrep-lint baseline: grandfathered findings, one `rule "
+        "path:line` per line.\n"
+        "# New code must not add entries; shrinking this file is always "
+        "welcome.\n"
+        "# Regenerate deterministically with:  pisrep-lint --root . "
+        "--update-baseline\n";
+  for (const std::string& key : keys) os << key << "\n";
+  return os.str();
+}
+
 std::string FormatHuman(const std::vector<Finding>& findings) {
   std::ostringstream os;
   for (const Finding& f : findings) {

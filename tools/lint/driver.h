@@ -46,6 +46,12 @@ std::string BaselineKey(const Finding& finding);
 std::vector<Finding> FilterBaseline(std::vector<Finding> findings,
                                     const std::set<std::string>& baseline);
 
+/// Renders `findings` as a baseline file: a fixed comment header followed
+/// by one sorted, deduplicated BaselineKey entry per line. Byte-stable for
+/// a given finding set, so `--update-baseline` twice in a row is a no-op
+/// (asserted by the driver tests).
+std::string FormatBaseline(const std::vector<Finding>& findings);
+
 /// "path:line: [rule] message" per finding plus a summary line.
 std::string FormatHuman(const std::vector<Finding>& findings);
 

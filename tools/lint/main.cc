@@ -7,7 +7,12 @@
 //
 // Usage:
 //   pisrep-lint [--root <repo-root>] [--json] [--baseline <file>]
-//               [--no-baseline] [--list-rules] [paths...]
+//               [--no-baseline] [--update-baseline] [--list-rules]
+//               [paths...]
+//
+// --update-baseline rewrites the baseline file from the current findings
+// (sorted, deduplicated, byte-stable) instead of reporting them; running
+// it twice in a row is a no-op.
 //
 // Exit code 0 when no (unsuppressed, unbaselined) findings, 1 otherwise,
 // 2 on usage or I/O error.
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   bool json = false;
   bool use_baseline = true;
+  bool update_baseline = false;
   std::string baseline_path;
   std::vector<std::string> explicit_paths;
 
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--no-baseline") {
       use_baseline = false;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--root" && i + 1 < argc) {
@@ -108,7 +116,8 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: pisrep-lint [--root <repo-root>] [--json]\n"
           "                   [--baseline <file>] [--no-baseline]\n"
-          "                   [--list-rules] [paths...]\n");
+          "                   [--update-baseline] [--list-rules]\n"
+          "                   [paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "pisrep-lint: unknown flag " << arg << "\n";
@@ -143,10 +152,26 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings = pisrep::lint::AnalyzeProject(files);
 
+  fs::path bp = baseline_path.empty()
+                    ? root / "tools" / "lint" / "baseline.txt"
+                    : fs::path(baseline_path);
+
+  if (update_baseline) {
+    // Regenerate from the *unfiltered* findings: the baseline is exactly
+    // what the tree currently violates, nothing more.
+    std::ofstream out(bp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "pisrep-lint: cannot write baseline " << bp << "\n";
+      return 2;
+    }
+    out << pisrep::lint::FormatBaseline(findings);
+    std::cout << "pisrep-lint: wrote " << findings.size() << " entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to "
+              << bp.generic_string() << "\n";
+    return 0;
+  }
+
   if (use_baseline) {
-    fs::path bp = baseline_path.empty()
-                      ? root / "tools" / "lint" / "baseline.txt"
-                      : fs::path(baseline_path);
     std::string content;
     if (ReadFile(bp, &content)) {
       findings = pisrep::lint::FilterBaseline(
