@@ -246,8 +246,15 @@ void WriteJson(const std::vector<SizeResult>& results) {
     std::exit(1);
   }
   std::fprintf(out, "{\n  \"benchmark\": \"incremental_aggregation\",\n");
-  std::fprintf(out, "  \"workers\": %zu,\n  \"host_cpus\": %u,\n  \"sizes\": [\n",
-               kWorkers, std::thread::hardware_concurrency());
+  // Honesty flag: with fewer host cpus than pool workers the
+  // parallel_speedup column measures scheduling overhead, not speedup —
+  // downstream tooling must not quote it as one.
+  unsigned host_cpus = std::thread::hardware_concurrency();
+  std::fprintf(out,
+               "  \"workers\": %zu,\n  \"host_cpus\": %u,\n"
+               "  \"speedup_valid\": %s,\n  \"sizes\": [\n",
+               kWorkers, host_cpus,
+               host_cpus >= kWorkers ? "true" : "false");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SizeResult& r = results[i];
     double full = static_cast<double>(r.full_single_micros);

@@ -8,8 +8,6 @@
 #include "util/logging.h"
 #include "util/sha1.h"
 #include "util/string_util.h"
-#include "xml/xml_parser.h"
-#include "xml/xml_writer.h"
 
 namespace pisrep::cluster {
 
@@ -85,6 +83,7 @@ Router::Router(net::SimNetwork* network, net::EventLoop* loop,
   // digest-plane calls lean on the per-server breaker to fail fast while a
   // shard is down, which the client's own retry/queue machinery absorbs.
   rpc_.AttachObservability(metrics, tracer);
+  if (config_.upstream_binary) rpc_.set_codec(proto::WireCodec::kBinary);
   if (metrics_ != nullptr) {
     broadcast_ops_metric_ =
         metrics_->GetCounter("pisrep_cluster_router_broadcast_ops_total");
@@ -94,6 +93,15 @@ Router::Router(net::SimNetwork* network, net::EventLoop* loop,
         metrics_->GetCounter("pisrep_cluster_router_effect_failures_total");
     read_repairs_metric_ =
         metrics_->GetCounter("pisrep_cluster_read_repairs_total");
+    // Same counter names as RpcServer's codec/batch metrics: the router is
+    // the cluster's hand-rolled front door, and dashboards should see one
+    // series per deployment regardless of which binary answered.
+    binary_requests_metric_ =
+        metrics_->GetCounter("pisrep_proto_binary_requests_total");
+    batched_requests_metric_ =
+        metrics_->GetCounter("pisrep_rpc_batched_requests_total");
+    vendor_index_hits_metric_ =
+        metrics_->GetCounter("pisrep_cluster_vendor_index_hits_total");
     scatter_ms_ = metrics_->GetHistogram(
         "pisrep_cluster_router_scatter_ms",
         {10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0});
@@ -104,8 +112,11 @@ Router::~Router() { network_->Unbind(config_.service_address); }
 
 Status Router::Start() {
   PISREP_RETURN_IF_ERROR(rpc_.Start());
-  return network_->Bind(config_.service_address,
-                        [this](const net::Message& m) { HandleMessage(m); });
+  PISREP_RETURN_IF_ERROR(network_->Bind(
+      config_.service_address,
+      [this](const net::Message& m) { HandleMessage(m); }));
+  if (config_.vendor_index_refresh > 0) ScheduleVendorIndexRefresh();
+  return Status::Ok();
 }
 
 void Router::AddShard(const std::string& name) {
@@ -126,9 +137,36 @@ obs::Counter* Router::ShardRequestCounter(const std::string& shard) {
 }
 
 void Router::HandleMessage(const net::Message& message) {
-  auto parsed = xml::ParseXml(message.payload);
-  if (!parsed.ok() || parsed->name() != "request") return;
-  const XmlNode& request = *parsed;
+  auto decoded = proto::DecodeFrame(message.payload);
+  if (!decoded.ok()) return;
+  // Reply-in-kind: remember the codec this client last spoke so every
+  // response (including ones produced much later by an async upstream
+  // callback) goes back the way the request came.
+  client_codecs_[message.from] = decoded->codec;
+  if (decoded->codec == proto::WireCodec::kBinary &&
+      binary_requests_metric_ != nullptr) {
+    binary_requests_metric_->Increment();
+  }
+  const XmlNode& node = decoded->node;
+  if (node.name() == "batch") {
+    // Unbundle: each member routes independently (they usually land on
+    // different shards) and is answered with its own response frame — the
+    // RpcClient matches responses by id, so per-member replies complete a
+    // batched call just as well as one batch frame, without the router
+    // holding the fastest shard's answer hostage to the slowest.
+    for (const XmlNode& child : node.children()) {
+      if (child.name() != "request") continue;
+      if (batched_requests_metric_) batched_requests_metric_->Increment();
+      DispatchRequest(message, child);
+    }
+    return;
+  }
+  if (node.name() != "request") return;
+  DispatchRequest(message, node);
+}
+
+void Router::DispatchRequest(const net::Message& message,
+                             const XmlNode& request) {
   std::string id = request.AttributeOr("id", "");
   std::string method = request.AttributeOr("method", "");
   ++requests_;
@@ -173,7 +211,12 @@ void Router::Reply(const std::string& client, const std::string& id,
                           util::StatusCodeName(result.status().code()));
     response.set_text(result.status().message());
   }
-  network_->Send(config_.service_address, client, xml::WriteXml(response));
+  proto::WireCodec codec = proto::WireCodec::kXml;
+  if (auto it = client_codecs_.find(client); it != client_codecs_.end()) {
+    codec = it->second;
+  }
+  network_->Send(config_.service_address, client,
+                 proto::EncodeFrame(response, codec));
 }
 
 void Router::ReplyError(const std::string& client, const std::string& id,
@@ -250,6 +293,20 @@ void Router::ForwardTo(const std::string& shard, const std::string& method,
           std::string company =
               software ? software->AttributeOr("company", "") : "";
           if (!company.empty()) {
+            // Fast path: rewrite from the merged vendor index — no
+            // per-query scatter, the index was paid for once per refresh
+            // period. An unknown vendor (fresh, or no round published
+            // yet) falls back to the historical scatter.
+            if (std::optional<XmlNode> vendor = VendorNodeFromIndex(company);
+                vendor.has_value()) {
+              auto& children = result->children();
+              std::erase_if(children, [](const XmlNode& child) {
+                return child.name() == "vendor";
+              });
+              result->AddChild(*std::move(vendor));
+              Reply(client, id, std::move(result));
+              return;
+            }
             std::string session = request.ChildText("session").value_or("");
             MergeVendor(
                 session, company,
@@ -494,6 +551,110 @@ void Router::ScatterVendor(const net::Message& message,
               [this, client = message.from, id](Result<XmlNode> merged) {
                 Reply(client, id, std::move(merged));
               });
+}
+
+// ---------------------------------------------------------------------------
+// Vendor-index plane
+// ---------------------------------------------------------------------------
+
+std::optional<XmlNode> Router::VendorNodeFromIndex(
+    const std::string& vendor) {
+  std::shared_ptr<const VendorIndex> index =
+      vendor_index_.Load();
+  if (index == nullptr) {
+    // No complete round published yet: that is a scatter fallback too.
+    ++vendor_index_misses_;
+    return std::nullopt;
+  }
+  auto it = index->by_name.find(vendor);
+  if (it == index->by_name.end()) {
+    ++vendor_index_misses_;
+    return std::nullopt;
+  }
+  ++vendor_index_hits_;
+  if (vendor_index_hits_metric_) vendor_index_hits_metric_->Increment();
+  // Byte-identical to MergeVendor's merged node, pinned by cluster_test:
+  // the rewrite must not betray which path produced it.
+  XmlNode node("vendor");
+  node.SetAttribute("name", it->second.vendor);
+  node.SetAttribute("score", util::StrFormat("%.6f", it->second.score));
+  node.SetAttribute("count", std::to_string(it->second.software_count));
+  return node;
+}
+
+namespace {
+/// Accumulator shared by one vendor-index refresh round's legs.
+struct IndexScatter {
+  std::vector<std::optional<Result<XmlNode>>> results;
+  int pending = 0;
+};
+}  // namespace
+
+void Router::RefreshVendorIndex() {
+  std::vector<std::string> members = ring_.Members();
+  if (members.empty()) return;
+  auto scatter = std::make_shared<IndexScatter>();
+  scatter->results.resize(members.size());
+  scatter->pending = static_cast<int>(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    rpc_.CallTo(
+        members[i], "QueryVendorIndex", XmlNode("r"),
+        [this, scatter, i, alive = std::weak_ptr<int>(alive_)](
+            Result<XmlNode> result) {
+          if (alive.expired()) return;
+          scatter->results[i] = std::move(result);
+          if (--scatter->pending > 0) return;
+          // Publish only a complete round: a partial index would misstate
+          // every vendor whose software the missing shard owns (the merge
+          // weights by per-shard counts). Until a round completes, the
+          // previous index keeps serving — vendors merely go stale, never
+          // wrong-by-omission.
+          VendorIndex merged;
+          std::unordered_map<std::string, double> weighted;
+          for (const auto& leg : scatter->results) {
+            if (!leg.has_value() || !leg->ok()) {
+              PISREP_LOG(kWarning)
+                  << "router: vendor-index refresh leg failed ("
+                  << (leg.has_value() ? leg->status().ToString()
+                                      : "no result")
+                  << "); keeping previous index";
+              return;
+            }
+            for (const XmlNode& child : (*leg)->children()) {
+              if (child.name() != "vendor") continue;
+              auto score = util::ParseDouble(child.AttributeOr("score", "0"));
+              auto count = util::ParseInt64(child.AttributeOr("count", "0"));
+              auto at =
+                  util::ParseInt64(child.AttributeOr("computed_at", "0"));
+              if (!score.ok() || !count.ok() || *count <= 0) continue;
+              std::string name = child.AttributeOr("name", "");
+              if (name.empty()) continue;
+              core::VendorScore& entry = merged.by_name[name];
+              entry.vendor = name;
+              entry.software_count += static_cast<int>(*count);
+              if (at.ok() && *at > entry.computed_at) entry.computed_at = *at;
+              weighted[name] += *score * static_cast<double>(*count);
+            }
+          }
+          for (auto& [name, entry] : merged.by_name) {
+            entry.score =
+                weighted[name] / static_cast<double>(entry.software_count);
+          }
+          vendor_index_.Store(
+              std::make_shared<const VendorIndex>(std::move(merged)));
+          ++vendor_index_refreshes_;
+        },
+        config_.call_timeout);
+  }
+}
+
+void Router::ScheduleVendorIndexRefresh() {
+  RefreshVendorIndex();
+  loop_->ScheduleAfter(config_.vendor_index_refresh,
+                       [this, alive = std::weak_ptr<int>(alive_)] {
+                         if (alive.expired()) return;
+                         ScheduleVendorIndexRefresh();
+                       });
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,154 @@
+#include "proto/binary_codec.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace pisrep::proto {
+
+namespace {
+
+using util::Result;
+using util::Status;
+using xml::XmlNode;
+
+/// Nesting deeper than any legitimate pisrep frame (requests are ~3 levels,
+/// batch frames 4). Bounds recursion so a malicious or corrupted frame can
+/// exhaust neither the stack nor, via huge fake counts, the allocator.
+constexpr int kMaxDepth = 32;
+
+void AppendVarint(std::string* out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void AppendString(std::string* out, std::string_view s) {
+  AppendVarint(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+void AppendNode(std::string* out, const XmlNode& node) {
+  AppendString(out, node.name());
+  AppendString(out, node.text());
+  AppendVarint(out, node.attributes().size());
+  for (const auto& [key, value] : node.attributes()) {
+    AppendString(out, key);
+    AppendString(out, value);
+  }
+  AppendVarint(out, node.children().size());
+  for (const XmlNode& child : node.children()) AppendNode(out, child);
+}
+
+/// Cursor over the frame bytes; every read is bounds-checked and failure is
+/// sticky, so decode loops can bail once at the end of each step.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadVarint(std::uint64_t* value) {
+    *value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= data_.size()) return false;
+      std::uint8_t byte = static_cast<std::uint8_t>(data_[pos_++]);
+      *value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;  // varint longer than 64 bits: corrupt
+  }
+
+  bool ReadString(std::string* out) {
+    std::uint64_t length = 0;
+    if (!ReadVarint(&length)) return false;
+    if (length > data_.size() - pos_) return false;
+    out->assign(data_.data() + pos_, static_cast<std::size_t>(length));
+    pos_ += static_cast<std::size_t>(length);
+    return true;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+bool ReadNode(Reader* reader, XmlNode* node, int depth) {
+  if (depth > kMaxDepth) return false;
+  std::string name;
+  std::string text;
+  if (!reader->ReadString(&name) || name.empty()) return false;
+  if (!reader->ReadString(&text)) return false;
+  node->set_name(name);
+  node->set_text(text);
+
+  std::uint64_t attr_count = 0;
+  if (!reader->ReadVarint(&attr_count)) return false;
+  // Each attribute costs at least two length bytes on the wire; a count
+  // larger than the remaining bytes is a corrupted frame, not a big one.
+  if (attr_count > reader->remaining()) return false;
+  for (std::uint64_t i = 0; i < attr_count; ++i) {
+    std::string key;
+    std::string value;
+    if (!reader->ReadString(&key) || key.empty()) return false;
+    if (!reader->ReadString(&value)) return false;
+    node->SetAttribute(key, value);
+  }
+
+  std::uint64_t child_count = 0;
+  if (!reader->ReadVarint(&child_count)) return false;
+  if (child_count > reader->remaining()) return false;
+  for (std::uint64_t i = 0; i < child_count; ++i) {
+    XmlNode& child = node->AddChild("x");
+    if (!ReadNode(reader, &child, depth + 1)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsBinaryFrame(std::string_view payload) {
+  return !payload.empty() && payload.front() == kBinaryFrameMagic;
+}
+
+std::string EncodeBinary(const XmlNode& node) {
+  std::string out;
+  out.push_back(kBinaryFrameMagic);
+  AppendNode(&out, node);
+  return out;
+}
+
+Result<XmlNode> DecodeBinary(std::string_view payload) {
+  if (!IsBinaryFrame(payload)) {
+    return Status::DataLoss("not a binary frame");
+  }
+  Reader reader(payload.substr(1));
+  XmlNode node("x");
+  if (!ReadNode(&reader, &node, 0) || reader.remaining() != 0) {
+    return Status::DataLoss("malformed binary frame");
+  }
+  return node;
+}
+
+std::string EncodeFrame(const XmlNode& node, WireCodec codec) {
+  return codec == WireCodec::kBinary ? EncodeBinary(node)
+                                     : xml::WriteXml(node);
+}
+
+Result<DecodedFrame> DecodeFrame(std::string_view payload) {
+  DecodedFrame frame;
+  if (IsBinaryFrame(payload)) {
+    PISREP_ASSIGN_OR_RETURN(frame.node, DecodeBinary(payload));
+    frame.codec = WireCodec::kBinary;
+    return frame;
+  }
+  PISREP_ASSIGN_OR_RETURN(frame.node, xml::ParseXml(payload));
+  frame.codec = WireCodec::kXml;
+  return frame;
+}
+
+}  // namespace pisrep::proto

@@ -1,0 +1,72 @@
+#ifndef PISREP_PROTO_BINARY_CODEC_H_
+#define PISREP_PROTO_BINARY_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/xml_node.h"
+
+namespace pisrep::proto {
+
+/// Compact binary framing for the RPC wire (DESIGN.md §14).
+///
+/// The XML codec is the paper's protocol (§3.2) and stays the default; the
+/// binary codec carries the *same* element tree — name, text, attributes in
+/// document order, children in document order — as length-prefixed fields,
+/// so any frame round-trips bit-identically:
+///
+///   DecodeBinary(EncodeBinary(node)) == node   (same WriteXml bytes)
+///
+/// Because the codec encodes the generic tree rather than per-method
+/// schemas, every current and future RPC method works over it unchanged,
+/// and equivalence with the XML path is structural rather than maintained
+/// by hand.
+///
+/// Frame grammar (all integers are LEB128 varints):
+///
+///   frame := magic(0x02) node
+///   node  := str(name) str(text) varint(#attrs) (str(key) str(value))*
+///            varint(#children) node*
+///   str   := varint(byte-length) bytes
+///
+/// The magic byte doubles as the per-connection negotiation: serialized XML
+/// always starts with '<', so a receiver distinguishes the codecs from the
+/// first byte and answers in the codec the peer spoke (RpcServer does
+/// exactly that). No handshake round-trip, and mixed-codec clients can
+/// share one server.
+enum class WireCodec { kXml, kBinary };
+
+/// First byte of every binary frame. 0x02 (STX) can never begin an XML
+/// document, so sniffing is unambiguous.
+inline constexpr char kBinaryFrameMagic = '\x02';
+
+/// True when `payload` claims to be a binary frame (magic-byte sniff).
+bool IsBinaryFrame(std::string_view payload);
+
+/// Serializes the element tree as a binary frame (magic byte included).
+std::string EncodeBinary(const xml::XmlNode& node);
+
+/// Parses a binary frame. Truncated, oversized or otherwise malformed
+/// input yields kDataLoss — never a crash — mirroring how the XML parser
+/// treats corrupted datagrams.
+util::Result<xml::XmlNode> DecodeBinary(std::string_view payload);
+
+/// Serializes `node` in the requested codec (XML text or binary frame).
+std::string EncodeFrame(const xml::XmlNode& node, WireCodec codec);
+
+/// A decoded frame plus the codec it arrived in, so the receiver can reply
+/// in kind.
+struct DecodedFrame {
+  xml::XmlNode node;
+  WireCodec codec = WireCodec::kXml;
+};
+
+/// Auto-detecting parse: binary frames go through DecodeBinary, anything
+/// else through the XML parser. Malformed input in either codec is an
+/// error status, never a crash.
+util::Result<DecodedFrame> DecodeFrame(std::string_view payload);
+
+}  // namespace pisrep::proto
+
+#endif  // PISREP_PROTO_BINARY_CODEC_H_

@@ -1,6 +1,7 @@
 #include "proto/wire.h"
 
 #include "util/sha256.h"
+#include "util/string_util.h"
 
 namespace pisrep::proto {
 
@@ -48,6 +49,50 @@ bool IsOwnershipMoved(std::string_view message) {
 std::string OwnershipMovedTarget(std::string_view message) {
   if (!IsOwnershipMoved(message)) return "";
   return std::string(message.substr(kOwnershipMovedPrefix.size()));
+}
+
+xml::XmlNode SoftwareMetaToXml(const core::SoftwareMeta& meta) {
+  xml::XmlNode node("software");
+  node.SetAttribute("id", meta.id.ToHex());
+  node.SetAttribute("file_name", meta.file_name);
+  node.SetAttribute("file_size", std::to_string(meta.file_size));
+  node.SetAttribute("company", meta.company);
+  node.SetAttribute("version", meta.version);
+  return node;
+}
+
+xml::XmlNode SoftwareInfoToXml(const SoftwareInfo& info) {
+  xml::XmlNode result("result");
+  result.SetAttribute("known", info.known ? "1" : "0");
+  result.AddChild(SoftwareMetaToXml(info.meta));
+  if (info.score.has_value()) {
+    xml::XmlNode& node = result.AddChild("score");
+    node.SetAttribute("value", util::StrFormat("%.6f", info.score->score));
+    node.SetAttribute("votes", std::to_string(info.score->vote_count));
+    node.SetAttribute("weight",
+                      util::StrFormat("%.6f", info.score->weight_sum));
+    node.SetAttribute("computed_at",
+                      std::to_string(info.score->computed_at));
+  }
+  if (info.vendor_score.has_value()) {
+    xml::XmlNode& node = result.AddChild("vendor");
+    node.SetAttribute("name", info.vendor_score->vendor);
+    node.SetAttribute("score",
+                      util::StrFormat("%.6f", info.vendor_score->score));
+    node.SetAttribute("count",
+                      std::to_string(info.vendor_score->software_count));
+  }
+  result.AddTextChild("behaviors",
+                      core::BehaviorSetToString(info.reported_behaviors));
+  result.AddIntChild("runs", info.run_count);
+  for (const core::RatingRecord& comment : info.comments) {
+    xml::XmlNode& node = result.AddChild("comment");
+    node.SetAttribute("author", std::to_string(comment.user));
+    node.SetAttribute("score", std::to_string(comment.score));
+    node.SetAttribute("at", std::to_string(comment.submitted_at));
+    node.set_text(comment.comment);
+  }
+  return result;
 }
 
 }  // namespace pisrep::proto

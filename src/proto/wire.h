@@ -10,6 +10,7 @@
 #include "core/behavior.h"
 #include "core/types.h"
 #include "util/clock.h"
+#include "xml/xml_node.h"
 
 namespace pisrep::proto {
 
@@ -84,6 +85,17 @@ struct SoftwareInfo {
   /// clients (anonymous totals, never per-host).
   std::int64_t run_count = 0;
 };
+
+/// Serializes software metadata as a <software .../> element (one half of
+/// the QuerySoftware/SubmitRating schema; both sides must agree on it).
+xml::XmlNode SoftwareMetaToXml(const core::SoftwareMeta& meta);
+
+/// Serializes a full QuerySoftware answer as the <result> element. This is
+/// the *single* definition of the response schema: the server's RPC
+/// handler, the snapshot read path and the serving benchmark all emit
+/// through it, so "bit-equivalent to the locked path" is a property of the
+/// data, not of three hand-synchronized serializers.
+xml::XmlNode SoftwareInfoToXml(const SoftwareInfo& info);
 
 }  // namespace pisrep::proto
 

@@ -288,6 +288,10 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now, bool full_sweep) {
   EmitStats();
   PISREP_LOG(kInfo) << stats_.Summary();
   span.Finish();
+  // Post-run hook (snapshot publication): runs on the calling thread, once
+  // every write of this run is in the stores, for scheduled and manual
+  // runs alike.
+  if (post_run_) post_run_(stats_);
   return recomputed;
 }
 

@@ -2,9 +2,11 @@
 #define PISREP_SERVER_AGGREGATION_JOB_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "core/rating_aggregator.h"
 #include "net/event_loop.h"
@@ -103,6 +105,14 @@ class AggregationJob {
   /// Stats for the most recent RunOnce.
   const AggregationStats& last_stats() const { return stats_; }
 
+  /// Hook invoked on the calling thread at the end of every completed run
+  /// (scheduled and manual), after all score/vendor writes have landed.
+  /// The reputation server publishes its read-path snapshot from here, so
+  /// publication can never observe a half-written run.
+  void set_post_run(std::function<void(const AggregationStats&)> hook) {
+    post_run_ = std::move(hook);
+  }
+
   /// After each run the AggregationStats snapshot is folded into run /
   /// sweep / recompute counters and a run-duration histogram on `metrics`,
   /// and the run executes under an `aggregation.run` root span on
@@ -142,6 +152,7 @@ class AggregationJob {
   std::uint64_t trust_generation_seen_ = 0;
   std::uint64_t runs_ = 0;
   AggregationStats stats_;
+  std::function<void(const AggregationStats&)> post_run_;
   net::EventLoop* loop_ = nullptr;
   util::Duration period_ = 0;
   /// Liveness token: queued loop callbacks hold a weak_ptr and fire only

@@ -1,5 +1,6 @@
 #include "server/reputation_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/hex.h"
@@ -25,17 +26,6 @@ Result<SoftwareId> SoftwareIdFromHex(std::string_view hex) {
   }
   for (std::size_t i = 0; i < bytes.size(); ++i) id.bytes[i] = bytes[i];
   return id;
-}
-
-/// Serializes software metadata as a <software .../> element.
-XmlNode MetaToXml(const core::SoftwareMeta& meta) {
-  XmlNode node("software");
-  node.SetAttribute("id", meta.id.ToHex());
-  node.SetAttribute("file_name", meta.file_name);
-  node.SetAttribute("file_size", std::to_string(meta.file_size));
-  node.SetAttribute("company", meta.company);
-  node.SetAttribute("version", meta.version);
-  return node;
 }
 
 Result<core::SoftwareMeta> MetaFromXml(const XmlNode& node) {
@@ -83,6 +73,22 @@ ReputationServer::ReputationServer(storage::Database* db,
   if (loop_ != nullptr) {
     aggregation_.Schedule(loop_, config_.aggregation_period);
   }
+  if (config_.metrics != nullptr) {
+    snapshot_age_gauge_ =
+        config_.metrics->GetGauge("pisrep_server_query_snapshot_age");
+    snapshot_epoch_gauge_ =
+        config_.metrics->GetGauge("pisrep_server_snapshot_epoch");
+    snapshot_hits_metric_ =
+        config_.metrics->GetCounter("pisrep_server_snapshot_hits_total");
+    snapshot_misses_metric_ =
+        config_.metrics->GetCounter("pisrep_server_snapshot_misses_total");
+  }
+  // Epoch publication (DESIGN.md §14): one snapshot over the recovered
+  // database now, then one after every aggregation run — the post-run hook
+  // fires after all of the run's writes, for scheduled and manual runs.
+  aggregation_.set_post_run(
+      [this](const AggregationStats&) { PublishSnapshot(); });
+  PublishSnapshot();
   if (loop_ != nullptr && config_.metrics != nullptr &&
       config_.metrics_snapshot_period > 0) {
     snapshot_logger_ = std::make_unique<obs::SnapshotLogger>(
@@ -170,6 +176,26 @@ Result<SoftwareInfo> ReputationServer::QuerySoftware(
   PISREP_RETURN_IF_ERROR(accounts_.Authenticate(session).status());
   ++stats_.queries;
 
+  if (config_.snapshot_reads) {
+    std::shared_ptr<const ScoreSnapshot> snapshot = snapshot_.Current();
+    if (snapshot != nullptr &&
+        snapshot->registry_generation == registry_.content_generation() &&
+        snapshot->votes_generation == votes_.content_generation()) {
+      // Nothing changed since publication: the snapshot answer is
+      // bit-identical to what the store walk below would produce, minus
+      // the walk. Any mutation bumps a generation and forces the slow
+      // path until the next publication re-arms the gate.
+      ++stats_.snapshot_hits;
+      if (snapshot_hits_metric_) snapshot_hits_metric_->Increment();
+      if (snapshot_age_gauge_) {
+        snapshot_age_gauge_->Set(Now() - snapshot->published_at);
+      }
+      return LookupSnapshotInfo(*snapshot, id);
+    }
+    ++stats_.snapshot_misses;
+    if (snapshot_misses_metric_) snapshot_misses_metric_->Increment();
+  }
+
   SoftwareInfo info;
   // Run statistics attach to the digest and exist even before the first
   // rating registers the software.
@@ -192,6 +218,35 @@ Result<SoftwareInfo> ReputationServer::QuerySoftware(
       registry_.ReportedBehaviors(id, config_.behavior_report_threshold);
   info.comments = votes_.VisibleComments(id, config_.max_comments_per_query);
   return info;
+}
+
+Result<SoftwareInfo> ReputationServer::QuerySoftwareSnapshot(
+    std::string_view session, const SoftwareId& id) const {
+  // Lock-free from the first instruction: the COW session table and the
+  // published snapshot are both read through one acquire load each, and
+  // the snapshot shared_ptr pins the epoch for the whole read.
+  PISREP_RETURN_IF_ERROR(accounts_.AuthenticateShared(session).status());
+  std::shared_ptr<const ScoreSnapshot> snapshot = snapshot_.Current();
+  if (snapshot == nullptr) {
+    return util::Status::Unavailable("no score snapshot published");
+  }
+  snapshot_queries_.fetch_add(1, std::memory_order_relaxed);
+  if (snapshot_hits_metric_) snapshot_hits_metric_->Increment();
+  return LookupSnapshotInfo(*snapshot, id);
+}
+
+void ReputationServer::PublishSnapshot() {
+  if (!config_.snapshot_reads) return;
+  SnapshotBuildOptions options;
+  options.max_comments_per_query = config_.max_comments_per_query;
+  options.behavior_report_threshold = config_.behavior_report_threshold;
+  std::shared_ptr<const ScoreSnapshot> snapshot = BuildScoreSnapshot(
+      registry_, votes_, options, ++snapshot_epoch_, Now());
+  snapshot_.Publish(snapshot);
+  if (snapshot_epoch_gauge_) {
+    snapshot_epoch_gauge_->Set(static_cast<std::int64_t>(snapshot->epoch));
+  }
+  if (snapshot_age_gauge_) snapshot_age_gauge_->Set(0);
 }
 
 Status ReputationServer::ReportExecutions(std::string_view session,
@@ -392,38 +447,7 @@ void ReputationServer::RegisterRpcMethods() {
         PISREP_ASSIGN_OR_RETURN(SoftwareId id, SoftwareIdFromHex(id_hex));
         PISREP_ASSIGN_OR_RETURN(SoftwareInfo info,
                                 QuerySoftware(session, id));
-        XmlNode result("result");
-        result.SetAttribute("known", info.known ? "1" : "0");
-        result.AddChild(MetaToXml(info.meta));
-        if (info.score.has_value()) {
-          XmlNode& node = result.AddChild("score");
-          node.SetAttribute("value",
-                            util::StrFormat("%.6f", info.score->score));
-          node.SetAttribute("votes", std::to_string(info.score->vote_count));
-          node.SetAttribute("weight",
-                            util::StrFormat("%.6f", info.score->weight_sum));
-          node.SetAttribute("computed_at",
-                            std::to_string(info.score->computed_at));
-        }
-        if (info.vendor_score.has_value()) {
-          XmlNode& node = result.AddChild("vendor");
-          node.SetAttribute("name", info.vendor_score->vendor);
-          node.SetAttribute(
-              "score", util::StrFormat("%.6f", info.vendor_score->score));
-          node.SetAttribute(
-              "count", std::to_string(info.vendor_score->software_count));
-        }
-        result.AddTextChild(
-            "behaviors", core::BehaviorSetToString(info.reported_behaviors));
-        result.AddIntChild("runs", info.run_count);
-        for (const core::RatingRecord& comment : info.comments) {
-          XmlNode& node = result.AddChild("comment");
-          node.SetAttribute("author", std::to_string(comment.user));
-          node.SetAttribute("score", std::to_string(comment.score));
-          node.SetAttribute("at", std::to_string(comment.submitted_at));
-          node.set_text(comment.comment);
-        }
-        return result;
+        return proto::SoftwareInfoToXml(info);
       });
 
   rpc_->RegisterMethod(
@@ -508,6 +532,42 @@ void ReputationServer::RegisterRpcMethods() {
         node.SetAttribute("behaviors",
                           core::BehaviorSetToString(entry.behaviors));
         node.set_text(entry.note);
+        return result;
+      });
+
+  // Cluster-internal: the router pulls every vendor aggregate this shard
+  // has published so it can rewrite vendor scores locally instead of
+  // scattering per query. Unauthenticated like the replication-plane
+  // methods — the payload is exactly the aggregates QueryVendor already
+  // serves, with no per-user data. Vendors are emitted sorted by name so
+  // the response bytes are deterministic regardless of map iteration
+  // order (pinned by cluster_test).
+  rpc_->RegisterMethod(
+      "QueryVendorIndex", [this](const XmlNode&) -> Result<XmlNode> {
+        std::shared_ptr<const ScoreSnapshot> snapshot = snapshot_.Current();
+        if (snapshot == nullptr) {
+          return Status::Unavailable("no score snapshot published");
+        }
+        std::vector<const core::VendorScore*> vendors;
+        vendors.reserve(snapshot->by_vendor.size());
+        for (const auto& [id, score] : snapshot->by_vendor) {
+          vendors.push_back(&score);
+        }
+        std::sort(vendors.begin(), vendors.end(),
+                  [](const core::VendorScore* a, const core::VendorScore* b) {
+                    return a->vendor < b->vendor;
+                  });
+        XmlNode result("result");
+        result.SetAttribute("epoch", std::to_string(snapshot->epoch));
+        for (const core::VendorScore* score : vendors) {
+          XmlNode& node = result.AddChild("vendor");
+          node.SetAttribute("name", score->vendor);
+          node.SetAttribute("score", util::StrFormat("%.6f", score->score));
+          node.SetAttribute("count",
+                            std::to_string(score->software_count));
+          node.SetAttribute("computed_at",
+                            std::to_string(score->computed_at));
+        }
         return result;
       });
 }

@@ -1,6 +1,7 @@
 #ifndef PISREP_SERVER_REPUTATION_SERVER_H_
 #define PISREP_SERVER_REPUTATION_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -23,6 +24,7 @@
 #include "server/feeds.h"
 #include "server/flood_guard.h"
 #include "server/moderation.h"
+#include "server/score_snapshot.h"
 #include "server/software_registry.h"
 #include "server/vote_store.h"
 #include "storage/database.h"
@@ -47,6 +49,10 @@ struct ServerStats {
   std::uint64_t registrations_rejected = 0;
   std::uint64_t logins = 0;
   std::uint64_t queries = 0;
+  /// Queries answered straight from the published snapshot / forced onto
+  /// the slow path by a post-publication mutation (subset of `queries`).
+  std::uint64_t snapshot_hits = 0;
+  std::uint64_t snapshot_misses = 0;
   std::uint64_t votes_accepted = 0;
   std::uint64_t votes_rejected_duplicate = 0;
   std::uint64_t votes_rejected_flood = 0;
@@ -98,6 +104,15 @@ class ReputationServer {
     /// sweep. Per-shard config like the cadence above; default off keeps
     /// single-server output bit-identical.
     bool aggregation_force_full_sweep = false;
+    /// Epoch-snapshot read path (DESIGN.md §14). When true the server
+    /// publishes an immutable ScoreSnapshot at construction and after
+    /// every aggregation run; QuerySoftware serves from it — no mutex, no
+    /// store walk — whenever no content mutation happened since
+    /// publication, and falls back to the live stores otherwise (so
+    /// answers stay bit-identical to the historical behaviour either
+    /// way). QuerySoftwareSnapshot additionally offers the always-snapshot
+    /// thread-safe path for concurrent readers.
+    bool snapshot_reads = true;
     /// Observability (optional, both null by default — instrumented paths
     /// then cost one branch each). Neither is owned; both must outlive the
     /// server. The registry feeds the `/metrics` portal endpoint, the
@@ -143,6 +158,33 @@ class ReputationServer {
   /// Looks up everything known about a software id.
   util::Result<SoftwareInfo> QuerySoftware(std::string_view session,
                                            const core::SoftwareId& id);
+
+  /// Lock-free QuerySoftware against the published epoch snapshot: safe to
+  /// call from any thread concurrently with writers on the loop thread.
+  /// Serves whatever epoch is current (answers may trail unaggregated
+  /// mutations until the next publication — RCU semantics); fails
+  /// kUnavailable before the first publication. Touches no mutex, no event
+  /// loop and no store; the only allocation is the response copy.
+  util::Result<SoftwareInfo> QuerySoftwareSnapshot(
+      std::string_view session, const core::SoftwareId& id) const;
+
+  /// The published snapshot, or null before the first publication. Readers
+  /// hold the shared_ptr while reading and thereby pin their epoch.
+  std::shared_ptr<const ScoreSnapshot> CurrentSnapshot() const {
+    return snapshot_.Current();
+  }
+
+  /// Rebuilds and publishes the snapshot from current store contents.
+  /// Called automatically at construction and after every aggregation
+  /// run; exposed for benches that mutate stores directly. No-op when
+  /// `snapshot_reads` is off.
+  void PublishSnapshot();
+
+  /// Calls answered by QuerySoftwareSnapshot (its own counter: the shared
+  /// ServerStats are deliberately not touched from concurrent readers).
+  std::uint64_t snapshot_queries() const {
+    return snapshot_queries_.load(std::memory_order_relaxed);
+  }
 
   /// Submits a rating (registering the software from `meta` if new).
   util::Status SubmitRating(std::string_view session,
@@ -238,6 +280,16 @@ class ReputationServer {
   std::unordered_map<std::string, ActivationMail> mailbox_;
   std::unique_ptr<net::RpcServer> rpc_;
   ServerStats stats_;
+  /// Epoch-snapshot read path (DESIGN.md §14). The publisher is the only
+  /// cross-thread surface; everything feeding it runs on the loop thread.
+  SnapshotPublisher snapshot_;
+  std::uint64_t snapshot_epoch_ = 0;
+  /// QuerySoftwareSnapshot call counter (relaxed: it is a statistic).
+  mutable std::atomic<std::uint64_t> snapshot_queries_{0};
+  obs::Gauge* snapshot_age_gauge_ = nullptr;
+  obs::Gauge* snapshot_epoch_gauge_ = nullptr;
+  obs::Counter* snapshot_hits_metric_ = nullptr;
+  obs::Counter* snapshot_misses_metric_ = nullptr;
   std::unique_ptr<obs::SnapshotLogger> snapshot_logger_;
   /// Liveness token for the snapshot-logger schedule (same pattern as the
   /// aggregation job): Stop() resets it and queued ticks become no-ops.

@@ -105,13 +105,15 @@ Status SoftwareRegistry::RegisterSoftware(const core::SoftwareMeta& meta) {
     return Status::AlreadyExists(
         "software " + id_hex + " registered with different metadata");
   }
-  return software_->Insert(Row{
+  Status inserted = software_->Insert(Row{
       Value::Str(id_hex),
       Value::Str(meta.file_name),
       Value::Int(meta.file_size),
       Value::Str(meta.company),
       Value::Str(meta.version),
   });
+  if (inserted.ok()) ++content_generation_;
+  return inserted;
 }
 
 bool SoftwareRegistry::HasSoftware(const SoftwareId& id) const {
@@ -176,7 +178,7 @@ std::vector<core::VendorScore> SoftwareRegistry::AllVendorScores() const {
 Status SoftwareRegistry::PutScore(const core::SoftwareScore& score) {
   std::string id_hex = score.software.ToHex();
   auto [boot_score, boot_weight] = GetBootstrapPrior(score.software);
-  return scores_->Upsert(Row{
+  Status put = scores_->Upsert(Row{
       Value::Str(id_hex),
       Value::Real(score.score),
       Value::Int(score.vote_count),
@@ -185,6 +187,8 @@ Status SoftwareRegistry::PutScore(const core::SoftwareScore& score) {
       Value::Real(boot_score),
       Value::Real(boot_weight),
   });
+  if (put.ok()) ++content_generation_;
+  return put;
 }
 
 Result<core::SoftwareScore> SoftwareRegistry::GetScore(
@@ -251,6 +255,7 @@ Status SoftwareRegistry::PutBootstrapPrior(const SoftwareId& id,
   if (dirty_prior_set_.insert(id_hex).second) {
     dirty_prior_order_.push_back(id_hex);
   }
+  ++content_generation_;
   return Status::Ok();
 }
 
@@ -280,12 +285,14 @@ std::vector<SoftwareId> SoftwareRegistry::TakeDirtyPriors() {
 }
 
 Status SoftwareRegistry::PutVendorScore(const core::VendorScore& score) {
-  return vendor_scores_->Upsert(Row{
+  Status put = vendor_scores_->Upsert(Row{
       Value::Str(score.vendor),
       Value::Real(score.score),
       Value::Int(score.software_count),
       Value::Int(score.computed_at),
   });
+  if (put.ok()) ++content_generation_;
+  return put;
 }
 
 Result<core::VendorScore> SoftwareRegistry::GetVendorScore(
@@ -317,6 +324,7 @@ Status SoftwareRegistry::ReportBehaviors(const SoftwareId& id,
         Value::Str(core::BehaviorName(b)),
         Value::Int(existing_count + count),
     }));
+    ++content_generation_;
   }
   return Status::Ok();
 }
@@ -342,13 +350,32 @@ Status SoftwareRegistry::AddRuns(const SoftwareId& id, std::int64_t count) {
   std::string id_hex = id.ToHex();
   auto existing = run_stats_->Get(Value::Str(id_hex));
   std::int64_t total = existing.ok() ? (*existing)[1].AsInt() : 0;
-  return run_stats_->Upsert(
+  Status put = run_stats_->Upsert(
       Row{Value::Str(id_hex), Value::Int(total + count)});
+  if (put.ok()) ++content_generation_;
+  return put;
 }
 
 std::int64_t SoftwareRegistry::RunCount(const SoftwareId& id) const {
   auto row = run_stats_->Get(Value::Str(id.ToHex()));
   return row.ok() ? (*row)[1].AsInt() : 0;
+}
+
+std::vector<std::pair<SoftwareId, std::int64_t>>
+SoftwareRegistry::AllRunCounts() const {
+  std::vector<std::pair<SoftwareId, std::int64_t>> out;
+  out.reserve(run_stats_->size());
+  run_stats_->ForEach([&](const Row& row) {
+    SoftwareId id;
+    auto decoded = util::HexDecode(row[0].AsStr());
+    PISREP_CHECK(decoded.ok() && decoded->size() == id.bytes.size())
+        << "corrupt software id in run stats";
+    for (std::size_t i = 0; i < id.bytes.size(); ++i) {
+      id.bytes[i] = (*decoded)[i];
+    }
+    out.emplace_back(id, row[1].AsInt());
+  });
+  return out;
 }
 
 std::int64_t SoftwareRegistry::BehaviorReportCount(

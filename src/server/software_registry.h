@@ -97,6 +97,18 @@ class SoftwareRegistry {
   util::Status AddRuns(const core::SoftwareId& id, std::int64_t count);
   std::int64_t RunCount(const core::SoftwareId& id) const;
 
+  /// Every digest with a run counter, whether or not the software is
+  /// registered (run stats attach to the bare digest). Snapshot
+  /// materialization input.
+  std::vector<std::pair<core::SoftwareId, std::int64_t>> AllRunCounts() const;
+
+  /// Monotonic counter bumped by every successful mutation that can change
+  /// a QuerySoftware or QueryVendor answer (metadata, scores, priors,
+  /// behaviour reports, run counters). The snapshot read path compares it
+  /// against the generation recorded at publication to decide whether the
+  /// published snapshot still reflects current content.
+  std::uint64_t content_generation() const { return content_generation_; }
+
   /// Number of reports for one behaviour.
   std::int64_t BehaviorReportCount(const core::SoftwareId& id,
                                    core::Behavior behavior) const;
@@ -112,6 +124,7 @@ class SoftwareRegistry {
   /// (hex ids, first-touch order).
   std::vector<std::string> dirty_prior_order_;
   std::unordered_set<std::string> dirty_prior_set_;
+  std::uint64_t content_generation_ = 0;
 };
 
 }  // namespace pisrep::server

@@ -136,6 +136,7 @@ Status VoteStore::SubmitRating(const core::RatingRecord& record,
     rated_order_.push_back(software_hex);
   }
   MarkDirty(software_hex);
+  ++content_generation_;
   if (votes_metric_) votes_metric_->Increment();
   return Status::Ok();
 }
@@ -225,6 +226,7 @@ Status VoteStore::SetApproved(core::UserId author,
   // dirty keeps the invalidation protocol simple ("any write to a
   // software's votes dirties it") at the cost of one redundant recompute.
   MarkDirty(software.ToHex());
+  ++content_generation_;
   return Status::Ok();
 }
 

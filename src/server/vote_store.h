@@ -114,6 +114,13 @@ class VoteStore {
   /// Software ids currently marked dirty (not consumed).
   std::size_t DirtySoftwareCount() const { return dirty_order_.size(); }
 
+  /// Monotonic counter bumped by every successful mutation that can change
+  /// a QuerySoftware answer (new vote, comment moderation flip). Remarks
+  /// deliberately do not bump it: their effect on answers arrives only via
+  /// the next aggregation run. Pairs with
+  /// SoftwareRegistry::content_generation for snapshot-freshness checks.
+  std::uint64_t content_generation() const { return content_generation_; }
+
   std::size_t TotalVotes() const;
   std::size_t TotalRemarks() const;
 
@@ -140,6 +147,7 @@ class VoteStore {
   /// Dirty set for incremental aggregation (hex ids, first-touch order).
   std::vector<std::string> dirty_order_;
   std::unordered_set<std::string> dirty_set_;
+  std::uint64_t content_generation_ = 0;
 
   obs::Counter* votes_metric_ = nullptr;
   obs::Counter* remarks_metric_ = nullptr;

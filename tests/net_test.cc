@@ -7,7 +7,9 @@
 #include "net/fault_injector.h"
 #include "net/network.h"
 #include "net/rpc.h"
+#include "proto/binary_codec.h"
 #include "xml/xml_node.h"
+#include "xml/xml_writer.h"
 
 namespace pisrep::net {
 namespace {
@@ -406,6 +408,184 @@ TEST(RpcDuplicationTest, DuplicatedDeliveriesFireCallbackExactlyOnce) {
   // surplus responses land on a retired id and are ignored.
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(server.requests_handled(), 2u);
+}
+
+// --- Binary codec and batching over RPC -------------------------------------
+
+TEST_F(RpcFixture, BinaryCodecRoundTripsEndToEnd) {
+  server.RegisterMethod("Echo",
+                        [](const XmlNode& request) -> util::Result<XmlNode> {
+                          XmlNode result("result");
+                          result.AddTextChild(
+                              "echo", request.ChildText("msg").value_or(""));
+                          return result;
+                        });
+  client.set_codec(proto::WireCodec::kBinary);
+  std::string echoed;
+  XmlNode params("request");
+  params.AddTextChild("msg", "binary & <weird> bytes \x01\x02");
+  client.Call("Echo", std::move(params),
+              [&](util::Result<XmlNode> response) {
+                ASSERT_TRUE(response.ok());
+                echoed = response->ChildText("echo").value_or("");
+              });
+  loop.RunAll();
+  EXPECT_EQ(echoed, "binary & <weird> bytes \x01\x02");
+  EXPECT_EQ(server.binary_requests(), 1u);
+  EXPECT_EQ(server.requests_handled(), 1u);
+}
+
+TEST_F(RpcFixture, BinaryAnswersArriveBitEquivalentToXml) {
+  server.RegisterMethod("Fixed",
+                        [](const XmlNode&) -> util::Result<XmlNode> {
+                          XmlNode result("result");
+                          result.SetAttribute("known", "1");
+                          XmlNode& score = result.AddChild("score");
+                          score.SetAttribute("value", "7.250000");
+                          result.AddTextChild("note", "same <bytes>");
+                          return result;
+                        });
+  std::vector<std::string> answers;
+  for (proto::WireCodec codec :
+       {proto::WireCodec::kXml, proto::WireCodec::kBinary}) {
+    client.set_codec(codec);
+    client.Call("Fixed", XmlNode("request"),
+                [&](util::Result<XmlNode> response) {
+                  ASSERT_TRUE(response.ok());
+                  // Strip the envelope id (differs per call) and compare
+                  // canonical bytes of the payload the caller sees.
+                  response->SetAttribute("id", "");
+                  answers.push_back(xml::WriteXml(*response));
+                });
+    loop.RunAll();
+  }
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0], answers[1]);
+}
+
+TEST_F(RpcFixture, BinaryCodecShrinksWireBytes) {
+  server.RegisterMethod("Echo",
+                        [](const XmlNode& request) -> util::Result<XmlNode> {
+                          XmlNode result("result");
+                          result.AddTextChild(
+                              "echo", request.ChildText("msg").value_or(""));
+                          return result;
+                        });
+  auto run_calls = [&](proto::WireCodec codec) {
+    client.set_codec(codec);
+    std::uint64_t before = network.bytes_sent();
+    for (int i = 0; i < 10; ++i) {
+      XmlNode params("request");
+      params.AddTextChild("msg", "payload-" + std::to_string(i));
+      client.Call("Echo", std::move(params), [](util::Result<XmlNode>) {});
+    }
+    loop.RunAll();
+    return network.bytes_sent() - before;
+  };
+  std::uint64_t xml_bytes = run_calls(proto::WireCodec::kXml);
+  std::uint64_t binary_bytes = run_calls(proto::WireCodec::kBinary);
+  EXPECT_LT(binary_bytes, xml_bytes);
+}
+
+TEST_F(RpcFixture, BatchFlushesOneFramePerServer) {
+  server.RegisterMethod("Id",
+                        [](const XmlNode& request) -> util::Result<XmlNode> {
+                          XmlNode result("result");
+                          result.AddTextChild(
+                              "v", request.ChildText("v").value_or(""));
+                          return result;
+                        });
+  std::vector<std::string> results(8);
+  std::uint64_t sent_before = network.messages_sent();
+  client.BeginBatch();
+  for (int i = 0; i < 8; ++i) {
+    XmlNode params("request");
+    params.AddTextChild("v", std::to_string(i));
+    client.Call("Id", std::move(params),
+                [&results, i](util::Result<XmlNode> response) {
+                  ASSERT_TRUE(response.ok());
+                  results[i] = response->ChildText("v").value_or("");
+                });
+  }
+  EXPECT_EQ(network.messages_sent(), sent_before);  // nothing on the wire yet
+  EXPECT_EQ(client.FlushBatch(), 1u);               // one frame, one server
+  loop.RunAll();
+  // One request frame + one batched response frame for 8 calls.
+  EXPECT_EQ(network.messages_sent() - sent_before, 2u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(results[i], std::to_string(i));
+  EXPECT_EQ(server.batched_requests(), 8u);
+  EXPECT_EQ(client.batches_sent(), 1u);
+}
+
+TEST_F(RpcFixture, SingleCallBatchFallsBackToPlainFrame) {
+  server.RegisterMethod("Ping", [](const XmlNode&) -> util::Result<XmlNode> {
+    return XmlNode("result");
+  });
+  bool ok = false;
+  client.BeginBatch();
+  client.Call("Ping", XmlNode("request"),
+              [&](util::Result<XmlNode> response) { ok = response.ok(); });
+  EXPECT_EQ(client.FlushBatch(), 1u);
+  loop.RunAll();
+  EXPECT_TRUE(ok);
+  // A one-element batch is sent unbatched — byte-identical to a plain
+  // call, so the server's batch counter stays untouched.
+  EXPECT_EQ(server.batched_requests(), 0u);
+  EXPECT_EQ(client.batches_sent(), 0u);
+}
+
+TEST_F(RpcFixture, BatchMemberErrorDoesNotPoisonSiblings) {
+  server.RegisterMethod("Good", [](const XmlNode&) -> util::Result<XmlNode> {
+    return XmlNode("result");
+  });
+  server.RegisterMethod("Bad", [](const XmlNode&) -> util::Result<XmlNode> {
+    return util::Status::PermissionDenied("nope");
+  });
+  util::Status good_status = util::Status::Internal("unset");
+  util::Status bad_status;
+  client.BeginBatch();
+  client.Call("Good", XmlNode("request"),
+              [&](util::Result<XmlNode> response) {
+                good_status = response.status();
+              });
+  client.Call("Bad", XmlNode("request"),
+              [&](util::Result<XmlNode> response) {
+                bad_status = response.status();
+              });
+  client.FlushBatch();
+  loop.RunAll();
+  EXPECT_TRUE(good_status.ok());
+  EXPECT_EQ(bad_status.code(), util::StatusCode::kPermissionDenied);
+}
+
+TEST(RpcBatchTimeoutTest, LostBatchRetriesMembersIndividually) {
+  EventLoop loop;
+  NetworkConfig config;
+  config.base_latency = 5 * kMillisecond;
+  config.jitter = 0;
+  SimNetwork network(&loop, config);
+  RpcClient client(&network, &loop, "client", "server");
+  ASSERT_TRUE(client.Start().ok());
+  client.set_max_retries(2);
+
+  // No server bound: the batch frame evaporates; each member must time
+  // out, retry individually (unbatched) and finally fail kUnavailable.
+  int failed = 0;
+  client.BeginBatch();
+  for (int i = 0; i < 3; ++i) {
+    client.Call(
+        "Ping", XmlNode("request"),
+        [&](util::Result<XmlNode> response) {
+          EXPECT_EQ(response.status().code(),
+                    util::StatusCode::kUnavailable);
+          ++failed;
+        },
+        /*timeout=*/100 * kMillisecond);
+  }
+  client.FlushBatch();
+  loop.RunAll();
+  EXPECT_EQ(failed, 3);
+  EXPECT_GE(client.retries_sent(), 3u);
 }
 
 TEST(StatusCodeNameTest, RoundTripsThroughWireNames) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/types.h"
 #include "net/event_loop.h"
 #include "net/network.h"
 #include "net/rpc.h"
@@ -13,6 +14,12 @@
 #include "obs/metrics.h"
 #include "obs/snapshot_logger.h"
 #include "obs/trace.h"
+#include "proto/binary_codec.h"
+#include "server/reputation_server.h"
+#include "storage/database.h"
+#include "util/clock.h"
+#include "util/sha1.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "xml/xml_node.h"
 
@@ -265,7 +272,7 @@ TEST(TraceTest, ErrorsAreRecorded) {
 TEST(TraceTest, BoundedBufferDropsOldest) {
   Tracer tracer(nullptr, /*capacity=*/2);
   for (int i = 0; i < 3; ++i) {
-    Span span = tracer.StartSpan("s" + std::to_string(i));
+    Span span = tracer.StartSpan(util::StrFormat("s%d", i));
   }
   ASSERT_EQ(tracer.finished().size(), 2u);
   EXPECT_EQ(tracer.finished()[0].name, "s1");
@@ -405,6 +412,96 @@ TEST(SnapshotLoggerTest, DisabledWithoutRegistryOrPeriod) {
   EXPECT_FALSE(no_period.Tick(0));
   EXPECT_EQ(no_registry.snapshots(), 0u);
   EXPECT_EQ(no_period.snapshots(), 0u);
+}
+
+// --- Codec / batching counters (DESIGN.md §14) ------------------------------
+
+TEST(RpcCodecMetricsTest, BinaryAndBatchedCountersTrackTraffic) {
+  net::EventLoop loop;
+  net::NetworkConfig config;
+  config.base_latency = 5 * kMillisecond;
+  config.jitter = 0;
+  net::SimNetwork network(&loop, config);
+  net::RpcServer server(&network, "server");
+  net::RpcClient client(&network, &loop, "client", "server");
+  MetricsRegistry registry;
+  Tracer tracer(&loop.clock());
+  server.AttachObservability(&registry, &tracer);
+  client.AttachObservability(&registry, &tracer);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(client.Start().ok());
+  server.RegisterMethod("Ping", [](const XmlNode&) -> util::Result<XmlNode> {
+    return XmlNode("result");
+  });
+
+  Counter* binary =
+      registry.GetCounter("pisrep_proto_binary_requests_total");
+  Counter* batched = registry.GetCounter("pisrep_rpc_batched_requests_total");
+
+  // Plain XML call: neither counter moves.
+  client.Call("Ping", XmlNode("request"), [](util::Result<XmlNode>) {});
+  loop.RunAll();
+  EXPECT_EQ(binary->Value(), 0u);
+  EXPECT_EQ(batched->Value(), 0u);
+
+  // One binary frame.
+  client.set_codec(proto::WireCodec::kBinary);
+  client.Call("Ping", XmlNode("request"), [](util::Result<XmlNode>) {});
+  loop.RunAll();
+  EXPECT_EQ(binary->Value(), 1u);
+  EXPECT_EQ(batched->Value(), 0u);
+
+  // One binary batch frame carrying three members: the frame counts once
+  // as binary, each member once as batched.
+  client.BeginBatch();
+  for (int i = 0; i < 3; ++i) {
+    client.Call("Ping", XmlNode("request"), [](util::Result<XmlNode>) {});
+  }
+  client.FlushBatch();
+  loop.RunAll();
+  EXPECT_EQ(binary->Value(), 2u);
+  EXPECT_EQ(batched->Value(), 3u);
+}
+
+TEST(ServerSnapshotMetricsTest, SnapshotAgeGaugeAndHitCountersAreWired) {
+  auto db = storage::Database::Open("");
+  ASSERT_TRUE(db.ok());
+  net::EventLoop loop;
+  MetricsRegistry registry;
+  server::ReputationServer::Config config;
+  config.accounts.require_activation = false;
+  config.metrics = &registry;
+  server::ReputationServer server(db->get(), &loop, config);
+
+  ASSERT_TRUE(
+      server.accounts().Register("ada", "password", "a@obs.example", 0).ok());
+  auto session = server.Login("ada", "password", 0);
+  ASSERT_TRUE(session.ok());
+  core::SoftwareMeta meta;
+  meta.id = util::Sha1::Hash("obs-app");
+  meta.file_name = "obs.exe";
+  meta.file_size = 1;
+  meta.version = "1.0";
+  ASSERT_TRUE(
+      server.SubmitRating(*session, meta, 8, "", core::kNoBehaviors, 0).ok());
+  server.aggregation().RunOnce(util::kHour);  // publishes at loop time 0
+
+  // Advance sim time without running the daily aggregation: the next
+  // snapshot-path query must report exactly that staleness on the gauge.
+  loop.RunUntil(3 * util::kHour);
+  auto info = server.QuerySoftware(*session, meta.id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info->known);
+
+  EXPECT_EQ(registry.GetGauge("pisrep_server_query_snapshot_age")->Value(),
+            3 * util::kHour);
+  EXPECT_GE(registry.GetGauge("pisrep_server_snapshot_epoch")->Value(), 2);
+  EXPECT_EQ(
+      registry.GetCounter("pisrep_server_snapshot_hits_total")->Value(), 1u);
+  EXPECT_EQ(
+      registry.GetCounter("pisrep_server_snapshot_misses_total")->Value(),
+      0u);
+  EXPECT_EQ(server.stats().snapshot_hits, 1u);
 }
 
 }  // namespace

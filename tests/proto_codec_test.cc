@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "proto/binary_codec.h"
+#include "util/status.h"
+#include "xml/xml_node.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace pisrep::proto {
+namespace {
+
+using util::StatusCode;
+using xml::XmlNode;
+
+XmlNode SampleRequest() {
+  XmlNode request("request");
+  request.SetAttribute("id", "42");
+  request.SetAttribute("method", "QuerySoftware");
+  request.AddTextChild("session", "s-abcdef");
+  request.AddTextChild("id", "00112233445566778899aabbccddeeff00112233");
+  return request;
+}
+
+XmlNode SampleResponse() {
+  XmlNode response("response");
+  response.SetAttribute("id", "42");
+  response.SetAttribute("status", "ok");
+  XmlNode& result = response.AddChild("result");
+  result.SetAttribute("known", "1");
+  XmlNode& score = result.AddChild("score");
+  score.SetAttribute("value", "7.250000");
+  score.SetAttribute("votes", "12");
+  XmlNode& comment = result.AddChild("comment");
+  comment.SetAttribute("author", "3");
+  comment.set_text("spies on <you> & \"friends\"");
+  return response;
+}
+
+TEST(BinaryCodecTest, RoundTripsBitIdentically) {
+  for (const XmlNode& node : {SampleRequest(), SampleResponse()}) {
+    std::string frame = EncodeBinary(node);
+    auto decoded = DecodeBinary(frame);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    // Same canonical serialization == same tree (names, text, attribute
+    // and child order all preserved).
+    EXPECT_EQ(xml::WriteXml(*decoded), xml::WriteXml(node));
+  }
+}
+
+TEST(BinaryCodecTest, RoundTripsArbitraryBytesInTextAndAttributes) {
+  XmlNode node("n");
+  std::string nasty;
+  for (int c = 0; c < 256; ++c) nasty.push_back(static_cast<char>(c));
+  node.set_text(nasty);
+  node.SetAttribute("k", nasty);
+  auto decoded = DecodeBinary(EncodeBinary(node));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->text(), nasty);
+  EXPECT_EQ(decoded->AttributeOr("k", ""), nasty);
+}
+
+TEST(BinaryCodecTest, MagicByteDistinguishesCodecs) {
+  XmlNode node = SampleRequest();
+  std::string binary = EncodeFrame(node, WireCodec::kBinary);
+  std::string text = EncodeFrame(node, WireCodec::kXml);
+  EXPECT_TRUE(IsBinaryFrame(binary));
+  EXPECT_FALSE(IsBinaryFrame(text));
+  EXPECT_EQ(binary.front(), kBinaryFrameMagic);
+  EXPECT_EQ(text.front(), '<');
+}
+
+TEST(BinaryCodecTest, BinaryFrameIsSmallerThanXml) {
+  XmlNode node = SampleResponse();
+  EXPECT_LT(EncodeFrame(node, WireCodec::kBinary).size(),
+            EncodeFrame(node, WireCodec::kXml).size());
+}
+
+TEST(BinaryCodecTest, DecodeFrameAutoDetectsAndReportsCodec) {
+  XmlNode node = SampleRequest();
+  auto bin = DecodeFrame(EncodeFrame(node, WireCodec::kBinary));
+  ASSERT_TRUE(bin.ok());
+  EXPECT_EQ(bin->codec, WireCodec::kBinary);
+  EXPECT_EQ(xml::WriteXml(bin->node), xml::WriteXml(node));
+
+  auto text = DecodeFrame(EncodeFrame(node, WireCodec::kXml));
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->codec, WireCodec::kXml);
+  EXPECT_EQ(xml::WriteXml(text->node), xml::WriteXml(node));
+}
+
+TEST(BinaryCodecTest, EveryTruncationFailsCleanly) {
+  std::string frame = EncodeBinary(SampleResponse());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    auto decoded = DecodeBinary(frame.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << len << " parsed";
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+    }
+  }
+}
+
+TEST(BinaryCodecTest, TrailingGarbageIsRejected) {
+  std::string frame = EncodeBinary(SampleRequest());
+  frame.push_back('x');
+  EXPECT_FALSE(DecodeBinary(frame).ok());
+}
+
+TEST(BinaryCodecTest, SingleByteCorruptionNeverCrashes) {
+  std::string frame = EncodeBinary(SampleResponse());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    std::string corrupt = frame;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xff);
+    auto decoded = DecodeBinary(corrupt);  // must not crash; may still parse
+    if (decoded.ok()) continue;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST(BinaryCodecTest, AllocationBombCountsAreRejected) {
+  // magic, name "a", empty text, 0 attrs, then a child count far larger
+  // than the remaining bytes could ever hold.
+  std::string frame;
+  frame.push_back(kBinaryFrameMagic);
+  frame.push_back(1);
+  frame.push_back('a');
+  frame.push_back(0);  // text
+  frame.push_back(0);  // attrs
+  // varint 0xFFFFFFF = huge child count with no bodies behind it.
+  frame.push_back('\xff');
+  frame.push_back('\xff');
+  frame.push_back('\xff');
+  frame.push_back('\x7f');
+  auto decoded = DecodeBinary(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryCodecTest, ExcessiveNestingIsRejected) {
+  XmlNode root("d");
+  XmlNode* cursor = &root;
+  for (int i = 0; i < 64; ++i) cursor = &cursor->AddChild("d");
+  std::string frame = EncodeBinary(root);
+  auto decoded = DecodeBinary(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BinaryCodecTest, DecodeFrameRejectsMalformedXmlToo) {
+  auto decoded = DecodeFrame("<request id='1'");
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(BinaryCodecTest, EmptyPayloadIsAnError) {
+  EXPECT_FALSE(DecodeBinary("").ok());
+  EXPECT_FALSE(DecodeFrame("").ok());
+}
+
+}  // namespace
+}  // namespace pisrep::proto

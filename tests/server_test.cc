@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "proto/wire.h"
 #include "server/reputation_server.h"
 #include "sim/attacks.h"
 #include "storage/database.h"
 #include "util/sha1.h"
+#include "xml/xml_writer.h"
 
 namespace pisrep::server {
 namespace {
@@ -599,6 +602,138 @@ TEST_F(ServerTest, OnlyFeedOwnerMayPublish) {
 }
 
 // --- Persistence of the whole server state ---------------------------------------
+
+// --- Epoch-snapshot read path (DESIGN.md §14) -------------------------------
+
+TEST_F(ServerTest, SnapshotServesQueriesAfterPublication) {
+  std::string s1 = MakeUser("rhea");
+  std::string s2 = MakeUser("sven");
+  SoftwareMeta meta = TestMeta("snap1", "Acme");
+  ASSERT_TRUE(server_
+                  ->SubmitRating(s1, meta, 8, "fine", core::kNoBehaviors, 0)
+                  .ok());
+  ASSERT_TRUE(
+      server_->SubmitRating(s2, meta, 6, "", core::kNoBehaviors, 0).ok());
+  server_->aggregation().RunOnce(kDay);
+
+  ASSERT_NE(server_->CurrentSnapshot(), nullptr);
+  std::uint64_t hits_before = server_->stats().snapshot_hits;
+  auto info = server_->QuerySoftware(s1, meta.id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(server_->stats().snapshot_hits, hits_before + 1);
+  EXPECT_EQ(server_->stats().snapshot_misses, 0u);
+  ASSERT_TRUE(info->score.has_value());
+  EXPECT_NEAR(info->score->score, 7.0, 1e-9);
+  ASSERT_EQ(info->comments.size(), 1u);
+  EXPECT_EQ(info->comments[0].comment, "fine");
+}
+
+TEST_F(ServerTest, MutationForcesSlowPathUntilNextPublication) {
+  std::string s1 = MakeUser("tara");
+  std::string s2 = MakeUser("ugo");
+  SoftwareMeta meta = TestMeta("snap2", "Acme");
+  ASSERT_TRUE(
+      server_->SubmitRating(s1, meta, 8, "", core::kNoBehaviors, 0).ok());
+  server_->aggregation().RunOnce(kDay);
+
+  ASSERT_TRUE(server_->QuerySoftware(s1, meta.id).ok());
+  EXPECT_EQ(server_->stats().snapshot_hits, 1u);
+
+  // A fresh vote dirties the vote store: the snapshot is stale, so the
+  // next query must walk the live stores (and see the new comment at
+  // once — exactly the historical freshness semantics).
+  ASSERT_TRUE(server_
+                  ->SubmitRating(s2, meta, 2, "spyware!", core::kNoBehaviors,
+                                 kDay)
+                  .ok());
+  auto info = server_->QuerySoftware(s1, meta.id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(server_->stats().snapshot_hits, 1u);
+  EXPECT_EQ(server_->stats().snapshot_misses, 1u);
+  ASSERT_EQ(info->comments.size(), 1u);
+  EXPECT_EQ(info->comments[0].comment, "spyware!");
+
+  // The next aggregation republishes; queries return to the fast path.
+  server_->aggregation().RunOnce(2 * kDay);
+  ASSERT_TRUE(server_->QuerySoftware(s1, meta.id).ok());
+  EXPECT_EQ(server_->stats().snapshot_hits, 2u);
+}
+
+TEST_F(ServerTest, SnapshotReadsOffMeansNoSnapshotEverPublished) {
+  ReputationServer::Config config = DefaultConfig();
+  config.snapshot_reads = false;
+  Reset(config);
+  std::string session = MakeUser("vera");
+  SoftwareMeta meta = TestMeta("snap3", "Acme");
+  ASSERT_TRUE(
+      server_->SubmitRating(session, meta, 5, "", core::kNoBehaviors, 0).ok());
+  server_->aggregation().RunOnce(kDay);
+  EXPECT_EQ(server_->CurrentSnapshot(), nullptr);
+  ASSERT_TRUE(server_->QuerySoftware(session, meta.id).ok());
+  EXPECT_EQ(server_->stats().snapshot_hits, 0u);
+  // The lock-free entry point reports unavailability rather than serving
+  // a stale or empty answer.
+  EXPECT_EQ(server_->QuerySoftwareSnapshot(session, meta.id).status().code(),
+            util::StatusCode::kUnavailable);
+}
+
+TEST_F(ServerTest, QuerySoftwareSnapshotMatchesLockedAnswerByteForByte) {
+  std::string s1 = MakeUser("wade");
+  std::string s2 = MakeUser("xena");
+  SoftwareMeta meta = TestMeta("snap4", "Initech");
+  core::BehaviorSet ads =
+      static_cast<core::BehaviorSet>(core::Behavior::kShowsAds);
+  ASSERT_TRUE(server_->SubmitRating(s1, meta, 9, "great", ads, 0).ok());
+  ASSERT_TRUE(server_->SubmitRating(s2, meta, 5, "meh", ads, 0).ok());
+  ASSERT_TRUE(server_->ReportExecutions(s1, meta.id, 3).ok());
+  server_->aggregation().RunOnce(kDay);
+
+  // Twin server over the same database with the snapshot path disabled:
+  // the locked store walk is the oracle.
+  ReputationServer::Config locked_config = DefaultConfig();
+  locked_config.snapshot_reads = false;
+  ReputationServer locked(db_.get(), &loop_, locked_config);
+  auto locked_session = locked.Login("wade", "password", 0);
+  ASSERT_TRUE(locked_session.ok());
+
+  for (const SoftwareId& id : {meta.id, util::Sha1::Hash("never-seen")}) {
+    auto fast = server_->QuerySoftwareSnapshot(s1, id);
+    auto slow = locked.QuerySoftware(*locked_session, id);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_EQ(xml::WriteXml(proto::SoftwareInfoToXml(*fast)),
+              xml::WriteXml(proto::SoftwareInfoToXml(*slow)));
+  }
+  EXPECT_EQ(server_->snapshot_queries(), 2u);
+}
+
+TEST_F(ServerTest, QuerySoftwareSnapshotStillAuthenticates) {
+  std::string session = MakeUser("yuri");
+  server_->aggregation().RunOnce(kDay);
+  EXPECT_EQ(server_
+                ->QuerySoftwareSnapshot("bogus-session",
+                                        util::Sha1::Hash("app"))
+                .status()
+                .code(),
+            util::StatusCode::kUnauthenticated);
+  EXPECT_TRUE(
+      server_->QuerySoftwareSnapshot(session, util::Sha1::Hash("app")).ok());
+}
+
+TEST_F(ServerTest, RunOnlyDigestsAppearInSnapshot) {
+  // Executions reported against a digest nobody registered must survive
+  // the snapshot rewrite of the read path (run counters attach before
+  // registration by design, §3.1).
+  std::string session = MakeUser("zoe");
+  SoftwareId ghost = util::Sha1::Hash("ghost-app");
+  ASSERT_TRUE(server_->ReportExecutions(session, ghost, 7).ok());
+  server_->aggregation().RunOnce(kDay);
+  auto info = server_->QuerySoftware(session, ghost);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->known);
+  EXPECT_EQ(info->run_count, 7);
+  EXPECT_EQ(server_->stats().snapshot_misses, 0u);
+}
 
 TEST(ServerPersistenceTest, StateSurvivesRestartViaWal) {
   std::string path =

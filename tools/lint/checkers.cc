@@ -394,9 +394,13 @@ class LayeringChecker : public Checker {
         {"xml", {"xml", "util"}},
         {"crypto", {"crypto", "util"}},
         {"storage", {"storage", "util"}},
-        {"net", {"net", "obs", "util", "xml"}},
+        // net speaks the shared wire codecs (proto/binary_codec.h) but
+        // must never see server or client types.
+        {"net", {"net", "obs", "util", "xml", "proto"}},
         {"core", {"core", "util"}},
-        {"proto", {"proto", "core", "util"}},
+        // proto owns the frame codecs, which serialize the shared XML
+        // element tree — hence xml, but still nothing above it.
+        {"proto", {"proto", "core", "util", "xml"}},
         {"server",
          {"server", "core", "proto", "storage", "net", "crypto", "obs",
           "util", "xml"}},
