@@ -2,7 +2,7 @@
 // 24-hour job (§3.2) versus the incremental dirty-set recompute, and the
 // single-threaded versus thread-pool compute fan-out.
 //
-// Emits BENCH_aggregation.json into the working directory. `--smoke` runs
+// Emits BENCH_aggregation.json at the repo root (bench_util.h OutputPath). `--smoke` runs
 // only the smallest size with correctness self-checks (used by the
 // `bench-smoke` ctest label); the full run also self-checks that the
 // incremental path actually delivers an order-of-magnitude win at scale.
@@ -239,10 +239,11 @@ SizeResult RunSize(std::size_t votes) {
   return result;
 }
 
-void WriteJson(const std::vector<SizeResult>& results) {
-  std::FILE* out = std::fopen("BENCH_aggregation.json", "w");
+void WriteJson(const std::vector<SizeResult>& results, bool smoke) {
+  const std::string path = ResultPath("BENCH_aggregation.json", smoke);
+  std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot write BENCH_aggregation.json\n");
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(out, "{\n  \"benchmark\": \"incremental_aggregation\",\n");
@@ -298,9 +299,11 @@ int Main(bool smoke) {
   }
   std::vector<SizeResult> results;
   for (std::size_t votes : sizes) results.push_back(RunSize(votes));
-  WriteJson(results);
+  WriteJson(results, smoke);
   Rule();
-  std::printf("wrote BENCH_aggregation.json (%zu sizes)\n", results.size());
+  std::printf("wrote %s (%zu sizes)\n",
+              ResultPath("BENCH_aggregation.json", smoke).c_str(),
+              results.size());
 
   if (!smoke) {
     // The reproduced shape: at 100k+ votes the dirty-set run must beat the

@@ -2,7 +2,7 @@
 // digest-routed votes, scatter-merged vendor reads, per-shard aggregation)
 // replayed against 1 / 2 / 4 / 8 shards behind the Router.
 //
-// Emits BENCH_cluster.json into the working directory. Self-checking at
+// Emits BENCH_cluster.json at the repo root (bench_util.h OutputPath). Self-checking at
 // every size: the N-shard scores must be bit-for-bit the 1-shard scores
 // (the single-shard run is the oracle), every program must land where the
 // ring says, and at N >= 2 the catalogue must actually spread over more
@@ -339,10 +339,11 @@ FailoverResult MeasureFailoverRecovery() {
 }
 
 void WriteJson(const Workload& load, const std::vector<ShardResult>& results,
-               const FailoverResult& failover) {
-  std::FILE* out = std::fopen("BENCH_cluster.json", "w");
+               const FailoverResult& failover, bool smoke) {
+  const std::string path = ResultPath("BENCH_cluster.json", smoke);
+  std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot write BENCH_cluster.json\n");
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(out, "{\n  \"benchmark\": \"cluster_scaling\",\n");
@@ -392,7 +393,7 @@ int Main(bool smoke) {
     results.push_back(RunShardCount(shards, load, &oracle));
   }
   FailoverResult failover = MeasureFailoverRecovery();
-  WriteJson(load, results, failover);
+  WriteJson(load, results, failover, smoke);
   Rule();
   std::printf("wrote BENCH_cluster.json (%zu shard counts, all matched "
               "the 1-shard oracle; failover recovery %lld sim ms)\n",

@@ -15,7 +15,7 @@
 //   - responses collected through a batch frame are byte-identical to the
 //     same queries framed one at a time.
 //
-// Emits BENCH_serving.json. Throughput is only meaningful when the host
+// Emits BENCH_serving.json at the repo root (bench_util.h OutputPath). Throughput is only meaningful when the host
 // has at least as many cpus as worker threads; every cell carries its own
 // "speedup_valid" flag (cf. bench_a4's honesty rule). `--smoke` runs a
 // reduced matrix with all self-checks (the `bench-smoke` ctest label).
@@ -50,6 +50,7 @@ using server::ReputationServer;
 using xml::XmlNode;
 
 struct Shape {
+  bool smoke = false;
   std::size_t programs = 300;
   std::size_t users = 100;
   std::size_t votes_per_user = 30;
@@ -325,9 +326,10 @@ void SelfCheck(Fixture& fast, Fixture& locked) {
 
 void WriteJson(const std::vector<Cell>& cells, const Shape& shape,
                unsigned host_cpus) {
-  std::FILE* out = std::fopen("BENCH_serving.json", "w");
+  const std::string path = ResultPath("BENCH_serving.json", shape.smoke);
+  std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot write BENCH_serving.json\n");
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
     std::exit(1);
   }
   std::fprintf(out,
@@ -354,6 +356,7 @@ int Main(bool smoke) {
          "DESIGN.md §14 — epoch-snapshot read path");
   Shape shape;
   if (smoke) {
+    shape.smoke = true;
     shape.programs = 60;
     shape.users = 20;
     shape.votes_per_user = 10;

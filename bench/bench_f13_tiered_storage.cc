@@ -1,0 +1,551 @@
+// F13 — tiered storage engine at scale (DESIGN.md §15).
+//
+// Grows two twin databases fed byte-identical mutation streams — one fully
+// resident ("all-hot"), one tiered (LRU hot tier over a cold block file) —
+// to 1M vote rows, then checks the tentpole claims of the tiered engine:
+//
+//   1. Query results are bit-identical across the twins (weighted score
+//      sums, point gets, index counts, newest-K comment selection), before
+//      and after deletes and a cold-store GC pass. Scores and trust
+//      weights are integer-valued, so the per-software double sums are
+//      exact and visit-order-insensitive.
+//   2. The tiered twin's modeled resident memory is >= 5x lower at full
+//      row count (both twins measured with the same deterministic ruler,
+//      storage::TieredTable::ApproxResidentBytes).
+//   3. Crash recovery (close + reopen) is timed for both twins and
+//      recorded — the tiered WAL carries only schemas, so its replay does
+//      not scale with row count (the cold scan does, but builds no rows).
+//
+// Emits BENCH_storage.json at the repo root (bench_util.h OutputPath).
+// `--smoke` runs a 20k-row slice with the same self-checks and no timing
+// assertions (wired into ctest under the bench-smoke label).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_timer.h"
+#include "bench_util.h"
+#include "storage/database.h"
+#include "util/clock.h"
+
+namespace pisrep::bench {
+namespace {
+
+using storage::Database;
+using storage::Row;
+using storage::SchemaBuilder;
+using storage::TieredTable;
+using storage::Value;
+
+constexpr char kHotWal[] = "bench_f13_hot.wal";
+constexpr char kTierWal[] = "bench_f13_tier.wal";
+constexpr char kTierCold[] = "bench_f13_tier.cold";
+
+struct Shape {
+  bool smoke = false;
+  std::size_t rows = 1'000'000;
+  std::size_t software = 2'000;
+  std::size_t hot_capacity = 4'096;
+};
+
+struct TwinTimings {
+  double load_ms = 0.0;
+  double recovery_ms = 0.0;
+};
+
+struct Latency {
+  double p50_us = 0.0;
+  double avg_us = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Deterministic 64-bit LCG (MMIX constants) — no wall-clock entropy.
+class Lcg {
+ public:
+  std::uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 16;
+  }
+
+ private:
+  std::uint64_t state_ = 0xF13B5ULL;
+};
+
+std::string SoftwareHex(std::size_t index) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%040zx", index);
+  return std::string(buf);
+}
+
+/// Row i deterministically: software round-robins so every title gathers
+/// rows/software votes; (user, software) pairs are unique by construction.
+struct VoteSpec {
+  std::string key;
+  std::int64_t user;
+  std::string software_hex;
+  std::int64_t score;
+  std::int64_t submitted_at;
+  std::int64_t trust;
+};
+
+VoteSpec SpecFor(std::size_t i, const Shape& shape,
+                 const std::vector<std::string>& software_hex) {
+  VoteSpec spec;
+  std::size_t s = i % shape.software;
+  spec.user = static_cast<std::int64_t>(i / shape.software) + 1;
+  spec.software_hex = software_hex[s];
+  spec.key = std::to_string(spec.user) + ":" + spec.software_hex;
+  // Integer-valued score and weight: the weighted sum of any subset is an
+  // exact integer < 2^53, so double summation is order-insensitive and
+  // the twin comparison can demand bit equality.
+  spec.score = 1 + static_cast<std::int64_t>((i * 2654435761ULL) % 10);
+  spec.trust = 1 + static_cast<std::int64_t>((i * 40503ULL) % 5);
+  spec.submitted_at = static_cast<std::int64_t>(i) * util::kSecond;
+  return spec;
+}
+
+Row RowFor(const VoteSpec& spec, bool churned) {
+  std::string comment(80, 'c');
+  comment += std::to_string(spec.submitted_at);
+  if (churned) comment += ":churn";
+  return Row{
+      Value::Str(spec.key),           Value::Int(spec.user),
+      Value::Str(spec.software_hex),  Value::Int(spec.score),
+      Value::Str(std::move(comment)), Value::Int(spec.submitted_at),
+      Value::Boolean(true),           Value::Real(
+          static_cast<double>(spec.trust)),
+  };
+}
+
+storage::TableSchema RatingsSchema() {
+  return SchemaBuilder("ratings")
+      .Str("key")
+      .Int("user")
+      .Str("software")
+      .Int("score")
+      .Str("comment")
+      .Int("submitted_at")
+      .Boolean("approved")
+      .Real("trust")
+      .PrimaryKey("key")
+      .Index("user")
+      .Index("software")
+      .Build();
+}
+
+std::unique_ptr<Database> OpenHotTwin() {
+  auto db = Database::Open(kHotWal);
+  MustOk(db, "open all-hot twin");
+  return std::move(db).value();
+}
+
+std::unique_ptr<Database> OpenTieredTwin(const Shape& shape) {
+  Database::OpenOptions options;
+  options.tier.path = kTierCold;
+  storage::TierPolicy policy;
+  policy.hot_capacity_rows = shape.hot_capacity;
+  policy.age_column = "submitted_at";
+  policy.demote_age = 24 * util::kHour;
+  options.tier.tables["ratings"] = policy;
+  auto db = Database::Open(kTierWal, options);
+  MustOk(db, "open tiered twin");
+  return std::move(db).value();
+}
+
+void RemoveDataFiles() {
+  std::remove(kHotWal);
+  std::remove(kTierWal);
+  std::remove(kTierCold);
+}
+
+std::string RenderRow(const Row& row) {
+  std::string out;
+  for (const Value& cell : row) {
+    out += storage::ColumnTypeName(cell.type());
+    out += ':';
+    out += cell.ToString();
+    out += '\x1f';
+  }
+  return out;
+}
+
+/// Exact weighted score sum + vote count for one software through a
+/// facade; the pair the twin comparison demands bit equality on.
+std::pair<double, std::size_t> WeightedSum(TieredTable* table,
+                                           const std::string& hex) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  util::Status visited = table->ForEachByIndex(
+      "software", Value::Str(hex), [&](const Row& row) {
+        sum += static_cast<double>(row[3].AsInt()) * row[7].AsReal();
+        ++count;
+      });
+  MustOk(visited, "ForEachByIndex(software)");
+  return {sum, count};
+}
+
+/// Newest-K (submitted_at, key) selection for one software — the storage
+/// shape of VoteStore::VisibleComments. Returned sorted, so the compare
+/// is insensitive to visit order (timestamps are distinct per software).
+std::vector<std::pair<std::int64_t, std::string>> NewestK(
+    TieredTable* table, const std::string& hex, std::size_t k) {
+  std::vector<std::pair<std::int64_t, std::string>> all;
+  util::Status visited = table->ForEachByIndex(
+      "software", Value::Str(hex), [&](const Row& row) {
+        all.emplace_back(row[5].AsInt(), row[0].AsStr());
+      });
+  MustOk(visited, "ForEachByIndex(software) for newest-K");
+  auto newer = [](const auto& a, const auto& b) { return a.first > b.first; };
+  if (all.size() > k) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k),
+                      all.end(), newer);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), newer);
+  }
+  return all;
+}
+
+Latency Summarize(std::vector<std::int64_t> micros) {
+  Latency out;
+  out.samples = micros.size();
+  if (micros.empty()) return out;
+  std::sort(micros.begin(), micros.end());
+  out.p50_us = static_cast<double>(micros[micros.size() / 2]);
+  std::int64_t total = 0;
+  for (std::int64_t value : micros) total += value;
+  out.avg_us =
+      static_cast<double>(total) / static_cast<double>(micros.size());
+  return out;
+}
+
+struct BenchResult {
+  Shape shape;
+  std::size_t deleted = 0;
+  TwinTimings hot;
+  TwinTimings tiered;
+  std::uint64_t hot_resident_bytes = 0;
+  std::uint64_t tiered_resident_bytes = 0;
+  double resident_ratio = 0.0;
+  storage::DatabaseTierStats tier_stats;
+  Latency get_hot;
+  Latency get_cold;
+  std::size_t mismatches = 0;
+};
+
+void WriteJson(const BenchResult& r) {
+  std::string path = ResultPath("BENCH_storage.json", r.shape.smoke);
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"tiered_storage\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", r.shape.smoke ? "smoke" : "full");
+  std::fprintf(out, "  \"rows\": %zu,\n", r.shape.rows);
+  std::fprintf(out, "  \"software\": %zu,\n", r.shape.software);
+  std::fprintf(out, "  \"deleted_rows\": %zu,\n", r.deleted);
+  std::fprintf(out, "  \"hot_capacity_rows\": %zu,\n", r.shape.hot_capacity);
+  std::fprintf(out, "  \"resident_ratio\": %.2f,\n", r.resident_ratio);
+  std::fprintf(out, "  \"mismatches\": %zu,\n", r.mismatches);
+  std::fprintf(out,
+               "  \"all_hot\": {\"resident_bytes\": %" PRIu64
+               ", \"load_ms\": %.1f, \"recovery_ms\": %.1f},\n",
+               r.hot_resident_bytes, r.hot.load_ms, r.hot.recovery_ms);
+  std::fprintf(out,
+               "  \"tiered\": {\"resident_bytes\": %" PRIu64
+               ", \"load_ms\": %.1f, \"recovery_ms\": %.1f,\n",
+               r.tiered_resident_bytes, r.tiered.load_ms,
+               r.tiered.recovery_ms);
+  std::fprintf(out,
+               "    \"hot_rows\": %zu, \"cold_rows\": %zu,\n",
+               r.tier_stats.hot_rows, r.tier_stats.cold_rows);
+  std::fprintf(out,
+               "    \"cold_file_bytes\": %" PRIu64
+               ", \"faults\": %" PRIu64 ", \"promotions\": %" PRIu64
+               ", \"demotions\": %" PRIu64 ",\n",
+               r.tier_stats.cold_file_bytes, r.tier_stats.faults,
+               r.tier_stats.promotions, r.tier_stats.demotions);
+  std::fprintf(out,
+               "    \"gc_runs\": %" PRIu64 ", \"gc_reclaimed_bytes\": %" PRIu64
+               ",\n",
+               r.tier_stats.gc_runs, r.tier_stats.gc_reclaimed_bytes);
+  std::fprintf(out,
+               "    \"get_hot_p50_us\": %.1f, \"get_hot_avg_us\": %.1f,\n",
+               r.get_hot.p50_us, r.get_hot.avg_us);
+  std::fprintf(out,
+               "    \"get_cold_p50_us\": %.1f, \"get_cold_avg_us\": %.1f}\n",
+               r.get_cold.p50_us, r.get_cold.avg_us);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int Main(bool smoke) {
+  Shape shape;
+  if (smoke) {
+    shape.smoke = true;
+    shape.rows = 20'000;
+    shape.software = 200;
+    shape.hot_capacity = 1'024;
+  }
+  Banner("F13 - tiered storage: hot/cold row tiers at " +
+             std::to_string(shape.rows) + " votes",
+         "DESIGN.md SS15 (scale beyond the paper's single-table store)");
+  RemoveDataFiles();
+
+  std::vector<std::string> software_hex;
+  software_hex.reserve(shape.software);
+  for (std::size_t s = 0; s < shape.software; ++s) {
+    software_hex.push_back(SoftwareHex(s));
+  }
+
+  BenchResult result;
+  result.shape = shape;
+
+  auto hot_db = OpenHotTwin();
+  auto tier_db = OpenTieredTwin(shape);
+  MustOk(hot_db->CreateTable(RatingsSchema()), "create all-hot table");
+  MustOk(tier_db->CreateTable(RatingsSchema()), "create tiered table");
+  TieredTable* hot = hot_db->GetTiered("ratings").value();
+  TieredTable* tier = tier_db->GetTiered("ratings").value();
+
+  // -- Phase 1: identical mutation streams into both twins ------------------
+  {
+    WallTimer timer;
+    for (std::size_t i = 0; i < shape.rows; ++i) {
+      MustOk(hot->Insert(RowFor(SpecFor(i, shape, software_hex), false)),
+             "all-hot insert");
+    }
+    result.hot.load_ms = timer.ElapsedMillis();
+    timer.Reset();
+    for (std::size_t i = 0; i < shape.rows; ++i) {
+      MustOk(tier->Insert(RowFor(SpecFor(i, shape, software_hex), false)),
+             "tiered insert");
+      // Periodic eviction keeps the resident set near hot_capacity_rows
+      // during the load instead of ballooning to the full row count.
+      if ((i & 0xFFFF) == 0xFFFF) {
+        MustOk(tier_db->TierTick(static_cast<util::TimePoint>(i) *
+                                 util::kSecond),
+               "tier tick (load)");
+      }
+    }
+    result.tiered.load_ms = timer.ElapsedMillis();
+    std::printf("load %zu rows: all-hot %.0f ms, tiered %.0f ms\n",
+                shape.rows, result.hot.load_ms, result.tiered.load_ms);
+  }
+  // Churn every 16th row (dead frames for the GC phase; refreshed LRU
+  // stamps for the residency phase).
+  for (std::size_t i = 0; i < shape.rows; i += 16) {
+    VoteSpec spec = SpecFor(i, shape, software_hex);
+    MustOk(hot->Upsert(RowFor(spec, true)), "all-hot churn upsert");
+    MustOk(tier->Upsert(RowFor(spec, true)), "tiered churn upsert");
+  }
+
+  // -- Phase 2: eviction schedule, then the resident-memory claim -----------
+  // +12h: at full scale most rows pass the 24h demote-age bar, but the
+  // newest slice stays age-exempt, so the post-tick resident set is the
+  // LRU capacity rather than empty.
+  util::TimePoint now =
+      static_cast<util::TimePoint>(shape.rows) * util::kSecond +
+      12 * util::kHour;
+  MustOk(tier_db->TierTick(now), "tier tick (demotion)");
+  result.hot_resident_bytes = hot->ApproxResidentBytes();
+  result.tiered_resident_bytes = tier->ApproxResidentBytes();
+  result.resident_ratio =
+      static_cast<double>(result.hot_resident_bytes) /
+      static_cast<double>(result.tiered_resident_bytes);
+  {
+    storage::DatabaseTierStats stats = tier_db->TierStats();
+    std::printf("resident: all-hot %.1f MB, tiered %.1f MB (%.1fx lower; "
+                "%zu hot / %zu cold rows)\n",
+                static_cast<double>(result.hot_resident_bytes) / 1e6,
+                static_cast<double>(result.tiered_resident_bytes) / 1e6,
+                result.resident_ratio, stats.hot_rows, stats.cold_rows);
+  }
+
+  // -- Phase 3: bit-identical queries across the twins ----------------------
+  auto check_queries = [&](const char* when) {
+    std::size_t step = shape.smoke ? 1 : 7;
+    std::size_t mismatches = 0;
+    for (std::size_t s = 0; s < shape.software; s += step) {
+      auto [hot_sum, hot_count] = WeightedSum(hot, software_hex[s]);
+      auto [tier_sum, tier_count] = WeightedSum(tier, software_hex[s]);
+      if (std::memcmp(&hot_sum, &tier_sum, sizeof(double)) != 0 ||
+          hot_count != tier_count) {
+        ++mismatches;
+        continue;
+      }
+      if (NewestK(hot, software_hex[s], 10) !=
+          NewestK(tier, software_hex[s], 10)) {
+        ++mismatches;
+      }
+    }
+    // Point gets and per-user index multisets over a sample of keys.
+    for (std::size_t i = 0; i < shape.rows; i += 997) {
+      VoteSpec spec = SpecFor(i, shape, software_hex);
+      auto hot_row = hot->Get(Value::Str(spec.key));
+      auto tier_row = tier->Get(Value::Str(spec.key));
+      if (hot_row.ok() != tier_row.ok()) {
+        ++mismatches;
+        continue;
+      }
+      if (hot_row.ok() && RenderRow(*hot_row) != RenderRow(*tier_row)) {
+        ++mismatches;
+      }
+      auto hot_count = hot->CountByIndex("user", Value::Int(spec.user));
+      auto tier_count = tier->CountByIndex("user", Value::Int(spec.user));
+      if (!hot_count.ok() || !tier_count.ok() || *hot_count != *tier_count) {
+        ++mismatches;
+        continue;
+      }
+      std::vector<std::string> hot_keys;
+      std::vector<std::string> tier_keys;
+      MustOk(hot->ForEachByIndex(
+                 "user", Value::Int(spec.user),
+                 [&](const Row& row) { hot_keys.push_back(row[0].AsStr()); }),
+             "all-hot ForEachByIndex(user)");
+      MustOk(tier->ForEachByIndex(
+                 "user", Value::Int(spec.user),
+                 [&](const Row& row) { tier_keys.push_back(row[0].AsStr()); }),
+             "tiered ForEachByIndex(user)");
+      std::sort(hot_keys.begin(), hot_keys.end());
+      std::sort(tier_keys.begin(), tier_keys.end());
+      if (hot_keys != tier_keys) ++mismatches;
+    }
+    std::printf("query self-check (%s): %zu mismatches\n", when, mismatches);
+    result.mismatches += mismatches;
+  };
+  check_queries("after load");
+
+  // -- Phase 4: point-get latency, resident vs cold -------------------------
+  {
+    std::vector<std::int64_t> hot_micros;
+    std::vector<std::int64_t> cold_micros;
+    for (std::size_t i = 0; i < shape.rows; i += 101) {
+      VoteSpec spec = SpecFor(i, shape, software_hex);
+      Value key = Value::Str(spec.key);
+      bool resident = tier->IsHot(key);
+      WallTimer timer;
+      auto row = tier->Get(key);
+      std::int64_t micros = timer.ElapsedMicros();
+      MustOk(row, "tiered point get");
+      (resident ? hot_micros : cold_micros).push_back(micros);
+    }
+    result.get_hot = Summarize(std::move(hot_micros));
+    result.get_cold = Summarize(std::move(cold_micros));
+    std::printf("point get: resident p50 %.1f us (n=%zu), "
+                "cold-fault p50 %.1f us (n=%zu)\n",
+                result.get_hot.p50_us, result.get_hot.samples,
+                result.get_cold.p50_us, result.get_cold.samples);
+  }
+  // Deferred admission: the cold gets above queued faults; the next tick
+  // must promote some of them.
+  {
+    std::uint64_t before = tier_db->TierStats().promotions;
+    now += util::kHour;
+    MustOk(tier_db->TierTick(now), "tier tick (fault promotion)");
+    std::uint64_t promoted = tier_db->TierStats().promotions - before;
+    std::printf("fault promotion: %" PRIu64 " rows promoted by tick\n",
+                promoted);
+    if (promoted == 0) {
+      std::fprintf(stderr, "FAIL: cold faults were never promoted\n");
+      ++result.mismatches;
+    }
+  }
+
+  // -- Phase 5: deletes, GC, and the post-GC twin check ---------------------
+  {
+    for (std::size_t i = 0; i < shape.rows; ++i) {
+      if (i % 5 >= 2) continue;  // delete 40% of rows, same set on both
+      VoteSpec spec = SpecFor(i, shape, software_hex);
+      MustOk(hot->Delete(Value::Str(spec.key)), "all-hot delete");
+      MustOk(tier->Delete(Value::Str(spec.key)), "tiered delete");
+      ++result.deleted;
+    }
+    now += util::kHour;
+    MustOk(tier_db->TierTick(now), "tier tick (GC)");
+    storage::DatabaseTierStats stats = tier_db->TierStats();
+    std::printf("after deleting %zu rows: gc_runs=%" PRIu64
+                " reclaimed=%.1f MB file=%.1f MB\n",
+                result.deleted, stats.gc_runs,
+                static_cast<double>(stats.gc_reclaimed_bytes) / 1e6,
+                static_cast<double>(stats.cold_file_bytes) / 1e6);
+    if (stats.gc_runs == 0) {
+      std::fprintf(stderr,
+                   "FAIL: 40%% dead bytes did not trigger cold-store GC\n");
+      ++result.mismatches;
+    }
+    check_queries("after deletes + GC");
+  }
+
+  // -- Phase 6: crash recovery ----------------------------------------------
+  {
+    std::size_t hot_rows_before = hot->size();
+    std::size_t tier_rows_before = tier->size();
+    hot = nullptr;
+    tier = nullptr;
+    hot_db.reset();
+    tier_db.reset();
+    WallTimer timer;
+    hot_db = OpenHotTwin();
+    result.hot.recovery_ms = timer.ElapsedMillis();
+    timer.Reset();
+    tier_db = OpenTieredTwin(shape);
+    result.tiered.recovery_ms = timer.ElapsedMillis();
+    hot = hot_db->GetTiered("ratings").value();
+    tier = tier_db->GetTiered("ratings").value();
+    std::printf("recovery: all-hot %.0f ms (WAL replay), tiered %.0f ms "
+                "(cold scan)\n",
+                result.hot.recovery_ms, result.tiered.recovery_ms);
+    if (hot->size() != hot_rows_before || tier->size() != tier_rows_before) {
+      std::fprintf(stderr, "FAIL: recovery changed row counts\n");
+      ++result.mismatches;
+    }
+    if (tier->HotRows() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: tiered twin reopened with resident rows\n");
+      ++result.mismatches;
+    }
+    check_queries("after recovery");
+  }
+
+  result.tier_stats = tier_db->TierStats();
+  WriteJson(result);
+  hot_db.reset();
+  tier_db.reset();
+  RemoveDataFiles();
+
+  Rule();
+  if (result.mismatches != 0) {
+    std::fprintf(stderr, "FAIL: %zu twin mismatches\n", result.mismatches);
+    return 1;
+  }
+  if (result.resident_ratio < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: resident-memory ratio %.2fx below the 5x floor\n",
+                 result.resident_ratio);
+    return 1;
+  }
+  std::printf("PASS: bit-identical twins, %.1fx lower resident memory\n",
+              result.resident_ratio);
+  return 0;
+}
+
+}  // namespace
+}  // namespace pisrep::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") smoke = true;
+  }
+  return pisrep::bench::Main(smoke);
+}

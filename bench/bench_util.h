@@ -24,6 +24,43 @@ inline void MustOk(const util::Result<T>& result, const char* what) {
   MustOk(result.status(), what);
 }
 
+/// Resolves where BENCH_*.json artifacts are written: $PISREP_BENCH_DIR
+/// when set, otherwise the repo root (nearest ancestor directory holding
+/// ROADMAP.md, searched up to 6 levels), otherwise the current directory.
+/// Every bench routes its JSON through this, so artifacts land in one
+/// predictable place instead of scattering across whatever working
+/// directory each binary was launched from.
+inline std::string OutputPath(const std::string& filename) {
+  const char* dir = std::getenv("PISREP_BENCH_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    return std::string(dir) + "/" + filename;
+  }
+  std::string prefix;
+  for (int depth = 0; depth <= 6; ++depth) {
+    std::string marker = prefix + "ROADMAP.md";
+    if (std::FILE* marker_file = std::fopen(marker.c_str(), "r")) {
+      std::fclose(marker_file);
+      return prefix + filename;
+    }
+    prefix += "../";
+  }
+  return filename;
+}
+
+/// OutputPath for a bench result file. Smoke slices must never overwrite
+/// the committed full-scale records, so they land beside them under a
+/// .smoke.json suffix (gitignored) — same directory, same discovery rule.
+inline std::string ResultPath(const std::string& base, bool smoke) {
+  if (!smoke) return OutputPath(base);
+  std::string name = base;
+  const std::string ext = ".json";
+  if (name.size() > ext.size() &&
+      name.compare(name.size() - ext.size(), ext.size(), ext) == 0) {
+    name.resize(name.size() - ext.size());
+  }
+  return OutputPath(name + ".smoke.json");
+}
+
 /// Prints a section banner for a reproduced table/figure.
 inline void Banner(const std::string& experiment,
                    const std::string& paper_ref) {

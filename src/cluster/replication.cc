@@ -69,9 +69,19 @@ void ReplicationLog::Clear() {
 // ---------------------------------------------------------------------------
 
 ReplicaNode::ReplicaNode(net::SimNetwork* network, std::string address)
-    : network_(network), address_(std::move(address)) {
-  auto db = storage::Database::Open("");
-  PISREP_CHECK(db.ok()) << "in-memory database open cannot fail";
+    : ReplicaNode(network, std::move(address), nullptr) {}
+
+ReplicaNode::ReplicaNode(net::SimNetwork* network, std::string address,
+                         DatabaseFactory factory)
+    : network_(network),
+      address_(std::move(address)),
+      factory_(std::move(factory)) {
+  if (!factory_) {
+    factory_ = [] { return storage::Database::Open(""); };
+  }
+  auto db = factory_();
+  PISREP_CHECK(db.ok()) << "replica database open failed: "
+                        << db.status().ToString();
   db_ = std::move(db).value();
 }
 
@@ -127,8 +137,19 @@ Result<XmlNode> ReplicaNode::HandleReplicate(const XmlNode& request) {
     // has since applied on top.
     std::uint64_t snap_through = AttrU64(request, "snap_through");
     if (snap_through >= applied_seq_ || stale_) {
-      auto fresh = storage::Database::Open("");
-      PISREP_CHECK(fresh.ok()) << "in-memory database open cannot fail";
+      auto fresh = factory_();
+      if (!fresh.ok()) {
+        // A tiered factory does file IO and can genuinely fail; stay
+        // stale on the old database so the primary keeps retrying.
+        PISREP_LOG(kWarning) << "replica " << address_
+                             << " failed snapshot reopen: "
+                             << fresh.status().ToString();
+        stale_ = true;
+        XmlNode failed("result");
+        failed.SetAttribute("acked", std::to_string(applied_seq_));
+        failed.SetAttribute("stale", "1");
+        return failed;
+      }
       db_ = std::move(fresh).value();
       applied_seq_ = 0;
       stale_ = false;
@@ -376,7 +397,25 @@ void ReplicationShipper::SendSnapshot(std::size_t k) {
     params.AddTextChild("f", util::HexEncode(frame));
     return Status::Ok();
   });
-  PISREP_CHECK(exported.ok()) << "snapshot export cannot fail in-memory";
+  if (!exported.ok()) {
+    // A tiered primary streams its cold block file straight from disk, so
+    // export is real IO now and can fail transiently. Leave the channel
+    // reset-pending and retry after the usual delay.
+    PISREP_LOG(kWarning) << "snapshot export for replica "
+                         << replica_address(static_cast<int>(k))
+                         << " failed: " << exported.ToString()
+                         << "; retrying";
+    if (!channel.retry_scheduled) {
+      channel.retry_scheduled = true;
+      loop_->ScheduleAfter(config_.retry_delay,
+                           [this, k, alive = std::weak_ptr<int>(alive_)] {
+                             if (alive.expired()) return;
+                             channels_[k].retry_scheduled = false;
+                             PumpChannel(k);
+                           });
+    }
+    return;
+  }
   channel.reset_floor = log_.head_seq();
   params.SetAttribute("snap_through", std::to_string(channel.reset_floor));
   channel.in_flight = true;

@@ -227,6 +227,7 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now, bool full_sweep) {
   // Phase 2 — writes, sequential on the calling thread in target order
   // (storage::Database is single-writer).
   std::size_t recomputed = 0;
+  if (collect_recomputed_) stats_.recomputed_ids.reserve(targets.size());
   for (std::size_t i = 0; i < targets.size(); ++i) {
     util::Status put = registry_->PutScore(results[i]);
     if (!put.ok()) {
@@ -235,6 +236,7 @@ std::size_t AggregationJob::RunOnce(util::TimePoint now, bool full_sweep) {
       continue;
     }
     ++recomputed;
+    if (collect_recomputed_) stats_.recomputed_ids.push_back(targets[i]);
   }
   stats_.recomputed = recomputed;
   stats_.skipped = stats_.candidates - std::min(stats_.candidates,

@@ -113,6 +113,15 @@ class ReputationServer {
     /// way). QuerySoftwareSnapshot additionally offers the always-snapshot
     /// thread-safe path for concurrent readers.
     bool snapshot_reads = true;
+    /// How often the tiered storage engine's eviction schedule runs
+    /// (storage::Database::TierTick: fault promotion, age/LRU demotion,
+    /// cold-store GC) when the database is tiered and a loop is attached.
+    /// 0 disables the schedule (TierTick can still be driven manually).
+    util::Duration tier_tick_period = util::kHour;
+    /// Upper bound on score rows pinned resident under the published
+    /// snapshot; recomputed ids beyond it stay demotable (they fault back
+    /// in on demand).
+    std::size_t max_pinned_scores = 10000;
     /// Observability (optional, both null by default — instrumented paths
     /// then cost one branch each). Neither is owned; both must outlive the
     /// server. The registry feeds the `/metrics` portal endpoint, the
@@ -179,6 +188,20 @@ class ReputationServer {
   /// run; exposed for benches that mutate stores directly. No-op when
   /// `snapshot_reads` is off.
   void PublishSnapshot();
+
+  /// Runs one tiered-storage eviction pass now (the scheduled tick calls
+  /// this; exposed for tests and manual operation). No-op when the
+  /// database is untiered.
+  void TierTickNow();
+
+  /// Re-exports the pisrep_storage_* metrics (tier gauges, cold-store and
+  /// compaction counters) from the database's current counters. Called
+  /// automatically after every tier tick; no-op without a metrics
+  /// registry.
+  void UpdateStorageMetrics();
+
+  /// Score rows currently pinned resident for the published snapshot.
+  std::size_t pinned_score_count() const { return pinned_scores_.size(); }
 
   /// Calls answered by QuerySoftwareSnapshot (its own counter: the shared
   /// ServerStats are deliberately not touched from concurrent readers).
@@ -263,8 +286,11 @@ class ReputationServer {
 
  private:
   void RegisterRpcMethods();
+  /// Swaps the snapshot pin set to this run's recomputed score rows.
+  void RepinScores(const AggregationStats& stats);
 
   Config config_;
+  storage::Database* db_;
   net::EventLoop* loop_;
   /// Declared before aggregation_ so the pool outlives the job that uses
   /// it. Null when aggregation_workers == 0.
@@ -294,6 +320,15 @@ class ReputationServer {
   /// Liveness token for the snapshot-logger schedule (same pattern as the
   /// aggregation job): Stop() resets it and queued ticks become no-ops.
   std::shared_ptr<int> snapshot_token_;
+  /// Liveness token for the tier-tick schedule.
+  std::shared_ptr<int> tier_token_;
+  /// Score rows pinned under the current snapshot (swapped by RepinScores
+  /// after each aggregation run).
+  std::vector<core::SoftwareId> pinned_scores_;
+  /// Counter baselines for the monotonic pisrep_storage_* exports (the
+  /// registry's counters only increment; the database reports totals).
+  storage::DatabaseTierStats storage_seen_;
+  std::size_t compactions_seen_ = 0;
 };
 
 }  // namespace pisrep::server

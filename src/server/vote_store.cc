@@ -72,8 +72,8 @@ VoteStore::VoteStore(storage::Database* db) : db_(db) {
                                          .Build());
     PISREP_CHECK(status.ok()) << status.ToString();
   }
-  ratings_ = db_->GetTable("ratings").value();
-  remarks_ = db_->GetTable("remarks").value();
+  ratings_ = db_->GetTiered("ratings").value();
+  remarks_ = db_->GetTiered("remarks").value();
   // Seed the rated-software cache from recovered rows. Iteration over
   // rows_ is insertion order, so rated_order_ matches what incremental
   // maintenance would have produced.
@@ -150,9 +150,12 @@ std::vector<StoredRating> VoteStore::VotesForSoftware(
     const SoftwareId& software) const {
   std::vector<StoredRating> out;
   Value key = Value::Str(software.ToHex());
-  auto count = ratings_->CountByIndex("software", key);
-  if (!count.ok()) return out;
-  out.reserve(*count);
+  // The reserve comes from the in-memory per-software counter, not
+  // CountByIndex — counting through the facade would walk (and possibly
+  // pread) every vote once before the real visit walks them again.
+  auto it = votes_per_software_.find(software.ToHex());
+  if (it == votes_per_software_.end()) return out;
+  out.reserve(it->second);
   // ForEachByIndex materializes StoredRating straight from the table rows
   // — no intermediate std::vector<Row> copy as FindByIndex would make.
   Status visited = ratings_->ForEachByIndex(
@@ -175,9 +178,6 @@ void VoteStore::ForEachVoteOn(
 std::vector<StoredRating> VoteStore::VotesByUser(core::UserId user) const {
   std::vector<StoredRating> out;
   Value key = Value::Int(user);
-  auto count = ratings_->CountByIndex("user", key);
-  if (!count.ok()) return out;
-  out.reserve(*count);
   Status visited = ratings_->ForEachByIndex(
       "user", key, [&](const Row& row) { out.push_back(RatingFromRow(row)); });
   PISREP_CHECK(visited.ok()) << visited.ToString();
@@ -188,19 +188,25 @@ std::vector<core::RatingRecord> VoteStore::VisibleComments(
     const SoftwareId& software, std::size_t limit) const {
   std::vector<core::RatingRecord> comments;
   if (limit == 0) return comments;
-  // Filter rows in place (no StoredRating materialization of the whole
-  // vote set), then pick the newest `limit` with a partial sort; only the
-  // selected rows' comment strings are ever copied.
-  std::vector<const Row*> visible;
+  // Rows handed out by the facade may be transient cold decodes, valid
+  // only inside the callback — so the filter pass copies just the two
+  // scalars the selection needs, never a Row pointer. Only the `limit`
+  // selected rows are re-fetched and materialized (comment strings
+  // copied) afterwards.
+  struct Candidate {
+    std::int64_t submitted_at;
+    core::UserId user;
+  };
+  std::vector<Candidate> visible;
   Status visited = ratings_->ForEachByIndex(
       "software", Value::Str(software.ToHex()), [&](const Row& row) {
         if (row[6].AsBool() && !row[4].AsStr().empty()) {
-          visible.push_back(&row);
+          visible.push_back(Candidate{row[5].AsInt(), row[1].AsInt()});
         }
       });
   if (!visited.ok()) return comments;
-  auto newer = [](const Row* a, const Row* b) {
-    return (*a)[5].AsInt() > (*b)[5].AsInt();
+  auto newer = [](const Candidate& a, const Candidate& b) {
+    return a.submitted_at > b.submitted_at;
   };
   if (visible.size() > limit) {
     std::partial_sort(visible.begin(), visible.begin() + limit,
@@ -210,7 +216,9 @@ std::vector<core::RatingRecord> VoteStore::VisibleComments(
     std::sort(visible.begin(), visible.end(), newer);
   }
   comments.reserve(visible.size());
-  for (const Row* row : visible) {
+  for (const Candidate& candidate : visible) {
+    auto row = ratings_->Get(Value::Str(VoteKey(candidate.user, software)));
+    PISREP_CHECK(row.ok()) << row.status().ToString();
     comments.push_back(RatingFromRow(*row).record);
   }
   return comments;

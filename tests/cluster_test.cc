@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <filesystem>
 #include <functional>
 #include <map>
 #include <memory>
@@ -228,6 +230,140 @@ TEST(ReplicaNode, GapMarksTheReplicaStale) {
   EXPECT_EQ((*response)->AttributeOr("stale", "0"), "1");
   EXPECT_EQ((*response)->AttributeOr("acked", ""), "0");
   EXPECT_TRUE(replica.stale());
+}
+
+// Compact() rewrites the primary's WAL in place between two ShardReplicate
+// batches. The rewrite appends schema/snapshot frames to the journal
+// directly — none of them may leak into the replication stream (a backup
+// that applied them would double-apply every untiered row and desync), and
+// the backup must keep catching up from the log afterwards without needing
+// a snapshot resync. The primary journals to a real on-disk WAL with a
+// tiered votes table (in-memory databases make Compact a no-op), and the
+// backup uses the tiered DatabaseFactory, so the stream also covers the
+// cold-store frame path at flat backup memory (DESIGN.md §15).
+TEST(ReplicaNode, CompactionBetweenBatchesDoesNotDesyncTheBackup) {
+  namespace fs = std::filesystem;
+  const std::string dir = fs::temp_directory_path().string();
+  const std::string primary_wal = dir + "/pisrep_compact_sync_prim.wal";
+  const std::string primary_cold = dir + "/pisrep_compact_sync_prim.cold";
+  const std::string backup_wal = dir + "/pisrep_compact_sync_back.wal";
+  const std::string backup_cold = dir + "/pisrep_compact_sync_back.cold";
+  auto remove_all = [&] {
+    for (const auto& path :
+         {primary_wal, primary_cold, backup_wal, backup_cold}) {
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+  };
+  remove_all();
+
+  auto tier_options = [](const std::string& cold_path) {
+    storage::Database::OpenOptions options;
+    options.tier.path = cold_path;
+    storage::TierPolicy policy;
+    policy.hot_capacity_rows = 4;
+    options.tier.tables["votes"] = policy;
+    return options;
+  };
+
+  auto opened = storage::Database::Open(primary_wal,
+                                        tier_options(primary_cold));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<storage::Database> db = std::move(opened).value();
+  ASSERT_TRUE(db->CreateTable(storage::SchemaBuilder("votes")
+                                  .Str("key")
+                                  .Int("user")
+                                  .Int("score")
+                                  .PrimaryKey("key")
+                                  .Index("user")
+                                  .Build())
+                  .ok());
+  ASSERT_TRUE(db->CreateTable(storage::SchemaBuilder("meta")
+                                  .Str("k")
+                                  .Str("v")
+                                  .PrimaryKey("k")
+                                  .Build())
+                  .ok());
+
+  net::EventLoop loop;
+  net::SimNetwork network(&loop, net::NetworkConfig{});
+  ReplicaNode replica(&network, "tier-backup", [&] {
+    // A tiered factory must yield an *empty* database: clear both files
+    // first, or a snapshot reset would replay stale rows under the
+    // incoming frames.
+    std::error_code ec;
+    fs::remove(backup_wal, ec);
+    fs::remove(backup_cold, ec);
+    return storage::Database::Open(backup_wal, tier_options(backup_cold));
+  });
+  ASSERT_TRUE(replica.Start().ok());
+  ReplicationShipper shipper(&network, &loop, "tier-prim", {"tier-backup"},
+                             db.get(), ReplicationConfig{}, nullptr,
+                             "tier-prim");
+  ASSERT_TRUE(shipper.Start().ok());
+
+  auto votes = db->GetTiered("votes");
+  ASSERT_TRUE(votes.ok());
+  auto meta = db->GetTable("meta");
+  ASSERT_TRUE(meta.ok());
+  auto vote_row = [](int i, int score) {
+    return storage::Row{storage::Value::Str(StrFormat("vote-%03d", i)),
+                        storage::Value::Int(i % 3),
+                        storage::Value::Int(score)};
+  };
+  auto pump_until_caught_up = [&] {
+    shipper.Pump();
+    for (int i = 0; i < 60 && !shipper.channel_caught_up(0); ++i) {
+      loop.RunUntil(loop.Now() + util::kSecond);
+    }
+    ASSERT_TRUE(shipper.channel_caught_up(0));
+  };
+
+  // Batch 1: enough votes that the tier demotes most of them cold, plus an
+  // untiered row so the compacted WAL re-journals actual row frames.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE((*votes)->Insert(vote_row(i, 5 + i % 4)).ok());
+  }
+  ASSERT_TRUE((*meta)
+                  ->Insert({storage::Value::Str("epoch"),
+                            storage::Value::Str("one")})
+                  .ok());
+  ASSERT_TRUE(db->TierTick(util::kHour).ok());
+  ASSERT_NO_FATAL_FAILURE(pump_until_caught_up());
+  const std::uint64_t resets_after_seed = replica.resets();
+  EXPECT_EQ(FormatRangeDigests(RangeDigestsOf(db.get())),
+            FormatRangeDigests(RangeDigestsOf(replica.db())));
+
+  // Compact between the batches: the journal shrinks to schemas + live
+  // untiered rows, and the replication stream must not move at all.
+  const std::uint64_t head_before = shipper.head_seq();
+  const std::size_t compactions_before = db->compactions();
+  ASSERT_TRUE(db->Compact().ok());
+  EXPECT_EQ(db->compactions(), compactions_before + 1);
+  EXPECT_EQ(shipper.head_seq(), head_before);
+
+  // Batch 2: overwrite a batch-1 slice and extend past it.
+  for (int i = 8; i < 20; ++i) {
+    ASSERT_TRUE((*votes)->Upsert(vote_row(i, 9)).ok());
+  }
+  ASSERT_TRUE((*meta)
+                  ->Upsert({storage::Value::Str("epoch"),
+                            storage::Value::Str("two")})
+                  .ok());
+  ASSERT_TRUE(db->TierTick(2 * util::kHour).ok());
+  ASSERT_NO_FATAL_FAILURE(pump_until_caught_up());
+
+  EXPECT_GT(shipper.head_seq(), head_before);
+  EXPECT_FALSE(replica.stale());
+  // Caught up from the log alone — compaction must not force a snapshot.
+  EXPECT_EQ(replica.resets(), resets_after_seed);
+  EXPECT_EQ(FormatRangeDigests(RangeDigestsOf(db.get())),
+            FormatRangeDigests(RangeDigestsOf(replica.db())));
+  // Replicated tiered rows land cold on the backup: flat standby memory.
+  auto backup_votes = replica.db()->GetTiered("votes");
+  ASSERT_TRUE(backup_votes.ok());
+  EXPECT_EQ((*backup_votes)->HotRows(), 0u);
+  remove_all();
 }
 
 // ---------------------------------------------------------------------------

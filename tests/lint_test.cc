@@ -110,6 +110,21 @@ TEST(DiscardedStatus, AcceptsInspectedResults) {
       << FormatHuman(findings);
 }
 
+TEST(DiscardedStatus, ParenthesizedReturnChainIsNotDiscarded) {
+  // `return (*db)->Persist();` hands the Status to the caller. A naive
+  // chain parse reads `return` as the chain's head identifier and flags
+  // a perfectly inspected value.
+  auto findings = Analyze({
+      {"src/storage/api.h", kStatusDecl},
+      {"src/storage/use.cc",
+       "util::Status Use(Db** db) {\n"
+       "  return (*db)->Persist(1);\n"
+       "}\n"},
+  });
+  EXPECT_EQ(CountRule(findings, "discarded-status"), 0)
+      << FormatHuman(findings);
+}
+
 TEST(DiscardedStatus, VoidCastNeedsJustifyingComment) {
   auto findings = Analyze({
       {"src/storage/api.h", kStatusDecl},
@@ -319,6 +334,26 @@ TEST(Layering, ObsIsBelowEverythingButUtil) {
   EXPECT_TRUE(HasFinding(bad, "layering", "src/obs/trace.h", 2));
   EXPECT_TRUE(HasFinding(bad, "layering", "src/obs/trace.h", 3));
   EXPECT_EQ(CountRule(bad, "layering"), 3) << FormatHuman(bad);
+}
+
+TEST(Layering, StorageTierStaysBelowObsAndServer) {
+  // The tier engine is plain storage: cold store, hot LRU, and facade may
+  // see each other and util, nothing else.
+  auto ok = AnalyzeOne("src/storage/tiered_table.cc",
+                       "#include \"storage/tiered_table.h\"\n"
+                       "#include \"storage/cold_store.h\"\n"
+                       "#include \"storage/hot_tier.h\"\n"
+                       "#include \"util/clock.h\"\n");
+  EXPECT_EQ(CountRule(ok, "layering"), 0) << FormatHuman(ok);
+  // pisrep_storage_* metrics are exported by the *server* over TierStats();
+  // the engine itself must not reach up into obs (or further, into the
+  // server that publishes it).
+  auto bad = AnalyzeOne("src/storage/cold_store.cc",
+                        "#include \"obs/metrics.h\"\n"        // line 1
+                        "#include \"server/feeds.h\"\n");     // line 2
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/storage/cold_store.cc", 1));
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/storage/cold_store.cc", 2));
+  EXPECT_EQ(CountRule(bad, "layering"), 2) << FormatHuman(bad);
 }
 
 TEST(Layering, InstrumentedLayersMayUseObs) {

@@ -117,6 +117,13 @@ class DiscardedStatusChecker : public Checker {
     const auto& fallible = ctx.index->fallible_functions;
     for (std::size_t i = 0; i < toks.size(); ++i) {
       if (!AtStatementStart(toks, i)) continue;
+      // `return (*db)->Fallible();` hands the value to the caller; the
+      // chain parser would otherwise read `return` as the chain's head
+      // identifier and flag a value that is not discarded at all.
+      if (IsIdent(toks[i]) &&
+          (toks[i].text == "return" || toks[i].text == "co_return")) {
+        continue;
+      }
       // A chain right after `(void)` is matched from the cast's own `(`,
       // not re-matched here.
       if (i >= 3 && IsPunct(toks[i - 1], ")") && IsIdent(toks[i - 2]) &&
