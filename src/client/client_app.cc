@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "trust/policy_rules.h"
 #include "util/hex.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -55,6 +56,10 @@ PromptInfo InfoFromXml(const XmlNode& response, const core::SoftwareId& id) {
   if (auto runs = response.ChildInt("runs"); runs.ok()) {
     info.run_count = *runs;
   }
+  info.vendor_signed = response.AttributeOr("vendor_signed", "0") == "1";
+  if (info.vendor_signed) {
+    info.signed_vendor = response.AttributeOr("signed_vendor", "");
+  }
   for (const XmlNode* comment : response.FindChildren("comment")) {
     core::RatingRecord record;
     auto author = util::ParseInt64(comment->AttributeOr("author", "0"));
@@ -84,6 +89,16 @@ ClientApp::ClientApp(net::SimNetwork* network, net::EventLoop* loop,
       cache_(config_.cache_ttl, config_.cache_stale_ttl,
              config_.cache_max_entries),
       offline_queue_(config_.offline_queue) {
+  if (!config_.policy_rules.empty()) {
+    auto parsed = trust::ParsePolicyRules(config_.policy_rules, "client-rules");
+    if (parsed.ok()) {
+      config_.policy = *std::move(parsed);
+    } else {
+      // Keep the configured policy: a broken rules file must never turn
+      // off the lists or the defaults.
+      PISREP_LOG(kWarning) << "policy rules rejected: " << parsed.status();
+    }
+  }
   interceptor_.SetHandler(
       [this](const FileImage& image, DecisionCallback done) {
         HandleExecution(image, std::move(done));
@@ -360,18 +375,11 @@ void ClientApp::FetchFeedEntry(const core::SoftwareId& id, PromptInfo info,
        done = std::move(done)](Result<XmlNode> response) mutable {
         if (response.ok()) {
           if (const XmlNode* entry_node = response->FindChild("entry")) {
-            proto::FeedEntry entry;
-            entry.feed = entry_node->AttributeOr("feed", "");
-            auto score =
-                util::ParseDouble(entry_node->AttributeOr("score", "0"));
-            entry.score = score.ok() ? *score : 0.0;
-            auto behaviors = core::BehaviorSetFromString(
-                entry_node->AttributeOr("behaviors", ""));
-            entry.behaviors =
-                behaviors.ok() ? *behaviors : core::kNoBehaviors;
-            entry.note = entry_node->text();
-            entry.software = id;
-            info.feed_entry = entry;
+            auto entry = proto::FeedEntryFromXml(*entry_node);
+            if (entry.ok()) {
+              entry->software = id;
+              info.feed_entry = *std::move(entry);
+            }
           }
         }
         // Cache presence *and* absence, so repeats skip the round trip.
@@ -401,6 +409,16 @@ void ClientApp::DecideWithInfo(const FileImage& image, PromptInfo info,
   input.has_valid_signature = info.signature.valid;
   input.vendor_trusted = info.signature.vendor_trusted;
   input.vendor_blocked = info.signature.vendor_blocked;
+  if (info.vendor_signed) {
+    // The server verified a signed manifest against its pinned vendor keys
+    // (PR 10); that counts as a valid signature even when the local checker
+    // saw nothing, and the named vendor is judged against the local store.
+    input.has_valid_signature = true;
+    using VendorTrust = crypto::TrustStore::VendorTrust;
+    VendorTrust trust = trust_store_.GetTrust(info.signed_vendor);
+    if (trust == VendorTrust::kTrusted) input.vendor_trusted = true;
+    if (trust == VendorTrust::kBlocked) input.vendor_blocked = true;
+  }
   input.has_company_name = !image.company().empty();
   if (info.score.has_value() && info.score->vote_count > 0) {
     input.rating = info.score->score;
@@ -416,9 +434,20 @@ void ClientApp::DecideWithInfo(const FileImage& image, PromptInfo info,
     // and its score is available to feed-aware policy rules.
     input.feed_rating = info.feed_entry->score;
     input.reported_behaviors |= info.feed_entry->behaviors;
+    input.expert_flagged = info.feed_entry->expert_flagged;
   }
 
-  core::PolicyAction action = config_.policy.Evaluate(input);
+  std::string fired_rule;
+  core::PolicyAction action = config_.policy.Evaluate(input, &fired_rule);
+  if (config_.metrics != nullptr) {
+    const char* family = action == core::PolicyAction::kAllow
+                             ? "pisrep_trust_policy_allow_total"
+                             : action == core::PolicyAction::kDeny
+                                   ? "pisrep_trust_policy_deny_total"
+                                   : "pisrep_trust_policy_ask_total";
+    config_.metrics->GetCounter(obs::WithLabel(family, "rule", fired_rule))
+        ->Increment();
+  }
   switch (action) {
     case core::PolicyAction::kAllow:
       ++stats_.policy_allowed;

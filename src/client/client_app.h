@@ -41,6 +41,10 @@ struct PromptInfo {
   std::optional<proto::FeedEntry> feed_entry;
   /// §3.1 run statistics: community-wide execution count.
   std::int64_t run_count = 0;
+  /// Server-verified vendor manifest facts (PR 10): the server checked a
+  /// signed manifest for this binary against its pinned vendor keys.
+  bool vendor_signed = false;
+  std::string signed_vendor;
 };
 
 /// The user's answer to an allow/deny prompt.
@@ -106,6 +110,11 @@ class ClientApp {
     /// The decision policy; defaults to the proof-of-concept behaviour
     /// (lists + ask).
     core::Policy policy = core::Policy::ListsOnly();
+    /// Declarative alternative to `policy` (PR 10, §4.2 policy manager):
+    /// when non-empty, parsed with trust::ParsePolicyRules and it replaces
+    /// `policy`. A parse failure logs a warning and keeps `policy` — a bad
+    /// rules file must never silently disable the lists.
+    std::string policy_rules;
     /// Prompt thresholds (§3.1 defaults: 50 executions, 2/week).
     core::PromptScheduler::Config prompts;
     /// What to do when the server is unreachable and the policy says to

@@ -6,6 +6,7 @@
 
 #include "storage/table.h"
 #include "storage/value.h"
+#include "trust/audit_log.h"
 #include "util/logging.h"
 #include "util/sha1.h"
 #include "util/string_util.h"
@@ -104,6 +105,8 @@ AntiEntropyAgent::AntiEntropyAgent(net::SimNetwork* network,
         "pisrep_cluster_anti_entropy_checks_total", "shard", shard_));
     repairs_metric_ = metrics->GetCounter(obs::WithLabel(
         "pisrep_cluster_anti_entropy_repairs_total", "shard", shard_));
+    fences_metric_ = metrics->GetCounter(obs::WithLabel(
+        "pisrep_cluster_anti_entropy_fences_total", "shard", shard_));
   }
 }
 
@@ -144,6 +147,42 @@ void AntiEntropyAgent::RunSweep() {
           if (AttrU64(response, "applied") != shipper_->head_seq()) return;
           ++checks_;
           if (checks_metric_) checks_metric_->Increment();
+          // Fence-first: audit-chain divergence is tamper evidence, not a
+          // replication bug — quarantine the replica instead of wiping the
+          // evidence with a snapshot resync.
+          trust::AuditChainStatus local_audit =
+              trust::AuditChainStatusOf(db_);
+          if (local_audit.present) {
+            bool remote_broken =
+                response.AttributeOr("audit_ok", "1") == "0";
+            std::string remote_head =
+                response.AttributeOr("audit_head", "");
+            bool head_diverged =
+                !remote_head.empty() && remote_head != local_audit.head_hash;
+            if (!local_audit.ok) {
+              // The *primary's* chain is broken: its own copy is suspect,
+              // so it has no authority to fence or resync anyone.
+              PISREP_LOG(kWarning)
+                  << "anti-entropy: primary " << shard_
+                  << " audit chain broken at index "
+                  << local_audit.first_bad_index
+                  << "; skipping replica comparison";
+              return;
+            }
+            if (remote_broken || head_diverged) {
+              ++fences_;
+              if (fences_metric_) fences_metric_->Increment();
+              PISREP_LOG(kWarning)
+                  << "anti-entropy: replica "
+                  << shipper_->replica_address(k) << " of " << shard_
+                  << (remote_broken ? " has a broken audit chain"
+                                    : " audit head diverged at equal WAL "
+                                      "position")
+                  << "; fencing (not repairing)";
+              shipper_->FenceChannel(k);
+              return;
+            }
+          }
           std::string local = FormatRangeDigests(RangeDigestsOf(db_));
           std::string remote = response.AttributeOr("digests", "");
           if (local == remote) return;

@@ -70,6 +70,10 @@ class AntiEntropyAgent {
   std::uint64_t checks() const { return checks_; }
   /// Divergent replicas detected and forced into snapshot resync.
   std::uint64_t repairs() const { return repairs_; }
+  /// Replicas fenced because their tamper-evident audit chain broke or
+  /// diverged from the primary's at equal WAL positions. Fencing is
+  /// terminal: tamper evidence is preserved, never snapshot-repaired.
+  std::uint64_t fences() const { return fences_; }
 
  private:
   void ScheduleSweep();
@@ -84,10 +88,12 @@ class AntiEntropyAgent {
   std::unique_ptr<net::RpcClient> client_;
   std::uint64_t checks_ = 0;
   std::uint64_t repairs_ = 0;
+  std::uint64_t fences_ = 0;
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
 
   obs::Counter* checks_metric_ = nullptr;
   obs::Counter* repairs_metric_ = nullptr;
+  obs::Counter* fences_metric_ = nullptr;
 };
 
 }  // namespace pisrep::cluster

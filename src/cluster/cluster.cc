@@ -231,6 +231,7 @@ Status ShardNode::StartReplicas() {
   }
   int want = std::max(0, replication_.replication_factor - 1);
   replicas_.resize(static_cast<std::size_t>(want));
+  replica_fenced_.resize(static_cast<std::size_t>(want), false);
   std::vector<int> revived;
   for (int k = 0; k < want; ++k) {
     if (replicas_[static_cast<std::size_t>(k)] != nullptr) continue;
@@ -238,6 +239,9 @@ Status ShardNode::StartReplicas() {
                                               ReplicaAddress(name_, k + 1));
     PISREP_RETURN_IF_ERROR(node->Start());
     replicas_[static_cast<std::size_t>(k)] = std::move(node);
+    // A freshly created node is a new machine: any fence verdict against
+    // its predecessor dies with the predecessor.
+    replica_fenced_[static_cast<std::size_t>(k)] = false;
     revived.push_back(k);
   }
   if (shipper_ == nullptr) {
@@ -248,6 +252,11 @@ Status ShardNode::StartReplicas() {
     shipper_ = std::make_unique<ReplicationShipper>(
         network_, loop_, name_ + "!ship", std::move(addresses), db_.get(),
         replication_, server_config_.metrics, name_);
+    shipper_->set_fence_listener([this](int k) {
+      if (static_cast<std::size_t>(k) < replica_fenced_.size()) {
+        replica_fenced_[static_cast<std::size_t>(k)] = true;
+      }
+    });
     PISREP_RETURN_IF_ERROR(shipper_->Start());
     InstallResponseGate();
     if (anti_entropy_config_.enabled && want > 0) {
@@ -285,12 +294,15 @@ Status ShardNode::Promote() {
     return Status::FailedPrecondition("primary still alive");
   }
   // The most-caught-up replica that does not know itself to be missing
-  // acked records. Promoting a stale one would silently drop votes.
+  // acked records. Promoting a stale one would silently drop votes, and
+  // promoting a fenced one would crown a copy whose audit chain says it
+  // was tampered with.
   int best = -1;
   std::uint64_t best_applied = 0;
   for (int k = 0; k < replica_count(); ++k) {
     ReplicaNode* candidate = replica(k);
     if (candidate == nullptr || candidate->stale()) continue;
+    if (replica_fenced(k)) continue;
     if (best < 0 || candidate->applied_seq() > best_applied) {
       best = k;
       best_applied = candidate->applied_seq();
@@ -299,10 +311,11 @@ Status ShardNode::Promote() {
   if (best < 0) {
     ++promotions_refused_;
     return Status::FailedPrecondition(
-        "no promotable replica (all dead or stale)");
+        "no promotable replica (all dead, stale or fenced)");
   }
   db_ = replica(best)->Detach();
   replicas_.clear();
+  replica_fenced_.clear();
   PISREP_RETURN_IF_ERROR(StartPrimary());
   ++promotions_;
   // Stand up a fresh (empty) replica set behind the new primary; the

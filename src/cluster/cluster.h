@@ -133,6 +133,13 @@ class ShardNode {
 
   std::uint64_t promotions() const { return promotions_; }
   std::uint64_t promotions_refused() const { return promotions_refused_; }
+  /// True when replica k was fenced for audit-chain divergence. Remembered
+  /// on the node (not just the shipper) so a fenced replica still cannot
+  /// be promoted after the primary — and with it the shipper — crashed.
+  bool replica_fenced(int k) const {
+    return static_cast<std::size_t>(k) < replica_fenced_.size() &&
+           replica_fenced_[static_cast<std::size_t>(k)];
+  }
 
  private:
   util::Status StartPrimary();
@@ -153,6 +160,9 @@ class ShardNode {
   std::unique_ptr<storage::Database> db_;
   std::unique_ptr<server::ReputationServer> server_;
   std::vector<std::unique_ptr<ReplicaNode>> replicas_;
+  /// Parallel to replicas_: audit-fence verdicts, surviving shipper
+  /// teardown (KillPrimary) so Promote can honor them.
+  std::vector<bool> replica_fenced_;
   std::unique_ptr<ReplicationShipper> shipper_;
   std::unique_ptr<GossipAgent> gossip_;
   std::unique_ptr<AntiEntropyAgent> anti_entropy_;

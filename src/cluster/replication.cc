@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cluster/anti_entropy.h"
+#include "trust/audit_log.h"
 #include "util/hex.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -108,6 +109,16 @@ Status ReplicaNode::Start() {
         result.SetAttribute("stale", stale_ ? "1" : "0");
         result.SetAttribute("digests",
                             FormatRangeDigests(RangeDigestsOf(db_.get())));
+        // Tamper evidence: the replica verifies its own audit chain and
+        // reports the head, so the primary can tell divergence-by-bug
+        // (resyncable) from divergence-by-tamper (fence the replica).
+        trust::AuditChainStatus audit =
+            trust::AuditChainStatusOf(db_.get());
+        if (audit.present) {
+          result.SetAttribute("audit_ok", audit.ok ? "1" : "0");
+          result.SetAttribute("audit_head", audit.head_hash);
+          result.SetAttribute("audit_len", std::to_string(audit.length));
+        }
         return result;
       });
   // Read repair: the exact stored bytes of one software's score row.
@@ -256,6 +267,8 @@ ReplicationShipper::ReplicationShipper(
         "pisrep_cluster_replication_resyncs_total", "shard", shard_label));
     degraded_acks_metric_ = metrics->GetCounter(obs::WithLabel(
         "pisrep_cluster_degraded_acks_total", "shard", shard_label));
+    fences_metric_ = metrics->GetCounter(obs::WithLabel(
+        "pisrep_cluster_replication_fences_total", "shard", shard_label));
   }
 }
 
@@ -280,6 +293,7 @@ void ReplicationShipper::OnFrame(const std::string& frame) {
 std::uint64_t ReplicationShipper::acked_seq() const {
   std::uint64_t min_acked = log_.head_seq();
   for (const Channel& channel : channels_) {
+    if (channel.fenced) continue;  // holds nothing the quorum can use
     min_acked = std::min(min_acked, channel.acked);
   }
   return min_acked;
@@ -304,13 +318,16 @@ bool ReplicationShipper::channel_degraded(int k) const {
 
 bool ReplicationShipper::channel_caught_up(int k) const {
   const Channel& channel = channels_[static_cast<std::size_t>(k)];
-  return !channel.reset_pending && channel.acked >= log_.head_seq();
+  return !channel.fenced && !channel.reset_pending &&
+         channel.acked >= log_.head_seq();
 }
 
 int ReplicationShipper::CopiesHolding(std::uint64_t seq) const {
   int copies = 1;  // the primary's own WAL
   for (const Channel& channel : channels_) {
-    if (!channel.degraded && channel.acked >= seq) ++copies;
+    if (!channel.degraded && !channel.fenced && channel.acked >= seq) {
+      ++copies;
+    }
   }
   return copies;
 }
@@ -323,7 +340,7 @@ int ReplicationShipper::ConfiguredQuorum() const {
 int ReplicationShipper::EffectiveQuorum() const {
   int healthy = 1;
   for (const Channel& channel : channels_) {
-    if (!channel.degraded) ++healthy;
+    if (!channel.degraded && !channel.fenced) ++healthy;
   }
   return std::min(ConfiguredQuorum(), healthy);
 }
@@ -354,6 +371,7 @@ void ReplicationShipper::Pump() {
 
 void ReplicationShipper::PumpChannel(std::size_t k) {
   Channel& channel = channels_[k];
+  if (channel.fenced) return;  // quarantined until the node is replaced
   if (channel.in_flight) return;
   if (channel.reset_pending) {
     SendSnapshot(k);
@@ -504,13 +522,35 @@ void ReplicationShipper::LeaveDegraded(Channel& channel) {
 }
 
 void ReplicationShipper::ForceResync(int k) {
+  if (channels_[static_cast<std::size_t>(k)].fenced) return;
   MarkResyncPending(channels_[static_cast<std::size_t>(k)]);
   PumpChannel(static_cast<std::size_t>(k));
+}
+
+void ReplicationShipper::FenceChannel(int k) {
+  Channel& channel = channels_[static_cast<std::size_t>(k)];
+  if (channel.fenced) return;
+  channel.fenced = true;
+  ++fences_;
+  if (fences_metric_) fences_metric_->Increment();
+  PISREP_LOG(kWarning) << "replica " << channel.address
+                       << " FENCED: audit chain diverged from the primary; "
+                          "excluded from quorum until replaced";
+  UpdateGauges();
+  // Like losing a copy to degradation: gates waiting only on the fenced
+  // replica release against the shrunken effective quorum.
+  CheckGates();
+  if (fence_listener_) fence_listener_(k);
+}
+
+bool ReplicationShipper::channel_fenced(int k) const {
+  return channels_[static_cast<std::size_t>(k)].fenced;
 }
 
 void ReplicationShipper::ReviveChannel(int k) {
   Channel& channel = channels_[static_cast<std::size_t>(k)];
   channel.failures = 0;
+  channel.fenced = false;  // the node behind the channel was replaced
   if (channel.degraded) LeaveDegraded(channel);
   channel.acked = 0;
   MarkResyncPending(channel);
@@ -527,6 +567,7 @@ void ReplicationShipper::MarkResyncPending(Channel& channel) {
 void ReplicationShipper::PruneLog() {
   std::uint64_t min_needed = std::numeric_limits<std::uint64_t>::max();
   for (const Channel& channel : channels_) {
+    if (channel.fenced) continue;  // never ships again; pins nothing
     // A reset-pending channel needs nothing at or below its snapshot
     // floor — the snapshot covers it.
     std::uint64_t have = channel.reset_pending

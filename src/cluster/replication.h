@@ -210,8 +210,24 @@ class ReplicationShipper {
   bool channel_caught_up(int k) const;
 
   /// Schedules a full snapshot re-seed of channel k (anti-entropy and
-  /// read-repair call this on detected divergence).
+  /// read-repair call this on detected divergence). No-op on a fenced
+  /// channel: a replica with a diverged audit chain is evidence, not a
+  /// sync bug, and must never be quietly repaired back into the quorum.
   void ForceResync(int k);
+
+  /// Fences channel k: the replica's tamper-evident audit chain diverged
+  /// from the primary's, so its copy can no longer be trusted. A fenced
+  /// channel ships nothing, counts toward no quorum, and stays fenced
+  /// until the replica is replaced (ReviveChannel). Idempotent.
+  void FenceChannel(int k);
+  bool channel_fenced(int k) const;
+  std::uint64_t fences() const { return fences_; }
+  /// Invoked (once per fence) with the channel ordinal; the shard node
+  /// uses this to remember fenced replicas across a primary crash, when
+  /// the shipper itself is torn down.
+  void set_fence_listener(std::function<void(int)> listener) {
+    fence_listener_ = std::move(listener);
+  }
 
   /// Re-arms channel k after its replica was replaced by a fresh, empty
   /// node: forgets the old ack position, clears degradation, snapshots.
@@ -229,6 +245,8 @@ class ReplicationShipper {
     bool retry_scheduled = false;
     int failures = 0;
     bool degraded = false;
+    /// The replica's audit chain diverged: quarantined, never resynced.
+    bool fenced = false;
     /// The next shipment is a full snapshot (initially true: the replica
     /// starts empty, whatever the primary's history says).
     bool reset_pending = true;
@@ -263,6 +281,8 @@ class ReplicationShipper {
   ReplicationLog log_;
   std::uint64_t degraded_acks_ = 0;
   std::uint64_t resyncs_ = 0;
+  std::uint64_t fences_ = 0;
+  std::function<void(int)> fence_listener_;
   /// (required seq, send closure), FIFO per seq.
   std::deque<std::pair<std::uint64_t, std::function<void()>>> gates_;
   std::shared_ptr<int> alive_ = std::make_shared<int>(0);
@@ -272,6 +292,7 @@ class ReplicationShipper {
   obs::Counter* shipped_metric_ = nullptr;
   obs::Counter* resyncs_metric_ = nullptr;
   obs::Counter* degraded_acks_metric_ = nullptr;
+  obs::Counter* fences_metric_ = nullptr;
 };
 
 }  // namespace pisrep::cluster

@@ -26,6 +26,7 @@ bool PolicyRule::Matches(const PolicyInput& input) const {
   if (mismatch(require_vendor_trusted, input.vendor_trusted)) return false;
   if (mismatch(require_vendor_blocked, input.vendor_blocked)) return false;
   if (mismatch(require_company_name, input.has_company_name)) return false;
+  if (mismatch(require_expert_flag, input.expert_flagged)) return false;
 
   if (min_rating.has_value() || max_rating.has_value()) {
     if (!input.rating.has_value()) return false;

@@ -34,6 +34,10 @@ struct PolicyInput {
   /// has assessed this binary.
   std::optional<double> feed_rating;
 
+  /// A subscribed expert feed carries a signed advisory flagging the
+  /// software as privacy-invasive (§4.2 expert feeds, PR 10 trust plane).
+  bool expert_flagged = false;
+
   /// Behaviours reported by the community *and* any subscribed feed.
   BehaviorSet reported_behaviors = kNoBehaviors;
 };
@@ -51,6 +55,7 @@ struct PolicyRule {
   std::optional<bool> require_vendor_trusted;
   std::optional<bool> require_vendor_blocked;
   std::optional<bool> require_company_name;
+  std::optional<bool> require_expert_flag;
 
   /// Rating window [min_rating, max_rating]; either side optional. A rule
   /// with a rating bound does not fire on unrated software.

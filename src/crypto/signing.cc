@@ -157,4 +157,10 @@ bool Verify(const PublicKey& key, std::string_view message,
   return PowMod(signature, key.e, key.n) == DigestBelow(message, key.n);
 }
 
+std::string KeyFingerprint(const PublicKey& key) {
+  util::Sha256Digest digest = util::Sha256::Hash(key.ToString());
+  std::string hex = digest.ToHex();
+  return hex.substr(0, 16);
+}
+
 }  // namespace pisrep::crypto

@@ -56,6 +56,11 @@ Signature Sign(const PrivateKey& key, std::string_view message);
 bool Verify(const PublicKey& key, std::string_view message,
             Signature signature);
 
+/// Short hex fingerprint (first 8 bytes of SHA-256 over the canonical key
+/// rendering) — how audit payloads and the /trust portal page identify a
+/// pinned key without printing the whole modulus.
+std::string KeyFingerprint(const PublicKey& key);
+
 namespace internal_signing {
 /// Modular exponentiation base^exp mod m (128-bit intermediate).
 std::uint64_t PowMod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);

@@ -4,6 +4,16 @@
 
 namespace pisrep::crypto {
 
+const char* KeyRoleName(KeyRole role) {
+  switch (role) {
+    case KeyRole::kVendor:
+      return "vendor";
+    case KeyRole::kExpert:
+      return "expert";
+  }
+  return "?";
+}
+
 void TrustStore::AddCertificate(const Certificate& cert) {
   certificates_[cert.vendor] = cert;
 }
@@ -53,10 +63,28 @@ bool TrustStore::VerifySignature(std::string_view vendor,
   return Verify(it->second.public_key, message, signature);
 }
 
+bool TrustStore::VerifySignatureAs(KeyRole role, std::string_view vendor,
+                                   std::string_view message,
+                                   Signature signature) const {
+  auto it = certificates_.find(std::string(vendor));
+  if (it == certificates_.end() || it->second.revoked) return false;
+  if (it->second.role != role) return false;
+  return Verify(it->second.public_key, message, signature);
+}
+
 std::vector<std::string> TrustStore::TrustedVendors() const {
   std::vector<std::string> out;
   for (const auto& [vendor, decision] : trust_) {
     if (decision == VendorTrust::kTrusted) out.push_back(vendor);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> TrustStore::NamesWithRole(KeyRole role) const {
+  std::vector<std::string> out;
+  for (const auto& [name, cert] : certificates_) {
+    if (cert.role == role) out.push_back(name);
   }
   std::sort(out.begin(), out.end());
   return out;

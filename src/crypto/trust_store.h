@@ -12,6 +12,13 @@
 
 namespace pisrep::crypto {
 
+/// What a pinned key is allowed to attest to (§4.2 has two signing
+/// identities: software vendors white-listing their releases, and experts
+/// publishing subscribable advisories).
+enum class KeyRole { kVendor, kExpert };
+
+const char* KeyRoleName(KeyRole role);
+
 /// A vendor's code-signing certificate: the binding between a vendor name
 /// and a public key, as would be issued by a certificate authority.
 struct Certificate {
@@ -19,6 +26,7 @@ struct Certificate {
   PublicKey public_key;   ///< the vendor's signing key
   std::int64_t issued_at = 0;  ///< simulation time of issuance
   bool revoked = false;   ///< revocation flag
+  KeyRole role = KeyRole::kVendor;  ///< what this key may sign
 
   friend bool operator==(const Certificate&, const Certificate&) = default;
 };
@@ -57,8 +65,17 @@ class TrustStore {
   bool VerifySignature(std::string_view vendor, std::string_view message,
                        Signature signature) const;
 
+  /// Like VerifySignature, but additionally requires the certificate to
+  /// carry `role` — an expert key must not white-list software and vice
+  /// versa (the server-side gate of the PR 10 trust plane).
+  bool VerifySignatureAs(KeyRole role, std::string_view vendor,
+                         std::string_view message, Signature signature) const;
+
   /// All vendors with an explicit kTrusted decision, sorted.
   std::vector<std::string> TrustedVendors() const;
+
+  /// Names of all installed certificates carrying `role`, sorted.
+  std::vector<std::string> NamesWithRole(KeyRole role) const;
 
   std::size_t certificate_count() const { return certificates_.size(); }
 

@@ -1,5 +1,6 @@
 #include "proto/wire.h"
 
+#include "util/hex.h"
 #include "util/sha256.h"
 #include "util/string_util.h"
 
@@ -51,6 +52,47 @@ std::string OwnershipMovedTarget(std::string_view message) {
   return std::string(message.substr(kOwnershipMovedPrefix.size()));
 }
 
+xml::XmlNode FeedEntryToXml(const FeedEntry& entry) {
+  xml::XmlNode node("entry");
+  node.SetAttribute("feed", entry.feed);
+  node.SetAttribute("software", entry.software.ToHex());
+  node.SetAttribute("score", util::StrFormat("%.6f", entry.score));
+  node.SetAttribute("behaviors", core::BehaviorSetToString(entry.behaviors));
+  node.SetAttribute("flagged", entry.expert_flagged ? "1" : "0");
+  node.SetAttribute("published_at", std::to_string(entry.published_at));
+  node.set_text(entry.note);
+  return node;
+}
+
+util::Result<FeedEntry> FeedEntryFromXml(const xml::XmlNode& node) {
+  FeedEntry entry;
+  PISREP_ASSIGN_OR_RETURN(entry.feed, node.Attribute("feed"));
+  // The software id is optional on the wire: a QueryFeed answer describes
+  // the binary the caller just named, so older servers omit it.
+  if (node.HasAttribute("software")) {
+    PISREP_ASSIGN_OR_RETURN(std::string hex, node.Attribute("software"));
+    PISREP_ASSIGN_OR_RETURN(auto bytes, util::HexDecode(hex));
+    if (bytes.size() != entry.software.bytes.size()) {
+      return util::Status::InvalidArgument(
+          "feed entry software id must be 40 hex characters");
+    }
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      entry.software.bytes[i] = bytes[i];
+    }
+  }
+  PISREP_ASSIGN_OR_RETURN(
+      entry.score, util::ParseDouble(node.AttributeOr("score", "0")));
+  PISREP_ASSIGN_OR_RETURN(
+      entry.behaviors,
+      core::BehaviorSetFromString(node.AttributeOr("behaviors", "")));
+  entry.expert_flagged = node.AttributeOr("flagged", "0") == "1";
+  PISREP_ASSIGN_OR_RETURN(
+      entry.published_at,
+      util::ParseInt64(node.AttributeOr("published_at", "0")));
+  entry.note = node.text();
+  return entry;
+}
+
 xml::XmlNode SoftwareMetaToXml(const core::SoftwareMeta& meta) {
   xml::XmlNode node("software");
   node.SetAttribute("id", meta.id.ToHex());
@@ -64,6 +106,10 @@ xml::XmlNode SoftwareMetaToXml(const core::SoftwareMeta& meta) {
 xml::XmlNode SoftwareInfoToXml(const SoftwareInfo& info) {
   xml::XmlNode result("result");
   result.SetAttribute("known", info.known ? "1" : "0");
+  if (info.vendor_signed) {
+    result.SetAttribute("vendor_signed", "1");
+    result.SetAttribute("signed_vendor", info.signed_vendor);
+  }
   result.AddChild(SoftwareMetaToXml(info.meta));
   if (info.score.has_value()) {
     xml::XmlNode& node = result.AddChild("score");

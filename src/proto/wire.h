@@ -10,6 +10,7 @@
 #include "core/behavior.h"
 #include "core/types.h"
 #include "util/clock.h"
+#include "util/status.h"
 #include "xml/xml_node.h"
 
 namespace pisrep::proto {
@@ -51,7 +52,16 @@ struct FeedEntry {
   core::BehaviorSet behaviors = core::kNoBehaviors;
   std::string note;
   util::TimePoint published_at = 0;
+  /// The publishing expert flags the software as privacy-invasive (PR 10
+  /// signed advisories). Policy rules may deny on this fact alone.
+  bool expert_flagged = false;
 };
+
+/// Serializes a feed entry as the <entry .../> element of a QueryFeed
+/// answer — the one definition both the server handler and the client
+/// cache parse/emit.
+xml::XmlNode FeedEntryToXml(const FeedEntry& entry);
+util::Result<FeedEntry> FeedEntryFromXml(const xml::XmlNode& node);
 
 /// Cluster redirect protocol. A shard that receives a digest-routed
 /// request for a software it does not own answers kFailedPrecondition with
@@ -84,6 +94,11 @@ struct SoftwareInfo {
   /// §3.1 run statistics: community-wide execution count reported by
   /// clients (anonymous totals, never per-host).
   std::int64_t run_count = 0;
+  /// A trusted vendor's signed manifest covers this binary (PR 10): the
+  /// server verified the signature against its pinned keys, so the client
+  /// can treat the vendor claim as a fact without holding the key itself.
+  bool vendor_signed = false;
+  std::string signed_vendor;  ///< manifest vendor name when vendor_signed
 };
 
 /// Serializes software metadata as a <software .../> element (one half of

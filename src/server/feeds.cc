@@ -27,6 +27,8 @@ FeedEntry EntryFromRow(const Row& row) {
   entry.behaviors = behaviors.ok() ? *behaviors : core::kNoBehaviors;
   entry.note = row[5].AsStr();
   entry.published_at = row[6].AsInt();
+  // Rows persisted before the expert-flag column default to unflagged.
+  entry.expert_flagged = row.size() > 7 && row[7].AsInt() != 0;
   return entry;
 }
 
@@ -51,6 +53,7 @@ FeedStore::FeedStore(storage::Database* db) : db_(db) {
                                          .Str("behaviors")
                                          .Str("note")
                                          .Int("published_at")
+                                         .Int("flagged")
                                          .PrimaryKey("key")
                                          .Index("feed")
                                          .Build());
@@ -97,6 +100,7 @@ Status FeedStore::Publish(const FeedEntry& entry, core::UserId publisher) {
       Value::Str(core::BehaviorSetToString(entry.behaviors)),
       Value::Str(entry.note),
       Value::Int(entry.published_at),
+      Value::Int(entry.expert_flagged ? 1 : 0),
   });
 }
 

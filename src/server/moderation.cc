@@ -21,7 +21,9 @@ Status ModerationQueue::ApproveNext() {
   PendingComment comment = queue_.front();
   queue_.pop_front();
   ++approved_;
-  return votes_->SetApproved(comment.author, comment.software, true);
+  Status status = votes_->SetApproved(comment.author, comment.software, true);
+  if (status.ok() && observer_) observer_(comment, true);
+  return status;
 }
 
 Status ModerationQueue::RejectNext() {
@@ -29,6 +31,7 @@ Status ModerationQueue::RejectNext() {
   PendingComment comment = queue_.front();
   queue_.pop_front();
   ++rejected_;
+  if (observer_) observer_(comment, false);
   // The comment row stays unapproved; nothing to write.
   return Status::Ok();
 }

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "core/types.h"
 #include "server/vote_store.h"
@@ -49,11 +51,18 @@ class ModerationQueue {
   std::uint64_t approved_count() const { return approved_; }
   std::uint64_t rejected_count() const { return rejected_; }
 
+  /// Called after every moderation decision with the comment and whether
+  /// it was approved — how the server appends decisions to its audit log
+  /// without this queue knowing the log exists.
+  using Observer = std::function<void(const PendingComment&, bool approved)>;
+  void SetObserver(Observer observer) { observer_ = std::move(observer); }
+
  private:
   VoteStore* votes_;
   std::deque<PendingComment> queue_;
   std::uint64_t approved_ = 0;
   std::uint64_t rejected_ = 0;
+  Observer observer_;
 };
 
 }  // namespace pisrep::server

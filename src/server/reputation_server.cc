@@ -53,6 +53,7 @@ ReputationServer::ReputationServer(storage::Database* db,
       flood_(config_.flood),
       moderation_(&votes_),
       feeds_(db),
+      manifests_(db),
       aggregation_(&registry_, &votes_, &accounts_),
       bootstrap_(&registry_) {
   aggregation_.set_trust_weighting(config_.trust_weighting);
@@ -74,6 +75,26 @@ ReputationServer::ReputationServer(storage::Database* db,
   if (loop_ != nullptr) {
     aggregation_.Schedule(loop_, config_.aggregation_period);
   }
+  // Signed trust plane (PR 10). A server without explicit audit keys gets
+  // a deterministic pair so checkpoints always verify in tests and
+  // single-node setups; real deployments pin their own through Config.
+  if (config_.trust.audit_keys.public_key.n == 0) {
+    util::Rng audit_rng(0x5ec5e701d);
+    config_.trust.audit_keys = crypto::GenerateKeyPair(audit_rng);
+  }
+  for (const crypto::Certificate& cert : config_.trust.pinned_certificates) {
+    trust_keys_.AddCertificate(cert);
+  }
+  if (config_.trust.audit_log) {
+    audit_ = std::make_unique<trust::AuditLog>(db_);
+  }
+  moderation_.SetObserver([this](const PendingComment& comment,
+                                 bool approved) {
+    AuditAppend("moderation",
+                std::string(approved ? "approve" : "reject") +
+                    " author=" + std::to_string(comment.author) +
+                    " software=" + comment.software.ToHex());
+  });
   if (config_.metrics != nullptr) {
     snapshot_age_gauge_ =
         config_.metrics->GetGauge("pisrep_server_query_snapshot_age");
@@ -83,6 +104,22 @@ ReputationServer::ReputationServer(storage::Database* db,
         config_.metrics->GetCounter("pisrep_server_snapshot_hits_total");
     snapshot_misses_metric_ =
         config_.metrics->GetCounter("pisrep_server_snapshot_misses_total");
+    trust_sig_verified_metric_ = config_.metrics->GetCounter(
+        "pisrep_trust_signatures_verified_total");
+    trust_sig_rejected_metric_ = config_.metrics->GetCounter(
+        "pisrep_trust_signatures_rejected_total");
+    trust_audit_appends_metric_ =
+        config_.metrics->GetCounter("pisrep_trust_audit_appends_total");
+    trust_checkpoints_metric_ =
+        config_.metrics->GetCounter("pisrep_trust_checkpoints_total");
+    trust_chain_length_gauge_ =
+        config_.metrics->GetGauge("pisrep_trust_audit_chain_length");
+    trust_checkpoint_age_gauge_ =
+        config_.metrics->GetGauge("pisrep_trust_checkpoint_age");
+    if (audit_ != nullptr && trust_chain_length_gauge_ != nullptr) {
+      trust_chain_length_gauge_->Set(
+          static_cast<std::int64_t>(audit_->head_index()));
+    }
   }
   // Epoch publication (DESIGN.md §14): one snapshot over the recovered
   // database now, then one after every aggregation run — the post-run hook
@@ -207,7 +244,9 @@ Result<SoftwareInfo> ReputationServer::QuerySoftware(
       if (snapshot_age_gauge_) {
         snapshot_age_gauge_->Set(Now() - snapshot->published_at);
       }
-      return LookupSnapshotInfo(*snapshot, id);
+      SoftwareInfo info = LookupSnapshotInfo(*snapshot, id);
+      AnnotateManifest(&info);
+      return info;
     }
     ++stats_.snapshot_misses;
     if (snapshot_misses_metric_) snapshot_misses_metric_->Increment();
@@ -221,6 +260,7 @@ Result<SoftwareInfo> ReputationServer::QuerySoftware(
   if (!meta.ok()) {
     info.meta.id = id;
     info.known = false;
+    AnnotateManifest(&info);
     return info;
   }
   info.meta = *meta;
@@ -234,6 +274,7 @@ Result<SoftwareInfo> ReputationServer::QuerySoftware(
   info.reported_behaviors =
       registry_.ReportedBehaviors(id, config_.behavior_report_threshold);
   info.comments = votes_.VisibleComments(id, config_.max_comments_per_query);
+  AnnotateManifest(&info);
   return info;
 }
 
@@ -249,7 +290,9 @@ Result<SoftwareInfo> ReputationServer::QuerySoftwareSnapshot(
   }
   snapshot_queries_.fetch_add(1, std::memory_order_relaxed);
   if (snapshot_hits_metric_) snapshot_hits_metric_->Increment();
-  return LookupSnapshotInfo(*snapshot, id);
+  SoftwareInfo info = LookupSnapshotInfo(*snapshot, id);
+  AnnotateManifest(&info);
+  return info;
 }
 
 void ReputationServer::PublishSnapshot() {
@@ -329,6 +372,95 @@ void ReputationServer::UpdateStorageMetrics() {
   storage_seen_ = now;
 }
 
+void ReputationServer::AuditAppend(std::string_view kind,
+                                   std::string_view payload) {
+  if (audit_ == nullptr) return;
+  auto entry = audit_->Append(kind, payload, Now());
+  if (!entry.ok()) {
+    PISREP_LOG(kWarning) << "audit append failed: " << entry.status();
+    return;
+  }
+  if (trust_audit_appends_metric_) trust_audit_appends_metric_->Increment();
+  if (config_.trust.checkpoint_every > 0 &&
+      entry->index % config_.trust.checkpoint_every == 0) {
+    Status checkpointed = audit_->WriteCheckpoint(
+        config_.trust.audit_keys.private_key, Now());
+    if (!checkpointed.ok()) {
+      PISREP_LOG(kWarning) << "audit checkpoint failed: " << checkpointed;
+    } else if (trust_checkpoints_metric_) {
+      trust_checkpoints_metric_->Increment();
+    }
+  }
+  if (trust_chain_length_gauge_) {
+    trust_chain_length_gauge_->Set(
+        static_cast<std::int64_t>(audit_->head_index()));
+  }
+  if (trust_checkpoint_age_gauge_) {
+    // Age in entries, not wall time: how much history the next checkpoint
+    // has yet to pin (deterministic under simulated clocks).
+    trust_checkpoint_age_gauge_->Set(static_cast<std::int64_t>(
+        audit_->head_index() - audit_->last_checkpoint_index()));
+  }
+}
+
+void ReputationServer::AnnotateManifest(SoftwareInfo* info) const {
+  auto index = manifests_.Snapshot();
+  if (index == nullptr) return;
+  auto it = index->find(info->meta.id);
+  if (it == index->end()) return;
+  info->vendor_signed = true;
+  info->signed_vendor = it->second.vendor;
+}
+
+Status ReputationServer::SubmitManifest(
+    const trust::SoftwareManifest& manifest) {
+  if (!trust::VerifyManifest(trust_keys_, manifest)) {
+    ++stats_.signatures_rejected;
+    if (trust_sig_rejected_metric_) trust_sig_rejected_metric_->Increment();
+    return Status::PermissionDenied(
+        "manifest signature does not verify against a pinned vendor key");
+  }
+  if (trust_sig_verified_metric_) trust_sig_verified_metric_->Increment();
+  PISREP_RETURN_IF_ERROR(manifests_.Put(manifest, Now()));
+  ++stats_.manifests_accepted;
+  AuditAppend("manifest", "vendor=" + manifest.vendor +
+                              " software=" + manifest.software.ToHex() +
+                              " version=" + manifest.version);
+  return Status::Ok();
+}
+
+Status ReputationServer::PublishAdvisory(
+    const trust::ExpertAdvisory& advisory) {
+  if (!trust::VerifyAdvisory(trust_keys_, advisory)) {
+    ++stats_.signatures_rejected;
+    if (trust_sig_rejected_metric_) trust_sig_rejected_metric_->Increment();
+    return Status::PermissionDenied(
+        "advisory signature does not verify against a pinned expert key");
+  }
+  if (trust_sig_verified_metric_) trust_sig_verified_metric_->Increment();
+  // Republishing through the ordinary feed plumbing: the expert's feed is
+  // created on first advisory, owned by the reserved system publisher.
+  if (!feeds_.HasFeed(advisory.expert)) {
+    PISREP_RETURN_IF_ERROR(feeds_.CreateFeed(
+        advisory.expert, kExpertPublisher, "signed expert advisories"));
+  }
+  FeedEntry entry;
+  entry.feed = advisory.expert;
+  entry.software = advisory.software;
+  entry.score = advisory.score;
+  entry.behaviors = advisory.behaviors;
+  entry.note = advisory.note;
+  entry.published_at = advisory.issued_at;
+  entry.expert_flagged = advisory.flagged;
+  PISREP_RETURN_IF_ERROR(feeds_.Publish(entry, kExpertPublisher));
+  ++stats_.advisories_accepted;
+  AuditAppend("advisory",
+              "expert=" + advisory.expert +
+                  " software=" + advisory.software.ToHex() +
+                  " flagged=" + (advisory.flagged ? "1" : "0"));
+  return Status::Ok();
+}
+
 Status ReputationServer::ReportExecutions(std::string_view session,
                                           const SoftwareId& software,
                                           std::int64_t count) {
@@ -378,6 +510,11 @@ Status ReputationServer::SubmitRating(std::string_view session,
   }
   flood_.RecordVote(user, now);
   ++stats_.votes_accepted;
+  // The audit payload names the stored author — the pseudonym under
+  // pseudonymous voting, so the tamper-evident log never de-anonymizes.
+  AuditAppend("vote", "user=" + std::to_string(record.user) +
+                          " software=" + meta.id.ToHex() +
+                          " score=" + std::to_string(score));
 
   if (!approved) {
     moderation_.Enqueue(PendingComment{user, meta.id, record.comment, now});
@@ -410,6 +547,21 @@ Status ReputationServer::SubmitRemark(std::string_view session,
     return Status::FailedPrecondition(
         "cannot remark on a pseudonymous comment");
   }
+  // Regression fix (PR 10): a rater created inside the current aggregation
+  // window has never been through a trust recomputation — its §3.2 weight
+  // is unearned, and a burst of day-zero sock-puppet accounts could swing
+  // another user's trust factor before the first aggregation saw them.
+  // The rejection is itself an audited trust decision.
+  PISREP_ASSIGN_OR_RETURN(Account rater_account, accounts_.GetAccount(rater));
+  if (now - rater_account.joined_at < config_.aggregation_period) {
+    ++stats_.remarks_rejected_young;
+    AuditAppend("remark-rejected",
+                "rater=" + std::to_string(rater) +
+                    " author=" + std::to_string(author) +
+                    " reason=rater-younger-than-aggregation-window");
+    return Status::FailedPrecondition(
+        "rater account too new: trust factor not yet aggregated");
+  }
   Remark remark;
   remark.rater = rater;
   remark.author = author;
@@ -418,6 +570,10 @@ Status ReputationServer::SubmitRemark(std::string_view session,
   remark.submitted_at = now;
   PISREP_RETURN_IF_ERROR(votes_.SubmitRemark(remark));
   ++stats_.remarks_accepted;
+  AuditAppend("remark", "rater=" + std::to_string(rater) +
+                            " author=" + std::to_string(author) +
+                            " software=" + software.ToHex() +
+                            " positive=" + (positive ? "1" : "0"));
   // §3.2: remarks feed the comment author's trust factor.
   return accounts_.ApplyRemark(author, positive, now).status();
 }
@@ -607,12 +763,53 @@ void ReputationServer::RegisterRpcMethods() {
         PISREP_ASSIGN_OR_RETURN(FeedEntry entry,
                                 QueryFeed(session, feed, id));
         XmlNode result("result");
-        XmlNode& node = result.AddChild("entry");
-        node.SetAttribute("feed", entry.feed);
-        node.SetAttribute("score", util::StrFormat("%.6f", entry.score));
-        node.SetAttribute("behaviors",
-                          core::BehaviorSetToString(entry.behaviors));
-        node.set_text(entry.note);
+        result.AddChild(proto::FeedEntryToXml(entry));
+        return result;
+      });
+
+  // Signed trust plane (PR 10). Like the replication-plane methods these
+  // take no session: the pinned-key signature inside the payload IS the
+  // authentication, and a forged one is rejected before any state changes.
+  rpc_->RegisterMethod(
+      "SubmitManifest", [this](const XmlNode& request) -> Result<XmlNode> {
+        const XmlNode* node = request.FindChild("manifest");
+        if (node == nullptr) {
+          return Status::InvalidArgument("missing <manifest> element");
+        }
+        PISREP_ASSIGN_OR_RETURN(trust::SoftwareManifest manifest,
+                                trust::ManifestFromXml(*node));
+        PISREP_RETURN_IF_ERROR(SubmitManifest(manifest));
+        return XmlNode("result");
+      });
+
+  rpc_->RegisterMethod(
+      "PublishAdvisory", [this](const XmlNode& request) -> Result<XmlNode> {
+        const XmlNode* node = request.FindChild("advisory");
+        if (node == nullptr) {
+          return Status::InvalidArgument("missing <advisory> element");
+        }
+        PISREP_ASSIGN_OR_RETURN(trust::ExpertAdvisory advisory,
+                                trust::AdvisoryFromXml(*node));
+        PISREP_RETURN_IF_ERROR(PublishAdvisory(advisory));
+        return XmlNode("result");
+      });
+
+  // Audit-chain head for external monitors and the offline verifier's
+  // remote mode. Public data: the head commits the history, it reveals
+  // nothing about entry contents.
+  rpc_->RegisterMethod(
+      "QueryAuditHead", [this](const XmlNode&) -> Result<XmlNode> {
+        if (audit_ == nullptr) {
+          return Status::Unavailable("audit log disabled");
+        }
+        XmlNode result("result");
+        result.SetAttribute("index", std::to_string(audit_->head_index()));
+        result.SetAttribute("hash", audit_->head_hash());
+        result.SetAttribute("checkpoints",
+                            std::to_string(audit_->checkpoint_count()));
+        result.SetAttribute(
+            "checkpoint_index",
+            std::to_string(audit_->last_checkpoint_index()));
         return result;
       });
 

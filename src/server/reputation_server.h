@@ -12,6 +12,8 @@
 
 #include "core/behavior.h"
 #include "core/types.h"
+#include "crypto/signing.h"
+#include "crypto/trust_store.h"
 #include "net/event_loop.h"
 #include "net/rpc.h"
 #include "obs/metrics.h"
@@ -28,6 +30,9 @@
 #include "server/software_registry.h"
 #include "server/vote_store.h"
 #include "storage/database.h"
+#include "trust/audit_log.h"
+#include "trust/manifest_store.h"
+#include "trust/signed_statement.h"
 #include "util/thread_pool.h"
 
 namespace pisrep::server {
@@ -57,7 +62,22 @@ struct ServerStats {
   std::uint64_t votes_rejected_duplicate = 0;
   std::uint64_t votes_rejected_flood = 0;
   std::uint64_t remarks_accepted = 0;
+  /// Remarks rejected because the rater's account is younger than one
+  /// aggregation window — its trust factor has never been recomputed, so
+  /// its meta-moderation weight is unearned (PR 10 regression fix).
+  std::uint64_t remarks_rejected_young = 0;
+  std::uint64_t manifests_accepted = 0;
+  std::uint64_t advisories_accepted = 0;
+  /// Signed statements whose signature failed verification.
+  std::uint64_t signatures_rejected = 0;
 };
+
+/// Reserved publisher id for expert advisory feeds: advisories arrive
+/// signed rather than through a logged-in session, so their feeds are
+/// owned by this system account (negative, hence never a real account id;
+/// no session can authenticate as it, so only the signed-advisory path
+/// publishes into these feeds).
+inline constexpr core::UserId kExpertPublisher = -424242;
 
 /// The reputation-system server (§3.2): accounts, votes, comment remarks,
 /// software/vendor registry, daily aggregation, flood protection,
@@ -131,6 +151,21 @@ class ReputationServer {
     /// When > 0 (and a loop and registry are present), a metrics digest is
     /// logged at kInfo every period of *sim* time.
     util::Duration metrics_snapshot_period = 0;
+    /// Signed trust plane (PR 10, DESIGN.md §16).
+    struct TrustOptions {
+      /// Append every accepted vote / remark / moderation decision /
+      /// signed statement to the hash-chained audit log.
+      bool audit_log = true;
+      /// Sign a head checkpoint every N audit appends (0 disables).
+      std::size_t checkpoint_every = 256;
+      /// The server's audit-checkpoint signing keys. When left unset a
+      /// deterministic pair is generated so single-server setups work out
+      /// of the box; deployments pin their own.
+      crypto::KeyPair audit_keys;
+      /// Vendor and expert public keys pinned at startup; signed
+      /// manifests and advisories verify against these (and only these).
+      std::vector<crypto::Certificate> pinned_certificates;
+    } trust;
   };
 
   /// The database must outlive the server. The loop is used for the daily
@@ -231,6 +266,18 @@ class ReputationServer {
   util::Result<core::VendorScore> QueryVendor(std::string_view session,
                                               const core::VendorId& vendor);
 
+  /// Accepts a vendor-signed software manifest (PR 10). The signature IS
+  /// the authentication: it must verify against a pinned vendor-role key,
+  /// no session required. Verified manifests annotate QuerySoftware
+  /// answers with the (vendor_signed, signed_vendor) facts.
+  util::Status SubmitManifest(const trust::SoftwareManifest& manifest);
+
+  /// Accepts an expert-signed advisory (PR 10) and republishes it through
+  /// the ordinary feed plumbing under a feed named after the expert —
+  /// clients subscribed to the expert pick it up over QueryFeed,
+  /// expert-flag included.
+  util::Status PublishAdvisory(const trust::ExpertAdvisory& advisory);
+
   util::Status CreateFeed(std::string_view session, std::string_view name,
                           std::string_view description);
   util::Status PublishFeedEntry(std::string_view session,
@@ -260,6 +307,15 @@ class ReputationServer {
   // ------------------------------------------------------------------
 
   AccountManager& accounts() { return accounts_; }
+  crypto::TrustStore& trust_keys() { return trust_keys_; }
+  trust::ManifestStore& manifests() { return manifests_; }
+  /// The audit log, or null when Config::trust.audit_log is off.
+  trust::AuditLog* audit() { return audit_.get(); }
+  /// Public half of the audit-checkpoint signing key (what tools/audit
+  /// verifies checkpoints against).
+  const crypto::PublicKey& audit_public_key() const {
+    return config_.trust.audit_keys.public_key;
+  }
   VoteStore& votes() { return votes_; }
   SoftwareRegistry& registry() { return registry_; }
   FloodGuard& flood_guard() { return flood_; }
@@ -288,6 +344,12 @@ class ReputationServer {
   void RegisterRpcMethods();
   /// Swaps the snapshot pin set to this run's recomputed score rows.
   void RepinScores(const AggregationStats& stats);
+  /// Appends to the audit log (no-op when disabled), writes the periodic
+  /// signed checkpoint, and refreshes the pisrep_trust_* gauges. Every
+  /// accepted mutation routes through here — the single audit choke point.
+  void AuditAppend(std::string_view kind, std::string_view payload);
+  /// Adds the verified-manifest facts to a QuerySoftware answer.
+  void AnnotateManifest(SoftwareInfo* info) const;
 
   Config config_;
   storage::Database* db_;
@@ -301,6 +363,11 @@ class ReputationServer {
   FloodGuard flood_;
   ModerationQueue moderation_;
   FeedStore feeds_;
+  /// Signed trust plane (PR 10): pinned vendor/expert keys, verified
+  /// manifests, and the hash-chained audit log (null when disabled).
+  crypto::TrustStore trust_keys_;
+  trust::ManifestStore manifests_;
+  std::unique_ptr<trust::AuditLog> audit_;
   AggregationJob aggregation_;
   BootstrapImporter bootstrap_;
   std::unordered_map<std::string, ActivationMail> mailbox_;
@@ -316,6 +383,12 @@ class ReputationServer {
   obs::Gauge* snapshot_epoch_gauge_ = nullptr;
   obs::Counter* snapshot_hits_metric_ = nullptr;
   obs::Counter* snapshot_misses_metric_ = nullptr;
+  obs::Counter* trust_sig_verified_metric_ = nullptr;
+  obs::Counter* trust_sig_rejected_metric_ = nullptr;
+  obs::Counter* trust_audit_appends_metric_ = nullptr;
+  obs::Counter* trust_checkpoints_metric_ = nullptr;
+  obs::Gauge* trust_chain_length_gauge_ = nullptr;
+  obs::Gauge* trust_checkpoint_age_gauge_ = nullptr;
   std::unique_ptr<obs::SnapshotLogger> snapshot_logger_;
   /// Liveness token for the snapshot-logger schedule (same pattern as the
   /// aggregation job): Stop() resets it and queued ticks become no-ops.

@@ -171,6 +171,7 @@ void ScenarioRunner::WireClient(SimHost* host, int index) {
   cfg.password = StrFormat("pw-%03d!", index);
   cfg.email = StrFormat("user_%03d@example.com", index);
   cfg.policy = config_.policy;
+  cfg.policy_rules = config_.policy_rules;
   cfg.prompts = config_.prompts;
   cfg.cache_ttl = config_.client_cache_ttl;
   cfg.metrics = config_.metrics;

@@ -67,6 +67,9 @@ struct ScenarioConfig {
 
   /// Client-side policy for reputation hosts.
   core::Policy policy = core::Policy::ListsOnly();
+  /// Declarative policy rules (PR 10): when non-empty, each client parses
+  /// this text with trust::ParsePolicyRules and it replaces `policy`.
+  std::string policy_rules;
   /// Prompt thresholds; defaults are lowered from the paper's 50/2 so a
   /// 30-day simulation generates enough votes (the paper's deployment ran
   /// for months).

@@ -1,0 +1,53 @@
+#ifndef PISREP_TRUST_POLICY_RULES_H_
+#define PISREP_TRUST_POLICY_RULES_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/policy.h"
+#include "util/status.h"
+
+namespace pisrep::trust {
+
+/// Parses a declarative rule text into a core::Policy (§4.2 "software
+/// policy manager": administrators write what may run instead of patching
+/// client code). One rule per line, first match wins:
+///
+///   # §4.2 worked example
+///   deny if blacklisted
+///   allow if whitelisted
+///   deny if vendor-blocked
+///   allow if signed-by trusted vendor
+///   deny if expert-flagged
+///   allow if rating > 7.5 and votes >= 3 and no ads
+///   deny if rating < 3 and votes >= 3
+///   default ask
+///
+/// Grammar (case-insensitive, '#' starts a comment):
+///   line      := "default" action | action "if" cond ("and" cond)*
+///   action    := "allow" | "deny" | "ask"
+///   cond      := ["not"] flag
+///              | ("rating" | "feed-rating") op number
+///              | "votes" ">=" integer
+///              | "no" behaviors | "shows" behaviors
+///   flag      := "whitelisted" | "blacklisted" | "signed"
+///              | "signed-by trusted vendor" | "vendor-trusted"
+///              | "vendor-blocked" | "expert-flagged" | "company-name"
+///   op        := ">" | ">=" | "<" | "<="
+///   behaviors := "ads" | behavior token (core::BehaviorFromName)
+///
+/// Rating bounds are inclusive windows (the engine's semantics), so
+/// `rating > 7.5` and `rating >= 7.5` both become min_rating = 7.5.
+/// "no ads" is sugar for shows_ads + popup_ads. The rule's name is its
+/// trimmed source line, which is what per-rule decision metrics report.
+util::Result<core::Policy> ParsePolicyRules(std::string_view text,
+                                            std::string_view name);
+
+/// The rule text reproducing core::Policy::PaperDefault() plus the PR 10
+/// expert-flag deny — the worked §4.2 example the README quickstart and
+/// the simulator scenario use.
+std::string_view PaperExampleRules();
+
+}  // namespace pisrep::trust
+
+#endif  // PISREP_TRUST_POLICY_RULES_H_

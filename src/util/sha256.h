@@ -38,6 +38,9 @@ class Sha256 {
   static Sha256Digest Hash(std::string_view data);
 
  private:
+  /// Absorbs `blocks` consecutive 64-byte blocks, dispatching to the
+  /// hardware (SHA-NI) compression when the CPU has it.
+  void ProcessBlocks(const std::uint8_t* data, std::size_t blocks);
   void ProcessBlock(const std::uint8_t block[64]);
 
   std::array<std::uint32_t, 8> state_;

@@ -29,7 +29,8 @@ void PageHeader(std::string_view title, HtmlBuilder& html) {
   html.Link("/", "home").Text(" | ");
   html.Link("/top", "best rated").Text(" | ");
   html.Link("/worst", "worst rated").Text(" | ");
-  html.Link("/stats", "statistics");
+  html.Link("/stats", "statistics").Text(" | ");
+  html.Link("/trust", "trust");
   html.Close();  // p
 }
 
@@ -116,6 +117,7 @@ Result<std::string> WebPortal::Handle(std::string_view path) const {
   if (path == "/top") return TopListPage(/*best=*/true);
   if (path == "/worst") return TopListPage(/*best=*/false);
   if (path == "/stats") return StatsPage();
+  if (path == "/trust") return TrustPage();
   if (path == "/metrics") return MetricsPage(/*json=*/false);
   if (path == "/metrics.json") return MetricsPage(/*json=*/true);
   if (util::StartsWith(path, "/software/")) {
@@ -368,6 +370,63 @@ std::string WebPortal::StatsPage() const {
                  std::to_string(stats.votes_rejected_flood)});
   html.TableRow({"registrations rejected",
                  std::to_string(stats.registrations_rejected)});
+  html.Close();
+  return html.Finish();
+}
+
+std::string WebPortal::TrustPage() const {
+  std::vector<server::ReputationServer*> shards = Shards();
+  HtmlBuilder html;
+  PageHeader("Trust plane", html);
+
+  // Pinned keys are broadcast state — identical on every shard; render the
+  // first live backend's store.
+  if (!shards.empty()) {
+    crypto::TrustStore& keys = shards[0]->trust_keys();
+    html.Element("h2", "Pinned signing keys");
+    html.Open("table");
+    html.TableRow({"role", "name", "key fingerprint"});
+    for (crypto::KeyRole role :
+         {crypto::KeyRole::kVendor, crypto::KeyRole::kExpert}) {
+      for (const std::string& name : keys.NamesWithRole(role)) {
+        auto certificate = keys.FindCertificate(name);
+        if (!certificate.ok()) continue;
+        html.TableRow({crypto::KeyRoleName(role), name,
+                       crypto::KeyFingerprint(certificate->public_key)});
+      }
+    }
+    html.Close();
+  }
+
+  std::uint64_t manifests = 0;
+  std::uint64_t advisories = 0;
+  std::uint64_t rejected = 0;
+  for (server::ReputationServer* shard : shards) {
+    manifests += shard->stats().manifests_accepted;
+    advisories += shard->stats().advisories_accepted;
+    rejected += shard->stats().signatures_rejected;
+  }
+  html.Element("h2", "Signed statements");
+  html.Open("table");
+  html.TableRow({"manifests accepted", std::to_string(manifests)});
+  html.TableRow({"advisories accepted", std::to_string(advisories)});
+  html.TableRow({"signatures rejected", std::to_string(rejected)});
+  html.Close();
+
+  html.Element("h2", "Audit chains");
+  html.Open("table");
+  html.TableRow({"shard", "entries", "head hash", "checkpoints"});
+  int ordinal = 0;
+  for (server::ReputationServer* shard : shards) {
+    trust::AuditLog* audit = shard->audit();
+    if (audit == nullptr) {
+      html.TableRow({std::to_string(ordinal++), "disabled", "-", "-"});
+      continue;
+    }
+    html.TableRow({std::to_string(ordinal++),
+                   std::to_string(audit->head_index()), audit->head_hash(),
+                   std::to_string(audit->checkpoint_count())});
+  }
   html.Close();
   return html.Finish();
 }

@@ -71,6 +71,10 @@ class WebPortal {
   std::string SearchPage(std::string_view query) const;
   std::string TopListPage(bool best) const;
   std::string StatsPage() const;
+  /// The signed trust plane: pinned vendor/expert keys, verified-manifest
+  /// count, signature accept/reject totals, and per-shard audit-chain
+  /// health (length, head hash, checkpoints).
+  std::string TrustPage() const;
   /// Text (`json == false`) or JSON exposition of the server's metrics
   /// registry; kUnavailable when no registry is attached.
   util::Result<std::string> MetricsPage(bool json) const;

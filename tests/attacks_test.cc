@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "client/interceptor.h"
+#include "core/rating_aggregator.h"
 #include "server/reputation_server.h"
 #include "sim/attacks.h"
 #include "storage/database.h"
@@ -105,12 +106,21 @@ TEST(AttacksTest, CollusionIsBoundedByRemarkRulesAndTrustCap) {
                           ->id);
   }
   Attacks::FloodVotes(*fx.server, sessions, AttackMeta(), 10, 0);
-  AttackStats ring = Attacks::CollusiveTrustInflation(
+  // Day-zero blitz: every ring account is younger than the aggregation
+  // window, so no remark carries weight yet (PR 10 young-rater rule).
+  AttackStats blitz = Attacks::CollusiveTrustInflation(
       *fx.server, sessions, members, AttackMeta().id, 0);
+  EXPECT_EQ(blitz.remarks_accepted, 0);
+  EXPECT_EQ(blitz.remarks_rejected, 12);
+  // Once the ring has aged through one aggregation window, the classic
+  // bounds apply: each pairwise remark lands exactly once.
+  const util::TimePoint aged = core::kAggregationPeriod;
+  AttackStats ring = Attacks::CollusiveTrustInflation(
+      *fx.server, sessions, members, AttackMeta().id, aged);
   EXPECT_EQ(ring.remarks_accepted, 12);  // 4 * 3 pairwise
   // A second blitz is fully rejected (one remark per comment per rater).
   AttackStats again = Attacks::CollusiveTrustInflation(
-      *fx.server, sessions, members, AttackMeta().id, 0);
+      *fx.server, sessions, members, AttackMeta().id, aged);
   EXPECT_EQ(again.remarks_accepted, 0);
   EXPECT_EQ(again.remarks_rejected, 12);
   // Week-1 ceiling: nobody exceeds trust 5 no matter the praise.

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -31,6 +32,9 @@
 #include "proto/wire.h"
 #include "server/reputation_server.h"
 #include "storage/database.h"
+#include "storage/tiered_table.h"
+#include "storage/value.h"
+#include "trust/audit_log.h"
 #include "util/logging.h"
 #include "util/sha1.h"
 #include "util/string_util.h"
@@ -98,7 +102,10 @@ class Schedule {
 /// address (num_shards == 0, the calm oracle), driven over blocking RPC.
 class Harness {
  public:
-  explicit Harness(int num_shards)
+  /// `wal_path` (num_shards == 0 only) backs the single server with an
+  /// on-disk WAL so the audit chain survives the harness — the export the
+  /// CI chaos-soak step hands to the offline pisrep-audit verifier.
+  explicit Harness(int num_shards, std::string wal_path = "")
       : network_(&loop_, net::NetworkConfig{}), faults_(&loop_) {
     network_.AttachFaultInjector(&faults_);
     if (num_shards > 0) {
@@ -126,7 +133,7 @@ class Harness {
         router_->AddShard(cluster_->ShardName(i));
       }
     } else {
-      auto db = storage::Database::Open("");
+      auto db = storage::Database::Open(wal_path);
       PISREP_CHECK(db.ok());
       db_ = std::move(db).value();
       server::ReputationServer::Config config;
@@ -150,6 +157,7 @@ class Harness {
   net::FaultInjector& faults() { return faults_; }
   ShardCluster* cluster() { return cluster_.get(); }
   Router* router() { return router_.get(); }
+  server::ReputationServer* server() { return server_.get(); }
 
   void Pump(const std::function<bool()>& done = {}, int max_seconds = 120) {
     for (int i = 0; i < max_seconds; ++i) {
@@ -295,11 +303,14 @@ bool SubmitDurably(Harness& h, std::vector<std::string>& sessions,
 }
 
 /// Every shard's every replica caught up and bit-identical to its primary.
+/// Fenced replicas are quarantined tamper evidence, not laggards — they are
+/// excluded from convergence (they will never catch up again by design).
 bool ReplicasConverged(ShardCluster* cluster) {
   for (int i = 0; i < cluster->num_shards(); ++i) {
     ShardNode* shard = cluster->shard(i);
     std::string primary_digest = FormatRangeDigests(RangeDigestsOf(shard->db()));
     for (int k = 0; k < shard->replica_count(); ++k) {
+      if (shard->shipper()->channel_fenced(k)) continue;
       if (!shard->shipper()->channel_caught_up(k)) return false;
       if (FormatRangeDigests(RangeDigestsOf(shard->replica(k)->db())) !=
           primary_digest) {
@@ -308,6 +319,47 @@ bool ReplicasConverged(ShardCluster* cluster) {
     }
   }
   return true;
+}
+
+/// The trust-plane face of convergence: on every shard the primary's audit
+/// chain recomputes cleanly, and every live unfenced replica holds a chain
+/// that also recomputes cleanly to the bit-identical head hash. (Digest
+/// equality already implies byte equality of the audit tables; this check
+/// is the stronger statement that what converged is a *valid* chain.)
+::testing::AssertionResult AuditHeadsConverged(ShardCluster* cluster) {
+  for (int i = 0; i < cluster->num_shards(); ++i) {
+    ShardNode* shard = cluster->shard(i);
+    trust::AuditChainStatus primary = trust::AuditChainStatusOf(shard->db());
+    if (!primary.present) {
+      return ::testing::AssertionFailure()
+             << "shard " << i << " primary has no audit chain";
+    }
+    if (!primary.ok) {
+      return ::testing::AssertionFailure()
+             << "shard " << i << " primary chain broken at index "
+             << primary.first_bad_index;
+    }
+    for (int k = 0; k < shard->replica_count(); ++k) {
+      if (shard->replica(k) == nullptr) continue;  // crashed
+      if (shard->shipper()->channel_fenced(k)) continue;
+      trust::AuditChainStatus replica =
+          trust::AuditChainStatusOf(shard->replica(k)->db());
+      if (!replica.ok) {
+        return ::testing::AssertionFailure()
+               << "shard " << i << " replica " << k
+               << " chain broken at index " << replica.first_bad_index;
+      }
+      if (replica.length != primary.length ||
+          replica.head_hash != primary.head_hash) {
+        return ::testing::AssertionFailure()
+               << "shard " << i << " replica " << k << " audit head "
+               << replica.head_hash << " (len " << replica.length
+               << ") != primary " << primary.head_hash << " (len "
+               << primary.length << ")";
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
 }
 
 /// Replays the ledger on a calm single-server twin and checks the chaos-run
@@ -463,6 +515,8 @@ TEST(ChaosSoak, QuorumClusterSurvivesCrashesPartitionsAndReshards) {
   h.Pump([&] { return ReplicasConverged(h.cluster()); }, 240);
   EXPECT_TRUE(ReplicasConverged(h.cluster()))
       << "replicas never converged after the chaos ended";
+  EXPECT_TRUE(AuditHeadsConverged(h.cluster()))
+      << "audit chains did not converge bit-equal after the chaos ended";
 
   ExpectMatchesCalmTwin(h, kVotes);
 }
@@ -508,7 +562,135 @@ TEST(ChaosSoak, AlternateSeedSchedule) {
   h.Pump([&] { return h.cluster()->failovers() >= kills; });
   h.Pump([&] { return ReplicasConverged(h.cluster()); }, 240);
   EXPECT_TRUE(ReplicasConverged(h.cluster()));
+  EXPECT_TRUE(AuditHeadsConverged(h.cluster()));
   ExpectMatchesCalmTwin(h, votes);
+}
+
+TEST(ChaosSoak, TamperedReplicaIsFencedNeverRepaired) {
+  // A replica whose audit chain breaks is tamper evidence. The anti-entropy
+  // sweep must quarantine it (fence: ships nothing, counts toward no
+  // quorum) rather than "heal" it with a snapshot resync that would
+  // destroy the evidence — while the rest of the shard keeps serving and
+  // converging as usual.
+  Harness h(2);
+  std::vector<std::string> sessions;
+  for (int u = 0; u < kUsers; ++u) {
+    sessions.push_back(h.Onboard(UserName(u)));
+  }
+  const int calm_votes = kUsers * 3;  // programs 0..2
+  for (int i = 0; i < calm_votes; ++i) {
+    ASSERT_TRUE(SubmitDurably(h, sessions, VoteAt(i)))
+        << "vote " << i << " never durably acked";
+  }
+  h.Pump([&] { return ReplicasConverged(h.cluster()); }, 240);
+  ASSERT_TRUE(ReplicasConverged(h.cluster()));
+  ASSERT_TRUE(AuditHeadsConverged(h.cluster()));
+
+  // Pick a shard that owns part of the ledger (its chain is non-empty).
+  int target = -1;
+  for (int i = 0; i < h.cluster()->num_shards(); ++i) {
+    if (trust::AuditChainStatusOf(h.cluster()->shard(i)->db()).length > 0) {
+      target = i;
+      break;
+    }
+  }
+  ASSERT_GE(target, 0) << "no shard recorded any audited mutation";
+  ShardNode* shard = h.cluster()->shard(target);
+  const int victim = 1;
+  storage::Database* replica_db = shard->replica(victim)->db();
+
+  // Rewrite one historical audit payload in the replica's copy — the
+  // on-disk tamper the hash chain exists to catch. The replica's WAL
+  // position is untouched, so to the shipper it still looks caught up.
+  constexpr std::uint64_t kTamperedIndex = 1;
+  auto table = replica_db->GetTiered(trust::kAuditTable);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  auto original = (*table)->Get(
+      storage::Value::Int(static_cast<std::int64_t>(kTamperedIndex)));
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  storage::Row mutated = *original;
+  std::string payload = mutated[2].AsStr();
+  ASSERT_FALSE(payload.empty());
+  payload[0] ^= 0x01;
+  mutated[2] = storage::Value::Str(payload);
+  ASSERT_TRUE((*table)->Upsert(std::move(mutated)).ok());
+
+  const std::uint64_t repairs_before = shard->anti_entropy()->repairs();
+  h.Pump([&] { return shard->shipper()->channel_fenced(victim); }, 120);
+  EXPECT_TRUE(shard->shipper()->channel_fenced(victim))
+      << "anti-entropy never fenced the tampered replica";
+  EXPECT_TRUE(shard->replica_fenced(victim));
+  EXPECT_GE(shard->anti_entropy()->fences(), 1u);
+  EXPECT_GE(shard->shipper()->fences(), 1u);
+  // Fenced, not repaired: no snapshot resync touched the evidence, and the
+  // broken chain still names the exact corrupted index.
+  EXPECT_EQ(shard->anti_entropy()->repairs(), repairs_before)
+      << "tampered replica was snapshot-repaired instead of fenced";
+  trust::AuditChainStatus evidence = trust::AuditChainStatusOf(replica_db);
+  EXPECT_TRUE(evidence.present);
+  EXPECT_FALSE(evidence.ok) << "tamper evidence was wiped";
+  EXPECT_EQ(evidence.first_bad_index, kTamperedIndex);
+
+  // The shard keeps taking quorum writes on its surviving members, and
+  // everything except the quarantined replica still converges bit-equal.
+  for (int i = calm_votes; i < kUsers * 4; ++i) {
+    ASSERT_TRUE(SubmitDurably(h, sessions, VoteAt(i)))
+        << "vote " << i << " never durably acked after the fence";
+  }
+  h.Pump([&] { return ReplicasConverged(h.cluster()); }, 240);
+  EXPECT_TRUE(ReplicasConverged(h.cluster()));
+  EXPECT_TRUE(AuditHeadsConverged(h.cluster()));
+  EXPECT_TRUE(shard->shipper()->channel_fenced(victim))
+      << "fencing must be terminal";
+  trust::AuditChainStatus after = trust::AuditChainStatusOf(replica_db);
+  EXPECT_FALSE(after.ok);
+  EXPECT_EQ(after.first_bad_index, kTamperedIndex)
+      << "evidence changed after the fence";
+}
+
+TEST(ChaosSoak, AuditWalSurvivesForOfflineVerifier) {
+  // The calm twin run over an on-disk WAL: after the harness shuts down,
+  // the file alone must let an offline reader (tools/audit) recompute the
+  // chain to the same head the live server reported. CI sets
+  // PISREP_SOAK_AUDIT_DIR to keep the WAL and runs pisrep-audit against it
+  // as a separate step.
+  std::string dir = ::testing::TempDir();
+  if (const char* env = std::getenv("PISREP_SOAK_AUDIT_DIR")) {
+    if (*env != '\0') dir = env;
+  }
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  const std::string wal = dir + "chaos_soak_audit.wal";
+  std::remove(wal.c_str());
+
+  const int votes = kUsers * 3;
+  std::string live_head;
+  std::uint64_t live_len = 0;
+  {
+    Harness h(0, wal);
+    std::vector<std::string> sessions;
+    for (int u = 0; u < kUsers; ++u) {
+      sessions.push_back(h.Onboard(UserName(u)));
+    }
+    for (int i = 0; i < votes; ++i) {
+      VoteOp op = VoteAt(i);
+      ASSERT_TRUE(h.SubmitRating(sessions[static_cast<std::size_t>(op.user)],
+                                 ProgramMeta(op.program), op.score)
+                      .ok());
+    }
+    ASSERT_NE(h.server()->audit(), nullptr);
+    live_head = h.server()->audit()->head_hash();
+    live_len = h.server()->audit()->head_index();
+    EXPECT_GE(live_len, static_cast<std::uint64_t>(votes));
+  }
+
+  // Reopen cold, exactly as pisrep-audit does.
+  auto db = storage::Database::Open(wal);
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  trust::ChainVerifyResult chain = trust::VerifyAuditChain(db->get());
+  EXPECT_TRUE(chain.ok) << chain.error;
+  EXPECT_EQ(chain.entries, live_len);
+  EXPECT_EQ(chain.head_hash, live_head)
+      << "offline recompute disagrees with the live head";
 }
 
 }  // namespace

@@ -615,6 +615,10 @@ WorkloadOutcome RunScriptedWorkload(Harness& h) {
     }
   }
   EXPECT_GE(author, 0) << "user00's comment not served back";
+  // Advance past the first aggregation window: remarks from accounts
+  // younger than one aggregation period are rejected (their §3.2 trust
+  // weight has never been recomputed).
+  h.loop().RunUntil(h.loop().Now() + 2 * util::kDay);
   for (int i = 0; i < 2 && author >= 0; ++i) {
     XmlNode remark("request");
     remark.AddTextChild("session", sessions[1]);

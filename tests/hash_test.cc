@@ -115,6 +115,23 @@ INSTANTIATE_TEST_SUITE_P(Boundaries, Sha256BoundaryTest,
                          ::testing::Values(0, 1, 55, 56, 63, 64, 65, 127, 128,
                                            500));
 
+TEST(Sha256Test, MixedChunkSizesMatchOneShot) {
+  // Exercises every path through Update: tail-buffer fill, whole blocks
+  // straight from the caller's buffer, and straddles of both.
+  std::string data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<char>(i * 31));
+  const std::size_t chunks[] = {1, 7, 64, 63, 65, 128, 200, 5, 300, 167};
+  Sha256 h;
+  std::size_t pos = 0, turn = 0;
+  while (pos < data.size()) {
+    std::size_t take = chunks[turn++ % (sizeof(chunks) / sizeof(chunks[0]))];
+    if (take > data.size() - pos) take = data.size() - pos;
+    h.Update(std::string_view(data).substr(pos, take));
+    pos += take;
+  }
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
 // --- HMAC-SHA256 (RFC 4231 vectors) ---------------------------------------
 
 TEST(HmacTest, Rfc4231Case1) {

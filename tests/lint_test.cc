@@ -356,6 +356,39 @@ TEST(Layering, StorageTierStaysBelowObsAndServer) {
   EXPECT_EQ(CountRule(bad, "layering"), 2) << FormatHuman(bad);
 }
 
+TEST(Layering, TrustSitsAboveCryptoStorageButBelowServer) {
+  // The signed trust plane may use crypto (signatures), storage (audit
+  // chain persistence) and proto (statement serialization)...
+  auto ok = AnalyzeOne("src/trust/audit_log.cc",
+                       "#include \"trust/audit_log.h\"\n"
+                       "#include \"crypto/signing.h\"\n"
+                       "#include \"storage/database.h\"\n"
+                       "#include \"proto/wire.h\"\n"
+                       "#include \"obs/metrics.h\"\n");
+  EXPECT_EQ(CountRule(ok, "layering"), 0) << FormatHuman(ok);
+  // ...but never the server/client/cluster layers that consume it — the
+  // audit log must stay linkable into the offline pisrep-audit tool.
+  auto bad = AnalyzeOne("src/trust/policy_rules.cc",
+                        "#include \"server/reputation_server.h\"\n"  // 1
+                        "#include \"client/client_app.h\"\n"         // 2
+                        "#include \"cluster/replication.h\"\n");     // 3
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/trust/policy_rules.cc", 1));
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/trust/policy_rules.cc", 2));
+  EXPECT_TRUE(HasFinding(bad, "layering", "src/trust/policy_rules.cc", 3));
+  EXPECT_EQ(CountRule(bad, "layering"), 3) << FormatHuman(bad);
+  // Consumers on every floor above may include trust/ headers.
+  auto consumers = Analyze({
+      {"src/server/reputation_server.cc", "#include \"trust/audit_log.h\"\n"},
+      {"src/client/client_app.cc", "#include \"trust/policy_rules.h\"\n"},
+      {"src/cluster/anti_entropy.cc", "#include \"trust/audit_log.h\"\n"},
+  });
+  EXPECT_EQ(CountRule(consumers, "layering"), 0) << FormatHuman(consumers);
+  // Nothing below trust may look up at it: crypto stays a leaf-ish layer.
+  auto below = AnalyzeOne("src/crypto/signing.cc",
+                          "#include \"trust/signed_statement.h\"\n");
+  EXPECT_TRUE(HasFinding(below, "layering", "src/crypto/signing.cc", 1));
+}
+
 TEST(Layering, InstrumentedLayersMayUseObs) {
   auto net = AnalyzeOne("src/net/rpc.cc",
                         "#include \"obs/metrics.h\"\n"

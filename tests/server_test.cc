@@ -316,18 +316,21 @@ TEST_F(ServerTest, RemarksAdjustAuthorTrust) {
                                  core::kNoBehaviors, 0)
                   .ok());
 
+  // Remarks land after the raters' first aggregation window: a younger
+  // account's trust factor has never been aggregated and is rejected.
   std::string reader = MakeUser("reader");
   ASSERT_TRUE(
-      server_->SubmitRemark(reader, author_id, meta.id, true, 0).ok());
+      server_->SubmitRemark(reader, author_id, meta.id, true, kWeek).ok());
   EXPECT_EQ(server_->accounts().TrustFactor(author_id), 2.0);
 
   // Same reader cannot remark twice on the same comment.
-  EXPECT_EQ(server_->SubmitRemark(reader, author_id, meta.id, true, 0).code(),
-            util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(
+      server_->SubmitRemark(reader, author_id, meta.id, true, kWeek).code(),
+      util::StatusCode::kAlreadyExists);
 
   std::string critic = MakeUser("critic");
   ASSERT_TRUE(
-      server_->SubmitRemark(critic, author_id, meta.id, false, 0).ok());
+      server_->SubmitRemark(critic, author_id, meta.id, false, kWeek).ok());
   EXPECT_EQ(server_->accounts().TrustFactor(author_id), 1.0);  // clamped
   EXPECT_EQ(server_->votes().RemarkBalance(author_id, meta.id), 0);
 }
@@ -340,13 +343,14 @@ TEST_F(ServerTest, CannotRemarkOwnCommentOrMissingComment) {
   ASSERT_TRUE(server_
                   ->SubmitRating(author, meta, 7, "x", core::kNoBehaviors, 0)
                   .ok());
-  EXPECT_EQ(server_->SubmitRemark(author, author_id, meta.id, true, 0).code(),
-            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      server_->SubmitRemark(author, author_id, meta.id, true, kWeek).code(),
+      util::StatusCode::kInvalidArgument);
 
   std::string other = MakeUser("sam");
   EXPECT_EQ(server_
                 ->SubmitRemark(other, author_id,
-                               util::Sha1::Hash("never-rated"), true, 0)
+                               util::Sha1::Hash("never-rated"), true, kWeek)
                 .code(),
             util::StatusCode::kNotFound);
 }

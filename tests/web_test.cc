@@ -75,7 +75,9 @@ class PortalTest : public ::testing::Test {
     Submit(bob, anon_, 4, "noise: meh");
     core::UserId alice_id =
         server_->accounts().GetAccountByUsername("alice")->id;
-    EXPECT_TRUE(server_->SubmitRemark(bob, alice_id, bad_.id, true, 0).ok());
+    // Past the first aggregation window: younger raters are rejected.
+    EXPECT_TRUE(
+        server_->SubmitRemark(bob, alice_id, bad_.id, true, util::kWeek).ok());
     server_->aggregation().RunOnce(util::kDay);
   }
 

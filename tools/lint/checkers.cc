@@ -408,24 +408,30 @@ class LayeringChecker : public Checker {
         // proto owns the frame codecs, which serialize the shared XML
         // element tree — hence xml, but still nothing above it.
         {"proto", {"proto", "core", "util", "xml"}},
+        // trust holds the signed-statement/policy/audit plane: above
+        // crypto, storage and proto (it persists chains and serializes
+        // statements) but below server/client, which consume it.
+        {"trust",
+         {"trust", "crypto", "storage", "proto", "core", "obs", "util",
+          "xml"}},
         {"server",
-         {"server", "core", "proto", "storage", "net", "crypto", "obs",
-          "util", "xml"}},
-        {"client",
-         {"client", "core", "proto", "storage", "net", "crypto", "obs",
-          "util", "xml"}},
-        {"web",
-         {"web", "server", "core", "proto", "storage", "net", "crypto",
+         {"server", "trust", "core", "proto", "storage", "net", "crypto",
           "obs", "util", "xml"}},
+        {"client",
+         {"client", "trust", "core", "proto", "storage", "net", "crypto",
+          "obs", "util", "xml"}},
+        {"web",
+         {"web", "server", "trust", "core", "proto", "storage", "net",
+          "crypto", "obs", "util", "xml"}},
         // cluster sits above server: it shards whole ReputationServer
         // instances, so it may see the full server surface but nothing in
         // server/ or below may look back up at cluster/.
         {"cluster",
-         {"cluster", "server", "core", "proto", "storage", "net", "crypto",
-          "obs", "util", "xml"}},
+         {"cluster", "server", "trust", "core", "proto", "storage", "net",
+          "crypto", "obs", "util", "xml"}},
         {"sim",
-         {"sim", "cluster", "server", "client", "core", "proto", "storage",
-          "net", "crypto", "obs", "util", "xml"}},
+         {"sim", "cluster", "server", "client", "trust", "core", "proto",
+          "storage", "net", "crypto", "obs", "util", "xml"}},
     };
     auto allowed = kAllowed.find(ctx.layer);
     if (allowed == kAllowed.end()) return;  // tests/bench/... may include all
